@@ -1,0 +1,52 @@
+// Experiment F6 (DESIGN.md): Figure 6 — burndown graph of errors.
+//
+// "It documents a clear downward trend of errors since RCDC was deployed
+// near day 5. It illustrates how the risk assessment helped the DevOps
+// teams prioritize fixing high risk errors quickly."
+//
+// The simulation drives the real stack daily: faults arrive on a synthetic
+// datacenter, RCDC (EBGP simulation + local contracts + trie verifier)
+// detects them from the deploy day on, and remediation drains the backlog
+// in risk order. The y-axis matches the paper: proportions of high/low-risk
+// errors relative to the peak total.
+#include <cstdio>
+#include <string>
+
+#include "rcdc/burndown.hpp"
+
+namespace {
+
+std::string bar(double fraction, char fill) {
+  return std::string(static_cast<std::size_t>(fraction * 50.0), fill);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcv::rcdc;
+
+  const BurndownConfig config{};  // deploy at day 5, as in the paper
+  const auto series = simulate_burndown(config);
+
+  std::printf(
+      "== F6: burndown of routing intent-drift errors (cf. Figure 6) ==\n"
+      "RCDC deploys on day %d; high-risk errors (#) are remediated before\n"
+      "low-risk errors (.)\n\n", config.rcdc_deploy_day);
+  std::printf(
+      "  day  high  low  detected  fixed  high-frac  low-frac\n");
+  for (const BurndownDay& day : series) {
+    std::printf("  %3d  %4zu %4zu  %8zu  %5zu  %9.2f  %8.2f  |%s%s\n",
+                day.day, day.outstanding_high, day.outstanding_low,
+                day.violations_detected, day.remediated_today,
+                day.high_fraction, day.low_fraction,
+                bar(day.high_fraction, '#').c_str(),
+                bar(day.low_fraction, '.').c_str());
+  }
+
+  const auto& last = series.back();
+  std::printf(
+      "\nshape check: peak-normalized totals fall from 1.0 to %.2f after\n"
+      "deployment — the paper's downward trend.\n",
+      last.high_fraction + last.low_fraction);
+  return 0;
+}

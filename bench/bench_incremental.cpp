@@ -1,0 +1,63 @@
+// Ablation: full re-validation vs device-granularity incremental
+// re-validation (DESIGN.md ablation table).
+//
+// The incremental-verification systems the paper compares against ([21]
+// Delta-net, [50] Libra) invest heavily to make *global* checks
+// incremental. Locality makes it trivial: a device's verdict depends only
+// on its own FIB, so a monitoring cycle needs to re-verify exactly the
+// devices whose tables changed. This bench quantifies the verification
+// work saved per cycle under a trickle of faults.
+#include <chrono>
+#include <cstdio>
+
+#include "rcdc/incremental.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+#include "topology/faults.hpp"
+
+int main() {
+  using namespace dcv;
+
+  topo::Topology topology = topo::build_clos(topo::ClosParams{
+      .clusters = 24,
+      .tors_per_cluster = 16,
+      .leaves_per_cluster = 6,
+      .spines_per_plane = 2,
+      .regional_spines = 4});
+  const topo::MetadataService metadata(topology);
+  topo::FaultInjector faults(topology, /*seed=*/99);
+
+  std::printf(
+      "== ablation: incremental vs full re-validation ==\n"
+      "datacenter: %zu devices; one new link fault arrives per cycle\n\n",
+      topology.device_count());
+  std::printf(
+      "  cycle  changed-FIBs  contracts-checked  cycle (ms)  violations\n");
+
+  rcdc::IncrementalValidator validator(metadata,
+                                       rcdc::make_trie_verifier_factory());
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    if (cycle > 0) faults.random_link_failures(1);
+    const routing::BgpSimulator sim(topology, &faults);
+    const rcdc::SimulatorFibSource fibs(sim);
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = validator.run_cycle(fibs, /*threads=*/2);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    std::printf("  %5d  %12zu  %17zu  %10.1f  %10zu%s\n", cycle,
+                result.devices_revalidated, result.contracts_checked, ms,
+                result.violations.size(),
+                cycle == 0 ? "   (cold start: everything validates)" : "");
+  }
+
+  std::printf(
+      "\nAfter the cold start, per-cycle verification drops to the devices\n"
+      "whose FIBs actually changed. The saving depends on the fault: a\n"
+      "failure on a ToR uplink changes that prefix's ECMP set in every\n"
+      "ToR's FIB (most devices revalidate), while an upper-layer failure\n"
+      "stays local (see the small cycles). Either way the cached verdicts\n"
+      "of untouched devices are reused verbatim. (Cycle time is dominated\n"
+      "by re-running routing, standing in for table pulls.)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Experiment C5 (DESIGN.md): the Figure 5 monitoring pipeline.
+//
+// Paper claims reproduced in shape (§2.6.1): "Each service instance is
+// configured to monitor O(10K) devices. Fetching each routing table takes
+// 200-800ms, and validating takes O(100) milliseconds." Fetch latencies
+// are simulated at production magnitude and compressed 1000x so the bench
+// finishes quickly; throughput scales with puller workers because
+// validation is local and cheap — fetching dominates, exactly the regime
+// the paper's horizontally-partitioned service is built for.
+#include <chrono>
+#include <cstdio>
+
+#include "rcdc/pipeline.hpp"
+#include "routing/fib_synthesizer.hpp"
+#include "topology/clos_builder.hpp"
+
+int main() {
+  using namespace dcv;
+
+  const topo::ClosParams params{.clusters = 24,
+                                .tors_per_cluster = 16,
+                                .leaves_per_cluster = 6,
+                                .spines_per_plane = 2,
+                                .regional_spines = 4};
+  const topo::Topology topology = topo::build_clos(params);
+  const topo::MetadataService metadata(topology);
+  const routing::FibSynthesizer synthesizer(metadata);
+  const rcdc::SynthesizedFibSource fibs(synthesizer);
+
+  std::printf(
+      "== C5: monitoring-pipeline throughput (cf. SS2.6.1 / Figure 5) ==\n"
+      "datacenter: %zu devices; fetch latency simulated at 200-800ms,\n"
+      "compressed 1000x (so 1 bench-second ~ 16.7 production-minutes)\n\n",
+      topology.device_count());
+  std::printf(
+      "  pullers validators  wall (ms)  devices/s  mean-fetch (ms)"
+      "  mean-validate (us)  violations\n");
+
+  for (const unsigned pullers : {1u, 4u, 16u, 64u}) {
+    rcdc::MonitoringPipeline pipeline(
+        metadata, fibs, rcdc::make_trie_verifier_factory(),
+        rcdc::PipelineConfig{
+            .puller_workers = pullers,
+            .validator_workers = 4,
+            .fetch_latency_min = std::chrono::microseconds(200'000),
+            .fetch_latency_max = std::chrono::microseconds(800'000),
+            .time_scale = 0.001,
+            .seed = 11});
+    const auto stats = pipeline.run_cycle();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(stats.wall).count();
+    std::printf("  %7u %10u %10.1f %10.1f %16.0f %19.1f %11zu\n", pullers,
+                4u, wall_ms,
+                1000.0 * static_cast<double>(stats.devices) / wall_ms,
+                std::chrono::duration<double, std::milli>(stats.fetch_total)
+                        .count() /
+                    static_cast<double>(stats.devices),
+                std::chrono::duration<double, std::micro>(
+                    stats.validate_total)
+                        .count() /
+                    static_cast<double>(stats.devices),
+                stats.violations);
+  }
+
+  std::printf(
+      "\nWith production (uncompressed) latencies, one instance at 64\n"
+      "pullers sustains ~100+ devices/s -> a full O(10K)-device cycle in\n"
+      "a couple of minutes, matching the paper's instance sizing.\n");
+  return 0;
+}

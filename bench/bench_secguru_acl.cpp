@@ -1,0 +1,119 @@
+// Experiment C3 (DESIGN.md): SecGuru ACL checking cost vs policy size.
+//
+// Paper claim (§3.2): "analyzing an ACL comprising a few hundred rules
+// takes approximately 300ms and analyzing an ACL comprising a few thousand
+// rules takes a second" — the shape to reproduce is roughly linear growth
+// through the few-hundred-ms to ~1s band, with plenty of headroom
+// ("scales to an order of magnitude beyond what is required").
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "secguru/refactor.hpp"
+
+namespace {
+
+using namespace dcv::secguru;
+
+/// Edge-ACL workloads sized to hit the paper's rule-count bands.
+LegacyAclParams params_for(std::int64_t band) {
+  switch (band) {
+    case 100:
+      return LegacyAclParams{.owned_prefixes = 8,
+                             .services = 8,
+                             .whitelist_entries_per_service = 6,
+                             .zero_day_blocks = 6};
+    case 300:
+      return LegacyAclParams{.owned_prefixes = 16,
+                             .services = 20,
+                             .whitelist_entries_per_service = 10,
+                             .zero_day_blocks = 10};
+    case 1000:
+      return LegacyAclParams{.owned_prefixes = 24,
+                             .services = 60,
+                             .whitelist_entries_per_service = 12,
+                             .zero_day_blocks = 20};
+    default:
+      return LegacyAclParams{};  // the several-thousand-rule default
+  }
+}
+
+struct Workload {
+  Policy acl;
+  ContractSuite suite;
+};
+
+const Workload& workload_for(std::int64_t band) {
+  static std::map<std::int64_t, std::unique_ptr<Workload>> cache;
+  auto& entry = cache[band];
+  if (!entry) {
+    const auto params = params_for(band);
+    entry = std::make_unique<Workload>(Workload{
+        .acl = generate_legacy_edge_acl(params),
+        .suite = edge_acl_contracts(params)});
+  }
+  return *entry;
+}
+
+/// Full analysis of one ACL against its regression contract suite (the
+/// §3.3 precheck unit of work).
+void BM_AclCheckSuite(benchmark::State& state) {
+  const Workload& workload = workload_for(state.range(0));
+  Engine engine;
+  for (auto _ : state) {
+    auto report = engine.check_suite(workload.acl, workload.suite);
+    benchmark::DoNotOptimize(report);
+    if (!report.ok()) state.SkipWithError("contract unexpectedly failed");
+  }
+  state.counters["rules"] = static_cast<double>(workload.acl.rules.size());
+  state.counters["contracts"] =
+      static_cast<double>(workload.suite.contracts.size());
+}
+BENCHMARK(BM_AclCheckSuite)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
+/// One contract against one ACL — the minimal SecGuru query.
+void BM_AclSingleContract(benchmark::State& state) {
+  const Workload& workload = workload_for(state.range(0));
+  Engine engine;
+  const ConnectivityContract& contract = workload.suite.contracts.front();
+  for (auto _ : state) {
+    auto result = engine.check(workload.acl, contract);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rules"] = static_cast<double>(workload.acl.rules.size());
+}
+BENCHMARK(BM_AclSingleContract)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Semantic equivalence of two ACLs (the refactoring safety query).
+void BM_AclEquivalence(benchmark::State& state) {
+  const Workload& workload = workload_for(state.range(0));
+  Engine engine;
+  Policy reordered = workload.acl;
+  // A behavior-preserving permutation: move the last rule's duplicate tail
+  // around (duplicates are shadowed, so semantics are unchanged).
+  std::rotate(reordered.rules.end() - 5, reordered.rules.end() - 2,
+              reordered.rules.end());
+  for (auto _ : state) {
+    auto witness = engine.difference_witness(workload.acl, reordered);
+    benchmark::DoNotOptimize(witness);
+  }
+  state.counters["rules"] = static_cast<double>(workload.acl.rules.size());
+}
+BENCHMARK(BM_AclEquivalence)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

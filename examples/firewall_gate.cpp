@@ -1,0 +1,47 @@
+// Validating distributed firewalls (§3.5): the common guest-VM
+// restrictions are derived from a template (deny-overrides semantics) and
+// every deployment is gated on the security-policy contracts. An automation
+// bug that omits the infrastructure-isolation rules is caught before the
+// policy ships.
+#include <iostream>
+
+#include "secguru/acl_parser.hpp"
+#include "secguru/firewall.hpp"
+
+int main() {
+  using namespace dcv::secguru;
+
+  Engine engine;
+  const InfrastructureEndpoints infra;
+  const FirewallDeploymentGate gate(engine, infra);
+  const VmInstance vm{.name = "tenant-vm-17",
+                      .vnet = dcv::net::Prefix::parse("10.42.0.0/16")};
+
+  std::cout << "== SecGuru distributed-firewall deployment gate ==\n";
+
+  const Policy good = instantiate_common_firewall(vm, infra);
+  std::cout << "\ntemplate-derived firewall for " << vm.name
+            << " (deny-overrides, " << good.rules.size() << " rules):\n"
+            << write_acl(good);
+
+  const auto ok = gate.validate(vm, good);
+  std::cout << "deployment gate: "
+            << (ok.deployable ? "DEPLOYABLE" : "BLOCKED") << " ("
+            << ok.report.contracts_checked << " contracts)\n";
+
+  // The §3.5 failure mode: an automation bug drops the infrastructure
+  // isolation section.
+  const Policy buggy = instantiate_common_firewall(
+      vm, infra, TemplateBugs{.omit_infrastructure_isolation = true});
+  const auto blocked = gate.validate(vm, buggy);
+  std::cout << "\nbuggy instantiation (infrastructure isolation omitted): "
+            << (blocked.deployable ? "DEPLOYABLE" : "BLOCKED") << "\n";
+  for (const auto& failure : blocked.report.failures) {
+    std::cout << "  failed: " << failure.contract_name;
+    if (failure.witness) {
+      std::cout << "  witness: " << failure.witness->to_string();
+    }
+    std::cout << "\n";
+  }
+  return blocked.deployable ? 1 : 0;
+}

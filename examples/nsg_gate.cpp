@@ -1,0 +1,115 @@
+// Safeguarding network security groups (§3.4): a customer virtual network
+// hosts a managed database whose backups are orchestrated by an
+// infrastructure service outside the network. The validated NSG change API
+// accepts benign edits and rejects, with a concrete witness packet and the
+// offending rule, the classic lockdown change that would silently break
+// backups.
+#include <iostream>
+
+#include "secguru/nsg_gate.hpp"
+
+int main() {
+  using namespace dcv::secguru;
+  using dcv::net::PortRange;
+  using dcv::net::Prefix;
+  using dcv::net::ProtocolSpec;
+
+  Engine engine;
+  const BackupInfrastructure infra;
+  const NsgGate gate(engine, infra);
+
+  VirtualNetwork vnet{.name = "contoso-prod",
+                      .address_space = Prefix::parse("10.1.0.0/16"),
+                      .has_database_instance = true,
+                      .nsg = Nsg("contoso-prod-nsg")};
+  // The NSG the service provisions (cf. Figure 9).
+  vnet.nsg = parse_nsg(
+      "priority,name,source,src_ports,destination,dst_ports,protocol,access\n"
+      "100,AllowVnetInBound,VirtualNetwork,Any,VirtualNetwork,Any,Any,Allow\n"
+      "300,AllowBackupControl,SqlManagement,Any,10.1.0.0/16,1433-1434,Tcp,"
+      "Allow\n"
+      "310,AllowBackupData,10.1.0.0/16,Any,SqlManagement,443,Tcp,Allow\n"
+      "4096,DenyAllInBound,Any,Any,Any,Any,Any,Deny\n",
+      "contoso-prod-nsg");
+
+  std::cout << "== SecGuru NSG change gate ==\n"
+            << "virtual network " << vnet.name << " ("
+            << vnet.address_space.to_string()
+            << "), managed database present\n"
+            << "auto-added contracts:\n";
+  for (const auto& contract :
+       database_backup_contracts(vnet, infra).contracts) {
+    std::cout << "  " << contract.name << " (must "
+              << to_string(contract.expect) << ")\n";
+  }
+
+  // Change 1: a benign application rule.
+  {
+    Nsg proposed = vnet.nsg;
+    proposed.upsert(NsgRule{
+        .priority = 1000,
+        .name = "AllowWebApp",
+        .rule = Rule{.action = Action::kPermit,
+                     .protocol = ProtocolSpec::tcp(),
+                     .src = Prefix::default_route(),
+                     .src_ports = PortRange::any(),
+                     .dst = vnet.address_space,
+                     .dst_ports = PortRange::exactly(443)}});
+    const auto result = gate.try_update(vnet, proposed);
+    std::cout << "\nchange 1 (AllowWebApp @1000): "
+              << (result.accepted ? "ACCEPTED" : "REJECTED") << "\n";
+  }
+
+  // Change 2: the classic mistake — a broad inbound lockdown at a priority
+  // above the backup allow rules.
+  {
+    Nsg proposed = vnet.nsg;
+    proposed.upsert(NsgRule{
+        .priority = 150,
+        .name = "DenyAllInboundLockdown",
+        .rule = Rule{.action = Action::kDeny,
+                     .protocol = ProtocolSpec::any(),
+                     .src = Prefix::default_route(),
+                     .src_ports = PortRange::any(),
+                     .dst = vnet.address_space,
+                     .dst_ports = PortRange::any()}});
+    const auto result = gate.try_update(vnet, proposed);
+    std::cout << "\nchange 2 (DenyAllInboundLockdown @150): "
+              << (result.accepted ? "ACCEPTED" : "REJECTED") << "\n";
+    for (const auto& failure : result.report.failures) {
+      std::cout << "  failed invariant: " << failure.contract_name << "\n";
+      if (failure.witness) {
+        std::cout << "    witness packet: " << failure.witness->to_string()
+                  << "\n";
+      }
+      if (failure.violating_rule) {
+        const auto policy = proposed.to_policy();
+        std::cout << "    blocked by rule: "
+                  << policy.rules[*failure.violating_rule].comment << " ("
+                  << policy.rules[*failure.violating_rule].to_string()
+                  << ")\n";
+      }
+    }
+  }
+
+  // Change 3: the same lockdown below the backup rules is fine.
+  {
+    Nsg proposed = vnet.nsg;
+    proposed.upsert(NsgRule{
+        .priority = 500,
+        .name = "DenyInternetInbound",
+        .rule = Rule{.action = Action::kDeny,
+                     .protocol = ProtocolSpec::any(),
+                     .src = Prefix::default_route(),
+                     .src_ports = PortRange::any(),
+                     .dst = vnet.address_space,
+                     .dst_ports = PortRange::any()}});
+    const auto result = gate.try_update(vnet, proposed);
+    std::cout << "\nchange 3 (DenyInternetInbound @500, below the backup "
+                 "allows): "
+              << (result.accepted ? "ACCEPTED" : "REJECTED") << "\n";
+  }
+
+  std::cout << "\nfinal NSG:\n" << write_nsg(vnet.nsg);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Quickstart: the paper's running example end to end (§2.4, Figures 3/4).
+//
+// Builds the scaled-down datacenter of Figure 3, derives local forwarding
+// contracts from the architecture, validates the healthy network, then
+// applies the paper's four link failures and shows exactly the contract
+// violations §2.4.4 walks through — plus the triage decisions and the
+// global-reachability view of the same incident.
+#include <iostream>
+
+#include "rcdc/contract_gen.hpp"
+#include "rcdc/fib_source.hpp"
+#include "rcdc/global_checker.hpp"
+#include "rcdc/triage.hpp"
+#include "rcdc/trie_verifier.hpp"
+#include "rcdc/validator.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace {
+
+using namespace dcv;
+
+std::string hops_to_names(const topo::Topology& topology,
+                          const std::vector<topo::DeviceId>& hops) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += topology.device(hops[i]).name;
+  }
+  return out + "}";
+}
+
+void print_contract_table(const topo::Topology& topology,
+                          const rcdc::ContractGenerator& generator,
+                          const char* device_name) {
+  const auto device = *topology.find_device(device_name);
+  std::cout << "\n  " << device_name << " contracts (cf. Figure 4):\n";
+  for (const rcdc::Contract& c : generator.for_device(device)) {
+    std::cout << "    " << (c.prefix.is_default() ? "0/0        "
+                                                  : c.prefix.to_string())
+              << "  ->  " << hops_to_names(topology, c.expected_next_hops)
+              << (c.mode == rcdc::MatchMode::kSubsetAtLeast
+                      ? "  (at least " + std::to_string(c.min_next_hops) +
+                            ")"
+                      : "")
+              << "\n";
+  }
+}
+
+void validate_and_report(const topo::Topology& topology,
+                         const topo::MetadataService& metadata) {
+  const routing::BgpSimulator sim(topology);
+  const rcdc::SimulatorFibSource fibs(sim);
+  const rcdc::DatacenterValidator validator(
+      metadata, fibs, rcdc::make_trie_verifier_factory());
+  const auto summary = validator.run(/*threads=*/2);
+  std::cout << "  checked " << summary.devices_checked << " devices, "
+            << summary.contracts_checked << " contracts -> "
+            << summary.violations.size() << " violations\n";
+
+  const rcdc::TriageEngine triage(topology);
+  for (const rcdc::Violation& v : summary.violations) {
+    const auto decision = triage.triage(v);
+    std::cout << "    " << topology.device(v.device).name << "  "
+              << (v.contract.kind == rcdc::ContractKind::kDefault
+                      ? "default"
+                      : v.contract.prefix.to_string())
+              << "  " << to_string(v.kind) << ": expected "
+              << hops_to_names(topology, v.contract.expected_next_hops)
+              << ", actual " << hops_to_names(topology, v.actual_next_hops)
+              << "  [" << to_string(decision.risk) << " risk, "
+              << to_string(decision.action) << "]\n";
+  }
+
+  const rcdc::GlobalChecker global(metadata, fibs);
+  const auto result = global.check_all_pairs(/*max_failures=*/4);
+  std::cout << "  global view: " << result.pairs_checked << " ToR pairs, "
+            << result.pairs_reachable << " reachable, "
+            << result.pairs_shortest << " on shortest paths, "
+            << result.pairs_fully_redundant << " fully redundant\n";
+  for (const std::string& failure : result.failures) {
+    std::cout << "    global: " << failure << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== RCDC quickstart: Figure 3 datacenter ==\n";
+  topo::Topology topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const rcdc::ContractGenerator generator(metadata);
+
+  std::cout << "\nIntent derived from architecture metadata:";
+  print_contract_table(topology, generator, "ToR1");
+  print_contract_table(topology, generator, "A1");
+  print_contract_table(topology, generator, "D1");
+
+  std::cout << "\nHealthy network:\n";
+  validate_and_report(topology, metadata);
+
+  std::cout << "\nApplying Figure 3's four link failures (ToR1-A3, ToR1-A4, "
+               "ToR2-A1, ToR2-A2):\n";
+  topo::apply_figure3_failures(topology);
+  validate_and_report(topology, metadata);
+
+  std::cout << "\nNote how R1/R2 keep their (cardinality-style) contracts "
+               "for Prefix_B,\nso the longer detour route of Section 2.4.4 "
+               "remains available while the\nToR default contracts flag the "
+               "degraded ECMP fan-out.\n";
+  return 0;
+}

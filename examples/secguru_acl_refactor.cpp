@@ -1,0 +1,89 @@
+// Legacy Edge-ACL refactoring (§3.3, Figure 11): a several-thousand-rule
+// edge ACL is transformed to its intended shape through a phased plan in
+// which every change is pre-checked on a lab device against the regression
+// contract suite, deployed, post-checked, and rolled back on failure. One
+// step carries the paper's classic typo — a wrong prefix — which the
+// precheck catches before it can cause an outage.
+#include <iostream>
+
+#include "secguru/acl_parser.hpp"
+#include "secguru/refactor.hpp"
+
+int main() {
+  using namespace dcv::secguru;
+
+  // A scaled-down edge ACL so the example runs in seconds; the benchmark
+  // bench_fig11_refactor exercises the paper's several-thousand-rule scale.
+  const LegacyAclParams params{.owned_prefixes = 20,
+                               .services = 40,
+                               .whitelist_entries_per_service = 6,
+                               .zero_day_blocks = 20};
+  Policy production = generate_legacy_edge_acl(params);
+  const ContractSuite contracts = edge_acl_contracts(params);
+  Engine engine;
+
+  std::cout << "== SecGuru: managing a legacy Edge ACL ==\n"
+            << "legacy ACL: " << production.rules.size() << " rules; "
+            << "regression suite: " << contracts.contracts.size()
+            << " contracts\n";
+
+  const auto shadowed = engine.shadowed_rules(production);
+  std::cout << "semantic analysis: " << shadowed.size()
+            << " rules are fully shadowed (can never decide a packet)\n";
+
+  std::vector<Change> plan;
+  plan.push_back(delete_rules_matching(
+      "remove duplicate rules accumulated through organic growth",
+      [](const Rule& r) { return r.comment == "redundant duplicate"; }));
+  plan.push_back(delete_rules_matching(
+      "move service whitelists to end-host firewalls",
+      [](const Rule& r) { return r.comment.starts_with("service whitelist"); }));
+  plan.push_back(delete_rules_matching(
+      "retire stale zero-day mitigations",
+      [](const Rule& r) {
+        return r.comment.starts_with("zero-day mitigation");
+      }));
+  // The typo step: replace the permit for an owned /20 by a permit for a
+  // mistyped prefix (104.209 instead of 104.208). SecGuru's precheck flags
+  // the service-reachability contracts that break.
+  plan.push_back(Change{
+      .description = "consolidate permits (TYPO: 104.209.0.0/20)",
+      .apply = [](const Policy& before) {
+        Policy after = before;
+        for (Rule& rule : after.rules) {
+          if (rule.action == Action::kPermit &&
+              rule.dst == dcv::net::Prefix::parse("104.208.0.0/20")) {
+            rule.dst = dcv::net::Prefix::parse("104.209.0.0/20");
+          }
+        }
+        return after;
+      }});
+  // The corrected step: a harmless tightening that passes.
+  plan.push_back(delete_rules_matching(
+      "corrected change: drop nothing further (no-op consolidation)",
+      [](const Rule&) { return false; }));
+
+  const auto outcomes =
+      execute_refactor_plan(engine, production, plan, contracts);
+
+  std::cout << "\nFigure 11 — rule count across refactoring changes:\n";
+  std::cout << "  step  rules-before  rules-after  precheck  applied\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const StepOutcome& o = outcomes[i];
+    std::cout << "  " << i + 1 << "     " << o.rules_before << "          "
+              << o.rules_after << "         "
+              << (o.precheck_ok ? "pass" : "FAIL") << "      "
+              << (o.applied ? "yes" : "no") << "    " << o.description
+              << "\n";
+    for (const auto& failure : o.precheck_failures) {
+      std::cout << "          precheck caught: " << failure.contract_name;
+      if (failure.witness) {
+        std::cout << " (witness " << failure.witness->to_string() << ")";
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "\nfinal ACL: " << production.rules.size()
+            << " rules (goal: under 1000, without outages)\n";
+  return production.rules.size() < 1000 ? 0 : 1;
+}

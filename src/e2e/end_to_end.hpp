@@ -1,0 +1,81 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rcdc/fib_source.hpp"
+#include "secguru/engine.hpp"
+#include "secguru/nsg.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::e2e {
+
+/// The combined dataplane question of §3.6: "checking customer virtual
+/// networks in context of routing rules are simple extensions" — here
+/// built. A flow reaches a destination iff the fabric forwards it there
+/// (per-device FIBs, RCDC's reality) *and* the destination's network
+/// security group admits it (SecGuru's reality).
+struct FlowVerdict {
+  /// The fabric delivers packets for the destination prefix from the
+  /// source ToR to the hosting ToR.
+  bool routed = false;
+  /// Shortest-path lengths observed (min == max == intended when healthy).
+  int min_path_length = 0;
+  int max_path_length = 0;
+  /// Number of distinct forwarding paths (ECMP redundancy).
+  std::uint64_t paths = 0;
+  /// The destination NSG admits the flow (unset when no NSG is attached).
+  std::optional<bool> admitted;
+  /// When admitted == false: the NSG rule that blocked the flow.
+  std::optional<std::size_t> blocking_rule;
+
+  [[nodiscard]] bool delivered() const {
+    return routed && admitted.value_or(true);
+  }
+};
+
+/// A destination virtual network: a hosted prefix with an attached NSG.
+struct ProtectedPrefix {
+  net::Prefix prefix;
+  secguru::Nsg nsg;
+};
+
+/// Combined routing + connectivity-policy checker.
+class EndToEndChecker {
+ public:
+  EndToEndChecker(const topo::MetadataService& metadata,
+                  const rcdc::FibSource& fibs)
+      : metadata_(&metadata), fibs_(&fibs) {}
+
+  /// Attaches (or replaces) the NSG protecting a hosted prefix.
+  void protect(ProtectedPrefix protected_prefix);
+
+  /// Verdict for a concrete flow from a source ToR toward a packet's
+  /// destination. The packet's dst_ip selects the destination prefix; the
+  /// full 5-tuple is evaluated against the destination's NSG, if any.
+  [[nodiscard]] FlowVerdict check_flow(topo::DeviceId source_tor,
+                                       const net::PacketHeader& packet);
+
+  /// Symbolic variant: routing is checked toward the contract's
+  /// destination prefix, and the destination NSG (when one protects that
+  /// prefix) is checked against the contract with SecGuru. In the verdict,
+  /// `admitted` then means "the NSG satisfies the contract" (for both
+  /// allow and deny expectations) and `blocking_rule` identifies the
+  /// violating rule on failure.
+  [[nodiscard]] FlowVerdict check_contract(
+      topo::DeviceId source_tor,
+      const secguru::ConnectivityContract& contract);
+
+ private:
+  /// Forwarding-graph traversal for one destination prefix from one
+  /// source, over FIBs fetched on demand (memoized per call).
+  FlowVerdict route(topo::DeviceId source_tor, const net::Prefix& prefix);
+
+  const topo::MetadataService* metadata_;
+  const rcdc::FibSource* fibs_;
+  std::vector<ProtectedPrefix> protected_prefixes_;
+  secguru::Engine engine_;
+};
+
+}  // namespace dcv::e2e

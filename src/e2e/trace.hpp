@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/header.hpp"
+#include "rcdc/fib_source.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::e2e {
+
+/// One hop of a traced flow.
+struct TraceHop {
+  topo::DeviceId device = topo::kInvalidDevice;
+  /// The FIB rule that decided the forwarding at this device (the matched
+  /// prefix); the destination's connected rule for the final hop.
+  net::Prefix matched;
+};
+
+/// Outcome of tracing one flow.
+struct TraceResult {
+  enum class Outcome : std::uint8_t {
+    kDelivered,   // reached the device hosting the destination prefix
+    kDropped,     // no matching rule, or a rule with no next hops (discard)
+    kLooped,      // revisited a device
+    kMisdelivered,  // hit a connected rule on a device not hosting the
+                    // destination
+  };
+  Outcome outcome = Outcome::kDropped;
+  std::vector<TraceHop> hops;  // includes source and final device
+
+  [[nodiscard]] std::string to_string(
+      const topo::Topology& topology) const;
+};
+
+/// Deterministic per-flow ECMP hash over the 5-tuple, mirroring how switch
+/// ASICs pin a flow to one member of an ECMP group. Same flow, same path.
+[[nodiscard]] std::size_t ecmp_index(const net::PacketHeader& packet,
+                                     std::size_t fanout);
+
+/// Traces a single flow hop by hop through the FIBs: at every device the
+/// longest-prefix match decides the ECMP group and the 5-tuple hash picks
+/// the member. The dataplane's-eye view that complements the all-paths
+/// analyses (GlobalChecker, BeliefChecker).
+[[nodiscard]] TraceResult trace_flow(const topo::MetadataService& metadata,
+                                     const rcdc::FibSource& fibs,
+                                     topo::DeviceId source,
+                                     const net::PacketHeader& packet);
+
+}  // namespace dcv::e2e

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dcv {
+
+/// Base class for all errors raised by the dcv libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when textual input (addresses, prefixes, ACLs, routing tables)
+/// cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an operation is applied to an object in an invalid state,
+/// e.g. querying a device id that does not exist in a topology.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+}  // namespace dcv

@@ -1,0 +1,62 @@
+#include "net/header.hpp"
+
+#include <charconv>
+#include <ostream>
+
+#include "net/error.hpp"
+
+namespace dcv::net {
+
+std::string PortRange::to_string() const {
+  if (is_any()) return "any";
+  if (lo == hi) return std::to_string(lo);
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+ProtocolSpec ProtocolSpec::parse(std::string_view text) {
+  if (text == "ip" || text == "any" || text == "Any" || text == "*") {
+    return ProtocolSpec::any();
+  }
+  if (text == "tcp" || text == "Tcp" || text == "TCP") {
+    return ProtocolSpec::tcp();
+  }
+  if (text == "udp" || text == "Udp" || text == "UDP") {
+    return ProtocolSpec::udp();
+  }
+  if (text == "icmp" || text == "Icmp" || text == "ICMP") {
+    return ProtocolSpec::icmp();
+  }
+  unsigned number = 0;
+  const auto [next, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), number);
+  if (ec != std::errc{} || next != text.data() + text.size() || number > 255) {
+    throw ParseError("unknown protocol: '" + std::string(text) + "'");
+  }
+  return ProtocolSpec(static_cast<std::uint8_t>(number));
+}
+
+std::string ProtocolSpec::to_string() const {
+  if (!number) return "ip";
+  switch (*number) {
+    case static_cast<std::uint8_t>(Protocol::kTcp):
+      return "tcp";
+    case static_cast<std::uint8_t>(Protocol::kUdp):
+      return "udp";
+    case static_cast<std::uint8_t>(Protocol::kIcmp):
+      return "icmp";
+    default:
+      return std::to_string(*number);
+  }
+}
+
+std::string PacketHeader::to_string() const {
+  return ProtocolSpec(protocol).to_string() + " " + src_ip.to_string() + ":" +
+         std::to_string(src_port) + " -> " + dst_ip.to_string() + ":" +
+         std::to_string(dst_port);
+}
+
+std::ostream& operator<<(std::ostream& os, const PacketHeader& header) {
+  return os << header.to_string();
+}
+
+}  // namespace dcv::net

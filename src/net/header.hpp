@@ -1,0 +1,108 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace dcv::net {
+
+/// Well-known IP protocol numbers used in ACLs. `kIp` is the wildcard used
+/// by Cisco's `ip` keyword: it matches every protocol.
+enum class Protocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// A closed range of layer-4 port numbers [lo, hi].
+///
+/// `any()` is [0, 65535] (the paper: "for ports, Any encodes the range from
+/// 0 to 2^16 - 1").
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 0xFFFF;
+
+  constexpr PortRange() = default;
+  constexpr PortRange(std::uint16_t low, std::uint16_t high)
+      : lo(low), hi(high) {}
+
+  static constexpr PortRange any() { return PortRange{0, 0xFFFF}; }
+  static constexpr PortRange exactly(std::uint16_t port) {
+    return PortRange{port, port};
+  }
+
+  [[nodiscard]] constexpr bool is_any() const {
+    return lo == 0 && hi == 0xFFFF;
+  }
+  [[nodiscard]] constexpr bool contains(std::uint16_t port) const {
+    return lo <= port && port <= hi;
+  }
+  [[nodiscard]] constexpr bool contains(const PortRange& o) const {
+    return lo <= o.lo && o.hi <= hi;
+  }
+  [[nodiscard]] constexpr bool overlaps(const PortRange& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const PortRange&, const PortRange&) =
+      default;
+};
+
+/// A protocol matcher: either a specific IP protocol number or the `ip`
+/// wildcard (empty optional) that matches all protocols.
+struct ProtocolSpec {
+  std::optional<std::uint8_t> number;  // nullopt == wildcard ("ip" / Any)
+
+  constexpr ProtocolSpec() = default;
+  constexpr explicit ProtocolSpec(std::uint8_t n) : number(n) {}
+  constexpr explicit ProtocolSpec(Protocol p)
+      : number(static_cast<std::uint8_t>(p)) {}
+
+  static constexpr ProtocolSpec any() { return ProtocolSpec{}; }
+  static constexpr ProtocolSpec tcp() { return ProtocolSpec{Protocol::kTcp}; }
+  static constexpr ProtocolSpec udp() { return ProtocolSpec{Protocol::kUdp}; }
+  static constexpr ProtocolSpec icmp() {
+    return ProtocolSpec{Protocol::kIcmp};
+  }
+
+  [[nodiscard]] constexpr bool is_any() const { return !number.has_value(); }
+  [[nodiscard]] constexpr bool matches(std::uint8_t protocol) const {
+    return !number || *number == protocol;
+  }
+
+  /// Parses a protocol keyword ("ip", "tcp", "udp", "icmp") or a numeric
+  /// protocol value. Throws dcv::ParseError on anything else.
+  static ProtocolSpec parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const ProtocolSpec&,
+                                    const ProtocolSpec&) = default;
+};
+
+/// The concrete 5-tuple over which connectivity policies are interpreted;
+/// the paper's vector x = <srcIp, srcPort, dstIp, dstPort, protocol>.
+struct PacketHeader {
+  Ipv4Address src_ip{};
+  std::uint16_t src_port = 0;
+  Ipv4Address dst_ip{};
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = static_cast<std::uint8_t>(Protocol::kTcp);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const PacketHeader&,
+                                    const PacketHeader&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const PacketHeader& header);
+
+}  // namespace dcv::net

@@ -1,0 +1,72 @@
+#include "net/interval.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dcv::net {
+
+std::string AddressInterval::to_string() const {
+  return "[" + lo.to_string() + ", " + hi.to_string() + "]";
+}
+
+std::ostream& operator<<(std::ostream& os, const AddressInterval& interval) {
+  return os << interval.to_string();
+}
+
+void IntervalSet::add(const AddressInterval& interval) {
+  if (!interval.valid()) return;
+
+  // Merge the new interval with every stored interval it overlaps or is
+  // adjacent to, keeping the vector sorted and disjoint. Interval counts
+  // here are small (rules touched by one contract check), so a linear merge
+  // is fine and obviously correct.
+  AddressInterval merged = interval;
+  std::vector<AddressInterval> out;
+  out.reserve(intervals_.size() + 1);
+  bool inserted = false;
+  for (const auto& existing : intervals_) {
+    const bool adjacent_left =
+        existing.hi.value() != UINT32_C(0xFFFFFFFF) &&
+        existing.hi.value() + 1 == merged.lo.value();
+    const bool adjacent_right =
+        merged.hi.value() != UINT32_C(0xFFFFFFFF) &&
+        merged.hi.value() + 1 == existing.lo.value();
+    if (existing.overlaps(merged) || adjacent_left || adjacent_right) {
+      merged.lo = std::min(merged.lo, existing.lo);
+      merged.hi = std::max(merged.hi, existing.hi);
+    } else if (existing.hi < merged.lo) {
+      out.push_back(existing);
+    } else {
+      if (!inserted) {
+        out.push_back(merged);
+        inserted = true;
+      }
+      out.push_back(existing);
+    }
+  }
+  if (!inserted) out.push_back(merged);
+  intervals_ = std::move(out);
+}
+
+bool IntervalSet::covers(const AddressInterval& interval) const {
+  // Since intervals_ are disjoint and coalesced, `interval` is covered iff a
+  // single stored interval contains it.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), interval,
+      [](const AddressInterval& a, const AddressInterval& b) {
+        return a.hi < b.lo;
+      });
+  return it != intervals_.end() && it->contains(interval);
+}
+
+bool IntervalSet::contains(Ipv4Address address) const {
+  return covers(AddressInterval(address, address));
+}
+
+std::uint64_t IntervalSet::size() const {
+  std::uint64_t total = 0;
+  for (const auto& interval : intervals_) total += interval.size();
+  return total;
+}
+
+}  // namespace dcv::net

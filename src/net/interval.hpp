@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace dcv::net {
+
+/// A closed interval of IPv4 addresses [lo, hi].
+///
+/// Prefixes are intervals whose size is a power of two aligned on its size;
+/// intervals are the natural domain for coverage reasoning ("is the contract
+/// range fully covered by the union of these rule prefixes?" — the stopping
+/// condition of the paper's trie algorithm, §2.5.2).
+struct AddressInterval {
+  Ipv4Address lo{};
+  Ipv4Address hi{};
+
+  constexpr AddressInterval() = default;
+  constexpr AddressInterval(Ipv4Address low, Ipv4Address high)
+      : lo(low), hi(high) {}
+
+  /// The interval covered by a CIDR prefix.
+  static AddressInterval from_prefix(const Prefix& prefix) {
+    return AddressInterval(prefix.first(), prefix.last());
+  }
+
+  [[nodiscard]] constexpr bool valid() const { return lo <= hi; }
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return lo <= a && a <= hi;
+  }
+  [[nodiscard]] constexpr bool contains(const AddressInterval& o) const {
+    return lo <= o.lo && o.hi <= hi;
+  }
+  [[nodiscard]] constexpr bool overlaps(const AddressInterval& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  [[nodiscard]] std::uint64_t size() const {
+    return std::uint64_t{hi.value()} - lo.value() + 1;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const AddressInterval&,
+                                    const AddressInterval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const AddressInterval& interval);
+
+/// A set of addresses maintained as disjoint, sorted, coalesced intervals.
+///
+/// Supports the coverage query at the heart of the trie-based contract
+/// checker: rules' prefixes are added one by one (descending prefix length)
+/// and the check stops as soon as the contract range is fully covered.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Adds an interval, merging with any overlapping/adjacent intervals.
+  void add(const AddressInterval& interval);
+  void add(const Prefix& prefix) { add(AddressInterval::from_prefix(prefix)); }
+
+  /// True iff every address of `interval` is in the set.
+  [[nodiscard]] bool covers(const AddressInterval& interval) const;
+  [[nodiscard]] bool covers(const Prefix& prefix) const {
+    return covers(AddressInterval::from_prefix(prefix));
+  }
+
+  [[nodiscard]] bool contains(Ipv4Address address) const;
+
+  /// Total number of addresses in the set.
+  [[nodiscard]] std::uint64_t size() const;
+
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+
+  /// The disjoint sorted intervals making up the set.
+  [[nodiscard]] const std::vector<AddressInterval>& intervals() const {
+    return intervals_;
+  }
+
+ private:
+  std::vector<AddressInterval> intervals_;
+};
+
+}  // namespace dcv::net

@@ -1,0 +1,51 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <ostream>
+
+#include "net/error.hpp"
+
+namespace dcv::net {
+
+Ipv4Address Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* const end = text.data() + text.size();
+  for (int octet_index = 0; octet_index < 4; ++octet_index) {
+    if (octet_index > 0) {
+      if (cursor == end || *cursor != '.') {
+        throw ParseError("malformed IPv4 address: '" + std::string(text) +
+                         "'");
+      }
+      ++cursor;
+    }
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(cursor, end, octet);
+    if (ec != std::errc{} || next == cursor || octet > 255) {
+      throw ParseError("malformed IPv4 address: '" + std::string(text) + "'");
+    }
+    value = (value << 8) | octet;
+    cursor = next;
+  }
+  if (cursor != end) {
+    throw ParseError("trailing characters in IPv4 address: '" +
+                     std::string(text) + "'");
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address address) {
+  return os << address.to_string();
+}
+
+}  // namespace dcv::net

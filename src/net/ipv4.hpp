@@ -1,0 +1,58 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace dcv::net {
+
+/// An IPv4 address stored as a host-order 32-bit unsigned integer.
+///
+/// Value type: cheap to copy, totally ordered by numeric address value.
+/// The ordering matches the unsigned bit-vector comparison used in the
+/// paper's SMT encodings (e.g. 10.0.0.0 <= x <= 10.255.255.255).
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+
+  /// Builds an address from its four dotted-quad octets, most significant
+  /// first: Ipv4Address::from_octets(10, 20, 30, 40) == "10.20.30.40".
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation ("10.20.30.40"). Throws dcv::ParseError on
+  /// malformed input (wrong number of octets, out-of-range octet, junk).
+  static Ipv4Address parse(std::string_view text);
+
+  /// The host-order numeric value of the address.
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// The i'th octet, 0 being the most significant ("10" in 10.20.30.40).
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// The i'th bit counted from the most significant (bit 0 is the top bit).
+  /// Prefix tries consume address bits in this order.
+  [[nodiscard]] constexpr bool bit(int i) const {
+    return ((value_ >> (31 - i)) & 1u) != 0;
+  }
+
+  /// Dotted-quad rendering, e.g. "10.20.30.40".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address address);
+
+}  // namespace dcv::net

@@ -1,0 +1,101 @@
+#include "net/prefix.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <ostream>
+
+#include "net/error.hpp"
+
+namespace dcv::net {
+
+namespace {
+
+constexpr std::uint32_t mask_bits(int length) {
+  if (length == 0) return 0;
+  return ~std::uint32_t{0} << (32 - length);
+}
+
+}  // namespace
+
+Prefix::Prefix(Ipv4Address network, int length) : length_(length) {
+  if (length < 0 || length > 32) {
+    throw InvalidArgument("prefix length out of range: " +
+                          std::to_string(length));
+  }
+  network_ = Ipv4Address(network.value() & mask_bits(length));
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Prefix(Ipv4Address::parse(text), 32);
+  }
+  const auto address = Ipv4Address::parse(text.substr(0, slash));
+  const auto length_text = text.substr(slash + 1);
+  int length = -1;
+  const auto [next, ec] = std::from_chars(
+      length_text.data(), length_text.data() + length_text.size(), length);
+  if (ec != std::errc{} || next != length_text.data() + length_text.size() ||
+      length < 0 || length > 32) {
+    throw ParseError("malformed prefix length in '" + std::string(text) + "'");
+  }
+  return Prefix(address, length);
+}
+
+Ipv4Address Prefix::last() const {
+  return Ipv4Address(network_.value() | ~mask_bits(length_));
+}
+
+Ipv4Address Prefix::mask() const { return Ipv4Address(mask_bits(length_)); }
+
+std::uint64_t Prefix::size() const {
+  return std::uint64_t{1} << (32 - length_);
+}
+
+bool Prefix::contains(Ipv4Address address) const {
+  return (address.value() & mask_bits(length_)) == network_.value();
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.network_);
+}
+
+bool Prefix::overlaps(const Prefix& other) const {
+  return contains(other) || other.contains(*this);
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.to_string();
+}
+
+Prefix common_prefix(const Prefix& a, const Prefix& b) {
+  const int max_length = std::min(a.length(), b.length());
+  int length = 0;
+  while (length < max_length && a.bit(length) == b.bit(length)) ++length;
+  return Prefix(a.network(), length);
+}
+
+std::vector<Prefix> prefix_difference(const Prefix& outer,
+                                      const Prefix& inner) {
+  if (inner.contains(outer)) return {};
+  if (!outer.contains(inner)) return {outer};
+  std::vector<Prefix> out;
+  out.reserve(static_cast<std::size_t>(inner.length() - outer.length()));
+  // Walk from outer toward inner; at each step, the half not containing
+  // inner is entirely outside it.
+  for (int length = outer.length(); length < inner.length(); ++length) {
+    const std::uint32_t branch_bit = std::uint32_t{1} << (31 - length);
+    const std::uint32_t sibling_network =
+        (inner.network().value() &
+         (length == 0 ? 0u : ~std::uint32_t{0} << (32 - length))) |
+        ((inner.network().value() & branch_bit) ^ branch_bit);
+    out.emplace_back(Ipv4Address(sibling_network), length + 1);
+  }
+  return out;
+}
+
+}  // namespace dcv::net

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace dcv::net {
+
+/// A CIDR prefix: a 32-bit IPv4 network address plus a mask length.
+///
+/// Invariant: host bits below the mask are zero (the constructor masks them
+/// off), so two Prefix values compare equal iff they denote the same address
+/// range. A /0 prefix ("0.0.0.0/0") denotes the whole address space; the
+/// paper uses it both as the default route and, in default contracts, as the
+/// complement of all specific prefixes (§2.4).
+class Prefix {
+ public:
+  /// The default prefix 0.0.0.0/0.
+  constexpr Prefix() = default;
+
+  /// Builds a prefix from a network address and mask length (0..32). Host
+  /// bits are cleared. Throws dcv::InvalidArgument if length > 32.
+  Prefix(Ipv4Address network, int length);
+
+  /// Parses CIDR notation, e.g. "10.3.129.224/28". A bare address is read
+  /// as a /32 host route. Throws dcv::ParseError on malformed input.
+  static Prefix parse(std::string_view text);
+
+  /// The canonical default route 0.0.0.0/0.
+  static constexpr Prefix default_route() { return Prefix{}; }
+
+  [[nodiscard]] constexpr Ipv4Address network() const { return network_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  /// First address of the range (equals network()).
+  [[nodiscard]] constexpr Ipv4Address first() const { return network_; }
+
+  /// Last address of the range, e.g. 10.255.255.255 for 10.0.0.0/8.
+  [[nodiscard]] Ipv4Address last() const;
+
+  /// The netmask as an address, e.g. 255.255.255.0 for /24.
+  [[nodiscard]] Ipv4Address mask() const;
+
+  /// Number of addresses covered: 2^(32-length). Returned as 64-bit since a
+  /// /0 covers 2^32 addresses.
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// True iff the given address is inside this prefix's range.
+  [[nodiscard]] bool contains(Ipv4Address address) const;
+
+  /// True iff `other` is a subset of (or equal to) this prefix. In the
+  /// paper's trie algorithm this is the test "r_i.prefix extends r_j".
+  [[nodiscard]] bool contains(const Prefix& other) const;
+
+  /// True iff the two prefixes share any address. For proper prefixes this
+  /// happens exactly when one contains the other.
+  [[nodiscard]] bool overlaps(const Prefix& other) const;
+
+  /// True for 0.0.0.0/0.
+  [[nodiscard]] constexpr bool is_default() const { return length_ == 0; }
+
+  /// The i'th bit of the network address from the top; valid for i < length.
+  [[nodiscard]] constexpr bool bit(int i) const { return network_.bit(i); }
+
+  /// CIDR rendering, e.g. "10.3.129.224/28".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Ordering: by network address, then by length (shorter first). This
+  /// gives a deterministic total order used for canonical rule ordering.
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address network_{};
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+/// Decomposes `outer` minus `inner` into the minimal set of disjoint CIDR
+/// prefixes (at most 32 - outer.length() of them): at each level on the
+/// path from outer down to inner, the sibling subtree not containing inner
+/// is emitted. Returns {outer} when the prefixes are disjoint, and {} when
+/// inner covers outer. Used e.g. to express "all tenants except this
+/// virtual network" in prefix-based firewall rules.
+[[nodiscard]] std::vector<Prefix> prefix_difference(const Prefix& outer,
+                                                    const Prefix& inner);
+
+/// The longest prefix containing both arguments (their lowest common
+/// ancestor in the prefix trie). Used by route aggregation.
+[[nodiscard]] Prefix common_prefix(const Prefix& a, const Prefix& b);
+
+}  // namespace dcv::net
+
+template <>
+struct std::hash<dcv::net::Prefix> {
+  std::size_t operator()(const dcv::net::Prefix& p) const noexcept {
+    const std::uint64_t packed =
+        (std::uint64_t{p.network().value()} << 6) |
+        static_cast<std::uint64_t>(p.length());
+    return std::hash<std::uint64_t>{}(packed);
+  }
+};

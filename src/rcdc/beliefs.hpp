@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcdc/fib_source.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::rcdc {
+
+/// Template properties — "network beliefs" in the sense of [30] (Lopes,
+/// Bjørner et al., NSDI'15), which the paper cites as the label-style way
+/// of capturing intent (§1). Where RCDC derives intent automatically from
+/// architecture, beliefs let an operator pin *additional* expectations to
+/// concrete endpoints and check them against the same FIB reality.
+enum class BeliefKind : std::uint8_t {
+  kReachable,       // some forwarding path delivers source -> destination
+  kUnreachable,     // no forwarding path delivers
+  kMaxPathLength,   // every delivering path has at most `bound` hops
+  kMinEcmpPaths,    // at least `bound` distinct delivering paths exist
+  kTraverses,       // some delivering path passes through device `via`
+  kAvoids,          // no delivering path passes through device `via`
+};
+
+[[nodiscard]] std::string_view to_string(BeliefKind kind);
+
+struct Belief {
+  BeliefKind kind = BeliefKind::kReachable;
+  /// Source ToR.
+  topo::DeviceId source = topo::kInvalidDevice;
+  /// Destination: a hosted prefix.
+  net::Prefix destination;
+  /// Bound for kMaxPathLength / kMinEcmpPaths.
+  std::uint64_t bound = 0;
+  /// Waypoint for kTraverses / kAvoids.
+  topo::DeviceId via = topo::kInvalidDevice;
+
+  [[nodiscard]] std::string to_string(const topo::Topology& topology) const;
+};
+
+struct BeliefResult {
+  Belief belief;
+  bool holds = false;
+  /// What was observed, e.g. "4 paths, lengths 4..4".
+  std::string observed;
+};
+
+/// Checks beliefs against the forwarding state one destination at a time,
+/// by traversing the per-destination forwarding graph induced by the FIBs
+/// (longest-prefix match per device, like the global checker).
+class BeliefChecker {
+ public:
+  BeliefChecker(const topo::MetadataService& metadata, const FibSource& fibs)
+      : metadata_(&metadata), fibs_(&fibs) {}
+
+  [[nodiscard]] BeliefResult check(const Belief& belief) const;
+  [[nodiscard]] std::vector<BeliefResult> check_all(
+      const std::vector<Belief>& beliefs) const;
+
+ private:
+  const topo::MetadataService* metadata_;
+  const FibSource* fibs_;
+};
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,114 @@
+#include "rcdc/beliefs_io.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "net/error.hpp"
+
+namespace dcv::rcdc {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ParseError("beliefs line " + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+std::vector<Belief> parse_beliefs(std::string_view text,
+                                  const topo::Topology& topology) {
+  std::vector<Belief> beliefs;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string kind_text;
+    if (!(tokens >> kind_text) || kind_text.front() == '#') continue;
+
+    Belief belief;
+    bool needs_bound = false;
+    bool needs_via = false;
+    if (kind_text == "reachable") {
+      belief.kind = BeliefKind::kReachable;
+    } else if (kind_text == "unreachable") {
+      belief.kind = BeliefKind::kUnreachable;
+    } else if (kind_text == "max-path-length") {
+      belief.kind = BeliefKind::kMaxPathLength;
+      needs_bound = true;
+    } else if (kind_text == "min-ecmp-paths") {
+      belief.kind = BeliefKind::kMinEcmpPaths;
+      needs_bound = true;
+    } else if (kind_text == "traverses") {
+      belief.kind = BeliefKind::kTraverses;
+      needs_via = true;
+    } else if (kind_text == "avoids") {
+      belief.kind = BeliefKind::kAvoids;
+      needs_via = true;
+    } else {
+      fail(line_number, "unknown belief kind '" + kind_text + "'");
+    }
+
+    std::string source_name, prefix_text;
+    if (!(tokens >> source_name >> prefix_text)) {
+      fail(line_number, "expected <source-device> <prefix>");
+    }
+    const auto source = topology.find_device(source_name);
+    if (!source) fail(line_number, "unknown device '" + source_name + "'");
+    belief.source = *source;
+    belief.destination = net::Prefix::parse(prefix_text);
+
+    if (needs_bound) {
+      std::string bound_text;
+      if (!(tokens >> bound_text)) fail(line_number, "missing bound");
+      const auto [next, ec] =
+          std::from_chars(bound_text.data(),
+                          bound_text.data() + bound_text.size(),
+                          belief.bound);
+      if (ec != std::errc{} ||
+          next != bound_text.data() + bound_text.size()) {
+        fail(line_number, "bad bound '" + bound_text + "'");
+      }
+    }
+    if (needs_via) {
+      std::string via_name;
+      if (!(tokens >> via_name)) fail(line_number, "missing via device");
+      const auto via = topology.find_device(via_name);
+      if (!via) fail(line_number, "unknown device '" + via_name + "'");
+      belief.via = *via;
+    }
+    std::string extra;
+    if (tokens >> extra) {
+      fail(line_number, "trailing token '" + extra + "'");
+    }
+    beliefs.push_back(belief);
+  }
+  return beliefs;
+}
+
+std::string write_beliefs(const std::vector<Belief>& beliefs,
+                          const topo::Topology& topology) {
+  std::ostringstream out;
+  for (const Belief& belief : beliefs) {
+    out << to_string(belief.kind) << " "
+        << topology.device(belief.source).name << " "
+        << belief.destination.to_string();
+    switch (belief.kind) {
+      case BeliefKind::kMaxPathLength:
+      case BeliefKind::kMinEcmpPaths:
+        out << " " << belief.bound;
+        break;
+      case BeliefKind::kTraverses:
+      case BeliefKind::kAvoids:
+        out << " " << topology.device(belief.via).name;
+        break;
+      default:
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dcv::rcdc

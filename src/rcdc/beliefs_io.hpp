@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rcdc/beliefs.hpp"
+
+namespace dcv::rcdc {
+
+/// Text format for belief files, one belief per line:
+///
+///   # comments allowed
+///   reachable        <source-device> <prefix>
+///   unreachable      <source-device> <prefix>
+///   max-path-length  <source-device> <prefix> <bound>
+///   min-ecmp-paths   <source-device> <prefix> <bound>
+///   traverses        <source-device> <prefix> <device>
+///   avoids           <source-device> <prefix> <device>
+///
+/// Device names resolve against the given topology. Throws dcv::ParseError
+/// with a line number on malformed input.
+[[nodiscard]] std::vector<Belief> parse_beliefs(
+    std::string_view text, const topo::Topology& topology);
+
+/// Renders beliefs back to the same format.
+[[nodiscard]] std::string write_beliefs(const std::vector<Belief>& beliefs,
+                                        const topo::Topology& topology);
+
+}  // namespace dcv::rcdc

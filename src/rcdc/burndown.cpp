@@ -1,0 +1,170 @@
+#include "rcdc/burndown.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "rcdc/fib_source.hpp"
+#include "rcdc/severity.hpp"
+#include "rcdc/validator.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/faults.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::rcdc {
+
+namespace {
+
+using topo::DeviceFaultKind;
+using topo::DeviceRole;
+using topo::FaultInjector;
+using topo::FaultRecord;
+using topo::Topology;
+
+/// Injects one random fault drawn from the production mix of §2.6.2:
+/// mostly link-level hardware failures and operational BGP shutdowns, with
+/// a tail of device software/policy faults.
+void inject_random_fault(FaultInjector& injector, const Topology& topology,
+                         std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> pick(0.0, 1.0);
+  const double p = pick(rng);
+  if (p < 0.5) {
+    injector.random_link_failures(1);
+  } else if (p < 0.8) {
+    injector.random_bgp_shutdowns(1);
+  } else {
+    static constexpr DeviceFaultKind kKinds[] = {
+        DeviceFaultKind::kRibFibInconsistency,
+        DeviceFaultKind::kLayer2InterfaceBug,
+        DeviceFaultKind::kEcmpSingleNextHop,
+        DeviceFaultKind::kRejectDefaultRoute,
+    };
+    static constexpr DeviceRole kRoles[] = {
+        DeviceRole::kTor, DeviceRole::kLeaf, DeviceRole::kSpine};
+    std::uniform_int_distribution<std::size_t> kind_pick(0, 3);
+    std::uniform_int_distribution<std::size_t> role_pick(0, 2);
+    injector.random_device_faults(1, kRoles[role_pick(rng)],
+                                  kKinds[kind_pick(rng)]);
+  }
+  (void)topology;
+}
+
+/// Tier rank used to find the endpoint for which a link is an *uplink*.
+int tier(DeviceRole role) {
+  switch (role) {
+    case DeviceRole::kTor:
+      return 0;
+    case DeviceRole::kLeaf:
+      return 1;
+    case DeviceRole::kSpine:
+      return 2;
+    case DeviceRole::kRegionalSpine:
+      return 3;
+  }
+  return 0;
+}
+
+/// The §2.6.4 risk rubric applied to a fault itself: how many servers does
+/// the faulted element carry, and how close is it to causing impact? A
+/// link fault removes one uplink from its lower-tier endpoint; it is
+/// high-risk when that device is one more failure away from losing its
+/// last uplink ("any additional failure can isolate the top-of-rack
+/// switch").
+RiskLevel fault_risk(const FaultRecord& record, const Topology& topology) {
+  if (record.kind == FaultRecord::Kind::kDeviceFault) {
+    // All four device-fault modes threaten the default route or the whole
+    // ECMP fan-out at once.
+    return RiskLevel::kHigh;
+  }
+  const topo::Link& link = topology.link(record.link);
+  const topo::Device& a = topology.device(link.a);
+  const topo::Device& b = topology.device(link.b);
+  const topo::Device& lower = tier(a.role) <= tier(b.role) ? a : b;
+  const DeviceRole uplink_role =
+      lower.role == DeviceRole::kTor    ? DeviceRole::kLeaf
+      : lower.role == DeviceRole::kLeaf ? DeviceRole::kSpine
+                                        : DeviceRole::kRegionalSpine;
+  std::size_t usable_uplinks = 0;
+  for (const topo::LinkId lid : topology.links_of(lower.id)) {
+    const topo::Link& l = topology.link(lid);
+    if (l.usable() &&
+        topology.device(l.other(lower.id)).role == uplink_role) {
+      ++usable_uplinks;
+    }
+  }
+  return usable_uplinks <= 1 ? RiskLevel::kHigh : RiskLevel::kLow;
+}
+
+}  // namespace
+
+std::vector<BurndownDay> simulate_burndown(const BurndownConfig& config) {
+  Topology topology = topo::build_clos(config.datacenter);
+  const topo::MetadataService metadata(topology);
+  FaultInjector injector(topology, config.seed);
+  std::mt19937_64 rng(config.seed ^ 0x9E3779B97F4A7C15ull);
+  std::poisson_distribution<int> arrivals(config.fault_arrival_rate);
+
+  for (std::size_t i = 0; i < config.initial_faults; ++i) {
+    inject_random_fault(injector, topology, rng);
+  }
+
+  std::vector<BurndownDay> series;
+  series.reserve(static_cast<std::size_t>(config.days));
+  std::size_t peak_total = 1;
+
+  for (int day = 0; day < config.days; ++day) {
+    for (int i = arrivals(rng); i > 0; --i) {
+      inject_random_fault(injector, topology, rng);
+    }
+
+    BurndownDay today{.day = day};
+
+    if (day >= config.rcdc_deploy_day) {
+      // RCDC runs: simulate routing over the faulty network, validate every
+      // device locally, and count what the contracts catch.
+      const routing::BgpSimulator simulator(topology, &injector);
+      const SimulatorFibSource fibs(simulator);
+      const DatacenterValidator validator(metadata, fibs,
+                                          make_trie_verifier_factory());
+      today.violations_detected = validator.run(/*threads=*/2)
+                                      .violations.size();
+
+      // Remediation in risk order, bounded by daily capacity.
+      const auto remediate = [&](RiskLevel level, std::size_t capacity) {
+        std::size_t fixed = 0;
+        while (fixed < capacity) {
+          const auto& records = injector.records();
+          const auto it = std::find_if(
+              records.begin(), records.end(), [&](const FaultRecord& r) {
+                return fault_risk(r, topology) == level;
+              });
+          if (it == records.end()) break;
+          injector.repair(
+              static_cast<std::size_t>(it - records.begin()));
+          ++fixed;
+        }
+        return fixed;
+      };
+      today.remediated_today =
+          remediate(RiskLevel::kHigh, config.high_risk_capacity_per_day) +
+          remediate(RiskLevel::kLow, config.low_risk_capacity_per_day);
+    }
+
+    for (const FaultRecord& record : injector.records()) {
+      if (fault_risk(record, topology) == RiskLevel::kHigh) {
+        ++today.outstanding_high;
+      } else {
+        ++today.outstanding_low;
+      }
+    }
+    peak_total = std::max(peak_total,
+                          today.outstanding_high + today.outstanding_low);
+    today.high_fraction = static_cast<double>(today.outstanding_high) /
+                          static_cast<double>(peak_total);
+    today.low_fraction = static_cast<double>(today.outstanding_low) /
+                         static_cast<double>(peak_total);
+    series.push_back(today);
+  }
+  return series;
+}
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "rcdc/contract.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::rcdc {
+
+/// Options controlling contract generation.
+struct ContractGenOptions {
+  /// Also generate (cardinality-style) contracts for regional spines. The
+  /// paper's Figure 3 walkthrough checks R devices too.
+  bool include_regional_spines = true;
+};
+
+/// The device contract generator of §2.4 and Figure 5: consumes facts from
+/// the metadata service and derives, for every device, the full contract
+/// set implied by its architectural role:
+///
+///  * ToR (§2.4.1): default contract -> its leaf neighbors; one specific
+///    contract per datacenter prefix it does not itself host -> its leaf
+///    neighbors.
+///  * Leaf (§2.4.2): default contract -> its spine neighbors; own-cluster
+///    prefixes -> the hosting ToR; other-cluster prefixes -> the spine
+///    neighbors that serve the destination cluster.
+///  * Spine (§2.4.3): default contract -> its regional-spine neighbors; one
+///    specific contract per datacenter prefix -> its leaf neighbors in the
+///    cluster hosting the prefix.
+///  * Regional spine: one subset/cardinality contract per prefix -> its
+///    spine neighbors serving the hosting cluster (at least one of which
+///    must be present).
+///
+/// Contracts derive from the *expected* topology only; current link or
+/// session state never influences them (§2.4: "We create contracts based on
+/// expected topology, and therefore will ignore current state of the links
+/// when generating contracts").
+class ContractGenerator {
+ public:
+  explicit ContractGenerator(const topo::MetadataService& metadata,
+                             ContractGenOptions options = {})
+      : metadata_(&metadata), options_(options) {}
+
+  /// Contracts of one device. Deterministic; safe to call concurrently.
+  [[nodiscard]] std::vector<Contract> for_device(topo::DeviceId device) const;
+
+  /// Contracts for the whole datacenter, device by device.
+  [[nodiscard]] std::vector<DeviceContracts> generate_all() const;
+
+ private:
+  const topo::MetadataService* metadata_;
+  ContractGenOptions options_;
+};
+
+}  // namespace dcv::rcdc

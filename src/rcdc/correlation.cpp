@@ -1,0 +1,67 @@
+#include "rcdc/correlation.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dcv::rcdc {
+
+std::vector<RootCauseGroup> correlate(
+    const std::vector<Violation>& violations,
+    const topo::Topology& topology) {
+  const TriageEngine triage(topology);
+  const RiskPolicy risk(topology);
+
+  // Cause key: link id for link-level causes, ~device for the rest (kept
+  // disjoint by offsetting device keys past the link id space).
+  std::map<std::uint64_t, RootCauseGroup> groups;
+  for (const Violation& violation : violations) {
+    const TriageDecision decision = triage.triage(violation);
+    std::uint64_t key;
+    if (decision.link) {
+      key = *decision.link;
+    } else {
+      key = (std::uint64_t{1} << 32) + violation.device;
+    }
+    RootCauseGroup& group = groups[key];
+    if (group.violations.empty()) {
+      if (decision.link) {
+        const topo::Link& link = topology.link(*decision.link);
+        const char* what =
+            link.link_state == topo::LinkState::kDown
+                ? "operationally down"
+                : (link.bgp_state == topo::BgpSessionState::kAdminShutdown
+                       ? "BGP administratively shut"
+                       : "degraded");
+        group.cause = "link " + topology.device(link.a).name + "<->" +
+                      topology.device(link.b).name + " " + what;
+        group.link = decision.link;
+      } else {
+        group.cause = "device " + topology.device(violation.device).name +
+                      " (no link-level cause; suspected software/policy "
+                      "bug)";
+      }
+      group.action = decision.action;
+    }
+    if (risk.assess(violation).level == RiskLevel::kHigh) {
+      group.risk = RiskLevel::kHigh;
+    }
+    group.violations.push_back(violation);
+  }
+
+  std::vector<RootCauseGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) out.push_back(std::move(group));
+  std::sort(out.begin(), out.end(),
+            [](const RootCauseGroup& a, const RootCauseGroup& b) {
+              if (a.risk != b.risk) {
+                return a.risk == RiskLevel::kHigh;
+              }
+              if (a.violations.size() != b.violations.size()) {
+                return a.violations.size() > b.violations.size();
+              }
+              return a.cause < b.cause;
+            });
+  return out;
+}
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcdc/triage.hpp"
+
+namespace dcv::rcdc {
+
+/// A group of violations sharing one suspected root cause. A single link
+/// failure produces violations on many devices (both endpoints plus every
+/// upstream device that loses the specific route — cf. §2.4.4, where four
+/// link failures yield a dozen contract failures); operators act on causes,
+/// not on raw violations.
+struct RootCauseGroup {
+  /// Human-readable cause, e.g. "link ToR1<->A3 operationally down" or
+  /// "device ToR1 (no link-level cause; suspected software/policy bug)".
+  std::string cause;
+  RemediationAction action = RemediationAction::kEscalateToOperator;
+  /// Highest risk among the grouped violations.
+  RiskLevel risk = RiskLevel::kLow;
+  /// The implicated link, if the cause is link-level.
+  std::optional<topo::LinkId> link;
+  std::vector<Violation> violations;
+};
+
+/// The correlation step of the alert path (§2.6.1: "alerts and remediations
+/// are triggered by a set of queries that correlate the validation errors
+/// with additional metadata, classify errors, and direct them appropriately
+/// for remediation"): violations whose triage implicates the same link are
+/// grouped; violations with no link-level cause are grouped per device.
+/// Groups are ordered highest risk first, larger groups first within a
+/// risk class (§2.6.4: remediate in order of severity).
+[[nodiscard]] std::vector<RootCauseGroup> correlate(
+    const std::vector<Violation>& violations,
+    const topo::Topology& topology);
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "routing/aggregation.hpp"
+#include "routing/bgp_sim.hpp"
+#include "routing/fib.hpp"
+#include "routing/fib_synthesizer.hpp"
+#include "topology/device.hpp"
+
+namespace dcv::rcdc {
+
+/// Where device FIBs come from. In production this is the routing-table
+/// puller of Figure 5 talking to live devices; here implementations wrap
+/// the EBGP simulator (faithful, including faults), the closed-form
+/// synthesizer (fault-free, arbitrarily large), or parsed device output.
+///
+/// fetch() must be safe to call concurrently: the datacenter validator
+/// fans fetches out across worker threads.
+class FibSource {
+ public:
+  virtual ~FibSource() = default;
+
+  FibSource() = default;
+  FibSource(const FibSource&) = delete;
+  FibSource& operator=(const FibSource&) = delete;
+
+  [[nodiscard]] virtual routing::ForwardingTable fetch(
+      topo::DeviceId device) const = 0;
+};
+
+/// FIBs produced by the EBGP route-propagation simulator over the current
+/// (possibly faulty) network state.
+class SimulatorFibSource final : public FibSource {
+ public:
+  explicit SimulatorFibSource(const routing::BgpSimulator& simulator)
+      : simulator_(&simulator) {}
+
+  [[nodiscard]] routing::ForwardingTable fetch(
+      topo::DeviceId device) const override {
+    return simulator_->fib(device);
+  }
+
+ private:
+  const routing::BgpSimulator* simulator_;
+};
+
+/// Decorator applying configured cluster-route aggregation (leaf-originated
+/// aggregates with discard routes; aggregates instead of specifics at the
+/// spine and regional layers) — the design §2.1 rejects, kept for the
+/// black-holing ablation (routing::aggregate_cluster_routes).
+class AggregatingFibSource final : public FibSource {
+ public:
+  AggregatingFibSource(const FibSource& inner,
+                       const topo::MetadataService& metadata)
+      : inner_(&inner), metadata_(&metadata) {}
+
+  [[nodiscard]] routing::ForwardingTable fetch(
+      topo::DeviceId device) const override {
+    return routing::aggregate_cluster_routes(inner_->fetch(device),
+                                             *metadata_, device);
+  }
+
+ private:
+  const FibSource* inner_;
+  const topo::MetadataService* metadata_;
+};
+
+/// Fault-free converged FIBs synthesized on demand from metadata; O(1)
+/// memory regardless of datacenter size, used for scale benchmarks.
+class SynthesizedFibSource final : public FibSource {
+ public:
+  explicit SynthesizedFibSource(const routing::FibSynthesizer& synthesizer)
+      : synthesizer_(&synthesizer) {}
+
+  [[nodiscard]] routing::ForwardingTable fetch(
+      topo::DeviceId device) const override {
+    return synthesizer_->fib(device);
+  }
+
+ private:
+  const routing::FibSynthesizer* synthesizer_;
+};
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rcdc/fib_source.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::rcdc {
+
+/// Outcome for one (source ToR, destination prefix) pair.
+struct PairOutcome {
+  topo::DeviceId source = topo::kInvalidDevice;
+  net::Prefix destination;
+  bool reachable = false;
+  /// Every forwarding path has the intended shortest length (2 intra-
+  /// cluster, 4 inter-cluster; Intent 2).
+  bool shortest = false;
+  /// The number of distinct forwarding paths equals the maximal redundant
+  /// set implied by the architecture (Intent 3).
+  bool fully_redundant = false;
+  std::uint64_t path_count = 0;
+  std::uint64_t expected_path_count = 0;
+  int min_length = 0;
+  int max_length = 0;
+  bool loop = false;
+};
+
+/// Aggregate result of the global check.
+struct GlobalCheckResult {
+  std::size_t pairs_checked = 0;
+  std::size_t pairs_reachable = 0;
+  std::size_t pairs_shortest = 0;
+  std::size_t pairs_fully_redundant = 0;
+  /// Pairs whose forwarding graph contains a loop (§2.1's black-holing
+  /// hazard; see routing::aggregate_cluster_routes).
+  std::size_t pairs_with_loops = 0;
+  std::uint64_t total_paths = 0;
+  std::uint64_t max_paths_per_pair = 0;
+  /// Human-readable descriptions of failing pairs (capped).
+  std::vector<std::string> failures;
+  /// Time spent materializing the global FIB snapshot.
+  std::chrono::nanoseconds snapshot_time{0};
+  /// Time spent on the all-pairs analysis itself.
+  std::chrono::nanoseconds analysis_time{0};
+
+  [[nodiscard]] bool all_ok() const {
+    return pairs_checked == pairs_fully_redundant &&
+           pairs_checked == pairs_shortest &&
+           pairs_checked == pairs_reachable;
+  }
+};
+
+/// The *global* verification baseline RCDC bypasses (§2.4): materialize a
+/// snapshot of every FIB in the datacenter, then verify all-pairs ToR
+/// reachability, shortest paths, and full ECMP redundancy by traversing the
+/// composite forwarding graph per destination prefix.
+///
+/// Even with dynamic programming (counting paths instead of enumerating the
+/// exponentially many of them), this requires O(all FIBs) memory and
+/// O(prefixes × (V + E)) time — in contrast to local validation, which
+/// holds one device at a time and parallelizes freely. The crossover is the
+/// subject of the bench_global_vs_local experiment (C4).
+class GlobalChecker {
+ public:
+  GlobalChecker(const topo::MetadataService& metadata, const FibSource& fibs)
+      : metadata_(&metadata), fibs_(&fibs) {}
+
+  /// Verifies every (source ToR, destination prefix) pair within each
+  /// datacenter. `max_failures` caps the textual failure report.
+  [[nodiscard]] GlobalCheckResult check_all_pairs(
+      std::size_t max_failures = 100) const;
+
+ private:
+  const topo::MetadataService* metadata_;
+  const FibSource* fibs_;
+};
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,97 @@
+#include "rcdc/incremental.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace dcv::rcdc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+void mix(std::uint64_t& hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const routing::ForwardingTable& fib) {
+  std::uint64_t hash = kFnvOffset;
+  for (const routing::Rule& rule : fib.rules()) {
+    mix(hash, rule.prefix.network().value());
+    mix(hash, static_cast<std::uint64_t>(rule.prefix.length()));
+    mix(hash, rule.connected ? 1 : 0);
+    for (const topo::DeviceId hop : rule.next_hops) mix(hash, hop);
+  }
+  // Reserve 0 as the "never validated" sentinel.
+  return hash == 0 ? 1 : hash;
+}
+
+IncrementalValidator::IncrementalValidator(
+    const topo::MetadataService& metadata, VerifierFactory verifier_factory,
+    ContractGenOptions options)
+    : metadata_(&metadata),
+      verifier_factory_(std::move(verifier_factory)),
+      generator_(metadata, options),
+      fingerprints_(metadata.topology().device_count(), 0),
+      cached_violations_(metadata.topology().device_count()) {}
+
+IncrementalValidator::CycleResult IncrementalValidator::run_cycle(
+    const FibSource& fibs, unsigned threads) {
+  const std::size_t device_count = metadata_->topology().device_count();
+  threads = std::max(1u, threads);
+
+  std::atomic<std::size_t> next_index{0};
+  std::atomic<std::size_t> revalidated{0};
+  std::atomic<std::size_t> contracts_checked{0};
+
+  const auto worker = [&] {
+    const auto verifier = verifier_factory_();
+    while (true) {
+      const std::size_t device =
+          next_index.fetch_add(1, std::memory_order_relaxed);
+      if (device >= device_count) break;
+      const routing::ForwardingTable fib =
+          fibs.fetch(static_cast<topo::DeviceId>(device));
+      const std::uint64_t print = fingerprint(fib);
+      if (print == fingerprints_[device]) continue;  // unchanged: reuse
+      const auto contracts =
+          generator_.for_device(static_cast<topo::DeviceId>(device));
+      cached_violations_[device] = verifier->check(
+          fib, contracts, static_cast<topo::DeviceId>(device));
+      fingerprints_[device] = print;
+      revalidated.fetch_add(1, std::memory_order_relaxed);
+      contracts_checked.fetch_add(contracts.size(),
+                                  std::memory_order_relaxed);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }
+
+  CycleResult result;
+  result.devices_total = device_count;
+  result.devices_revalidated = revalidated.load();
+  result.contracts_checked = contracts_checked.load();
+  for (const auto& device_violations : cached_violations_) {
+    result.violations.insert(result.violations.end(),
+                             device_violations.begin(),
+                             device_violations.end());
+  }
+  return result;
+}
+
+void IncrementalValidator::reset() {
+  std::fill(fingerprints_.begin(), fingerprints_.end(), 0);
+  for (auto& cache : cached_violations_) cache.clear();
+}
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,61 @@
+#include "rcdc/linear_verifier.hpp"
+
+#include "net/interval.hpp"
+
+namespace dcv::rcdc {
+
+std::vector<Violation> LinearVerifier::check(
+    const routing::ForwardingTable& fib, std::span<const Contract> contracts,
+    topo::DeviceId device) {
+  std::vector<Violation> violations;
+
+  for (const Contract& contract : contracts) {
+    if (contract.kind == ContractKind::kDefault) {
+      check_default_contract(fib, contract, device, violations);
+      continue;
+    }
+
+    const auto range = net::AddressInterval::from_prefix(contract.prefix);
+    net::IntervalSet covered;
+    bool complete = false;
+    // fib.rules() is already in descending prefix-length order; the linear
+    // scan filters the related set on the fly.
+    for (const routing::Rule& rule : fib.rules()) {
+      if (!rule.prefix.overlaps(contract.prefix)) continue;
+      const auto slice = contract.prefix.contains(rule.prefix)
+                             ? net::AddressInterval::from_prefix(rule.prefix)
+                             : range;
+      if (!covered.covers(slice)) {
+        const bool default_disallowed =
+            rule.prefix.is_default() && !contract.allow_default_route;
+        if (!rule.connected &&
+            (default_disallowed ||
+             !hops_satisfy(rule.next_hops, contract))) {
+          violations.push_back(Violation{
+              .device = device,
+              .contract = contract,
+              .kind = default_disallowed
+                          ? ViolationKind::kSpecificViaDefaultRoute
+                          : ViolationKind::kWrongNextHops,
+              .rule_prefix = rule.prefix,
+              .actual_next_hops = rule.next_hops});
+        }
+      }
+      covered.add(slice);
+      if (covered.covers(range)) {
+        complete = true;
+        break;
+      }
+    }
+    if (!complete && !covered.covers(range)) {
+      violations.push_back(Violation{.device = device,
+                                     .contract = contract,
+                                     .kind = ViolationKind::kUnreachableRange,
+                                     .rule_prefix = contract.prefix,
+                                     .actual_next_hops = {}});
+    }
+  }
+  return violations;
+}
+
+}  // namespace dcv::rcdc

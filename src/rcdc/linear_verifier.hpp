@@ -1,0 +1,26 @@
+#pragma once
+
+#include "rcdc/verifier.hpp"
+
+namespace dcv::rcdc {
+
+/// Ablation baseline for the trie engine: identical semantics, but the
+/// candidate set of §2.5.2,
+///
+///   { r | C.range ⊆ r.prefix ∨ r.prefix ⊆ C.range },
+///
+/// is collected by a linear scan over the whole policy instead of a trie
+/// traversal. Per-contract cost is O(|policy|) instead of O(depth +
+/// |related|), so verifying all contracts of a device is quadratic in its
+/// table size — this engine exists to quantify exactly what the
+/// hash-trie buys (§2.5.2: "Collecting this set of rules is efficient ...
+/// because traversal of the hash-trie can be limited to nodes that
+/// correspond to rules that are returned").
+class LinearVerifier final : public Verifier {
+ public:
+  [[nodiscard]] std::vector<Violation> check(
+      const routing::ForwardingTable& fib, std::span<const Contract> contracts,
+      topo::DeviceId device) override;
+};
+
+}  // namespace dcv::rcdc

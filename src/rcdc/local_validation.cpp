@@ -1,0 +1,142 @@
+#include "rcdc/local_validation.hpp"
+
+#include <algorithm>
+
+namespace dcv::rcdc {
+
+namespace {
+
+using topo::Device;
+using topo::DeviceRole;
+
+}  // namespace
+
+std::optional<int> LocalValidationFramework::delta(
+    const net::Prefix& prefix, topo::DeviceId device) const {
+  const auto fact = metadata_->locate(prefix);
+  if (!fact) return std::nullopt;
+  const topo::Topology& topology = metadata_->topology();
+  const Device& d = topology.device(device);
+  const Device& host = topology.device(fact->tor);
+  if (d.role != DeviceRole::kRegionalSpine &&
+      d.datacenter != host.datacenter) {
+    return std::nullopt;  // ranks are defined within one datacenter fabric
+  }
+  switch (d.role) {
+    case DeviceRole::kTor:
+      if (d.id == fact->tor) return 0;
+      return d.cluster == fact->cluster ? 2 : 4;
+    case DeviceRole::kLeaf:
+      return d.cluster == fact->cluster ? 1 : 3;
+    case DeviceRole::kSpine:
+      return 2;
+    case DeviceRole::kRegionalSpine:
+      return 3;
+  }
+  return std::nullopt;
+}
+
+std::size_t LocalValidationFramework::cardinality_bound(
+    const net::Prefix& prefix, topo::DeviceId device) const {
+  const auto fact = metadata_->locate(prefix);
+  if (!fact) return 0;
+  const auto rank = delta(prefix, device);
+  if (!rank || *rank == 0) return 0;
+  const topo::Topology& topology = metadata_->topology();
+  const Device& d = topology.device(device);
+  switch (d.role) {
+    case DeviceRole::kTor:
+      return topology.neighbors_with_role(device, DeviceRole::kLeaf).size();
+    case DeviceRole::kLeaf:
+      if (d.cluster == fact->cluster) return 1;  // the hosting ToR
+      return metadata_->leaf_uplinks_toward(device, fact->cluster).size();
+    case DeviceRole::kSpine:
+      return metadata_->spine_downlinks_into(device, fact->cluster).size();
+    case DeviceRole::kRegionalSpine:
+      // Regional contracts are cardinality-style with a bound of one
+      // (§2.4.5: "C(h, v) > 0 whenever δ(h, v) > 0").
+      return metadata_->regional_downlinks_toward(device, fact->cluster)
+                     .empty()
+                 ? 0
+                 : 1;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Shared condition check for one forwarding decision.
+void check_decision(const LocalValidationFramework& framework,
+                    topo::DeviceId device, const net::Prefix& prefix,
+                    const std::vector<topo::DeviceId>& next_hops, int rank,
+                    std::size_t bound,
+                    std::vector<LocalValidationFramework::Issue>& out) {
+  if (next_hops.size() < bound) {
+    out.push_back({device, prefix,
+                   "cardinality bound violated: " +
+                       std::to_string(next_hops.size()) + " next hops < C = " +
+                       std::to_string(bound)});
+  }
+  for (const topo::DeviceId hop : next_hops) {
+    const auto hop_rank = framework.delta(prefix, hop);
+    if (!hop_rank || *hop_rank >= rank) {
+      out.push_back(
+          {device, prefix,
+           "rank does not decrease toward device " + std::to_string(hop) +
+               ": delta " + std::to_string(rank) + " -> " +
+               (hop_rank ? std::to_string(*hop_rank) : "undefined")});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LocalValidationFramework::Issue>
+LocalValidationFramework::check_fib(topo::DeviceId device,
+                                    const routing::ForwardingTable& fib) const {
+  std::vector<Issue> issues;
+  for (const topo::PrefixFact& fact : metadata_->all_prefixes()) {
+    const auto rank = delta(fact.prefix, device);
+    if (!rank || *rank == 0) continue;
+    const std::size_t bound = cardinality_bound(fact.prefix, device);
+    if (bound == 0) continue;  // device plays no role for this prefix
+    const routing::Rule* rule = fib.lookup(fact.prefix.first());
+    if (rule == nullptr || rule->connected) {
+      issues.push_back({device, fact.prefix,
+                        "no forwarding decision for ranked prefix"});
+      continue;
+    }
+    check_decision(*this, device, fact.prefix, rule->next_hops, *rank, bound,
+                   issues);
+  }
+  return issues;
+}
+
+std::vector<LocalValidationFramework::Issue>
+LocalValidationFramework::check_contracts(
+    topo::DeviceId device, std::span<const Contract> contracts) const {
+  std::vector<Issue> issues;
+  for (const Contract& contract : contracts) {
+    if (contract.kind != ContractKind::kSpecific) continue;
+    const auto rank = delta(contract.prefix, device);
+    if (!rank) {
+      issues.push_back({device, contract.prefix,
+                        "contract for prefix with undefined rank"});
+      continue;
+    }
+    if (*rank == 0) {
+      issues.push_back({device, contract.prefix,
+                        "contract generated for the destination itself"});
+      continue;
+    }
+    const std::size_t bound =
+        contract.mode == MatchMode::kSubsetAtLeast
+            ? contract.min_next_hops
+            : cardinality_bound(contract.prefix, device);
+    check_decision(*this, device, contract.prefix,
+                   contract.expected_next_hops, *rank, bound, issues);
+  }
+  return issues;
+}
+
+}  // namespace dcv::rcdc

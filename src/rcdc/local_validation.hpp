@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rcdc/contract.hpp"
+#include "routing/fib.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::rcdc {
+
+/// The abstract local-validation framework of §2.4.5: local validation of
+/// policies P_v : H -> 2^(H x V) is sound when there is a rank function
+/// δ : H x V -> N such that
+///
+///   (1) every next hop strictly decreases δ:
+///         (h', v') ∈ P_v(h)  ⇒  δ(h, v) > δ(h', v'),
+///   (2) δ(h, v) = 0 exactly when v is the intended destination for h, and
+///   (3) a cardinality bound C : H x V -> N with C(h, v) > 0 whenever
+///       δ(h, v) > 0 is met: |{v' | (h', v') ∈ P_v(h)}| ≥ C(h, v).
+///
+/// Headers never rewrite in our setting, so H collapses to destination
+/// prefixes. The rank is the architectural distance-to-destination:
+///
+///   destination ToR 0; leaves of its cluster 1; ToRs of its cluster and
+///   spines serving it 2; other leaves and regional spines 3; other ToRs 4.
+///
+/// Condition (1) over every device's policy implies loop freedom and
+/// shortest-path forwarding; together with (3) it yields Claim 1 — local
+/// contracts imply global all-pairs reachability over the maximal redundant
+/// shortest paths. check_contracts() verifies that *generated contracts*
+/// satisfy the conditions (the inductive-invariant proof obligation);
+/// check_fib() verifies a *deployed policy* directly against the framework.
+class LocalValidationFramework {
+ public:
+  explicit LocalValidationFramework(const topo::MetadataService& metadata)
+      : metadata_(&metadata) {}
+
+  /// δ(prefix, device): architectural distance from `device` to the ToR
+  /// hosting `prefix`. nullopt when the device is outside the destination's
+  /// datacenter fabric (no rank is defined, e.g. across datacenters) or the
+  /// prefix is not hosted.
+  [[nodiscard]] std::optional<int> delta(const net::Prefix& prefix,
+                                         topo::DeviceId device) const;
+
+  /// C(prefix, device): the expected redundant fan-out toward the prefix;
+  /// 0 when δ is 0 or undefined.
+  [[nodiscard]] std::size_t cardinality_bound(const net::Prefix& prefix,
+                                              topo::DeviceId device) const;
+
+  /// A violation of one of the framework's conditions.
+  struct Issue {
+    topo::DeviceId device = topo::kInvalidDevice;
+    net::Prefix prefix;
+    std::string message;
+  };
+
+  /// Checks a deployed policy: for every hosted prefix ranked on this
+  /// device, the FIB's forwarding decision must decrease δ and meet the
+  /// cardinality bound.
+  [[nodiscard]] std::vector<Issue> check_fib(
+      topo::DeviceId device, const routing::ForwardingTable& fib) const;
+
+  /// Checks generated contracts against the framework: every expected next
+  /// hop decreases δ and the expected fan-out meets C. This is the static
+  /// proof obligation showing the contract set is self-consistent.
+  [[nodiscard]] std::vector<Issue> check_contracts(
+      topo::DeviceId device, std::span<const Contract> contracts) const;
+
+ private:
+  const topo::MetadataService* metadata_;
+};
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,180 @@
+#include "rcdc/pipeline.hpp"
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace dcv::rcdc {
+
+namespace {
+
+/// The cloud-queue stand-in: a bounded MPMC queue of notifications. The
+/// puller posts "routing table ready for device X"; validators consume.
+template <typename T>
+class NotificationQueue {
+ public:
+  void push(T item) {
+    {
+      const std::lock_guard lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      const std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+struct Notification {
+  topo::DeviceId device = topo::kInvalidDevice;
+  routing::ForwardingTable fib;
+  std::chrono::nanoseconds simulated_fetch{0};
+};
+
+}  // namespace
+
+MonitoringPipeline::MonitoringPipeline(const topo::MetadataService& metadata,
+                                       const FibSource& fibs,
+                                       VerifierFactory verifier_factory,
+                                       PipelineConfig config)
+    : metadata_(&metadata),
+      fibs_(&fibs),
+      verifier_factory_(std::move(verifier_factory)),
+      config_(config) {}
+
+PipelineStats MonitoringPipeline::run_cycle() {
+  const auto start = std::chrono::steady_clock::now();
+  PipelineStats stats;
+
+  // Stage 1 — device contract generator: contracts for every device into
+  // the (read-only after this point) contract store.
+  const ContractGenerator generator(*metadata_);
+  const auto contract_store = generator.generate_all();
+  std::vector<topo::DeviceId> devices;
+  for (const DeviceContracts& entry : contract_store) {
+    if (!entry.contracts.empty()) devices.push_back(entry.device);
+  }
+  stats.devices = devices.size();
+
+  NotificationQueue<Notification> queue;
+  std::atomic<std::size_t> next_device{0};
+  std::atomic<std::uint64_t> fetch_total_ns{0};
+  std::atomic<std::uint64_t> validate_total_ns{0};
+  std::atomic<std::size_t> contracts_checked{0};
+  std::atomic<std::size_t> violation_count{0};
+  std::atomic<std::size_t> alerts_high{0};
+  std::atomic<std::size_t> alerts_low{0};
+  std::mutex sink_mutex;
+  const RiskPolicy risk(metadata_->topology());
+
+  // Stage 2 — routing-table puller: fetch each device's table (with the
+  // production fetch latency, scaled) and post a notification.
+  const auto puller = [&](unsigned worker) {
+    std::mt19937_64 rng(config_.seed * 1315423911u + worker);
+    std::uniform_int_distribution<std::int64_t> latency_us(
+        config_.fetch_latency_min.count(), config_.fetch_latency_max.count());
+    while (true) {
+      const std::size_t i =
+          next_device.fetch_add(1, std::memory_order_relaxed);
+      if (i >= devices.size()) break;
+      const auto simulated = std::chrono::microseconds(latency_us(rng));
+      const auto scaled = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double, std::micro>(
+              static_cast<double>(simulated.count())) *
+          config_.time_scale);
+      if (scaled.count() > 0) std::this_thread::sleep_for(scaled);
+      Notification n{.device = devices[i],
+                     .fib = fibs_->fetch(devices[i]),
+                     .simulated_fetch = simulated};
+      fetch_total_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(simulated)
+                  .count()),
+          std::memory_order_relaxed);
+      queue.push(std::move(n));
+    }
+  };
+
+  // Stage 3 — routing-table validator: join table + contracts, verify,
+  // classify, alert.
+  const auto validator = [&] {
+    const auto verifier = verifier_factory_();
+    while (true) {
+      auto notification = queue.pop();
+      if (!notification) break;
+      const auto& contracts = contract_store[notification->device].contracts;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto violations =
+          verifier->check(notification->fib, contracts, notification->device);
+      const auto t1 = std::chrono::steady_clock::now();
+      validate_total_ns.fetch_add(
+          static_cast<std::uint64_t>((t1 - t0).count()),
+          std::memory_order_relaxed);
+      contracts_checked.fetch_add(contracts.size(),
+                                  std::memory_order_relaxed);
+      violation_count.fetch_add(violations.size(),
+                                std::memory_order_relaxed);
+      for (const Violation& v : violations) {
+        const RiskAssessment assessment = risk.assess(v);
+        if (assessment.level == RiskLevel::kHigh) {
+          alerts_high.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          alerts_low.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (alert_sink_) {
+          const std::lock_guard lock(sink_mutex);
+          alert_sink_(v, assessment);
+        }
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> validators;
+    validators.reserve(config_.validator_workers);
+    for (unsigned w = 0; w < std::max(1u, config_.validator_workers); ++w) {
+      validators.emplace_back(validator);
+    }
+    {
+      std::vector<std::jthread> pullers;
+      pullers.reserve(config_.puller_workers);
+      for (unsigned w = 0; w < std::max(1u, config_.puller_workers); ++w) {
+        pullers.emplace_back(puller, w);
+      }
+    }  // pullers joined: every notification has been posted
+    queue.close();
+  }  // validators joined: queue drained
+
+  stats.contracts_checked = contracts_checked.load();
+  stats.violations = violation_count.load();
+  stats.alerts_high = alerts_high.load();
+  stats.alerts_low = alerts_low.load();
+  stats.fetch_total = std::chrono::nanoseconds(fetch_total_ns.load());
+  stats.validate_total = std::chrono::nanoseconds(validate_total_ns.load());
+  stats.wall = std::chrono::steady_clock::now() - start;
+  return stats;
+}
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,82 @@
+#include "rcdc/precheck.hpp"
+
+#include <algorithm>
+
+#include "rcdc/fib_source.hpp"
+#include "rcdc/trie_verifier.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::rcdc {
+
+NetworkChange reassign_asn(std::string description, topo::DeviceId device,
+                           topo::Asn asn) {
+  return NetworkChange{.description = std::move(description),
+                       .apply = [device, asn](topo::Topology& topology) {
+                         topology.set_asn(device, asn);
+                       }};
+}
+
+NetworkChange shut_links(std::string description,
+                         std::vector<topo::LinkId> links) {
+  return NetworkChange{
+      .description = std::move(description),
+      .apply = [links = std::move(links)](topo::Topology& topology) {
+        for (const topo::LinkId link : links) {
+          topology.set_bgp_state(link, topo::BgpSessionState::kAdminShutdown);
+        }
+      }};
+}
+
+namespace {
+
+std::vector<Violation> validate_emulated(const topo::Topology& emulated,
+                                         const topo::MetadataService& intent,
+                                         ContractGenOptions options) {
+  const routing::BgpSimulator simulator(emulated);
+  const SimulatorFibSource fibs(simulator);
+  const DatacenterValidator validator(intent, fibs,
+                                      make_trie_verifier_factory(), options);
+  return validator.run(/*threads=*/2).violations;
+}
+
+}  // namespace
+
+PrecheckResult PrecheckPipeline::check(const NetworkChange& change) const {
+  PrecheckResult result;
+  result.description = change.description;
+
+  // Intent derives from the production architecture; the emulator clone
+  // carries the production state including any current drift.
+  const topo::MetadataService intent(*production_);
+
+  topo::Topology emulated = *production_;  // "same topology as production"
+  const auto baseline = validate_emulated(emulated, intent, options_);
+  result.baseline_violations = baseline.size();
+
+  change.apply(emulated);
+  auto post = validate_emulated(emulated, intent, options_);
+  result.post_change_violations = post.size();
+
+  // The change is charged only with violations absent from the baseline.
+  for (Violation& violation : post) {
+    if (std::find(baseline.begin(), baseline.end(), violation) ==
+        baseline.end()) {
+      result.introduced.push_back(std::move(violation));
+    }
+  }
+  result.approved = result.introduced.empty();
+  return result;
+}
+
+std::vector<PrecheckResult> PrecheckPipeline::check_rollout(
+    const std::vector<NetworkChange>& changes) const {
+  std::vector<PrecheckResult> results;
+  for (const NetworkChange& change : changes) {
+    results.push_back(check(change));
+    if (!results.back().approved) break;
+  }
+  return results;
+}
+
+}  // namespace dcv::rcdc

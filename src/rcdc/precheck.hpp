@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcdc/contract.hpp"
+#include "rcdc/validator.hpp"
+#include "topology/topology.hpp"
+
+namespace dcv::rcdc {
+
+/// A proposed network change: a description plus a mutation applied to an
+/// emulated copy of the network. Changes model what a rollout would do —
+/// ASN reassignments, link/session operations, device replacements.
+struct NetworkChange {
+  std::string description;
+  std::function<void(topo::Topology&)> apply;
+};
+
+/// Common change constructors.
+[[nodiscard]] NetworkChange reassign_asn(std::string description,
+                                         topo::DeviceId device,
+                                         topo::Asn asn);
+[[nodiscard]] NetworkChange shut_links(std::string description,
+                                       std::vector<topo::LinkId> links);
+
+/// Outcome of pre-checking one change.
+struct PrecheckResult {
+  std::string description;
+  bool approved = false;
+  /// Violations present on the emulated network *before* the change
+  /// (pre-existing drift is not held against the change).
+  std::size_t baseline_violations = 0;
+  /// Violations on the emulated network *after* the change.
+  std::size_t post_change_violations = 0;
+  /// The violations the change itself would introduce.
+  std::vector<Violation> introduced;
+};
+
+/// The §2.7 pre-check workflow (Figure 7): "To prevent a large class of
+/// faulty updates from entering in the first place Azure uses a
+/// high-fidelity network emulator. It runs a full stack of virtualized
+/// device software, connected with virtual links using the same topology
+/// as the production network. ... RCDC is then used on FIBs extracted from
+/// these networks, reporting the same class of errors as on the live
+/// network."
+///
+/// Here the emulator is the EBGP route-propagation simulator running on a
+/// cloned topology: the change is applied to the clone, routing re-runs,
+/// and the standard RCDC contract validation (same contracts, same
+/// verifiers as live monitoring) decides whether the change may roll out.
+/// A change is approved iff it introduces no violation beyond the
+/// emulated baseline.
+class PrecheckPipeline {
+ public:
+  /// `production` is cloned per check; contracts always derive from the
+  /// *expected* architecture, i.e. the unmodified metadata.
+  explicit PrecheckPipeline(const topo::Topology& production,
+                            ContractGenOptions options = {})
+      : production_(&production), options_(options) {}
+
+  [[nodiscard]] PrecheckResult check(const NetworkChange& change) const;
+
+  /// Checks a sequence of changes as one rollout, stopping at the first
+  /// rejection (later steps usually depend on earlier ones).
+  [[nodiscard]] std::vector<PrecheckResult> check_rollout(
+      const std::vector<NetworkChange>& changes) const;
+
+ private:
+  const topo::Topology* production_;
+  ContractGenOptions options_;
+};
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,117 @@
+#include "rcdc/report_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dcv::rcdc {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string write_report_json(const ValidationSummary& summary,
+                              const topo::Topology& topology,
+                              const ReportOptions& options) {
+  std::ostringstream out;
+  const char* nl = options.pretty ? "\n" : "";
+  const char* in1 = options.pretty ? "  " : "";
+  const char* in2 = options.pretty ? "    " : "";
+  const char* in3 = options.pretty ? "      " : "";
+
+  const RiskPolicy risk(topology);
+  const TriageEngine triage(topology);
+
+  out << "{" << nl;
+  out << in1 << "\"devices_checked\": " << summary.devices_checked << ","
+      << nl;
+  out << in1 << "\"contracts_checked\": " << summary.contracts_checked
+      << "," << nl;
+  out << in1 << "\"elapsed_ms\": "
+      << std::chrono::duration<double, std::milli>(summary.elapsed).count()
+      << "," << nl;
+  out << in1 << "\"violation_count\": " << summary.violations.size() << ","
+      << nl;
+  out << in1 << "\"violations\": [";
+
+  bool first = true;
+  for (const Violation& v : summary.violations) {
+    if (!first) out << ",";
+    first = false;
+    out << nl << in2 << "{" << nl;
+    out << in3 << "\"device\": \""
+        << json_escape(topology.device(v.device).name) << "\"," << nl;
+    out << in3 << "\"kind\": \"" << to_string(v.kind) << "\"," << nl;
+    out << in3 << "\"contract_kind\": \""
+        << (v.contract.kind == ContractKind::kDefault ? "default"
+                                                      : "specific")
+        << "\"," << nl;
+    out << in3 << "\"prefix\": \"" << v.contract.prefix.to_string() << "\","
+        << nl;
+    out << in3 << "\"rule_prefix\": \"" << v.rule_prefix.to_string()
+        << "\"," << nl;
+    const auto hop_list = [&](const std::vector<topo::DeviceId>& hops) {
+      std::string text = "[";
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        if (i > 0) text += ", ";
+        text += "\"" + json_escape(topology.device(hops[i]).name) + "\"";
+      }
+      return text + "]";
+    };
+    out << in3 << "\"expected_next_hops\": "
+        << hop_list(v.contract.expected_next_hops) << "," << nl;
+    out << in3 << "\"actual_next_hops\": " << hop_list(v.actual_next_hops);
+    if (options.include_risk) {
+      const auto assessment = risk.assess(v);
+      out << "," << nl;
+      out << in3 << "\"risk\": \"" << to_string(assessment.level) << "\","
+          << nl;
+      out << in3 << "\"servers_impacted\": " << assessment.servers_impacted
+          << "," << nl;
+      out << in3 << "\"additional_faults_to_impact\": "
+          << assessment.additional_faults_to_impact;
+    }
+    if (options.include_triage) {
+      const auto decision = triage.triage(v);
+      out << "," << nl;
+      out << in3 << "\"action\": \"" << to_string(decision.action) << "\","
+          << nl;
+      out << in3 << "\"rationale\": \"" << json_escape(decision.rationale)
+          << "\"";
+    }
+    out << nl << in2 << "}";
+  }
+  if (!summary.violations.empty()) out << nl << in1;
+  out << "]" << nl << "}" << nl;
+  return out.str();
+}
+
+}  // namespace dcv::rcdc

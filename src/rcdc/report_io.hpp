@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "rcdc/severity.hpp"
+#include "rcdc/triage.hpp"
+#include "rcdc/validator.hpp"
+#include "topology/topology.hpp"
+
+namespace dcv::rcdc {
+
+/// Options for report rendering.
+struct ReportOptions {
+  /// Annotate each violation with its §2.6.4 risk assessment.
+  bool include_risk = true;
+  /// Annotate each violation with its §2.6.1 triage decision.
+  bool include_triage = true;
+  /// Pretty-print with indentation (otherwise compact single line).
+  bool pretty = true;
+};
+
+/// Renders a validation summary as JSON — the event feed the production
+/// service pushes "to a stream analytics system" whose "query interface
+/// facilitates interactive querying of the results" (§2.6.1). Device ids
+/// are resolved to names via the topology.
+[[nodiscard]] std::string write_report_json(const ValidationSummary& summary,
+                                            const topo::Topology& topology,
+                                            const ReportOptions& options = {});
+
+/// Escapes a string for inclusion in a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace dcv::rcdc

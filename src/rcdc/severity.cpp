@@ -1,0 +1,60 @@
+#include "rcdc/severity.hpp"
+
+#include <ostream>
+
+namespace dcv::rcdc {
+
+std::string_view to_string(RiskLevel level) {
+  switch (level) {
+    case RiskLevel::kHigh:
+      return "high";
+    case RiskLevel::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, RiskLevel level) {
+  return os << to_string(level);
+}
+
+RiskAssessment RiskPolicy::assess(const Violation& violation) const {
+  const topo::Device& device = topology_->device(violation.device);
+
+  RiskAssessment out;
+  out.additional_faults_to_impact = violation.actual_next_hops.size();
+
+  // Servers whose traffic this device carries for the affected destination.
+  switch (device.role) {
+    case topo::DeviceRole::kTor:
+      out.servers_impacted = servers_per_rack_;
+      break;
+    case topo::DeviceRole::kLeaf:
+      out.servers_impacted =
+          servers_per_rack_ *
+          topology_->tors_in_cluster(device.cluster).size();
+      break;
+    case topo::DeviceRole::kSpine:
+    case topo::DeviceRole::kRegionalSpine:
+      out.servers_impacted =
+          servers_per_rack_ *
+          topology_->devices_with_role(topo::DeviceRole::kTor).size();
+      break;
+  }
+
+  const bool already_impacting =
+      violation.kind == ViolationKind::kUnreachableRange ||
+      violation.kind == ViolationKind::kMissingDefaultRoute;
+  const bool one_fault_from_impact = out.additional_faults_to_impact <= 1;
+  const bool wide_blast_radius =
+      device.role == topo::DeviceRole::kSpine ||
+      device.role == topo::DeviceRole::kRegionalSpine;
+
+  out.level = (already_impacting || one_fault_from_impact ||
+               wide_blast_radius)
+                  ? RiskLevel::kHigh
+                  : RiskLevel::kLow;
+  return out;
+}
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "rcdc/contract.hpp"
+#include "topology/topology.hpp"
+
+namespace dcv::rcdc {
+
+/// Risk classification of §2.6.4 / Figure 6: errors are high or low risk.
+enum class RiskLevel : std::uint8_t {
+  kHigh,
+  kLow,
+};
+
+[[nodiscard]] std::string_view to_string(RiskLevel level);
+std::ostream& operator<<(std::ostream& os, RiskLevel level);
+
+/// "Errors are classified by risk factor based on the number of servers it
+/// impacts, and the number of additional faults required to cause an
+/// impact" (§2.6.4).
+struct RiskAssessment {
+  RiskLevel level = RiskLevel::kLow;
+  /// Estimated servers whose traffic the violating device carries for the
+  /// affected destination (ToR: one rack; leaf/spine: the devices below).
+  std::uint64_t servers_impacted = 0;
+  /// Additional failures needed before traffic is lost outright: the number
+  /// of next hops the device still has for the affected destination.
+  std::size_t additional_faults_to_impact = 0;
+};
+
+/// Deterministic risk policy mirroring the paper's examples:
+///
+///  * a device with at most one remaining next hop for a contract is
+///    high-risk — "a top-of-the-rack switch that has only a single next hop
+///    for default route represents a high-risk error, since any additional
+///    failure can isolate the top-of-rack switch";
+///  * unreachable ranges and missing default routes are high-risk (impact
+///    has already occurred);
+///  * spine and regional-spine errors are high-risk — "if a significant
+///    number of spine devices have errors relating to specific prefixes,
+///    then those errors represent a high-risk because they are required for
+///    assuring the longer paths" — spine-layer redundancy protects far more
+///    servers than a rack;
+///  * everything else (e.g. a ToR or leaf that lost part of its ECMP
+///    fan-out but retains several hops) is low-risk.
+class RiskPolicy {
+ public:
+  explicit RiskPolicy(const topo::Topology& topology,
+                      std::uint64_t servers_per_rack = 40)
+      : topology_(&topology), servers_per_rack_(servers_per_rack) {}
+
+  [[nodiscard]] RiskAssessment assess(const Violation& violation) const;
+
+ private:
+  const topo::Topology* topology_;
+  std::uint64_t servers_per_rack_;
+};
+
+}  // namespace dcv::rcdc

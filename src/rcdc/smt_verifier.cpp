@@ -1,0 +1,212 @@
+#include "rcdc/smt_verifier.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include <z3++.h>
+
+#include "smt/encoding.hpp"
+
+namespace dcv::rcdc {
+
+namespace {
+
+/// Candidate rules for a contract range: rules whose prefix nests in the
+/// range or contains it (no other overlap is possible for prefixes),
+/// in descending prefix-length order.
+std::vector<const routing::Rule*> candidates_for(
+    const routing::ForwardingTable& fib, const net::Prefix& range) {
+  std::vector<const routing::Rule*> out;
+  for (const routing::Rule& rule : fib.rules()) {
+    if (rule.prefix.overlaps(range)) out.push_back(&rule);
+  }
+  // fib.rules() is already in canonical descending-length order.
+  return out;
+}
+
+}  // namespace
+
+std::vector<Violation> SmtVerifier::check(const routing::ForwardingTable& fib,
+                                          std::span<const Contract> contracts,
+                                          topo::DeviceId device) {
+  std::vector<Violation> violations;
+  z3::context ctx;
+  const z3::expr x = ctx.bv_const("dstIp", 32);
+
+  for (const Contract& contract : contracts) {
+    if (contract.kind == ContractKind::kDefault) {
+      check_default_contract(fib, contract, device, violations);
+      continue;
+    }
+
+    const auto candidates = candidates_for(fib, contract.prefix);
+    const z3::expr in_range = smt::ip_in_prefix(x, contract.prefix);
+
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const routing::Rule& rule = *candidates[i];
+      if (rule.connected) continue;
+      const bool default_disallowed =
+          rule.prefix.is_default() && !contract.allow_default_route;
+      if (!default_disallowed && hops_satisfy(rule.next_hops, contract)) {
+        continue;
+      }
+
+      // Is this rule the longest-prefix match of some address in range?
+      z3::solver solver(ctx);
+      solver.add(in_range);
+      solver.add(smt::ip_in_prefix(x, rule.prefix));
+      for (std::size_t j = 0; j < i; ++j) {
+        // Earlier candidates have longer (or equal-length, hence disjoint)
+        // prefixes; excluding them leaves exactly the addresses for which
+        // this rule wins longest-prefix match.
+        solver.add(!smt::ip_in_prefix(x, candidates[j]->prefix));
+      }
+      if (solver.check() == z3::sat) {
+        violations.push_back(Violation{
+            .device = device,
+            .contract = contract,
+            .kind = default_disallowed
+                        ? ViolationKind::kSpecificViaDefaultRoute
+                        : ViolationKind::kWrongNextHops,
+            .rule_prefix = rule.prefix,
+            .actual_next_hops = rule.next_hops});
+      }
+    }
+
+    // Drop check: does any address in the range match no rule at all?
+    z3::solver solver(ctx);
+    solver.add(in_range);
+    for (const routing::Rule* rule : candidates) {
+      solver.add(!smt::ip_in_prefix(x, rule->prefix));
+    }
+    if (solver.check() == z3::sat) {
+      violations.push_back(Violation{.device = device,
+                                     .contract = contract,
+                                     .kind = ViolationKind::kUnreachableRange,
+                                     .rule_prefix = contract.prefix,
+                                     .actual_next_hops = {}});
+    }
+  }
+  return violations;
+}
+
+std::optional<Violation> SmtVerifier::check_contract_monolithic(
+    const routing::ForwardingTable& fib, const Contract& contract,
+    topo::DeviceId device) {
+  std::vector<Violation> sink;
+  if (contract.kind == ContractKind::kDefault) {
+    if (check_default_contract(fib, contract, device, sink)) return sink[0];
+    return std::nullopt;
+  }
+
+  z3::context ctx;
+  const z3::expr x = ctx.bv_const("dstIp", 32);
+  const z3::expr dropped = ctx.bool_const("dropped");
+  const z3::expr via_default = ctx.bool_const("viaDefault");
+
+  // The universe of next hops: every hop referenced by the policy or the
+  // contract becomes one Boolean variable (§2.5.1 equation 2).
+  std::unordered_map<topo::DeviceId, z3::expr> hop_vars;
+  const auto hop_var = [&](topo::DeviceId hop) -> z3::expr {
+    const auto it = hop_vars.find(hop);
+    if (it != hop_vars.end()) return it->second;
+    const z3::expr var =
+        ctx.bool_const(("hop" + std::to_string(hop)).c_str());
+    hop_vars.emplace(hop, var);
+    return var;
+  };
+  for (const routing::Rule& rule : fib.rules()) {
+    for (const topo::DeviceId hop : rule.next_hops) hop_var(hop);
+  }
+  for (const topo::DeviceId hop : contract.expected_next_hops) hop_var(hop);
+
+  // The constraint "the selected hop set is exactly `hops`".
+  const auto hops_exactly =
+      [&](const std::vector<topo::DeviceId>& hops) -> z3::expr {
+    z3::expr out = !dropped;
+    for (const auto& [device_id, var] : hop_vars) {
+      const bool member = std::binary_search(hops.begin(), hops.end(),
+                                             device_id);
+      out = out && (member ? var : !var);
+    }
+    return out;
+  };
+
+  // Fold the policy into the if-then-else chain of Definition 2.1, from the
+  // drop case backwards. fib.rules() is sorted by descending prefix length,
+  // which is exactly the chain's rule order. Each branch also tracks
+  // whether the deciding rule was the default route.
+  z3::expr policy = dropped && !via_default;
+  for (const auto& [device_id, var] : hop_vars) policy = policy && !var;
+  for (auto it = fib.rules().rbegin(); it != fib.rules().rend(); ++it) {
+    const z3::expr deciding_default =
+        it->prefix.is_default() ? via_default : !via_default;
+    policy = z3::ite(smt::ip_in_prefix(x, it->prefix),
+                     hops_exactly(it->next_hops) && deciding_default, policy);
+  }
+
+  // Contract satisfaction as a hop-set predicate.
+  z3::expr contract_ok = ctx.bool_val(true);
+  switch (contract.mode) {
+    case MatchMode::kExactSet:
+      contract_ok = hops_exactly(contract.expected_next_hops);
+      break;
+    case MatchMode::kSubsetAtLeast: {
+      contract_ok = !dropped;
+      z3::expr_vector members(ctx);
+      for (const auto& [device_id, var] : hop_vars) {
+        if (std::binary_search(contract.expected_next_hops.begin(),
+                               contract.expected_next_hops.end(),
+                               device_id)) {
+          members.push_back(var);
+        } else {
+          contract_ok = contract_ok && !var;
+        }
+      }
+      if (members.size() > 0) {
+        contract_ok =
+            contract_ok &&
+            z3::atleast(members,
+                        static_cast<unsigned>(contract.min_next_hops));
+      } else if (contract.min_next_hops > 0) {
+        contract_ok = ctx.bool_val(false);
+      }
+      break;
+    }
+  }
+
+  if (!contract.allow_default_route) {
+    contract_ok = contract_ok && !via_default;
+  }
+
+  // §2.5.1: C.range(x) ∧ P ∧ ¬C.nexthops — unsatisfiable iff the contract
+  // is preserved by the policy.
+  z3::solver solver(ctx);
+  solver.add(smt::ip_in_prefix(x, contract.prefix));
+  solver.add(policy);
+  solver.add(!contract_ok);
+  if (solver.check() != z3::sat) return std::nullopt;
+
+  // Recover the violating rule from the witness address.
+  const z3::model model = solver.get_model();
+  const net::Ipv4Address witness = smt::eval_ip(model, x);
+  const routing::Rule* rule = fib.lookup(witness);
+  if (rule == nullptr) {
+    return Violation{.device = device,
+                     .contract = contract,
+                     .kind = ViolationKind::kUnreachableRange,
+                     .rule_prefix = contract.prefix,
+                     .actual_next_hops = {}};
+  }
+  return Violation{.device = device,
+                   .contract = contract,
+                   .kind = rule->prefix.is_default() &&
+                                   !contract.allow_default_route
+                               ? ViolationKind::kSpecificViaDefaultRoute
+                               : ViolationKind::kWrongNextHops,
+                   .rule_prefix = rule->prefix,
+                   .actual_next_hops = rule->next_hops};
+}
+
+}  // namespace dcv::rcdc

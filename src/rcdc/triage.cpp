@@ -1,0 +1,63 @@
+#include "rcdc/triage.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dcv::rcdc {
+
+std::string_view to_string(RemediationAction action) {
+  switch (action) {
+    case RemediationAction::kReplaceCable:
+      return "replace-cable";
+    case RemediationAction::kUnshutAndMonitor:
+      return "unshut-and-monitor";
+    case RemediationAction::kEscalateToOperator:
+      return "escalate-to-operator";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, RemediationAction action) {
+  return os << to_string(action);
+}
+
+TriageDecision TriageEngine::triage(const Violation& violation) const {
+  TriageDecision decision;
+  decision.risk = risk_.assess(violation).level;
+
+  // Correlate: which expected next hops are missing from the actual set,
+  // and what does the topology say about the links toward them?
+  for (const topo::DeviceId expected : violation.contract.expected_next_hops) {
+    if (std::binary_search(violation.actual_next_hops.begin(),
+                           violation.actual_next_hops.end(), expected)) {
+      continue;
+    }
+    const auto link = topology_->find_link(violation.device, expected);
+    if (!link) continue;
+    const topo::Link& l = topology_->link(*link);
+    if (l.link_state == topo::LinkState::kDown) {
+      decision.action = RemediationAction::kReplaceCable;
+      decision.link = *link;
+      decision.rationale =
+          "link to " + topology_->device(expected).name +
+          " is operationally down: likely cabling fault";
+      return decision;
+    }
+    if (l.bgp_state == topo::BgpSessionState::kAdminShutdown) {
+      decision.action = RemediationAction::kUnshutAndMonitor;
+      decision.link = *link;
+      decision.rationale = "BGP session to " +
+                           topology_->device(expected).name +
+                           " is administratively shut: unshut and monitor";
+      return decision;
+    }
+  }
+
+  decision.action = RemediationAction::kEscalateToOperator;
+  decision.rationale =
+      "no link-level cause found: possible device software bug or policy "
+      "error; escalating";
+  return decision;
+}
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "rcdc/severity.hpp"
+#include "topology/topology.hpp"
+
+namespace dcv::rcdc {
+
+/// Remediation routes of §2.6.1/§2.6.4: "if links are operationally down,
+/// then these are most likely because of cabling faults and are remediated
+/// by replacing the cables. ... if the BGP sessions are administratively
+/// shut, then they are unshut and monitored for health." Errors without a
+/// well-understood failure mode are escalated for human investigation.
+enum class RemediationAction : std::uint8_t {
+  kReplaceCable,          // link operationally down -> datacenter ops queue
+  kUnshutAndMonitor,      // BGP admin-shut -> automatic unshut
+  kEscalateToOperator,    // unknown failure mode -> alert with severity
+};
+
+[[nodiscard]] std::string_view to_string(RemediationAction action);
+std::ostream& operator<<(std::ostream& os, RemediationAction action);
+
+/// A triage decision for one violation.
+struct TriageDecision {
+  RemediationAction action = RemediationAction::kEscalateToOperator;
+  RiskLevel risk = RiskLevel::kLow;
+  /// The link implicated by metadata correlation, if any.
+  std::optional<topo::LinkId> link;
+  std::string rationale;
+};
+
+/// The automated triaging process: correlates validation errors with
+/// topology state ("additional metadata"), classifies them, and directs
+/// them to the appropriate remediation queue.
+class TriageEngine {
+ public:
+  explicit TriageEngine(const topo::Topology& topology)
+      : topology_(&topology), risk_(topology) {}
+
+  [[nodiscard]] TriageDecision triage(const Violation& violation) const;
+
+ private:
+  const topo::Topology* topology_;
+  RiskPolicy risk_;
+};
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,107 @@
+#include "rcdc/trie_verifier.hpp"
+
+#include <algorithm>
+
+#include "net/interval.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace dcv::rcdc {
+
+bool check_default_contract(const routing::ForwardingTable& fib,
+                            const Contract& contract, topo::DeviceId device,
+                            std::vector<Violation>& out) {
+  const routing::Rule* def = fib.default_route();
+  if (def == nullptr) {
+    out.push_back(Violation{.device = device,
+                            .contract = contract,
+                            .kind = ViolationKind::kMissingDefaultRoute,
+                            .rule_prefix = net::Prefix::default_route(),
+                            .actual_next_hops = {}});
+    return true;
+  }
+  if (!hops_satisfy(def->next_hops, contract)) {
+    out.push_back(Violation{.device = device,
+                            .contract = contract,
+                            .kind = ViolationKind::kDefaultRouteMismatch,
+                            .rule_prefix = net::Prefix::default_route(),
+                            .actual_next_hops = def->next_hops});
+    return true;
+  }
+  return false;
+}
+
+std::vector<Violation> TrieVerifier::check(
+    const routing::ForwardingTable& fib, std::span<const Contract> contracts,
+    topo::DeviceId device) {
+  std::vector<Violation> violations;
+
+  // Build the policy trie once per device (§2.5.2: "We represent
+  // prefix-based routing policies into a hash-trie").
+  trie::PrefixTrie<const routing::Rule*> policy;
+  for (const routing::Rule& rule : fib.rules()) {
+    policy.insert(rule.prefix, &rule);
+  }
+
+  for (const Contract& contract : contracts) {
+    if (contract.kind == ContractKind::kDefault) {
+      check_default_contract(fib, contract, device, violations);
+      continue;
+    }
+
+    // Candidate rules related to the contract range, in descending order of
+    // prefix length (the walk order of §2.5.2).
+    auto candidates = policy.related(contract.prefix);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first.length() != b.first.length()) {
+                  return a.first.length() > b.first.length();
+                }
+                return a.first < b.first;
+              });
+
+    const auto range = net::AddressInterval::from_prefix(contract.prefix);
+    net::IntervalSet covered;  // the list L of §2.5.2, as an interval union
+    bool complete = false;
+    for (const auto& [rule_prefix, rule] : candidates) {
+      // The slice of the contract range this rule can match: the rule's
+      // prefix if it nests inside the range, the whole range otherwise
+      // (prefixes never partially overlap).
+      const auto slice = contract.prefix.contains(rule_prefix)
+                             ? net::AddressInterval::from_prefix(rule_prefix)
+                             : range;
+      // Longer rules walked earlier may already shadow this rule within the
+      // contract range; a shadowed rule cannot violate the contract.
+      if (!covered.covers(slice)) {
+        const routing::Rule& r = **rule;
+        const bool default_disallowed =
+            r.prefix.is_default() && !contract.allow_default_route;
+        if (!r.connected &&
+            (default_disallowed || !hops_satisfy(r.next_hops, contract))) {
+          violations.push_back(Violation{
+              .device = device,
+              .contract = contract,
+              .kind = default_disallowed
+                          ? ViolationKind::kSpecificViaDefaultRoute
+                          : ViolationKind::kWrongNextHops,
+              .rule_prefix = r.prefix,
+              .actual_next_hops = r.next_hops});
+        }
+      }
+      covered.add(slice);
+      if (covered.covers(range)) {  // the stop condition of §2.5.2
+        complete = true;
+        break;
+      }
+    }
+    if (!complete && !covered.covers(range)) {
+      violations.push_back(Violation{.device = device,
+                                     .contract = contract,
+                                     .kind = ViolationKind::kUnreachableRange,
+                                     .rule_prefix = contract.prefix,
+                                     .actual_next_hops = {}});
+    }
+  }
+  return violations;
+}
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "rcdc/verifier.hpp"
+
+namespace dcv::rcdc {
+
+/// The specialized fast engine of §2.5.2. For each policy it builds a
+/// prefix trie once; for each contract C it collects the related rule set
+///
+///   { r | C.range ⊆ r.prefix ∨ r.prefix ⊆ C.range },
+///
+/// walks it in descending prefix-length order, flags rules whose next hops
+/// do not match the contract, accumulates covered address space, and stops
+/// as soon as the union of walked prefixes covers C.range.
+///
+/// One refinement over the paper's listing: a rule is only flagged if it is
+/// actually the longest-prefix match of some address in C.range (i.e. its
+/// intersection with the range is not already covered by longer rules) —
+/// this makes the engine agree exactly with the SMT engine's semantics,
+/// which property tests assert.
+class TrieVerifier final : public Verifier {
+ public:
+  [[nodiscard]] std::vector<Violation> check(
+      const routing::ForwardingTable& fib, std::span<const Contract> contracts,
+      topo::DeviceId device) override;
+};
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,108 @@
+#include "rcdc/validator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "rcdc/linear_verifier.hpp"
+#include "rcdc/smt_verifier.hpp"
+#include "rcdc/trie_verifier.hpp"
+
+namespace dcv::rcdc {
+
+DatacenterValidator::DatacenterValidator(const topo::MetadataService& metadata,
+                                         const FibSource& fibs,
+                                         VerifierFactory verifier_factory,
+                                         ContractGenOptions options)
+    : metadata_(&metadata),
+      fibs_(&fibs),
+      verifier_factory_(std::move(verifier_factory)),
+      generator_(metadata, options) {}
+
+ValidationSummary DatacenterValidator::run(unsigned threads) const {
+  std::vector<topo::DeviceId> devices;
+  devices.reserve(metadata_->topology().device_count());
+  for (const topo::Device& d : metadata_->topology().devices()) {
+    devices.push_back(d.id);
+  }
+  return run(devices, threads);
+}
+
+ValidationSummary DatacenterValidator::run(
+    const std::vector<topo::DeviceId>& devices, unsigned threads) const {
+  const auto start = std::chrono::steady_clock::now();
+  threads = std::max(1u, threads);
+
+  struct WorkerResult {
+    std::size_t contracts_checked = 0;
+    std::vector<Violation> violations;
+  };
+  std::vector<WorkerResult> results(threads);
+  std::atomic<std::size_t> next_index{0};
+
+  // Each worker claims devices from a shared counter and validates them in
+  // isolation: fetch FIB, generate contracts, check, discard. Nothing
+  // global is ever built.
+  const auto worker = [&](unsigned worker_index) {
+    const auto verifier = verifier_factory_();
+    WorkerResult& result = results[worker_index];
+    while (true) {
+      const std::size_t i =
+          next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= devices.size()) break;
+      const topo::DeviceId device = devices[i];
+      const auto contracts = generator_.for_device(device);
+      if (contracts.empty()) continue;
+      const auto fib = fibs_->fetch(device);
+      auto violations = verifier->check(fib, contracts, device);
+      result.contracts_checked += contracts.size();
+      result.violations.insert(result.violations.end(),
+                               std::make_move_iterator(violations.begin()),
+                               std::make_move_iterator(violations.end()));
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, t);
+    }
+  }
+
+  ValidationSummary summary;
+  summary.devices_checked = devices.size();
+  for (WorkerResult& result : results) {
+    summary.contracts_checked += result.contracts_checked;
+    summary.violations.insert(
+        summary.violations.end(),
+        std::make_move_iterator(result.violations.begin()),
+        std::make_move_iterator(result.violations.end()));
+  }
+  std::sort(summary.violations.begin(), summary.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.device != b.device) return a.device < b.device;
+              if (a.contract.prefix != b.contract.prefix) {
+                return a.contract.prefix < b.contract.prefix;
+              }
+              return a.rule_prefix < b.rule_prefix;
+            });
+  summary.elapsed = std::chrono::steady_clock::now() - start;
+  return summary;
+}
+
+VerifierFactory make_trie_verifier_factory() {
+  return [] { return std::make_unique<TrieVerifier>(); };
+}
+
+VerifierFactory make_smt_verifier_factory() {
+  return [] { return std::make_unique<SmtVerifier>(); };
+}
+
+VerifierFactory make_linear_verifier_factory() {
+  return [] { return std::make_unique<LinearVerifier>(); };
+}
+
+}  // namespace dcv::rcdc

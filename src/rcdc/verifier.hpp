@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rcdc/contract.hpp"
+#include "routing/fib.hpp"
+
+namespace dcv::rcdc {
+
+/// The verification engine interface of §2.5: "takes as input a
+/// prefix-based forwarding policy P and a contract C, and produces a list
+/// of rules in P that violate the contract. The list is empty if P
+/// satisfies C."
+///
+/// Both engines implement identical semantics (property tests assert
+/// agreement on random inputs):
+///
+///  * A default contract is checked as the special case of §2.5.1: the
+///    FIB's default rule's next hops are compared against the contract.
+///  * A specific contract for range C is violated by rule r iff r is the
+///    longest-prefix match of some address in C and r's next hops do not
+///    satisfy the contract; if some address in C matches no rule at all,
+///    the contract fails with kUnreachableRange.
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+
+  Verifier() = default;
+  Verifier(const Verifier&) = delete;
+  Verifier& operator=(const Verifier&) = delete;
+
+  /// Checks every contract against the device FIB; returns all violations.
+  [[nodiscard]] virtual std::vector<Violation> check(
+      const routing::ForwardingTable& fib, std::span<const Contract> contracts,
+      topo::DeviceId device) = 0;
+};
+
+/// Shared special-case handling for default contracts (§2.5.1): compare the
+/// FIB's default rule against the contract. Returns true if a violation was
+/// appended.
+bool check_default_contract(const routing::ForwardingTable& fib,
+                            const Contract& contract, topo::DeviceId device,
+                            std::vector<Violation>& out);
+
+}  // namespace dcv::rcdc

@@ -1,0 +1,84 @@
+#include "routing/aggregation.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace dcv::routing {
+
+namespace {
+
+/// The configured aggregate of a cluster: the common prefix of its hosted
+/// ranges (from expected-topology metadata, like any configured policy).
+std::optional<net::Prefix> cluster_aggregate(
+    const topo::MetadataService& metadata, topo::ClusterId cluster) {
+  const auto facts = metadata.prefixes_in_cluster(cluster);
+  if (facts.empty()) return std::nullopt;
+  net::Prefix aggregate = facts.front().prefix;
+  for (const topo::PrefixFact& fact : facts) {
+    aggregate = net::common_prefix(aggregate, fact.prefix);
+  }
+  return aggregate;
+}
+
+}  // namespace
+
+ForwardingTable aggregate_cluster_routes(const ForwardingTable& fib,
+                                         const topo::MetadataService& metadata,
+                                         topo::DeviceId device) {
+  const topo::Topology& topology = metadata.topology();
+  const topo::Device& d = topology.device(device);
+
+  if (d.role == topo::DeviceRole::kLeaf) {
+    // The leaf keeps its specifics but originates the cluster aggregate —
+    // with the matching discard route — while any component survives.
+    ForwardingTable out = fib;
+    if (d.cluster == topo::kNoCluster) return out;
+    const auto aggregate = cluster_aggregate(metadata, d.cluster);
+    if (!aggregate) return out;
+    const auto usable = topology.usable_neighbors(device);
+    const bool any_component = std::any_of(
+        usable.begin(), usable.end(), [&](topo::DeviceId neighbor) {
+          return topology.device(neighbor).role == topo::DeviceRole::kTor;
+        });
+    if (any_component && fib.find(*aggregate) == nullptr) {
+      out.add(Rule{.prefix = *aggregate, .next_hops = {}});  // discard
+    }
+    return out;
+  }
+
+  if (d.role != topo::DeviceRole::kSpine &&
+      d.role != topo::DeviceRole::kRegionalSpine) {
+    return fib;
+  }
+
+  // Spines / regional spines: hosted-prefix specifics are replaced by the
+  // per-cluster aggregates, pointing at whichever expected downlinks are
+  // still announcing (i.e. alive) — the aggregate hides component
+  // withdrawals by construction.
+  ForwardingTable out;
+  for (const Rule& rule : fib.rules()) {
+    if (!metadata.locate(rule.prefix)) out.add(rule);
+  }
+  const auto usable = topology.usable_neighbors(device);
+  for (topo::ClusterId cluster = 0;
+       cluster < static_cast<topo::ClusterId>(topology.cluster_count());
+       ++cluster) {
+    const auto aggregate = cluster_aggregate(metadata, cluster);
+    if (!aggregate) continue;
+    const auto downlinks =
+        d.role == topo::DeviceRole::kSpine
+            ? metadata.spine_downlinks_into(device, cluster)
+            : metadata.regional_downlinks_toward(device, cluster);
+    std::vector<topo::DeviceId> next_hops;
+    for (const topo::DeviceId downlink : downlinks) {
+      if (std::binary_search(usable.begin(), usable.end(), downlink)) {
+        next_hops.push_back(downlink);
+      }
+    }
+    if (next_hops.empty()) continue;
+    out.add(Rule{.prefix = *aggregate, .next_hops = std::move(next_hops)});
+  }
+  return out;
+}
+
+}  // namespace dcv::routing

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "routing/fib.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::routing {
+
+/// Route aggregation at the cluster boundary — the design the paper's
+/// architecture deliberately rejects: "they do not use route aggregation
+/// because such aggregations can result in black-holing of traffic due to
+/// a single-link failure" (§2.1).
+///
+/// This transform reproduces how configured aggregation actually behaves:
+///
+///  * a leaf originates its cluster's *configured* aggregate (the common
+///    prefix of the cluster's hosted ranges) for as long as any component
+///    survives, installing the usual discard route for the aggregate in
+///    its own FIB;
+///  * spines and regional spines carry the aggregate (pointing at their
+///    live leaf downlinks for the cluster) instead of per-prefix routes.
+///
+/// On a healthy network forwarding is unchanged — the leaf's specific
+/// routes are longer than its discard route. After a single ToR uplink
+/// failure the aggregate keeps attracting traffic to the leaf, where the
+/// lost specific now exposes the discard route: a black hole, invisible to
+/// the upper layers because the aggregate announcement never changed. The
+/// aggregation-free design instead degrades onto the regional detour
+/// (§2.4.4). See tests/routing/aggregation_test.cpp.
+[[nodiscard]] ForwardingTable aggregate_cluster_routes(
+    const ForwardingTable& fib, const topo::MetadataService& metadata,
+    topo::DeviceId device);
+
+}  // namespace dcv::routing

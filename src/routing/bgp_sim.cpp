@@ -1,0 +1,221 @@
+#include "routing/bgp_sim.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "net/error.hpp"
+
+namespace dcv::routing {
+
+namespace {
+
+/// A route as received from one neighbor: the neighbor id and the AS-path
+/// the neighbor advertised (neighbor's ASN first).
+struct Candidate {
+  topo::DeviceId neighbor = topo::kInvalidDevice;
+  std::vector<topo::Asn> as_path;
+  topo::DatacenterId origin_datacenter = 0;
+};
+
+}  // namespace
+
+BgpSimulator::BgpSimulator(const topo::Topology& topology,
+                           const topo::FaultInjector* faults)
+    : topology_(&topology), faults_(faults) {
+  ribs_.resize(topology.device_count());
+  run();
+}
+
+const Rib& BgpSimulator::rib(topo::DeviceId device) const {
+  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
+  return ribs_[device];
+}
+
+void BgpSimulator::run() {
+  const auto& devices = topology_->devices();
+
+  // Locally originated routes: ToRs originate their hosted VLAN prefixes,
+  // regional spines originate the default route (§2.1).
+  for (const topo::Device& d : devices) {
+    if (d.role == topo::DeviceRole::kTor) {
+      for (const net::Prefix& p : d.hosted_prefixes) {
+        ribs_[d.id][p] = RibEntry{.prefix = p,
+                                  .as_path = {},
+                                  .next_hops = {},
+                                  .connected = true,
+                                  .origin_datacenter = d.datacenter};
+      }
+    } else if (d.role == topo::DeviceRole::kRegionalSpine) {
+      const auto def = net::Prefix::default_route();
+      ribs_[d.id][def] = RibEntry{.prefix = def,
+                                  .as_path = {},
+                                  .next_hops = {},
+                                  .connected = true,
+                                  .origin_datacenter = topo::kNoDatacenter};
+    }
+  }
+
+  // What `from` advertises about `entry` across the session to `to`, or
+  // nullopt if its export policy suppresses the route.
+  const auto export_path =
+      [&](const topo::Device& from, const topo::Device& to,
+          const RibEntry& entry) -> std::optional<std::vector<topo::Asn>> {
+    std::vector<topo::Asn> path;
+    if (entry.connected) {
+      path = {from.asn};
+    } else {
+      path = entry.as_path;  // already begins with from.asn
+    }
+    if (from.role == topo::DeviceRole::kRegionalSpine) {
+      // Never hairpin a datacenter's own routes back into it.
+      if (entry.origin_datacenter != topo::kNoDatacenter &&
+          to.datacenter == entry.origin_datacenter) {
+        return std::nullopt;
+      }
+      // Strip private ASNs from the relayed tail (§2.1) so that private-ASN
+      // reuse across datacenters cannot cause loop-prevention rejections.
+      std::vector<topo::Asn> stripped;
+      stripped.push_back(path.front());
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        if (!is_private_asn(path[i])) stripped.push_back(path[i]);
+      }
+      path = std::move(stripped);
+    }
+    return path;
+  };
+
+  // Whether `to` accepts an announcement of `prefix` with the given path.
+  const auto import_ok = [&](const topo::Device& to, const net::Prefix& prefix,
+                             const std::vector<topo::Asn>& path) -> bool {
+    if (faults_ != nullptr && prefix.is_default() &&
+        faults_->device_has_fault(
+            to.id, topo::DeviceFaultKind::kRejectDefaultRoute)) {
+      return false;  // route-map misconfiguration (§2.6.2 "Policy Errors")
+    }
+    if (to.role == topo::DeviceRole::kTor) {
+      // ToR upstream sessions accept paths containing the (reused) ToR ASN
+      // of a sibling rack (§2.1); path lengths still rule such routes out of
+      // best-path selection, so this cannot loop.
+      return true;
+    }
+    if (to.role == topo::DeviceRole::kRegionalSpine) {
+      // Tier-peer rule: never re-import a route that already traversed the
+      // regional layer (keeps regionals on their own originated default and
+      // forbids regional-spine valleys).
+      for (const topo::Asn asn : path) {
+        if (!is_private_asn(asn)) return false;
+      }
+      return true;
+    }
+    return std::find(path.begin(), path.end(), to.asn) == path.end();
+  };
+
+  bool changed = true;
+  rounds_ = 0;
+  // Convergence is bounded by the network diameter; the cap is a safety net.
+  constexpr int kMaxRounds = 64;
+  while (changed && rounds_ < kMaxRounds) {
+    ++rounds_;
+    changed = false;
+    std::vector<Rib> next = ribs_;
+
+    for (const topo::Device& d : devices) {
+      std::unordered_map<net::Prefix, std::vector<Candidate>> candidates;
+      for (const topo::LinkId lid : topology_->links_of(d.id)) {
+        const topo::Link& link = topology_->link(lid);
+        if (!link.usable()) continue;
+        const topo::Device& n = topology_->device(link.other(d.id));
+        for (const auto& [prefix, entry] : ribs_[n.id]) {
+          const auto path = export_path(n, d, entry);
+          if (!path) continue;
+          if (!import_ok(d, prefix, *path)) continue;
+          candidates[prefix].push_back(
+              Candidate{.neighbor = n.id,
+                        .as_path = *path,
+                        .origin_datacenter = entry.origin_datacenter});
+        }
+      }
+
+      Rib rib;
+      // Locally originated entries always win.
+      for (const auto& [prefix, entry] : ribs_[d.id]) {
+        if (entry.connected) rib[prefix] = entry;
+      }
+      for (auto& [prefix, cands] : candidates) {
+        if (rib.contains(prefix)) continue;
+        std::size_t best_len = SIZE_MAX;
+        for (const Candidate& c : cands) {
+          best_len = std::min(best_len, c.as_path.size());
+        }
+        std::vector<topo::DeviceId> next_hops;
+        const std::vector<topo::Asn>* chosen = nullptr;
+        topo::DatacenterId origin = 0;
+        for (const Candidate& c : cands) {
+          if (c.as_path.size() != best_len) continue;
+          next_hops.push_back(c.neighbor);
+          if (chosen == nullptr || c.as_path < *chosen) {
+            chosen = &c.as_path;
+            origin = c.origin_datacenter;
+          }
+        }
+        canonicalize(next_hops);
+        std::vector<topo::Asn> as_path;
+        as_path.reserve(chosen->size() + 1);
+        as_path.push_back(d.asn);
+        as_path.insert(as_path.end(), chosen->begin(), chosen->end());
+        rib[prefix] = RibEntry{.prefix = prefix,
+                               .as_path = std::move(as_path),
+                               .next_hops = std::move(next_hops),
+                               .connected = false,
+                               .origin_datacenter = origin};
+      }
+
+      if (rib.size() != ribs_[d.id].size() ||
+          !std::equal(rib.begin(), rib.end(), ribs_[d.id].begin(),
+                      [](const auto& a, const auto& b) {
+                        return a.first == b.first &&
+                               a.second.as_path == b.second.as_path &&
+                               a.second.next_hops == b.second.next_hops &&
+                               a.second.connected == b.second.connected;
+                      })) {
+        changed = true;
+      }
+      next[d.id] = std::move(rib);
+    }
+    ribs_ = std::move(next);
+  }
+}
+
+ForwardingTable BgpSimulator::fib(topo::DeviceId device) const {
+  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
+  const bool rib_fib_bug =
+      faults_ != nullptr &&
+      faults_->device_has_fault(device,
+                                topo::DeviceFaultKind::kRibFibInconsistency);
+  const bool ecmp_bug =
+      faults_ != nullptr &&
+      faults_->device_has_fault(device,
+                                topo::DeviceFaultKind::kEcmpSingleNextHop);
+
+  ForwardingTable fib;
+  for (const auto& [prefix, entry] : ribs_[device]) {
+    Rule rule{.prefix = prefix,
+              .next_hops = entry.next_hops,
+              .connected = entry.connected};
+    // "Software Bug 1": the FIB retains far fewer next hops for the default
+    // route than the RIB computed (§2.6.2).
+    if (rib_fib_bug && prefix.is_default() && rule.next_hops.size() > 1) {
+      rule.next_hops.resize(1);
+    }
+    // ECMP misconfiguration: a single next hop is programmed everywhere
+    // instead of the full available set (§2.6.2 "Policy Errors").
+    if (ecmp_bug && rule.next_hops.size() > 1) {
+      rule.next_hops.resize(1);
+    }
+    fib.add(std::move(rule));
+  }
+  return fib;
+}
+
+}  // namespace dcv::routing

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "routing/fib.hpp"
+#include "topology/faults.hpp"
+#include "topology/topology.hpp"
+
+namespace dcv::routing {
+
+/// One RIB entry: the selected best routes for a prefix under EBGP
+/// shortest-AS-path selection with ECMP across equally-good neighbors.
+struct RibEntry {
+  net::Prefix prefix;
+  /// AS-path of the selected route(s), own ASN first. Empty for locally
+  /// originated (connected) prefixes.
+  std::vector<topo::Asn> as_path;
+  /// Neighbors offering the best path; empty for connected prefixes.
+  std::vector<topo::DeviceId> next_hops;
+  bool connected = false;
+  /// Datacenter where the route originated; kNoDatacenter for the default
+  /// route (originated by regional spines). Regional spines use this to
+  /// avoid relaying a datacenter's own routes back into it.
+  topo::DatacenterId origin_datacenter = 0;
+};
+
+/// The routing information base of one device: prefix -> selected routes.
+using Rib = std::map<net::Prefix, RibEntry>;
+
+/// A synchronous-round EBGP route-propagation simulator implementing the
+/// routing design of §2.1:
+///
+///  * every link carries one EBGP session; routes flow only over usable
+///    sessions;
+///  * ToRs originate their hosted VLAN prefixes; regional spines originate
+///    the default route 0.0.0.0/0;
+///  * best-path selection is shortest AS-path with ECMP across all
+///    neighbors advertising an equally short path;
+///  * loop prevention rejects announcements carrying the receiver's own
+///    ASN — except on ToR upstream sessions, which are configured to accept
+///    paths containing the (reused) ToR ASN of a sibling rack (§2.1);
+///  * regional spines strip private ASNs from relayed paths;
+///  * no route aggregation anywhere (§2.1).
+///
+/// Device-level faults from a FaultInjector are honored: a device with
+/// kRejectDefaultRoute drops default announcements at import; FIB-programming
+/// faults (kRibFibInconsistency, kEcmpSingleNextHop) distort fib() output
+/// while leaving the RIB intact, reproducing §2.6.2's software bugs.
+class BgpSimulator {
+ public:
+  /// Runs propagation to a fixpoint over the topology's *current* link and
+  /// session state. `faults` may be null (no device-level faults).
+  explicit BgpSimulator(const topo::Topology& topology,
+                        const topo::FaultInjector* faults = nullptr);
+
+  /// The converged RIB of a device.
+  [[nodiscard]] const Rib& rib(topo::DeviceId device) const;
+
+  /// The FIB programmed from the RIB, with any device-level FIB faults
+  /// applied. Connected (locally hosted) prefixes are included as connected
+  /// rules.
+  [[nodiscard]] ForwardingTable fib(topo::DeviceId device) const;
+
+  /// Number of synchronous rounds until convergence.
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+  /// True if `asn` falls in the private-use range stripped by regional
+  /// spines (we treat 64500..65535 as the datacenter-private range; the
+  /// regional tier itself uses ASNs below that range).
+  static bool is_private_asn(topo::Asn asn) {
+    return asn >= 64500 && asn <= 65535;
+  }
+
+ private:
+  void run();
+
+  const topo::Topology* topology_;
+  const topo::FaultInjector* faults_;
+  std::vector<Rib> ribs_;  // indexed by device id
+  int rounds_ = 0;
+};
+
+}  // namespace dcv::routing

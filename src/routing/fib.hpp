@@ -1,0 +1,80 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "topology/device.hpp"
+
+namespace dcv::routing {
+
+/// A single FIB entry: destination prefix plus the set of ECMP next hops.
+/// Next hops are stored as sorted, deduplicated device ids.
+struct Rule {
+  net::Prefix prefix;
+  std::vector<topo::DeviceId> next_hops;
+
+  /// True for locally-attached destinations (a ToR's own VLAN prefix):
+  /// traffic is delivered below this device rather than forwarded to a
+  /// routing next hop.
+  bool connected = false;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+/// The forwarding information base of one device (§2.2): rules sorted by
+/// descending prefix length (canonical longest-prefix-match order), with
+/// deterministic tie-breaking by prefix value.
+///
+/// This is the "reality" object of the paper: everything RCDC checks is a
+/// function of per-device ForwardingTables plus contracts.
+class ForwardingTable {
+ public:
+  ForwardingTable() = default;
+
+  /// Adds a rule. Next hops are sorted and deduplicated; inserting a second
+  /// rule with the same prefix replaces the first (a FIB has at most one
+  /// entry per prefix).
+  void add(Rule rule);
+
+  /// Longest-prefix-match lookup (Definition 2.1). Returns nullptr when no
+  /// rule matches — i.e. the packet is dropped. Note a default route, when
+  /// present, matches everything.
+  [[nodiscard]] const Rule* lookup(net::Ipv4Address destination) const;
+
+  /// The rule for exactly this prefix, if present.
+  [[nodiscard]] const Rule* find(const net::Prefix& prefix) const;
+
+  /// The 0.0.0.0/0 entry, if present.
+  [[nodiscard]] const Rule* default_route() const {
+    return find(net::Prefix::default_route());
+  }
+
+  /// Rules in canonical order: descending prefix length, then prefix value.
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+
+  friend bool operator==(const ForwardingTable&,
+                         const ForwardingTable&) = default;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// Canonicalizes a next-hop set: sorted ascending, duplicates removed.
+inline void canonicalize(std::vector<topo::DeviceId>& next_hops) {
+  std::sort(next_hops.begin(), next_hops.end());
+  next_hops.erase(std::unique(next_hops.begin(), next_hops.end()),
+                  next_hops.end());
+}
+
+std::ostream& operator<<(std::ostream& os, const Rule& rule);
+
+}  // namespace dcv::routing

@@ -1,0 +1,145 @@
+#include "routing/fib_synthesizer.hpp"
+
+#include <algorithm>
+
+#include "net/error.hpp"
+
+namespace dcv::routing {
+
+namespace {
+
+using topo::Device;
+using topo::DeviceId;
+using topo::DeviceRole;
+using topo::MetadataService;
+using topo::PrefixFact;
+
+void synthesize_tor(const MetadataService& metadata, const Device& tor,
+                    ForwardingTable& fib) {
+  const auto leaves =
+      metadata.topology().neighbors_with_role(tor.id, DeviceRole::kLeaf);
+  fib.add(Rule{.prefix = net::Prefix::default_route(),
+               .next_hops = leaves,
+               .connected = false});
+  for (const net::Prefix& own : tor.hosted_prefixes) {
+    fib.add(Rule{.prefix = own, .next_hops = {}, .connected = true});
+  }
+  for (const PrefixFact& fact : metadata.all_prefixes()) {
+    if (fact.tor == tor.id) continue;
+    // Every other prefix in the region is reached through the leaf layer.
+    fib.add(Rule{.prefix = fact.prefix,
+                 .next_hops = leaves,
+                 .connected = false});
+  }
+}
+
+void synthesize_leaf(const MetadataService& metadata, const Device& leaf,
+                     ForwardingTable& fib) {
+  const auto& topology = metadata.topology();
+  const auto spines =
+      topology.neighbors_with_role(leaf.id, DeviceRole::kSpine);
+  fib.add(Rule{.prefix = net::Prefix::default_route(),
+               .next_hops = spines,
+               .connected = false});
+  for (const PrefixFact& fact : metadata.all_prefixes()) {
+    if (fact.cluster == leaf.cluster) {
+      // Prefixes of the own cluster go straight down to the hosting ToR.
+      fib.add(Rule{.prefix = fact.prefix,
+                   .next_hops = {fact.tor},
+                   .connected = false});
+      continue;
+    }
+    const topo::DatacenterId fact_dc =
+        topology.device(fact.tor).datacenter;
+    std::vector<DeviceId> next_hops;
+    if (fact_dc == leaf.datacenter) {
+      // Same datacenter: spines that reach the destination cluster.
+      next_hops = metadata.leaf_uplinks_toward(leaf.id, fact.cluster);
+    } else {
+      // Other datacenter: spines with a regional uplink toward a regional
+      // spine that serves the destination cluster.
+      const auto& serving_regionals =
+          metadata.regionals_serving_cluster(fact.cluster);
+      for (const DeviceId spine : spines) {
+        const auto regionals = topology.neighbors_with_role(
+            spine, DeviceRole::kRegionalSpine);
+        if (std::any_of(regionals.begin(), regionals.end(),
+                        [&](DeviceId r) {
+                          return serving_regionals.contains(r);
+                        })) {
+          next_hops.push_back(spine);
+        }
+      }
+    }
+    fib.add(Rule{.prefix = fact.prefix,
+                 .next_hops = std::move(next_hops),
+                 .connected = false});
+  }
+}
+
+void synthesize_spine(const MetadataService& metadata, const Device& spine,
+                      ForwardingTable& fib) {
+  const auto& topology = metadata.topology();
+  const auto regionals =
+      topology.neighbors_with_role(spine.id, DeviceRole::kRegionalSpine);
+  fib.add(Rule{.prefix = net::Prefix::default_route(),
+               .next_hops = regionals,
+               .connected = false});
+  for (const PrefixFact& fact : metadata.all_prefixes()) {
+    const topo::DatacenterId fact_dc = topology.device(fact.tor).datacenter;
+    std::vector<DeviceId> next_hops;
+    if (fact_dc == spine.datacenter) {
+      next_hops = metadata.spine_downlinks_into(spine.id, fact.cluster);
+      if (next_hops.empty()) continue;  // plane does not serve that cluster
+    } else {
+      const auto& serving_regionals =
+          metadata.regionals_serving_cluster(fact.cluster);
+      for (const DeviceId r : regionals) {
+        if (serving_regionals.contains(r)) next_hops.push_back(r);
+      }
+      if (next_hops.empty()) continue;
+    }
+    fib.add(Rule{.prefix = fact.prefix,
+                 .next_hops = std::move(next_hops),
+                 .connected = false});
+  }
+}
+
+void synthesize_regional(const MetadataService& metadata,
+                         const Device& regional, ForwardingTable& fib) {
+  fib.add(Rule{.prefix = net::Prefix::default_route(),
+               .next_hops = {},
+               .connected = true});
+  for (const PrefixFact& fact : metadata.all_prefixes()) {
+    auto next_hops =
+        metadata.regional_downlinks_toward(regional.id, fact.cluster);
+    if (next_hops.empty()) continue;  // regional does not serve that cluster
+    fib.add(Rule{.prefix = fact.prefix,
+                 .next_hops = std::move(next_hops),
+                 .connected = false});
+  }
+}
+
+}  // namespace
+
+ForwardingTable FibSynthesizer::fib(topo::DeviceId device) const {
+  const Device& d = metadata_->topology().device(device);
+  ForwardingTable fib;
+  switch (d.role) {
+    case DeviceRole::kTor:
+      synthesize_tor(*metadata_, d, fib);
+      break;
+    case DeviceRole::kLeaf:
+      synthesize_leaf(*metadata_, d, fib);
+      break;
+    case DeviceRole::kSpine:
+      synthesize_spine(*metadata_, d, fib);
+      break;
+    case DeviceRole::kRegionalSpine:
+      synthesize_regional(*metadata_, d, fib);
+      break;
+  }
+  return fib;
+}
+
+}  // namespace dcv::routing

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "routing/fib.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::routing {
+
+/// Produces the FIB that EBGP propagation converges to on a *fault-free*
+/// structured datacenter, directly from architecture metadata in
+/// O(prefixes) per device and O(1) extra memory.
+///
+/// This serves two purposes:
+///  * it is the closed-form statement of the routing intent (§2.3) from
+///    which contracts derive — for a healthy network, FibSynthesizer output
+///    and ContractGenerator expectations coincide by construction;
+///  * it lets benchmarks stream realistic converged FIBs for 10^4-router
+///    datacenters without paying for full route propagation, the same way
+///    the paper's synthetic-benchmark topology generator does (§2.6.3).
+///
+/// Equivalence with BgpSimulator on fault-free topologies is asserted by
+/// integration tests. For faulty networks use BgpSimulator: synthesis is
+/// only meaningful for the converged healthy state.
+class FibSynthesizer {
+ public:
+  explicit FibSynthesizer(const topo::MetadataService& metadata)
+      : metadata_(&metadata) {}
+
+  /// The converged fault-free FIB of one device.
+  [[nodiscard]] ForwardingTable fib(topo::DeviceId device) const;
+
+ private:
+  const topo::MetadataService* metadata_;
+};
+
+}  // namespace dcv::routing

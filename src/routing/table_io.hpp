@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "routing/fib.hpp"
+#include "topology/topology.hpp"
+
+namespace dcv::routing {
+
+/// The synthetic management address of a device, used when rendering
+/// routing tables as text ("via <address>") and when resolving parsed
+/// next hops back to devices. Devices are numbered within 172.16.0.0/12.
+[[nodiscard]] net::Ipv4Address device_address(topo::DeviceId device);
+
+/// A routing-table entry as read from device output, before next-hop
+/// addresses are resolved to devices.
+struct ParsedRoute {
+  net::Prefix prefix;
+  bool connected = false;
+  std::vector<net::Ipv4Address> via;
+};
+
+/// A parsed device routing table (Figure 2 format).
+struct ParsedRoutingTable {
+  std::string vrf = "default";
+  std::vector<ParsedRoute> routes;
+};
+
+/// Renders a FIB in the style of Figure 2:
+///
+///   VRF name: default
+///   Codes: C - connected, B E - eBGP
+///   B E 0.0.0.0/0 [200/0] via 172.16.0.13
+///                         via 172.16.0.14
+///   C 10.0.0.0/24 directly connected
+[[nodiscard]] std::string write_routing_table(const ForwardingTable& fib);
+
+/// Parses text in the format produced by write_routing_table (tolerant of
+/// the decorations in Figure 2: code legend lines, gateway-of-last-resort
+/// banner, administrative distances). Throws dcv::ParseError on malformed
+/// route lines.
+[[nodiscard]] ParsedRoutingTable parse_routing_table(std::string_view text);
+
+/// Resolves parsed next-hop addresses to device ids via device_address().
+/// Throws dcv::ParseError if an address does not map to a device of the
+/// topology.
+[[nodiscard]] ForwardingTable to_forwarding_table(
+    const ParsedRoutingTable& parsed, const topo::Topology& topology);
+
+}  // namespace dcv::routing

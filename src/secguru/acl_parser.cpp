@@ -1,0 +1,146 @@
+#include "secguru/acl_parser.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "net/error.hpp"
+
+namespace dcv::secguru {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view next_token(std::string_view& s) {
+  s = trim(s);
+  std::size_t end = 0;
+  while (end < s.size() && s[end] != ' ' && s[end] != '\t') ++end;
+  const auto token = s.substr(0, end);
+  s.remove_prefix(end);
+  return token;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ParseError("ACL line " + std::to_string(line) + ": " + message);
+}
+
+std::uint16_t parse_port(std::string_view token, int line) {
+  unsigned value = 0;
+  const auto [next, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || next != token.data() + token.size() ||
+      value > 0xFFFF) {
+    fail(line, "bad port '" + std::string(token) + "'");
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+/// <addr> ::= any | host <ip> | <ip>/<len>
+net::Prefix parse_address(std::string_view& rest, int line) {
+  const auto token = next_token(rest);
+  if (token.empty()) fail(line, "missing address");
+  if (token == "any") return net::Prefix::default_route();
+  if (token == "host") {
+    const auto ip = next_token(rest);
+    if (ip.empty()) fail(line, "missing host address");
+    return net::Prefix(net::Ipv4Address::parse(ip), 32);
+  }
+  return net::Prefix::parse(token);
+}
+
+/// [<ports>] ::= eq <port> | range <lo> <hi> | (nothing)
+net::PortRange parse_ports(std::string_view& rest, int line) {
+  const auto saved = rest;
+  std::string_view probe = rest;
+  const auto token = next_token(probe);
+  if (token == "eq") {
+    rest = probe;
+    return net::PortRange::exactly(parse_port(next_token(rest), line));
+  }
+  if (token == "range") {
+    rest = probe;
+    const auto lo = parse_port(next_token(rest), line);
+    const auto hi = parse_port(next_token(rest), line);
+    if (lo > hi) fail(line, "inverted port range");
+    return net::PortRange(lo, hi);
+  }
+  rest = saved;
+  return net::PortRange::any();
+}
+
+}  // namespace
+
+Policy parse_acl(std::string_view text, std::string name) {
+  Policy policy{.name = std::move(name),
+                .semantics = PolicySemantics::kFirstApplicable,
+                .rules = {}};
+  std::string pending_remark;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    line = trim(line);
+    if (line.empty()) continue;
+
+    std::string_view rest = line;
+    const auto head = next_token(rest);
+    if (head == "remark") {
+      pending_remark = std::string(trim(rest));
+      continue;
+    }
+
+    Rule rule;
+    if (head == "permit") {
+      rule.action = Action::kPermit;
+    } else if (head == "deny") {
+      rule.action = Action::kDeny;
+    } else {
+      fail(line_number, "expected permit/deny/remark, got '" +
+                            std::string(head) + "'");
+    }
+    const auto proto = next_token(rest);
+    if (proto.empty()) fail(line_number, "missing protocol");
+    rule.protocol = net::ProtocolSpec::parse(proto);
+    rule.src = parse_address(rest, line_number);
+    rule.src_ports = parse_ports(rest, line_number);
+    rule.dst = parse_address(rest, line_number);
+    rule.dst_ports = parse_ports(rest, line_number);
+    if (!trim(rest).empty()) {
+      fail(line_number, "trailing tokens '" + std::string(trim(rest)) + "'");
+    }
+    rule.comment = pending_remark;
+    rule.line = line_number;
+    policy.rules.push_back(std::move(rule));
+  }
+  return policy;
+}
+
+std::string write_acl(const Policy& policy) {
+  std::ostringstream out;
+  std::string last_remark;
+  for (const Rule& rule : policy.rules) {
+    if (!rule.comment.empty() && rule.comment != last_remark) {
+      out << "remark " << rule.comment << "\n";
+      last_remark = rule.comment;
+    }
+    out << rule.to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dcv::secguru

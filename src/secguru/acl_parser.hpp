@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "secguru/rule.hpp"
+
+namespace dcv::secguru {
+
+/// Parses an access-control list in the Cisco-IOS-style syntax of Figure 8:
+///
+///   remark Isolating private addresses
+///   deny ip 10.0.0.0/8 any
+///   permit ip any 104.208.32.0/24
+///   deny tcp any any eq 445
+///   deny 53 any any
+///
+/// Grammar per line (blank lines ignored):
+///   remark <free text>                    -- attaches to following rules
+///   <action> <protocol> <addr> [<ports>] <addr> [<ports>]
+/// where <action>   ::= permit | deny
+///       <protocol> ::= ip | tcp | udp | icmp | <number>
+///       <addr>     ::= any | host <ip> | <ip>/<len>
+///       <ports>    ::= eq <port> | range <lo> <hi>
+///
+/// The returned policy uses first-applicable semantics (§3.1: "Both
+/// policies have the first-applicable rule semantics"). Throws
+/// dcv::ParseError with a line number on malformed input.
+[[nodiscard]] Policy parse_acl(std::string_view text,
+                               std::string name = "acl");
+
+/// Renders a policy back to the Figure 8 syntax (remarks are emitted before
+/// the first rule that carries them). parse_acl(write_acl(p)) == p up to
+/// line numbers.
+[[nodiscard]] std::string write_acl(const Policy& policy);
+
+}  // namespace dcv::secguru

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/header.hpp"
+#include "net/prefix.hpp"
+
+namespace dcv::secguru {
+
+/// What a contract expects of the traffic it describes.
+enum class Expectation : std::uint8_t {
+  kAllow,  // "a list of services that must be reachable on port 80 ..."
+  kDeny,   // "private datacenter addresses must not be reachable ..."
+};
+
+[[nodiscard]] std::string_view to_string(Expectation expectation);
+
+/// A connectivity contract (§3.2): "Each contract, similar to a policy
+/// rule, describes a packet filter and expectation of whether the packets
+/// matching the description must be permitted or denied." Contracts act as
+/// regression tests for a policy (§3.3).
+struct ConnectivityContract {
+  std::string name;
+  Expectation expect = Expectation::kDeny;
+  net::ProtocolSpec protocol;
+  net::Prefix src;
+  net::PortRange src_ports;
+  net::Prefix dst;
+  net::PortRange dst_ports;
+
+  /// True iff the packet is inside the contract's filter.
+  [[nodiscard]] bool covers(const net::PacketHeader& packet) const {
+    return protocol.matches(packet.protocol) && src.contains(packet.src_ip) &&
+           src_ports.contains(packet.src_port) &&
+           dst.contains(packet.dst_ip) && dst_ports.contains(packet.dst_port);
+  }
+
+  friend bool operator==(const ConnectivityContract&,
+                         const ConnectivityContract&) = default;
+};
+
+/// A named suite of contracts, used as the pre/post-check regression suite
+/// in change workflows (§3.3).
+struct ContractSuite {
+  std::string name;
+  std::vector<ConnectivityContract> contracts;
+};
+
+}  // namespace dcv::secguru

@@ -1,0 +1,157 @@
+#include "secguru/contracts_io.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "net/error.hpp"
+
+namespace dcv::secguru {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view next_token(std::string_view& s) {
+  s = trim(s);
+  std::size_t end = 0;
+  while (end < s.size() && s[end] != ' ' && s[end] != '\t') ++end;
+  const auto token = s.substr(0, end);
+  s.remove_prefix(end);
+  return token;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ParseError("contracts line " + std::to_string(line) + ": " +
+                   message);
+}
+
+std::uint16_t parse_port(std::string_view token, int line) {
+  unsigned value = 0;
+  const auto [next, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || next != token.data() + token.size() ||
+      value > 0xFFFF) {
+    fail(line, "bad port '" + std::string(token) + "'");
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+net::Prefix parse_address(std::string_view& rest, int line) {
+  const auto token = next_token(rest);
+  if (token.empty()) fail(line, "missing address");
+  if (token == "any") return net::Prefix::default_route();
+  if (token == "host") {
+    const auto ip = next_token(rest);
+    if (ip.empty()) fail(line, "missing host address");
+    return net::Prefix(net::Ipv4Address::parse(ip), 32);
+  }
+  return net::Prefix::parse(token);
+}
+
+net::PortRange parse_ports(std::string_view& rest, int line) {
+  const auto saved = rest;
+  std::string_view probe = rest;
+  const auto token = next_token(probe);
+  if (token == "eq") {
+    rest = probe;
+    return net::PortRange::exactly(parse_port(next_token(rest), line));
+  }
+  if (token == "range") {
+    rest = probe;
+    const auto lo = parse_port(next_token(rest), line);
+    const auto hi = parse_port(next_token(rest), line);
+    if (lo > hi) fail(line, "inverted port range");
+    return net::PortRange(lo, hi);
+  }
+  rest = saved;
+  return net::PortRange::any();
+}
+
+std::string address_text(const net::Prefix& prefix) {
+  if (prefix.is_default()) return "any";
+  if (prefix.length() == 32) return "host " + prefix.network().to_string();
+  return prefix.to_string();
+}
+
+std::string port_text(const net::PortRange& ports) {
+  if (ports.is_any()) return "";
+  if (ports.lo == ports.hi) return " eq " + std::to_string(ports.lo);
+  return " range " + std::to_string(ports.lo) + " " +
+         std::to_string(ports.hi);
+}
+
+}  // namespace
+
+ContractSuite parse_contracts(std::string_view text, std::string name) {
+  ContractSuite suite{.name = std::move(name), .contracts = {}};
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    // Split off the trailing "# name" comment.
+    std::string contract_name = "line-" + std::to_string(line_number);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      const auto comment = trim(line.substr(hash + 1));
+      if (!comment.empty()) contract_name = std::string(comment);
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    std::string_view rest = line;
+    const auto head = next_token(rest);
+    ConnectivityContract contract;
+    contract.name = std::move(contract_name);
+    if (head == "allow") {
+      contract.expect = Expectation::kAllow;
+    } else if (head == "deny") {
+      contract.expect = Expectation::kDeny;
+    } else {
+      fail(line_number,
+           "expected allow/deny, got '" + std::string(head) + "'");
+    }
+    const auto proto = next_token(rest);
+    if (proto.empty()) fail(line_number, "missing protocol");
+    contract.protocol = net::ProtocolSpec::parse(proto);
+    contract.src = parse_address(rest, line_number);
+    contract.src_ports = parse_ports(rest, line_number);
+    contract.dst = parse_address(rest, line_number);
+    contract.dst_ports = parse_ports(rest, line_number);
+    if (!trim(rest).empty()) {
+      fail(line_number,
+           "trailing tokens '" + std::string(trim(rest)) + "'");
+    }
+    suite.contracts.push_back(std::move(contract));
+  }
+  return suite;
+}
+
+std::string write_contracts(const ContractSuite& suite) {
+  std::ostringstream out;
+  for (const ConnectivityContract& c : suite.contracts) {
+    out << (c.expect == Expectation::kAllow ? "allow" : "deny") << " "
+        << c.protocol.to_string() << " " << address_text(c.src)
+        << port_text(c.src_ports) << " " << address_text(c.dst)
+        << port_text(c.dst_ports);
+    if (!c.name.empty()) out << "  # " << c.name;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dcv::secguru

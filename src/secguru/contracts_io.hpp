@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "secguru/contracts.hpp"
+
+namespace dcv::secguru {
+
+/// Text format for contract suites — the "regression tests for the ACL" of
+/// §3.3, as files. Line-oriented, mirroring the ACL grammar with the
+/// expectation keyword up front:
+///
+///   # comment
+///   allow tcp 8.8.8.0/24 104.208.32.0/20 eq 443   # web reachable
+///   deny  ip  10.0.0.0/8 any                      # private isolation
+///
+/// Grammar per line:
+///   <allow|deny> <protocol> <addr> [<ports>] <addr> [<ports>] [# name]
+/// with <addr> ::= any | host <ip> | <ip>/<len> and
+/// <ports> ::= eq <port> | range <lo> <hi>. Unnamed contracts get
+/// "line-<n>" names.
+[[nodiscard]] ContractSuite parse_contracts(std::string_view text,
+                                            std::string name = "contracts");
+
+/// Renders a suite back to the same format.
+[[nodiscard]] std::string write_contracts(const ContractSuite& suite);
+
+}  // namespace dcv::secguru

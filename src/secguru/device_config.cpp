@@ -1,0 +1,290 @@
+#include "secguru/device_config.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "net/error.hpp"
+#include "secguru/acl_parser.hpp"
+
+namespace dcv::secguru {
+
+const Policy* DeviceConfig::find_acl(std::string_view name) const {
+  const auto it = acls.find(std::string(name));
+  return it == acls.end() ? nullptr : &it->second;
+}
+
+const InterfaceConfig* DeviceConfig::interface_with_acl(
+    std::string_view acl_name) const {
+  for (const InterfaceConfig& interface : interfaces) {
+    if (interface.acl_in == acl_name || interface.acl_out == acl_name) {
+      return &interface;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view next_token(std::string_view& s) {
+  s = trim(s);
+  std::size_t end = 0;
+  while (end < s.size() && s[end] != ' ' && s[end] != '\t') ++end;
+  const auto token = s.substr(0, end);
+  s.remove_prefix(end);
+  return token;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ParseError("config line " + std::to_string(line) + ": " + message);
+}
+
+/// Parser state: which stanza the cursor is inside.
+enum class Section { kTop, kAcl, kInterface, kBgp };
+
+}  // namespace
+
+DeviceConfig parse_device_config(std::string_view text) {
+  DeviceConfig config;
+  Section section = Section::kTop;
+  std::string acl_name;
+  std::string acl_body;  // collected and handed to parse_acl at stanza end
+  int acl_start_line = 0;
+
+  const auto finish_acl = [&] {
+    if (section != Section::kAcl) return;
+    try {
+      config.acls[acl_name] = parse_acl(acl_body, acl_name);
+    } catch (const ParseError& error) {
+      // Rebase the inner line number onto the config file.
+      throw ParseError("config acl '" + acl_name + "' (starting line " +
+                       std::to_string(acl_start_line) +
+                       "): " + error.what());
+    }
+    acl_name.clear();
+    acl_body.clear();
+  };
+
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line == "!") {  // stanza separator
+      finish_acl();
+      section = Section::kTop;
+      continue;
+    }
+
+    std::string_view rest = line;
+    const auto first = next_token(rest);
+
+    // Stanza openers.
+    if (first == "hostname") {
+      finish_acl();
+      section = Section::kTop;
+      config.hostname = std::string(trim(rest));
+      continue;
+    }
+    if (first == "ip" && section == Section::kTop) {
+      auto after = rest;
+      const auto second = next_token(after);
+      if (second != "access-list") {
+        fail(line_number,
+             "unknown top-level ip command '" + std::string(second) + "'");
+      }
+      finish_acl();
+      const auto kind = next_token(after);
+      if (kind != "extended") {
+        fail(line_number, "only 'ip access-list extended' is supported");
+      }
+      const auto name = next_token(after);
+      if (name.empty()) fail(line_number, "missing ACL name");
+      section = Section::kAcl;
+      acl_name = std::string(name);
+      acl_start_line = line_number;
+      continue;
+    }
+    if (first == "interface") {
+      finish_acl();
+      section = Section::kInterface;
+      config.interfaces.push_back(
+          InterfaceConfig{.name = std::string(trim(rest))});
+      if (config.interfaces.back().name.empty()) {
+        fail(line_number, "missing interface name");
+      }
+      continue;
+    }
+    if (first == "router") {
+      finish_acl();
+      const auto proto = next_token(rest);
+      if (proto != "bgp") fail(line_number, "only 'router bgp' supported");
+      const auto asn_text = next_token(rest);
+      topo::Asn asn = 0;
+      const auto [next, ec] = std::from_chars(
+          asn_text.data(), asn_text.data() + asn_text.size(), asn);
+      if (ec != std::errc{} || next != asn_text.data() + asn_text.size()) {
+        fail(line_number, "bad AS number '" + std::string(asn_text) + "'");
+      }
+      config.local_as = asn;
+      section = Section::kBgp;
+      continue;
+    }
+
+    // Stanza bodies.
+    switch (section) {
+      case Section::kAcl:
+        acl_body += std::string(line) + "\n";
+        continue;
+      case Section::kInterface: {
+        InterfaceConfig& interface = config.interfaces.back();
+        if (first == "description") {
+          interface.description = std::string(trim(rest));
+        } else if (first == "shutdown") {
+          interface.shutdown = true;
+        } else if (first == "ip") {
+          const auto what = next_token(rest);
+          if (what == "address") {
+            const auto token = next_token(rest);
+            const auto slash = token.find('/');
+            if (slash == std::string_view::npos) {
+              fail(line_number, "interface address needs /<len>");
+            }
+            int length = -1;
+            const auto len_text = token.substr(slash + 1);
+            const auto [next, ec] = std::from_chars(
+                len_text.data(), len_text.data() + len_text.size(), length);
+            if (ec != std::errc{} ||
+                next != len_text.data() + len_text.size() || length < 0 ||
+                length > 32) {
+              fail(line_number, "bad interface address length");
+            }
+            interface.address = InterfaceAddress{
+                .address = net::Ipv4Address::parse(token.substr(0, slash)),
+                .prefix_length = length};
+          } else if (what == "access-group") {
+            const auto name = next_token(rest);
+            const auto direction = next_token(rest);
+            if (direction == "in") {
+              interface.acl_in = std::string(name);
+            } else if (direction == "out") {
+              interface.acl_out = std::string(name);
+            } else {
+              fail(line_number, "access-group direction must be in/out");
+            }
+          } else {
+            fail(line_number,
+                 "unknown interface ip subcommand '" + std::string(what) +
+                     "'");
+          }
+        } else {
+          fail(line_number, "unknown interface subcommand '" +
+                                std::string(first) + "'");
+        }
+        continue;
+      }
+      case Section::kBgp: {
+        if (first != "neighbor") {
+          fail(line_number,
+               "unknown bgp subcommand '" + std::string(first) + "'");
+        }
+        const auto address = net::Ipv4Address::parse(next_token(rest));
+        const auto what = next_token(rest);
+        if (what == "remote-as") {
+          const auto asn_text = next_token(rest);
+          topo::Asn asn = 0;
+          const auto [next, ec] = std::from_chars(
+              asn_text.data(), asn_text.data() + asn_text.size(), asn);
+          if (ec != std::errc{} ||
+              next != asn_text.data() + asn_text.size()) {
+            fail(line_number, "bad remote-as");
+          }
+          config.bgp_neighbors.push_back(
+              BgpNeighborConfig{.address = address, .remote_as = asn});
+        } else if (what == "shutdown") {
+          bool found = false;
+          for (BgpNeighborConfig& neighbor : config.bgp_neighbors) {
+            if (neighbor.address == address) {
+              neighbor.shutdown = true;
+              found = true;
+            }
+          }
+          if (!found) {
+            fail(line_number, "shutdown for undeclared neighbor " +
+                                  address.to_string());
+          }
+        } else {
+          fail(line_number,
+               "unknown neighbor subcommand '" + std::string(what) + "'");
+        }
+        continue;
+      }
+      case Section::kTop:
+        fail(line_number,
+             "unknown top-level command '" + std::string(first) + "'");
+    }
+  }
+  finish_acl();
+  return config;
+}
+
+std::string write_device_config(const DeviceConfig& config) {
+  std::ostringstream out;
+  if (!config.hostname.empty()) {
+    out << "hostname " << config.hostname << "\n!\n";
+  }
+  for (const auto& [name, acl] : config.acls) {
+    out << "ip access-list extended " << name << "\n";
+    std::istringstream body(write_acl(acl));
+    std::string line;
+    while (std::getline(body, line)) out << " " << line << "\n";
+    out << "!\n";
+  }
+  for (const InterfaceConfig& interface : config.interfaces) {
+    out << "interface " << interface.name << "\n";
+    if (!interface.description.empty()) {
+      out << " description " << interface.description << "\n";
+    }
+    if (interface.address) {
+      out << " ip address " << interface.address->to_string() << "\n";
+    }
+    if (!interface.acl_in.empty()) {
+      out << " ip access-group " << interface.acl_in << " in\n";
+    }
+    if (!interface.acl_out.empty()) {
+      out << " ip access-group " << interface.acl_out << " out\n";
+    }
+    if (interface.shutdown) out << " shutdown\n";
+    out << "!\n";
+  }
+  if (config.local_as) {
+    out << "router bgp " << *config.local_as << "\n";
+    for (const BgpNeighborConfig& neighbor : config.bgp_neighbors) {
+      out << " neighbor " << neighbor.address.to_string() << " remote-as "
+          << neighbor.remote_as << "\n";
+      if (neighbor.shutdown) {
+        out << " neighbor " << neighbor.address.to_string() << " shutdown\n";
+      }
+    }
+    out << "!\n";
+  }
+  return out.str();
+}
+
+}  // namespace dcv::secguru

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "secguru/rule.hpp"
+#include "topology/device.hpp"
+
+namespace dcv::secguru {
+
+/// One interface stanza of a device configuration. Unlike a CIDR prefix,
+/// an interface address keeps its host bits (192.0.2.1/31).
+struct InterfaceAddress {
+  net::Ipv4Address address;
+  int prefix_length = 32;
+
+  [[nodiscard]] std::string to_string() const {
+    return address.to_string() + "/" + std::to_string(prefix_length);
+  }
+
+  friend bool operator==(const InterfaceAddress&,
+                         const InterfaceAddress&) = default;
+};
+
+struct InterfaceConfig {
+  std::string name;
+  std::string description;
+  std::optional<InterfaceAddress> address;  // "ip address <ip>/<len>"
+  std::string acl_in;                       // "ip access-group <name> in"
+  std::string acl_out;                      // "ip access-group <name> out"
+  bool shutdown = false;
+
+  friend bool operator==(const InterfaceConfig&,
+                         const InterfaceConfig&) = default;
+};
+
+/// One EBGP neighbor of the "router bgp" stanza.
+struct BgpNeighborConfig {
+  net::Ipv4Address address;
+  topo::Asn remote_as = 0;
+  bool shutdown = false;  // "neighbor <ip> shutdown" — the §2.6.2 drift
+
+  friend bool operator==(const BgpNeighborConfig&,
+                         const BgpNeighborConfig&) = default;
+};
+
+/// A network device configuration in the Cisco-IOS-like dialect that the
+/// Figure 8 ACL is written in. This is the object SecGuru consumes in
+/// production: "the policy is the configuration of the network device and
+/// the name of the ACL that it contains and needs to be analyzed" (§3.2).
+struct DeviceConfig {
+  std::string hostname;
+  /// Named ACLs ("ip access-list extended <name>"), first-applicable.
+  std::map<std::string, Policy> acls;
+  std::vector<InterfaceConfig> interfaces;
+  std::optional<topo::Asn> local_as;
+  std::vector<BgpNeighborConfig> bgp_neighbors;
+
+  /// The named ACL, or nullptr.
+  [[nodiscard]] const Policy* find_acl(std::string_view name) const;
+
+  /// The interface a given ACL is bound to (inbound), or nullptr.
+  [[nodiscard]] const InterfaceConfig* interface_with_acl(
+      std::string_view acl_name) const;
+};
+
+/// Parses a device configuration:
+///
+///   hostname edge-1
+///   !
+///   ip access-list extended EDGE-IN
+///    remark Isolating private addresses
+///    deny ip 10.0.0.0/8 any
+///    permit tcp any 104.208.32.0/20 eq 443
+///   !
+///   interface Ethernet1
+///    description uplink
+///    ip address 192.0.2.1/31
+///    ip access-group EDGE-IN in
+///   !
+///   router bgp 65535
+///    neighbor 192.0.2.0 remote-as 65100
+///    neighbor 192.0.2.2 remote-as 65101
+///    neighbor 192.0.2.2 shutdown
+///
+/// Throws dcv::ParseError with a line number on malformed input.
+[[nodiscard]] DeviceConfig parse_device_config(std::string_view text);
+
+/// Renders the configuration back (round-trip up to blank-line layout).
+[[nodiscard]] std::string write_device_config(const DeviceConfig& config);
+
+}  // namespace dcv::secguru

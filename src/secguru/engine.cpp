@@ -1,0 +1,232 @@
+#include "secguru/engine.hpp"
+
+#include <z3++.h>
+
+#include "smt/encoding.hpp"
+
+namespace dcv::secguru {
+
+std::string_view to_string(Expectation expectation) {
+  switch (expectation) {
+    case Expectation::kAllow:
+      return "allow";
+    case Expectation::kDeny:
+      return "deny";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The predicate r_i(x) of §3.2: the rule's packet filter over the
+/// symbolic 5-tuple.
+z3::expr rule_predicate(const smt::SymbolicPacket& x, const Rule& rule) {
+  return smt::protocol_matches(x.protocol, rule.protocol) &&
+         smt::ip_in_prefix(x.src_ip, rule.src) &&
+         smt::port_in_range(x.src_port, rule.src_ports) &&
+         smt::ip_in_prefix(x.dst_ip, rule.dst) &&
+         smt::port_in_range(x.dst_port, rule.dst_ports);
+}
+
+/// The policy predicate P(x): linear in the size of the policy, per
+/// Definition 3.1 (first applicable, folded from the implicit default deny
+/// backwards) or Definition 3.2 (deny overrides).
+z3::expr policy_predicate(const smt::SymbolicPacket& x, const Policy& policy) {
+  z3::context& ctx = x.src_ip.ctx();
+  switch (policy.semantics) {
+    case PolicySemantics::kFirstApplicable: {
+      z3::expr p = ctx.bool_val(false);  // P_n(x) = false
+      for (auto it = policy.rules.rbegin(); it != policy.rules.rend(); ++it) {
+        const z3::expr r = rule_predicate(x, *it);
+        p = it->action == Action::kPermit ? (r || p) : (!r && p);
+      }
+      return p;
+    }
+    case PolicySemantics::kDenyOverrides: {
+      z3::expr some_allow = ctx.bool_val(false);
+      z3::expr no_deny = ctx.bool_val(true);
+      for (const Rule& rule : policy.rules) {
+        const z3::expr r = rule_predicate(x, rule);
+        if (rule.action == Action::kPermit) {
+          some_allow = some_allow || r;
+        } else {
+          no_deny = no_deny && !r;
+        }
+      }
+      return some_allow && no_deny;
+    }
+  }
+  return ctx.bool_val(false);
+}
+
+/// The contract predicate C(x).
+z3::expr contract_predicate(const smt::SymbolicPacket& x,
+                            const ConnectivityContract& contract) {
+  return smt::protocol_matches(x.protocol, contract.protocol) &&
+         smt::ip_in_prefix(x.src_ip, contract.src) &&
+         smt::port_in_range(x.src_port, contract.src_ports) &&
+         smt::ip_in_prefix(x.dst_ip, contract.dst) &&
+         smt::port_in_range(x.dst_port, contract.dst_ports);
+}
+
+}  // namespace
+
+struct Engine::Impl {
+  z3::context ctx;
+};
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+Engine::Impl& Engine::impl() {
+  if (!impl_) impl_ = std::make_unique<Impl>();
+  return *impl_;
+}
+
+ContractCheckResult Engine::check(const Policy& policy,
+                                  const ConnectivityContract& contract) {
+  z3::context& ctx = impl().ctx;
+  const auto x = smt::SymbolicPacket::create(ctx);
+  const z3::expr c = contract_predicate(x, contract);
+  const z3::expr p = policy_predicate(x, policy);
+
+  // Allow contracts: C ∧ ¬P satisfiable means some traffic the contract
+  // requires is denied. Deny contracts dually: C ∧ P satisfiable means
+  // forbidden traffic gets through.
+  z3::solver solver(ctx);
+  solver.add(c);
+  solver.add(contract.expect == Expectation::kAllow ? !p : p);
+
+  ContractCheckResult result;
+  result.contract_name = contract.name;
+  if (solver.check() != z3::sat) {
+    result.holds = true;
+    return result;
+  }
+  result.holds = false;
+  const net::PacketHeader witness =
+      smt::eval_packet(solver.get_model(), x);
+  result.witness = witness;
+  // Identify the rule that decided the witness — the violator.
+  result.violating_rule = evaluate(policy, witness).rule_index;
+  return result;
+}
+
+PolicyReport Engine::check_suite(const Policy& policy,
+                                 const ContractSuite& suite) {
+  PolicyReport report;
+  report.policy_name = policy.name;
+  // Encode the policy once; each contract is a push/pop on one solver, so
+  // the (large) policy formula is built a single time per suite.
+  z3::context& ctx = impl().ctx;
+  const auto x = smt::SymbolicPacket::create(ctx);
+  const z3::expr p = policy_predicate(x, policy);
+  z3::solver solver(ctx);
+  for (const ConnectivityContract& contract : suite.contracts) {
+    ++report.contracts_checked;
+    solver.push();
+    solver.add(contract_predicate(x, contract));
+    solver.add(contract.expect == Expectation::kAllow ? !p : p);
+    if (solver.check() == z3::sat) {
+      ContractCheckResult failure;
+      failure.contract_name = contract.name;
+      failure.holds = false;
+      const net::PacketHeader witness =
+          smt::eval_packet(solver.get_model(), x);
+      failure.witness = witness;
+      failure.violating_rule = evaluate(policy, witness).rule_index;
+      report.failures.push_back(std::move(failure));
+    }
+    solver.pop();
+  }
+  return report;
+}
+
+std::optional<net::PacketHeader> Engine::difference_witness(
+    const Policy& before, const Policy& after) {
+  z3::context& ctx = impl().ctx;
+  const auto x = smt::SymbolicPacket::create(ctx);
+  z3::solver solver(ctx);
+  solver.add(policy_predicate(x, before) != policy_predicate(x, after));
+  if (solver.check() != z3::sat) return std::nullopt;
+  return smt::eval_packet(solver.get_model(), x);
+}
+
+std::vector<Engine::DiffWitness> Engine::semantic_diff(
+    const Policy& before, const Policy& after, std::size_t max_witnesses) {
+  std::vector<DiffWitness> witnesses;
+  z3::context& ctx = impl().ctx;
+  const auto x = smt::SymbolicPacket::create(ctx);
+  z3::solver solver(ctx);
+  solver.add(policy_predicate(x, before) != policy_predicate(x, after));
+
+  const auto rule_region = [&](const Policy& policy,
+                               std::optional<std::size_t> index) -> z3::expr {
+    // The packet space where this rule (or the default deny: no rule at
+    // all) decides. First-applicable: the rule's filter minus all earlier
+    // filters; deny-overrides uses the filter alone (good enough for
+    // blocking purposes).
+    if (!index) {
+      z3::expr none = ctx.bool_val(true);
+      for (const Rule& rule : policy.rules) {
+        none = none && !rule_predicate(x, rule);
+      }
+      return none;
+    }
+    z3::expr region = rule_predicate(x, policy.rules[*index]);
+    if (policy.semantics == PolicySemantics::kFirstApplicable) {
+      for (std::size_t i = 0; i < *index; ++i) {
+        region = region && !rule_predicate(x, policy.rules[i]);
+      }
+    }
+    return region;
+  };
+
+  while (witnesses.size() < max_witnesses && solver.check() == z3::sat) {
+    DiffWitness witness;
+    witness.packet = smt::eval_packet(solver.get_model(), x);
+    const Decision before_decision = evaluate(before, witness.packet);
+    const Decision after_decision = evaluate(after, witness.packet);
+    witness.before_allowed = before_decision.allowed;
+    witness.after_allowed = after_decision.allowed;
+    witness.before_rule = before_decision.rule_index;
+    witness.after_rule = after_decision.rule_index;
+    // Exclude the region where this same rule pair decides, so the next
+    // witness explains a different interaction.
+    solver.add(!(rule_region(before, witness.before_rule) &&
+                 rule_region(after, witness.after_rule)));
+    witnesses.push_back(std::move(witness));
+  }
+  return witnesses;
+}
+
+std::optional<net::PacketHeader> Engine::permitted_beyond(
+    const Policy& narrow, const Policy& wide) {
+  z3::context& ctx = impl().ctx;
+  const auto x = smt::SymbolicPacket::create(ctx);
+  z3::solver solver(ctx);
+  solver.add(policy_predicate(x, narrow) && !policy_predicate(x, wide));
+  if (solver.check() != z3::sat) return std::nullopt;
+  return smt::eval_packet(solver.get_model(), x);
+}
+
+std::vector<std::size_t> Engine::shadowed_rules(const Policy& policy) {
+  std::vector<std::size_t> shadowed;
+  if (policy.semantics != PolicySemantics::kFirstApplicable) return shadowed;
+  z3::context& ctx = impl().ctx;
+  const auto x = smt::SymbolicPacket::create(ctx);
+  // Incremental solving: after testing rule i, assert ¬r_i(x) permanently —
+  // a packet deciding rule j > i must not match any earlier rule anyway.
+  z3::solver solver(ctx);
+  for (std::size_t i = 0; i < policy.rules.size(); ++i) {
+    const z3::expr r = rule_predicate(x, policy.rules[i]);
+    solver.push();
+    solver.add(r);
+    if (solver.check() != z3::sat) shadowed.push_back(i);
+    solver.pop();
+    solver.add(!r);
+  }
+  return shadowed;
+}
+
+}  // namespace dcv::secguru

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "secguru/contracts.hpp"
+#include "secguru/rule.hpp"
+
+namespace dcv::secguru {
+
+/// Outcome of checking one contract against one policy (§3.2):
+///
+///  * holds == true: "C -> P is valid: the contract is preserved by the
+///    policy" (resp. C ∧ P unsatisfiable, for deny contracts).
+///  * holds == false: a witness packet demonstrates the discrepancy, and
+///    "the error report also identifies the rule in the policy that
+///    violated the contract" — the deciding rule for the witness (nullopt
+///    when the implicit default deny decided).
+struct ContractCheckResult {
+  std::string contract_name;
+  bool holds = false;
+  std::optional<net::PacketHeader> witness;
+  std::optional<std::size_t> violating_rule;
+};
+
+/// Aggregate report for a contract suite: "The report contains a list of
+/// invariants that failed ... The list is empty if all invariants pass"
+/// (§3.4).
+struct PolicyReport {
+  std::string policy_name;
+  std::size_t contracts_checked = 0;
+  std::vector<ContractCheckResult> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// The SecGuru verification engine (Figure 10): encodes policies (under
+/// either combination convention, Definitions 3.1 and 3.2) and contracts as
+/// bit-vector predicates and extracts answers through Z3 satisfiability
+/// checking. "Modeling policy analysis questions as logical formulas allows
+/// analysis to be semantic and agnostic to the low-level device syntax."
+/// One Engine owns one Z3 context, reused across checks; an Engine is
+/// therefore not thread-safe — use one per thread.
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Checks one contract against a policy.
+  [[nodiscard]] ContractCheckResult check(
+      const Policy& policy, const ConnectivityContract& contract);
+
+  /// Checks a whole suite, collecting failures.
+  [[nodiscard]] PolicyReport check_suite(const Policy& policy,
+                                         const ContractSuite& suite);
+
+  /// Semantic equivalence: returns a packet on which the two policies
+  /// disagree, or nullopt when they admit exactly the same traffic. Used to
+  /// prove refactoring steps behavior-preserving (§3.3).
+  [[nodiscard]] std::optional<net::PacketHeader> difference_witness(
+      const Policy& before, const Policy& after);
+
+  /// One behavioral difference between two policies: a concrete packet,
+  /// both verdicts, and the rules that decided each side (nullopt = the
+  /// implicit default deny).
+  struct DiffWitness {
+    net::PacketHeader packet;
+    bool before_allowed = false;
+    bool after_allowed = false;
+    std::optional<std::size_t> before_rule;
+    std::optional<std::size_t> after_rule;
+  };
+
+  /// Enumerates distinct behavioral differences, one witness per pair of
+  /// deciding rules: after each witness, the region where that same rule
+  /// pair decides is excluded and the query re-runs, so each witness
+  /// explains a different interaction. Stops at `max_witnesses` or when no
+  /// difference remains. Empty result == semantically equivalent.
+  [[nodiscard]] std::vector<DiffWitness> semantic_diff(
+      const Policy& before, const Policy& after,
+      std::size_t max_witnesses = 8);
+
+  /// Semantic subsumption: traffic admitted by `narrow` that `wide`
+  /// rejects, or nullopt if wide admits everything narrow admits.
+  [[nodiscard]] std::optional<net::PacketHeader> permitted_beyond(
+      const Policy& narrow, const Policy& wide);
+
+  /// Indices of rules that can never decide a packet under the
+  /// first-applicable convention (fully shadowed by earlier rules) — the
+  /// "unnecessary or redundant" rules targeted by ACL refactoring (§3.3).
+  [[nodiscard]] std::vector<std::size_t> shadowed_rules(const Policy& policy);
+
+ private:
+  struct Impl;
+  /// Owns the Z3 context (kept out of this header via unique_ptr + Impl).
+  std::unique_ptr<Impl> impl_;
+  Impl& impl();
+};
+
+}  // namespace dcv::secguru

@@ -1,0 +1,109 @@
+#include "secguru/firewall.hpp"
+
+namespace dcv::secguru {
+
+namespace {
+
+Rule deny_dst(const net::Prefix& dst, std::string comment) {
+  return Rule{.action = Action::kDeny,
+              .protocol = net::ProtocolSpec::any(),
+              .src = net::Prefix::default_route(),
+              .src_ports = net::PortRange::any(),
+              .dst = dst,
+              .dst_ports = net::PortRange::any(),
+              .comment = std::move(comment)};
+}
+
+Rule allow_dst(const net::Prefix& dst, std::string comment) {
+  return Rule{.action = Action::kPermit,
+              .protocol = net::ProtocolSpec::any(),
+              .src = net::Prefix::default_route(),
+              .src_ports = net::PortRange::any(),
+              .dst = dst,
+              .dst_ports = net::PortRange::any(),
+              .comment = std::move(comment)};
+}
+
+}  // namespace
+
+Policy instantiate_common_firewall(const VmInstance& vm,
+                                   const InfrastructureEndpoints& infra,
+                                   const TemplateBugs& bugs) {
+  Policy policy{.name = "fw-" + vm.name,
+                .semantics = PolicySemantics::kDenyOverrides,
+                .rules = {}};
+  if (!bugs.omit_infrastructure_isolation) {
+    for (const net::Prefix& range : infra.ranges) {
+      policy.rules.push_back(
+          deny_dst(range, "no guest access to infrastructure"));
+    }
+  }
+  if (!bugs.omit_tenant_isolation) {
+    for (const net::Prefix& other :
+         net::prefix_difference(infra.tenant_space, vm.vnet)) {
+      policy.rules.push_back(deny_dst(other, "tenant isolation"));
+    }
+  }
+  policy.rules.push_back(allow_dst(vm.vnet, "own virtual network"));
+  policy.rules.push_back(
+      allow_dst(net::Prefix::default_route(), "outbound internet"));
+  for (std::size_t i = 0; i < policy.rules.size(); ++i) {
+    policy.rules[i].line = static_cast<int>(i + 1);
+  }
+  return policy;
+}
+
+ContractSuite common_restriction_contracts(
+    const VmInstance& vm, const InfrastructureEndpoints& infra) {
+  ContractSuite suite{.name = "common-restrictions:" + vm.name,
+                      .contracts = {}};
+  for (const net::Prefix& range : infra.ranges) {
+    suite.contracts.push_back(ConnectivityContract{
+        .name = "no-infrastructure-access " + range.to_string(),
+        .expect = Expectation::kDeny,
+        .protocol = net::ProtocolSpec::any(),
+        .src = net::Prefix::default_route(),
+        .src_ports = net::PortRange::any(),
+        .dst = range,
+        .dst_ports = net::PortRange::any()});
+  }
+  for (const net::Prefix& other :
+       net::prefix_difference(infra.tenant_space, vm.vnet)) {
+    suite.contracts.push_back(ConnectivityContract{
+        .name = "tenant-isolation " + other.to_string(),
+        .expect = Expectation::kDeny,
+        .protocol = net::ProtocolSpec::any(),
+        .src = net::Prefix::default_route(),
+        .src_ports = net::PortRange::any(),
+        .dst = other,
+        .dst_ports = net::PortRange::any()});
+  }
+  suite.contracts.push_back(ConnectivityContract{
+      .name = "intra-vnet-connectivity",
+      .expect = Expectation::kAllow,
+      .protocol = net::ProtocolSpec::any(),
+      .src = net::Prefix::default_route(),
+      .src_ports = net::PortRange::any(),
+      .dst = vm.vnet,
+      .dst_ports = net::PortRange::any()});
+  suite.contracts.push_back(ConnectivityContract{
+      .name = "internet-connectivity",
+      .expect = Expectation::kAllow,
+      .protocol = net::ProtocolSpec::tcp(),
+      .src = net::Prefix::default_route(),
+      .src_ports = net::PortRange::any(),
+      .dst = net::Prefix::parse("8.8.8.0/24"),
+      .dst_ports = net::PortRange::exactly(443)});
+  return suite;
+}
+
+DeploymentResult FirewallDeploymentGate::validate(
+    const VmInstance& vm, const Policy& firewall) const {
+  DeploymentResult result;
+  result.report =
+      engine_->check_suite(firewall, common_restriction_contracts(vm, infra_));
+  result.deployable = result.report.ok();
+  return result;
+}
+
+}  // namespace dcv::secguru

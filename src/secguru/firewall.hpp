@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "secguru/contracts.hpp"
+#include "secguru/engine.hpp"
+#include "secguru/rule.hpp"
+
+namespace dcv::secguru {
+
+/// A guest virtual machine for which a distributed host firewall is
+/// instantiated (§3.5).
+struct VmInstance {
+  std::string name;
+  /// The tenant's virtual network the VM belongs to.
+  net::Prefix vnet;
+};
+
+/// Infrastructure endpoints every guest must be walled off from.
+struct InfrastructureEndpoints {
+  std::vector<net::Prefix> ranges = {
+      net::Prefix::parse("168.63.129.0/24"),     // platform services
+      net::Prefix::parse("169.254.169.254/32"),  // instance metadata
+      net::Prefix::parse("100.64.0.0/10"),       // host management fabric
+  };
+  /// The address space shared by all tenant virtual networks; guests must
+  /// be isolated from every tenant network but their own.
+  net::Prefix tenant_space = net::Prefix::parse("10.0.0.0/8");
+};
+
+/// Knobs modeling the §3.5 failure mode: "bugs in the automation or policy
+/// changes have resulted in restrictions being omitted in deployments."
+struct TemplateBugs {
+  bool omit_infrastructure_isolation = false;
+  bool omit_tenant_isolation = false;
+};
+
+/// Derives a VM's firewall configuration from the common template. The
+/// policy uses deny-overrides semantics ("The firewall policies described
+/// in the configuration file follow the deny overrides semantics"):
+///
+///   Deny  guest -> every infrastructure range
+///   Deny  guest -> tenant space minus the VM's own virtual network
+///   Allow guest -> its own virtual network
+///   Allow guest -> anywhere (Internet)
+///
+/// The tenant-isolation denies use the CIDR decomposition of
+/// "tenant space \ own vnet" so that, under deny-overrides, intra-vnet
+/// traffic survives while every other tenant network is blocked.
+[[nodiscard]] Policy instantiate_common_firewall(
+    const VmInstance& vm, const InfrastructureEndpoints& infra = {},
+    const TemplateBugs& bugs = {});
+
+/// The security-policy contracts for the common restrictions: guests have
+/// no access to infrastructure services, are isolated from other tenants,
+/// and keep intra-vnet plus Internet connectivity.
+[[nodiscard]] ContractSuite common_restriction_contracts(
+    const VmInstance& vm, const InfrastructureEndpoints& infra = {});
+
+/// Result of gating one firewall deployment.
+struct DeploymentResult {
+  bool deployable = false;
+  PolicyReport report;
+};
+
+/// The deployment gate of §3.5: "incorporated the checking of policies in
+/// automation that gates deployments of policies to only those that pass
+/// validation. Incorporating validation as part of the deployment process
+/// eradicated the previous case when restrictions would accidentally be
+/// omitted."
+class FirewallDeploymentGate {
+ public:
+  explicit FirewallDeploymentGate(Engine& engine,
+                                  InfrastructureEndpoints infra = {})
+      : engine_(&engine), infra_(std::move(infra)) {}
+
+  [[nodiscard]] DeploymentResult validate(const VmInstance& vm,
+                                          const Policy& firewall) const;
+
+ private:
+  Engine* engine_;
+  InfrastructureEndpoints infra_;
+};
+
+}  // namespace dcv::secguru

@@ -1,0 +1,178 @@
+#include "secguru/nsg.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "net/error.hpp"
+
+namespace dcv::secguru {
+
+ServiceTags default_service_tags() {
+  return ServiceTags{
+      {"VirtualNetwork", net::Prefix::parse("10.0.0.0/8")},
+      {"Internet", net::Prefix::default_route()},
+      // The managed-database backup orchestration service of §3.4.
+      {"SqlManagement", net::Prefix::parse("168.63.129.0/24")},
+  };
+}
+
+void Nsg::upsert(NsgRule rule) {
+  rule.rule.comment = rule.name;
+  rule.rule.line = rule.priority;
+  rules_.insert_or_assign(rule.priority, std::move(rule));
+}
+
+bool Nsg::remove(int priority) { return rules_.erase(priority) > 0; }
+
+Policy Nsg::to_policy() const {
+  Policy policy{.name = name_,
+                .semantics = PolicySemantics::kFirstApplicable,
+                .rules = {}};
+  policy.rules.reserve(rules_.size());
+  for (const auto& [priority, rule] : rules_) {
+    policy.rules.push_back(rule.rule);
+  }
+  return policy;
+}
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      out.push_back(trim(line.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ParseError("NSG line " + std::to_string(line) + ": " + message);
+}
+
+net::Prefix parse_address(std::string_view token, const ServiceTags& tags,
+                          int line) {
+  if (token == "Any" || token == "any" || token == "*") {
+    return net::Prefix::default_route();
+  }
+  if (const auto it = tags.find(token); it != tags.end()) return it->second;
+  try {
+    return net::Prefix::parse(token);
+  } catch (const ParseError&) {
+    fail(line, "unknown address or service tag '" + std::string(token) + "'");
+  }
+}
+
+net::PortRange parse_ports(std::string_view token, int line) {
+  if (token == "Any" || token == "any" || token == "*") {
+    return net::PortRange::any();
+  }
+  const auto parse_one = [&](std::string_view t) -> std::uint16_t {
+    unsigned value = 0;
+    const auto [next, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc{} || next != t.data() + t.size() || value > 0xFFFF) {
+      fail(line, "bad port '" + std::string(t) + "'");
+    }
+    return static_cast<std::uint16_t>(value);
+  };
+  const auto dash = token.find('-');
+  if (dash == std::string_view::npos) {
+    return net::PortRange::exactly(parse_one(token));
+  }
+  const auto lo = parse_one(token.substr(0, dash));
+  const auto hi = parse_one(token.substr(dash + 1));
+  if (lo > hi) fail(line, "inverted port range");
+  return net::PortRange(lo, hi);
+}
+
+}  // namespace
+
+Nsg parse_nsg(std::string_view text, std::string name,
+              const ServiceTags& tags) {
+  Nsg nsg(std::move(name));
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.substr(0, 8) == "priority") continue;  // header
+
+    const auto fields = split_csv(line);
+    if (fields.size() != 8) {
+      fail(line_number, "expected 8 comma-separated fields, got " +
+                            std::to_string(fields.size()));
+    }
+    NsgRule rule;
+    {
+      int value = 0;
+      const auto f = fields[0];
+      const auto [next, ec] =
+          std::from_chars(f.data(), f.data() + f.size(), value);
+      if (ec != std::errc{} || next != f.data() + f.size()) {
+        fail(line_number, "bad priority '" + std::string(f) + "'");
+      }
+      rule.priority = value;
+    }
+    rule.name = std::string(fields[1]);
+    rule.rule.src = parse_address(fields[2], tags, line_number);
+    rule.rule.src_ports = parse_ports(fields[3], line_number);
+    rule.rule.dst = parse_address(fields[4], tags, line_number);
+    rule.rule.dst_ports = parse_ports(fields[5], line_number);
+    rule.rule.protocol = net::ProtocolSpec::parse(fields[6]);
+    if (fields[7] == "Allow" || fields[7] == "allow") {
+      rule.rule.action = Action::kPermit;
+    } else if (fields[7] == "Deny" || fields[7] == "deny") {
+      rule.rule.action = Action::kDeny;
+    } else {
+      fail(line_number, "bad access '" + std::string(fields[7]) + "'");
+    }
+    nsg.upsert(std::move(rule));
+  }
+  return nsg;
+}
+
+std::string write_nsg(const Nsg& nsg) {
+  std::ostringstream out;
+  out << "priority,name,source,src_ports,destination,dst_ports,protocol,"
+         "access\n";
+  for (const auto& [priority, rule] : nsg.rules()) {
+    const auto address = [](const net::Prefix& p) {
+      return p.is_default() ? std::string("Any") : p.to_string();
+    };
+    const auto ports = [](const net::PortRange& r) {
+      if (r.is_any()) return std::string("Any");
+      if (r.lo == r.hi) return std::to_string(r.lo);
+      return std::to_string(r.lo) + "-" + std::to_string(r.hi);
+    };
+    out << priority << "," << rule.name << "," << address(rule.rule.src)
+        << "," << ports(rule.rule.src_ports) << "," << address(rule.rule.dst)
+        << "," << ports(rule.rule.dst_ports) << ","
+        << rule.rule.protocol.to_string() << ","
+        << (rule.rule.action == Action::kPermit ? "Allow" : "Deny") << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dcv::secguru

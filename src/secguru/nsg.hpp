@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "secguru/rule.hpp"
+
+namespace dcv::secguru {
+
+/// A network security group rule (Figure 9): like an ACL rule, but ordering
+/// is explicit — "For NSG, the priority field specifies the order: smaller
+/// numbers have higher priority" (§3.1).
+struct NsgRule {
+  int priority = 0;
+  std::string name;
+  Rule rule;  // action + packet filter; rule.comment mirrors `name`
+
+  friend bool operator==(const NsgRule&, const NsgRule&) = default;
+};
+
+/// Service tags: symbolic names for address ranges usable in NSG source /
+/// destination columns (e.g. "VirtualNetwork", "Internet").
+using ServiceTags = std::map<std::string, net::Prefix, std::less<>>;
+
+/// The default tag set used by examples and tests.
+[[nodiscard]] ServiceTags default_service_tags();
+
+/// A network security group: rules applied in ascending priority order.
+class Nsg {
+ public:
+  Nsg() = default;
+  explicit Nsg(std::string name) : name_(std::move(name)) {}
+
+  /// Adds or replaces the rule at the given priority.
+  void upsert(NsgRule rule);
+
+  /// Removes the rule at the given priority; returns whether one existed.
+  bool remove(int priority);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+
+  /// Rules in ascending priority order.
+  [[nodiscard]] const std::map<int, NsgRule>& rules() const { return rules_; }
+
+  /// The equivalent ordered first-applicable policy (§3.1: "The syntax of
+  /// the two policies vary, but semantics is similar"); this is what the
+  /// verification engine consumes.
+  [[nodiscard]] Policy to_policy() const;
+
+  friend bool operator==(const Nsg&, const Nsg&) = default;
+
+ private:
+  std::string name_;
+  std::map<int, NsgRule> rules_;
+};
+
+/// Parses the tabular NSG format of Figure 9, one rule per line:
+///
+///   priority,name,source,src_ports,destination,dst_ports,protocol,access
+///   100,AllowVnetInbound,VirtualNetwork,Any,VirtualNetwork,Any,Any,Allow
+///   4096,DenyAllInbound,Any,Any,Any,Any,Any,Deny
+///
+/// A leading header line is skipped if present. Sources/destinations may be
+/// "Any", CIDR prefixes, bare addresses, or service-tag names resolved via
+/// `tags`. Ports may be "Any", a number, or "lo-hi". Protocol is
+/// Any/Tcp/Udp/Icmp or a number. Access is Allow or Deny.
+[[nodiscard]] Nsg parse_nsg(std::string_view text, std::string name = "nsg",
+                            const ServiceTags& tags = default_service_tags());
+
+/// Renders an NSG back to the tabular format (with header).
+[[nodiscard]] std::string write_nsg(const Nsg& nsg);
+
+}  // namespace dcv::secguru

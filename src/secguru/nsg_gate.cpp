@@ -1,0 +1,224 @@
+#include "secguru/nsg_gate.hpp"
+
+#include <deque>
+#include <random>
+
+namespace dcv::secguru {
+
+ContractSuite database_backup_contracts(const VirtualNetwork& vnet,
+                                        const BackupInfrastructure& infra) {
+  ContractSuite suite{.name = "database-backup:" + vnet.name,
+                      .contracts = {}};
+  // The orchestration service must reach the database instance on the
+  // control ports ...
+  suite.contracts.push_back(ConnectivityContract{
+      .name = "backup-control-inbound",
+      .expect = Expectation::kAllow,
+      .protocol = net::ProtocolSpec::tcp(),
+      .src = infra.service_range,
+      .src_ports = net::PortRange::any(),
+      .dst = vnet.address_space,
+      .dst_ports = infra.control_ports});
+  // ... and the instance must be able to ship backup data out to it.
+  suite.contracts.push_back(ConnectivityContract{
+      .name = "backup-data-outbound",
+      .expect = Expectation::kAllow,
+      .protocol = net::ProtocolSpec::tcp(),
+      .src = vnet.address_space,
+      .src_ports = net::PortRange::any(),
+      .dst = infra.service_range,
+      .dst_ports = net::PortRange::exactly(443)});
+  return suite;
+}
+
+NsgChangeResult NsgGate::try_update(VirtualNetwork& vnet,
+                                    const Nsg& proposed) const {
+  NsgChangeResult result;
+  if (!vnet.has_database_instance) {
+    vnet.nsg = proposed;
+    result.accepted = true;
+    return result;
+  }
+  const ContractSuite suite = database_backup_contracts(vnet, infra_);
+  result.report = engine_->check_suite(proposed.to_policy(), suite);
+  result.accepted = result.report.ok();
+  if (result.accepted) vnet.nsg = proposed;
+  return result;
+}
+
+namespace {
+
+/// The NSG a managed-database virtual network starts with: intra-vnet
+/// traffic, auto-provisioned backup reachability, default deny.
+Nsg baseline_nsg(const VirtualNetwork& vnet,
+                 const BackupInfrastructure& infra) {
+  Nsg nsg("nsg-" + vnet.name);
+  nsg.upsert(NsgRule{
+      .priority = 100,
+      .name = "AllowVnetInbound",
+      .rule = Rule{.action = Action::kPermit,
+                   .protocol = net::ProtocolSpec::any(),
+                   .src = vnet.address_space,
+                   .src_ports = net::PortRange::any(),
+                   .dst = vnet.address_space,
+                   .dst_ports = net::PortRange::any()}});
+  nsg.upsert(NsgRule{
+      .priority = 300,
+      .name = "AllowBackupControl",
+      .rule = Rule{.action = Action::kPermit,
+                   .protocol = net::ProtocolSpec::tcp(),
+                   .src = infra.service_range,
+                   .src_ports = net::PortRange::any(),
+                   .dst = vnet.address_space,
+                   .dst_ports = infra.control_ports}});
+  nsg.upsert(NsgRule{
+      .priority = 310,
+      .name = "AllowBackupData",
+      .rule = Rule{.action = Action::kPermit,
+                   .protocol = net::ProtocolSpec::tcp(),
+                   .src = vnet.address_space,
+                   .src_ports = net::PortRange::any(),
+                   .dst = infra.service_range,
+                   .dst_ports = net::PortRange::exactly(443)}});
+  nsg.upsert(NsgRule{
+      .priority = 4096,
+      .name = "DenyAll",
+      .rule = Rule{.action = Action::kDeny,
+                   .protocol = net::ProtocolSpec::any(),
+                   .src = net::Prefix::default_route(),
+                   .src_ports = net::PortRange::any(),
+                   .dst = net::Prefix::default_route(),
+                   .dst_ports = net::PortRange::any()}});
+  return nsg;
+}
+
+}  // namespace
+
+std::vector<NsgIncidentDay> simulate_nsg_incidents(
+    const NsgIncidentConfig& config) {
+  Engine engine;
+  const BackupInfrastructure infra;
+  const NsgGate gate(engine, infra);
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  struct Customer {
+    VirtualNetwork vnet;
+    bool broken = false;
+    bool incident_pending = false;  // broken, not yet reported
+    int broken_since = 0;
+    int misconfig_priority = 0;  // the offending rule, for support to fix
+  };
+  std::vector<Customer> customers;
+  std::deque<std::size_t> open_incidents;  // customer indices, FIFO
+  double adoption_accumulator = 0.0;
+  std::vector<NsgIncidentDay> series;
+  series.reserve(static_cast<std::size_t>(config.days));
+
+  for (int day = 0; day < config.days; ++day) {
+    NsgIncidentDay today{.day = day};
+    const bool gate_live = day >= config.gate_deploy_day;
+
+    // Adoption ramp: new managed-database virtual networks come online.
+    adoption_accumulator += config.adoption_per_day;
+    while (adoption_accumulator >= 1.0) {
+      adoption_accumulator -= 1.0;
+      const auto index = static_cast<std::uint32_t>(customers.size());
+      VirtualNetwork vnet{
+          .name = "vnet-" + std::to_string(index),
+          .address_space = net::Prefix(
+              net::Ipv4Address(net::Ipv4Address::from_octets(10, 0, 0, 0)
+                                   .value() +
+                               index * (1u << 16)),
+              16),
+          .has_database_instance = true,
+          .nsg = {}};
+      vnet.nsg = baseline_nsg(vnet, infra);
+      customers.push_back(Customer{.vnet = std::move(vnet)});
+    }
+
+    // Customer NSG churn.
+    for (std::size_t c = 0; c < customers.size(); ++c) {
+      Customer& customer = customers[c];
+      if (coin(rng) >= config.changes_per_vnet_per_day) continue;
+      ++today.changes_attempted;
+
+      Nsg proposed = customer.vnet.nsg;
+      const bool misconfigures =
+          coin(rng) < config.misconfiguration_probability;
+      if (misconfigures) {
+        // The classic lock-down mistake: a broad deny ahead of the backup
+        // allow rules. "Customers who were making changes to the NSG
+        // policies were not aware that they were blocking database backups."
+        const int priority = 150 + static_cast<int>(coin(rng) * 100);
+        proposed.upsert(NsgRule{
+            .priority = priority,
+            .name = "DenyInboundLockdown",
+            .rule = Rule{.action = Action::kDeny,
+                         .protocol = net::ProtocolSpec::any(),
+                         .src = net::Prefix::default_route(),
+                         .src_ports = net::PortRange::any(),
+                         .dst = customer.vnet.address_space,
+                         .dst_ports = net::PortRange::any()}});
+        customer.misconfig_priority = priority;
+      } else {
+        // A benign application rule at low priority.
+        proposed.upsert(NsgRule{
+            .priority = 1000 + static_cast<int>(coin(rng) * 1000),
+            .name = "AllowApp",
+            .rule = Rule{.action = Action::kPermit,
+                         .protocol = net::ProtocolSpec::tcp(),
+                         .src = net::Prefix::default_route(),
+                         .src_ports = net::PortRange::any(),
+                         .dst = customer.vnet.address_space,
+                         .dst_ports = net::PortRange::exactly(
+                             static_cast<std::uint16_t>(
+                                 8000 + coin(rng) * 1000))}});
+      }
+
+      if (gate_live) {
+        const NsgChangeResult result =
+            gate.try_update(customer.vnet, proposed);
+        if (!result.accepted) ++today.changes_rejected_by_gate;
+      } else {
+        // Pre-gate API: the change lands unvalidated.
+        customer.vnet.nsg = proposed;
+        if (misconfigures && !customer.broken) {
+          customer.broken = true;
+          customer.incident_pending = true;
+          customer.broken_since = day;
+        }
+      }
+    }
+
+    // Failing backups surface as customer-reported incidents after the
+    // detection lag.
+    for (std::size_t c = 0; c < customers.size(); ++c) {
+      Customer& customer = customers[c];
+      if (customer.incident_pending &&
+          day - customer.broken_since >= config.detection_lag_days) {
+        customer.incident_pending = false;
+        open_incidents.push_back(c);
+        ++today.incidents_reported;
+      }
+    }
+
+    // Support works the incident queue: diagnose the NSG, remove the
+    // offending rule.
+    for (std::size_t fixed = 0;
+         fixed < config.support_capacity_per_day && !open_incidents.empty();
+         ++fixed) {
+      Customer& customer = customers[open_incidents.front()];
+      open_incidents.pop_front();
+      customer.vnet.nsg.remove(customer.misconfig_priority);
+      customer.broken = false;
+    }
+
+    today.database_vnets = customers.size();
+    today.incidents_open = open_incidents.size();
+    series.push_back(today);
+  }
+  return series;
+}
+
+}  // namespace dcv::secguru

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "secguru/contracts.hpp"
+#include "secguru/engine.hpp"
+#include "secguru/nsg.hpp"
+
+namespace dcv::secguru {
+
+/// A customer virtual network with an attached NSG (§3.4).
+struct VirtualNetwork {
+  std::string name;
+  net::Prefix address_space;
+  /// Whether a managed database instance is deployed inside: "Azure
+  /// infrastructure has access to metadata about all service addresses and
+  /// whether the virtual network of a customer included a database
+  /// instance."
+  bool has_database_instance = false;
+  Nsg nsg;
+};
+
+/// The infrastructure service that initiates and orchestrates database
+/// backups from outside the virtual network.
+struct BackupInfrastructure {
+  net::Prefix service_range = net::Prefix::parse("168.63.129.0/24");
+  net::PortRange control_ports{1433, 1434};
+};
+
+/// Contracts auto-added for a virtual network hosting a managed database:
+/// the backup orchestration service must be able to reach the database
+/// instance (and the instance must answer), regardless of customer NSG
+/// edits.
+[[nodiscard]] ContractSuite database_backup_contracts(
+    const VirtualNetwork& vnet, const BackupInfrastructure& infra = {});
+
+/// Result of attempting an NSG update through the gated API.
+struct NsgChangeResult {
+  bool accepted = false;
+  PolicyReport report;
+};
+
+/// The validation-gated NSG change API of §3.4: "We integrated SecGuru
+/// validation into the API for changing NSG policies. ... The API was
+/// designed to validate these contracts against the new policy and fail
+/// with an error message if the new policy could block database backups."
+class NsgGate {
+ public:
+  explicit NsgGate(Engine& engine, BackupInfrastructure infra = {})
+      : engine_(&engine), infra_(infra) {}
+
+  /// Validates and, on success, applies `proposed` to the virtual network.
+  /// For networks without a database instance no contracts apply and the
+  /// change is always accepted.
+  NsgChangeResult try_update(VirtualNetwork& vnet, const Nsg& proposed) const;
+
+ private:
+  Engine* engine_;
+  BackupInfrastructure infra_;
+};
+
+/// Configuration for the customer-incident simulation behind Figure 12.
+struct NsgIncidentConfig {
+  int days = 200;
+  /// The day the SecGuru-gated API ships (the paper's inflection sits near
+  /// day 100).
+  int gate_deploy_day = 100;
+  /// Customer adoption ramp: managed-database virtual networks added per
+  /// day.
+  double adoption_per_day = 1.0;
+  /// NSG changes attempted per database vnet per day.
+  double changes_per_vnet_per_day = 0.2;
+  /// Probability that a customer change inadvertently blocks the backup
+  /// service ("customers were inadvertently misconfiguring the NSGs").
+  double misconfiguration_probability = 0.15;
+  /// Days until a failing backup is noticed and reported as an incident.
+  int detection_lag_days = 3;
+  /// Incidents resolved by support per day.
+  std::size_t support_capacity_per_day = 4;
+  std::uint64_t seed = 2019;
+};
+
+/// One day of the simulated service operation.
+struct NsgIncidentDay {
+  int day = 0;
+  std::size_t database_vnets = 0;
+  std::size_t changes_attempted = 0;
+  std::size_t changes_rejected_by_gate = 0;
+  std::size_t incidents_reported = 0;
+  std::size_t incidents_open = 0;
+};
+
+/// Simulates the managed-database rollout of §3.4 using the real gate:
+/// customers adopt the service, edit their NSGs (sometimes breaking backup
+/// reachability), broken networks surface as customer-reported incidents
+/// after a detection lag, and — from the gate's deploy day — the validated
+/// API rejects breaking changes up front. Reproduces Figure 12's shape:
+/// incidents ramp with adoption, then fall steeply once the gate ships.
+[[nodiscard]] std::vector<NsgIncidentDay> simulate_nsg_incidents(
+    const NsgIncidentConfig& config);
+
+}  // namespace dcv::secguru

@@ -1,0 +1,285 @@
+#include "secguru/refactor.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace dcv::secguru {
+
+namespace {
+
+/// Owned public prefix #i: carved as /20s from 104.208.0.0 onward (the
+/// ranges Figure 8 uses) and, for the second half, from 168.61.0.0.
+net::Prefix owned_prefix(std::size_t i, std::size_t total) {
+  const bool second_block = i >= (total + 1) / 2;
+  const std::size_t index = second_block ? i - (total + 1) / 2 : i;
+  const std::uint32_t base =
+      second_block ? net::Ipv4Address::from_octets(168, 61, 0, 0).value()
+                   : net::Ipv4Address::from_octets(104, 208, 0, 0).value();
+  return net::Prefix(
+      net::Ipv4Address(base + static_cast<std::uint32_t>(index) * (1u << 12)),
+      20);
+}
+
+/// Service #i endpoint prefix: a /28 inside an owned prefix.
+net::Prefix service_prefix(std::size_t i, std::size_t owned_total) {
+  const net::Prefix owner = owned_prefix(i % owned_total, owned_total);
+  return net::Prefix(
+      net::Ipv4Address(owner.network().value() +
+                       static_cast<std::uint32_t>(i / owned_total) * 16),
+      28);
+}
+
+constexpr std::uint16_t kBlockedPorts[] = {135, 137, 138, 139,
+                                           445, 593, 1433, 1434};
+
+Rule deny_src(const net::Prefix& src, std::string comment) {
+  return Rule{.action = Action::kDeny,
+              .protocol = net::ProtocolSpec::any(),
+              .src = src,
+              .src_ports = net::PortRange::any(),
+              .dst = net::Prefix::default_route(),
+              .dst_ports = net::PortRange::any(),
+              .comment = std::move(comment)};
+}
+
+}  // namespace
+
+Policy generate_legacy_edge_acl(const LegacyAclParams& params) {
+  std::mt19937_64 rng(params.seed);
+  Policy acl{.name = "edge-acl",
+             .semantics = PolicySemantics::kFirstApplicable,
+             .rules = {}};
+
+  // §1 — isolating private addresses (RFC1918 + unspecified).
+  for (const char* range :
+       {"0.0.0.0/32", "10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16"}) {
+    acl.rules.push_back(
+        deny_src(net::Prefix::parse(range), "Isolating private addresses"));
+  }
+
+  // §2 — anti-spoofing: traffic sourced from our own ranges cannot
+  // legitimately arrive at the edge.
+  for (std::size_t i = 0; i < params.owned_prefixes; ++i) {
+    acl.rules.push_back(deny_src(owned_prefix(i, params.owned_prefixes),
+                                 "Anti spoofing ACLs"));
+  }
+
+  // §3 — permits for IPs without port and protocol blocks: the first few
+  // owned /24s are exempt from the standard blocks.
+  const std::size_t exempt = std::min<std::size_t>(2, params.owned_prefixes);
+  for (std::size_t i = 0; i < exempt; ++i) {
+    acl.rules.push_back(Rule{
+        .action = Action::kPermit,
+        .protocol = net::ProtocolSpec::any(),
+        .src = net::Prefix::default_route(),
+        .src_ports = net::PortRange::any(),
+        .dst = net::Prefix(owned_prefix(i, params.owned_prefixes).network(),
+                           24),
+        .dst_ports = net::PortRange::any(),
+        .comment = "permits for IPs without port and protocol blocks"});
+  }
+
+  // Service-specific whitelists that grew inorganically, interspersed with
+  // zero-day mitigations.
+  std::uniform_int_distribution<std::uint32_t> client_pick(0x08000000u,
+                                                           0x5F000000u);
+  std::uniform_int_distribution<std::size_t> port_pick(
+      0, std::size(kBlockedPorts) - 1);
+  std::uniform_int_distribution<std::uint32_t> block_pick(0x20000000u,
+                                                          0x7F000000u);
+  for (std::size_t s = 0; s < params.services; ++s) {
+    const net::Prefix endpoint = service_prefix(s, params.owned_prefixes);
+    for (std::size_t w = 0; w < params.whitelist_entries_per_service; ++w) {
+      acl.rules.push_back(Rule{
+          .action = Action::kPermit,
+          .protocol = net::ProtocolSpec::tcp(),
+          .src = net::Prefix(net::Ipv4Address(client_pick(rng)), 24),
+          .src_ports = net::PortRange::any(),
+          .dst = endpoint,
+          .dst_ports = net::PortRange::exactly(443),
+          .comment = "service whitelist " + std::to_string(s)});
+    }
+    if (s < params.zero_day_blocks) {
+      acl.rules.push_back(Rule{
+          .action = Action::kDeny,
+          .protocol = net::ProtocolSpec::tcp(),
+          .src = net::Prefix(net::Ipv4Address(block_pick(rng)), 16),
+          .src_ports = net::PortRange::any(),
+          .dst = net::Prefix::default_route(),
+          .dst_ports = net::PortRange::exactly(
+              kBlockedPorts[port_pick(rng)]),
+          .comment = "zero-day mitigation " + std::to_string(s)});
+    }
+  }
+
+  // §4 — standard port and protocol blocks for all Internet traffic.
+  for (const std::uint16_t port : kBlockedPorts) {
+    for (const auto proto :
+         {net::ProtocolSpec::tcp(), net::ProtocolSpec::udp()}) {
+      acl.rules.push_back(Rule{
+          .action = Action::kDeny,
+          .protocol = proto,
+          .src = net::Prefix::default_route(),
+          .src_ports = net::PortRange::any(),
+          .dst = net::Prefix::default_route(),
+          .dst_ports = net::PortRange::exactly(port),
+          .comment = "standard port and protocol blocks"});
+    }
+  }
+  for (const std::uint8_t proto : {std::uint8_t{53}, std::uint8_t{55}}) {
+    acl.rules.push_back(Rule{
+        .action = Action::kDeny,
+        .protocol = net::ProtocolSpec(proto),
+        .src = net::Prefix::default_route(),
+        .src_ports = net::PortRange::any(),
+        .dst = net::Prefix::default_route(),
+        .dst_ports = net::PortRange::any(),
+        .comment = "standard port and protocol blocks"});
+  }
+
+  // §5 — permits for the owned ranges, after the port blocks.
+  for (std::size_t i = 0; i < params.owned_prefixes; ++i) {
+    acl.rules.push_back(Rule{
+        .action = Action::kPermit,
+        .protocol = net::ProtocolSpec::any(),
+        .src = net::Prefix::default_route(),
+        .src_ports = net::PortRange::any(),
+        .dst = owned_prefix(i, params.owned_prefixes),
+        .dst_ports = net::PortRange::any(),
+        .comment = "permits for IPs with port and protocol blocks"});
+  }
+
+  // Organic redundancy: re-append copies of random existing rules at the
+  // end, where the originals fully shadow them.
+  const auto base_size = acl.rules.size();
+  const auto redundant = static_cast<std::size_t>(
+      static_cast<double>(base_size) * params.redundancy_factor);
+  std::uniform_int_distribution<std::size_t> rule_pick(0, base_size - 1);
+  for (std::size_t i = 0; i < redundant; ++i) {
+    Rule copy = acl.rules[rule_pick(rng)];
+    copy.comment = "redundant duplicate";
+    acl.rules.push_back(std::move(copy));
+  }
+  for (std::size_t i = 0; i < acl.rules.size(); ++i) {
+    acl.rules[i].line = static_cast<int>(i + 1);
+  }
+  return acl;
+}
+
+ContractSuite edge_acl_contracts(const LegacyAclParams& params) {
+  ContractSuite suite{.name = "edge-acl-regression", .contracts = {}};
+  // A clean public client range: outside every private and owned range.
+  const auto internet_client = net::Prefix::parse("8.8.8.0/24");
+
+  for (const char* range :
+       {"0.0.0.0/32", "10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16"}) {
+    suite.contracts.push_back(ConnectivityContract{
+        .name = std::string("private-isolation ") + range,
+        .expect = Expectation::kDeny,
+        .protocol = net::ProtocolSpec::any(),
+        .src = net::Prefix::parse(range),
+        .src_ports = net::PortRange::any(),
+        .dst = net::Prefix::default_route(),
+        .dst_ports = net::PortRange::any()});
+  }
+  for (std::size_t i = 0; i < params.owned_prefixes; ++i) {
+    const net::Prefix owned = owned_prefix(i, params.owned_prefixes);
+    suite.contracts.push_back(ConnectivityContract{
+        .name = "anti-spoofing " + owned.to_string(),
+        .expect = Expectation::kDeny,
+        .protocol = net::ProtocolSpec::any(),
+        .src = owned,
+        .src_ports = net::PortRange::any(),
+        .dst = net::Prefix::default_route(),
+        .dst_ports = net::PortRange::any()});
+    // Every owned range stays reachable from the Internet on the web ports.
+    suite.contracts.push_back(ConnectivityContract{
+        .name = "service-reachable " + owned.to_string(),
+        .expect = Expectation::kAllow,
+        .protocol = net::ProtocolSpec::tcp(),
+        .src = internet_client,
+        .src_ports = net::PortRange::any(),
+        .dst = owned,
+        .dst_ports = net::PortRange::exactly(443)});
+  }
+  // The standard blocks hold for ranges that are not exempt (§3 exempts the
+  // first two /24s).
+  const std::size_t exempt = std::min<std::size_t>(2, params.owned_prefixes);
+  for (std::size_t i = exempt; i < params.owned_prefixes; ++i) {
+    const net::Prefix owned = owned_prefix(i, params.owned_prefixes);
+    suite.contracts.push_back(ConnectivityContract{
+        .name = "port-blocked " + owned.to_string(),
+        .expect = Expectation::kDeny,
+        .protocol = net::ProtocolSpec::tcp(),
+        .src = internet_client,
+        .src_ports = net::PortRange::any(),
+        .dst = owned,
+        .dst_ports = net::PortRange::exactly(445)});
+  }
+  return suite;
+}
+
+Change delete_rules_matching(std::string description,
+                             std::function<bool(const Rule&)> predicate) {
+  return Change{
+      .description = std::move(description),
+      .apply = [predicate = std::move(predicate)](const Policy& before) {
+        Policy after = before;
+        std::erase_if(after.rules, predicate);
+        return after;
+      }};
+}
+
+Change append_rules(std::string description, std::vector<Rule> rules) {
+  return Change{.description = std::move(description),
+                .apply = [rules = std::move(rules)](const Policy& before) {
+                  Policy after = before;
+                  after.rules.insert(after.rules.end(), rules.begin(),
+                                     rules.end());
+                  return after;
+                }};
+}
+
+std::vector<StepOutcome> execute_refactor_plan(
+    Engine& engine, Policy& production, const std::vector<Change>& plan,
+    const ContractSuite& contracts, const TestDevice& lab,
+    const TestDevice& production_device) {
+  std::vector<StepOutcome> outcomes;
+  outcomes.reserve(plan.size());
+  for (const Change& change : plan) {
+    StepOutcome outcome;
+    outcome.description = change.description;
+    outcome.rules_before = production.rules.size();
+    outcome.rules_after = production.rules.size();
+
+    // Precheck: configure the candidate ACL on a test device and validate
+    // the *effective* policy against the regression contracts (§3.3).
+    const Policy candidate = change.apply(production);
+    const Policy lab_effective = lab.configure(candidate);
+    PolicyReport precheck = engine.check_suite(lab_effective, contracts);
+    outcome.precheck_ok = precheck.ok();
+    outcome.precheck_failures = std::move(precheck.failures);
+    if (!outcome.precheck_ok) {
+      outcomes.push_back(std::move(outcome));
+      continue;  // the change never reaches production
+    }
+
+    // Deploy, then postcheck the production device's effective ACL.
+    const Policy previous = production;
+    production = candidate;
+    const Policy effective = production_device.configure(production);
+    PolicyReport postcheck = engine.check_suite(effective, contracts);
+    outcome.applied = true;
+    outcome.postcheck_ok = postcheck.ok();
+    outcome.postcheck_failures = std::move(postcheck.failures);
+    if (!outcome.postcheck_ok) {
+      production = previous;  // rollback methodology
+      outcome.rolled_back = true;
+    }
+    outcome.rules_after = production.rules.size();
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace dcv::secguru

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "secguru/contracts.hpp"
+#include "secguru/engine.hpp"
+#include "secguru/rule.hpp"
+
+namespace dcv::secguru {
+
+/// Parameters of the synthetic legacy Edge ACL of §3.3: an ACL "similar to
+/// the ACL described in Figure 8" that "had inorganically grown to comprise
+/// several thousand rules" — private-address isolation, anti-spoofing for
+/// owned prefixes, per-service whitelists, standard port blocks, interspersed
+/// zero-day mitigations, and accumulated redundancy.
+struct LegacyAclParams {
+  /// Prefixes Azure owns; each adds anti-spoofing and permit rules ("for
+  /// every new prefix that Azure acquired, we needed planned updates").
+  /// Keep at most 32 so the /20s stay inside the 104.208.0.0/16 and
+  /// 168.61.0.0/16 blocks of Figure 8.
+  std::size_t owned_prefixes = 32;
+  /// Services enforcing whitelists of client addresses in the Edge ACL;
+  /// each contributes several service-specific permit rules. The defaults
+  /// yield the paper's "several thousand rules".
+  std::size_t services = 150;
+  std::size_t whitelist_entries_per_service = 12;
+  /// Zero-day deny rules interspersed through the ACL.
+  std::size_t zero_day_blocks = 40;
+  /// Fraction of additional fully redundant (shadowed) rules accumulated
+  /// through organic growth.
+  double redundancy_factor = 0.25;
+  std::uint64_t seed = 7;
+};
+
+/// Builds the synthetic legacy Edge ACL (first-applicable). Sections follow
+/// Figure 8's layout; deterministic for a given seed.
+[[nodiscard]] Policy generate_legacy_edge_acl(const LegacyAclParams& params);
+
+/// The regression contracts for the Edge ACL (§3.3): private datacenter
+/// addresses unreachable from the Internet, anti-spoofing enforced, blocked
+/// ports stay blocked, and every owned service prefix reachable on the web
+/// ports. Derived from the same parameters (and seed) as the legacy ACL.
+[[nodiscard]] ContractSuite edge_acl_contracts(const LegacyAclParams& params);
+
+/// One planned change to an ACL: a description plus a transformation.
+struct Change {
+  std::string description;
+  std::function<Policy(const Policy&)> apply;
+};
+
+/// Change helpers.
+[[nodiscard]] Change delete_rules_matching(
+    std::string description, std::function<bool(const Rule&)> predicate);
+[[nodiscard]] Change append_rules(std::string description,
+                                  std::vector<Rule> rules);
+
+/// A network device holding an ACL. Re-configuring may silently drop rules
+/// past the device's TCAM capacity — "if resource limitations on the device
+/// cause certain additional rules to be ignored, then the effective ACL in
+/// the configuration would violate the contracts" (§3.3).
+struct TestDevice {
+  std::size_t max_rules = std::numeric_limits<std::size_t>::max();
+
+  /// The effective policy after programming `desired` into the device.
+  [[nodiscard]] Policy configure(const Policy& desired) const {
+    Policy effective = desired;
+    if (effective.rules.size() > max_rules) {
+      effective.rules.resize(max_rules);
+    }
+    return effective;
+  }
+};
+
+/// Outcome of one step of the phased refactoring methodology (§3.3):
+/// precheck on a test device, apply, postcheck on the production device,
+/// rollback if the postcheck fails.
+struct StepOutcome {
+  std::string description;
+  bool precheck_ok = false;
+  bool applied = false;
+  bool postcheck_ok = false;
+  bool rolled_back = false;
+  std::size_t rules_before = 0;
+  std::size_t rules_after = 0;
+  std::vector<ContractCheckResult> precheck_failures;
+  std::vector<ContractCheckResult> postcheck_failures;
+};
+
+/// Executes a phased refactor plan against a production ACL under a
+/// contract suite. Each step is first validated on `lab` (precheck); only
+/// if all contracts pass is it deployed to `production_device`, after which
+/// postchecks run on the production effective ACL and failures roll the
+/// step back. `production` is updated in place with each successful step.
+[[nodiscard]] std::vector<StepOutcome> execute_refactor_plan(
+    Engine& engine, Policy& production, const std::vector<Change>& plan,
+    const ContractSuite& contracts, const TestDevice& lab = {},
+    const TestDevice& production_device = {});
+
+}  // namespace dcv::secguru

@@ -1,0 +1,88 @@
+#include "secguru/rule.hpp"
+
+#include <ostream>
+
+namespace dcv::secguru {
+
+std::string_view to_string(Action action) {
+  switch (action) {
+    case Action::kPermit:
+      return "permit";
+    case Action::kDeny:
+      return "deny";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Action action) {
+  return os << to_string(action);
+}
+
+std::string_view to_string(PolicySemantics semantics) {
+  switch (semantics) {
+    case PolicySemantics::kFirstApplicable:
+      return "first-applicable";
+    case PolicySemantics::kDenyOverrides:
+      return "deny-overrides";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string address_text(const net::Prefix& prefix) {
+  if (prefix.is_default()) return "any";
+  if (prefix.length() == 32) return "host " + prefix.network().to_string();
+  return prefix.to_string();
+}
+
+std::string port_text(const net::PortRange& ports) {
+  if (ports.is_any()) return "";
+  if (ports.lo == ports.hi) return " eq " + std::to_string(ports.lo);
+  return " range " + std::to_string(ports.lo) + " " + std::to_string(ports.hi);
+}
+
+}  // namespace
+
+std::string Rule::to_string() const {
+  return std::string(secguru::to_string(action)) + " " + protocol.to_string() +
+         " " + address_text(src) + port_text(src_ports) + " " +
+         address_text(dst) + port_text(dst_ports);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rule& rule) {
+  return os << rule.to_string();
+}
+
+Decision evaluate(const Policy& policy, const net::PacketHeader& packet) {
+  switch (policy.semantics) {
+    case PolicySemantics::kFirstApplicable:
+      for (std::size_t i = 0; i < policy.rules.size(); ++i) {
+        if (policy.rules[i].matches(packet)) {
+          return Decision{.allowed = policy.rules[i].action == Action::kPermit,
+                          .rule_index = i};
+        }
+      }
+      return Decision{.allowed = false, .rule_index = std::nullopt};
+    case PolicySemantics::kDenyOverrides: {
+      // "a packet is admitted if some Allow rule applies and none of the
+      // Deny rules apply" (Definition 3.2).
+      for (std::size_t i = 0; i < policy.rules.size(); ++i) {
+        if (policy.rules[i].action == Action::kDeny &&
+            policy.rules[i].matches(packet)) {
+          return Decision{.allowed = false, .rule_index = i};
+        }
+      }
+      for (std::size_t i = 0; i < policy.rules.size(); ++i) {
+        if (policy.rules[i].action == Action::kPermit &&
+            policy.rules[i].matches(packet)) {
+          return Decision{.allowed = true, .rule_index = i};
+        }
+      }
+      return Decision{.allowed = false, .rule_index = std::nullopt};
+    }
+  }
+  return Decision{};
+}
+
+}  // namespace dcv::secguru

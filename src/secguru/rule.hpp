@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/header.hpp"
+#include "net/prefix.hpp"
+
+namespace dcv::secguru {
+
+/// Rule actions: "The action is either Permit or Deny. They indicate
+/// whether packets matching the range should be allowed through the
+/// firewall" (§3.1).
+enum class Action : std::uint8_t {
+  kPermit,
+  kDeny,
+};
+
+[[nodiscard]] std::string_view to_string(Action action);
+std::ostream& operator<<(std::ostream& os, Action action);
+
+/// The two rule-combination conventions of §3.2.
+enum class PolicySemantics : std::uint8_t {
+  /// Definition 3.1: the first matching rule decides; default deny.
+  /// Network device ACLs and NSGs use this convention.
+  kFirstApplicable,
+  /// Definition 3.2: a packet is admitted if some Allow rule applies and no
+  /// Deny rule applies. Azure's distributed host firewalls use this (§3.5).
+  kDenyOverrides,
+};
+
+[[nodiscard]] std::string_view to_string(PolicySemantics semantics);
+
+/// One connectivity-policy rule: a packet filter over the 5-tuple plus an
+/// action. Address ranges are CIDR prefixes ("any" is 0.0.0.0/0); ports are
+/// closed ranges ("Any encodes the range from 0 to 2^16-1"); the protocol
+/// is either a concrete IP protocol number or the `ip` wildcard.
+struct Rule {
+  Action action = Action::kDeny;
+  net::ProtocolSpec protocol;
+  net::Prefix src;
+  net::PortRange src_ports;
+  net::Prefix dst;
+  net::PortRange dst_ports;
+  /// Free-form description: the preceding `remark` in an ACL, the rule name
+  /// in an NSG.
+  std::string comment;
+  /// Source line (ACL) or priority (NSG) for reporting.
+  int line = 0;
+
+  /// Concrete filter evaluation: does the rule's filter match this packet?
+  [[nodiscard]] bool matches(const net::PacketHeader& packet) const {
+    return protocol.matches(packet.protocol) && src.contains(packet.src_ip) &&
+           src_ports.contains(packet.src_port) && dst.contains(packet.dst_ip) &&
+           dst_ports.contains(packet.dst_port);
+  }
+
+  /// Cisco-IOS-style rendering, e.g. "deny tcp any any eq 445".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rule& rule);
+
+/// An ordered connectivity policy: a named rule list plus the convention
+/// for combining the rules.
+struct Policy {
+  std::string name;
+  PolicySemantics semantics = PolicySemantics::kFirstApplicable;
+  std::vector<Rule> rules;
+
+  [[nodiscard]] std::size_t size() const { return rules.size(); }
+
+  friend bool operator==(const Policy&, const Policy&) = default;
+};
+
+/// Concrete policy evaluation, the ground truth the symbolic engine is
+/// tested against. Returns whether the packet is admitted and, for
+/// first-applicable policies, the index of the deciding rule (nullopt when
+/// the implicit default deny applied).
+struct Decision {
+  bool allowed = false;
+  std::optional<std::size_t> rule_index;
+};
+
+[[nodiscard]] Decision evaluate(const Policy& policy,
+                                const net::PacketHeader& packet);
+
+}  // namespace dcv::secguru

@@ -1,0 +1,80 @@
+#include "smt/encoding.hpp"
+
+namespace dcv::smt {
+
+z3::expr ip_value(z3::context& ctx, net::Ipv4Address address) {
+  return ctx.bv_val(address.value(), 32);
+}
+
+z3::expr ip_in_interval(const z3::expr& ip,
+                        const net::AddressInterval& interval) {
+  z3::context& ctx = ip.ctx();
+  return z3::uge(ip, ip_value(ctx, interval.lo)) &&
+         z3::ule(ip, ip_value(ctx, interval.hi));
+}
+
+z3::expr ip_in_prefix(const z3::expr& ip, const net::Prefix& prefix) {
+  return ip_in_interval(ip, net::AddressInterval::from_prefix(prefix));
+}
+
+z3::expr port_in_range(const z3::expr& port, const net::PortRange& range) {
+  z3::context& ctx = port.ctx();
+  if (range.is_any()) return ctx.bool_val(true);
+  if (range.lo == range.hi) {
+    return port == ctx.bv_val(range.lo, 16);
+  }
+  return z3::uge(port, ctx.bv_val(range.lo, 16)) &&
+         z3::ule(port, ctx.bv_val(range.hi, 16));
+}
+
+z3::expr protocol_matches(const z3::expr& protocol,
+                          const net::ProtocolSpec& spec) {
+  z3::context& ctx = protocol.ctx();
+  if (spec.is_any()) return ctx.bool_val(true);
+  return protocol == ctx.bv_val(*spec.number, 8);
+}
+
+SymbolicPacket SymbolicPacket::create(z3::context& ctx,
+                                      const std::string& tag) {
+  return SymbolicPacket{
+      .src_ip = ctx.bv_const(("srcIp" + tag).c_str(), 32),
+      .src_port = ctx.bv_const(("srcPort" + tag).c_str(), 16),
+      .dst_ip = ctx.bv_const(("dstIp" + tag).c_str(), 32),
+      .dst_port = ctx.bv_const(("dstPort" + tag).c_str(), 16),
+      .protocol = ctx.bv_const(("protocol" + tag).c_str(), 8),
+  };
+}
+
+namespace {
+
+std::uint64_t eval_bv(const z3::model& model, const z3::expr& e) {
+  const z3::expr value = model.eval(e, /*model_completion=*/true);
+  return value.get_numeral_uint64();
+}
+
+}  // namespace
+
+net::Ipv4Address eval_ip(const z3::model& model, const z3::expr& ip) {
+  return net::Ipv4Address(static_cast<std::uint32_t>(eval_bv(model, ip)));
+}
+
+std::uint16_t eval_port(const z3::model& model, const z3::expr& port) {
+  return static_cast<std::uint16_t>(eval_bv(model, port));
+}
+
+std::uint8_t eval_protocol(const z3::model& model, const z3::expr& protocol) {
+  return static_cast<std::uint8_t>(eval_bv(model, protocol));
+}
+
+net::PacketHeader eval_packet(const z3::model& model,
+                              const SymbolicPacket& packet) {
+  return net::PacketHeader{
+      .src_ip = eval_ip(model, packet.src_ip),
+      .src_port = eval_port(model, packet.src_port),
+      .dst_ip = eval_ip(model, packet.dst_ip),
+      .dst_port = eval_port(model, packet.dst_port),
+      .protocol = eval_protocol(model, packet.protocol),
+  };
+}
+
+}  // namespace dcv::smt

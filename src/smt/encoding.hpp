@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <z3++.h>
+
+#include "net/header.hpp"
+#include "net/interval.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+/// Bit-vector encodings of network objects (§2.5.1, §3.2).
+///
+/// Policies and contracts are "essentially a set of constraints over IP
+/// addresses, ports, and protocol, each of which are bit-vectors of varying
+/// sizes". Addresses are 32-bit, ports 16-bit, protocols 8-bit bit-vectors;
+/// ranges become unsigned comparisons, exactly as in the paper:
+///
+///   r.prefix(x) = (10.20.20.0 <= x <= 10.20.20.255)
+namespace dcv::smt {
+
+/// A 32-bit bit-vector constant holding an IPv4 address value.
+[[nodiscard]] z3::expr ip_value(z3::context& ctx, net::Ipv4Address address);
+
+/// The range predicate lo <= x <= hi over an address bit-vector.
+[[nodiscard]] z3::expr ip_in_interval(const z3::expr& ip,
+                                      const net::AddressInterval& interval);
+
+/// The prefix-membership predicate, encoded as the unsigned range
+/// comparison of §2.5.1 (equation 1).
+[[nodiscard]] z3::expr ip_in_prefix(const z3::expr& ip,
+                                    const net::Prefix& prefix);
+
+/// The port-range predicate lo <= p <= hi over a 16-bit bit-vector; `true`
+/// for the Any range.
+[[nodiscard]] z3::expr port_in_range(const z3::expr& port,
+                                     const net::PortRange& range);
+
+/// The protocol predicate: `true` for the wildcard ("ip"), equality
+/// otherwise.
+[[nodiscard]] z3::expr protocol_matches(const z3::expr& protocol,
+                                        const net::ProtocolSpec& spec);
+
+/// The symbolic packet header tuple x = <srcIp, srcPort, dstIp, dstPort,
+/// protocol> used by policy encodings (§3.2).
+struct SymbolicPacket {
+  z3::expr src_ip;
+  z3::expr src_port;
+  z3::expr dst_ip;
+  z3::expr dst_port;
+  z3::expr protocol;
+
+  /// Fresh bit-vector variables, optionally tagged to keep several packets
+  /// in one query distinct.
+  static SymbolicPacket create(z3::context& ctx, const std::string& tag = "");
+};
+
+/// Reads a concrete IPv4 address out of a model; missing assignments
+/// default to 0 (any value satisfies the formula then).
+[[nodiscard]] net::Ipv4Address eval_ip(const z3::model& model,
+                                       const z3::expr& ip);
+
+/// Reads a concrete port out of a model.
+[[nodiscard]] std::uint16_t eval_port(const z3::model& model,
+                                      const z3::expr& port);
+
+/// Reads a concrete protocol number out of a model.
+[[nodiscard]] std::uint8_t eval_protocol(const z3::model& model,
+                                         const z3::expr& protocol);
+
+/// Reads a full concrete packet header out of a model.
+[[nodiscard]] net::PacketHeader eval_packet(const z3::model& model,
+                                            const SymbolicPacket& packet);
+
+}  // namespace dcv::smt

@@ -1,0 +1,206 @@
+#include "topology/clos_builder.hpp"
+
+#include <string>
+#include <vector>
+
+#include "net/error.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace dcv::topo {
+
+namespace {
+
+void validate(const ClosParams& p) {
+  if (p.clusters == 0 || p.tors_per_cluster == 0 ||
+      p.leaves_per_cluster == 0 || p.spines_per_plane == 0 ||
+      p.regional_spines == 0) {
+    throw InvalidArgument("build_clos: all layer sizes must be positive");
+  }
+  if (p.regional_links_per_spine == 0 ||
+      p.regional_links_per_spine > p.regional_spines) {
+    throw InvalidArgument("build_clos: bad regional_links_per_spine");
+  }
+  if (p.prefix_length < 8 || p.prefix_length > 32) {
+    throw InvalidArgument("build_clos: prefix_length must be in [8, 32]");
+  }
+}
+
+/// Adds one datacenter (spine planes + clusters) to `topo`, wired into the
+/// given regional spines. Cluster ids start at `first_cluster`; hosted
+/// prefixes are carved from `next_prefix_base` onward.
+void add_datacenter(Topology& topo, const ClosParams& p,
+                    DatacenterId datacenter, const std::string& name_prefix,
+                    const std::vector<DeviceId>& regionals,
+                    ClusterId first_cluster,
+                    std::uint64_t& next_prefix_base) {
+  const std::uint64_t prefix_stride = std::uint64_t{1}
+                                      << (32 - p.prefix_length);
+  const std::uint64_t prefix_space_end =
+      net::Ipv4Address::from_octets(11, 0, 0, 0).value();
+
+  // Datacenter spines, organized in planes; plane j serves leaf j of every
+  // cluster.
+  std::vector<std::vector<DeviceId>> spine_planes(p.leaves_per_cluster);
+  std::uint32_t global_spine = 0;
+  for (std::uint32_t plane = 0; plane < p.leaves_per_cluster; ++plane) {
+    for (std::uint32_t i = 0; i < p.spines_per_plane; ++i, ++global_spine) {
+      const DeviceId spine = topo.add_device(
+          name_prefix + "T2-" + std::to_string(plane) + "-" +
+              std::to_string(i),
+          DeviceRole::kSpine, p.spine_asn, kNoCluster, datacenter);
+      spine_planes[plane].push_back(spine);
+      // Spread each spine's uplinks across the regional layer so that,
+      // collectively, the spine layer reaches every regional spine. With
+      // p=4 regionals and 2 uplinks this reproduces Figure 3 (D1 -> {R1,
+      // R3}).
+      const std::uint32_t step = std::max<std::uint32_t>(
+          1, p.regional_spines / p.regional_links_per_spine);
+      for (std::uint32_t k = 0; k < p.regional_links_per_spine; ++k) {
+        const std::uint32_t r = (global_spine + k * step) % p.regional_spines;
+        topo.add_link(spine, regionals[r]);
+      }
+    }
+  }
+
+  for (std::uint32_t c = 0; c < p.clusters; ++c) {
+    const ClusterId cluster = first_cluster + c;
+    std::vector<DeviceId> leaves;
+    leaves.reserve(p.leaves_per_cluster);
+    for (std::uint32_t j = 0; j < p.leaves_per_cluster; ++j) {
+      const DeviceId leaf = topo.add_device(
+          name_prefix + "T1-" + std::to_string(cluster) + "-" +
+              std::to_string(j),
+          DeviceRole::kLeaf, p.leaf_asn_base + c, cluster, datacenter);
+      leaves.push_back(leaf);
+      for (const DeviceId spine : spine_planes[j]) topo.add_link(leaf, spine);
+    }
+    for (std::uint32_t t = 0; t < p.tors_per_cluster; ++t) {
+      const DeviceId tor = topo.add_device(
+          name_prefix + "T0-" + std::to_string(cluster) + "-" +
+              std::to_string(t),
+          DeviceRole::kTor, p.tor_asn_base + t, cluster, datacenter);
+      for (const DeviceId leaf : leaves) topo.add_link(tor, leaf);
+      for (std::uint32_t q = 0; q < p.prefixes_per_tor; ++q) {
+        if (next_prefix_base + prefix_stride > prefix_space_end) {
+          throw InvalidArgument(
+              "build_clos: prefix space 10.0.0.0/8 exhausted; use a longer "
+              "prefix_length or fewer ToRs");
+        }
+        topo.add_hosted_prefix(
+            tor, net::Prefix(net::Ipv4Address(
+                                 static_cast<std::uint32_t>(next_prefix_base)),
+                             p.prefix_length));
+        next_prefix_base += prefix_stride;
+      }
+    }
+  }
+}
+
+std::vector<DeviceId> add_regionals(Topology& topo, const ClosParams& p) {
+  std::vector<DeviceId> regionals;
+  regionals.reserve(p.regional_spines);
+  for (std::uint32_t i = 0; i < p.regional_spines; ++i) {
+    regionals.push_back(
+        topo.add_device("RH-" + std::to_string(i), DeviceRole::kRegionalSpine,
+                        p.regional_asn_base + i, kNoCluster, kNoDatacenter));
+  }
+  return regionals;
+}
+
+}  // namespace
+
+Topology build_clos(const ClosParams& p) {
+  validate(p);
+  Topology topo;
+  const auto regionals = add_regionals(topo, p);
+  std::uint64_t next_prefix_base =
+      net::Ipv4Address::from_octets(10, 0, 0, 0).value();
+  add_datacenter(topo, p, /*datacenter=*/0, /*name_prefix=*/"", regionals,
+                 /*first_cluster=*/0, next_prefix_base);
+  return topo;
+}
+
+Topology build_region(const ClosParams& p, std::uint32_t datacenters) {
+  validate(p);
+  if (datacenters == 0) {
+    throw InvalidArgument("build_region: need at least one datacenter");
+  }
+  Topology topo;
+  const auto regionals = add_regionals(topo, p);
+  std::uint64_t next_prefix_base =
+      net::Ipv4Address::from_octets(10, 0, 0, 0).value();
+  for (std::uint32_t d = 0; d < datacenters; ++d) {
+    add_datacenter(topo, p, d, "DC" + std::to_string(d) + "-", regionals,
+                   /*first_cluster=*/d * p.clusters, next_prefix_base);
+  }
+  return topo;
+}
+
+Topology build_figure3() {
+  Topology topo;
+
+  // Regional spines R1..R4.
+  std::vector<DeviceId> r;
+  for (int i = 1; i <= 4; ++i) {
+    r.push_back(topo.add_device("R" + std::to_string(i),
+                                DeviceRole::kRegionalSpine, 63000 + i,
+                                kNoCluster, kNoDatacenter));
+  }
+  // Datacenter spines D1..D4; D_i connects to regionals {R_i, R_{i+2}}
+  // (cyclically), as in Figure 3.
+  std::vector<DeviceId> d;
+  for (int i = 1; i <= 4; ++i) {
+    const DeviceId spine =
+        topo.add_device("D" + std::to_string(i), DeviceRole::kSpine, 65535);
+    d.push_back(spine);
+    topo.add_link(spine, r[(i - 1) % 4]);
+    topo.add_link(spine, r[(i + 1) % 4]);
+  }
+  // Cluster A: leaves A1..A4 (leaf i <-> spine D_i), then cluster B.
+  std::vector<DeviceId> a;
+  for (int i = 1; i <= 4; ++i) {
+    const DeviceId leaf =
+        topo.add_device("A" + std::to_string(i), DeviceRole::kLeaf, 65100, 0);
+    a.push_back(leaf);
+    topo.add_link(leaf, d[i - 1]);
+  }
+  std::vector<DeviceId> b;
+  for (int i = 1; i <= 4; ++i) {
+    const DeviceId leaf =
+        topo.add_device("B" + std::to_string(i), DeviceRole::kLeaf, 65101, 1);
+    b.push_back(leaf);
+    topo.add_link(leaf, d[i - 1]);
+  }
+  const char* tor_names[] = {"ToR1", "ToR2", "ToR3", "ToR4"};
+  for (int i = 0; i < 4; ++i) {
+    const ClusterId cluster = i < 2 ? 0 : 1;
+    const DeviceId tor = topo.add_device(tor_names[i], DeviceRole::kTor,
+                                         64500 + (i % 2), cluster);
+    const auto& leaves = cluster == 0 ? a : b;
+    for (const DeviceId leaf : leaves) topo.add_link(tor, leaf);
+    // Prefix_A..Prefix_D as 10.0.<i>.0/24.
+    topo.add_hosted_prefix(
+        tor, net::Prefix(net::Ipv4Address::from_octets(
+                             10, 0, static_cast<std::uint8_t>(i), 0),
+                         24));
+  }
+  return topo;
+}
+
+void apply_figure3_failures(Topology& topology) {
+  const auto fail = [&](std::string_view tor, std::string_view leaf) {
+    const auto t = topology.find_device(tor);
+    const auto l = topology.find_device(leaf);
+    if (!t || !l) throw InvalidArgument("apply_figure3_failures: bad names");
+    const auto link = topology.find_link(*t, *l);
+    if (!link) throw InvalidArgument("apply_figure3_failures: no such link");
+    topology.set_link_state(*link, LinkState::kDown);
+  };
+  fail("ToR1", "A3");
+  fail("ToR1", "A4");
+  fail("ToR2", "A1");
+  fail("ToR2", "A2");
+}
+
+}  // namespace dcv::topo

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+
+#include "topology/topology.hpp"
+
+namespace dcv::topo {
+
+/// Parameters of a synthetic Clos datacenter in the style of §2.1 / Figure 1.
+///
+/// The spine layer is organized in *planes*: there are `leaves_per_cluster`
+/// planes and leaf j of every cluster connects to all `spines_per_plane`
+/// spines of plane j. This reproduces the structure of the paper's running
+/// example (Figure 3: leaf A1 connects to spine D1 only, A2 to D2, ...) and
+/// generalizes to wider fabrics. Fan-outs correspond to the paper's k, n,
+/// m, p parameters.
+struct ClosParams {
+  std::uint32_t clusters = 2;
+  std::uint32_t tors_per_cluster = 2;           // k
+  std::uint32_t leaves_per_cluster = 4;         // m (== number of planes)
+  std::uint32_t spines_per_plane = 1;           // n / m
+  std::uint32_t regional_spines = 4;            // p
+  std::uint32_t regional_links_per_spine = 2;   // uplinks per spine device
+  std::uint32_t prefixes_per_tor = 1;
+  int prefix_length = 24;
+
+  // ASN scheme per §2.1: one ASN for all datacenter spines, one ASN per
+  // cluster for its leaves, ToR ASNs unique within a cluster but reused
+  // across clusters.
+  Asn spine_asn = 65535;
+  Asn leaf_asn_base = 65100;      // leaf ASN = base + cluster index
+  Asn tor_asn_base = 64500;       // ToR ASN  = base + index within cluster
+  Asn regional_asn_base = 63000;  // regional ASN = base + device index
+
+  [[nodiscard]] std::uint32_t spine_count() const {
+    return leaves_per_cluster * spines_per_plane;
+  }
+  [[nodiscard]] std::uint32_t device_count() const {
+    return clusters * (tors_per_cluster + leaves_per_cluster) + spine_count() +
+           regional_spines;
+  }
+};
+
+/// Builds the synthetic datacenter. Prefixes are carved sequentially from
+/// 10.0.0.0/8; ToR names are "T0-<cluster>-<i>", leaves "T1-<cluster>-<j>",
+/// spines "T2-<plane>-<i>", regional spines "RH-<i>".
+[[nodiscard]] Topology build_clos(const ClosParams& params);
+
+/// Builds a *region*: `datacenters` identical datacenters sharing one
+/// regional-spine layer. The private ASN scheme (ToR/leaf/spine ASNs) is
+/// reused verbatim in every datacenter — the collision the paper's regional
+/// spines resolve by stripping private ASNs from relayed AS-paths (§2.1).
+/// Device names are prefixed "DC<d>-"; cluster ids are globally unique
+/// across the region.
+[[nodiscard]] Topology build_region(const ClosParams& params,
+                                    std::uint32_t datacenters);
+
+/// The exact scaled-down topology of the paper's Figure 3, with the paper's
+/// device names (ToR1..ToR4, A1..A4, B1..B4, D1..D4, R1..R4) and one hosted
+/// prefix per ToR (Prefix_A..Prefix_D as 10.0.<i>.0/24).
+[[nodiscard]] Topology build_figure3();
+
+/// Applies Figure 3's four link failures to a topology built by
+/// build_figure3(): ToR1 loses its uplinks to A3 and A4, ToR2 loses its
+/// uplinks to A1 and A2.
+void apply_figure3_failures(Topology& topology);
+
+}  // namespace dcv::topo

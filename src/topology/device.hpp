@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace dcv::topo {
+
+/// Dense index of a device within a Topology.
+using DeviceId = std::uint32_t;
+
+/// BGP autonomous system number.
+using Asn = std::uint32_t;
+
+/// Dense index of a cluster (a set of racks behind a common leaf layer).
+using ClusterId = std::uint32_t;
+
+/// Dense index of a datacenter within a region. Multiple datacenters can
+/// share a regional-spine layer; private ASNs are reused across datacenters,
+/// which is why regional spines strip them (§2.1).
+using DatacenterId = std::uint32_t;
+
+inline constexpr DeviceId kInvalidDevice =
+    std::numeric_limits<DeviceId>::max();
+inline constexpr ClusterId kNoCluster = std::numeric_limits<ClusterId>::max();
+inline constexpr DatacenterId kNoDatacenter =
+    std::numeric_limits<DatacenterId>::max();
+
+/// The fixed role a device plays in the Clos hierarchy (§2.1). Roles drive
+/// both route propagation behavior and contract generation: the paper's
+/// central claim is that every device's forwarding intent is a function of
+/// its role plus address-locality facts.
+enum class DeviceRole : std::uint8_t {
+  kTor,            // top-of-rack; hosts server VLAN prefixes
+  kLeaf,           // cluster aggregation (T1)
+  kSpine,          // datacenter aggregation (T2)
+  kRegionalSpine,  // regional spine (RH); strips private ASNs, relays default
+};
+
+[[nodiscard]] std::string_view to_string(DeviceRole role);
+std::ostream& operator<<(std::ostream& os, DeviceRole role);
+
+/// A network device. Value type owned by Topology.
+struct Device {
+  DeviceId id = kInvalidDevice;
+  std::string name;
+  DeviceRole role = DeviceRole::kTor;
+  Asn asn = 0;
+  /// Cluster membership for ToR and leaf devices; kNoCluster for spine and
+  /// regional-spine devices, which serve the whole datacenter.
+  ClusterId cluster = kNoCluster;
+  /// Datacenter membership; kNoDatacenter for regional spines, which serve
+  /// the whole region.
+  DatacenterId datacenter = 0;
+  /// VLAN prefixes hosted below this device; non-empty only for ToRs.
+  std::vector<net::Prefix> hosted_prefixes;
+};
+
+}  // namespace dcv::topo

@@ -1,0 +1,156 @@
+#include "topology/faults.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_set>
+
+#include "net/error.hpp"
+
+namespace dcv::topo {
+
+std::string_view to_string(DeviceFaultKind kind) {
+  switch (kind) {
+    case DeviceFaultKind::kRibFibInconsistency:
+      return "rib-fib-inconsistency";
+    case DeviceFaultKind::kLayer2InterfaceBug:
+      return "layer2-interface-bug";
+    case DeviceFaultKind::kEcmpSingleNextHop:
+      return "ecmp-single-next-hop";
+    case DeviceFaultKind::kRejectDefaultRoute:
+      return "reject-default-route";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, DeviceFaultKind kind) {
+  return os << to_string(kind);
+}
+
+std::string FaultRecord::to_string(const Topology& topology) const {
+  switch (kind) {
+    case Kind::kLinkDown: {
+      const Link& l = topology.link(link);
+      return "link-down " + topology.device(l.a).name + "<->" +
+             topology.device(l.b).name;
+    }
+    case Kind::kBgpAdminShutdown: {
+      const Link& l = topology.link(link);
+      return "bgp-admin-shutdown " + topology.device(l.a).name + "<->" +
+             topology.device(l.b).name;
+    }
+    case Kind::kDeviceFault:
+      return std::string(dcv::topo::to_string(device_fault)) + " at " +
+             topology.device(device).name;
+  }
+  return "?";
+}
+
+void FaultInjector::link_down(LinkId link) {
+  topology_->set_link_state(link, LinkState::kDown);
+  records_.push_back(FaultRecord{.kind = FaultRecord::Kind::kLinkDown,
+                                 .link = link});
+}
+
+void FaultInjector::bgp_admin_shutdown(LinkId link) {
+  topology_->set_bgp_state(link, BgpSessionState::kAdminShutdown);
+  records_.push_back(FaultRecord{.kind = FaultRecord::Kind::kBgpAdminShutdown,
+                                 .link = link});
+}
+
+void FaultInjector::device_fault(DeviceId device, DeviceFaultKind kind) {
+  if (kind == DeviceFaultKind::kLayer2InterfaceBug) {
+    // No layer-3 interfaces means no BGP session can establish on any link.
+    topology_->shut_all_sessions_of(device);
+  }
+  records_.push_back(FaultRecord{.kind = FaultRecord::Kind::kDeviceFault,
+                                 .device = device,
+                                 .device_fault = kind});
+}
+
+void FaultInjector::random_link_failures(std::size_t count) {
+  if (topology_->link_count() == 0) return;
+  std::uniform_int_distribution<LinkId> pick(
+      0, static_cast<LinkId>(topology_->link_count() - 1));
+  std::unordered_set<LinkId> chosen;
+  while (chosen.size() < std::min(count, topology_->link_count())) {
+    const LinkId link = pick(rng_);
+    if (chosen.insert(link).second) link_down(link);
+  }
+}
+
+void FaultInjector::random_bgp_shutdowns(std::size_t count) {
+  if (topology_->link_count() == 0) return;
+  std::uniform_int_distribution<LinkId> pick(
+      0, static_cast<LinkId>(topology_->link_count() - 1));
+  std::unordered_set<LinkId> chosen;
+  while (chosen.size() < std::min(count, topology_->link_count())) {
+    const LinkId link = pick(rng_);
+    if (chosen.insert(link).second) bgp_admin_shutdown(link);
+  }
+}
+
+void FaultInjector::random_device_faults(std::size_t count, DeviceRole role,
+                                         DeviceFaultKind kind) {
+  const auto candidates = topology_->devices_with_role(role);
+  if (candidates.empty()) return;
+  std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+  std::unordered_set<DeviceId> chosen;
+  while (chosen.size() < std::min(count, candidates.size())) {
+    const DeviceId device = candidates[pick(rng_)];
+    if (chosen.insert(device).second) device_fault(device, kind);
+  }
+}
+
+bool FaultInjector::device_has_fault(DeviceId device,
+                                     DeviceFaultKind kind) const {
+  return std::any_of(records_.begin(), records_.end(),
+                     [&](const FaultRecord& r) {
+                       return r.kind == FaultRecord::Kind::kDeviceFault &&
+                              r.device == device && r.device_fault == kind;
+                     });
+}
+
+std::vector<DeviceFaultKind> FaultInjector::faults_of(DeviceId device) const {
+  std::vector<DeviceFaultKind> out;
+  for (const auto& r : records_) {
+    if (r.kind == FaultRecord::Kind::kDeviceFault && r.device == device) {
+      out.push_back(r.device_fault);
+    }
+  }
+  return out;
+}
+
+void FaultInjector::repair(std::size_t record_index) {
+  if (record_index >= records_.size()) {
+    throw InvalidArgument("repair: bad record index");
+  }
+  records_.erase(records_.begin() +
+                 static_cast<std::ptrdiff_t>(record_index));
+  reapply();
+}
+
+void FaultInjector::reapply() {
+  topology_->clear_faults();
+  for (const FaultRecord& r : records_) {
+    switch (r.kind) {
+      case FaultRecord::Kind::kLinkDown:
+        topology_->set_link_state(r.link, LinkState::kDown);
+        break;
+      case FaultRecord::Kind::kBgpAdminShutdown:
+        topology_->set_bgp_state(r.link, BgpSessionState::kAdminShutdown);
+        break;
+      case FaultRecord::Kind::kDeviceFault:
+        if (r.device_fault == DeviceFaultKind::kLayer2InterfaceBug) {
+          topology_->shut_all_sessions_of(r.device);
+        }
+        break;
+    }
+  }
+}
+
+void FaultInjector::reset() {
+  records_.clear();
+  topology_->clear_faults();
+}
+
+}  // namespace dcv::topo

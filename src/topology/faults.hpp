@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace dcv::topo {
+
+/// Device-level fault modes observed in production (§2.6.2). These are not
+/// graph faults: they corrupt how a device turns its RIB into a FIB or how
+/// it processes announcements, and are therefore interpreted by the routing
+/// layer when FIBs are produced.
+enum class DeviceFaultKind : std::uint8_t {
+  /// "Software Bug 1": RIB-FIB inconsistency — the FIB retains significantly
+  /// fewer next hops for the default route than the RIB computed.
+  kRibFibInconsistency,
+  /// "Software Bug 2": interfaces treated as layer-2 switch ports; no IP
+  /// addresses, so no BGP session comes up on any interface.
+  kLayer2InterfaceBug,
+  /// "Policy Errors" (ECMP misconfiguration): the device programs a single
+  /// next hop for upstream traffic instead of all available uplinks.
+  kEcmpSingleNextHop,
+  /// "Policy Errors" (route-map misconfiguration): the device rejects
+  /// default-route announcements from upstream devices.
+  kRejectDefaultRoute,
+};
+
+[[nodiscard]] std::string_view to_string(DeviceFaultKind kind);
+std::ostream& operator<<(std::ostream& os, DeviceFaultKind kind);
+
+/// A concrete injected fault, kept for ground truth when evaluating what the
+/// validators detect.
+struct FaultRecord {
+  enum class Kind : std::uint8_t {
+    kLinkDown,
+    kBgpAdminShutdown,
+    kDeviceFault,
+  };
+  Kind kind = Kind::kLinkDown;
+  LinkId link = 0;                 // for link/session faults
+  DeviceId device = kInvalidDevice;  // for device faults
+  DeviceFaultKind device_fault = DeviceFaultKind::kRibFibInconsistency;
+
+  [[nodiscard]] std::string to_string(const Topology& topology) const;
+};
+
+/// Injects faults into a topology and records ground truth. Device-level
+/// faults are stored here and consulted by the routing layer (BgpSimulator /
+/// FibSynthesizer) when producing FIBs.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Topology& topology, std::uint64_t seed = 0)
+      : topology_(&topology), rng_(seed) {}
+
+  // -- Deterministic injection ---------------------------------------------
+
+  void link_down(LinkId link);
+  void bgp_admin_shutdown(LinkId link);
+  void device_fault(DeviceId device, DeviceFaultKind kind);
+
+  // -- Random injection -----------------------------------------------------
+
+  /// Takes `count` distinct random links physically down.
+  void random_link_failures(std::size_t count);
+
+  /// Admin-shuts BGP on `count` distinct random links (lossy-link
+  /// mitigation drift, §2.6.2 "Operation Drift").
+  void random_bgp_shutdowns(std::size_t count);
+
+  /// Applies a random device fault of the given kind to `count` distinct
+  /// random devices of the given role.
+  void random_device_faults(std::size_t count, DeviceRole role,
+                            DeviceFaultKind kind);
+
+  [[nodiscard]] const std::vector<FaultRecord>& records() const {
+    return records_;
+  }
+
+  /// Device-fault lookup used by the routing layer.
+  [[nodiscard]] bool device_has_fault(DeviceId device,
+                                      DeviceFaultKind kind) const;
+  [[nodiscard]] std::vector<DeviceFaultKind> faults_of(DeviceId device) const;
+
+  /// Remediates one fault: removes its record and restores the topology to
+  /// the state implied by the remaining faults (faults can overlap on the
+  /// same link, so the full remaining set is re-applied).
+  void repair(std::size_t record_index);
+
+  /// Clears the topology's fault state and re-applies every recorded fault.
+  void reapply();
+
+  /// Clears both the injected faults and the topology's link/session state.
+  void reset();
+
+ private:
+  Topology* topology_;
+  std::mt19937_64 rng_;
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace dcv::topo

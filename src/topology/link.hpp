@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "topology/device.hpp"
+
+namespace dcv::topo {
+
+/// Dense index of a link within a Topology.
+using LinkId = std::uint32_t;
+
+/// Physical state of a point-to-point link.
+enum class LinkState : std::uint8_t {
+  kUp,
+  kDown,  // e.g. optical hardware failure (§2.6.2 "Hardware Failures")
+};
+
+/// State of the EBGP session configured across a link (§2.1: every link
+/// carries exactly one EBGP session between its two endpoints).
+enum class BgpSessionState : std::uint8_t {
+  kEstablished,
+  kAdminShutdown,  // operator shut, e.g. lossy-link mitigation (§2.6.2)
+  kDown,           // follows the link or a device-level fault
+};
+
+/// An undirected point-to-point link between two devices.
+struct Link {
+  LinkId id = 0;
+  DeviceId a = kInvalidDevice;
+  DeviceId b = kInvalidDevice;
+  LinkState link_state = LinkState::kUp;
+  BgpSessionState bgp_state = BgpSessionState::kEstablished;
+
+  /// True iff routes can be exchanged across this link: the physical link is
+  /// up and the EBGP session is established.
+  [[nodiscard]] bool usable() const {
+    return link_state == LinkState::kUp &&
+           bgp_state == BgpSessionState::kEstablished;
+  }
+
+  /// The endpoint opposite to `from`.
+  [[nodiscard]] DeviceId other(DeviceId from) const {
+    return from == a ? b : a;
+  }
+};
+
+}  // namespace dcv::topo

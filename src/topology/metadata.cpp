@@ -1,0 +1,113 @@
+#include "topology/metadata.hpp"
+
+#include <algorithm>
+
+#include "net/error.hpp"
+
+namespace dcv::topo {
+
+MetadataService::MetadataService(const Topology& topology)
+    : topology_(&topology) {
+  for (const Device& d : topology.devices()) {
+    if (d.role != DeviceRole::kTor) continue;
+    for (const net::Prefix& p : d.hosted_prefixes) {
+      prefixes_.push_back(
+          PrefixFact{.prefix = p, .tor = d.id, .cluster = d.cluster});
+    }
+  }
+  std::sort(prefixes_.begin(), prefixes_.end(),
+            [](const PrefixFact& a, const PrefixFact& b) {
+              return a.prefix < b.prefix;
+            });
+  prefix_index_.reserve(prefixes_.size());
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    if (!prefix_index_.emplace(prefixes_[i].prefix, i).second) {
+      throw InvalidArgument("duplicate hosted prefix: " +
+                            prefixes_[i].prefix.to_string());
+    }
+  }
+
+  spines_by_cluster_.resize(topology.cluster_count());
+  regionals_by_cluster_.resize(topology.cluster_count());
+  for (std::size_t c = 0; c < topology.cluster_count(); ++c) {
+    for (const DeviceId leaf :
+         topology.leaves_in_cluster(static_cast<ClusterId>(c))) {
+      for (const DeviceId spine :
+           topology.neighbors_with_role(leaf, DeviceRole::kSpine)) {
+        spines_by_cluster_[c].insert(spine);
+      }
+    }
+    for (const DeviceId spine : spines_by_cluster_[c]) {
+      for (const DeviceId regional : topology.neighbors_with_role(
+               spine, DeviceRole::kRegionalSpine)) {
+        regionals_by_cluster_[c].insert(regional);
+      }
+    }
+  }
+}
+
+std::optional<PrefixFact> MetadataService::locate(
+    const net::Prefix& prefix) const {
+  const auto it = prefix_index_.find(prefix);
+  if (it == prefix_index_.end()) return std::nullopt;
+  return prefixes_[it->second];
+}
+
+std::vector<PrefixFact> MetadataService::prefixes_in_cluster(
+    ClusterId cluster) const {
+  std::vector<PrefixFact> out;
+  for (const auto& fact : prefixes_) {
+    if (fact.cluster == cluster) out.push_back(fact);
+  }
+  return out;
+}
+
+const std::unordered_set<DeviceId>& MetadataService::spines_serving_cluster(
+    ClusterId cluster) const {
+  if (cluster >= spines_by_cluster_.size()) {
+    throw InvalidArgument("bad cluster id");
+  }
+  return spines_by_cluster_[cluster];
+}
+
+const std::unordered_set<DeviceId>& MetadataService::regionals_serving_cluster(
+    ClusterId cluster) const {
+  if (cluster >= regionals_by_cluster_.size()) {
+    throw InvalidArgument("bad cluster id");
+  }
+  return regionals_by_cluster_[cluster];
+}
+
+std::vector<DeviceId> MetadataService::leaf_uplinks_toward(
+    DeviceId leaf, ClusterId cluster) const {
+  const auto& serving = spines_serving_cluster(cluster);
+  std::vector<DeviceId> out;
+  for (const DeviceId spine :
+       topology_->neighbors_with_role(leaf, DeviceRole::kSpine)) {
+    if (serving.contains(spine)) out.push_back(spine);
+  }
+  return out;
+}
+
+std::vector<DeviceId> MetadataService::spine_downlinks_into(
+    DeviceId spine, ClusterId cluster) const {
+  std::vector<DeviceId> out;
+  for (const DeviceId leaf :
+       topology_->neighbors_with_role(spine, DeviceRole::kLeaf)) {
+    if (topology_->device(leaf).cluster == cluster) out.push_back(leaf);
+  }
+  return out;
+}
+
+std::vector<DeviceId> MetadataService::regional_downlinks_toward(
+    DeviceId regional, ClusterId cluster) const {
+  const auto& serving = spines_serving_cluster(cluster);
+  std::vector<DeviceId> out;
+  for (const DeviceId spine :
+       topology_->neighbors_with_role(regional, DeviceRole::kSpine)) {
+    if (serving.contains(spine)) out.push_back(spine);
+  }
+  return out;
+}
+
+}  // namespace dcv::topo

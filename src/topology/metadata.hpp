@@ -1,0 +1,84 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "topology/topology.hpp"
+
+namespace dcv::topo {
+
+/// A fact about address locality: which ToR (and hence cluster) hosts a
+/// VLAN prefix.
+struct PrefixFact {
+  net::Prefix prefix;
+  DeviceId tor = kInvalidDevice;
+  ClusterId cluster = kNoCluster;
+};
+
+/// The metadata service of §1/§2.3: "Azure has a metadata service that
+/// maintains facts such as the IP prefixes hosted in the top-of-rack switch
+/// routers, the details of the neighbors, and how the BGP sessions are
+/// configured between routers."
+///
+/// Intent is *derived* from these facts, never from observed network state.
+/// The service is an immutable snapshot of the expected architecture; it
+/// deliberately ignores link/session state so that contracts stay stable
+/// across state fluctuations (§2.4).
+class MetadataService {
+ public:
+  explicit MetadataService(const Topology& topology);
+
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+
+  /// Every hosted prefix in the datacenter with its locality facts, ordered
+  /// by prefix.
+  [[nodiscard]] std::span<const PrefixFact> all_prefixes() const {
+    return prefixes_;
+  }
+
+  /// Locality fact for one prefix; nullopt if the prefix is not hosted.
+  [[nodiscard]] std::optional<PrefixFact> locate(
+      const net::Prefix& prefix) const;
+
+  /// Prefixes hosted under ToRs of a cluster.
+  [[nodiscard]] std::vector<PrefixFact> prefixes_in_cluster(
+      ClusterId cluster) const;
+
+  /// Spine devices with an expected link into the given cluster's leaf
+  /// layer. A leaf's specific contract for a remote prefix points at the
+  /// intersection of its own spine neighbors with this set (§2.4.2).
+  [[nodiscard]] const std::unordered_set<DeviceId>& spines_serving_cluster(
+      ClusterId cluster) const;
+
+  /// Expected spine next hops of `leaf` toward `cluster`: the leaf's spine
+  /// neighbors that also serve the destination cluster.
+  [[nodiscard]] std::vector<DeviceId> leaf_uplinks_toward(
+      DeviceId leaf, ClusterId cluster) const;
+
+  /// Expected leaf next hops of `spine` into `cluster`: the spine's leaf
+  /// neighbors belonging to the cluster (§2.4.3).
+  [[nodiscard]] std::vector<DeviceId> spine_downlinks_into(
+      DeviceId spine, ClusterId cluster) const;
+
+  /// Expected spine next hops of regional-spine `regional` toward `cluster`.
+  [[nodiscard]] std::vector<DeviceId> regional_downlinks_toward(
+      DeviceId regional, ClusterId cluster) const;
+
+  /// Regional spines with an expected link to some spine serving `cluster`.
+  /// Used for cross-datacenter forwarding in region topologies.
+  [[nodiscard]] const std::unordered_set<DeviceId>& regionals_serving_cluster(
+      ClusterId cluster) const;
+
+ private:
+  const Topology* topology_;
+  std::vector<PrefixFact> prefixes_;
+  std::unordered_map<net::Prefix, std::size_t> prefix_index_;
+  std::vector<std::unordered_set<DeviceId>> spines_by_cluster_;
+  std::vector<std::unordered_set<DeviceId>> regionals_by_cluster_;
+};
+
+}  // namespace dcv::topo

@@ -1,0 +1,180 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "net/error.hpp"
+
+namespace dcv::topo {
+
+std::string_view to_string(DeviceRole role) {
+  switch (role) {
+    case DeviceRole::kTor:
+      return "ToR";
+    case DeviceRole::kLeaf:
+      return "Leaf";
+    case DeviceRole::kSpine:
+      return "Spine";
+    case DeviceRole::kRegionalSpine:
+      return "RegionalSpine";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, DeviceRole role) {
+  return os << to_string(role);
+}
+
+DeviceId Topology::add_device(std::string name, DeviceRole role, Asn asn,
+                              ClusterId cluster, DatacenterId datacenter) {
+  const DeviceId id = static_cast<DeviceId>(devices_.size());
+  devices_.push_back(Device{.id = id,
+                            .name = std::move(name),
+                            .role = role,
+                            .asn = asn,
+                            .cluster = cluster,
+                            .datacenter = datacenter,
+                            .hosted_prefixes = {}});
+  incident_links_.emplace_back();
+  if (cluster != kNoCluster) {
+    cluster_count_ = std::max(cluster_count_, std::size_t{cluster} + 1);
+  }
+  return id;
+}
+
+LinkId Topology::add_link(DeviceId a, DeviceId b) {
+  if (a >= devices_.size() || b >= devices_.size() || a == b) {
+    throw InvalidArgument("add_link: bad endpoints");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{.id = id, .a = a, .b = b});
+  incident_links_[a].push_back(id);
+  incident_links_[b].push_back(id);
+  return id;
+}
+
+void Topology::add_hosted_prefix(DeviceId tor, const net::Prefix& prefix) {
+  if (tor >= devices_.size()) throw InvalidArgument("bad device id");
+  devices_[tor].hosted_prefixes.push_back(prefix);
+}
+
+const Device& Topology::device(DeviceId id) const {
+  if (id >= devices_.size()) throw InvalidArgument("bad device id");
+  return devices_[id];
+}
+
+const Link& Topology::link(LinkId id) const {
+  if (id >= links_.size()) throw InvalidArgument("bad link id");
+  return links_[id];
+}
+
+std::optional<DeviceId> Topology::find_device(std::string_view name) const {
+  for (const auto& d : devices_) {
+    if (d.name == name) return d.id;
+  }
+  return std::nullopt;
+}
+
+std::span<const LinkId> Topology::links_of(DeviceId id) const {
+  if (id >= devices_.size()) throw InvalidArgument("bad device id");
+  return incident_links_[id];
+}
+
+std::vector<DeviceId> Topology::neighbors(DeviceId id) const {
+  std::vector<DeviceId> out;
+  for (const LinkId lid : links_of(id)) out.push_back(links_[lid].other(id));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DeviceId> Topology::neighbors_with_role(DeviceId id,
+                                                    DeviceRole role) const {
+  std::vector<DeviceId> out;
+  for (const LinkId lid : links_of(id)) {
+    const DeviceId n = links_[lid].other(id);
+    if (devices_[n].role == role) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DeviceId> Topology::usable_neighbors(DeviceId id) const {
+  std::vector<DeviceId> out;
+  for (const LinkId lid : links_of(id)) {
+    if (links_[lid].usable()) out.push_back(links_[lid].other(id));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<LinkId> Topology::find_link(DeviceId a, DeviceId b) const {
+  for (const LinkId lid : links_of(a)) {
+    if (links_[lid].other(a) == b) return lid;
+  }
+  return std::nullopt;
+}
+
+std::vector<DeviceId> Topology::devices_with_role(DeviceRole role) const {
+  std::vector<DeviceId> out;
+  for (const auto& d : devices_) {
+    if (d.role == role) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<DeviceId> Topology::tors_in_cluster(ClusterId cluster) const {
+  std::vector<DeviceId> out;
+  for (const auto& d : devices_) {
+    if (d.role == DeviceRole::kTor && d.cluster == cluster) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<DeviceId> Topology::leaves_in_cluster(ClusterId cluster) const {
+  std::vector<DeviceId> out;
+  for (const auto& d : devices_) {
+    if (d.role == DeviceRole::kLeaf && d.cluster == cluster)
+      out.push_back(d.id);
+  }
+  return out;
+}
+
+void Topology::set_link_state(LinkId id, LinkState state) {
+  if (id >= links_.size()) throw InvalidArgument("bad link id");
+  links_[id].link_state = state;
+  // A physically-down link cannot keep a BGP session established; an
+  // admin-shut session stays admin-shut regardless of link state.
+  if (state == LinkState::kDown &&
+      links_[id].bgp_state == BgpSessionState::kEstablished) {
+    links_[id].bgp_state = BgpSessionState::kDown;
+  }
+  if (state == LinkState::kUp &&
+      links_[id].bgp_state == BgpSessionState::kDown) {
+    links_[id].bgp_state = BgpSessionState::kEstablished;
+  }
+}
+
+void Topology::set_bgp_state(LinkId id, BgpSessionState state) {
+  if (id >= links_.size()) throw InvalidArgument("bad link id");
+  links_[id].bgp_state = state;
+}
+
+void Topology::set_asn(DeviceId id, Asn asn) {
+  if (id >= devices_.size()) throw InvalidArgument("bad device id");
+  devices_[id].asn = asn;
+}
+
+void Topology::shut_all_sessions_of(DeviceId id) {
+  for (const LinkId lid : links_of(id)) {
+    links_[lid].bgp_state = BgpSessionState::kDown;
+  }
+}
+
+void Topology::clear_faults() {
+  for (auto& l : links_) {
+    l.link_state = LinkState::kUp;
+    l.bgp_state = BgpSessionState::kEstablished;
+  }
+}
+
+}  // namespace dcv::topo

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/device.hpp"
+#include "topology/link.hpp"
+
+namespace dcv::topo {
+
+/// A datacenter network graph: devices, point-to-point links, adjacency.
+///
+/// The topology is the *expected* architecture — the source of intent.
+/// Link and BGP-session state can be mutated (fault injection, operational
+/// drift) but devices and links are never removed: contracts are generated
+/// from the expected topology and ignore current state (§2.4).
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Adds a device and returns its id. Name must be unique.
+  DeviceId add_device(std::string name, DeviceRole role, Asn asn,
+                      ClusterId cluster = kNoCluster,
+                      DatacenterId datacenter = 0);
+
+  /// Adds an undirected link between two existing devices.
+  LinkId add_link(DeviceId a, DeviceId b);
+
+  /// Registers a hosted (VLAN) prefix on a ToR device.
+  void add_hosted_prefix(DeviceId tor, const net::Prefix& prefix);
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Device& device(DeviceId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Looks a device up by its unique name; nullopt if absent.
+  [[nodiscard]] std::optional<DeviceId> find_device(
+      std::string_view name) const;
+
+  /// Links incident to a device (regardless of state).
+  [[nodiscard]] std::span<const LinkId> links_of(DeviceId id) const;
+
+  /// All expected neighbors of a device (regardless of link state).
+  [[nodiscard]] std::vector<DeviceId> neighbors(DeviceId id) const;
+
+  /// Expected neighbors restricted to a given role; e.g. a ToR's leaves, a
+  /// leaf's spines. This is what contract generation consumes.
+  [[nodiscard]] std::vector<DeviceId> neighbors_with_role(
+      DeviceId id, DeviceRole role) const;
+
+  /// Neighbors reachable over currently-usable links (live adjacency).
+  [[nodiscard]] std::vector<DeviceId> usable_neighbors(DeviceId id) const;
+
+  /// The link between two devices, if one exists.
+  [[nodiscard]] std::optional<LinkId> find_link(DeviceId a, DeviceId b) const;
+
+  /// Devices of a role, in id order.
+  [[nodiscard]] std::vector<DeviceId> devices_with_role(DeviceRole role) const;
+
+  /// ToR devices belonging to a cluster, in id order.
+  [[nodiscard]] std::vector<DeviceId> tors_in_cluster(ClusterId cluster) const;
+
+  /// Leaf devices belonging to a cluster, in id order.
+  [[nodiscard]] std::vector<DeviceId> leaves_in_cluster(
+      ClusterId cluster) const;
+
+  [[nodiscard]] std::size_t cluster_count() const { return cluster_count_; }
+
+  // -- Mutable state (fault injection / operational drift) -----------------
+
+  void set_link_state(LinkId id, LinkState state);
+  void set_bgp_state(LinkId id, BgpSessionState state);
+
+  /// Reassigns a device's ASN. Models configuration drift such as the
+  /// migration misconfiguration of §2.6.2 where decommissioned and new leaf
+  /// devices were configured with the same ASN.
+  void set_asn(DeviceId id, Asn asn);
+
+  /// Takes every link of a device down at the BGP level, modeling device
+  /// faults such as the layer-2 interface bug in §2.6.2 (Software Bug 2).
+  void shut_all_sessions_of(DeviceId id);
+
+  /// Restores every link and session to healthy state.
+  void clear_faults();
+
+ private:
+  std::vector<Device> devices_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> incident_links_;
+  std::size_t cluster_count_ = 0;
+};
+
+}  // namespace dcv::topo

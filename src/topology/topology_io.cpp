@@ -1,0 +1,183 @@
+#include "topology/topology_io.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "net/error.hpp"
+#include "net/prefix.hpp"
+
+namespace dcv::topo {
+
+namespace {
+
+std::string_view role_keyword(DeviceRole role) {
+  switch (role) {
+    case DeviceRole::kTor:
+      return "tor";
+    case DeviceRole::kLeaf:
+      return "leaf";
+    case DeviceRole::kSpine:
+      return "spine";
+    case DeviceRole::kRegionalSpine:
+      return "regional";
+  }
+  return "?";
+}
+
+DeviceRole parse_role(std::string_view token, int line) {
+  if (token == "tor") return DeviceRole::kTor;
+  if (token == "leaf") return DeviceRole::kLeaf;
+  if (token == "spine") return DeviceRole::kSpine;
+  if (token == "regional") return DeviceRole::kRegionalSpine;
+  throw ParseError("topology line " + std::to_string(line) +
+                   ": unknown role '" + std::string(token) + "'");
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view next_token(std::string_view& s) {
+  s = trim(s);
+  std::size_t end = 0;
+  while (end < s.size() && s[end] != ' ' && s[end] != '\t') ++end;
+  const auto token = s.substr(0, end);
+  s.remove_prefix(end);
+  return token;
+}
+
+std::uint32_t parse_number(std::string_view token, int line,
+                           const char* what) {
+  std::uint32_t value = 0;
+  const auto [next, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || next != token.data() + token.size()) {
+    throw ParseError("topology line " + std::to_string(line) + ": bad " +
+                     what + " '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string write_topology(const Topology& topology) {
+  std::ostringstream out;
+  out << "# dcvalidate topology: " << topology.device_count()
+      << " devices, " << topology.link_count() << " links\n";
+  for (const Device& d : topology.devices()) {
+    out << "device " << d.name << " " << role_keyword(d.role) << " "
+        << d.asn;
+    if (d.cluster != kNoCluster) out << " cluster=" << d.cluster;
+    if (d.datacenter != kNoDatacenter && d.datacenter != 0) {
+      out << " dc=" << d.datacenter;
+    }
+    out << "\n";
+  }
+  for (const Link& l : topology.links()) {
+    out << "link " << topology.device(l.a).name << " "
+        << topology.device(l.b).name;
+    if (l.link_state == LinkState::kDown) {
+      out << " down";
+    } else if (l.bgp_state == BgpSessionState::kAdminShutdown) {
+      out << " shutdown";
+    }
+    out << "\n";
+  }
+  for (const Device& d : topology.devices()) {
+    for (const net::Prefix& p : d.hosted_prefixes) {
+      out << "prefix " << d.name << " " << p.to_string() << "\n";
+    }
+  }
+  return out.str();
+}
+
+Topology parse_topology(std::string_view text) {
+  Topology topology;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::string_view rest = line;
+    const auto keyword = next_token(rest);
+
+    if (keyword == "device") {
+      const auto name = next_token(rest);
+      const auto role = parse_role(next_token(rest), line_number);
+      const auto asn = parse_number(next_token(rest), line_number, "asn");
+      ClusterId cluster = kNoCluster;
+      DatacenterId datacenter =
+          role == DeviceRole::kRegionalSpine ? kNoDatacenter : 0;
+      while (true) {
+        const auto option = next_token(rest);
+        if (option.empty()) break;
+        if (option.substr(0, 8) == "cluster=") {
+          cluster = parse_number(option.substr(8), line_number, "cluster");
+        } else if (option.substr(0, 3) == "dc=") {
+          datacenter = parse_number(option.substr(3), line_number, "dc");
+        } else {
+          throw ParseError("topology line " + std::to_string(line_number) +
+                           ": unknown option '" + std::string(option) + "'");
+        }
+      }
+      if (name.empty() || topology.find_device(name)) {
+        throw ParseError("topology line " + std::to_string(line_number) +
+                         ": missing or duplicate device name");
+      }
+      topology.add_device(std::string(name), role, asn, cluster, datacenter);
+      continue;
+    }
+
+    const auto resolve = [&](std::string_view name) {
+      const auto id = topology.find_device(name);
+      if (!id) {
+        throw ParseError("topology line " + std::to_string(line_number) +
+                         ": unknown device '" + std::string(name) + "'");
+      }
+      return *id;
+    };
+
+    if (keyword == "link") {
+      const auto a = resolve(next_token(rest));
+      const auto b = resolve(next_token(rest));
+      const LinkId link = topology.add_link(a, b);
+      const auto state = next_token(rest);
+      if (state == "down") {
+        topology.set_link_state(link, LinkState::kDown);
+      } else if (state == "shutdown") {
+        topology.set_bgp_state(link, BgpSessionState::kAdminShutdown);
+      } else if (!state.empty()) {
+        throw ParseError("topology line " + std::to_string(line_number) +
+                         ": unknown link state '" + std::string(state) + "'");
+      }
+      continue;
+    }
+
+    if (keyword == "prefix") {
+      const auto tor = resolve(next_token(rest));
+      topology.add_hosted_prefix(tor,
+                                 net::Prefix::parse(next_token(rest)));
+      continue;
+    }
+
+    throw ParseError("topology line " + std::to_string(line_number) +
+                     ": unknown keyword '" + std::string(keyword) + "'");
+  }
+  return topology;
+}
+
+}  // namespace dcv::topo

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "topology/topology.hpp"
+
+namespace dcv::topo {
+
+/// Text serialization of a topology — the interchange format consumed by
+/// the command-line tools, playing the role of the cloud-topology files of
+/// the generator the paper points to for synthetic benchmarks (§2.6.3
+/// [29]). Line-oriented:
+///
+///   # comment
+///   device <name> <tor|leaf|spine|regional> <asn> [cluster=<n>] [dc=<n>]
+///   link <device-name> <device-name> [down|shutdown]
+///   prefix <tor-name> <cidr>
+///
+/// Devices must be declared before links/prefixes that reference them.
+[[nodiscard]] std::string write_topology(const Topology& topology);
+
+/// Parses the format produced by write_topology. Throws dcv::ParseError
+/// with a line number on malformed input.
+[[nodiscard]] Topology parse_topology(std::string_view text);
+
+}  // namespace dcv::topo

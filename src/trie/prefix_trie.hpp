@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace dcv::trie {
+
+/// A binary trie keyed by CIDR prefixes, consuming address bits from the
+/// most significant bit down. Each stored prefix lives at depth
+/// prefix.length(); the default route 0.0.0.0/0 labels the root (§2.5.2).
+///
+/// The structure supports the two queries the specialized contract checker
+/// needs:
+///  * longest-prefix match of a single address (FIB semantics), and
+///  * the *related set* of a range C: every stored prefix that contains C
+///    or is contained in C — exactly the candidate rules
+///    { r | C.range ⊆ r.prefix ∨ r.prefix ⊆ C.range } of §2.5.2. Because
+///    keys are proper prefixes, the related set is one root-to-range path
+///    plus one subtree, so collection touches only useful nodes.
+///
+/// Nodes are pooled in a contiguous arena; the trie grows but never shrinks.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.emplace_back(); }
+
+  /// Inserts (or replaces) the value stored at `prefix`.
+  void insert(const net::Prefix& prefix, T value) {
+    std::int32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = prefix.bit(depth) ? 1 : 0;
+      std::int32_t next = nodes_[node].child[bit];
+      if (next < 0) {
+        next = static_cast<std::int32_t>(nodes_.size());
+        nodes_[node].child[bit] = next;
+        nodes_.emplace_back();
+      }
+      node = next;
+    }
+    if (!nodes_[node].value.has_value()) ++size_;
+    nodes_[node].value = std::move(value);
+  }
+
+  /// The value stored exactly at `prefix`, or nullptr.
+  [[nodiscard]] const T* find(const net::Prefix& prefix) const {
+    std::int32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      node = nodes_[node].child[prefix.bit(depth) ? 1 : 0];
+      if (node < 0) return nullptr;
+    }
+    return nodes_[node].value ? &*nodes_[node].value : nullptr;
+  }
+
+  /// Longest-prefix-match lookup: the value whose prefix is the longest one
+  /// containing `address`, or nullptr when nothing matches.
+  [[nodiscard]] const T* longest_match(net::Ipv4Address address) const {
+    const T* best = nullptr;
+    std::int32_t node = 0;
+    for (int depth = 0;; ++depth) {
+      if (nodes_[node].value) best = &*nodes_[node].value;
+      if (depth == 32) break;
+      node = nodes_[node].child[address.bit(depth) ? 1 : 0];
+      if (node < 0) break;
+    }
+    return best;
+  }
+
+  /// Collects every stored (prefix, value) related to `range`: containing
+  /// it (ancestors on the path to `range`, including an entry at `range`
+  /// itself) or contained in it (the subtree below `range`). Order is
+  /// ancestors first, then subtree in depth-first order; callers needing
+  /// the paper's descending-prefix-length order sort the result.
+  [[nodiscard]] std::vector<std::pair<net::Prefix, const T*>> related(
+      const net::Prefix& range) const {
+    std::vector<std::pair<net::Prefix, const T*>> out;
+    std::int32_t node = 0;
+    std::uint32_t bits = 0;
+    for (int depth = 0; depth < range.length(); ++depth) {
+      if (nodes_[node].value) {
+        out.emplace_back(
+            net::Prefix(net::Ipv4Address(bits), depth), &*nodes_[node].value);
+      }
+      const int bit = range.bit(depth) ? 1 : 0;
+      if (bit != 0) bits |= (std::uint32_t{1} << (31 - depth));
+      node = nodes_[node].child[bit];
+      if (node < 0) return out;
+    }
+    collect_subtree(node, bits, range.length(), out);
+    return out;
+  }
+
+  /// Visits every stored (prefix, value) in depth-first order.
+  template <typename F>
+  void visit_all(F&& visit) const {
+    std::vector<std::pair<net::Prefix, const T*>> all;
+    collect_subtree(0, 0, 0, all);
+    for (const auto& [prefix, value] : all) visit(prefix, *value);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::optional<T> value;
+  };
+
+  void collect_subtree(
+      std::int32_t node, std::uint32_t bits, int depth,
+      std::vector<std::pair<net::Prefix, const T*>>& out) const {
+    if (nodes_[node].value) {
+      out.emplace_back(net::Prefix(net::Ipv4Address(bits), depth),
+                       &*nodes_[node].value);
+    }
+    if (depth == 32) return;
+    if (const auto left = nodes_[node].child[0]; left >= 0) {
+      collect_subtree(left, bits, depth + 1, out);
+    }
+    if (const auto right = nodes_[node].child[1]; right >= 0) {
+      collect_subtree(right, bits | (std::uint32_t{1} << (31 - depth)),
+                      depth + 1, out);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dcv::trie

@@ -1,0 +1,201 @@
+// Tests for the combined routing + NSG checker (§3.6's "simple extension",
+// built): a flow is delivered iff the fabric routes it and the destination
+// security group admits it.
+#include "e2e/end_to_end.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::e2e {
+namespace {
+
+using secguru::Action;
+using secguru::Nsg;
+using secguru::NsgRule;
+using secguru::Rule;
+
+class EndToEndTest : public testing::Test {
+ protected:
+  EndToEndTest()
+      : topology_(topo::build_figure3()), metadata_(topology_) {}
+
+  topo::DeviceId id(const char* name) const {
+    return *topology_.find_device(name);
+  }
+
+  /// An NSG admitting only TCP/1433 from Prefix_A (ToR1's prefix).
+  static Nsg database_nsg() {
+    Nsg nsg("db");
+    nsg.upsert(NsgRule{
+        .priority = 100,
+        .name = "AllowSqlFromA",
+        .rule = Rule{.action = Action::kPermit,
+                     .protocol = net::ProtocolSpec::tcp(),
+                     .src = net::Prefix::parse("10.0.0.0/24"),
+                     .src_ports = net::PortRange::any(),
+                     .dst = net::Prefix::parse("10.0.2.0/24"),
+                     .dst_ports = net::PortRange::exactly(1433)}});
+    nsg.upsert(NsgRule{
+        .priority = 4096,
+        .name = "DenyAll",
+        .rule = Rule{.action = Action::kDeny,
+                     .protocol = net::ProtocolSpec::any(),
+                     .src = net::Prefix::default_route(),
+                     .src_ports = net::PortRange::any(),
+                     .dst = net::Prefix::default_route(),
+                     .dst_ports = net::PortRange::any()}});
+    return nsg;
+  }
+
+  static net::PacketHeader sql_packet(const char* src, const char* dst) {
+    return net::PacketHeader{.src_ip = net::Ipv4Address::parse(src),
+                             .src_port = 40000,
+                             .dst_ip = net::Ipv4Address::parse(dst),
+                             .dst_port = 1433,
+                             .protocol = 6};
+  }
+
+  topo::Topology topology_;
+  topo::MetadataService metadata_;
+};
+
+TEST_F(EndToEndTest, HealthyUnprotectedFlowIsDelivered) {
+  const routing::BgpSimulator sim(topology_);
+  const rcdc::SimulatorFibSource fibs(sim);
+  EndToEndChecker checker(metadata_, fibs);
+  // ToR1 -> Prefix_C (cluster B), no NSG attached.
+  const auto verdict =
+      checker.check_flow(id("ToR1"), sql_packet("10.0.0.5", "10.0.2.9"));
+  EXPECT_TRUE(verdict.routed);
+  EXPECT_TRUE(verdict.delivered());
+  EXPECT_EQ(verdict.min_path_length, 4);
+  EXPECT_EQ(verdict.max_path_length, 4);
+  EXPECT_EQ(verdict.paths, 4u);
+  EXPECT_FALSE(verdict.admitted.has_value());  // no NSG in the picture
+}
+
+TEST_F(EndToEndTest, NsgAdmitsMatchingFlow) {
+  const routing::BgpSimulator sim(topology_);
+  const rcdc::SimulatorFibSource fibs(sim);
+  EndToEndChecker checker(metadata_, fibs);
+  checker.protect(ProtectedPrefix{
+      .prefix = net::Prefix::parse("10.0.2.0/24"), .nsg = database_nsg()});
+  const auto verdict =
+      checker.check_flow(id("ToR1"), sql_packet("10.0.0.5", "10.0.2.9"));
+  EXPECT_TRUE(verdict.routed);
+  ASSERT_TRUE(verdict.admitted.has_value());
+  EXPECT_TRUE(*verdict.admitted);
+  EXPECT_TRUE(verdict.delivered());
+}
+
+TEST_F(EndToEndTest, NsgBlocksForeignSource) {
+  const routing::BgpSimulator sim(topology_);
+  const rcdc::SimulatorFibSource fibs(sim);
+  EndToEndChecker checker(metadata_, fibs);
+  checker.protect(ProtectedPrefix{
+      .prefix = net::Prefix::parse("10.0.2.0/24"), .nsg = database_nsg()});
+  // Routed fine from ToR2's prefix, but the NSG only allows Prefix_A.
+  const auto verdict =
+      checker.check_flow(id("ToR2"), sql_packet("10.0.1.5", "10.0.2.9"));
+  EXPECT_TRUE(verdict.routed);
+  ASSERT_TRUE(verdict.admitted.has_value());
+  EXPECT_FALSE(*verdict.admitted);
+  EXPECT_FALSE(verdict.delivered());
+  ASSERT_TRUE(verdict.blocking_rule.has_value());
+  // The deny-all decided (index 1 in priority order).
+  EXPECT_EQ(*verdict.blocking_rule, 1u);
+}
+
+TEST_F(EndToEndTest, RoutingFailureTrumpsPolicy) {
+  // Cut ToR3 (hosting Prefix_C) off entirely: policy says yes, fabric says
+  // no.
+  topology_.shut_all_sessions_of(id("ToR3"));
+  const routing::BgpSimulator sim(topology_);
+  const rcdc::SimulatorFibSource fibs(sim);
+  EndToEndChecker checker(metadata_, fibs);
+  checker.protect(ProtectedPrefix{
+      .prefix = net::Prefix::parse("10.0.2.0/24"), .nsg = database_nsg()});
+  const auto verdict =
+      checker.check_flow(id("ToR1"), sql_packet("10.0.0.5", "10.0.2.9"));
+  EXPECT_FALSE(verdict.routed);
+  EXPECT_FALSE(verdict.delivered());
+}
+
+TEST_F(EndToEndTest, DegradedRoutingStillDeliversViaLongerPath) {
+  // The Figure 3 failures: ToR1 -> Prefix_B survives via the regional
+  // detour (length 6), visible in the verdict's path lengths.
+  topo::apply_figure3_failures(topology_);
+  const routing::BgpSimulator sim(topology_);
+  const rcdc::SimulatorFibSource fibs(sim);
+  EndToEndChecker checker(metadata_, fibs);
+  const auto verdict =
+      checker.check_flow(id("ToR1"), sql_packet("10.0.0.5", "10.0.1.9"));
+  EXPECT_TRUE(verdict.routed);
+  EXPECT_GT(verdict.min_path_length, 2);  // no longer the shortest path
+}
+
+TEST_F(EndToEndTest, UnknownDestinationIsNotRouted) {
+  const routing::BgpSimulator sim(topology_);
+  const rcdc::SimulatorFibSource fibs(sim);
+  EndToEndChecker checker(metadata_, fibs);
+  const auto verdict =
+      checker.check_flow(id("ToR1"), sql_packet("10.0.0.5", "99.0.0.1"));
+  EXPECT_FALSE(verdict.routed);
+}
+
+TEST_F(EndToEndTest, ContractCheckCombinesBothLayers) {
+  const routing::BgpSimulator sim(topology_);
+  const rcdc::SimulatorFibSource fibs(sim);
+  EndToEndChecker checker(metadata_, fibs);
+  checker.protect(ProtectedPrefix{
+      .prefix = net::Prefix::parse("10.0.2.0/24"), .nsg = database_nsg()});
+
+  // Every SQL packet from Prefix_A must be admitted: holds.
+  const secguru::ConnectivityContract good{
+      .name = "sql-from-a",
+      .expect = secguru::Expectation::kAllow,
+      .protocol = net::ProtocolSpec::tcp(),
+      .src = net::Prefix::parse("10.0.0.0/24"),
+      .src_ports = net::PortRange::any(),
+      .dst = net::Prefix::parse("10.0.2.0/24"),
+      .dst_ports = net::PortRange::exactly(1433)};
+  auto verdict = checker.check_contract(id("ToR1"), good);
+  EXPECT_TRUE(verdict.routed);
+  EXPECT_EQ(verdict.admitted, std::optional<bool>(true));
+
+  // Web traffic must be admitted: fails against the database NSG.
+  secguru::ConnectivityContract web = good;
+  web.name = "web-from-a";
+  web.dst_ports = net::PortRange::exactly(443);
+  verdict = checker.check_contract(id("ToR1"), web);
+  EXPECT_TRUE(verdict.routed);
+  EXPECT_EQ(verdict.admitted, std::optional<bool>(false));
+}
+
+TEST_F(EndToEndTest, ProtectReplacesExistingNsg) {
+  const routing::BgpSimulator sim(topology_);
+  const rcdc::SimulatorFibSource fibs(sim);
+  EndToEndChecker checker(metadata_, fibs);
+  checker.protect(ProtectedPrefix{
+      .prefix = net::Prefix::parse("10.0.2.0/24"), .nsg = database_nsg()});
+  // Replace with an allow-all NSG: the blocked flow now passes.
+  Nsg open("open");
+  open.upsert(NsgRule{.priority = 100,
+                      .name = "AllowAll",
+                      .rule = Rule{.action = Action::kPermit,
+                                   .protocol = net::ProtocolSpec::any(),
+                                   .src = net::Prefix::default_route(),
+                                   .src_ports = net::PortRange::any(),
+                                   .dst = net::Prefix::default_route(),
+                                   .dst_ports = net::PortRange::any()}});
+  checker.protect(ProtectedPrefix{
+      .prefix = net::Prefix::parse("10.0.2.0/24"), .nsg = std::move(open)});
+  const auto verdict =
+      checker.check_flow(id("ToR2"), sql_packet("10.0.1.5", "10.0.2.9"));
+  EXPECT_EQ(verdict.admitted, std::optional<bool>(true));
+}
+
+}  // namespace
+}  // namespace dcv::e2e

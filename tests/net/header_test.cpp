@@ -1,0 +1,81 @@
+#include "net/header.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace dcv::net {
+namespace {
+
+TEST(PortRange, AnyIsFullRange) {
+  EXPECT_TRUE(PortRange::any().is_any());
+  EXPECT_EQ(PortRange::any().lo, 0);
+  EXPECT_EQ(PortRange::any().hi, 0xFFFF);
+  EXPECT_EQ(PortRange::any().to_string(), "any");
+}
+
+TEST(PortRange, ExactlyAndContains) {
+  const auto p = PortRange::exactly(443);
+  EXPECT_TRUE(p.contains(443));
+  EXPECT_FALSE(p.contains(442));
+  EXPECT_EQ(p.to_string(), "443");
+  EXPECT_EQ(PortRange(10, 20).to_string(), "10-20");
+}
+
+TEST(PortRange, SubsetAndOverlap) {
+  EXPECT_TRUE(PortRange(0, 100).contains(PortRange(10, 20)));
+  EXPECT_FALSE(PortRange(10, 20).contains(PortRange(0, 100)));
+  EXPECT_TRUE(PortRange(10, 20).overlaps(PortRange(20, 30)));
+  EXPECT_FALSE(PortRange(10, 20).overlaps(PortRange(21, 30)));
+}
+
+TEST(ProtocolSpec, WildcardMatchesEverything) {
+  const auto any = ProtocolSpec::any();
+  EXPECT_TRUE(any.is_any());
+  for (int p = 0; p < 256; ++p) {
+    EXPECT_TRUE(any.matches(static_cast<std::uint8_t>(p)));
+  }
+}
+
+TEST(ProtocolSpec, ConcreteMatchesOnlyItself) {
+  const auto tcp = ProtocolSpec::tcp();
+  EXPECT_TRUE(tcp.matches(6));
+  EXPECT_FALSE(tcp.matches(17));
+  EXPECT_FALSE(tcp.is_any());
+}
+
+TEST(ProtocolSpec, ParseKeywordsAndNumbers) {
+  EXPECT_EQ(ProtocolSpec::parse("ip"), ProtocolSpec::any());
+  EXPECT_EQ(ProtocolSpec::parse("tcp"), ProtocolSpec::tcp());
+  EXPECT_EQ(ProtocolSpec::parse("udp"), ProtocolSpec::udp());
+  EXPECT_EQ(ProtocolSpec::parse("icmp"), ProtocolSpec::icmp());
+  EXPECT_EQ(ProtocolSpec::parse("53"), ProtocolSpec(std::uint8_t{53}));
+  EXPECT_THROW(ProtocolSpec::parse("bogus"), ParseError);
+  EXPECT_THROW(ProtocolSpec::parse("300"), ParseError);
+}
+
+TEST(ProtocolSpec, ToStringRoundTrip) {
+  for (const char* text : {"ip", "tcp", "udp", "icmp", "53"}) {
+    EXPECT_EQ(ProtocolSpec::parse(text).to_string(), text);
+  }
+}
+
+TEST(PacketHeader, ToStringIsReadable) {
+  const PacketHeader h{.src_ip = Ipv4Address::parse("1.2.3.4"),
+                       .src_port = 1234,
+                       .dst_ip = Ipv4Address::parse("5.6.7.8"),
+                       .dst_port = 443,
+                       .protocol = 6};
+  EXPECT_EQ(h.to_string(), "tcp 1.2.3.4:1234 -> 5.6.7.8:443");
+}
+
+TEST(PacketHeader, Equality) {
+  PacketHeader a{.src_ip = Ipv4Address(1)};
+  PacketHeader b = a;
+  EXPECT_EQ(a, b);
+  b.dst_port = 80;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dcv::net

@@ -1,0 +1,142 @@
+#include "net/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dcv::net {
+namespace {
+
+AddressInterval iv(std::uint32_t lo, std::uint32_t hi) {
+  return AddressInterval(Ipv4Address(lo), Ipv4Address(hi));
+}
+
+TEST(AddressInterval, FromPrefix) {
+  const auto i = AddressInterval::from_prefix(Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(i.lo.to_string(), "10.0.0.0");
+  EXPECT_EQ(i.hi.to_string(), "10.0.0.255");
+  EXPECT_EQ(i.size(), 256u);
+}
+
+TEST(AddressInterval, ContainsAndOverlaps) {
+  EXPECT_TRUE(iv(10, 20).contains(iv(10, 20)));
+  EXPECT_TRUE(iv(10, 20).contains(iv(12, 18)));
+  EXPECT_FALSE(iv(10, 20).contains(iv(12, 21)));
+  EXPECT_TRUE(iv(10, 20).overlaps(iv(20, 30)));
+  EXPECT_FALSE(iv(10, 20).overlaps(iv(21, 30)));
+  EXPECT_TRUE(iv(10, 20).contains(Ipv4Address(15)));
+  EXPECT_FALSE(iv(10, 20).contains(Ipv4Address(21)));
+}
+
+TEST(AddressInterval, FullSpaceSize) {
+  EXPECT_EQ(iv(0, 0xFFFFFFFFu).size(), std::uint64_t{1} << 32);
+}
+
+TEST(IntervalSet, EmptyCoversNothing) {
+  const IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.covers(iv(0, 0)));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(IntervalSet, SingleInterval) {
+  IntervalSet set;
+  set.add(iv(10, 20));
+  EXPECT_TRUE(set.covers(iv(10, 20)));
+  EXPECT_TRUE(set.covers(iv(12, 15)));
+  EXPECT_FALSE(set.covers(iv(9, 20)));
+  EXPECT_FALSE(set.covers(iv(10, 21)));
+  EXPECT_EQ(set.size(), 11u);
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet set;
+  set.add(iv(10, 20));
+  set.add(iv(15, 30));
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_TRUE(set.covers(iv(10, 30)));
+}
+
+TEST(IntervalSet, MergesAdjacent) {
+  IntervalSet set;
+  set.add(iv(10, 20));
+  set.add(iv(21, 30));
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_TRUE(set.covers(iv(10, 30)));
+}
+
+TEST(IntervalSet, KeepsGapsOpen) {
+  IntervalSet set;
+  set.add(iv(10, 20));
+  set.add(iv(22, 30));
+  EXPECT_EQ(set.intervals().size(), 2u);
+  EXPECT_FALSE(set.covers(iv(10, 30)));
+  EXPECT_FALSE(set.contains(Ipv4Address(21)));
+  EXPECT_TRUE(set.contains(Ipv4Address(22)));
+}
+
+TEST(IntervalSet, CoverageAcrossMergedPieces) {
+  IntervalSet set;
+  // Two /25s tile a /24.
+  set.add(Prefix::parse("10.0.0.0/25"));
+  EXPECT_FALSE(set.covers(Prefix::parse("10.0.0.0/24")));
+  set.add(Prefix::parse("10.0.0.128/25"));
+  EXPECT_TRUE(set.covers(Prefix::parse("10.0.0.0/24")));
+}
+
+TEST(IntervalSet, HandlesAddressSpaceBoundaries) {
+  IntervalSet set;
+  set.add(iv(0xFFFFFF00u, 0xFFFFFFFFu));
+  set.add(iv(0, 255));
+  EXPECT_EQ(set.intervals().size(), 2u);
+  EXPECT_TRUE(set.contains(Ipv4Address(0xFFFFFFFFu)));
+  EXPECT_TRUE(set.contains(Ipv4Address(0)));
+}
+
+TEST(IntervalSet, InvalidIntervalIgnored) {
+  IntervalSet set;
+  set.add(iv(20, 10));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, OneAddMergesMultipleExisting) {
+  IntervalSet set;
+  set.add(iv(0, 10));
+  set.add(iv(20, 30));
+  set.add(iv(40, 50));
+  set.add(iv(5, 45));  // bridges all three
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_TRUE(set.covers(iv(0, 50)));
+}
+
+/// Property: the set behaves like a bitmap of the covered addresses.
+TEST(IntervalSetProperty, MatchesNaiveBitmap) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint32_t> pick(0, 255);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet set;
+    std::vector<bool> bitmap(256, false);
+    for (int i = 0; i < 12; ++i) {
+      std::uint32_t a = pick(rng), b = pick(rng);
+      if (a > b) std::swap(a, b);
+      set.add(iv(a, b));
+      for (std::uint32_t x = a; x <= b; ++x) bitmap[x] = true;
+    }
+    std::uint64_t expected_size = 0;
+    for (const bool bit : bitmap) expected_size += bit ? 1 : 0;
+    EXPECT_EQ(set.size(), expected_size);
+    for (std::uint32_t x = 0; x < 256; ++x) {
+      EXPECT_EQ(set.contains(Ipv4Address(x)), bitmap[x]) << x;
+    }
+    for (int i = 0; i < 20; ++i) {
+      std::uint32_t a = pick(rng), b = pick(rng);
+      if (a > b) std::swap(a, b);
+      bool all = true;
+      for (std::uint32_t x = a; x <= b; ++x) all = all && bitmap[x];
+      EXPECT_EQ(set.covers(iv(a, b)), all) << a << ".." << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcv::net

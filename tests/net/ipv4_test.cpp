@@ -1,0 +1,73 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/error.hpp"
+
+namespace dcv::net {
+namespace {
+
+TEST(Ipv4Address, DefaultIsZero) {
+  EXPECT_EQ(Ipv4Address{}.value(), 0u);
+  EXPECT_EQ(Ipv4Address{}.to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4Address, FromOctetsPacksMostSignificantFirst) {
+  const auto a = Ipv4Address::from_octets(10, 20, 30, 40);
+  EXPECT_EQ(a.value(), 0x0A141E28u);
+}
+
+TEST(Ipv4Address, OctetAccessor) {
+  const auto a = Ipv4Address::from_octets(1, 2, 3, 4);
+  EXPECT_EQ(a.octet(0), 1);
+  EXPECT_EQ(a.octet(1), 2);
+  EXPECT_EQ(a.octet(2), 3);
+  EXPECT_EQ(a.octet(3), 4);
+}
+
+TEST(Ipv4Address, BitAccessorCountsFromMostSignificant) {
+  const auto a = Ipv4Address(0x80000001u);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_FALSE(a.bit(30));
+  EXPECT_TRUE(a.bit(31));
+}
+
+TEST(Ipv4Address, RoundTripParseFormat) {
+  for (const char* text : {"0.0.0.0", "255.255.255.255", "10.3.129.224",
+                           "104.208.32.17", "192.168.1.1"}) {
+    EXPECT_EQ(Ipv4Address::parse(text).to_string(), text);
+  }
+}
+
+TEST(Ipv4Address, OrderingMatchesNumericValue) {
+  EXPECT_LT(Ipv4Address::parse("10.0.0.0"), Ipv4Address::parse("10.0.0.1"));
+  EXPECT_LT(Ipv4Address::parse("9.255.255.255"),
+            Ipv4Address::parse("10.0.0.0"));
+  EXPECT_EQ(Ipv4Address::parse("1.2.3.4"),
+            Ipv4Address::from_octets(1, 2, 3, 4));
+}
+
+TEST(Ipv4Address, StreamOutput) {
+  std::ostringstream os;
+  os << Ipv4Address::from_octets(172, 16, 0, 1);
+  EXPECT_EQ(os.str(), "172.16.0.1");
+}
+
+class Ipv4ParseErrorTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4ParseErrorTest, Rejects) {
+  EXPECT_THROW(Ipv4Address::parse(GetParam()), ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, Ipv4ParseErrorTest,
+                         testing::Values("", "1", "1.2", "1.2.3", "1.2.3.4.5",
+                                         "256.1.1.1", "1.256.1.1",
+                                         "1.2.3.256", "a.b.c.d", "1..2.3",
+                                         "1.2.3.4 ", " 1.2.3.4", "1,2,3,4",
+                                         "-1.2.3.4"));
+
+}  // namespace
+}  // namespace dcv::net

@@ -1,0 +1,74 @@
+#include "rcdc/beliefs_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+TEST(BeliefsIo, ParsesAllKinds) {
+  const auto topology = topo::build_figure3();
+  const auto beliefs = parse_beliefs(
+      "# datacenter beliefs\n"
+      "reachable ToR1 10.0.2.0/24\n"
+      "unreachable ToR1 99.0.0.0/24\n"
+      "max-path-length ToR1 10.0.2.0/24 4\n"
+      "min-ecmp-paths ToR1 10.0.2.0/24 4\n"
+      "traverses ToR1 10.0.2.0/24 D1\n"
+      "avoids ToR1 10.0.2.0/24 R1\n",
+      topology);
+  ASSERT_EQ(beliefs.size(), 6u);
+  EXPECT_EQ(beliefs[0].kind, BeliefKind::kReachable);
+  EXPECT_EQ(beliefs[0].source, *topology.find_device("ToR1"));
+  EXPECT_EQ(beliefs[2].bound, 4u);
+  EXPECT_EQ(beliefs[4].via, *topology.find_device("D1"));
+  EXPECT_EQ(beliefs[5].kind, BeliefKind::kAvoids);
+}
+
+TEST(BeliefsIo, RoundTrip) {
+  const auto topology = topo::build_figure3();
+  const auto original = parse_beliefs(
+      "reachable ToR1 10.0.2.0/24\n"
+      "min-ecmp-paths ToR2 10.0.3.0/24 4\n"
+      "avoids ToR3 10.0.0.0/24 R2\n",
+      topology);
+  const auto reparsed =
+      parse_beliefs(write_beliefs(original, topology), topology);
+  ASSERT_EQ(original.size(), reparsed.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].kind, reparsed[i].kind) << i;
+    EXPECT_EQ(original[i].source, reparsed[i].source) << i;
+    EXPECT_EQ(original[i].destination, reparsed[i].destination) << i;
+    EXPECT_EQ(original[i].bound, reparsed[i].bound) << i;
+    EXPECT_EQ(original[i].via, reparsed[i].via) << i;
+  }
+}
+
+class BeliefsIoErrors : public testing::TestWithParam<const char*> {};
+
+TEST_P(BeliefsIoErrors, Rejects) {
+  const auto topology = topo::build_figure3();
+  EXPECT_THROW(parse_beliefs(GetParam(), topology), dcv::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BeliefsIoErrors,
+    testing::Values("wished ToR1 10.0.0.0/24\n",          // bad kind
+                    "reachable Nope 10.0.0.0/24\n",       // bad device
+                    "reachable ToR1\n",                   // missing prefix
+                    "max-path-length ToR1 10.0.0.0/24\n", // missing bound
+                    "max-path-length ToR1 10.0.0.0/24 x\n",
+                    "traverses ToR1 10.0.0.0/24\n",       // missing via
+                    "traverses ToR1 10.0.0.0/24 Nope\n",
+                    "reachable ToR1 10.0.0.0/24 extra\n"));
+
+TEST(BeliefsIo, EmptyAndComments) {
+  const auto topology = topo::build_figure3();
+  EXPECT_TRUE(parse_beliefs("", topology).empty());
+  EXPECT_TRUE(parse_beliefs("# nothing\n\n", topology).empty());
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -1,0 +1,132 @@
+#include "rcdc/beliefs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+class BeliefsTest : public testing::Test {
+ protected:
+  BeliefsTest() : topology_(topo::build_figure3()), metadata_(topology_) {}
+
+  topo::DeviceId id(const char* name) const {
+    return *topology_.find_device(name);
+  }
+
+  Belief belief(BeliefKind kind, const char* source, const char* prefix) {
+    return Belief{.kind = kind,
+                  .source = id(source),
+                  .destination = net::Prefix::parse(prefix)};
+  }
+
+  BeliefResult check(const Belief& b) {
+    const routing::BgpSimulator sim(topology_);
+    const SimulatorFibSource fibs(sim);
+    return BeliefChecker(metadata_, fibs).check(b);
+  }
+
+  topo::Topology topology_;
+  topo::MetadataService metadata_;
+};
+
+TEST_F(BeliefsTest, ReachabilityOnHealthyNetwork) {
+  EXPECT_TRUE(
+      check(belief(BeliefKind::kReachable, "ToR1", "10.0.2.0/24")).holds);
+  EXPECT_FALSE(
+      check(belief(BeliefKind::kUnreachable, "ToR1", "10.0.2.0/24")).holds);
+}
+
+TEST_F(BeliefsTest, UnknownPrefixIsUnreachable) {
+  EXPECT_FALSE(
+      check(belief(BeliefKind::kReachable, "ToR1", "99.0.0.0/24")).holds);
+  EXPECT_TRUE(
+      check(belief(BeliefKind::kUnreachable, "ToR1", "99.0.0.0/24")).holds);
+}
+
+TEST_F(BeliefsTest, PathLengthBounds) {
+  // Inter-cluster: length 4 exactly (Intent 2).
+  Belief b = belief(BeliefKind::kMaxPathLength, "ToR1", "10.0.2.0/24");
+  b.bound = 4;
+  EXPECT_TRUE(check(b).holds);
+  b.bound = 3;
+  EXPECT_FALSE(check(b).holds);
+  // Intra-cluster: length 2.
+  Belief intra = belief(BeliefKind::kMaxPathLength, "ToR1", "10.0.1.0/24");
+  intra.bound = 2;
+  EXPECT_TRUE(check(intra).holds);
+}
+
+TEST_F(BeliefsTest, EcmpPathCount) {
+  Belief b = belief(BeliefKind::kMinEcmpPaths, "ToR1", "10.0.2.0/24");
+  b.bound = 4;  // the maximal redundant set in Figure 3
+  EXPECT_TRUE(check(b).holds);
+  b.bound = 5;
+  EXPECT_FALSE(check(b).holds);
+  EXPECT_EQ(check(b).observed, "4 paths, lengths 4..4");
+}
+
+TEST_F(BeliefsTest, TraversesAndAvoids) {
+  // Some ToR1 -> Prefix_C path passes through D1; none pass through a
+  // regional spine on the healthy network.
+  Belief via_d1 = belief(BeliefKind::kTraverses, "ToR1", "10.0.2.0/24");
+  via_d1.via = id("D1");
+  EXPECT_TRUE(check(via_d1).holds);
+
+  Belief avoid_r1 = belief(BeliefKind::kAvoids, "ToR1", "10.0.2.0/24");
+  avoid_r1.via = id("R1");
+  EXPECT_TRUE(check(avoid_r1).holds);
+
+  Belief via_b2 = belief(BeliefKind::kTraverses, "ToR1", "10.0.2.0/24");
+  via_b2.via = id("B2");
+  EXPECT_TRUE(check(via_b2).holds);
+}
+
+TEST_F(BeliefsTest, Figure3FailuresShiftTheBeliefs) {
+  topo::apply_figure3_failures(topology_);
+  // ToR1 -> Prefix_B now rides the regional detour: longer than 4, through
+  // R1 (so "avoids R1" breaks), still reachable.
+  EXPECT_TRUE(
+      check(belief(BeliefKind::kReachable, "ToR1", "10.0.1.0/24")).holds);
+  Belief len = belief(BeliefKind::kMaxPathLength, "ToR1", "10.0.1.0/24");
+  len.bound = 4;
+  EXPECT_FALSE(check(len).holds);
+  len.bound = 6;
+  EXPECT_TRUE(check(len).holds);
+
+  Belief avoid_r1 = belief(BeliefKind::kAvoids, "ToR1", "10.0.1.0/24");
+  avoid_r1.via = id("R1");
+  EXPECT_FALSE(check(avoid_r1).holds);
+
+  Belief via_r1 = belief(BeliefKind::kTraverses, "ToR1", "10.0.1.0/24");
+  via_r1.via = id("R1");
+  EXPECT_TRUE(check(via_r1).holds);
+}
+
+TEST_F(BeliefsTest, CheckAllPreservesOrder) {
+  const routing::BgpSimulator sim(topology_);
+  const SimulatorFibSource fibs(sim);
+  const BeliefChecker checker(metadata_, fibs);
+  const std::vector<Belief> beliefs = {
+      belief(BeliefKind::kReachable, "ToR1", "10.0.2.0/24"),
+      belief(BeliefKind::kUnreachable, "ToR1", "10.0.2.0/24")};
+  const auto results = checker.check_all(beliefs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].holds);
+  EXPECT_FALSE(results[1].holds);
+}
+
+TEST_F(BeliefsTest, ToStringIsReadable) {
+  Belief b = belief(BeliefKind::kTraverses, "ToR1", "10.0.2.0/24");
+  b.via = id("D1");
+  EXPECT_EQ(b.to_string(topology_), "traverses ToR1 -> 10.0.2.0/24 via D1");
+  Belief len = belief(BeliefKind::kMinEcmpPaths, "ToR2", "10.0.3.0/24");
+  len.bound = 4;
+  EXPECT_EQ(len.to_string(topology_),
+            "min-ecmp-paths ToR2 -> 10.0.3.0/24 (4)");
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

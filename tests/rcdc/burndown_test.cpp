@@ -1,0 +1,103 @@
+#include "rcdc/burndown.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcv::rcdc {
+namespace {
+
+BurndownConfig small_config() {
+  BurndownConfig config;
+  config.datacenter = topo::ClosParams{.clusters = 3,
+                                       .tors_per_cluster = 3,
+                                       .leaves_per_cluster = 3,
+                                       .spines_per_plane = 1,
+                                       .regional_spines = 4};
+  config.days = 20;
+  config.rcdc_deploy_day = 5;
+  config.initial_faults = 25;
+  config.fault_arrival_rate = 1.0;
+  config.high_risk_capacity_per_day = 6;
+  config.low_risk_capacity_per_day = 4;
+  config.seed = 9;
+  return config;
+}
+
+TEST(Burndown, ProducesOneEntryPerDay) {
+  const auto series = simulate_burndown(small_config());
+  ASSERT_EQ(series.size(), 20u);
+  for (int day = 0; day < 20; ++day) {
+    EXPECT_EQ(series[static_cast<std::size_t>(day)].day, day);
+  }
+}
+
+TEST(Burndown, NoRemediationBeforeDeployDay) {
+  const auto series = simulate_burndown(small_config());
+  for (int day = 0; day < 5; ++day) {
+    const auto& entry = series[static_cast<std::size_t>(day)];
+    EXPECT_EQ(entry.remediated_today, 0u);
+    EXPECT_EQ(entry.violations_detected, 0u);
+  }
+}
+
+TEST(Burndown, RcdcDetectsViolationsOnDeployDay) {
+  const auto series = simulate_burndown(small_config());
+  EXPECT_GT(series[5].violations_detected, 0u);
+  EXPECT_GT(series[5].remediated_today, 0u);
+}
+
+TEST(Burndown, ErrorsTrendDownAfterDeployment) {
+  // The Figure 6 shape: totals at the end are well below the peak, and the
+  // trend after deployment is downward.
+  const auto series = simulate_burndown(small_config());
+  const auto total = [](const BurndownDay& d) {
+    return d.outstanding_high + d.outstanding_low;
+  };
+  std::size_t peak = 0;
+  for (const auto& day : series) peak = std::max(peak, total(day));
+  EXPECT_GT(peak, 0u);
+  EXPECT_LT(total(series.back()), peak / 3);
+  // Remediation outpaces arrivals: the day after deploy has fewer errors
+  // than the deploy day.
+  EXPECT_LT(total(series[8]), total(series[5]));
+}
+
+TEST(Burndown, HighRiskBurnsDownFirst) {
+  // "the risk assessment helped the DevOps teams prioritize fixing high
+  // risk errors quickly": remediation capacity is spent on high-risk
+  // errors first, so the high-risk backlog is fully drained by the end,
+  // and on any day where high-risk errors remain outstanding the day's
+  // remediation ran at full high-risk capacity.
+  const auto config = small_config();
+  const auto series = simulate_burndown(config);
+  EXPECT_EQ(series.back().outstanding_high, 0u);
+  for (const auto& day : series) {
+    if (day.day < config.rcdc_deploy_day) continue;
+    if (day.outstanding_high > 0) {
+      EXPECT_GE(day.remediated_today, config.high_risk_capacity_per_day)
+          << "day " << day.day;
+    }
+  }
+}
+
+TEST(Burndown, FractionsAreNormalizedToPeak) {
+  const auto series = simulate_burndown(small_config());
+  for (const auto& day : series) {
+    EXPECT_GE(day.high_fraction, 0.0);
+    EXPECT_GE(day.low_fraction, 0.0);
+    EXPECT_LE(day.high_fraction + day.low_fraction, 1.0 + 1e-9);
+  }
+}
+
+TEST(Burndown, DeterministicForFixedSeed) {
+  const auto a = simulate_burndown(small_config());
+  const auto b = simulate_burndown(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outstanding_high, b[i].outstanding_high);
+    EXPECT_EQ(a[i].outstanding_low, b[i].outstanding_low);
+    EXPECT_EQ(a[i].violations_detected, b[i].violations_detected);
+  }
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -1,0 +1,113 @@
+#include "rcdc/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcdc/fib_source.hpp"
+#include "rcdc/validator.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+std::vector<Violation> validate(const topo::Topology& topology,
+                                const topo::MetadataService& metadata) {
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  const DatacenterValidator validator(metadata, fibs,
+                                      make_trie_verifier_factory());
+  return validator.run(2).violations;
+}
+
+TEST(Correlation, EmptyInputGivesNoGroups) {
+  const auto topology = topo::build_figure3();
+  EXPECT_TRUE(correlate({}, topology).empty());
+}
+
+TEST(Correlation, Figure3FailuresCollapseToTheFourLinks) {
+  auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  topo::apply_figure3_failures(topology);
+  const auto violations = validate(topology, metadata);
+  ASSERT_GT(violations.size(), 8u);
+
+  const auto groups = correlate(violations, topology);
+  // Fewer causes than violations (endpoint violations collapse onto their
+  // links; upstream devices that merely lost a specific route remain
+  // per-device suspicions — attribution is local, like the triage it is
+  // built on).
+  EXPECT_LT(groups.size(), violations.size());
+
+  // The four downed links each anchor a replace-cable group.
+  std::size_t cable_groups = 0;
+  std::size_t grouped_violations = 0;
+  for (const RootCauseGroup& group : groups) {
+    grouped_violations += group.violations.size();
+    if (group.action == RemediationAction::kReplaceCable) {
+      ++cable_groups;
+      ASSERT_TRUE(group.link.has_value());
+      EXPECT_EQ(topology.link(*group.link).link_state,
+                topo::LinkState::kDown);
+      EXPECT_NE(group.cause.find("operationally down"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(cable_groups, 4u);
+  // Every violation lands in exactly one group.
+  EXPECT_EQ(grouped_violations, violations.size());
+}
+
+TEST(Correlation, AdminShutGroupsAsUnshut) {
+  auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  topo::FaultInjector faults(topology);
+  faults.bgp_admin_shutdown(*topology.find_link(
+      *topology.find_device("ToR1"), *topology.find_device("A1")));
+  const auto groups = correlate(validate(topology, metadata), topology);
+  ASSERT_FALSE(groups.empty());
+  bool found = false;
+  for (const RootCauseGroup& group : groups) {
+    if (group.action == RemediationAction::kUnshutAndMonitor) {
+      EXPECT_NE(group.cause.find("administratively shut"),
+                std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Correlation, DeviceBugGroupsPerDevice) {
+  auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  topo::FaultInjector faults(topology);
+  const auto tor1 = *topology.find_device("ToR1");
+  faults.device_fault(tor1, topo::DeviceFaultKind::kEcmpSingleNextHop);
+  const routing::BgpSimulator sim(topology, &faults);
+  const SimulatorFibSource fibs(sim);
+  const DatacenterValidator validator(metadata, fibs,
+                                      make_trie_verifier_factory());
+  const auto violations = validator.run(2).violations;
+  ASSERT_FALSE(violations.empty());
+
+  const auto groups = correlate(violations, topology);
+  // Dozens of per-prefix violations, one suspected-device cause.
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].action, RemediationAction::kEscalateToOperator);
+  EXPECT_NE(groups[0].cause.find("ToR1"), std::string::npos);
+  EXPECT_EQ(groups[0].violations.size(), violations.size());
+}
+
+TEST(Correlation, HighRiskGroupsSortFirst) {
+  auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  topo::apply_figure3_failures(topology);
+  const auto groups = correlate(validate(topology, metadata), topology);
+  ASSERT_GT(groups.size(), 1u);
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    if (groups[i].risk == RiskLevel::kHigh) {
+      EXPECT_EQ(groups[i - 1].risk, RiskLevel::kHigh) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -1,0 +1,141 @@
+// Tests of the global baseline, including the Claim 1 property (§2.4.5):
+// local contracts hold  <=>  global all-pairs shortest-path reachability
+// with maximal redundancy holds.
+#include "rcdc/global_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcdc/validator.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+TEST(GlobalChecker, HealthyFigure3AllPairsOk) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  const GlobalChecker checker(metadata, fibs);
+  const auto result = checker.check_all_pairs();
+  // 4 prefixes x 3 other ToRs.
+  EXPECT_EQ(result.pairs_checked, 12u);
+  EXPECT_TRUE(result.all_ok()) << (result.failures.empty()
+                                       ? ""
+                                       : result.failures.front());
+}
+
+TEST(GlobalChecker, PathCountsMatchArchitecture) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  const GlobalChecker checker(metadata, fibs);
+  const auto result = checker.check_all_pairs();
+  // Intra-cluster pairs have 4 paths (one per leaf); inter-cluster pairs 4
+  // (ToR -> 4 leaves -> 1 spine each -> 1 leaf -> ToR). 12 pairs x 4.
+  EXPECT_EQ(result.total_paths, 48u);
+  EXPECT_EQ(result.max_paths_per_pair, 4u);
+}
+
+TEST(GlobalChecker, ExponentialPathCountsInWideFabric) {
+  // With 2 spines per plane, inter-cluster pairs have m * s = 4 * 2 = 8
+  // paths; the census shows the multiplicative fan-out the paper notes
+  // ("fan-outs with degree 4-12 produce roughly 1000 different paths").
+  const auto topology = topo::build_clos(topo::ClosParams{
+      .clusters = 2,
+      .tors_per_cluster = 1,
+      .leaves_per_cluster = 4,
+      .spines_per_plane = 2,
+      .regional_spines = 4});
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  const GlobalChecker checker(metadata, fibs);
+  const auto result = checker.check_all_pairs();
+  EXPECT_TRUE(result.all_ok());
+  EXPECT_EQ(result.max_paths_per_pair, 8u);
+}
+
+TEST(GlobalChecker, DetectsLongerPathsAfterFigure3Failures) {
+  auto topology = topo::build_figure3();
+  topo::apply_figure3_failures(topology);
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  const GlobalChecker checker(metadata, fibs);
+  const auto result = checker.check_all_pairs();
+  EXPECT_FALSE(result.all_ok());
+  // ToR1 <-> ToR2 still reachable (via the regional detour), but not on a
+  // shortest path.
+  EXPECT_EQ(result.pairs_reachable, result.pairs_checked);
+  EXPECT_LT(result.pairs_shortest, result.pairs_checked);
+  EXPECT_FALSE(result.failures.empty());
+}
+
+TEST(GlobalChecker, DetectsBlackHoles) {
+  auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  // Cut ToR2 off entirely.
+  topology.shut_all_sessions_of(*topology.find_device("ToR2"));
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  const GlobalChecker checker(metadata, fibs);
+  const auto result = checker.check_all_pairs();
+  EXPECT_LT(result.pairs_reachable, result.pairs_checked);
+}
+
+/// Claim 1 (§2.4.5) across random fault scenarios: if local contracts are
+/// clean, global all-pairs shortest-path reachability with maximal
+/// redundancy holds. The converse is deliberately not asserted — a local
+/// violation (e.g. a lost spine-regional uplink breaking a spine's default
+/// contract) need not disturb intra-datacenter shortest paths; local
+/// contracts are strictly stronger, which is precisely their value for
+/// catching latent risk (§2.6).
+class Claim1Property : public testing::TestWithParam<int> {};
+
+TEST_P(Claim1Property, LocalCleanImpliesGlobalOk) {
+  topo::Topology topology = topo::build_clos(topo::ClosParams{
+      .clusters = 3,
+      .tors_per_cluster = 2,
+      .leaves_per_cluster = 3,
+      .spines_per_plane = 2,
+      .regional_spines = 4});
+  const topo::MetadataService metadata(topology);
+  topo::FaultInjector faults(topology, static_cast<std::uint64_t>(
+                                           GetParam()));
+  // Seeds alternate between healthy and faulty networks.
+  if (GetParam() % 2 == 1) {
+    faults.random_link_failures(static_cast<std::size_t>(GetParam() % 5) +
+                                1);
+  }
+  const routing::BgpSimulator sim(topology, &faults);
+  const SimulatorFibSource fibs(sim);
+
+  // Local validation — ToR/leaf/spine contracts only, as in Claim 1.
+  const DatacenterValidator validator(
+      metadata, fibs, make_trie_verifier_factory(),
+      ContractGenOptions{.include_regional_spines = false});
+  const bool local_clean = validator.run(4).violations.empty();
+
+  const GlobalChecker checker(metadata, fibs);
+  const bool global_ok = checker.check_all_pairs().all_ok();
+
+  if (local_clean) {
+    EXPECT_TRUE(global_ok);  // Claim 1
+  }
+  if (GetParam() % 2 == 0) {
+    EXPECT_TRUE(local_clean);   // healthy seeds must be clean
+    EXPECT_TRUE(global_ok);
+  } else {
+    EXPECT_FALSE(local_clean);  // every injected link failure breaks some
+                                // local contract (latent-risk detection)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Claim1Property,
+                         testing::Range(0, 14));
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -1,0 +1,130 @@
+#include "rcdc/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+class IncrementalTest : public testing::Test {
+ protected:
+  IncrementalTest()
+      : topology_(topo::build_clos(topo::ClosParams{.clusters = 3,
+                                                    .tors_per_cluster = 3,
+                                                    .leaves_per_cluster = 4,
+                                                    .spines_per_plane = 1,
+                                                    .regional_spines = 4})),
+        metadata_(topology_) {}
+
+  topo::Topology topology_;
+  topo::MetadataService metadata_;
+};
+
+TEST(Fingerprint, SensitiveToContent) {
+  routing::ForwardingTable a;
+  a.add(routing::Rule{.prefix = net::Prefix::parse("10.0.0.0/24"),
+                      .next_hops = {1, 2}});
+  routing::ForwardingTable b = a;
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+
+  b.add(routing::Rule{.prefix = net::Prefix::parse("10.0.0.0/24"),
+                      .next_hops = {1}});
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+
+  routing::ForwardingTable c;
+  c.add(routing::Rule{.prefix = net::Prefix::parse("10.0.0.0/24"),
+                      .next_hops = {1, 2},
+                      .connected = true});
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+
+  EXPECT_NE(fingerprint(routing::ForwardingTable{}), 0u);
+}
+
+TEST_F(IncrementalTest, FirstCycleValidatesEverything) {
+  const routing::BgpSimulator sim(topology_);
+  const SimulatorFibSource fibs(sim);
+  IncrementalValidator validator(metadata_, make_trie_verifier_factory());
+  const auto result = validator.run_cycle(fibs, 2);
+  EXPECT_EQ(result.devices_revalidated, result.devices_total);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST_F(IncrementalTest, UnchangedNetworkRevalidatesNothing) {
+  const routing::BgpSimulator sim(topology_);
+  const SimulatorFibSource fibs(sim);
+  IncrementalValidator validator(metadata_, make_trie_verifier_factory());
+  (void)validator.run_cycle(fibs, 2);
+  const auto second = validator.run_cycle(fibs, 2);
+  EXPECT_EQ(second.devices_revalidated, 0u);
+  EXPECT_EQ(second.contracts_checked, 0u);
+  EXPECT_TRUE(second.violations.empty());
+}
+
+TEST_F(IncrementalTest, FaultRevalidatesOnlyAffectedDevices) {
+  IncrementalValidator validator(metadata_, make_trie_verifier_factory());
+  {
+    const routing::BgpSimulator sim(topology_);
+    const SimulatorFibSource fibs(sim);
+    (void)validator.run_cycle(fibs, 2);
+  }
+
+  // One link down: routing changes ripple to a subset of devices only.
+  topo::FaultInjector faults(topology_);
+  faults.link_down(
+      *topology_.find_link(topology_.tors_in_cluster(0)[0],
+                           topology_.leaves_in_cluster(0)[0]));
+  const routing::BgpSimulator sim(topology_, &faults);
+  const SimulatorFibSource fibs(sim);
+  const auto incremental = validator.run_cycle(fibs, 2);
+
+  EXPECT_GT(incremental.devices_revalidated, 0u);
+  EXPECT_LT(incremental.devices_revalidated, incremental.devices_total);
+  EXPECT_FALSE(incremental.violations.empty());
+
+  // The merged picture matches a from-scratch full validation.
+  const DatacenterValidator full(metadata_, fibs,
+                                 make_trie_verifier_factory());
+  auto expected = full.run(2).violations;
+  auto actual = incremental.violations;
+  const auto order = [](const Violation& a, const Violation& b) {
+    if (a.device != b.device) return a.device < b.device;
+    if (a.contract.prefix != b.contract.prefix) {
+      return a.contract.prefix < b.contract.prefix;
+    }
+    return a.rule_prefix < b.rule_prefix;
+  };
+  std::sort(expected.begin(), expected.end(), order);
+  std::sort(actual.begin(), actual.end(), order);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST_F(IncrementalTest, RepairConvergesBackToClean) {
+  IncrementalValidator validator(metadata_, make_trie_verifier_factory());
+  topo::FaultInjector faults(topology_);
+  faults.random_link_failures(2);
+  {
+    const routing::BgpSimulator sim(topology_, &faults);
+    const SimulatorFibSource fibs(sim);
+    EXPECT_FALSE(validator.run_cycle(fibs, 2).violations.empty());
+  }
+  faults.reset();
+  const routing::BgpSimulator sim(topology_, &faults);
+  const SimulatorFibSource fibs(sim);
+  const auto result = validator.run_cycle(fibs, 2);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST_F(IncrementalTest, ResetForcesFullRevalidation) {
+  const routing::BgpSimulator sim(topology_);
+  const SimulatorFibSource fibs(sim);
+  IncrementalValidator validator(metadata_, make_trie_verifier_factory());
+  (void)validator.run_cycle(fibs, 2);
+  validator.reset();
+  EXPECT_EQ(validator.run_cycle(fibs, 2).devices_revalidated,
+            topology_.device_count());
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

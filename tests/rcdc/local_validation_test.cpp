@@ -1,0 +1,124 @@
+#include "rcdc/local_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcdc/contract_gen.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+class DeltaFramework : public testing::Test {
+ protected:
+  DeltaFramework()
+      : topology_(topo::build_figure3()),
+        metadata_(topology_),
+        framework_(metadata_) {}
+
+  topo::DeviceId id(const char* name) const {
+    return *topology_.find_device(name);
+  }
+
+  topo::Topology topology_;
+  topo::MetadataService metadata_;
+  LocalValidationFramework framework_;
+};
+
+TEST_F(DeltaFramework, RanksMatchArchitecturalDistance) {
+  const auto prefix_a = net::Prefix::parse("10.0.0.0/24");  // at ToR1
+  EXPECT_EQ(framework_.delta(prefix_a, id("ToR1")), 0);
+  EXPECT_EQ(framework_.delta(prefix_a, id("A1")), 1);   // leaf in cluster
+  EXPECT_EQ(framework_.delta(prefix_a, id("ToR2")), 2);  // sibling ToR
+  EXPECT_EQ(framework_.delta(prefix_a, id("D1")), 2);   // spine
+  EXPECT_EQ(framework_.delta(prefix_a, id("B1")), 3);   // remote leaf
+  EXPECT_EQ(framework_.delta(prefix_a, id("R1")), 3);   // regional
+  EXPECT_EQ(framework_.delta(prefix_a, id("ToR3")), 4);  // remote ToR
+}
+
+TEST_F(DeltaFramework, UnknownPrefixHasNoRank) {
+  EXPECT_EQ(framework_.delta(net::Prefix::parse("99.0.0.0/24"), id("ToR1")),
+            std::nullopt);
+}
+
+TEST_F(DeltaFramework, CardinalityBoundsMatchFanout) {
+  const auto prefix_a = net::Prefix::parse("10.0.0.0/24");
+  EXPECT_EQ(framework_.cardinality_bound(prefix_a, id("ToR1")), 0u);  // dest
+  EXPECT_EQ(framework_.cardinality_bound(prefix_a, id("ToR3")), 4u);
+  EXPECT_EQ(framework_.cardinality_bound(prefix_a, id("A1")), 1u);
+  EXPECT_EQ(framework_.cardinality_bound(prefix_a, id("B2")), 1u);
+  EXPECT_EQ(framework_.cardinality_bound(prefix_a, id("D1")), 1u);
+  EXPECT_EQ(framework_.cardinality_bound(prefix_a, id("R1")), 1u);
+}
+
+TEST_F(DeltaFramework, GeneratedContractsSatisfyTheFramework) {
+  // The inductive proof obligation behind Claim 1: every generated
+  // contract's next hops strictly decrease delta and meet the bound.
+  const ContractGenerator generator(metadata_);
+  for (const topo::Device& device : topology_.devices()) {
+    const auto contracts = generator.for_device(device.id);
+    const auto issues = framework_.check_contracts(device.id, contracts);
+    EXPECT_TRUE(issues.empty())
+        << device.name << ": "
+        << (issues.empty() ? "" : issues.front().message);
+  }
+}
+
+TEST_F(DeltaFramework, GeneratedContractsSatisfyFrameworkOnWideClos) {
+  const auto topology = topo::build_clos(topo::ClosParams{
+      .clusters = 4,
+      .tors_per_cluster = 3,
+      .leaves_per_cluster = 4,
+      .spines_per_plane = 2,
+      .regional_spines = 6,
+      .regional_links_per_spine = 3});
+  const topo::MetadataService metadata(topology);
+  const LocalValidationFramework framework(metadata);
+  const ContractGenerator generator(metadata);
+  for (const topo::Device& device : topology.devices()) {
+    EXPECT_TRUE(framework
+                    .check_contracts(device.id,
+                                     generator.for_device(device.id))
+                    .empty())
+        << device.name;
+  }
+}
+
+TEST_F(DeltaFramework, HealthyFibsSatisfyTheFramework) {
+  const routing::BgpSimulator sim(topology_);
+  for (const topo::Device& device : topology_.devices()) {
+    const auto issues =
+        framework_.check_fib(device.id, sim.fib(device.id));
+    EXPECT_TRUE(issues.empty()) << device.name;
+  }
+}
+
+TEST_F(DeltaFramework, CardinalityViolationDetectedOnFib) {
+  // Degrade ToR1's fan-out; the framework flags the bound violation.
+  topo::apply_figure3_failures(topology_);
+  const routing::BgpSimulator sim(topology_);
+  const auto issues =
+      framework_.check_fib(id("ToR1"), sim.fib(id("ToR1")));
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST_F(DeltaFramework, RankViolationDetected) {
+  // A hand-built FIB that forwards Prefix_A *up* from a spine to a
+  // regional spine: rank 2 -> 3 must be rejected.
+  routing::ForwardingTable fib;
+  fib.add(routing::Rule{.prefix = net::Prefix::parse("10.0.0.0/24"),
+                        .next_hops = {id("R1")}});
+  const auto issues = framework_.check_fib(id("D1"), fib);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("rank does not decrease"),
+            std::string::npos);
+}
+
+TEST_F(DeltaFramework, MissingDecisionDetected) {
+  const routing::ForwardingTable empty;
+  const auto issues = framework_.check_fib(id("D1"), empty);
+  EXPECT_EQ(issues.size(), metadata_.all_prefixes().size());
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

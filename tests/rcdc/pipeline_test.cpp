@@ -1,0 +1,107 @@
+#include "rcdc/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+PipelineConfig fast_config() {
+  return PipelineConfig{.puller_workers = 4,
+                        .validator_workers = 4,
+                        .fetch_latency_min = std::chrono::microseconds(200),
+                        .fetch_latency_max = std::chrono::microseconds(800),
+                        .time_scale = 0.01,
+                        .seed = 5};
+}
+
+TEST(MonitoringPipeline, CleanCycleOnHealthyNetwork) {
+  const auto topology = topo::build_clos(topo::ClosParams{});
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              fast_config());
+  const auto stats = pipeline.run_cycle();
+  EXPECT_EQ(stats.devices, topology.device_count());
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(stats.alerts_high + stats.alerts_low, 0u);
+  EXPECT_GT(stats.contracts_checked, 0u);
+  EXPECT_GT(stats.fetch_total.count(), 0);
+  EXPECT_GT(stats.wall.count(), 0);
+}
+
+TEST(MonitoringPipeline, AlertsFlowToSink) {
+  auto topology = topo::build_figure3();
+  topo::apply_figure3_failures(topology);
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              fast_config());
+  std::vector<std::pair<Violation, RiskLevel>> alerts;
+  pipeline.set_alert_sink(
+      [&](const Violation& v, const RiskAssessment& assessment) {
+        alerts.emplace_back(v, assessment.level);
+      });
+  const auto stats = pipeline.run_cycle();
+  EXPECT_GT(stats.violations, 0u);
+  EXPECT_EQ(alerts.size(), stats.violations);
+  EXPECT_EQ(stats.alerts_high + stats.alerts_low, stats.violations);
+  // The ToR default contract failures are high risk (2 of 4 uplinks left
+  // is still >1, but the Prefix_B unresolved routes at spines are
+  // high-risk) — just assert both classes are computed consistently.
+  std::size_t high = 0;
+  for (const auto& [violation, level] : alerts) {
+    if (level == RiskLevel::kHigh) ++high;
+  }
+  EXPECT_EQ(high, stats.alerts_high);
+}
+
+TEST(MonitoringPipeline, FetchLatencySimulatedInProductionRange) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              fast_config());
+  const auto stats = pipeline.run_cycle();
+  // Mean simulated fetch latency must sit in the configured 200-800us
+  // band (the paper's 200-800ms, scaled).
+  const auto mean_ns = stats.fetch_total.count() /
+                       static_cast<std::int64_t>(stats.devices);
+  EXPECT_GE(mean_ns, 200'000);
+  EXPECT_LE(mean_ns, 800'000);
+}
+
+TEST(MonitoringPipeline, SingleWorkerConfigWorks) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  PipelineConfig config = fast_config();
+  config.puller_workers = 1;
+  config.validator_workers = 1;
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              config);
+  EXPECT_EQ(pipeline.run_cycle().devices, topology.device_count());
+}
+
+TEST(MonitoringPipeline, RepeatedCyclesAreStable) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              fast_config());
+  const auto first = pipeline.run_cycle();
+  const auto second = pipeline.run_cycle();
+  EXPECT_EQ(first.devices, second.devices);
+  EXPECT_EQ(first.violations, second.violations);
+  EXPECT_EQ(first.contracts_checked, second.contracts_checked);
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

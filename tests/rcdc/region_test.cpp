@@ -1,0 +1,119 @@
+// Region-scale integration: two datacenters sharing a regional-spine layer,
+// with the private-ASN reuse the paper's stripping rule exists for (§2.1).
+// Validates contract generation, local validation, the global baseline,
+// and cross-datacenter flows all hold together on the larger structure.
+#include <gtest/gtest.h>
+
+#include "e2e/trace.hpp"
+#include "rcdc/contract_gen.hpp"
+#include "rcdc/fib_source.hpp"
+#include "rcdc/global_checker.hpp"
+#include "rcdc/validator.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+class RegionTest : public testing::Test {
+ protected:
+  RegionTest()
+      : topology_(topo::build_region(
+            topo::ClosParams{.clusters = 2,
+                             .tors_per_cluster = 3,
+                             .leaves_per_cluster = 3,
+                             .spines_per_plane = 2,
+                             .regional_spines = 4,
+                             .regional_links_per_spine = 2},
+            /*datacenters=*/2)),
+        metadata_(topology_) {}
+
+  topo::Topology topology_;
+  topo::MetadataService metadata_;
+};
+
+TEST_F(RegionTest, HealthyRegionValidatesClean) {
+  const routing::BgpSimulator sim(topology_);
+  const SimulatorFibSource fibs(sim);
+  const DatacenterValidator validator(metadata_, fibs,
+                                      make_trie_verifier_factory());
+  const auto summary = validator.run(2);
+  EXPECT_TRUE(summary.violations.empty());
+  EXPECT_EQ(summary.devices_checked, topology_.device_count());
+}
+
+TEST_F(RegionTest, GlobalBaselineChecksEachDatacenterInternally) {
+  const routing::BgpSimulator sim(topology_);
+  const SimulatorFibSource fibs(sim);
+  const GlobalChecker checker(metadata_, fibs);
+  const auto result = checker.check_all_pairs();
+  // 12 prefixes, each checked from the 5 other same-DC ToRs.
+  EXPECT_EQ(result.pairs_checked, 12u * 5u);
+  EXPECT_TRUE(result.all_ok());
+}
+
+TEST_F(RegionTest, CrossDatacenterFlowsAreDelivered) {
+  const routing::BgpSimulator sim(topology_);
+  const SimulatorFibSource fibs(sim);
+  const auto source = *topology_.find_device("DC0-T0-0-0");
+  const auto dst_tor = *topology_.find_device("DC1-T0-2-0");
+  const auto dst_prefix = topology_.device(dst_tor).hosted_prefixes.front();
+  const auto result = e2e::trace_flow(
+      metadata_, fibs, source,
+      net::PacketHeader{.src_ip = net::Ipv4Address::parse("10.0.0.5"),
+                        .src_port = 40000,
+                        .dst_ip = dst_prefix.first(),
+                        .dst_port = 443,
+                        .protocol = 6});
+  EXPECT_EQ(result.outcome, e2e::TraceResult::Outcome::kDelivered);
+  // ToR -> leaf -> spine -> regional -> spine -> leaf -> ToR: 7 devices.
+  EXPECT_EQ(result.hops.size(), 7u);
+  EXPECT_EQ(topology_.device(result.hops[3].device).role,
+            topo::DeviceRole::kRegionalSpine);
+}
+
+TEST_F(RegionTest, FaultInOneDatacenterStaysLocal) {
+  topo::FaultInjector faults(topology_);
+  // Break a ToR uplink in DC0.
+  const auto tor = *topology_.find_device("DC0-T0-0-0");
+  const auto leaf = *topology_.find_device("DC0-T1-0-0");
+  faults.link_down(*topology_.find_link(tor, leaf));
+  const routing::BgpSimulator sim(topology_, &faults);
+  const SimulatorFibSource fibs(sim);
+  const DatacenterValidator validator(metadata_, fibs,
+                                      make_trie_verifier_factory());
+  const auto summary = validator.run(2);
+  EXPECT_FALSE(summary.violations.empty());
+  for (const Violation& v : summary.violations) {
+    // Only DC0 devices (and regionals, which serve both) may be affected.
+    const auto dc = topology_.device(v.device).datacenter;
+    EXPECT_TRUE(dc == 0 || dc == topo::kNoDatacenter)
+        << topology_.device(v.device).name;
+  }
+}
+
+TEST_F(RegionTest, RegionalContractsCoverBothDatacenters) {
+  const ContractGenerator generator(metadata_);
+  const auto regional = *topology_.find_device("RH-0");
+  const auto contracts = generator.for_device(regional);
+  // One cardinality contract per hosted prefix across the whole region.
+  EXPECT_EQ(contracts.size(), metadata_.all_prefixes().size());
+  for (const Contract& contract : contracts) {
+    EXPECT_EQ(contract.mode, MatchMode::kSubsetAtLeast);
+  }
+}
+
+TEST_F(RegionTest, TorContractsAreScopedToTheirDatacenter) {
+  const ContractGenerator generator(metadata_);
+  const auto tor = *topology_.find_device("DC1-T0-2-0");
+  for (const Contract& contract : generator.for_device(tor)) {
+    if (contract.kind == ContractKind::kDefault) continue;
+    const auto fact = metadata_.locate(contract.prefix);
+    ASSERT_TRUE(fact.has_value());
+    EXPECT_EQ(topology_.device(fact->tor).datacenter, 1u)
+        << contract.prefix.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

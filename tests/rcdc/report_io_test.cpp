@@ -1,0 +1,101 @@
+#include "rcdc/report_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rcdc/fib_source.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+ValidationSummary figure3_failure_summary(const topo::Topology& topology,
+                                          const topo::MetadataService& meta) {
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  const DatacenterValidator validator(meta, fibs,
+                                      make_trie_verifier_factory());
+  return validator.run(2);
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ReportJson, CleanSummary) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const auto summary = figure3_failure_summary(topology, metadata);
+  const std::string json = write_report_json(summary, topology);
+  EXPECT_NE(json.find("\"devices_checked\": 20"), std::string::npos);
+  EXPECT_NE(json.find("\"violation_count\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"violations\": []"), std::string::npos);
+}
+
+TEST(ReportJson, ViolationsCarryAllFields) {
+  auto topology = topo::build_figure3();
+  topo::apply_figure3_failures(topology);
+  const topo::MetadataService metadata(topology);
+  const auto summary = figure3_failure_summary(topology, metadata);
+  ASSERT_FALSE(summary.violations.empty());
+
+  const std::string json = write_report_json(summary, topology);
+  for (const char* field :
+       {"\"device\":", "\"kind\":", "\"contract_kind\":", "\"prefix\":",
+        "\"rule_prefix\":", "\"expected_next_hops\":",
+        "\"actual_next_hops\":", "\"risk\":", "\"servers_impacted\":",
+        "\"action\":", "\"rationale\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(json.find("\"ToR1\""), std::string::npos);
+  EXPECT_NE(json.find("default-route-mismatch"), std::string::npos);
+  // Triage correlates the down link to a cabling fault.
+  EXPECT_NE(json.find("replace-cable"), std::string::npos);
+}
+
+TEST(ReportJson, OptionsControlEnrichment) {
+  auto topology = topo::build_figure3();
+  topo::apply_figure3_failures(topology);
+  const topo::MetadataService metadata(topology);
+  const auto summary = figure3_failure_summary(topology, metadata);
+  const std::string json = write_report_json(
+      summary, topology,
+      ReportOptions{.include_risk = false, .include_triage = false});
+  EXPECT_EQ(json.find("\"risk\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"action\":"), std::string::npos);
+}
+
+TEST(ReportJson, CompactModeHasNoNewlines) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const auto summary = figure3_failure_summary(topology, metadata);
+  const std::string json = write_report_json(
+      summary, topology,
+      ReportOptions{.include_risk = true, .include_triage = true,
+                    .pretty = false});
+  // One trailing newline at most.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 0);
+}
+
+TEST(ReportJson, BalancedBracesAndQuotes) {
+  auto topology = topo::build_figure3();
+  topo::apply_figure3_failures(topology);
+  const topo::MetadataService metadata(topology);
+  const auto summary = figure3_failure_summary(topology, metadata);
+  const std::string json = write_report_json(summary, topology);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Quotes come in pairs (no escaped quotes in device names here).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

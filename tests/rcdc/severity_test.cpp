@@ -1,0 +1,97 @@
+#include "rcdc/severity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+class RiskPolicyTest : public testing::Test {
+ protected:
+  RiskPolicyTest()
+      : topology_(topo::build_figure3()), policy_(topology_, 40) {}
+
+  Violation violation(const char* device, ViolationKind kind,
+                      std::size_t expected_hops, std::size_t actual_hops) {
+    Violation v;
+    v.device = *topology_.find_device(device);
+    v.kind = kind;
+    for (std::size_t i = 0; i < expected_hops; ++i) {
+      v.contract.expected_next_hops.push_back(
+          static_cast<topo::DeviceId>(i));
+    }
+    for (std::size_t i = 0; i < actual_hops; ++i) {
+      v.actual_next_hops.push_back(static_cast<topo::DeviceId>(i));
+    }
+    return v;
+  }
+
+  topo::Topology topology_;
+  RiskPolicy policy_;
+};
+
+TEST_F(RiskPolicyTest, TorSingleNextHopDefaultIsHighRisk) {
+  // The paper's example: "a top-of-the-rack switch that has only a single
+  // next hop for default route represents a high-risk error."
+  const auto assessment = policy_.assess(
+      violation("ToR1", ViolationKind::kDefaultRouteMismatch, 4, 1));
+  EXPECT_EQ(assessment.level, RiskLevel::kHigh);
+  EXPECT_EQ(assessment.additional_faults_to_impact, 1u);
+  EXPECT_EQ(assessment.servers_impacted, 40u);
+}
+
+TEST_F(RiskPolicyTest, TorPartialEcmpLossIsLowRisk) {
+  const auto assessment = policy_.assess(
+      violation("ToR1", ViolationKind::kDefaultRouteMismatch, 4, 3));
+  EXPECT_EQ(assessment.level, RiskLevel::kLow);
+  EXPECT_EQ(assessment.additional_faults_to_impact, 3u);
+}
+
+TEST_F(RiskPolicyTest, UnreachableRangeIsAlwaysHighRisk) {
+  const auto assessment = policy_.assess(
+      violation("ToR1", ViolationKind::kUnreachableRange, 4, 0));
+  EXPECT_EQ(assessment.level, RiskLevel::kHigh);
+}
+
+TEST_F(RiskPolicyTest, SpineErrorsAreHighRisk) {
+  // "if a significant number of spine devices ... have errors relating to
+  // specific prefixes, then those errors represent a high-risk."
+  const auto assessment = policy_.assess(
+      violation("D1", ViolationKind::kWrongNextHops, 1, 3));
+  EXPECT_EQ(assessment.level, RiskLevel::kHigh);
+}
+
+TEST_F(RiskPolicyTest, RegionalSpineErrorsAreHighRisk) {
+  const auto assessment = policy_.assess(
+      violation("R1", ViolationKind::kWrongNextHops, 2, 2));
+  EXPECT_EQ(assessment.level, RiskLevel::kHigh);
+}
+
+TEST_F(RiskPolicyTest, LeafWithRemainingRedundancyIsLowRisk) {
+  const auto assessment = policy_.assess(
+      violation("A1", ViolationKind::kWrongNextHops, 4, 2));
+  EXPECT_EQ(assessment.level, RiskLevel::kLow);
+}
+
+TEST_F(RiskPolicyTest, LeafServersScaleWithCluster) {
+  const auto assessment = policy_.assess(
+      violation("A1", ViolationKind::kWrongNextHops, 4, 2));
+  // Cluster A hosts 2 ToRs of 40 servers each.
+  EXPECT_EQ(assessment.servers_impacted, 80u);
+}
+
+TEST_F(RiskPolicyTest, SpineServersScaleWithDatacenter) {
+  const auto assessment = policy_.assess(
+      violation("D1", ViolationKind::kWrongNextHops, 1, 1));
+  // 4 ToRs x 40 servers.
+  EXPECT_EQ(assessment.servers_impacted, 160u);
+}
+
+TEST(RiskLevelText, ToString) {
+  EXPECT_EQ(to_string(RiskLevel::kHigh), "high");
+  EXPECT_EQ(to_string(RiskLevel::kLow), "low");
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -1,0 +1,135 @@
+#include "rcdc/smt_verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcv::rcdc {
+namespace {
+
+routing::Rule rule(const char* prefix, std::vector<topo::DeviceId> hops) {
+  return routing::Rule{.prefix = net::Prefix::parse(prefix),
+                       .next_hops = std::move(hops)};
+}
+
+Contract specific(const char* prefix, std::vector<topo::DeviceId> hops) {
+  return Contract{.kind = ContractKind::kSpecific,
+                  .prefix = net::Prefix::parse(prefix),
+                  .expected_next_hops = std::move(hops),
+                  .mode = MatchMode::kExactSet};
+}
+
+Contract default_contract(std::vector<topo::DeviceId> hops) {
+  return Contract{.kind = ContractKind::kDefault,
+                  .prefix = net::Prefix::default_route(),
+                  .expected_next_hops = std::move(hops),
+                  .mode = MatchMode::kExactSet};
+}
+
+TEST(SmtVerifier, CleanPolicyPasses) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  fib.add(rule("10.0.1.0/24", {1, 2}));
+  const std::vector<Contract> contracts = {default_contract({1, 2}),
+                                           specific("10.0.1.0/24", {1, 2})};
+  EXPECT_TRUE(verifier.check(fib, contracts, 0).empty());
+}
+
+TEST(SmtVerifier, FindsWrongNextHops) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  fib.add(rule("10.0.1.0/24", {1}));
+  const std::vector<Contract> contracts = {specific("10.0.1.0/24", {1, 2})};
+  const auto violations = verifier.check(fib, contracts, 0);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kWrongNextHops);
+  EXPECT_EQ(violations[0].rule_prefix, net::Prefix::parse("10.0.1.0/24"));
+}
+
+TEST(SmtVerifier, ShadowedRuleNotFlagged) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;
+  fib.add(rule("10.0.1.0/25", {1, 2}));
+  fib.add(rule("10.0.1.128/25", {1, 2}));
+  fib.add(rule("10.0.1.0/24", {9}));  // unreachable within the range
+  const std::vector<Contract> contracts = {specific("10.0.1.0/24", {1, 2})};
+  EXPECT_TRUE(verifier.check(fib, contracts, 0).empty());
+}
+
+TEST(SmtVerifier, DetectsDrop) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;
+  fib.add(rule("10.0.1.0/25", {1}));
+  const std::vector<Contract> contracts = {specific("10.0.1.0/24", {1})};
+  const auto violations = verifier.check(fib, contracts, 0);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kUnreachableRange);
+}
+
+TEST(SmtVerifier, MonolithicCleanContractIsUnsat) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  fib.add(rule("10.0.1.0/24", {3, 4}));
+  EXPECT_EQ(verifier.check_contract_monolithic(
+                fib, specific("10.0.1.0/24", {3, 4}), 0),
+            std::nullopt);
+  // The range falls through to the default route with matching hops.
+  EXPECT_EQ(verifier.check_contract_monolithic(
+                fib, specific("10.0.2.0/24", {1, 2}), 0),
+            std::nullopt);
+}
+
+TEST(SmtVerifier, MonolithicFindsViolatingRuleFromWitness) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  fib.add(rule("10.0.1.16/28", {9}));
+  const auto violation = verifier.check_contract_monolithic(
+      fib, specific("10.0.1.0/24", {1, 2}), 0);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->kind, ViolationKind::kWrongNextHops);
+  EXPECT_EQ(violation->rule_prefix, net::Prefix::parse("10.0.1.16/28"));
+}
+
+TEST(SmtVerifier, MonolithicDetectsDrop) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;  // empty: everything drops
+  const auto violation = verifier.check_contract_monolithic(
+      fib, specific("10.0.1.0/24", {1}), 0);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->kind, ViolationKind::kUnreachableRange);
+}
+
+TEST(SmtVerifier, MonolithicSubsetMode) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;
+  fib.add(rule("10.0.1.0/24", {2}));
+  Contract c = specific("10.0.1.0/24", {1, 2, 3});
+  c.mode = MatchMode::kSubsetAtLeast;
+  c.min_next_hops = 1;
+  EXPECT_EQ(verifier.check_contract_monolithic(fib, c, 0), std::nullopt);
+
+  c.min_next_hops = 2;
+  EXPECT_TRUE(verifier.check_contract_monolithic(fib, c, 0).has_value());
+
+  routing::ForwardingTable bad;
+  bad.add(rule("10.0.1.0/24", {2, 9}));  // 9 is off-contract
+  c.min_next_hops = 1;
+  EXPECT_TRUE(verifier.check_contract_monolithic(bad, c, 0).has_value());
+}
+
+TEST(SmtVerifier, MonolithicDefaultContractSpecialCase) {
+  SmtVerifier verifier;
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1}));
+  EXPECT_TRUE(verifier
+                  .check_contract_monolithic(fib, default_contract({1, 2}), 0)
+                  .has_value());
+  EXPECT_EQ(
+      verifier.check_contract_monolithic(fib, default_contract({1}), 0),
+      std::nullopt);
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -1,0 +1,201 @@
+#include "rcdc/trie_verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcv::rcdc {
+namespace {
+
+routing::Rule rule(const char* prefix, std::vector<topo::DeviceId> hops) {
+  return routing::Rule{.prefix = net::Prefix::parse(prefix),
+                       .next_hops = std::move(hops)};
+}
+
+Contract specific(const char* prefix, std::vector<topo::DeviceId> hops) {
+  return Contract{.kind = ContractKind::kSpecific,
+                  .prefix = net::Prefix::parse(prefix),
+                  .expected_next_hops = std::move(hops),
+                  .mode = MatchMode::kExactSet};
+}
+
+Contract default_contract(std::vector<topo::DeviceId> hops) {
+  return Contract{.kind = ContractKind::kDefault,
+                  .prefix = net::Prefix::default_route(),
+                  .expected_next_hops = std::move(hops),
+                  .mode = MatchMode::kExactSet};
+}
+
+std::vector<Violation> check(const routing::ForwardingTable& fib,
+                             const std::vector<Contract>& contracts) {
+  TrieVerifier verifier;
+  return verifier.check(fib, contracts, /*device=*/0);
+}
+
+TEST(TrieVerifier, CleanPolicyPasses) {
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  fib.add(rule("10.0.1.0/24", {1, 2}));
+  const auto violations =
+      check(fib, {default_contract({1, 2}), specific("10.0.1.0/24", {1, 2})});
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(TrieVerifier, DefaultContractMismatch) {
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1}));
+  const auto violations = check(fib, {default_contract({1, 2})});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kDefaultRouteMismatch);
+  EXPECT_EQ(violations[0].actual_next_hops, std::vector<topo::DeviceId>{1});
+}
+
+TEST(TrieVerifier, MissingDefaultRoute) {
+  routing::ForwardingTable fib;
+  const auto violations = check(fib, {default_contract({1, 2})});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kMissingDefaultRoute);
+}
+
+TEST(TrieVerifier, SpecificContractSatisfiedByDefaultRoute) {
+  // The contract range has no specific rule; packets fall through to the
+  // default route. With matching hops the contract still holds — checking
+  // is semantic, not syntactic.
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  EXPECT_TRUE(check(fib, {specific("10.0.1.0/24", {1, 2})}).empty());
+}
+
+TEST(TrieVerifier, SpecificContractViolatedThroughDefaultRoute) {
+  // The Figure 3 situation: no specific route and the default route points
+  // elsewhere -> the default rule is the violating rule.
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1}));
+  const auto violations = check(fib, {specific("10.0.1.0/24", {1, 2})});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kWrongNextHops);
+  EXPECT_EQ(violations[0].rule_prefix, net::Prefix::default_route());
+}
+
+TEST(TrieVerifier, WrongNextHopsOnExactRule) {
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  fib.add(rule("10.0.1.0/24", {1}));
+  const auto violations = check(fib, {specific("10.0.1.0/24", {1, 2})});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule_prefix, net::Prefix::parse("10.0.1.0/24"));
+  EXPECT_EQ(violations[0].actual_next_hops, std::vector<topo::DeviceId>{1});
+}
+
+TEST(TrieVerifier, NestedRuleInsideContractRange) {
+  // A /28 inside the contract's /24 hijacks part of the range.
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  fib.add(rule("10.0.1.0/24", {1, 2}));
+  fib.add(rule("10.0.1.16/28", {9}));
+  const auto violations = check(fib, {specific("10.0.1.0/24", {1, 2})});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule_prefix, net::Prefix::parse("10.0.1.16/28"));
+}
+
+TEST(TrieVerifier, ShadowedRuleDoesNotViolate) {
+  // Two /25s fully cover the /24, so the (wrong) /24 rule is unreachable
+  // within the contract range and must not be flagged.
+  routing::ForwardingTable fib;
+  fib.add(rule("10.0.1.0/25", {1, 2}));
+  fib.add(rule("10.0.1.128/25", {1, 2}));
+  fib.add(rule("10.0.1.0/24", {9}));
+  EXPECT_TRUE(check(fib, {specific("10.0.1.0/24", {1, 2})}).empty());
+}
+
+TEST(TrieVerifier, CoverageStopsAtEnclosingRule) {
+  // Once the range is covered by the enclosing /16 rule, the shorter /8 and
+  // default rules are never consulted — the §2.5.2 stop condition.
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {9}));
+  fib.add(rule("10.0.0.0/8", {8}));
+  fib.add(rule("10.0.0.0/16", {1, 2}));
+  EXPECT_TRUE(check(fib, {specific("10.0.1.0/24", {1, 2})}).empty());
+}
+
+TEST(TrieVerifier, UnreachableRangeWithoutDefault) {
+  routing::ForwardingTable fib;
+  fib.add(rule("10.0.1.0/25", {1}));
+  const auto violations = check(fib, {specific("10.0.1.0/24", {1})});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kUnreachableRange);
+}
+
+TEST(TrieVerifier, PartialCoverageReportsBothProblems) {
+  // Half the range goes to the wrong hops, the other half drops.
+  routing::ForwardingTable fib;
+  fib.add(rule("10.0.1.0/25", {9}));
+  const auto violations = check(fib, {specific("10.0.1.0/24", {1})});
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kWrongNextHops);
+  EXPECT_EQ(violations[1].kind, ViolationKind::kUnreachableRange);
+}
+
+TEST(TrieVerifier, MultipleViolatingRulesAllReported) {
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  fib.add(rule("10.0.1.0/26", {7}));
+  fib.add(rule("10.0.1.64/26", {8}));
+  const auto violations = check(fib, {specific("10.0.1.0/24", {1, 2})});
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST(TrieVerifier, SubsetModeAcceptsPartialEcmp) {
+  routing::ForwardingTable fib;
+  fib.add(rule("10.0.1.0/24", {2}));
+  Contract c = specific("10.0.1.0/24", {1, 2, 3});
+  c.mode = MatchMode::kSubsetAtLeast;
+  c.min_next_hops = 1;
+  EXPECT_TRUE(check(fib, {c}).empty());
+  // But an off-contract hop still violates.
+  routing::ForwardingTable bad;
+  bad.add(rule("10.0.1.0/24", {2, 9}));
+  EXPECT_EQ(check(bad, {c}).size(), 1u);
+}
+
+TEST(TrieVerifier, StrictContractRejectsDefaultRouteFallback) {
+  // The §2.6.2 "Migrations" semantics: the default route has the *same*
+  // next hops as the contract, but a strict specific contract still fails —
+  // the specific route is missing and longer paths become possible under
+  // further failures.
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2}));
+  Contract strict = specific("10.0.1.0/24", {1, 2});
+  strict.allow_default_route = false;
+  const auto violations = check(fib, {strict});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kSpecificViaDefaultRoute);
+  EXPECT_EQ(violations[0].rule_prefix, net::Prefix::default_route());
+
+  // With the specific route present, the strict contract passes.
+  fib.add(rule("10.0.1.0/24", {1, 2}));
+  EXPECT_TRUE(check(fib, {strict}).empty());
+}
+
+TEST(TrieVerifier, ConnectedRulesAreExemptButCover) {
+  routing::ForwardingTable fib;
+  fib.add(routing::Rule{.prefix = net::Prefix::parse("10.0.1.0/24"),
+                        .next_hops = {},
+                        .connected = true});
+  // A connected rule covers the range without being flagged.
+  EXPECT_TRUE(check(fib, {specific("10.0.1.0/24", {1})}).empty());
+}
+
+TEST(TrieVerifier, ManyContractsAgainstOnePolicy) {
+  routing::ForwardingTable fib;
+  fib.add(rule("0.0.0.0/0", {1, 2, 3, 4}));
+  std::vector<Contract> contracts;
+  for (int i = 0; i < 64; ++i) {
+    contracts.push_back(specific(
+        ("10.0." + std::to_string(i) + ".0/24").c_str(), {1, 2, 3, 4}));
+    fib.add(rule(("10.0." + std::to_string(i) + ".0/24").c_str(),
+                 {1, 2, 3, 4}));
+  }
+  EXPECT_TRUE(check(fib, contracts).empty());
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

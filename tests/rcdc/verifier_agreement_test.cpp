@@ -1,0 +1,120 @@
+// Property suite: the trie engine (§2.5.2) and the Z3 engine (§2.5.1)
+// implement identical semantics. Random policies and contracts are thrown
+// at both; their violation lists must agree, and the monolithic
+// single-query encoding must agree on the verdict.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "rcdc/linear_verifier.hpp"
+#include "rcdc/smt_verifier.hpp"
+#include "rcdc/trie_verifier.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+struct Shape {
+  std::uint64_t seed;
+  int rules;
+  int contracts;
+};
+
+class VerifierAgreement : public testing::TestWithParam<Shape> {};
+
+std::vector<Violation> sorted(std::vector<Violation> violations) {
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.contract.prefix != b.contract.prefix) {
+                return a.contract.prefix < b.contract.prefix;
+              }
+              if (a.rule_prefix != b.rule_prefix) {
+                return a.rule_prefix < b.rule_prefix;
+              }
+              return a.kind < b.kind;
+            });
+  return violations;
+}
+
+TEST_P(VerifierAgreement, TrieAndSmtAgreeOnRandomInputs) {
+  const Shape shape = GetParam();
+  std::mt19937_64 rng(shape.seed);
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<int> rule_len(8, 30);
+  std::uniform_int_distribution<int> contract_len(12, 26);
+  std::uniform_int_distribution<int> hop_count(0, 3);
+  std::uniform_int_distribution<topo::DeviceId> hop(1, 5);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  // Random policy over a narrow space (10.0.0.0/12) so overlaps are common.
+  routing::ForwardingTable fib;
+  if (coin(rng) == 0) {
+    fib.add(routing::Rule{.prefix = net::Prefix::default_route(),
+                          .next_hops = {1, 2}});
+  }
+  for (int i = 0; i < shape.rules; ++i) {
+    std::vector<topo::DeviceId> hops;
+    for (int h = hop_count(rng); h > 0; --h) hops.push_back(hop(rng));
+    fib.add(routing::Rule{
+        .prefix = net::Prefix(
+            net::Ipv4Address((addr(rng) & 0x000FFFFFu) | 0x0A000000u),
+            rule_len(rng)),
+        .next_hops = std::move(hops)});
+  }
+
+  std::vector<Contract> contracts;
+  for (int i = 0; i < shape.contracts; ++i) {
+    std::vector<topo::DeviceId> hops;
+    for (int h = hop_count(rng); h > 0; --h) hops.push_back(hop(rng));
+    routing::canonicalize(hops);
+    const bool subset_mode = coin(rng) == 0 && !hops.empty();
+    contracts.push_back(Contract{
+        .kind = ContractKind::kSpecific,
+        .prefix = net::Prefix(
+            net::Ipv4Address((addr(rng) & 0x000FFFFFu) | 0x0A000000u),
+            contract_len(rng)),
+        .expected_next_hops = hops,
+        .mode = subset_mode ? MatchMode::kSubsetAtLeast
+                            : MatchMode::kExactSet,
+        .min_next_hops = 1,
+        // Exercise both semantics: strict contracts reject default-route
+        // fallback even with matching hops.
+        .allow_default_route = coin(rng) == 0});
+  }
+
+  TrieVerifier trie;
+  SmtVerifier smt;
+  LinearVerifier linear;
+  const auto trie_result = sorted(trie.check(fib, contracts, 0));
+  const auto smt_result = sorted(smt.check(fib, contracts, 0));
+  const auto linear_result = sorted(linear.check(fib, contracts, 0));
+  ASSERT_EQ(trie_result.size(), smt_result.size());
+  for (std::size_t i = 0; i < trie_result.size(); ++i) {
+    EXPECT_EQ(trie_result[i], smt_result[i]) << i;
+  }
+  ASSERT_EQ(trie_result.size(), linear_result.size());
+  for (std::size_t i = 0; i < trie_result.size(); ++i) {
+    EXPECT_EQ(trie_result[i], linear_result[i]) << i;
+  }
+
+  // The monolithic encoding agrees on the per-contract verdict.
+  for (const Contract& contract : contracts) {
+    const bool violated_by_list =
+        std::any_of(trie_result.begin(), trie_result.end(),
+                    [&](const Violation& v) { return v.contract == contract; });
+    const auto monolithic =
+        smt.check_contract_monolithic(fib, contract, 0);
+    EXPECT_EQ(monolithic.has_value(), violated_by_list)
+        << contract.prefix.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomShapes, VerifierAgreement,
+    testing::Values(Shape{1, 5, 6}, Shape{2, 10, 8}, Shape{3, 20, 10},
+                    Shape{4, 40, 12}, Shape{5, 3, 20}, Shape{6, 60, 6},
+                    Shape{7, 15, 15}, Shape{8, 25, 10}, Shape{9, 50, 8},
+                    Shape{10, 8, 30}, Shape{11, 30, 20}, Shape{12, 70, 5}));
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -1,0 +1,121 @@
+// Tests of the §2.1 design rationale: route aggregation is rejected
+// because it black-holes traffic under single-link failures. The
+// aggregation transform exists precisely to demonstrate that.
+#include "routing/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcdc/fib_source.hpp"
+#include "rcdc/global_checker.hpp"
+#include "rcdc/validator.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::routing {
+namespace {
+
+TEST(CommonPrefix, LowestCommonAncestor) {
+  EXPECT_EQ(net::common_prefix(net::Prefix::parse("10.0.0.0/24"),
+                               net::Prefix::parse("10.0.1.0/24")),
+            net::Prefix::parse("10.0.0.0/23"));
+  EXPECT_EQ(net::common_prefix(net::Prefix::parse("10.0.0.0/24"),
+                               net::Prefix::parse("10.0.0.0/24")),
+            net::Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(net::common_prefix(net::Prefix::parse("10.0.0.0/8"),
+                               net::Prefix::parse("192.0.0.0/8")),
+            net::Prefix::default_route());
+  EXPECT_EQ(net::common_prefix(net::Prefix::parse("10.0.0.0/8"),
+                               net::Prefix::parse("10.1.0.0/16")),
+            net::Prefix::parse("10.0.0.0/8"));
+}
+
+TEST(Aggregation, FoldsClusterRoutesAtSpine) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const BgpSimulator sim(topology);
+  const auto d1 = *topology.find_device("D1");
+  const ForwardingTable plain = sim.fib(d1);
+  const ForwardingTable aggregated =
+      aggregate_cluster_routes(plain, metadata, d1);
+
+  // 4 specific routes fold into 2 cluster aggregates; default unchanged.
+  EXPECT_EQ(plain.size(), 5u);
+  EXPECT_EQ(aggregated.size(), 3u);
+  // Cluster A's prefixes 10.0.0.0/24 and 10.0.1.0/24 -> 10.0.0.0/23 {A1}.
+  const Rule* a = aggregated.find(net::Prefix::parse("10.0.0.0/23"));
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->next_hops,
+            std::vector<topo::DeviceId>{*topology.find_device("A1")});
+  ASSERT_NE(aggregated.default_route(), nullptr);
+  EXPECT_EQ(aggregated.default_route()->next_hops,
+            plain.default_route()->next_hops);
+}
+
+TEST(Aggregation, LeafOriginatesDiscardRoute) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const BgpSimulator sim(topology);
+  const auto a1 = *topology.find_device("A1");
+  const ForwardingTable aggregated =
+      aggregate_cluster_routes(sim.fib(a1), metadata, a1);
+  const Rule* discard = aggregated.find(net::Prefix::parse("10.0.0.0/23"));
+  ASSERT_NE(discard, nullptr);
+  EXPECT_TRUE(discard->next_hops.empty());
+  // Specifics survive and, being longer, win LPM on the healthy network.
+  const Rule* hit =
+      aggregated.lookup(net::Ipv4Address::parse("10.0.1.9"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->prefix, net::Prefix::parse("10.0.1.0/24"));
+}
+
+TEST(Aggregation, PreservesForwardingOnHealthyNetwork) {
+  const auto topology = topo::build_clos(topo::ClosParams{});
+  const topo::MetadataService metadata(topology);
+  const BgpSimulator sim(topology);
+  const rcdc::SimulatorFibSource plain(sim);
+  const rcdc::AggregatingFibSource aggregated(plain, metadata);
+  const rcdc::GlobalChecker checker(metadata, aggregated);
+  const auto result = checker.check_all_pairs();
+  EXPECT_TRUE(result.all_ok());
+  EXPECT_EQ(result.pairs_with_loops, 0u);
+}
+
+TEST(Aggregation, LinkFailuresBlackHoleTheAggregatedDesign) {
+  // The Figure 3 failures. The paper's aggregation-free design degrades
+  // onto the regional detour — every pair stays reachable (§2.4.4). Under
+  // aggregation, the aggregate keeps attracting Prefix_B traffic to A1/A2,
+  // whose lost specifics expose the discard route: a black hole the upper
+  // layers cannot see, because the aggregate announcement never changed.
+  auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  topo::apply_figure3_failures(topology);
+  const BgpSimulator sim(topology);
+  const rcdc::SimulatorFibSource plain(sim);
+
+  const rcdc::GlobalChecker plain_checker(metadata, plain);
+  const auto without = plain_checker.check_all_pairs();
+  EXPECT_EQ(without.pairs_reachable, without.pairs_checked);
+  EXPECT_EQ(without.pairs_with_loops, 0u);
+
+  const rcdc::AggregatingFibSource aggregated(plain, metadata);
+  const rcdc::GlobalChecker aggregated_checker(metadata, aggregated);
+  const auto with = aggregated_checker.check_all_pairs();
+  EXPECT_LT(with.pairs_reachable, with.pairs_checked);
+}
+
+TEST(Aggregation, LocalContractsStillCatchTheFailure) {
+  // Even under aggregation, the leaf that lost its specific route violates
+  // its contract — RCDC's local checks flag the latent hazard either way.
+  auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  topo::apply_figure3_failures(topology);
+  const BgpSimulator sim(topology);
+  const rcdc::SimulatorFibSource plain(sim);
+  const rcdc::AggregatingFibSource aggregated(plain, metadata);
+  const rcdc::DatacenterValidator validator(
+      metadata, aggregated, rcdc::make_trie_verifier_factory());
+  EXPECT_FALSE(validator.run(2).violations.empty());
+}
+
+}  // namespace
+}  // namespace dcv::routing

@@ -1,0 +1,157 @@
+// Property suite over random Clos shapes: structural invariants of the
+// EBGP propagation that the paper's design arguments rest on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rcdc/local_validation.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::routing {
+namespace {
+
+using topo::ClosParams;
+using topo::DeviceId;
+using topo::DeviceRole;
+
+struct Shape {
+  std::uint32_t clusters;
+  std::uint32_t tors;
+  std::uint32_t leaves;
+  std::uint32_t spines_per_plane;
+  std::uint32_t regionals;
+};
+
+class BgpInvariants : public testing::TestWithParam<Shape> {
+ protected:
+  ClosParams params() const {
+    const Shape s = GetParam();
+    return ClosParams{.clusters = s.clusters,
+                      .tors_per_cluster = s.tors,
+                      .leaves_per_cluster = s.leaves,
+                      .spines_per_plane = s.spines_per_plane,
+                      .regional_spines = s.regionals};
+  }
+};
+
+TEST_P(BgpInvariants, ConvergesWithinDiameterBound) {
+  const auto topology = topo::build_clos(params());
+  const BgpSimulator sim(topology);
+  // Announcements cross at most ToR->leaf->spine->regional->spine->leaf->
+  // ToR plus slack for the synchronous-round model.
+  EXPECT_LE(sim.rounds(), 12);
+}
+
+TEST_P(BgpInvariants, AsPathsAreLoopFree) {
+  const auto topology = topo::build_clos(params());
+  const BgpSimulator sim(topology);
+  for (const topo::Device& device : topology.devices()) {
+    for (const auto& [prefix, entry] : sim.rib(device.id)) {
+      // No ASN may repeat in a selected path — except the reused ToR ASN,
+      // which the allowas-in configuration admits at the receiving ToR
+      // only (§2.1); even there a single path never contains the same
+      // *adjacent* hops, so repetitions are bounded by the reuse scheme.
+      std::multiset<topo::Asn> seen(entry.as_path.begin(),
+                                    entry.as_path.end());
+      for (const topo::Asn asn : seen) {
+        if (device.role == DeviceRole::kTor &&
+            asn == device.asn) {
+          continue;  // allowas-in at the ToR
+        }
+        EXPECT_LE(seen.count(asn), 1u)
+            << device.name << " " << prefix.to_string();
+      }
+    }
+  }
+}
+
+TEST_P(BgpInvariants, PathLengthsMatchArchitecturalDistance) {
+  const auto topology = topo::build_clos(params());
+  const topo::MetadataService metadata(topology);
+  const rcdc::LocalValidationFramework framework(metadata);
+  const BgpSimulator sim(topology);
+  for (const topo::Device& device : topology.devices()) {
+    for (const auto& [prefix, entry] : sim.rib(device.id)) {
+      if (prefix.is_default() || entry.connected) continue;
+      const auto rank = framework.delta(prefix, device.id);
+      if (!rank) continue;
+      // The selected AS-path (own ASN + traversed ASNs) spans exactly the
+      // architectural distance to the hosting ToR.
+      EXPECT_EQ(entry.as_path.size(), static_cast<std::size_t>(*rank) + 1)
+          << device.name << " " << prefix.to_string();
+    }
+  }
+}
+
+TEST_P(BgpInvariants, EveryFibSatisfiesTheRankFramework) {
+  const auto topology = topo::build_clos(params());
+  const topo::MetadataService metadata(topology);
+  const rcdc::LocalValidationFramework framework(metadata);
+  const BgpSimulator sim(topology);
+  for (const topo::Device& device : topology.devices()) {
+    EXPECT_TRUE(framework.check_fib(device.id, sim.fib(device.id)).empty())
+        << device.name;
+  }
+}
+
+TEST_P(BgpInvariants, NextHopSetsAreMaximal) {
+  // ECMP uses *every* equally-good neighbor (Intent 3: all redundant
+  // shortest paths available).
+  const auto topology = topo::build_clos(params());
+  const topo::MetadataService metadata(topology);
+  const BgpSimulator sim(topology);
+  for (const DeviceId tor : topology.devices_with_role(DeviceRole::kTor)) {
+    const auto leaves =
+        topology.neighbors_with_role(tor, DeviceRole::kLeaf);
+    const auto fib = sim.fib(tor);
+    ASSERT_NE(fib.default_route(), nullptr);
+    EXPECT_EQ(fib.default_route()->next_hops, leaves);
+    for (const auto& fact : metadata.all_prefixes()) {
+      if (fact.tor == tor) continue;
+      const Rule* rule = fib.find(fact.prefix);
+      ASSERT_NE(rule, nullptr);
+      EXPECT_EQ(rule->next_hops, leaves)
+          << topology.device(tor).name << " " << fact.prefix.to_string();
+    }
+  }
+}
+
+TEST_P(BgpInvariants, FaultsOnlyEverShrinkNextHopSets) {
+  // Under link failures, surviving routes use a subset of the healthy
+  // ECMP sets — never a detour that violates the rank framework.
+  auto topology = topo::build_clos(params());
+  const topo::MetadataService metadata(topology);
+  const BgpSimulator healthy(topology);
+
+  topo::FaultInjector faults(topology, /*seed=*/GetParam().clusters * 7 +
+                                           GetParam().leaves);
+  faults.random_link_failures(3);
+  const BgpSimulator faulty(topology, &faults);
+
+  for (const topo::Device& device : topology.devices()) {
+    const auto healthy_fib = healthy.fib(device.id);
+    const auto faulty_fib = faulty.fib(device.id);
+    for (const Rule& rule : faulty_fib.rules()) {
+      const Rule* baseline = healthy_fib.find(rule.prefix);
+      ASSERT_NE(baseline, nullptr)
+          << device.name << " grew a route for " << rule.prefix.to_string();
+      EXPECT_TRUE(std::includes(baseline->next_hops.begin(),
+                                baseline->next_hops.end(),
+                                rule.next_hops.begin(),
+                                rule.next_hops.end()))
+          << device.name << " " << rule.prefix.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BgpInvariants,
+    testing::Values(Shape{2, 2, 2, 1, 2}, Shape{2, 2, 4, 1, 4},
+                    Shape{3, 2, 3, 2, 4}, Shape{4, 3, 4, 2, 4},
+                    Shape{5, 2, 2, 3, 6}, Shape{3, 4, 6, 1, 4},
+                    Shape{2, 1, 8, 2, 8}, Shape{6, 2, 4, 2, 4}));
+
+}  // namespace
+}  // namespace dcv::routing

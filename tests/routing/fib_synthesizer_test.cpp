@@ -1,0 +1,87 @@
+#include "routing/fib_synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+#include "topology/metadata.hpp"
+
+namespace dcv::routing {
+namespace {
+
+/// The load-bearing equivalence: on a fault-free structured datacenter the
+/// closed-form synthesis and full EBGP propagation converge to identical
+/// FIBs on every device. This is what licenses using the synthesizer for
+/// scale benchmarks, and it doubles as an end-to-end check of the
+/// propagation rules.
+void expect_equivalent(const topo::Topology& topology) {
+  const topo::MetadataService metadata(topology);
+  const FibSynthesizer synthesizer(metadata);
+  const BgpSimulator simulator(topology);
+  for (const topo::Device& device : topology.devices()) {
+    const ForwardingTable simulated = simulator.fib(device.id);
+    const ForwardingTable synthesized = synthesizer.fib(device.id);
+    ASSERT_EQ(simulated.size(), synthesized.size()) << device.name;
+    for (std::size_t i = 0; i < simulated.size(); ++i) {
+      EXPECT_EQ(simulated.rules()[i], synthesized.rules()[i])
+          << device.name << " rule " << i << ": simulated "
+          << simulated.rules()[i].to_string() << " vs synthesized "
+          << synthesized.rules()[i].to_string();
+    }
+  }
+}
+
+TEST(FibSynthesizer, MatchesBgpOnFigure3) {
+  expect_equivalent(topo::build_figure3());
+}
+
+TEST(FibSynthesizer, MatchesBgpOnDefaultClos) {
+  expect_equivalent(topo::build_clos(topo::ClosParams{}));
+}
+
+TEST(FibSynthesizer, MatchesBgpOnWideClos) {
+  expect_equivalent(topo::build_clos(topo::ClosParams{
+      .clusters = 4,
+      .tors_per_cluster = 3,
+      .leaves_per_cluster = 4,
+      .spines_per_plane = 2,
+      .regional_spines = 4,
+      .regional_links_per_spine = 2,
+      .prefixes_per_tor = 2}));
+}
+
+TEST(FibSynthesizer, MatchesBgpOnAsymmetricFanouts) {
+  expect_equivalent(topo::build_clos(topo::ClosParams{
+      .clusters = 5,
+      .tors_per_cluster = 2,
+      .leaves_per_cluster = 3,
+      .spines_per_plane = 3,
+      .regional_spines = 6,
+      .regional_links_per_spine = 3}));
+}
+
+TEST(FibSynthesizer, MatchesBgpOnTwoDatacenterRegion) {
+  expect_equivalent(topo::build_region(
+      topo::ClosParams{.clusters = 2,
+                       .tors_per_cluster = 2,
+                       .leaves_per_cluster = 2,
+                       .spines_per_plane = 1,
+                       .regional_spines = 2,
+                       .regional_links_per_spine = 2},
+      /*datacenters=*/2));
+}
+
+TEST(FibSynthesizer, TorFibShape) {
+  const auto topology = topo::build_clos(topo::ClosParams{});
+  const topo::MetadataService metadata(topology);
+  const FibSynthesizer synthesizer(metadata);
+  const auto tor = topology.devices_with_role(topo::DeviceRole::kTor)[0];
+  const auto fib = synthesizer.fib(tor);
+  // 1 default + 1 connected + (prefixes - own) remote rules.
+  EXPECT_EQ(fib.size(), 1 + metadata.all_prefixes().size());
+  ASSERT_NE(fib.default_route(), nullptr);
+  EXPECT_EQ(fib.default_route()->next_hops.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dcv::routing

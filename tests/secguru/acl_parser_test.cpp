@@ -1,0 +1,108 @@
+#include "secguru/acl_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace dcv::secguru {
+namespace {
+
+// The ACL of Figure 8, §3.1 (modulo the paper's elided lines).
+constexpr const char* kFigure8 = R"(remark Isolating private addresses
+deny ip 0.0.0.0/32 any
+deny ip 10.0.0.0/8 any
+deny ip 172.16.0.0/12 any
+remark Anti spoofing ACLs
+deny ip 104.208.32.0/20 any
+deny ip 168.61.144.0/20 any
+remark permits for IPs without port and protocol blocks
+permit ip any 104.208.32.0/24
+remark standard port and protocol blocks
+deny tcp any any eq 445
+deny udp any any eq 445
+deny tcp any any eq 593
+deny udp any any eq 593
+deny 53 any any
+deny 55 any any
+remark permits for IPs with port and protocol blocks
+permit ip any 104.208.32.0/20
+permit ip any 168.61.144.0/20
+)";
+
+TEST(AclParser, ParsesFigure8) {
+  const Policy acl = parse_acl(kFigure8, "edge");
+  EXPECT_EQ(acl.name, "edge");
+  EXPECT_EQ(acl.semantics, PolicySemantics::kFirstApplicable);
+  ASSERT_EQ(acl.rules.size(), 14u);
+  EXPECT_EQ(acl.rules[0].action, Action::kDeny);
+  EXPECT_EQ(acl.rules[0].src, net::Prefix::parse("0.0.0.0/32"));
+  EXPECT_EQ(acl.rules[0].comment, "Isolating private addresses");
+  EXPECT_EQ(acl.rules[1].src, net::Prefix::parse("10.0.0.0/8"));
+  EXPECT_TRUE(acl.rules[1].protocol.is_any());
+  // "deny 53 any any" is protocol 53, not a port.
+  EXPECT_EQ(acl.rules[10].protocol, net::ProtocolSpec(std::uint8_t{53}));
+  EXPECT_TRUE(acl.rules[10].dst_ports.is_any());
+  // Port-specific rules.
+  EXPECT_EQ(acl.rules[6].dst_ports, net::PortRange::exactly(445));
+  EXPECT_EQ(acl.rules[6].protocol, net::ProtocolSpec::tcp());
+  EXPECT_EQ(acl.rules[7].protocol, net::ProtocolSpec::udp());
+  EXPECT_EQ(acl.rules[6].comment, "standard port and protocol blocks");
+  // Final permits.
+  EXPECT_EQ(acl.rules[13].action, Action::kPermit);
+  EXPECT_EQ(acl.rules[13].dst, net::Prefix::parse("168.61.144.0/20"));
+}
+
+TEST(AclParser, HostAndRangeSyntax) {
+  const Policy acl = parse_acl(
+      "permit tcp host 1.2.3.4 range 1000 2000 10.0.0.0/8 eq 80\n");
+  ASSERT_EQ(acl.rules.size(), 1u);
+  EXPECT_EQ(acl.rules[0].src, net::Prefix::parse("1.2.3.4/32"));
+  EXPECT_EQ(acl.rules[0].src_ports, net::PortRange(1000, 2000));
+  EXPECT_EQ(acl.rules[0].dst_ports, net::PortRange::exactly(80));
+}
+
+TEST(AclParser, LineNumbersRecorded) {
+  const Policy acl = parse_acl("remark x\ndeny ip any any\n\npermit ip any any\n");
+  ASSERT_EQ(acl.rules.size(), 2u);
+  EXPECT_EQ(acl.rules[0].line, 2);
+  EXPECT_EQ(acl.rules[1].line, 4);
+}
+
+class AclParserErrors : public testing::TestWithParam<const char*> {};
+
+TEST_P(AclParserErrors, Rejects) {
+  EXPECT_THROW(parse_acl(GetParam()), dcv::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, AclParserErrors,
+    testing::Values("allow ip any any\n",            // bad action
+                    "permit bogus any any\n",        // bad protocol
+                    "permit ip any\n",               // missing dst
+                    "permit ip host any any\n",      // bad host ip
+                    "permit tcp any eq 99999 any\n", // port out of range
+                    "permit tcp any range 20 10 any\n",  // inverted range
+                    "permit ip any any trailing\n",  // trailing tokens
+                    "permit ip 300.0.0.0/8 any\n")); // bad address
+
+TEST(AclParser, RoundTripPreservesSemanticsAndComments) {
+  const Policy original = parse_acl(kFigure8, "edge");
+  const std::string text = write_acl(original);
+  const Policy reparsed = parse_acl(text, "edge");
+  ASSERT_EQ(original.rules.size(), reparsed.rules.size());
+  for (std::size_t i = 0; i < original.rules.size(); ++i) {
+    // Everything except the raw line number survives the round trip.
+    Rule a = original.rules[i];
+    Rule b = reparsed.rules[i];
+    a.line = b.line = 0;
+    EXPECT_EQ(a, b) << "rule " << i;
+  }
+}
+
+TEST(AclParser, EmptyInputGivesEmptyPolicy) {
+  EXPECT_TRUE(parse_acl("").rules.empty());
+  EXPECT_TRUE(parse_acl("\n\n  \n").rules.empty());
+}
+
+}  // namespace
+}  // namespace dcv::secguru

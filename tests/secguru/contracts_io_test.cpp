@@ -1,0 +1,62 @@
+#include "secguru/contracts_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace dcv::secguru {
+namespace {
+
+TEST(ContractsIo, ParsesBasicSuite) {
+  const ContractSuite suite = parse_contracts(
+      "# regression suite\n"
+      "deny ip 10.0.0.0/8 any   # private isolation\n"
+      "allow tcp 8.8.8.0/24 104.208.32.0/20 eq 443  # web reachable\n"
+      "allow udp host 1.2.3.4 range 100 200 any\n");
+  ASSERT_EQ(suite.contracts.size(), 3u);
+  EXPECT_EQ(suite.contracts[0].name, "private isolation");
+  EXPECT_EQ(suite.contracts[0].expect, Expectation::kDeny);
+  EXPECT_EQ(suite.contracts[0].src, net::Prefix::parse("10.0.0.0/8"));
+  EXPECT_EQ(suite.contracts[1].dst_ports, net::PortRange::exactly(443));
+  EXPECT_EQ(suite.contracts[1].protocol, net::ProtocolSpec::tcp());
+  // Unnamed contract gets a line-based name.
+  EXPECT_EQ(suite.contracts[2].name, "line-4");
+  EXPECT_EQ(suite.contracts[2].src, net::Prefix::parse("1.2.3.4/32"));
+  EXPECT_EQ(suite.contracts[2].src_ports, net::PortRange(100, 200));
+}
+
+TEST(ContractsIo, RoundTrip) {
+  const ContractSuite original = parse_contracts(
+      "deny ip 10.0.0.0/8 any  # a\n"
+      "allow tcp any 104.208.32.0/20 eq 443  # b\n"
+      "deny udp host 9.9.9.9 any eq 53  # c\n");
+  const ContractSuite reparsed =
+      parse_contracts(write_contracts(original));
+  ASSERT_EQ(original.contracts.size(), reparsed.contracts.size());
+  for (std::size_t i = 0; i < original.contracts.size(); ++i) {
+    EXPECT_EQ(original.contracts[i], reparsed.contracts[i]) << i;
+  }
+}
+
+class ContractsIoErrors : public testing::TestWithParam<const char*> {};
+
+TEST_P(ContractsIoErrors, Rejects) {
+  EXPECT_THROW(parse_contracts(GetParam()), dcv::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ContractsIoErrors,
+    testing::Values("permit ip any any\n",       // permit is ACL syntax
+                    "allow bogus any any\n",     // bad protocol
+                    "allow ip any\n",            // missing dst
+                    "allow tcp any eq 70000 any\n",
+                    "allow tcp any range 9 2 any\n",
+                    "allow ip any any extra\n"));
+
+TEST(ContractsIo, EmptyAndCommentOnly) {
+  EXPECT_TRUE(parse_contracts("").contracts.empty());
+  EXPECT_TRUE(parse_contracts("# only a comment\n").contracts.empty());
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -1,0 +1,131 @@
+#include "secguru/device_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace dcv::secguru {
+namespace {
+
+constexpr const char* kConfig = R"(hostname edge-1
+!
+ip access-list extended EDGE-IN
+ remark Isolating private addresses
+ deny ip 10.0.0.0/8 any
+ deny tcp any any eq 445
+ permit ip any 104.208.32.0/20
+!
+ip access-list extended MGMT
+ permit tcp host 192.0.2.9 any eq 22
+!
+interface Ethernet1
+ description uplink to ISP
+ ip address 192.0.2.1/31
+ ip access-group EDGE-IN in
+!
+interface Ethernet2
+ ip address 192.0.2.3/31
+ shutdown
+!
+router bgp 65535
+ neighbor 192.0.2.0 remote-as 65100
+ neighbor 192.0.2.2 remote-as 65101
+ neighbor 192.0.2.2 shutdown
+)";
+
+TEST(DeviceConfig, ParsesFullConfig) {
+  const DeviceConfig config = parse_device_config(kConfig);
+  EXPECT_EQ(config.hostname, "edge-1");
+  ASSERT_EQ(config.acls.size(), 2u);
+
+  const Policy* edge_in = config.find_acl("EDGE-IN");
+  ASSERT_NE(edge_in, nullptr);
+  ASSERT_EQ(edge_in->rules.size(), 3u);
+  EXPECT_EQ(edge_in->rules[0].comment, "Isolating private addresses");
+  EXPECT_EQ(edge_in->rules[1].dst_ports, net::PortRange::exactly(445));
+  EXPECT_EQ(config.find_acl("NOPE"), nullptr);
+
+  ASSERT_EQ(config.interfaces.size(), 2u);
+  EXPECT_EQ(config.interfaces[0].name, "Ethernet1");
+  EXPECT_EQ(config.interfaces[0].description, "uplink to ISP");
+  ASSERT_TRUE(config.interfaces[0].address.has_value());
+  EXPECT_EQ(config.interfaces[0].address->to_string(), "192.0.2.1/31");
+  EXPECT_EQ(config.interfaces[0].acl_in, "EDGE-IN");
+  EXPECT_FALSE(config.interfaces[0].shutdown);
+  EXPECT_TRUE(config.interfaces[1].shutdown);
+
+  ASSERT_TRUE(config.local_as.has_value());
+  EXPECT_EQ(*config.local_as, 65535u);
+  ASSERT_EQ(config.bgp_neighbors.size(), 2u);
+  EXPECT_EQ(config.bgp_neighbors[0].remote_as, 65100u);
+  EXPECT_FALSE(config.bgp_neighbors[0].shutdown);
+  EXPECT_TRUE(config.bgp_neighbors[1].shutdown);
+}
+
+TEST(DeviceConfig, InterfaceWithAcl) {
+  const DeviceConfig config = parse_device_config(kConfig);
+  const InterfaceConfig* interface = config.interface_with_acl("EDGE-IN");
+  ASSERT_NE(interface, nullptr);
+  EXPECT_EQ(interface->name, "Ethernet1");
+  EXPECT_EQ(config.interface_with_acl("MGMT"), nullptr);
+}
+
+TEST(DeviceConfig, RoundTrip) {
+  const DeviceConfig original = parse_device_config(kConfig);
+  const DeviceConfig reparsed =
+      parse_device_config(write_device_config(original));
+  EXPECT_EQ(original.hostname, reparsed.hostname);
+  EXPECT_EQ(original.interfaces, reparsed.interfaces);
+  EXPECT_EQ(original.local_as, reparsed.local_as);
+  EXPECT_EQ(original.bgp_neighbors, reparsed.bgp_neighbors);
+  ASSERT_EQ(original.acls.size(), reparsed.acls.size());
+  for (const auto& [name, acl] : original.acls) {
+    const Policy* other = reparsed.find_acl(name);
+    ASSERT_NE(other, nullptr) << name;
+    ASSERT_EQ(acl.rules.size(), other->rules.size()) << name;
+    for (std::size_t i = 0; i < acl.rules.size(); ++i) {
+      Rule a = acl.rules[i];
+      Rule b = other->rules[i];
+      a.line = b.line = 0;
+      EXPECT_EQ(a, b) << name << " rule " << i;
+    }
+  }
+}
+
+TEST(DeviceConfig, AclErrorsCarryContext) {
+  try {
+    (void)parse_device_config(
+        "ip access-list extended BAD\n permit banana any any\n!\n");
+    FAIL() << "expected ParseError";
+  } catch (const dcv::ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("BAD"), std::string::npos);
+  }
+}
+
+class DeviceConfigErrors : public testing::TestWithParam<const char*> {};
+
+TEST_P(DeviceConfigErrors, Rejects) {
+  EXPECT_THROW(parse_device_config(GetParam()), dcv::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, DeviceConfigErrors,
+    testing::Values(
+        "ip access-list standard X\n",                    // not extended
+        "router ospf 1\n",                                // not bgp
+        "router bgp banana\n",                            // bad asn
+        "interface E1\n frobnicate\n",                    // bad subcommand
+        "interface E1\n ip address 1.2.3.4\n",            // missing /len
+        "interface E1\n ip access-group X sideways\n",    // bad direction
+        "router bgp 1\n neighbor 1.2.3.4 shutdown\n",     // undeclared
+        "something unknown\n"));                          // top-level junk
+
+TEST(DeviceConfig, EmptyConfig) {
+  const DeviceConfig config = parse_device_config("");
+  EXPECT_TRUE(config.hostname.empty());
+  EXPECT_TRUE(config.acls.empty());
+  EXPECT_FALSE(config.local_as.has_value());
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -1,0 +1,262 @@
+#include "secguru/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "secguru/acl_parser.hpp"
+
+namespace dcv::secguru {
+namespace {
+
+ConnectivityContract deny_contract(const char* name, const char* src,
+                                   const char* dst) {
+  return ConnectivityContract{.name = name,
+                              .expect = Expectation::kDeny,
+                              .protocol = net::ProtocolSpec::any(),
+                              .src = net::Prefix::parse(src),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::parse(dst),
+                              .dst_ports = net::PortRange::any()};
+}
+
+ConnectivityContract allow_contract(const char* name, const char* src,
+                                    const char* dst, std::uint16_t port) {
+  return ConnectivityContract{.name = name,
+                              .expect = Expectation::kAllow,
+                              .protocol = net::ProtocolSpec::tcp(),
+                              .src = net::Prefix::parse(src),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::parse(dst),
+                              .dst_ports = net::PortRange::exactly(port)};
+}
+
+constexpr const char* kSmallAcl = R"(remark private isolation
+deny ip 10.0.0.0/8 any
+remark port blocks
+deny tcp any any eq 445
+remark service permits
+permit tcp any 104.208.32.0/20 eq 443
+permit tcp any 104.208.32.0/20 eq 80
+)";
+
+TEST(Engine, DenyContractHolds) {
+  Engine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const auto result =
+      engine.check(acl, deny_contract("private", "10.0.0.0/8", "0.0.0.0/0"));
+  EXPECT_TRUE(result.holds);
+  EXPECT_FALSE(result.witness.has_value());
+}
+
+TEST(Engine, AllowContractHolds) {
+  Engine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  EXPECT_TRUE(engine
+                  .check(acl, allow_contract("web", "8.8.8.0/24",
+                                             "104.208.32.0/20", 443))
+                  .holds);
+}
+
+TEST(Engine, AllowContractViolatedWithWitnessAndRule) {
+  Engine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  // Port 445 to the service range is blocked by rule index 1; an allow
+  // contract for it must fail and point at that rule.
+  const auto result = engine.check(
+      acl, allow_contract("smb", "8.8.8.0/24", "104.208.32.0/20", 445));
+  EXPECT_FALSE(result.holds);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(net::Prefix::parse("104.208.32.0/20")
+                  .contains(result.witness->dst_ip));
+  EXPECT_EQ(result.witness->dst_port, 445);
+  ASSERT_TRUE(result.violating_rule.has_value());
+  EXPECT_EQ(*result.violating_rule, 1u);
+}
+
+TEST(Engine, AllowContractViolatedByDefaultDeny) {
+  Engine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const auto result = engine.check(
+      acl, allow_contract("other", "8.8.8.0/24", "9.9.9.0/24", 443));
+  EXPECT_FALSE(result.holds);
+  // No explicit rule matched the witness: the implicit default deny did.
+  EXPECT_EQ(result.violating_rule, std::nullopt);
+}
+
+TEST(Engine, DenyContractViolatedPointsAtPermit) {
+  Engine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const auto result = engine.check(
+      acl, deny_contract("leak", "8.8.8.0/24", "104.208.32.0/20"));
+  EXPECT_FALSE(result.holds);
+  ASSERT_TRUE(result.violating_rule.has_value());
+  // One of the two permits (443 or 80) admitted the witness.
+  EXPECT_GE(*result.violating_rule, 2u);
+}
+
+TEST(Engine, CheckSuiteCollectsFailures) {
+  Engine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const ContractSuite suite{
+      .name = "s",
+      .contracts = {
+          deny_contract("ok", "10.0.0.0/8", "0.0.0.0/0"),
+          allow_contract("fails", "8.8.8.0/24", "9.9.9.0/24", 443),
+          allow_contract("ok2", "8.8.8.0/24", "104.208.32.0/20", 80)}};
+  const PolicyReport report = engine.check_suite(acl, suite);
+  EXPECT_EQ(report.contracts_checked, 3u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].contract_name, "fails");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Engine, EquivalenceOfReorderedDisjointRules) {
+  Engine engine;
+  const Policy a = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\npermit tcp any 2.0.0.0/24 eq 80\n");
+  const Policy b = parse_acl(
+      "permit tcp any 2.0.0.0/24 eq 80\npermit tcp any 1.0.0.0/24 eq 80\n");
+  EXPECT_EQ(engine.difference_witness(a, b), std::nullopt);
+}
+
+TEST(Engine, DifferenceWitnessFound) {
+  Engine engine;
+  const Policy a = parse_acl("permit tcp any 1.0.0.0/24 eq 80\n");
+  const Policy b = parse_acl("permit tcp any 1.0.0.0/25 eq 80\n");
+  const auto witness = engine.difference_witness(a, b);
+  ASSERT_TRUE(witness.has_value());
+  // The witness lands in the upper /25 where only `a` permits.
+  EXPECT_TRUE(net::Prefix::parse("1.0.0.128/25").contains(witness->dst_ip));
+  EXPECT_TRUE(evaluate(a, *witness).allowed);
+  EXPECT_FALSE(evaluate(b, *witness).allowed);
+}
+
+TEST(Engine, PermittedBeyond) {
+  Engine engine;
+  const Policy narrow = parse_acl("permit tcp any 1.0.0.0/24 eq 80\n");
+  const Policy wide =
+      parse_acl("permit tcp any 1.0.0.0/16 eq 80\npermit udp any any\n");
+  EXPECT_EQ(engine.permitted_beyond(narrow, wide), std::nullopt);
+  ASSERT_TRUE(engine.permitted_beyond(wide, narrow).has_value());
+}
+
+TEST(Engine, ShadowedRules) {
+  Engine engine;
+  const Policy acl = parse_acl(
+      "deny ip 10.0.0.0/8 any\n"
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "deny ip 10.1.0.0/16 any\n"          // shadowed by rule 0
+      "permit tcp any 1.0.0.64/26 eq 80\n"  // shadowed by rule 1
+      "permit udp any any\n");
+  EXPECT_EQ(engine.shadowed_rules(acl),
+            (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Engine, ShadowedRulesEmptyForDenyOverrides) {
+  Engine engine;
+  Policy policy = parse_acl("permit ip any any\npermit ip any any\n");
+  policy.semantics = PolicySemantics::kDenyOverrides;
+  EXPECT_TRUE(engine.shadowed_rules(policy).empty());
+}
+
+TEST(Engine, DenyOverridesContractChecking) {
+  Engine engine;
+  Policy policy{.name = "fw",
+                .semantics = PolicySemantics::kDenyOverrides,
+                .rules = {}};
+  policy.rules.push_back(Rule{.action = Action::kPermit,
+                              .protocol = net::ProtocolSpec::any(),
+                              .src = net::Prefix::default_route(),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::default_route(),
+                              .dst_ports = net::PortRange::any()});
+  policy.rules.push_back(Rule{.action = Action::kDeny,
+                              .protocol = net::ProtocolSpec::any(),
+                              .src = net::Prefix::default_route(),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::parse("168.63.129.0/24"),
+                              .dst_ports = net::PortRange::any()});
+  EXPECT_TRUE(
+      engine.check(policy, deny_contract("infra", "0.0.0.0/0",
+                                         "168.63.129.0/24"))
+          .holds);
+  EXPECT_TRUE(engine
+                  .check(policy, allow_contract("web", "8.8.8.0/24",
+                                                "9.9.9.0/24", 443))
+                  .holds);
+}
+
+/// Property: the symbolic engine's verdicts agree with concrete evaluation.
+/// For every contract check, sample concrete packets inside the contract
+/// filter; if any sampled packet's concrete decision contradicts the
+/// expectation, the engine must have flagged the contract; conversely, the
+/// engine's witness (when present) must concretely violate the expectation.
+TEST(EngineProperty, SymbolicAgreesWithConcreteEvaluation) {
+  Engine engine;
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<int> len(8, 28);
+  std::uniform_int_distribution<int> port(0, 4);
+  std::uniform_int_distribution<int> coin(0, 1);
+  constexpr std::uint16_t kPorts[] = {80, 443, 445, 1000, 0xFFFF};
+
+  for (int trial = 0; trial < 15; ++trial) {
+    Policy policy{.name = "random",
+                  .semantics = coin(rng) == 0
+                                   ? PolicySemantics::kFirstApplicable
+                                   : PolicySemantics::kDenyOverrides,
+                  .rules = {}};
+    for (int i = 0; i < 8; ++i) {
+      policy.rules.push_back(Rule{
+          .action = coin(rng) == 0 ? Action::kPermit : Action::kDeny,
+          .protocol = coin(rng) == 0 ? net::ProtocolSpec::any()
+                                     : net::ProtocolSpec::tcp(),
+          .src = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .src_ports = net::PortRange::any(),
+          .dst = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .dst_ports = coin(rng) == 0
+                           ? net::PortRange::any()
+                           : net::PortRange::exactly(kPorts[port(rng)])});
+    }
+    for (int c = 0; c < 6; ++c) {
+      const ConnectivityContract contract{
+          .name = "c",
+          .expect = coin(rng) == 0 ? Expectation::kAllow
+                                   : Expectation::kDeny,
+          .protocol = net::ProtocolSpec::tcp(),
+          .src = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .src_ports = net::PortRange::any(),
+          .dst = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .dst_ports = net::PortRange::exactly(kPorts[port(rng)])};
+      const auto result = engine.check(policy, contract);
+
+      if (!result.holds) {
+        ASSERT_TRUE(result.witness.has_value());
+        EXPECT_TRUE(contract.covers(*result.witness));
+        const bool allowed = evaluate(policy, *result.witness).allowed;
+        EXPECT_EQ(allowed, contract.expect == Expectation::kDeny);
+      } else {
+        // Sample packets inside the contract; none may contradict it.
+        for (int s = 0; s < 50; ++s) {
+          const net::PacketHeader packet{
+              .src_ip = net::Ipv4Address(
+                  contract.src.network().value() |
+                  (addr(rng) & ~contract.src.mask().value())),
+              .src_port = static_cast<std::uint16_t>(addr(rng) & 0xFFFF),
+              .dst_ip = net::Ipv4Address(
+                  contract.dst.network().value() |
+                  (addr(rng) & ~contract.dst.mask().value())),
+              .dst_port = contract.dst_ports.lo,
+              .protocol = 6};
+          const bool allowed = evaluate(policy, packet).allowed;
+          EXPECT_EQ(allowed, contract.expect == Expectation::kAllow)
+              << packet.to_string();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -1,0 +1,111 @@
+#include "secguru/firewall.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcv::secguru {
+namespace {
+
+VmInstance make_vm() {
+  return VmInstance{.name = "vm0", .vnet = net::Prefix::parse("10.37.0.0/16")};
+}
+
+net::PacketHeader to(const char* dst) {
+  return net::PacketHeader{.src_ip = net::Ipv4Address::parse("10.37.0.5"),
+                           .src_port = 1000,
+                           .dst_ip = net::Ipv4Address::parse(dst),
+                           .dst_port = 443,
+                           .protocol = 6};
+}
+
+TEST(Firewall, TemplateUsesDenyOverrides) {
+  const Policy fw = instantiate_common_firewall(make_vm());
+  EXPECT_EQ(fw.semantics, PolicySemantics::kDenyOverrides);
+  EXPECT_GT(fw.rules.size(), 4u);
+}
+
+TEST(Firewall, ConcreteBehaviourMatchesIntent) {
+  const Policy fw = instantiate_common_firewall(make_vm());
+  // Guest -> infrastructure: denied.
+  EXPECT_FALSE(evaluate(fw, to("168.63.129.16")).allowed);
+  EXPECT_FALSE(evaluate(fw, to("169.254.169.254")).allowed);
+  EXPECT_FALSE(evaluate(fw, to("100.64.3.4")).allowed);
+  // Guest -> another tenant: denied.
+  EXPECT_FALSE(evaluate(fw, to("10.99.0.1")).allowed);
+  // Guest -> own vnet: allowed.
+  EXPECT_TRUE(evaluate(fw, to("10.37.44.5")).allowed);
+  // Guest -> Internet: allowed.
+  EXPECT_TRUE(evaluate(fw, to("8.8.8.8")).allowed);
+}
+
+TEST(Firewall, GatePassesCorrectTemplate) {
+  Engine engine;
+  const FirewallDeploymentGate gate(engine);
+  const VmInstance vm = make_vm();
+  const auto result = gate.validate(vm, instantiate_common_firewall(vm));
+  EXPECT_TRUE(result.deployable) << (result.report.failures.empty()
+                                         ? ""
+                                         : result.report.failures[0]
+                                               .contract_name);
+}
+
+TEST(Firewall, GateCatchesOmittedInfrastructureIsolation) {
+  // The §3.5 bug class: "bugs in the automation or policy changes have
+  // resulted in restrictions being omitted in deployments."
+  Engine engine;
+  const FirewallDeploymentGate gate(engine);
+  const VmInstance vm = make_vm();
+  const auto result = gate.validate(
+      vm, instantiate_common_firewall(
+              vm, {}, TemplateBugs{.omit_infrastructure_isolation = true}));
+  EXPECT_FALSE(result.deployable);
+  ASSERT_FALSE(result.report.failures.empty());
+  EXPECT_NE(result.report.failures[0].contract_name.find(
+                "no-infrastructure-access"),
+            std::string::npos);
+}
+
+TEST(Firewall, GateCatchesOmittedTenantIsolation) {
+  Engine engine;
+  const FirewallDeploymentGate gate(engine);
+  const VmInstance vm = make_vm();
+  const auto result = gate.validate(
+      vm, instantiate_common_firewall(
+              vm, {}, TemplateBugs{.omit_tenant_isolation = true}));
+  EXPECT_FALSE(result.deployable);
+  bool found = false;
+  for (const auto& failure : result.report.failures) {
+    if (failure.contract_name.find("tenant-isolation") !=
+        std::string::npos) {
+      found = true;
+      ASSERT_TRUE(failure.witness.has_value());
+      // The witness is a concrete cross-tenant packet that slips through.
+      EXPECT_TRUE(net::Prefix::parse("10.0.0.0/8")
+                      .contains(failure.witness->dst_ip));
+      EXPECT_FALSE(vm.vnet.contains(failure.witness->dst_ip));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Firewall, ContractsCoverBothDirectionsOfIntent) {
+  const auto suite = common_restriction_contracts(make_vm());
+  std::size_t allows = 0, denies = 0;
+  for (const auto& contract : suite.contracts) {
+    (contract.expect == Expectation::kAllow ? allows : denies) += 1;
+  }
+  EXPECT_GE(denies, 3u);   // infra ranges + tenant slices
+  EXPECT_EQ(allows, 2u);   // intra-vnet + internet
+}
+
+TEST(Firewall, TenantDecompositionExcludesOwnVnet) {
+  const Policy fw = instantiate_common_firewall(make_vm());
+  for (const Rule& rule : fw.rules) {
+    if (rule.action == Action::kDeny &&
+        rule.comment == "tenant isolation") {
+      EXPECT_FALSE(rule.dst.overlaps(make_vm().vnet)) << rule.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -1,0 +1,178 @@
+#include "secguru/nsg_gate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcv::secguru {
+namespace {
+
+VirtualNetwork make_vnet(bool with_database) {
+  VirtualNetwork vnet{.name = "customer",
+                      .address_space = net::Prefix::parse("10.1.0.0/16"),
+                      .has_database_instance = with_database,
+                      .nsg = Nsg("customer-nsg")};
+  const BackupInfrastructure infra;
+  vnet.nsg.upsert(NsgRule{
+      .priority = 100,
+      .name = "AllowVnet",
+      .rule = Rule{.action = Action::kPermit,
+                   .protocol = net::ProtocolSpec::any(),
+                   .src = vnet.address_space,
+                   .src_ports = net::PortRange::any(),
+                   .dst = vnet.address_space,
+                   .dst_ports = net::PortRange::any()}});
+  vnet.nsg.upsert(NsgRule{
+      .priority = 300,
+      .name = "AllowBackupControl",
+      .rule = Rule{.action = Action::kPermit,
+                   .protocol = net::ProtocolSpec::tcp(),
+                   .src = infra.service_range,
+                   .src_ports = net::PortRange::any(),
+                   .dst = vnet.address_space,
+                   .dst_ports = infra.control_ports}});
+  vnet.nsg.upsert(NsgRule{
+      .priority = 310,
+      .name = "AllowBackupData",
+      .rule = Rule{.action = Action::kPermit,
+                   .protocol = net::ProtocolSpec::tcp(),
+                   .src = vnet.address_space,
+                   .src_ports = net::PortRange::any(),
+                   .dst = infra.service_range,
+                   .dst_ports = net::PortRange::exactly(443)}});
+  vnet.nsg.upsert(NsgRule{
+      .priority = 4096,
+      .name = "DenyAll",
+      .rule = Rule{.action = Action::kDeny,
+                   .protocol = net::ProtocolSpec::any(),
+                   .src = net::Prefix::default_route(),
+                   .src_ports = net::PortRange::any(),
+                   .dst = net::Prefix::default_route(),
+                   .dst_ports = net::PortRange::any()}});
+  return vnet;
+}
+
+NsgRule lockdown_rule(const VirtualNetwork& vnet) {
+  return NsgRule{
+      .priority = 150,
+      .name = "DenyInboundLockdown",
+      .rule = Rule{.action = Action::kDeny,
+                   .protocol = net::ProtocolSpec::any(),
+                   .src = net::Prefix::default_route(),
+                   .src_ports = net::PortRange::any(),
+                   .dst = vnet.address_space,
+                   .dst_ports = net::PortRange::any()}};
+}
+
+TEST(DatabaseBackupContracts, TwoDirections) {
+  const auto suite = database_backup_contracts(make_vnet(true));
+  ASSERT_EQ(suite.contracts.size(), 2u);
+  EXPECT_EQ(suite.contracts[0].expect, Expectation::kAllow);
+  EXPECT_EQ(suite.contracts[1].expect, Expectation::kAllow);
+}
+
+TEST(NsgGate, AcceptsBenignChange) {
+  Engine engine;
+  const NsgGate gate(engine);
+  VirtualNetwork vnet = make_vnet(true);
+  Nsg proposed = vnet.nsg;
+  proposed.upsert(NsgRule{
+      .priority = 1000,
+      .name = "AllowApp",
+      .rule = Rule{.action = Action::kPermit,
+                   .protocol = net::ProtocolSpec::tcp(),
+                   .src = net::Prefix::default_route(),
+                   .src_ports = net::PortRange::any(),
+                   .dst = vnet.address_space,
+                   .dst_ports = net::PortRange::exactly(8080)}});
+  const auto result = gate.try_update(vnet, proposed);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(vnet.nsg.size(), 5u);  // the change landed
+}
+
+TEST(NsgGate, RejectsBackupBlockingChange) {
+  Engine engine;
+  const NsgGate gate(engine);
+  VirtualNetwork vnet = make_vnet(true);
+  Nsg proposed = vnet.nsg;
+  proposed.upsert(lockdown_rule(vnet));
+  const Nsg before = vnet.nsg;
+  const auto result = gate.try_update(vnet, proposed);
+  EXPECT_FALSE(result.accepted);
+  ASSERT_FALSE(result.report.failures.empty());
+  EXPECT_EQ(result.report.failures[0].contract_name,
+            "backup-control-inbound");
+  // The failing rule is identified.
+  EXPECT_TRUE(result.report.failures[0].violating_rule.has_value());
+  EXPECT_EQ(vnet.nsg, before);  // the change was blocked
+}
+
+TEST(NsgGate, RejectsRemovalOfBackupAllowRule) {
+  Engine engine;
+  const NsgGate gate(engine);
+  VirtualNetwork vnet = make_vnet(true);
+  Nsg proposed = vnet.nsg;
+  proposed.remove(300);
+  EXPECT_FALSE(gate.try_update(vnet, proposed).accepted);
+}
+
+TEST(NsgGate, NetworksWithoutDatabaseAreUnconstrained) {
+  Engine engine;
+  const NsgGate gate(engine);
+  VirtualNetwork vnet = make_vnet(false);
+  Nsg proposed = vnet.nsg;
+  proposed.upsert(lockdown_rule(vnet));
+  EXPECT_TRUE(gate.try_update(vnet, proposed).accepted);
+}
+
+TEST(NsgIncidents, Figure12Shape) {
+  NsgIncidentConfig config;
+  config.days = 60;
+  config.gate_deploy_day = 30;
+  config.adoption_per_day = 1.0;
+  config.changes_per_vnet_per_day = 0.4;
+  config.misconfiguration_probability = 0.3;
+  config.detection_lag_days = 2;
+  config.support_capacity_per_day = 3;
+  config.seed = 77;
+  const auto series = simulate_nsg_incidents(config);
+  ASSERT_EQ(series.size(), 60u);
+
+  // Adoption grows monotonically.
+  EXPECT_EQ(series.back().database_vnets, 60u);
+
+  std::size_t incidents_before_gate = 0;
+  std::size_t incidents_after_settle = 0;
+  std::size_t rejected_before = 0;
+  std::size_t rejected_after = 0;
+  for (const auto& day : series) {
+    if (day.day < config.gate_deploy_day) {
+      incidents_before_gate += day.incidents_reported;
+      rejected_before += day.changes_rejected_by_gate;
+    }
+    if (day.day >= config.gate_deploy_day + config.detection_lag_days + 2) {
+      incidents_after_settle += day.incidents_reported;
+      rejected_after += day.changes_rejected_by_gate;
+    }
+  }
+  // The rising-then-falling shape of Figure 12: incidents before the gate,
+  // none once it has settled; the gate visibly rejects bad changes.
+  EXPECT_GT(incidents_before_gate, 5u);
+  EXPECT_EQ(incidents_after_settle, 0u);
+  EXPECT_EQ(rejected_before, 0u);
+  EXPECT_GT(rejected_after, 0u);
+}
+
+TEST(NsgIncidents, WithoutGateIncidentsPersist) {
+  NsgIncidentConfig config;
+  config.days = 40;
+  config.gate_deploy_day = 1000;  // never ships
+  config.seed = 78;
+  const auto series = simulate_nsg_incidents(config);
+  std::size_t late_incidents = 0;
+  for (const auto& day : series) {
+    if (day.day >= 20) late_incidents += day.incidents_reported;
+  }
+  EXPECT_GT(late_incidents, 0u);
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -1,0 +1,93 @@
+#include "secguru/nsg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace dcv::secguru {
+namespace {
+
+// An NSG in the spirit of Figure 9.
+constexpr const char* kFigure9 = R"(priority,name,source,src_ports,destination,dst_ports,protocol,access
+100,AllowVnetInBound,VirtualNetwork,Any,VirtualNetwork,Any,Any,Allow
+110,AllowBackup,SqlManagement,Any,10.1.0.0/16,1433-1434,Tcp,Allow
+500,AllowWeb,Internet,Any,10.1.0.0/16,443,Tcp,Allow
+4096,DenyAllInBound,Any,Any,Any,Any,Any,Deny
+)";
+
+TEST(NsgParser, ParsesFigure9Style) {
+  const Nsg nsg = parse_nsg(kFigure9, "test");
+  EXPECT_EQ(nsg.name(), "test");
+  ASSERT_EQ(nsg.size(), 4u);
+  const auto& rules = nsg.rules();
+  EXPECT_EQ(rules.at(100).name, "AllowVnetInBound");
+  EXPECT_EQ(rules.at(100).rule.src, net::Prefix::parse("10.0.0.0/8"));
+  EXPECT_EQ(rules.at(110).rule.dst_ports, net::PortRange(1433, 1434));
+  EXPECT_EQ(rules.at(110).rule.protocol, net::ProtocolSpec::tcp());
+  EXPECT_EQ(rules.at(500).rule.src, net::Prefix::default_route());
+  EXPECT_EQ(rules.at(4096).rule.action, Action::kDeny);
+}
+
+TEST(NsgParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_nsg("1,2,3\n"), dcv::ParseError);
+  EXPECT_THROW(parse_nsg("x,n,Any,Any,Any,Any,Any,Allow\n"),
+               dcv::ParseError);
+  EXPECT_THROW(parse_nsg("1,n,NoSuchTag,Any,Any,Any,Any,Allow\n"),
+               dcv::ParseError);
+  EXPECT_THROW(parse_nsg("1,n,Any,99999,Any,Any,Any,Allow\n"),
+               dcv::ParseError);
+  EXPECT_THROW(parse_nsg("1,n,Any,Any,Any,Any,Any,Maybe\n"),
+               dcv::ParseError);
+}
+
+TEST(Nsg, ToPolicyOrdersByPriority) {
+  Nsg nsg("n");
+  nsg.upsert(NsgRule{.priority = 4096,
+                     .name = "DenyAll",
+                     .rule = Rule{.action = Action::kDeny}});
+  nsg.upsert(NsgRule{.priority = 100,
+                     .name = "AllowFirst",
+                     .rule = Rule{.action = Action::kPermit}});
+  const Policy policy = nsg.to_policy();
+  ASSERT_EQ(policy.rules.size(), 2u);
+  EXPECT_EQ(policy.semantics, PolicySemantics::kFirstApplicable);
+  EXPECT_EQ(policy.rules[0].action, Action::kPermit);  // priority 100 first
+  EXPECT_EQ(policy.rules[0].comment, "AllowFirst");
+  EXPECT_EQ(policy.rules[1].action, Action::kDeny);
+}
+
+TEST(Nsg, UpsertReplacesSamePriority) {
+  Nsg nsg("n");
+  nsg.upsert(NsgRule{.priority = 100,
+                     .name = "A",
+                     .rule = Rule{.action = Action::kPermit}});
+  nsg.upsert(NsgRule{.priority = 100,
+                     .name = "B",
+                     .rule = Rule{.action = Action::kDeny}});
+  ASSERT_EQ(nsg.size(), 1u);
+  EXPECT_EQ(nsg.rules().at(100).name, "B");
+}
+
+TEST(Nsg, Remove) {
+  Nsg nsg("n");
+  nsg.upsert(NsgRule{.priority = 100, .name = "A", .rule = Rule{}});
+  EXPECT_TRUE(nsg.remove(100));
+  EXPECT_FALSE(nsg.remove(100));
+  EXPECT_EQ(nsg.size(), 0u);
+}
+
+TEST(Nsg, WriteParseRoundTrip) {
+  const Nsg original = parse_nsg(kFigure9, "rt");
+  const Nsg reparsed = parse_nsg(write_nsg(original), "rt");
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(NsgParser, DefaultServiceTags) {
+  const auto tags = default_service_tags();
+  EXPECT_TRUE(tags.contains("VirtualNetwork"));
+  EXPECT_TRUE(tags.contains("Internet"));
+  EXPECT_TRUE(tags.contains("SqlManagement"));
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -1,0 +1,189 @@
+#include "secguru/refactor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcv::secguru {
+namespace {
+
+LegacyAclParams small_params() {
+  return LegacyAclParams{.owned_prefixes = 6,
+                         .services = 8,
+                         .whitelist_entries_per_service = 3,
+                         .zero_day_blocks = 4,
+                         .redundancy_factor = 0.3,
+                         .seed = 11};
+}
+
+TEST(LegacyAcl, GeneratorProducesFigure8Structure) {
+  const Policy acl = generate_legacy_edge_acl(small_params());
+  EXPECT_EQ(acl.semantics, PolicySemantics::kFirstApplicable);
+  EXPECT_GT(acl.rules.size(), 40u);
+  // Starts with private isolation, ends with redundant duplicates.
+  EXPECT_EQ(acl.rules.front().comment, "Isolating private addresses");
+  EXPECT_EQ(acl.rules.back().comment, "redundant duplicate");
+}
+
+TEST(LegacyAcl, SatisfiesItsOwnContractSuite) {
+  Engine engine;
+  const auto params = small_params();
+  const Policy acl = generate_legacy_edge_acl(params);
+  const ContractSuite suite = edge_acl_contracts(params);
+  EXPECT_GT(suite.contracts.size(), 10u);
+  const PolicyReport report = engine.check_suite(acl, suite);
+  EXPECT_TRUE(report.ok()) << (report.failures.empty()
+                                   ? ""
+                                   : report.failures[0].contract_name);
+}
+
+TEST(LegacyAcl, RedundantDuplicatesAreShadowed) {
+  Engine engine;
+  const Policy acl = generate_legacy_edge_acl(small_params());
+  const auto shadowed = engine.shadowed_rules(acl);
+  std::size_t duplicates = 0;
+  for (const Rule& rule : acl.rules) {
+    if (rule.comment == "redundant duplicate") ++duplicates;
+  }
+  EXPECT_GE(shadowed.size(), duplicates);
+  EXPECT_GT(duplicates, 0u);
+}
+
+TEST(LegacyAcl, ScalesToSeveralThousandRules) {
+  const Policy acl = generate_legacy_edge_acl(LegacyAclParams{});
+  // Default parameters give the paper's "several thousand rules" scale.
+  EXPECT_GT(acl.rules.size(), 500u);
+}
+
+TEST(Changes, DeleteRulesMatching) {
+  const Change change = delete_rules_matching(
+      "drop denies", [](const Rule& r) { return r.action == Action::kDeny; });
+  Policy policy;
+  policy.rules.push_back(Rule{.action = Action::kDeny});
+  policy.rules.push_back(Rule{.action = Action::kPermit});
+  const Policy after = change.apply(policy);
+  ASSERT_EQ(after.rules.size(), 1u);
+  EXPECT_EQ(after.rules[0].action, Action::kPermit);
+}
+
+TEST(Changes, AppendRules) {
+  const Change change = append_rules("add one", {Rule{}});
+  EXPECT_EQ(change.apply(Policy{}).rules.size(), 1u);
+}
+
+class RefactorPlan : public testing::Test {
+ protected:
+  RefactorPlan()
+      : params_(small_params()),
+        production_(generate_legacy_edge_acl(params_)),
+        contracts_(edge_acl_contracts(params_)) {}
+
+  Engine engine_;
+  LegacyAclParams params_;
+  Policy production_;
+  ContractSuite contracts_;
+};
+
+TEST_F(RefactorPlan, SafeStepIsAppliedAndShrinks) {
+  Engine engine;
+  std::vector<Change> plan;
+  plan.push_back(delete_rules_matching("remove redundant duplicates",
+                                       [](const Rule& r) {
+                                         return r.comment ==
+                                                "redundant duplicate";
+                                       }));
+  const std::size_t before = production_.rules.size();
+  const auto outcomes =
+      execute_refactor_plan(engine_, production_, plan, contracts_);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].precheck_ok);
+  EXPECT_TRUE(outcomes[0].applied);
+  EXPECT_TRUE(outcomes[0].postcheck_ok);
+  EXPECT_FALSE(outcomes[0].rolled_back);
+  EXPECT_LT(outcomes[0].rules_after, before);
+  EXPECT_EQ(production_.rules.size(), outcomes[0].rules_after);
+}
+
+TEST_F(RefactorPlan, TypoIsCaughtByPrecheck) {
+  // The §3.3 scenario: a typo'd prefix makes a service unreachable.
+  // Deleting the final permit for an owned range violates its
+  // service-reachable contract; the precheck must block deployment.
+  std::vector<Change> plan;
+  plan.push_back(delete_rules_matching(
+      "typo: drop the wrong permit section",
+      [](const Rule& r) {
+        return r.action == Action::kPermit &&
+               r.comment == "permits for IPs with port and protocol blocks";
+      }));
+  const Policy before = production_;
+  const auto outcomes =
+      execute_refactor_plan(engine_, production_, plan, contracts_);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].precheck_ok);
+  EXPECT_FALSE(outcomes[0].applied);
+  EXPECT_FALSE(outcomes[0].precheck_failures.empty());
+  // Production untouched.
+  EXPECT_EQ(production_, before);
+}
+
+TEST_F(RefactorPlan, DeviceCapacityTruncationCaughtByPrecheck) {
+  // "if resource limitations on the device cause certain additional rules
+  // to be ignored, then the effective ACL in the configuration would
+  // violate the contracts."
+  std::vector<Change> plan;
+  plan.push_back(Change{.description = "no-op",
+                        .apply = [](const Policy& p) { return p; }});
+  const TestDevice tiny_lab{.max_rules = 5};
+  const auto outcomes = execute_refactor_plan(engine_, production_, plan,
+                                              contracts_, tiny_lab);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].precheck_ok);
+}
+
+TEST_F(RefactorPlan, PostcheckFailureRollsBack) {
+  // Lab device is roomy, production device truncates: the precheck passes
+  // but the postcheck catches the production truncation and rolls back.
+  std::vector<Change> plan;
+  plan.push_back(Change{.description = "no-op",
+                        .apply = [](const Policy& p) { return p; }});
+  const TestDevice lab{};
+  const TestDevice production_device{.max_rules = 5};
+  const Policy before = production_;
+  const auto outcomes = execute_refactor_plan(
+      engine_, production_, plan, contracts_, lab, production_device);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].precheck_ok);
+  EXPECT_TRUE(outcomes[0].applied);
+  EXPECT_FALSE(outcomes[0].postcheck_ok);
+  EXPECT_TRUE(outcomes[0].rolled_back);
+  EXPECT_EQ(production_, before);
+}
+
+TEST_F(RefactorPlan, MultiStepPlanShrinksMonotonically) {
+  // A phased plan in the spirit of Figure 11: remove redundancy, move
+  // service whitelists to host firewalls, drop stale zero-day blocks.
+  std::vector<Change> plan;
+  plan.push_back(delete_rules_matching("remove redundant duplicates",
+                                       [](const Rule& r) {
+                                         return r.comment ==
+                                                "redundant duplicate";
+                                       }));
+  plan.push_back(delete_rules_matching(
+      "move service whitelists to host firewalls", [](const Rule& r) {
+        return r.comment.starts_with("service whitelist");
+      }));
+  plan.push_back(delete_rules_matching(
+      "retire zero-day mitigations", [](const Rule& r) {
+        return r.comment.starts_with("zero-day mitigation");
+      }));
+  const auto outcomes =
+      execute_refactor_plan(engine_, production_, plan, contracts_);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].precheck_ok) << i;
+    EXPECT_TRUE(outcomes[i].applied) << i;
+    EXPECT_LE(outcomes[i].rules_after, outcomes[i].rules_before) << i;
+  }
+  EXPECT_LT(production_.rules.size(), outcomes[0].rules_before / 2);
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -1,0 +1,128 @@
+#include "secguru/rule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcv::secguru {
+namespace {
+
+net::PacketHeader packet(const char* src, std::uint16_t sport,
+                         const char* dst, std::uint16_t dport,
+                         std::uint8_t proto = 6) {
+  return net::PacketHeader{.src_ip = net::Ipv4Address::parse(src),
+                           .src_port = sport,
+                           .dst_ip = net::Ipv4Address::parse(dst),
+                           .dst_port = dport,
+                           .protocol = proto};
+}
+
+Rule permit_tcp_to(const char* dst, std::uint16_t port) {
+  return Rule{.action = Action::kPermit,
+              .protocol = net::ProtocolSpec::tcp(),
+              .src = net::Prefix::default_route(),
+              .src_ports = net::PortRange::any(),
+              .dst = net::Prefix::parse(dst),
+              .dst_ports = net::PortRange::exactly(port)};
+}
+
+TEST(Rule, MatchesFiveTupleConjunction) {
+  const Rule r = permit_tcp_to("10.0.0.0/24", 443);
+  EXPECT_TRUE(r.matches(packet("1.2.3.4", 999, "10.0.0.7", 443)));
+  EXPECT_FALSE(r.matches(packet("1.2.3.4", 999, "10.0.1.7", 443)));  // dst
+  EXPECT_FALSE(r.matches(packet("1.2.3.4", 999, "10.0.0.7", 80)));   // port
+  EXPECT_FALSE(
+      r.matches(packet("1.2.3.4", 999, "10.0.0.7", 443, 17)));  // proto
+}
+
+TEST(Rule, ToStringCiscoStyle) {
+  EXPECT_EQ(permit_tcp_to("10.0.0.0/24", 443).to_string(),
+            "permit tcp any 10.0.0.0/24 eq 443");
+  const Rule host{.action = Action::kDeny,
+                  .protocol = net::ProtocolSpec::any(),
+                  .src = net::Prefix::parse("1.2.3.4/32"),
+                  .src_ports = net::PortRange::any(),
+                  .dst = net::Prefix::default_route(),
+                  .dst_ports = net::PortRange::any()};
+  EXPECT_EQ(host.to_string(), "deny ip host 1.2.3.4 any");
+  const Rule range{.action = Action::kPermit,
+                   .protocol = net::ProtocolSpec::udp(),
+                   .src = net::Prefix::parse("10.0.0.0/8"),
+                   .src_ports = net::PortRange(100, 200),
+                   .dst = net::Prefix::default_route(),
+                   .dst_ports = net::PortRange::any()};
+  EXPECT_EQ(range.to_string(), "permit udp 10.0.0.0/8 range 100 200 any");
+}
+
+TEST(Evaluate, FirstApplicableOrderMatters) {
+  Policy policy{.name = "p",
+                .semantics = PolicySemantics::kFirstApplicable,
+                .rules = {}};
+  policy.rules.push_back(Rule{.action = Action::kDeny,
+                              .protocol = net::ProtocolSpec::tcp(),
+                              .src = net::Prefix::default_route(),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::default_route(),
+                              .dst_ports = net::PortRange::exactly(445)});
+  policy.rules.push_back(permit_tcp_to("10.0.0.0/24", 445));
+
+  // The deny comes first, so port 445 is blocked even to the permit's dst.
+  const auto decision = evaluate(policy, packet("1.1.1.1", 1, "10.0.0.5", 445));
+  EXPECT_FALSE(decision.allowed);
+  EXPECT_EQ(decision.rule_index, 0u);
+
+  // Swapped order permits it.
+  std::swap(policy.rules[0], policy.rules[1]);
+  EXPECT_TRUE(evaluate(policy, packet("1.1.1.1", 1, "10.0.0.5", 445)).allowed);
+}
+
+TEST(Evaluate, FirstApplicableDefaultDeny) {
+  const Policy policy{.name = "p",
+                      .semantics = PolicySemantics::kFirstApplicable,
+                      .rules = {permit_tcp_to("10.0.0.0/24", 443)}};
+  const auto decision =
+      evaluate(policy, packet("1.1.1.1", 1, "99.0.0.1", 443));
+  EXPECT_FALSE(decision.allowed);
+  EXPECT_EQ(decision.rule_index, std::nullopt);
+}
+
+TEST(Evaluate, DenyOverridesBeatsAllowOrder) {
+  Policy policy{.name = "p",
+                .semantics = PolicySemantics::kDenyOverrides,
+                .rules = {}};
+  // Allow listed first, deny later: deny still wins (order-insensitive).
+  policy.rules.push_back(permit_tcp_to("10.0.0.0/24", 445));
+  policy.rules.push_back(Rule{.action = Action::kDeny,
+                              .protocol = net::ProtocolSpec::tcp(),
+                              .src = net::Prefix::default_route(),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::default_route(),
+                              .dst_ports = net::PortRange::exactly(445)});
+  const auto decision =
+      evaluate(policy, packet("1.1.1.1", 1, "10.0.0.5", 445));
+  EXPECT_FALSE(decision.allowed);
+  EXPECT_EQ(decision.rule_index, 1u);  // the deciding deny
+}
+
+TEST(Evaluate, DenyOverridesNeedsSomeAllow) {
+  const Policy policy{.name = "p",
+                      .semantics = PolicySemantics::kDenyOverrides,
+                      .rules = {}};
+  EXPECT_FALSE(evaluate(policy, packet("1.1.1.1", 1, "2.2.2.2", 80)).allowed);
+}
+
+TEST(Evaluate, DenyOverridesAllowWhenNoDenyApplies) {
+  const Policy policy{.name = "p",
+                      .semantics = PolicySemantics::kDenyOverrides,
+                      .rules = {permit_tcp_to("10.0.0.0/24", 443)}};
+  EXPECT_TRUE(evaluate(policy, packet("1.1.1.1", 1, "10.0.0.5", 443)).allowed);
+}
+
+TEST(PolicyText, SemanticsNames) {
+  EXPECT_EQ(to_string(PolicySemantics::kFirstApplicable),
+            "first-applicable");
+  EXPECT_EQ(to_string(PolicySemantics::kDenyOverrides), "deny-overrides");
+  EXPECT_EQ(to_string(Action::kPermit), "permit");
+  EXPECT_EQ(to_string(Action::kDeny), "deny");
+}
+
+}  // namespace
+}  // namespace dcv::secguru

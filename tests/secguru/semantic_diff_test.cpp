@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "secguru/acl_parser.hpp"
+#include "secguru/engine.hpp"
+
+namespace dcv::secguru {
+namespace {
+
+TEST(SemanticDiff, IdenticalPoliciesHaveNoWitnesses) {
+  Engine engine;
+  const Policy acl = parse_acl(
+      "deny ip 10.0.0.0/8 any\npermit tcp any 1.0.0.0/24 eq 80\n");
+  EXPECT_TRUE(engine.semantic_diff(acl, acl).empty());
+}
+
+TEST(SemanticDiff, ReorderedDisjointRulesAreEquivalent) {
+  Engine engine;
+  const Policy a = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\npermit udp any 2.0.0.0/24 eq 53\n");
+  const Policy b = parse_acl(
+      "permit udp any 2.0.0.0/24 eq 53\npermit tcp any 1.0.0.0/24 eq 80\n");
+  EXPECT_TRUE(engine.semantic_diff(a, b).empty());
+}
+
+TEST(SemanticDiff, WitnessCarriesBothVerdictsAndRules) {
+  Engine engine;
+  const Policy before = parse_acl("permit tcp any 1.0.0.0/24 eq 80\n");
+  const Policy after = parse_acl("permit tcp any 1.0.0.0/25 eq 80\n");
+  const auto witnesses = engine.semantic_diff(before, after);
+  ASSERT_EQ(witnesses.size(), 1u);
+  const auto& w = witnesses[0];
+  // The difference lives in the upper /25: before allows, after denies.
+  EXPECT_TRUE(w.before_allowed);
+  EXPECT_FALSE(w.after_allowed);
+  EXPECT_EQ(w.before_rule, 0u);
+  EXPECT_EQ(w.after_rule, std::nullopt);  // implicit default deny
+  EXPECT_TRUE(net::Prefix::parse("1.0.0.128/25").contains(w.packet.dst_ip));
+  // Witness verdicts are concretely true.
+  EXPECT_EQ(evaluate(before, w.packet).allowed, w.before_allowed);
+  EXPECT_EQ(evaluate(after, w.packet).allowed, w.after_allowed);
+}
+
+TEST(SemanticDiff, EnumeratesDistinctRulePairInteractions) {
+  Engine engine;
+  // Two independent changes: a dropped permit and a new deny carving a
+  // hole in a surviving permit.
+  const Policy before = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "permit udp any 2.0.0.0/24 eq 53\n");
+  const Policy after = parse_acl(
+      "deny tcp any 1.0.0.64/26 eq 80\n"
+      "permit tcp any 1.0.0.0/24 eq 80\n");
+  const auto witnesses = engine.semantic_diff(before, after);
+  // Differences: (a) the carved /26 hole, (b) the lost UDP permit. Each
+  // appears as its own witness, not max_witnesses repetitions of one.
+  ASSERT_GE(witnesses.size(), 2u);
+  bool saw_hole = false;
+  bool saw_udp = false;
+  for (const auto& w : witnesses) {
+    if (w.packet.protocol == 6 &&
+        net::Prefix::parse("1.0.0.64/26").contains(w.packet.dst_ip)) {
+      saw_hole = true;
+      EXPECT_TRUE(w.before_allowed);
+      EXPECT_FALSE(w.after_allowed);
+    }
+    if (w.packet.protocol == 17) {
+      saw_udp = true;
+      EXPECT_TRUE(w.before_allowed);
+      EXPECT_FALSE(w.after_allowed);
+    }
+  }
+  EXPECT_TRUE(saw_hole);
+  EXPECT_TRUE(saw_udp);
+}
+
+TEST(SemanticDiff, RespectsWitnessCap) {
+  Engine engine;
+  // Many independent differences; the cap bounds the enumeration.
+  Policy before{.name = "b",
+                .semantics = PolicySemantics::kFirstApplicable,
+                .rules = {}};
+  for (int i = 0; i < 12; ++i) {
+    before.rules.push_back(Rule{
+        .action = Action::kPermit,
+        .protocol = net::ProtocolSpec::tcp(),
+        .src = net::Prefix::default_route(),
+        .src_ports = net::PortRange::any(),
+        .dst = net::Prefix(net::Ipv4Address::from_octets(
+                               1, 0, static_cast<std::uint8_t>(i), 0),
+                           24),
+        .dst_ports = net::PortRange::exactly(80)});
+  }
+  const Policy after{.name = "a",
+                     .semantics = PolicySemantics::kFirstApplicable,
+                     .rules = {}};
+  const auto witnesses = engine.semantic_diff(before, after, 5);
+  EXPECT_EQ(witnesses.size(), 5u);
+}
+
+TEST(SemanticDiff, DenyOverridesPoliciesSupported) {
+  Engine engine;
+  Policy before = parse_acl("permit ip any 10.0.0.0/8\n");
+  Policy after = parse_acl(
+      "permit ip any 10.0.0.0/8\ndeny ip any 10.1.0.0/16\n");
+  before.semantics = PolicySemantics::kDenyOverrides;
+  after.semantics = PolicySemantics::kDenyOverrides;
+  const auto witnesses = engine.semantic_diff(before, after);
+  ASSERT_FALSE(witnesses.empty());
+  EXPECT_TRUE(
+      net::Prefix::parse("10.1.0.0/16").contains(witnesses[0].packet.dst_ip));
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -1,0 +1,117 @@
+#include "smt/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dcv::smt {
+namespace {
+
+/// Checks that a predicate over a single symbolic address admits exactly
+/// the expected concrete values, by solving for membership and
+/// non-membership.
+bool satisfiable(z3::context& ctx, const z3::expr& formula) {
+  z3::solver solver(ctx);
+  solver.add(formula);
+  return solver.check() == z3::sat;
+}
+
+TEST(Encoding, IpInPrefixMatchesConcreteMembership) {
+  z3::context ctx;
+  const z3::expr x = ctx.bv_const("x", 32);
+  const auto prefix = net::Prefix::parse("10.20.20.0/24");
+  // The paper's example: 10.20.20.0 <= x <= 10.20.20.255.
+  EXPECT_TRUE(satisfiable(
+      ctx, ip_in_prefix(x, prefix) &&
+               x == ip_value(ctx, net::Ipv4Address::parse("10.20.20.7"))));
+  EXPECT_FALSE(satisfiable(
+      ctx, ip_in_prefix(x, prefix) &&
+               x == ip_value(ctx, net::Ipv4Address::parse("10.20.21.0"))));
+}
+
+TEST(Encoding, DefaultPrefixIsTautology) {
+  z3::context ctx;
+  const z3::expr x = ctx.bv_const("x", 32);
+  EXPECT_FALSE(
+      satisfiable(ctx, !ip_in_prefix(x, net::Prefix::default_route())));
+}
+
+TEST(Encoding, PortRange) {
+  z3::context ctx;
+  const z3::expr p = ctx.bv_const("p", 16);
+  const net::PortRange range(100, 200);
+  EXPECT_TRUE(satisfiable(ctx, port_in_range(p, range) &&
+                                   p == ctx.bv_val(150, 16)));
+  EXPECT_FALSE(satisfiable(ctx, port_in_range(p, range) &&
+                                    p == ctx.bv_val(99, 16)));
+  EXPECT_FALSE(satisfiable(ctx, port_in_range(p, range) &&
+                                    p == ctx.bv_val(201, 16)));
+  // Any is a tautology.
+  EXPECT_FALSE(satisfiable(ctx, !port_in_range(p, net::PortRange::any())));
+  // Exact port.
+  EXPECT_FALSE(satisfiable(
+      ctx, port_in_range(p, net::PortRange::exactly(443)) &&
+               p != ctx.bv_val(443, 16)));
+}
+
+TEST(Encoding, ProtocolMatch) {
+  z3::context ctx;
+  const z3::expr proto = ctx.bv_const("proto", 8);
+  EXPECT_FALSE(satisfiable(
+      ctx, !protocol_matches(proto, net::ProtocolSpec::any())));
+  EXPECT_TRUE(satisfiable(ctx,
+                          protocol_matches(proto, net::ProtocolSpec::tcp()) &&
+                              proto == ctx.bv_val(6, 8)));
+  EXPECT_FALSE(satisfiable(
+      ctx, protocol_matches(proto, net::ProtocolSpec::tcp()) &&
+               proto == ctx.bv_val(17, 8)));
+}
+
+TEST(Encoding, EvalPacketReadsModel) {
+  z3::context ctx;
+  const auto packet = SymbolicPacket::create(ctx);
+  z3::solver solver(ctx);
+  solver.add(packet.src_ip ==
+             ip_value(ctx, net::Ipv4Address::parse("1.2.3.4")));
+  solver.add(packet.dst_ip ==
+             ip_value(ctx, net::Ipv4Address::parse("5.6.7.8")));
+  solver.add(packet.src_port == ctx.bv_val(1000, 16));
+  solver.add(packet.dst_port == ctx.bv_val(443, 16));
+  solver.add(packet.protocol == ctx.bv_val(6, 8));
+  ASSERT_EQ(solver.check(), z3::sat);
+  const net::PacketHeader header = eval_packet(solver.get_model(), packet);
+  EXPECT_EQ(header.src_ip.to_string(), "1.2.3.4");
+  EXPECT_EQ(header.dst_ip.to_string(), "5.6.7.8");
+  EXPECT_EQ(header.src_port, 1000);
+  EXPECT_EQ(header.dst_port, 443);
+  EXPECT_EQ(header.protocol, 6);
+}
+
+TEST(Encoding, TaggedPacketsAreDistinct) {
+  z3::context ctx;
+  const auto a = SymbolicPacket::create(ctx, "_a");
+  const auto b = SymbolicPacket::create(ctx, "_b");
+  // Distinct variables: can differ.
+  EXPECT_TRUE(satisfiable(ctx, a.src_ip != b.src_ip));
+}
+
+/// Property: prefix membership encoding agrees with concrete contains() on
+/// random prefixes and addresses.
+TEST(EncodingProperty, PrefixEncodingAgreesWithConcrete) {
+  z3::context ctx;
+  const z3::expr x = ctx.bv_const("x", 32);
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<int> len(0, 32);
+  for (int i = 0; i < 60; ++i) {
+    const net::Prefix p(net::Ipv4Address(addr(rng)), len(rng));
+    const net::Ipv4Address probe(addr(rng));
+    const bool symbolic = satisfiable(
+        ctx, ip_in_prefix(x, p) && x == ip_value(ctx, probe));
+    EXPECT_EQ(symbolic, p.contains(probe))
+        << p.to_string() << " " << probe.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace dcv::smt

@@ -1,0 +1,172 @@
+#include "topology/clos_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/error.hpp"
+
+namespace dcv::topo {
+namespace {
+
+TEST(ClosBuilder, DeviceCountMatchesFormula) {
+  const ClosParams p{.clusters = 3,
+                     .tors_per_cluster = 5,
+                     .leaves_per_cluster = 4,
+                     .spines_per_plane = 2,
+                     .regional_spines = 4};
+  const Topology t = build_clos(p);
+  EXPECT_EQ(t.device_count(), p.device_count());
+  EXPECT_EQ(t.devices_with_role(DeviceRole::kTor).size(), 15u);
+  EXPECT_EQ(t.devices_with_role(DeviceRole::kLeaf).size(), 12u);
+  EXPECT_EQ(t.devices_with_role(DeviceRole::kSpine).size(), 8u);
+  EXPECT_EQ(t.devices_with_role(DeviceRole::kRegionalSpine).size(), 4u);
+  EXPECT_EQ(t.cluster_count(), 3u);
+}
+
+TEST(ClosBuilder, TorConnectsToAllClusterLeaves) {
+  const Topology t = build_clos(ClosParams{});
+  for (const DeviceId tor : t.devices_with_role(DeviceRole::kTor)) {
+    const auto leaves = t.neighbors_with_role(tor, DeviceRole::kLeaf);
+    EXPECT_EQ(leaves.size(), 4u);
+    for (const DeviceId leaf : leaves) {
+      EXPECT_EQ(t.device(leaf).cluster, t.device(tor).cluster);
+    }
+  }
+}
+
+TEST(ClosBuilder, LeafConnectsToItsPlaneOnly) {
+  const ClosParams p{.clusters = 2,
+                     .tors_per_cluster = 2,
+                     .leaves_per_cluster = 3,
+                     .spines_per_plane = 2,
+                     .regional_spines = 4};
+  const Topology t = build_clos(p);
+  for (const DeviceId leaf : t.devices_with_role(DeviceRole::kLeaf)) {
+    EXPECT_EQ(t.neighbors_with_role(leaf, DeviceRole::kSpine).size(), 2u);
+  }
+  const auto l00 = *t.find_device("T1-0-0");
+  const auto l10 = *t.find_device("T1-1-0");
+  EXPECT_EQ(t.neighbors_with_role(l00, DeviceRole::kSpine),
+            t.neighbors_with_role(l10, DeviceRole::kSpine));
+  const auto l01 = *t.find_device("T1-0-1");
+  EXPECT_NE(t.neighbors_with_role(l00, DeviceRole::kSpine),
+            t.neighbors_with_role(l01, DeviceRole::kSpine));
+}
+
+TEST(ClosBuilder, EverySpineHasRegionalUplinks) {
+  const Topology t = build_clos(ClosParams{});
+  for (const DeviceId spine : t.devices_with_role(DeviceRole::kSpine)) {
+    EXPECT_EQ(
+        t.neighbors_with_role(spine, DeviceRole::kRegionalSpine).size(),
+        2u);
+  }
+}
+
+TEST(ClosBuilder, AsnSchemeMatchesPaper) {
+  const ClosParams p{.clusters = 2, .tors_per_cluster = 3};
+  const Topology t = build_clos(p);
+  std::set<Asn> spine_asns;
+  for (const DeviceId s : t.devices_with_role(DeviceRole::kSpine)) {
+    spine_asns.insert(t.device(s).asn);
+  }
+  EXPECT_EQ(spine_asns.size(), 1u);
+  std::set<Asn> leaf_asns_c0, leaf_asns_c1;
+  for (const DeviceId l : t.leaves_in_cluster(0)) {
+    leaf_asns_c0.insert(t.device(l).asn);
+  }
+  for (const DeviceId l : t.leaves_in_cluster(1)) {
+    leaf_asns_c1.insert(t.device(l).asn);
+  }
+  EXPECT_EQ(leaf_asns_c0.size(), 1u);
+  EXPECT_EQ(leaf_asns_c1.size(), 1u);
+  EXPECT_NE(*leaf_asns_c0.begin(), *leaf_asns_c1.begin());
+  std::vector<Asn> tors_c0, tors_c1;
+  for (const DeviceId d : t.tors_in_cluster(0)) {
+    tors_c0.push_back(t.device(d).asn);
+  }
+  for (const DeviceId d : t.tors_in_cluster(1)) {
+    tors_c1.push_back(t.device(d).asn);
+  }
+  EXPECT_EQ(std::set<Asn>(tors_c0.begin(), tors_c0.end()).size(),
+            tors_c0.size());
+  EXPECT_EQ(tors_c0, tors_c1);
+}
+
+TEST(ClosBuilder, HostedPrefixesAreUniqueAndSized) {
+  const ClosParams p{.clusters = 2,
+                     .tors_per_cluster = 4,
+                     .prefixes_per_tor = 3};
+  const Topology t = build_clos(p);
+  std::set<net::Prefix> seen;
+  for (const DeviceId tor : t.devices_with_role(DeviceRole::kTor)) {
+    EXPECT_EQ(t.device(tor).hosted_prefixes.size(), 3u);
+    for (const net::Prefix& prefix : t.device(tor).hosted_prefixes) {
+      EXPECT_EQ(prefix.length(), 24);
+      EXPECT_TRUE(net::Prefix::parse("10.0.0.0/8").contains(prefix));
+      EXPECT_TRUE(seen.insert(prefix).second) << prefix.to_string();
+    }
+  }
+}
+
+TEST(ClosBuilder, RejectsBadParams) {
+  EXPECT_THROW(build_clos(ClosParams{.clusters = 0}), InvalidArgument);
+  EXPECT_THROW(build_clos(ClosParams{.regional_links_per_spine = 0}),
+               InvalidArgument);
+  EXPECT_THROW(build_clos(ClosParams{.regional_links_per_spine = 99}),
+               InvalidArgument);
+  EXPECT_THROW(build_clos(ClosParams{.prefix_length = 4}), InvalidArgument);
+}
+
+TEST(ClosBuilder, RegionSharesRegionalLayer) {
+  const ClosParams p{.clusters = 2, .tors_per_cluster = 2};
+  const Topology t = build_region(p, 2);
+  EXPECT_EQ(t.devices_with_role(DeviceRole::kRegionalSpine).size(),
+            p.regional_spines);
+  EXPECT_EQ(t.devices_with_role(DeviceRole::kSpine).size(),
+            2 * p.spine_count());
+  EXPECT_EQ(t.cluster_count(), 4u);
+  EXPECT_EQ(t.device(*t.find_device("DC0-T0-0-0")).datacenter, 0u);
+  EXPECT_EQ(t.device(*t.find_device("DC1-T0-2-0")).datacenter, 1u);
+  EXPECT_EQ(t.device(*t.find_device("RH-0")).datacenter, kNoDatacenter);
+  EXPECT_EQ(t.device(*t.find_device("DC0-T2-0-0")).asn,
+            t.device(*t.find_device("DC1-T2-0-0")).asn);
+}
+
+TEST(Figure3, ReproducesThePaperTopology) {
+  const Topology t = build_figure3();
+  EXPECT_EQ(t.device_count(), 20u);
+  const auto d1 = *t.find_device("D1");
+  const auto r = t.neighbors_with_role(d1, DeviceRole::kRegionalSpine);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(t.device(r[0]).name, "R1");
+  EXPECT_EQ(t.device(r[1]).name, "R3");
+  const auto a1 = *t.find_device("A1");
+  const auto a1_spines = t.neighbors_with_role(a1, DeviceRole::kSpine);
+  ASSERT_EQ(a1_spines.size(), 1u);
+  EXPECT_EQ(t.device(a1_spines[0]).name, "D1");
+  const auto tor1 = *t.find_device("ToR1");
+  EXPECT_EQ(t.neighbors_with_role(tor1, DeviceRole::kLeaf).size(), 4u);
+  EXPECT_EQ(t.device(tor1).cluster, 0u);
+  EXPECT_EQ(t.device(*t.find_device("ToR3")).cluster, 1u);
+}
+
+TEST(Figure3, FailuresMatchThePaper) {
+  Topology t = build_figure3();
+  apply_figure3_failures(t);
+  const auto usable_leaf_names = [&](const char* tor) {
+    std::vector<std::string> names;
+    for (const DeviceId n : t.usable_neighbors(*t.find_device(tor))) {
+      names.push_back(t.device(n).name);
+    }
+    return names;
+  };
+  EXPECT_EQ(usable_leaf_names("ToR1"),
+            (std::vector<std::string>{"A1", "A2"}));
+  EXPECT_EQ(usable_leaf_names("ToR2"),
+            (std::vector<std::string>{"A3", "A4"}));
+  EXPECT_EQ(usable_leaf_names("ToR3").size(), 4u);
+}
+
+}  // namespace
+}  // namespace dcv::topo

@@ -1,0 +1,128 @@
+#include "topology/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::topo {
+namespace {
+
+TEST(FaultInjector, LinkDownIsRecordedAndApplied) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  injector.link_down(0);
+  EXPECT_EQ(t.link(0).link_state, LinkState::kDown);
+  ASSERT_EQ(injector.records().size(), 1u);
+  EXPECT_EQ(injector.records()[0].kind, FaultRecord::Kind::kLinkDown);
+}
+
+TEST(FaultInjector, BgpAdminShutdown) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  injector.bgp_admin_shutdown(3);
+  EXPECT_EQ(t.link(3).bgp_state, BgpSessionState::kAdminShutdown);
+  EXPECT_EQ(t.link(3).link_state, LinkState::kUp);
+}
+
+TEST(FaultInjector, Layer2BugShutsAllSessions) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  const DeviceId a1 = *t.find_device("A1");
+  injector.device_fault(a1, DeviceFaultKind::kLayer2InterfaceBug);
+  EXPECT_TRUE(t.usable_neighbors(a1).empty());
+  EXPECT_TRUE(
+      injector.device_has_fault(a1, DeviceFaultKind::kLayer2InterfaceBug));
+}
+
+TEST(FaultInjector, NonTopologyDeviceFaultsOnlyRecorded) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  const DeviceId tor1 = *t.find_device("ToR1");
+  injector.device_fault(tor1, DeviceFaultKind::kRibFibInconsistency);
+  EXPECT_FALSE(t.usable_neighbors(tor1).empty());
+  EXPECT_EQ(injector.faults_of(tor1),
+            std::vector<DeviceFaultKind>{
+                DeviceFaultKind::kRibFibInconsistency});
+  EXPECT_FALSE(
+      injector.device_has_fault(tor1, DeviceFaultKind::kEcmpSingleNextHop));
+}
+
+TEST(FaultInjector, RandomLinkFailuresAreDistinct) {
+  Topology t = build_figure3();
+  FaultInjector injector(t, /*seed=*/1);
+  injector.random_link_failures(5);
+  EXPECT_EQ(injector.records().size(), 5u);
+  std::size_t down = 0;
+  for (const Link& l : t.links()) {
+    if (l.link_state == LinkState::kDown) ++down;
+  }
+  EXPECT_EQ(down, 5u);
+}
+
+TEST(FaultInjector, RandomDeviceFaultsRespectRole) {
+  Topology t = build_figure3();
+  FaultInjector injector(t, /*seed=*/2);
+  injector.random_device_faults(3, DeviceRole::kTor,
+                                DeviceFaultKind::kEcmpSingleNextHop);
+  EXPECT_EQ(injector.records().size(), 3u);
+  for (const FaultRecord& r : injector.records()) {
+    EXPECT_EQ(t.device(r.device).role, DeviceRole::kTor);
+  }
+}
+
+TEST(FaultInjector, RepairRestoresState) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  injector.link_down(0);
+  injector.bgp_admin_shutdown(1);
+  injector.repair(0);  // remove the link-down fault
+  EXPECT_TRUE(t.link(0).usable());
+  EXPECT_EQ(t.link(1).bgp_state, BgpSessionState::kAdminShutdown);
+  EXPECT_EQ(injector.records().size(), 1u);
+}
+
+TEST(FaultInjector, RepairWithOverlappingFaults) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  // Two faults on the same link: repairing one must keep the other's
+  // effect.
+  injector.link_down(0);
+  injector.bgp_admin_shutdown(0);
+  injector.repair(0);  // remove link-down; admin shut remains
+  EXPECT_FALSE(t.link(0).usable());
+  EXPECT_EQ(t.link(0).bgp_state, BgpSessionState::kAdminShutdown);
+}
+
+TEST(FaultInjector, ResetClearsEverything) {
+  Topology t = build_figure3();
+  FaultInjector injector(t, 3);
+  injector.random_link_failures(4);
+  injector.device_fault(0, DeviceFaultKind::kLayer2InterfaceBug);
+  injector.reset();
+  EXPECT_TRUE(injector.records().empty());
+  for (const Link& l : t.links()) {
+    EXPECT_TRUE(l.usable());
+  }
+}
+
+TEST(FaultInjector, RecordDescriptionsAreHumanReadable) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  const auto link =
+      *t.find_link(*t.find_device("ToR1"), *t.find_device("A1"));
+  injector.link_down(link);
+  const std::string text = injector.records()[0].to_string(t);
+  EXPECT_NE(text.find("link-down"), std::string::npos);
+  EXPECT_NE(text.find("ToR1"), std::string::npos);
+  EXPECT_NE(text.find("A1"), std::string::npos);
+}
+
+TEST(FaultInjector, RepairOutOfRangeThrows) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  EXPECT_THROW(injector.repair(0), dcv::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcv::topo

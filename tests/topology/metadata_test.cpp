@@ -1,0 +1,118 @@
+#include "topology/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::topo {
+namespace {
+
+TEST(MetadataService, AllPrefixesSortedWithLocality) {
+  const Topology t = build_figure3();
+  const MetadataService metadata(t);
+  const auto prefixes = metadata.all_prefixes();
+  ASSERT_EQ(prefixes.size(), 4u);
+  for (std::size_t i = 1; i < prefixes.size(); ++i) {
+    EXPECT_LT(prefixes[i - 1].prefix, prefixes[i].prefix);
+  }
+  EXPECT_EQ(t.device(prefixes[0].tor).name, "ToR1");
+  EXPECT_EQ(prefixes[0].cluster, 0u);
+  EXPECT_EQ(t.device(prefixes[2].tor).name, "ToR3");
+  EXPECT_EQ(prefixes[2].cluster, 1u);
+}
+
+TEST(MetadataService, Locate) {
+  const Topology t = build_figure3();
+  const MetadataService metadata(t);
+  const auto fact = metadata.locate(net::Prefix::parse("10.0.1.0/24"));
+  ASSERT_TRUE(fact.has_value());
+  EXPECT_EQ(t.device(fact->tor).name, "ToR2");
+  EXPECT_FALSE(
+      metadata.locate(net::Prefix::parse("99.0.0.0/24")).has_value());
+}
+
+TEST(MetadataService, PrefixesInCluster) {
+  const Topology t = build_figure3();
+  const MetadataService metadata(t);
+  EXPECT_EQ(metadata.prefixes_in_cluster(0).size(), 2u);
+  EXPECT_EQ(metadata.prefixes_in_cluster(1).size(), 2u);
+}
+
+TEST(MetadataService, SpinesServingCluster) {
+  const Topology t = build_figure3();
+  const MetadataService metadata(t);
+  EXPECT_EQ(metadata.spines_serving_cluster(0).size(), 4u);
+  EXPECT_EQ(metadata.spines_serving_cluster(1).size(), 4u);
+  EXPECT_THROW((void)metadata.spines_serving_cluster(9),
+               dcv::InvalidArgument);
+}
+
+TEST(MetadataService, LeafUplinksToward) {
+  const Topology t = build_figure3();
+  const MetadataService metadata(t);
+  // A2 reaches cluster B's Prefix_C via D2 (its only spine), which connects
+  // to B2 — the example of §2.4.2.
+  const auto uplinks =
+      metadata.leaf_uplinks_toward(*t.find_device("A2"), /*cluster=*/1);
+  ASSERT_EQ(uplinks.size(), 1u);
+  EXPECT_EQ(t.device(uplinks[0]).name, "D2");
+}
+
+TEST(MetadataService, SpineDownlinksInto) {
+  const Topology t = build_figure3();
+  const MetadataService metadata(t);
+  // D1's downlink into cluster A is A1 — "the only device from Cluster A
+  // that connects to D1" (§2.4.3).
+  const auto down =
+      metadata.spine_downlinks_into(*t.find_device("D1"), /*cluster=*/0);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(t.device(down[0]).name, "A1");
+  const auto down_b =
+      metadata.spine_downlinks_into(*t.find_device("D1"), /*cluster=*/1);
+  ASSERT_EQ(down_b.size(), 1u);
+  EXPECT_EQ(t.device(down_b[0]).name, "B1");
+}
+
+TEST(MetadataService, RegionalDownlinksToward) {
+  const Topology t = build_figure3();
+  const MetadataService metadata(t);
+  // R1 connects to D1 and D3; both serve both clusters.
+  const auto down =
+      metadata.regional_downlinks_toward(*t.find_device("R1"), 0);
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_EQ(t.device(down[0]).name, "D1");
+  EXPECT_EQ(t.device(down[1]).name, "D3");
+}
+
+TEST(MetadataService, RegionalsServingCluster) {
+  const Topology t = build_figure3();
+  const MetadataService metadata(t);
+  EXPECT_EQ(metadata.regionals_serving_cluster(0).size(), 4u);
+}
+
+TEST(MetadataService, DuplicateHostedPrefixThrows) {
+  Topology t;
+  const auto tor1 = t.add_device("t1", DeviceRole::kTor, 1, 0);
+  const auto tor2 = t.add_device("t2", DeviceRole::kTor, 2, 0);
+  t.add_hosted_prefix(tor1, net::Prefix::parse("10.0.0.0/24"));
+  t.add_hosted_prefix(tor2, net::Prefix::parse("10.0.0.0/24"));
+  EXPECT_THROW(MetadataService{t}, dcv::InvalidArgument);
+}
+
+TEST(MetadataService, WiderClosFanouts) {
+  const ClosParams p{.clusters = 3,
+                     .tors_per_cluster = 2,
+                     .leaves_per_cluster = 2,
+                     .spines_per_plane = 3,
+                     .regional_spines = 2,
+                     .regional_links_per_spine = 1};
+  const Topology t = build_clos(p);
+  const MetadataService metadata(t);
+  EXPECT_EQ(metadata.spines_serving_cluster(0).size(), 6u);
+  const auto leaf = t.leaves_in_cluster(0)[0];
+  EXPECT_EQ(metadata.leaf_uplinks_toward(leaf, 1).size(), 3u);
+}
+
+}  // namespace
+}  // namespace dcv::topo

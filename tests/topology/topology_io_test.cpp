@@ -1,0 +1,91 @@
+#include "topology/topology_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::topo {
+namespace {
+
+void expect_same(const Topology& a, const Topology& b) {
+  ASSERT_EQ(a.device_count(), b.device_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (DeviceId id = 0; id < a.device_count(); ++id) {
+    const Device& da = a.device(id);
+    const Device& db = b.device(id);
+    EXPECT_EQ(da.name, db.name);
+    EXPECT_EQ(da.role, db.role);
+    EXPECT_EQ(da.asn, db.asn);
+    EXPECT_EQ(da.cluster, db.cluster);
+    EXPECT_EQ(da.datacenter, db.datacenter);
+    EXPECT_EQ(da.hosted_prefixes, db.hosted_prefixes);
+  }
+  for (LinkId id = 0; id < a.link_count(); ++id) {
+    EXPECT_EQ(a.link(id).a, b.link(id).a);
+    EXPECT_EQ(a.link(id).b, b.link(id).b);
+    EXPECT_EQ(a.link(id).link_state, b.link(id).link_state);
+    EXPECT_EQ(a.link(id).bgp_state, b.link(id).bgp_state);
+  }
+}
+
+TEST(TopologyIo, RoundTripFigure3) {
+  const Topology original = build_figure3();
+  expect_same(original, parse_topology(write_topology(original)));
+}
+
+TEST(TopologyIo, RoundTripRegionWithState) {
+  Topology original = build_region(
+      ClosParams{.clusters = 2, .tors_per_cluster = 2}, 2);
+  original.set_link_state(0, LinkState::kDown);
+  original.set_bgp_state(3, BgpSessionState::kAdminShutdown);
+  expect_same(original, parse_topology(write_topology(original)));
+}
+
+TEST(TopologyIo, ParsesHandwrittenFile) {
+  const Topology t = parse_topology(
+      "# a tiny fabric\n"
+      "device tor0 tor 64500 cluster=0\n"
+      "device leaf0 leaf 65100 cluster=0\n"
+      "device spine0 spine 65535\n"
+      "device rh0 regional 63000\n"
+      "link tor0 leaf0\n"
+      "link leaf0 spine0\n"
+      "link spine0 rh0 shutdown\n"
+      "prefix tor0 10.0.0.0/24\n");
+  EXPECT_EQ(t.device_count(), 4u);
+  EXPECT_EQ(t.link_count(), 3u);
+  EXPECT_EQ(t.device(0).role, DeviceRole::kTor);
+  EXPECT_EQ(t.device(3).datacenter, kNoDatacenter);
+  EXPECT_EQ(t.link(2).bgp_state, BgpSessionState::kAdminShutdown);
+  ASSERT_EQ(t.device(0).hosted_prefixes.size(), 1u);
+}
+
+class TopologyIoErrors : public testing::TestWithParam<const char*> {};
+
+TEST_P(TopologyIoErrors, Rejects) {
+  // Malformed text raises ParseError; structurally invalid input (e.g. a
+  // self link) surfaces the model's InvalidArgument — both are dcv::Error.
+  EXPECT_THROW(parse_topology(GetParam()), dcv::Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, TopologyIoErrors,
+    testing::Values("device a widget 1\n",             // bad role
+                    "device a tor x\n",                // bad asn
+                    "device a tor 1 cluster=x\n",      // bad cluster
+                    "device a tor 1 color=red\n",      // unknown option
+                    "device a tor 1\ndevice a tor 2\n",  // duplicate name
+                    "link a b\n",                      // unknown devices
+                    "device a tor 1\nlink a a\n",      // self link
+                    "frobnicate\n",                    // unknown keyword
+                    "device a tor 1\nlink a b down\n",  // unknown device b
+                    "device a tor 1\nprefix a banana\n"));  // bad prefix
+
+TEST(TopologyIo, CommentsAndBlankLinesIgnored) {
+  const Topology t = parse_topology("\n# nothing\n\n  \n");
+  EXPECT_EQ(t.device_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dcv::topo

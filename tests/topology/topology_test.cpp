@@ -1,0 +1,158 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+
+namespace dcv::topo {
+namespace {
+
+Topology two_device_topology() {
+  Topology t;
+  t.add_device("tor", DeviceRole::kTor, 64500, 0);
+  t.add_device("leaf", DeviceRole::kLeaf, 65100, 0);
+  t.add_link(0, 1);
+  return t;
+}
+
+TEST(Topology, AddDeviceAssignsSequentialIds) {
+  Topology t;
+  EXPECT_EQ(t.add_device("a", DeviceRole::kTor, 1, 0), 0u);
+  EXPECT_EQ(t.add_device("b", DeviceRole::kLeaf, 2, 0), 1u);
+  EXPECT_EQ(t.device_count(), 2u);
+  EXPECT_EQ(t.device(0).name, "a");
+  EXPECT_EQ(t.device(1).role, DeviceRole::kLeaf);
+}
+
+TEST(Topology, FindDeviceByName) {
+  const Topology t = two_device_topology();
+  EXPECT_EQ(t.find_device("leaf"), std::optional<DeviceId>(1));
+  EXPECT_EQ(t.find_device("nope"), std::nullopt);
+}
+
+TEST(Topology, LinksAndNeighbors) {
+  const Topology t = two_device_topology();
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.neighbors(0), std::vector<DeviceId>{1});
+  EXPECT_EQ(t.neighbors(1), std::vector<DeviceId>{0});
+  EXPECT_EQ(t.find_link(0, 1), std::optional<LinkId>(0));
+  EXPECT_EQ(t.find_link(1, 0), std::optional<LinkId>(0));
+}
+
+TEST(Topology, NeighborsWithRoleFilters) {
+  Topology t;
+  const auto tor = t.add_device("tor", DeviceRole::kTor, 64500, 0);
+  const auto leaf1 = t.add_device("l1", DeviceRole::kLeaf, 65100, 0);
+  const auto leaf2 = t.add_device("l2", DeviceRole::kLeaf, 65100, 0);
+  const auto spine = t.add_device("s", DeviceRole::kSpine, 65535);
+  t.add_link(tor, leaf1);
+  t.add_link(tor, leaf2);
+  t.add_link(leaf1, spine);
+  EXPECT_EQ(t.neighbors_with_role(tor, DeviceRole::kLeaf),
+            (std::vector<DeviceId>{leaf1, leaf2}));
+  EXPECT_TRUE(t.neighbors_with_role(tor, DeviceRole::kSpine).empty());
+  EXPECT_EQ(t.neighbors_with_role(leaf1, DeviceRole::kSpine),
+            std::vector<DeviceId>{spine});
+}
+
+TEST(Topology, BadLinkEndpointsThrow) {
+  Topology t;
+  t.add_device("a", DeviceRole::kTor, 1, 0);
+  EXPECT_THROW(t.add_link(0, 0), InvalidArgument);
+  EXPECT_THROW(t.add_link(0, 5), InvalidArgument);
+}
+
+TEST(Topology, BadIdsThrow) {
+  const Topology t = two_device_topology();
+  EXPECT_THROW((void)t.device(9), InvalidArgument);
+  EXPECT_THROW((void)t.link(9), InvalidArgument);
+  EXPECT_THROW((void)t.links_of(9), InvalidArgument);
+}
+
+TEST(Topology, LinkDownTakesBgpDown) {
+  Topology t = two_device_topology();
+  t.set_link_state(0, LinkState::kDown);
+  EXPECT_EQ(t.link(0).bgp_state, BgpSessionState::kDown);
+  EXPECT_FALSE(t.link(0).usable());
+  EXPECT_TRUE(t.usable_neighbors(0).empty());
+}
+
+TEST(Topology, LinkUpRestoresSessionUnlessAdminShut) {
+  Topology t = two_device_topology();
+  t.set_link_state(0, LinkState::kDown);
+  t.set_link_state(0, LinkState::kUp);
+  EXPECT_TRUE(t.link(0).usable());
+
+  t.set_bgp_state(0, BgpSessionState::kAdminShutdown);
+  t.set_link_state(0, LinkState::kDown);
+  t.set_link_state(0, LinkState::kUp);
+  EXPECT_EQ(t.link(0).bgp_state, BgpSessionState::kAdminShutdown);
+  EXPECT_FALSE(t.link(0).usable());
+}
+
+TEST(Topology, AdminShutAloneMakesLinkUnusable) {
+  Topology t = two_device_topology();
+  t.set_bgp_state(0, BgpSessionState::kAdminShutdown);
+  EXPECT_EQ(t.link(0).link_state, LinkState::kUp);
+  EXPECT_FALSE(t.link(0).usable());
+}
+
+TEST(Topology, ShutAllSessionsOfDevice) {
+  Topology t;
+  const auto a = t.add_device("a", DeviceRole::kLeaf, 1, 0);
+  const auto b = t.add_device("b", DeviceRole::kSpine, 2);
+  const auto c = t.add_device("c", DeviceRole::kSpine, 2);
+  t.add_link(a, b);
+  t.add_link(a, c);
+  t.shut_all_sessions_of(a);
+  EXPECT_FALSE(t.link(0).usable());
+  EXPECT_FALSE(t.link(1).usable());
+}
+
+TEST(Topology, ClearFaultsRestoresEverything) {
+  Topology t = two_device_topology();
+  t.set_link_state(0, LinkState::kDown);
+  t.set_bgp_state(0, BgpSessionState::kAdminShutdown);
+  t.clear_faults();
+  EXPECT_TRUE(t.link(0).usable());
+}
+
+TEST(Topology, ClusterQueries) {
+  Topology t;
+  t.add_device("t0", DeviceRole::kTor, 1, 0);
+  t.add_device("t1", DeviceRole::kTor, 1, 1);
+  t.add_device("l0", DeviceRole::kLeaf, 2, 0);
+  t.add_device("s", DeviceRole::kSpine, 3);
+  EXPECT_EQ(t.cluster_count(), 2u);
+  EXPECT_EQ(t.tors_in_cluster(0), std::vector<DeviceId>{0});
+  EXPECT_EQ(t.tors_in_cluster(1), std::vector<DeviceId>{1});
+  EXPECT_EQ(t.leaves_in_cluster(0), std::vector<DeviceId>{2});
+  EXPECT_EQ(t.devices_with_role(DeviceRole::kSpine),
+            std::vector<DeviceId>{3});
+}
+
+TEST(Topology, HostedPrefixes) {
+  Topology t = two_device_topology();
+  t.add_hosted_prefix(0, net::Prefix::parse("10.0.0.0/24"));
+  ASSERT_EQ(t.device(0).hosted_prefixes.size(), 1u);
+  EXPECT_EQ(t.device(0).hosted_prefixes[0],
+            net::Prefix::parse("10.0.0.0/24"));
+}
+
+TEST(Topology, SetAsn) {
+  Topology t = two_device_topology();
+  t.set_asn(1, 65199);
+  EXPECT_EQ(t.device(1).asn, 65199u);
+}
+
+TEST(Topology, DatacenterMembership) {
+  Topology t;
+  t.add_device("a", DeviceRole::kSpine, 1, kNoCluster, 2);
+  t.add_device("r", DeviceRole::kRegionalSpine, 1, kNoCluster,
+               kNoDatacenter);
+  EXPECT_EQ(t.device(0).datacenter, 2u);
+  EXPECT_EQ(t.device(1).datacenter, kNoDatacenter);
+}
+
+}  // namespace
+}  // namespace dcv::topo

@@ -1,0 +1,181 @@
+#include "trie/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace dcv::trie {
+namespace {
+
+using net::Ipv4Address;
+using net::Prefix;
+
+TEST(PrefixTrie, EmptyTrie) {
+  const PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.longest_match(Ipv4Address::parse("1.2.3.4")), nullptr);
+  EXPECT_EQ(trie.find(Prefix::parse("0.0.0.0/0")), nullptr);
+}
+
+TEST(PrefixTrie, RootHoldsDefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::default_route(), 42);
+  EXPECT_EQ(trie.size(), 1u);
+  ASSERT_NE(trie.find(Prefix::default_route()), nullptr);
+  EXPECT_EQ(*trie.find(Prefix::default_route()), 42);
+  // The default route matches everything.
+  EXPECT_EQ(*trie.longest_match(Ipv4Address::parse("200.1.2.3")), 42);
+}
+
+TEST(PrefixTrie, InsertReplaces) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Prefix::parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(Prefix::parse("10.0.0.0/8")), 2);
+}
+
+TEST(PrefixTrie, FindIsExact) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.find(Prefix::parse("10.0.0.0/16")), nullptr);
+  EXPECT_EQ(trie.find(Prefix::parse("10.0.0.0/7")), nullptr);
+}
+
+TEST(PrefixTrie, LongestMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::default_route(), 0);
+  trie.insert(Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(Prefix::parse("10.3.0.0/16"), 16);
+  trie.insert(Prefix::parse("10.3.129.224/28"), 28);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address::parse("10.3.129.230")), 28);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address::parse("10.3.129.240")), 16);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address::parse("10.4.0.1")), 8);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address::parse("11.0.0.1")), 0);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("1.2.3.4/32"), 1);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address::parse("1.2.3.4")), 1);
+  EXPECT_EQ(trie.longest_match(Ipv4Address::parse("1.2.3.5")), nullptr);
+}
+
+TEST(PrefixTrie, RelatedCollectsAncestorsAndSubtree) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::default_route(), 0);          // ancestor
+  trie.insert(Prefix::parse("10.0.0.0/8"), 8);      // ancestor
+  trie.insert(Prefix::parse("10.3.0.0/16"), 16);    // the range itself
+  trie.insert(Prefix::parse("10.3.128.0/24"), 24);  // inside
+  trie.insert(Prefix::parse("10.4.0.0/16"), 99);    // unrelated sibling
+  trie.insert(Prefix::parse("11.0.0.0/8"), 98);     // unrelated
+
+  const auto related = trie.related(Prefix::parse("10.3.0.0/16"));
+  std::vector<int> values;
+  for (const auto& [prefix, value] : related) values.push_back(*value);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int>{0, 8, 16, 24}));
+}
+
+TEST(PrefixTrie, RelatedReturnsReconstructedPrefixes) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.3.128.0/24"), 1);
+  const auto related = trie.related(Prefix::parse("10.3.0.0/16"));
+  ASSERT_EQ(related.size(), 1u);
+  EXPECT_EQ(related[0].first, Prefix::parse("10.3.128.0/24"));
+}
+
+TEST(PrefixTrie, RelatedOnDefaultRangeReturnsEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Prefix::parse("192.168.0.0/16"), 2);
+  EXPECT_EQ(trie.related(Prefix::default_route()).size(), 2u);
+}
+
+TEST(PrefixTrie, VisitAllSeesEveryEntry) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Prefix::parse("10.0.0.0/16"), 2);
+  trie.insert(Prefix::parse("172.16.0.0/12"), 3);
+  int count = 0, sum = 0;
+  trie.visit_all([&](const Prefix&, const int& v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sum, 6);
+}
+
+/// Property: longest_match agrees with a brute-force scan over stored
+/// prefixes, on random inputs.
+TEST(PrefixTrieProperty, LongestMatchAgreesWithBruteForce) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<int> len(0, 32);
+  for (int trial = 0; trial < 20; ++trial) {
+    PrefixTrie<int> trie;
+    std::vector<std::pair<Prefix, int>> entries;
+    for (int i = 0; i < 120; ++i) {
+      const Prefix p(Ipv4Address(addr(rng)), len(rng));
+      trie.insert(p, i);
+      // Replace semantics: drop any earlier entry with the same prefix.
+      std::erase_if(entries, [&](const auto& e) { return e.first == p; });
+      entries.emplace_back(p, i);
+    }
+    for (int probe = 0; probe < 300; ++probe) {
+      const Ipv4Address a(addr(rng));
+      const int* got = trie.longest_match(a);
+      const std::pair<Prefix, int>* expected = nullptr;
+      for (const auto& entry : entries) {
+        if (entry.first.contains(a) &&
+            (expected == nullptr ||
+             entry.first.length() > expected->first.length())) {
+          expected = &entry;
+        }
+      }
+      if (expected == nullptr) {
+        EXPECT_EQ(got, nullptr);
+      } else {
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, expected->second);
+      }
+    }
+  }
+}
+
+/// Property: related() returns exactly the stored prefixes that contain or
+/// are contained in the query range.
+TEST(PrefixTrieProperty, RelatedAgreesWithBruteForce) {
+  std::mt19937_64 rng(4242);
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<int> len(0, 32);
+  for (int trial = 0; trial < 20; ++trial) {
+    PrefixTrie<int> trie;
+    std::vector<Prefix> stored;
+    for (int i = 0; i < 80; ++i) {
+      const Prefix p(Ipv4Address(addr(rng)), len(rng));
+      trie.insert(p, i);
+      if (std::find(stored.begin(), stored.end(), p) == stored.end()) {
+        stored.push_back(p);
+      }
+    }
+    for (int q = 0; q < 40; ++q) {
+      const Prefix range(Ipv4Address(addr(rng)), len(rng));
+      auto related = trie.related(range);
+      std::vector<Prefix> got;
+      for (const auto& [prefix, value] : related) got.push_back(prefix);
+      std::vector<Prefix> expected;
+      for (const Prefix& p : stored) {
+        if (p.contains(range) || range.contains(p)) expected.push_back(p);
+      }
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(got, expected) << range.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcv::trie

@@ -1,0 +1,203 @@
+// dcv_precheck — gate network changes before rollout (§2.7, Figure 7).
+//
+// Reads a production topology file and a change plan; each change is
+// applied to an emulated clone, routing re-runs, and RCDC's contracts
+// decide. The plan format is line-oriented:
+//
+//   # comments allowed
+//   change renumber ToR1
+//   set-asn T0-0-0 64990
+//   change migrate cluster leaves
+//   set-asn T1-2-0 65100
+//   set-asn T1-2-1 65100
+//   change maintenance window
+//   shut-link T0-0-0 T1-0-0
+//   down-link T1-0-1 T2-1-0
+//
+// Each `change <description>` opens a change; the following set-asn /
+// shut-link / down-link lines belong to it. Exit 0 iff every change is
+// approved.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/error.hpp"
+#include "rcdc/precheck.hpp"
+#include "topology/topology_io.hpp"
+
+namespace {
+
+using namespace dcv;
+
+void usage() {
+  std::cerr << "usage: dcv_precheck --topology FILE --plan FILE [--quiet]\n";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "dcv_precheck: cannot read " << path << "\n";
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// One primitive operation of a change.
+struct Operation {
+  enum class Kind { kSetAsn, kShutLink, kDownLink } kind;
+  std::string a;
+  std::string b;  // second device, or the ASN text for kSetAsn
+};
+
+std::vector<rcdc::NetworkChange> parse_plan(const std::string& text) {
+  std::vector<std::pair<std::string, std::vector<Operation>>> raw;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "change") {
+      std::string description;
+      std::getline(tokens, description);
+      if (!description.empty() && description.front() == ' ') {
+        description.erase(0, 1);
+      }
+      raw.emplace_back(description, std::vector<Operation>{});
+      continue;
+    }
+    if (raw.empty()) {
+      throw ParseError("plan line " + std::to_string(line_number) +
+                       ": operation before any 'change'");
+    }
+    Operation op;
+    if (keyword == "set-asn") {
+      op.kind = Operation::Kind::kSetAsn;
+    } else if (keyword == "shut-link") {
+      op.kind = Operation::Kind::kShutLink;
+    } else if (keyword == "down-link") {
+      op.kind = Operation::Kind::kDownLink;
+    } else {
+      throw ParseError("plan line " + std::to_string(line_number) +
+                       ": unknown operation '" + keyword + "'");
+    }
+    if (!(tokens >> op.a >> op.b)) {
+      throw ParseError("plan line " + std::to_string(line_number) +
+                       ": expected two arguments");
+    }
+    raw.back().second.push_back(std::move(op));
+  }
+
+  std::vector<rcdc::NetworkChange> plan;
+  for (auto& [description, operations] : raw) {
+    plan.push_back(rcdc::NetworkChange{
+        .description = description,
+        .apply = [operations = std::move(operations)](
+                     topo::Topology& emulated) {
+          const auto device = [&](const std::string& name) {
+            const auto id = emulated.find_device(name);
+            if (!id) throw ParseError("unknown device '" + name + "'");
+            return *id;
+          };
+          for (const Operation& op : operations) {
+            switch (op.kind) {
+              case Operation::Kind::kSetAsn:
+                emulated.set_asn(device(op.a),
+                                 static_cast<topo::Asn>(
+                                     std::stoul(op.b)));
+                break;
+              case Operation::Kind::kShutLink:
+              case Operation::Kind::kDownLink: {
+                const auto link =
+                    emulated.find_link(device(op.a), device(op.b));
+                if (!link) {
+                  throw ParseError("no link " + op.a + " <-> " + op.b);
+                }
+                if (op.kind == Operation::Kind::kShutLink) {
+                  emulated.set_bgp_state(
+                      *link, topo::BgpSessionState::kAdminShutdown);
+                } else {
+                  emulated.set_link_state(*link, topo::LinkState::kDown);
+                }
+                break;
+              }
+            }
+          }
+        }});
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology_path;
+  std::string plan_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "dcv_precheck: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--topology") {
+      topology_path = value();
+    } else if (flag == "--plan") {
+      plan_path = value();
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "dcv_precheck: unknown flag '" << flag << "'\n";
+      usage();
+      return 2;
+    }
+  }
+  if (topology_path.empty() || plan_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const topo::Topology production =
+        topo::parse_topology(slurp(topology_path));
+    const auto plan = parse_plan(slurp(plan_path));
+    const rcdc::PrecheckPipeline pipeline(production);
+    const auto results = pipeline.check_rollout(plan);
+
+    bool all_approved = results.size() == plan.size();
+    for (const rcdc::PrecheckResult& result : results) {
+      all_approved = all_approved && result.approved;
+      std::cout << (result.approved ? "APPROVED " : "REJECTED ")
+                << result.description << " (baseline "
+                << result.baseline_violations << ", after "
+                << result.post_change_violations << ", introduced "
+                << result.introduced.size() << ")\n";
+      if (!quiet) {
+        std::size_t shown = 0;
+        for (const rcdc::Violation& v : result.introduced) {
+          if (shown++ >= 10) break;
+          std::cout << "  " << production.device(v.device).name << " "
+                    << v.contract.prefix.to_string() << " "
+                    << to_string(v.kind) << "\n";
+        }
+      }
+    }
+    return all_approved ? 0 : 3;
+  } catch (const std::exception& error) {
+    std::cerr << "dcv_precheck: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,219 @@
+// rcdc_validate — validate a datacenter's forwarding state against the
+// intent derived from its architecture.
+//
+// Reads a topology file (see topology/topology_io.hpp). Reality comes from
+// either a directory of per-device routing tables in the Figure 2 text
+// format (<device-name>.rt, as pulled from devices or emitted by
+// dcv_topogen --tables), or from EBGP simulation over the topology's
+// recorded link/session state. Prints the violation report with risk and
+// triage annotations — the offline equivalent of one RCDC monitoring cycle.
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "rcdc/beliefs_io.hpp"
+#include "rcdc/fib_source.hpp"
+#include "rcdc/global_checker.hpp"
+#include "rcdc/report_io.hpp"
+#include "rcdc/triage.hpp"
+#include "rcdc/validator.hpp"
+#include "routing/bgp_sim.hpp"
+#include "routing/table_io.hpp"
+#include "topology/topology_io.hpp"
+
+namespace {
+
+using namespace dcv;
+
+void usage() {
+  std::cerr <<
+      "usage: rcdc_validate --topology FILE [options]\n"
+      "  --tables DIR     per-device routing tables (<name>.rt); default:\n"
+      "                   simulate EBGP over the topology's recorded state\n"
+      "  --verifier V     trie (default) or smt\n"
+      "  --threads N      validation workers (default 4)\n"
+      "  --global         also run the global all-pairs baseline\n"
+      "  --beliefs FILE   also check operator beliefs (template properties)\n"
+      "  --json           emit the report as JSON (stream-analytics feed)\n"
+      "  --quiet          print only the summary line\n";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "rcdc_validate: cannot read " << path << "\n";
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// FIBs parsed from a directory of routing-table files.
+class FileFibSource final : public rcdc::FibSource {
+ public:
+  FileFibSource(std::string directory, const topo::Topology& topology)
+      : directory_(std::move(directory)), topology_(&topology) {}
+
+  [[nodiscard]] routing::ForwardingTable fetch(
+      topo::DeviceId device) const override {
+    const auto path = std::filesystem::path(directory_) /
+                      (topology_->device(device).name + ".rt");
+    return routing::to_forwarding_table(
+        routing::parse_routing_table(slurp(path.string())), *topology_);
+  }
+
+ private:
+  std::string directory_;
+  const topo::Topology* topology_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology_path;
+  std::string tables_dir;
+  std::string verifier_name = "trie";
+  unsigned threads = 4;
+  bool run_global = false;
+  bool as_json = false;
+  bool quiet = false;
+  std::string beliefs_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "rcdc_validate: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--topology") {
+      topology_path = value();
+    } else if (flag == "--tables") {
+      tables_dir = value();
+    } else if (flag == "--verifier") {
+      verifier_name = value();
+    } else if (flag == "--threads") {
+      const auto text = value();
+      std::from_chars(text.data(), text.data() + text.size(), threads);
+    } else if (flag == "--global") {
+      run_global = true;
+    } else if (flag == "--json") {
+      as_json = true;
+    } else if (flag == "--beliefs") {
+      beliefs_path = value();
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "rcdc_validate: unknown flag '" << flag << "'\n";
+      usage();
+      return 2;
+    }
+  }
+  if (topology_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const topo::Topology topology =
+        topo::parse_topology(slurp(topology_path));
+    const topo::MetadataService metadata(topology);
+
+    std::unique_ptr<routing::BgpSimulator> simulator;
+    std::unique_ptr<rcdc::FibSource> fibs;
+    if (tables_dir.empty()) {
+      simulator = std::make_unique<routing::BgpSimulator>(topology);
+      fibs = std::make_unique<rcdc::SimulatorFibSource>(*simulator);
+    } else {
+      fibs = std::make_unique<FileFibSource>(tables_dir, topology);
+    }
+
+    const rcdc::VerifierFactory factory =
+        verifier_name == "smt" ? rcdc::make_smt_verifier_factory()
+                               : rcdc::make_trie_verifier_factory();
+    const rcdc::DatacenterValidator validator(metadata, *fibs, factory);
+    const auto summary = validator.run(threads);
+
+    if (as_json) {
+      std::cout << rcdc::write_report_json(summary, topology);
+      return summary.violations.empty() ? 0 : 3;
+    }
+
+    if (!quiet) {
+      const rcdc::RiskPolicy risk(topology);
+      const rcdc::TriageEngine triage(topology);
+      for (const rcdc::Violation& v : summary.violations) {
+        const auto assessment = risk.assess(v);
+        const auto decision = triage.triage(v);
+        std::cout << topology.device(v.device).name << " "
+                  << (v.contract.kind == rcdc::ContractKind::kDefault
+                          ? "default"
+                          : v.contract.prefix.to_string())
+                  << " " << to_string(v.kind) << " risk="
+                  << to_string(assessment.level)
+                  << " action=" << to_string(decision.action) << "\n";
+      }
+    }
+    std::cout << "rcdc_validate: " << summary.devices_checked
+              << " devices, " << summary.contracts_checked << " contracts, "
+              << summary.violations.size() << " violations in "
+              << std::chrono::duration<double>(summary.elapsed).count()
+              << " s (" << verifier_name << ", " << threads
+              << " threads)\n";
+
+    bool beliefs_ok = true;
+    if (!beliefs_path.empty()) {
+      const auto beliefs =
+          rcdc::parse_beliefs(slurp(beliefs_path), topology);
+      const rcdc::BeliefChecker checker(metadata, *fibs);
+      std::size_t held = 0;
+      for (const rcdc::BeliefResult& result : checker.check_all(beliefs)) {
+        if (result.holds) {
+          ++held;
+        } else {
+          beliefs_ok = false;
+        }
+        if (!quiet || !result.holds) {
+          std::cout << (result.holds ? "HOLDS " : "BROKEN ")
+                    << result.belief.to_string(topology) << "  ("
+                    << result.observed << ")\n";
+        }
+      }
+      std::cout << "beliefs: " << held << "/" << beliefs.size()
+                << " hold\n";
+    }
+
+    if (run_global) {
+      const rcdc::GlobalChecker checker(metadata, *fibs);
+      const auto result = checker.check_all_pairs(/*max_failures=*/20);
+      std::cout << "global baseline: " << result.pairs_checked
+                << " pairs, " << result.pairs_fully_redundant
+                << " fully redundant, snapshot "
+                << std::chrono::duration<double>(result.snapshot_time)
+                       .count()
+                << " s, analysis "
+                << std::chrono::duration<double>(result.analysis_time)
+                       .count()
+                << " s\n";
+      if (!quiet) {
+        for (const std::string& failure : result.failures) {
+          std::cout << "  global: " << failure << "\n";
+        }
+      }
+    }
+    return summary.violations.empty() && beliefs_ok ? 0 : 3;
+  } catch (const std::exception& error) {
+    std::cerr << "rcdc_validate: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,156 @@
+// secguru_check — validate a connectivity policy against a contract file.
+//
+// The command-line face of SecGuru (Figure 10): reads an ACL in the Cisco
+// IOS-style syntax of Figure 8 (or an NSG in the Figure 9 tabular format),
+// reads a contract suite, and reports every failed invariant with its
+// witness packet and the violating rule. Exit status 0 iff all contracts
+// hold — ready to gate a deployment pipeline (§3.3/§3.5).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "secguru/acl_parser.hpp"
+#include "secguru/contracts_io.hpp"
+#include "secguru/device_config.hpp"
+#include "secguru/engine.hpp"
+#include "secguru/nsg.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr <<
+      "usage: secguru_check --policy FILE --contracts FILE [options]\n"
+      "       secguru_check --config FILE --acl NAME --contracts FILE\n"
+      "  --config FILE     read a full device configuration and analyze\n"
+      "                    the ACL named by --acl (the SS3.2 interface)\n"
+      "  --nsg             parse the policy as an NSG table (Figure 9\n"
+      "                    format) instead of a Cisco-style ACL\n"
+      "  --deny-overrides  use deny-overrides semantics (host firewalls)\n"
+      "  --shadowed        also report rules that can never match\n"
+      "  --quiet           print only the summary line\n";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "secguru_check: cannot read " << path << "\n";
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcv::secguru;
+
+  std::string policy_path;
+  std::string config_path;
+  std::string acl_name;
+  std::string contracts_path;
+  bool as_nsg = false;
+  bool deny_overrides = false;
+  bool report_shadowed = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "secguru_check: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--policy") {
+      policy_path = value();
+    } else if (flag == "--config") {
+      config_path = value();
+    } else if (flag == "--acl") {
+      acl_name = value();
+    } else if (flag == "--contracts") {
+      contracts_path = value();
+    } else if (flag == "--nsg") {
+      as_nsg = true;
+    } else if (flag == "--deny-overrides") {
+      deny_overrides = true;
+    } else if (flag == "--shadowed") {
+      report_shadowed = true;
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "secguru_check: unknown flag '" << flag << "'\n";
+      usage();
+      return 2;
+    }
+  }
+  if ((policy_path.empty() == config_path.empty()) ||
+      contracts_path.empty() || (!config_path.empty() && acl_name.empty())) {
+    usage();
+    return 2;
+  }
+
+  try {
+    Policy policy;
+    if (!config_path.empty()) {
+      // The production interface (§3.2): a device configuration plus the
+      // name of the ACL to analyze.
+      const DeviceConfig config = parse_device_config(slurp(config_path));
+      const Policy* named = config.find_acl(acl_name);
+      if (named == nullptr) {
+        std::cerr << "secguru_check: no ACL '" << acl_name << "' in "
+                  << config_path << "\n";
+        return 1;
+      }
+      policy = *named;
+    } else {
+      policy = as_nsg
+                   ? parse_nsg(slurp(policy_path), policy_path).to_policy()
+                   : parse_acl(slurp(policy_path), policy_path);
+    }
+    if (deny_overrides) policy.semantics = PolicySemantics::kDenyOverrides;
+    const ContractSuite suite =
+        parse_contracts(slurp(contracts_path), contracts_path);
+
+    Engine engine;
+    const PolicyReport report = engine.check_suite(policy, suite);
+
+    if (!quiet) {
+      for (const ContractCheckResult& failure : report.failures) {
+        std::cout << "FAIL " << failure.contract_name;
+        if (failure.witness) {
+          std::cout << "  witness: " << failure.witness->to_string();
+        }
+        if (failure.violating_rule) {
+          const Rule& rule = policy.rules[*failure.violating_rule];
+          std::cout << "  rule " << rule.line << ": " << rule.to_string();
+        } else {
+          std::cout << "  (implicit default deny)";
+        }
+        std::cout << "\n";
+      }
+    }
+
+    if (report_shadowed) {
+      for (const std::size_t index : engine.shadowed_rules(policy)) {
+        std::cout << "SHADOWED rule " << policy.rules[index].line << ": "
+                  << policy.rules[index].to_string() << "\n";
+      }
+    }
+
+    std::cout << "secguru_check: " << policy.rules.size() << " rules ("
+              << to_string(policy.semantics) << "), "
+              << report.contracts_checked << " contracts, "
+              << report.failures.size() << " failed\n";
+    return report.ok() ? 0 : 3;
+  } catch (const std::exception& error) {
+    std::cerr << "secguru_check: " << error.what() << "\n";
+    return 1;
+  }
+}
