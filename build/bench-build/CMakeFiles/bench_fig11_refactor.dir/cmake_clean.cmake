@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_refactor"
+  "../bench/bench_fig11_refactor.pdb"
+  "CMakeFiles/bench_fig11_refactor.dir/bench_fig11_refactor.cpp.o"
+  "CMakeFiles/bench_fig11_refactor.dir/bench_fig11_refactor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_refactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_nsg_gate"
+  "../bench/bench_fig12_nsg_gate.pdb"
+  "CMakeFiles/bench_fig12_nsg_gate.dir/bench_fig12_nsg_gate.cpp.o"
+  "CMakeFiles/bench_fig12_nsg_gate.dir/bench_fig12_nsg_gate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_nsg_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_burndown"
+  "../bench/bench_fig6_burndown.pdb"
+  "CMakeFiles/bench_fig6_burndown.dir/bench_fig6_burndown.cpp.o"
+  "CMakeFiles/bench_fig6_burndown.dir/bench_fig6_burndown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_burndown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

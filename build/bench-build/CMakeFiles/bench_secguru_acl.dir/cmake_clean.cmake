@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_secguru_acl"
+  "../bench/bench_secguru_acl.pdb"
+  "CMakeFiles/bench_secguru_acl.dir/bench_secguru_acl.cpp.o"
+  "CMakeFiles/bench_secguru_acl.dir/bench_secguru_acl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secguru_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_verifier_ablation"
+  "../bench/bench_verifier_ablation.pdb"
+  "CMakeFiles/bench_verifier_ablation.dir/bench_verifier_ablation.cpp.o"
+  "CMakeFiles/bench_verifier_ablation.dir/bench_verifier_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verifier_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

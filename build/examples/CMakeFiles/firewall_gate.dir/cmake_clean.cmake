@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_gate.dir/firewall_gate.cpp.o"
+  "CMakeFiles/firewall_gate.dir/firewall_gate.cpp.o.d"
+  "firewall_gate"
+  "firewall_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsg_gate.dir/nsg_gate.cpp.o"
+  "CMakeFiles/nsg_gate.dir/nsg_gate.cpp.o.d"
+  "nsg_gate"
+  "nsg_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsg_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

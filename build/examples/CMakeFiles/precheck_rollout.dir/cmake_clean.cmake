@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precheck_rollout.dir/precheck_rollout.cpp.o"
+  "CMakeFiles/precheck_rollout.dir/precheck_rollout.cpp.o.d"
+  "precheck_rollout"
+  "precheck_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precheck_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

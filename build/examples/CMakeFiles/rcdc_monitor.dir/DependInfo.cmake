@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rcdc_monitor.cpp" "examples/CMakeFiles/rcdc_monitor.dir/rcdc_monitor.cpp.o" "gcc" "examples/CMakeFiles/rcdc_monitor.dir/rcdc_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcv_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dcv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcdc/CMakeFiles/dcv_rcdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/secguru/CMakeFiles/dcv_secguru.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/dcv_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcdc_monitor.dir/rcdc_monitor.cpp.o"
+  "CMakeFiles/rcdc_monitor.dir/rcdc_monitor.cpp.o.d"
+  "rcdc_monitor"
+  "rcdc_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcdc_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

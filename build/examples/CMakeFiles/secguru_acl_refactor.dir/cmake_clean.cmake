@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secguru_acl_refactor.dir/secguru_acl_refactor.cpp.o"
+  "CMakeFiles/secguru_acl_refactor.dir/secguru_acl_refactor.cpp.o.d"
+  "secguru_acl_refactor"
+  "secguru_acl_refactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secguru_acl_refactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

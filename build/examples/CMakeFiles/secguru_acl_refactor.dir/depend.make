@@ -1,0 +1,2 @@
+# Empty dependencies file for secguru_acl_refactor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_e2e.dir/end_to_end.cpp.o"
+  "CMakeFiles/dcv_e2e.dir/end_to_end.cpp.o.d"
+  "CMakeFiles/dcv_e2e.dir/trace.cpp.o"
+  "CMakeFiles/dcv_e2e.dir/trace.cpp.o.d"
+  "libdcv_e2e.a"
+  "libdcv_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_net.dir/header.cpp.o"
+  "CMakeFiles/dcv_net.dir/header.cpp.o.d"
+  "CMakeFiles/dcv_net.dir/interval.cpp.o"
+  "CMakeFiles/dcv_net.dir/interval.cpp.o.d"
+  "CMakeFiles/dcv_net.dir/ipv4.cpp.o"
+  "CMakeFiles/dcv_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/dcv_net.dir/prefix.cpp.o"
+  "CMakeFiles/dcv_net.dir/prefix.cpp.o.d"
+  "libdcv_net.a"
+  "libdcv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rcdc/beliefs.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/beliefs.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/beliefs.cpp.o.d"
+  "/root/repo/src/rcdc/beliefs_io.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/beliefs_io.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/beliefs_io.cpp.o.d"
+  "/root/repo/src/rcdc/burndown.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/burndown.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/burndown.cpp.o.d"
+  "/root/repo/src/rcdc/contract_gen.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/contract_gen.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/contract_gen.cpp.o.d"
+  "/root/repo/src/rcdc/correlation.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/correlation.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/correlation.cpp.o.d"
+  "/root/repo/src/rcdc/global_checker.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/global_checker.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/global_checker.cpp.o.d"
+  "/root/repo/src/rcdc/incremental.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/incremental.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/incremental.cpp.o.d"
+  "/root/repo/src/rcdc/linear_verifier.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/linear_verifier.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/linear_verifier.cpp.o.d"
+  "/root/repo/src/rcdc/local_validation.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/local_validation.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/local_validation.cpp.o.d"
+  "/root/repo/src/rcdc/pipeline.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/pipeline.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/pipeline.cpp.o.d"
+  "/root/repo/src/rcdc/precheck.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/precheck.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/precheck.cpp.o.d"
+  "/root/repo/src/rcdc/report_io.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/report_io.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/report_io.cpp.o.d"
+  "/root/repo/src/rcdc/severity.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/severity.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/severity.cpp.o.d"
+  "/root/repo/src/rcdc/smt_verifier.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/smt_verifier.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/smt_verifier.cpp.o.d"
+  "/root/repo/src/rcdc/triage.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/triage.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/triage.cpp.o.d"
+  "/root/repo/src/rcdc/trie_verifier.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/trie_verifier.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/trie_verifier.cpp.o.d"
+  "/root/repo/src/rcdc/validator.cpp" "src/rcdc/CMakeFiles/dcv_rcdc.dir/validator.cpp.o" "gcc" "src/rcdc/CMakeFiles/dcv_rcdc.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcv_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dcv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/dcv_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/aggregation.cpp" "src/routing/CMakeFiles/dcv_routing.dir/aggregation.cpp.o" "gcc" "src/routing/CMakeFiles/dcv_routing.dir/aggregation.cpp.o.d"
+  "/root/repo/src/routing/bgp_sim.cpp" "src/routing/CMakeFiles/dcv_routing.dir/bgp_sim.cpp.o" "gcc" "src/routing/CMakeFiles/dcv_routing.dir/bgp_sim.cpp.o.d"
+  "/root/repo/src/routing/fib.cpp" "src/routing/CMakeFiles/dcv_routing.dir/fib.cpp.o" "gcc" "src/routing/CMakeFiles/dcv_routing.dir/fib.cpp.o.d"
+  "/root/repo/src/routing/fib_synthesizer.cpp" "src/routing/CMakeFiles/dcv_routing.dir/fib_synthesizer.cpp.o" "gcc" "src/routing/CMakeFiles/dcv_routing.dir/fib_synthesizer.cpp.o.d"
+  "/root/repo/src/routing/table_io.cpp" "src/routing/CMakeFiles/dcv_routing.dir/table_io.cpp.o" "gcc" "src/routing/CMakeFiles/dcv_routing.dir/table_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcv_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_routing.dir/aggregation.cpp.o"
+  "CMakeFiles/dcv_routing.dir/aggregation.cpp.o.d"
+  "CMakeFiles/dcv_routing.dir/bgp_sim.cpp.o"
+  "CMakeFiles/dcv_routing.dir/bgp_sim.cpp.o.d"
+  "CMakeFiles/dcv_routing.dir/fib.cpp.o"
+  "CMakeFiles/dcv_routing.dir/fib.cpp.o.d"
+  "CMakeFiles/dcv_routing.dir/fib_synthesizer.cpp.o"
+  "CMakeFiles/dcv_routing.dir/fib_synthesizer.cpp.o.d"
+  "CMakeFiles/dcv_routing.dir/table_io.cpp.o"
+  "CMakeFiles/dcv_routing.dir/table_io.cpp.o.d"
+  "libdcv_routing.a"
+  "libdcv_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

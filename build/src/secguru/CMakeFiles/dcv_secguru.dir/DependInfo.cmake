@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secguru/acl_parser.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/acl_parser.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/acl_parser.cpp.o.d"
+  "/root/repo/src/secguru/contracts_io.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/contracts_io.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/contracts_io.cpp.o.d"
+  "/root/repo/src/secguru/device_config.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/device_config.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/device_config.cpp.o.d"
+  "/root/repo/src/secguru/engine.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/engine.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/engine.cpp.o.d"
+  "/root/repo/src/secguru/firewall.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/firewall.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/firewall.cpp.o.d"
+  "/root/repo/src/secguru/nsg.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/nsg.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/nsg.cpp.o.d"
+  "/root/repo/src/secguru/nsg_gate.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/nsg_gate.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/nsg_gate.cpp.o.d"
+  "/root/repo/src/secguru/refactor.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/refactor.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/refactor.cpp.o.d"
+  "/root/repo/src/secguru/rule.cpp" "src/secguru/CMakeFiles/dcv_secguru.dir/rule.cpp.o" "gcc" "src/secguru/CMakeFiles/dcv_secguru.dir/rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/dcv_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_secguru.dir/acl_parser.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/acl_parser.cpp.o.d"
+  "CMakeFiles/dcv_secguru.dir/contracts_io.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/contracts_io.cpp.o.d"
+  "CMakeFiles/dcv_secguru.dir/device_config.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/device_config.cpp.o.d"
+  "CMakeFiles/dcv_secguru.dir/engine.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/engine.cpp.o.d"
+  "CMakeFiles/dcv_secguru.dir/firewall.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/firewall.cpp.o.d"
+  "CMakeFiles/dcv_secguru.dir/nsg.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/nsg.cpp.o.d"
+  "CMakeFiles/dcv_secguru.dir/nsg_gate.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/nsg_gate.cpp.o.d"
+  "CMakeFiles/dcv_secguru.dir/refactor.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/refactor.cpp.o.d"
+  "CMakeFiles/dcv_secguru.dir/rule.cpp.o"
+  "CMakeFiles/dcv_secguru.dir/rule.cpp.o.d"
+  "libdcv_secguru.a"
+  "libdcv_secguru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_secguru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_smt.dir/encoding.cpp.o"
+  "CMakeFiles/dcv_smt.dir/encoding.cpp.o.d"
+  "libdcv_smt.a"
+  "libdcv_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/clos_builder.cpp" "src/topology/CMakeFiles/dcv_topology.dir/clos_builder.cpp.o" "gcc" "src/topology/CMakeFiles/dcv_topology.dir/clos_builder.cpp.o.d"
+  "/root/repo/src/topology/faults.cpp" "src/topology/CMakeFiles/dcv_topology.dir/faults.cpp.o" "gcc" "src/topology/CMakeFiles/dcv_topology.dir/faults.cpp.o.d"
+  "/root/repo/src/topology/metadata.cpp" "src/topology/CMakeFiles/dcv_topology.dir/metadata.cpp.o" "gcc" "src/topology/CMakeFiles/dcv_topology.dir/metadata.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/dcv_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/dcv_topology.dir/topology.cpp.o.d"
+  "/root/repo/src/topology/topology_io.cpp" "src/topology/CMakeFiles/dcv_topology.dir/topology_io.cpp.o" "gcc" "src/topology/CMakeFiles/dcv_topology.dir/topology_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcv_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_topology.dir/clos_builder.cpp.o"
+  "CMakeFiles/dcv_topology.dir/clos_builder.cpp.o.d"
+  "CMakeFiles/dcv_topology.dir/faults.cpp.o"
+  "CMakeFiles/dcv_topology.dir/faults.cpp.o.d"
+  "CMakeFiles/dcv_topology.dir/metadata.cpp.o"
+  "CMakeFiles/dcv_topology.dir/metadata.cpp.o.d"
+  "CMakeFiles/dcv_topology.dir/topology.cpp.o"
+  "CMakeFiles/dcv_topology.dir/topology.cpp.o.d"
+  "CMakeFiles/dcv_topology.dir/topology_io.cpp.o"
+  "CMakeFiles/dcv_topology.dir/topology_io.cpp.o.d"
+  "libdcv_topology.a"
+  "libdcv_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

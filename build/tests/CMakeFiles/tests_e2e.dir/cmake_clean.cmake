@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_e2e.dir/e2e/end_to_end_test.cpp.o"
+  "CMakeFiles/tests_e2e.dir/e2e/end_to_end_test.cpp.o.d"
+  "CMakeFiles/tests_e2e.dir/e2e/trace_test.cpp.o"
+  "CMakeFiles/tests_e2e.dir/e2e/trace_test.cpp.o.d"
+  "tests_e2e"
+  "tests_e2e.pdb"
+  "tests_e2e[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

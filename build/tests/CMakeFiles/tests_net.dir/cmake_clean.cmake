@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_net.dir/net/header_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/header_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/interval_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/interval_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/ipv4_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/ipv4_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/prefix_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/prefix_test.cpp.o.d"
+  "tests_net"
+  "tests_net.pdb"
+  "tests_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rcdc/beliefs_io_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/beliefs_io_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/beliefs_io_test.cpp.o.d"
+  "/root/repo/tests/rcdc/beliefs_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/beliefs_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/beliefs_test.cpp.o.d"
+  "/root/repo/tests/rcdc/burndown_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/burndown_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/burndown_test.cpp.o.d"
+  "/root/repo/tests/rcdc/contract_gen_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/contract_gen_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/contract_gen_test.cpp.o.d"
+  "/root/repo/tests/rcdc/correlation_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/correlation_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/correlation_test.cpp.o.d"
+  "/root/repo/tests/rcdc/figure3_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/figure3_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/figure3_test.cpp.o.d"
+  "/root/repo/tests/rcdc/global_checker_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/global_checker_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/global_checker_test.cpp.o.d"
+  "/root/repo/tests/rcdc/incremental_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/incremental_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/incremental_test.cpp.o.d"
+  "/root/repo/tests/rcdc/local_validation_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/local_validation_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/local_validation_test.cpp.o.d"
+  "/root/repo/tests/rcdc/pipeline_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/pipeline_test.cpp.o.d"
+  "/root/repo/tests/rcdc/precheck_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/precheck_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/precheck_test.cpp.o.d"
+  "/root/repo/tests/rcdc/region_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/region_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/region_test.cpp.o.d"
+  "/root/repo/tests/rcdc/report_io_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/report_io_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/report_io_test.cpp.o.d"
+  "/root/repo/tests/rcdc/severity_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/severity_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/severity_test.cpp.o.d"
+  "/root/repo/tests/rcdc/smt_verifier_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/smt_verifier_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/smt_verifier_test.cpp.o.d"
+  "/root/repo/tests/rcdc/triage_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/triage_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/triage_test.cpp.o.d"
+  "/root/repo/tests/rcdc/trie_verifier_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/trie_verifier_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/trie_verifier_test.cpp.o.d"
+  "/root/repo/tests/rcdc/validator_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/validator_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/validator_test.cpp.o.d"
+  "/root/repo/tests/rcdc/verifier_agreement_test.cpp" "tests/CMakeFiles/tests_rcdc.dir/rcdc/verifier_agreement_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rcdc.dir/rcdc/verifier_agreement_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcv_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dcv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/dcv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcdc/CMakeFiles/dcv_rcdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/secguru/CMakeFiles/dcv_secguru.dir/DependInfo.cmake"
+  "/root/repo/build/src/e2e/CMakeFiles/dcv_e2e.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_routing.dir/routing/aggregation_test.cpp.o"
+  "CMakeFiles/tests_routing.dir/routing/aggregation_test.cpp.o.d"
+  "CMakeFiles/tests_routing.dir/routing/bgp_properties_test.cpp.o"
+  "CMakeFiles/tests_routing.dir/routing/bgp_properties_test.cpp.o.d"
+  "CMakeFiles/tests_routing.dir/routing/bgp_sim_test.cpp.o"
+  "CMakeFiles/tests_routing.dir/routing/bgp_sim_test.cpp.o.d"
+  "CMakeFiles/tests_routing.dir/routing/fib_synthesizer_test.cpp.o"
+  "CMakeFiles/tests_routing.dir/routing/fib_synthesizer_test.cpp.o.d"
+  "CMakeFiles/tests_routing.dir/routing/fib_test.cpp.o"
+  "CMakeFiles/tests_routing.dir/routing/fib_test.cpp.o.d"
+  "CMakeFiles/tests_routing.dir/routing/table_io_test.cpp.o"
+  "CMakeFiles/tests_routing.dir/routing/table_io_test.cpp.o.d"
+  "tests_routing"
+  "tests_routing.pdb"
+  "tests_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/secguru/acl_parser_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/acl_parser_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/acl_parser_test.cpp.o.d"
+  "/root/repo/tests/secguru/contracts_io_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/contracts_io_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/contracts_io_test.cpp.o.d"
+  "/root/repo/tests/secguru/device_config_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/device_config_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/device_config_test.cpp.o.d"
+  "/root/repo/tests/secguru/engine_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/engine_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/engine_test.cpp.o.d"
+  "/root/repo/tests/secguru/firewall_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/firewall_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/firewall_test.cpp.o.d"
+  "/root/repo/tests/secguru/nsg_gate_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/nsg_gate_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/nsg_gate_test.cpp.o.d"
+  "/root/repo/tests/secguru/nsg_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/nsg_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/nsg_test.cpp.o.d"
+  "/root/repo/tests/secguru/refactor_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/refactor_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/refactor_test.cpp.o.d"
+  "/root/repo/tests/secguru/rule_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/rule_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/rule_test.cpp.o.d"
+  "/root/repo/tests/secguru/semantic_diff_test.cpp" "tests/CMakeFiles/tests_secguru.dir/secguru/semantic_diff_test.cpp.o" "gcc" "tests/CMakeFiles/tests_secguru.dir/secguru/semantic_diff_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dcv_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dcv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/dcv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcdc/CMakeFiles/dcv_rcdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/secguru/CMakeFiles/dcv_secguru.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

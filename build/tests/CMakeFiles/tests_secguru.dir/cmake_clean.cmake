@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_secguru.dir/secguru/acl_parser_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/acl_parser_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/contracts_io_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/contracts_io_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/device_config_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/device_config_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/engine_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/engine_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/firewall_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/firewall_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/nsg_gate_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/nsg_gate_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/nsg_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/nsg_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/refactor_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/refactor_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/rule_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/rule_test.cpp.o.d"
+  "CMakeFiles/tests_secguru.dir/secguru/semantic_diff_test.cpp.o"
+  "CMakeFiles/tests_secguru.dir/secguru/semantic_diff_test.cpp.o.d"
+  "tests_secguru"
+  "tests_secguru.pdb"
+  "tests_secguru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_secguru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_smt.dir/smt/encoding_test.cpp.o"
+  "CMakeFiles/tests_smt.dir/smt/encoding_test.cpp.o.d"
+  "tests_smt"
+  "tests_smt.pdb"
+  "tests_smt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_topology.dir/topology/clos_builder_test.cpp.o"
+  "CMakeFiles/tests_topology.dir/topology/clos_builder_test.cpp.o.d"
+  "CMakeFiles/tests_topology.dir/topology/faults_test.cpp.o"
+  "CMakeFiles/tests_topology.dir/topology/faults_test.cpp.o.d"
+  "CMakeFiles/tests_topology.dir/topology/metadata_test.cpp.o"
+  "CMakeFiles/tests_topology.dir/topology/metadata_test.cpp.o.d"
+  "CMakeFiles/tests_topology.dir/topology/topology_io_test.cpp.o"
+  "CMakeFiles/tests_topology.dir/topology/topology_io_test.cpp.o.d"
+  "CMakeFiles/tests_topology.dir/topology/topology_test.cpp.o"
+  "CMakeFiles/tests_topology.dir/topology/topology_test.cpp.o.d"
+  "tests_topology"
+  "tests_topology.pdb"
+  "tests_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_trie.dir/trie/prefix_trie_test.cpp.o"
+  "CMakeFiles/tests_trie.dir/trie/prefix_trie_test.cpp.o.d"
+  "tests_trie"
+  "tests_trie.pdb"
+  "tests_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_net[1]_include.cmake")
+include("/root/repo/build/tests/tests_topology[1]_include.cmake")
+include("/root/repo/build/tests/tests_routing[1]_include.cmake")
+include("/root/repo/build/tests/tests_trie[1]_include.cmake")
+include("/root/repo/build/tests/tests_smt[1]_include.cmake")
+include("/root/repo/build/tests/tests_rcdc[1]_include.cmake")
+include("/root/repo/build/tests/tests_secguru[1]_include.cmake")
+include("/root/repo/build/tests/tests_e2e[1]_include.cmake")
+include("/root/repo/build/tests/tests_robustness[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_precheck.dir/dcv_precheck.cpp.o"
+  "CMakeFiles/dcv_precheck.dir/dcv_precheck.cpp.o.d"
+  "dcv_precheck"
+  "dcv_precheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_precheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_topogen.dir/dcv_topogen.cpp.o"
+  "CMakeFiles/dcv_topogen.dir/dcv_topogen.cpp.o.d"
+  "dcv_topogen"
+  "dcv_topogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_trace.dir/dcv_trace.cpp.o"
+  "CMakeFiles/dcv_trace.dir/dcv_trace.cpp.o.d"
+  "dcv_trace"
+  "dcv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcdc_validate.dir/rcdc_validate.cpp.o"
+  "CMakeFiles/rcdc_validate.dir/rcdc_validate.cpp.o.d"
+  "rcdc_validate"
+  "rcdc_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcdc_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

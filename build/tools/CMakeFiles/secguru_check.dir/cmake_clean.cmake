@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secguru_check.dir/secguru_check.cpp.o"
+  "CMakeFiles/secguru_check.dir/secguru_check.cpp.o.d"
+  "secguru_check"
+  "secguru_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secguru_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
