@@ -1,0 +1,86 @@
+// Resilience ablation: monitoring-cycle wall time and device coverage as a
+// function of the fetch-layer failure rate, with and without the
+// retry/backoff + circuit-breaker + stale-cache layer.
+//
+// The paper's pullers fail routinely (§2.6.1); the claim this bench makes
+// measurable is that the resilient fetch layer converts fetch failures
+// from lost coverage into bounded extra work: at a 20% transient-failure
+// rate, retries restore ~100% coverage for a small retry overhead, while
+// the naive path silently validates only the devices whose single pull
+// happened to succeed.
+#include <chrono>
+#include <cstdio>
+
+#include "rcdc/flaky_fib_source.hpp"
+#include "rcdc/pipeline.hpp"
+#include "rcdc/resilient_fib_source.hpp"
+#include "routing/fib_synthesizer.hpp"
+#include "topology/clos_builder.hpp"
+
+int main() {
+  using namespace dcv;
+
+  const topo::ClosParams params{.clusters = 12,
+                                .tors_per_cluster = 12,
+                                .leaves_per_cluster = 4,
+                                .spines_per_plane = 2,
+                                .regional_spines = 4};
+  const topo::Topology topology = topo::build_clos(params);
+  const topo::MetadataService metadata(topology);
+  const routing::FibSynthesizer synthesizer(metadata);
+  const rcdc::SynthesizedFibSource fibs(synthesizer);
+
+  std::printf(
+      "== resilience: cycle wall-time & coverage vs fetch failure rate ==\n"
+      "datacenter: %zu devices; transient fetch failures injected at the\n"
+      "given per-attempt rate; resilient = 4 retries, exponential backoff\n"
+      "(simulated clock, so backoff is not wall time), breaker 5/30s\n\n",
+      topology.device_count());
+  std::printf(
+      "  rate    mode        wall (ms)  coverage  retries  failed  stale"
+      "  violations\n");
+
+  const auto pipeline_config = rcdc::PipelineConfig{
+      .puller_workers = 8,
+      .validator_workers = 4,
+      .fetch_latency_min = std::chrono::microseconds(200),
+      .fetch_latency_max = std::chrono::microseconds(800),
+      .time_scale = 0.01,
+      .seed = 11};
+
+  for (const double rate : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    for (const bool resilient : {false, true}) {
+      const rcdc::FlakyFibSource flaky(
+          fibs, rcdc::FlakyConfig{.transient_rate = rate, .seed = 77});
+      rcdc::ManualFetchClock clock;
+      const rcdc::ResilientFibSource hardened(
+          flaky,
+          rcdc::ResilienceConfig{
+              .retry = {.max_attempts = 5,
+                        .initial_backoff = std::chrono::milliseconds(50),
+                        .fetch_deadline = std::chrono::seconds(10)},
+              .breaker = {.failure_threshold = 5,
+                          .cool_down = std::chrono::seconds(30)},
+              .seed = 7},
+          &clock);
+      const rcdc::FibSource& source =
+          resilient ? static_cast<const rcdc::FibSource&>(hardened) : flaky;
+
+      rcdc::MonitoringPipeline pipeline(
+          metadata, source, rcdc::make_trie_verifier_factory(),
+          pipeline_config);
+      const auto stats = pipeline.run_cycle();
+      std::printf(
+          "  %4.0f%%  %-10s %10.1f %8.1f%% %8zu %7zu %6zu %11zu\n",
+          100.0 * rate, resilient ? "resilient" : "naive",
+          std::chrono::duration<double, std::milli>(stats.wall).count(),
+          100.0 * stats.coverage(), stats.retries, stats.devices_failed,
+          stats.devices_stale, stats.violations);
+    }
+  }
+
+  std::printf(
+      "\nThe naive path loses ~rate of the fleet every cycle; the resilient\n"
+      "path holds coverage at ~100%% for O(rate * devices) extra attempts.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "rcdc/fib_source.hpp"
+
+#include <ostream>
+
+namespace dcv::rcdc {
+
+std::string_view to_string(FetchErrorKind kind) {
+  switch (kind) {
+    case FetchErrorKind::kTimeout:
+      return "timeout";
+    case FetchErrorKind::kTransient:
+      return "transient";
+    case FetchErrorKind::kTruncatedTable:
+      return "truncated-table";
+    case FetchErrorKind::kCorruptedEntry:
+      return "corrupted-entry";
+    case FetchErrorKind::kUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, FetchErrorKind kind) {
+  return os << to_string(kind);
+}
+
+}  // namespace dcv::rcdc

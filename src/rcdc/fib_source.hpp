@@ -1,5 +1,13 @@
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "net/error.hpp"
 #include "routing/aggregation.hpp"
 #include "routing/bgp_sim.hpp"
 #include "routing/fib.hpp"
@@ -8,13 +16,107 @@
 
 namespace dcv::rcdc {
 
+/// Why a routing-table pull failed. Production pulls "take 200-800ms" and
+/// fail routinely (§2.6.1, Figure 5); this taxonomy covers the failure modes
+/// the fetch layer must survive.
+enum class FetchErrorKind : std::uint8_t {
+  /// The device did not answer within the per-fetch deadline.
+  kTimeout,
+  /// A transient error (connection reset, SSH churn, collector restart);
+  /// an immediate or backed-off retry is likely to succeed.
+  kTransient,
+  /// The pull ended early: a syntactically valid but incomplete table was
+  /// returned (rules missing, often including the default route).
+  kTruncatedTable,
+  /// The pull returned a table with garbled entries (bit flips, interleaved
+  /// output): rules present but with wrong next-hop sets.
+  kCorruptedEntry,
+  /// The device is not reachable at all (management-plane outage, device
+  /// decommissioned, or a circuit breaker refusing to try).
+  kUnreachable,
+};
+
+[[nodiscard]] std::string_view to_string(FetchErrorKind kind);
+std::ostream& operator<<(std::ostream& os, FetchErrorKind kind);
+
+/// Raised by the legacy infallible FibSource::fetch() path when the
+/// underlying pull fails and no degraded result is available.
+class FetchError : public Error {
+ public:
+  FetchError(FetchErrorKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+
+  [[nodiscard]] FetchErrorKind kind() const { return kind_; }
+
+ private:
+  FetchErrorKind kind_;
+};
+
+/// Result of one fallible routing-table pull.
+///
+/// Three shapes occur:
+///  * clean success — `table` engaged, no `error`;
+///  * hard failure — no `table`, `error` says why;
+///  * degraded result — both engaged: either garbage from the wire
+///    (kTruncatedTable / kCorruptedEntry, table holds what arrived) or a
+///    stale-cache fallback (`stale` set, `staleness` is the table's age).
+///
+/// Callers that validate a degraded table should treat the verdicts as
+/// lower-confidence (see RiskPolicy::assess and TriageEngine::triage).
+struct FetchOutcome {
+  std::optional<routing::ForwardingTable> table;
+  std::optional<FetchErrorKind> error;
+  /// Table served from a cache of the last good pull, not from the device.
+  bool stale = false;
+  /// Age of a stale table (time since it was last pulled successfully).
+  std::chrono::nanoseconds staleness{0};
+  /// Pull attempts consumed (0 when a circuit breaker short-circuited the
+  /// fetch without touching the device).
+  std::uint32_t attempts = 1;
+  /// The fetch was short-circuited by an already-open circuit breaker.
+  bool breaker_open = false;
+  /// This fetch's failure transitioned a circuit breaker to open.
+  bool breaker_tripped = false;
+
+  [[nodiscard]] bool ok() const { return !error.has_value(); }
+  [[nodiscard]] bool has_table() const { return table.has_value(); }
+  /// True when the table (if any) should not be trusted at full confidence.
+  [[nodiscard]] bool degraded() const {
+    return stale || (error.has_value() && table.has_value());
+  }
+
+  [[nodiscard]] static FetchOutcome success(routing::ForwardingTable t) {
+    FetchOutcome out;
+    out.table = std::move(t);
+    return out;
+  }
+  [[nodiscard]] static FetchOutcome failure(FetchErrorKind kind) {
+    FetchOutcome out;
+    out.error = kind;
+    return out;
+  }
+  /// A degraded table that did arrive from the device (truncated/corrupt).
+  [[nodiscard]] static FetchOutcome garbage(FetchErrorKind kind,
+                                            routing::ForwardingTable t) {
+    FetchOutcome out;
+    out.error = kind;
+    out.table = std::move(t);
+    return out;
+  }
+};
+
 /// Where device FIBs come from. In production this is the routing-table
 /// puller of Figure 5 talking to live devices; here implementations wrap
 /// the EBGP simulator (faithful, including faults), the closed-form
 /// synthesizer (fault-free, arbitrarily large), or parsed device output.
 ///
-/// fetch() must be safe to call concurrently: the datacenter validator
-/// fans fetches out across worker threads.
+/// fetch()/try_fetch() must be safe to call concurrently: the datacenter
+/// validator fans fetches out across worker threads.
+///
+/// try_fetch() is the fallible path the monitoring stack uses; sources
+/// that cannot fail (simulator, synthesizer) inherit the default wrapper
+/// around the infallible fetch(). Decorators with failure semantics
+/// (FlakyFibSource, ResilientFibSource) override it.
 class FibSource {
  public:
   virtual ~FibSource() = default;
@@ -25,6 +127,10 @@ class FibSource {
 
   [[nodiscard]] virtual routing::ForwardingTable fetch(
       topo::DeviceId device) const = 0;
+
+  [[nodiscard]] virtual FetchOutcome try_fetch(topo::DeviceId device) const {
+    return FetchOutcome::success(fetch(device));
+  }
 };
 
 /// FIBs produced by the EBGP route-propagation simulator over the current

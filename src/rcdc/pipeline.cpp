@@ -11,12 +11,21 @@ namespace {
 
 /// The cloud-queue stand-in: a bounded MPMC queue of notifications. The
 /// puller posts "routing table ready for device X"; validators consume.
+/// push() blocks while the queue is at capacity, so a burst of fast pulls
+/// backpressures the pullers instead of buffering unbounded tables.
 template <typename T>
 class NotificationQueue {
  public:
+  explicit NotificationQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  /// Blocks until there is room (or the queue is closed, which drops the
+  /// item — closing with producers still active is a caller bug).
   void push(T item) {
     {
-      const std::lock_guard lock(mutex_);
+      std::unique_lock lock(mutex_);
+      space_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return;
       items_.push_back(std::move(item));
     }
     ready_.notify_one();
@@ -24,11 +33,15 @@ class NotificationQueue {
 
   /// Blocks until an item arrives or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    ready_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::unique_lock lock(mutex_);
+      ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    space_.notify_one();
     return item;
   }
 
@@ -38,12 +51,15 @@ class NotificationQueue {
       closed_ = true;
     }
     ready_.notify_all();
+    space_.notify_all();
   }
 
  private:
   std::mutex mutex_;
   std::condition_variable ready_;
+  std::condition_variable space_;
   std::deque<T> items_;
+  std::size_t capacity_;
   bool closed_ = false;
 };
 
@@ -51,6 +67,9 @@ struct Notification {
   topo::DeviceId device = topo::kInvalidDevice;
   routing::ForwardingTable fib;
   std::chrono::nanoseconds simulated_fetch{0};
+  /// The table is degraded (stale fallback or truncated/corrupted pull):
+  /// violations found on it are reported at degraded confidence.
+  bool degraded = false;
 };
 
 }  // namespace
@@ -78,7 +97,7 @@ PipelineStats MonitoringPipeline::run_cycle() {
   }
   stats.devices = devices.size();
 
-  NotificationQueue<Notification> queue;
+  NotificationQueue<Notification> queue(config_.queue_capacity);
   std::atomic<std::size_t> next_device{0};
   std::atomic<std::uint64_t> fetch_total_ns{0};
   std::atomic<std::uint64_t> validate_total_ns{0};
@@ -86,11 +105,17 @@ PipelineStats MonitoringPipeline::run_cycle() {
   std::atomic<std::size_t> violation_count{0};
   std::atomic<std::size_t> alerts_high{0};
   std::atomic<std::size_t> alerts_low{0};
+  std::atomic<std::size_t> violations_degraded{0};
+  std::atomic<std::size_t> devices_failed{0};
+  std::atomic<std::size_t> devices_stale{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> breaker_opens{0};
   std::mutex sink_mutex;
   const RiskPolicy risk(metadata_->topology());
 
   // Stage 2 — routing-table puller: fetch each device's table (with the
-  // production fetch latency, scaled) and post a notification.
+  // production fetch latency, scaled) and post a notification. A failed
+  // fetch costs the cycle coverage, never the cycle.
   const auto puller = [&](unsigned worker) {
     std::mt19937_64 rng(config_.seed * 1315423911u + worker);
     std::uniform_int_distribution<std::int64_t> latency_us(
@@ -105,9 +130,24 @@ PipelineStats MonitoringPipeline::run_cycle() {
               static_cast<double>(simulated.count())) *
           config_.time_scale);
       if (scaled.count() > 0) std::this_thread::sleep_for(scaled);
+      FetchOutcome outcome = fibs_->try_fetch(devices[i]);
+      if (outcome.attempts > 1) {
+        retries.fetch_add(outcome.attempts - 1, std::memory_order_relaxed);
+      }
+      if (outcome.breaker_tripped) {
+        breaker_opens.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!outcome.has_table()) {
+        devices_failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (outcome.stale) {
+        devices_stale.fetch_add(1, std::memory_order_relaxed);
+      }
       Notification n{.device = devices[i],
-                     .fib = fibs_->fetch(devices[i]),
-                     .simulated_fetch = simulated};
+                     .fib = std::move(*outcome.table),
+                     .simulated_fetch = simulated,
+                     .degraded = outcome.degraded()};
       fetch_total_ns.fetch_add(
           static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(simulated)
@@ -136,8 +176,13 @@ PipelineStats MonitoringPipeline::run_cycle() {
                                   std::memory_order_relaxed);
       violation_count.fetch_add(violations.size(),
                                 std::memory_order_relaxed);
+      if (notification->degraded) {
+        violations_degraded.fetch_add(violations.size(),
+                                      std::memory_order_relaxed);
+      }
       for (const Violation& v : violations) {
-        const RiskAssessment assessment = risk.assess(v);
+        const RiskAssessment assessment =
+            risk.assess(v, notification->degraded);
         if (assessment.level == RiskLevel::kHigh) {
           alerts_high.fetch_add(1, std::memory_order_relaxed);
         } else {
@@ -171,6 +216,11 @@ PipelineStats MonitoringPipeline::run_cycle() {
   stats.violations = violation_count.load();
   stats.alerts_high = alerts_high.load();
   stats.alerts_low = alerts_low.load();
+  stats.violations_degraded = violations_degraded.load();
+  stats.devices_failed = devices_failed.load();
+  stats.devices_stale = devices_stale.load();
+  stats.retries = retries.load();
+  stats.breaker_opens = breaker_opens.load();
   stats.fetch_total = std::chrono::nanoseconds(fetch_total_ns.load());
   stats.validate_total = std::chrono::nanoseconds(validate_total_ns.load());
   stats.wall = std::chrono::steady_clock::now() - start;

@@ -25,6 +25,10 @@ struct PipelineConfig {
   /// can run the full pipeline without waiting wall-clock production times.
   double time_scale = 1.0;
   std::uint64_t seed = 0;
+  /// Capacity of the puller→validator notification queue (the cloud-queue
+  /// stand-in). Pullers block when the queue is full — backpressure instead
+  /// of unbounded table buffering. Clamped to ≥ 1.
+  std::size_t queue_capacity = 256;
 };
 
 /// Aggregate statistics of one monitoring cycle.
@@ -34,11 +38,43 @@ struct PipelineStats {
   std::size_t violations = 0;
   std::size_t alerts_high = 0;
   std::size_t alerts_low = 0;
+  /// Violations found on degraded tables (stale fallback or truncated/
+  /// corrupted pulls); their alerts carry degraded_confidence.
+  std::size_t violations_degraded = 0;
+  /// Devices that yielded no table this cycle (retries exhausted with no
+  /// stale fallback, or skipped by an open circuit breaker).
+  std::size_t devices_failed = 0;
+  /// Devices validated against a stale cached table rather than a fresh
+  /// pull.
+  std::size_t devices_stale = 0;
+  /// Extra pull attempts beyond the first, summed over all devices.
+  std::size_t retries = 0;
+  /// Circuit-breaker closed→open (or half-open→open) transitions observed
+  /// during the cycle.
+  std::size_t breaker_opens = 0;
   std::chrono::nanoseconds wall{0};
-  /// Sum and mean of simulated fetch latencies (before scaling).
+  /// Sum of simulated fetch latencies (before scaling) over fetched devices.
   std::chrono::nanoseconds fetch_total{0};
-  /// Sum and mean of real contract-validation times per device.
+  /// Sum of real contract-validation times across devices.
   std::chrono::nanoseconds validate_total{0};
+
+  /// Fraction of devices that produced a table this cycle (fresh or stale).
+  [[nodiscard]] double coverage() const {
+    return devices == 0 ? 1.0
+                        : static_cast<double>(devices - devices_failed) /
+                              static_cast<double>(devices);
+  }
+  /// Mean simulated fetch latency over devices actually fetched.
+  [[nodiscard]] std::chrono::nanoseconds fetch_mean() const {
+    const auto fetched = static_cast<std::int64_t>(devices - devices_failed);
+    return fetched == 0 ? std::chrono::nanoseconds{0} : fetch_total / fetched;
+  }
+  /// Mean contract-validation time over devices actually validated.
+  [[nodiscard]] std::chrono::nanoseconds validate_mean() const {
+    const auto fetched = static_cast<std::int64_t>(devices - devices_failed);
+    return fetched == 0 ? std::chrono::nanoseconds{0}
+                        : validate_total / fetched;
+  }
 };
 
 /// The three-microservice monitoring pipeline of Figure 5, realized
@@ -65,6 +101,11 @@ class MonitoringPipeline {
 
   /// Runs one full monitoring cycle over every device ("The frequency of
   /// validation is configurable" — the caller owns the schedule).
+  ///
+  /// The cycle always completes: fetch failures reduce coverage (counted in
+  /// devices_failed) instead of aborting the cycle, stale-cache fallbacks
+  /// are validated at degraded confidence, and breaker-skipped devices are
+  /// reported, never waited on.
   [[nodiscard]] PipelineStats run_cycle();
 
  private:

@@ -55,6 +55,12 @@ std::string write_report_json(const ValidationSummary& summary,
       << nl;
   out << in1 << "\"contracts_checked\": " << summary.contracts_checked
       << "," << nl;
+  out << in1 << "\"devices_failed\": " << summary.devices_failed << ","
+      << nl;
+  out << in1 << "\"devices_stale\": " << summary.devices_stale << "," << nl;
+  out << in1 << "\"retries\": " << summary.retries << "," << nl;
+  out << in1 << "\"breaker_opens\": " << summary.breaker_opens << "," << nl;
+  out << in1 << "\"coverage\": " << summary.coverage() << "," << nl;
   out << in1 << "\"elapsed_ms\": "
       << std::chrono::duration<double, std::milli>(summary.elapsed).count()
       << "," << nl;

@@ -18,6 +18,13 @@ std::ostream& operator<<(std::ostream& os, RiskLevel level) {
   return os << to_string(level);
 }
 
+RiskAssessment RiskPolicy::assess(const Violation& violation,
+                                  bool degraded_table) const {
+  RiskAssessment out = assess(violation);
+  out.degraded_confidence = degraded_table;
+  return out;
+}
+
 RiskAssessment RiskPolicy::assess(const Violation& violation) const {
   const topo::Device& device = topology_->device(violation.device);
 

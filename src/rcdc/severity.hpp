@@ -29,6 +29,10 @@ struct RiskAssessment {
   /// Additional failures needed before traffic is lost outright: the number
   /// of next hops the device still has for the affected destination.
   std::size_t additional_faults_to_impact = 0;
+  /// The violation was found on a degraded table (stale cache fallback or a
+  /// truncated/corrupted pull): the risk level stands, but the alert should
+  /// be treated as lower-confidence until a fresh pull confirms it.
+  bool degraded_confidence = false;
 };
 
 /// Deterministic risk policy mirroring the paper's examples:
@@ -53,6 +57,11 @@ class RiskPolicy {
       : topology_(&topology), servers_per_rack_(servers_per_rack) {}
 
   [[nodiscard]] RiskAssessment assess(const Violation& violation) const;
+
+  /// Overload for violations found on a degraded (stale or garbage) table:
+  /// same classification, with `degraded_confidence` set accordingly.
+  [[nodiscard]] RiskAssessment assess(const Violation& violation,
+                                      bool degraded_table) const;
 
  private:
   const topo::Topology* topology_;

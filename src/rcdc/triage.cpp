@@ -21,6 +21,18 @@ std::ostream& operator<<(std::ostream& os, RemediationAction action) {
   return os << to_string(action);
 }
 
+TriageDecision TriageEngine::triage(const Violation& violation,
+                                    bool degraded_table) const {
+  TriageDecision decision = triage(violation);
+  if (degraded_table) {
+    decision.low_confidence = true;
+    decision.rationale +=
+        " [low confidence: found on a stale/degraded table; confirm with a "
+        "fresh pull before remediating]";
+  }
+  return decision;
+}
+
 TriageDecision TriageEngine::triage(const Violation& violation) const {
   TriageDecision decision;
   decision.risk = risk_.assess(violation).level;

@@ -31,6 +31,10 @@ struct TriageDecision {
   /// The link implicated by metadata correlation, if any.
   std::optional<topo::LinkId> link;
   std::string rationale;
+  /// The violation came from a degraded table (stale cache or a truncated/
+  /// corrupted pull): remediation should wait for a fresh-pull confirmation
+  /// before acting (degraded-mode semantics of the fetch layer).
+  bool low_confidence = false;
 };
 
 /// The automated triaging process: correlates validation errors with
@@ -42,6 +46,11 @@ class TriageEngine {
       : topology_(&topology), risk_(topology) {}
 
   [[nodiscard]] TriageDecision triage(const Violation& violation) const;
+
+  /// Overload for violations found on a degraded (stale or garbage) table:
+  /// the decision is marked low-confidence and its rationale says so.
+  [[nodiscard]] TriageDecision triage(const Violation& violation,
+                                      bool degraded_table) const;
 
  private:
   const topo::Topology* topology_;

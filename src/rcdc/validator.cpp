@@ -35,6 +35,11 @@ ValidationSummary DatacenterValidator::run(
 
   struct WorkerResult {
     std::size_t contracts_checked = 0;
+    std::size_t devices_failed = 0;
+    std::size_t devices_stale = 0;
+    std::size_t retries = 0;
+    std::size_t breaker_opens = 0;
+    std::size_t violations_degraded = 0;
     std::vector<Violation> violations;
   };
   std::vector<WorkerResult> results(threads);
@@ -42,7 +47,7 @@ ValidationSummary DatacenterValidator::run(
 
   // Each worker claims devices from a shared counter and validates them in
   // isolation: fetch FIB, generate contracts, check, discard. Nothing
-  // global is ever built.
+  // global is ever built, and a failed fetch fails only its own device.
   const auto worker = [&](unsigned worker_index) {
     const auto verifier = verifier_factory_();
     WorkerResult& result = results[worker_index];
@@ -53,9 +58,17 @@ ValidationSummary DatacenterValidator::run(
       const topo::DeviceId device = devices[i];
       const auto contracts = generator_.for_device(device);
       if (contracts.empty()) continue;
-      const auto fib = fibs_->fetch(device);
-      auto violations = verifier->check(fib, contracts, device);
+      FetchOutcome outcome = fibs_->try_fetch(device);
+      if (outcome.attempts > 1) result.retries += outcome.attempts - 1;
+      if (outcome.breaker_tripped) ++result.breaker_opens;
+      if (!outcome.has_table()) {
+        ++result.devices_failed;
+        continue;
+      }
+      if (outcome.stale) ++result.devices_stale;
+      auto violations = verifier->check(*outcome.table, contracts, device);
       result.contracts_checked += contracts.size();
+      if (outcome.degraded()) result.violations_degraded += violations.size();
       result.violations.insert(result.violations.end(),
                                std::make_move_iterator(violations.begin()),
                                std::make_move_iterator(violations.end()));
@@ -76,6 +89,11 @@ ValidationSummary DatacenterValidator::run(
   summary.devices_checked = devices.size();
   for (WorkerResult& result : results) {
     summary.contracts_checked += result.contracts_checked;
+    summary.devices_failed += result.devices_failed;
+    summary.devices_stale += result.devices_stale;
+    summary.retries += result.retries;
+    summary.breaker_opens += result.breaker_opens;
+    summary.violations_degraded += result.violations_degraded;
     summary.violations.insert(
         summary.violations.end(),
         std::make_move_iterator(result.violations.begin()),

@@ -21,8 +21,29 @@ using VerifierFactory = std::function<std::unique_ptr<Verifier>()>;
 struct ValidationSummary {
   std::size_t devices_checked = 0;
   std::size_t contracts_checked = 0;
+  /// Devices whose fetch produced no table (retries exhausted without a
+  /// stale fallback, or skipped by an open circuit breaker): excluded from
+  /// the violation report, counted against coverage.
+  std::size_t devices_failed = 0;
+  /// Devices validated against a stale cached table.
+  std::size_t devices_stale = 0;
+  /// Extra pull attempts beyond the first, summed over all devices.
+  std::size_t retries = 0;
+  /// Circuit-breaker open transitions observed during the run.
+  std::size_t breaker_opens = 0;
+  /// Violations found on degraded tables (stale or truncated/corrupted);
+  /// they also appear in `violations` but warrant fresh-pull confirmation.
+  std::size_t violations_degraded = 0;
   std::vector<Violation> violations;
   std::chrono::nanoseconds elapsed{0};
+
+  /// Fraction of devices that produced a table (fresh or stale).
+  [[nodiscard]] double coverage() const {
+    return devices_checked == 0
+               ? 1.0
+               : static_cast<double>(devices_checked - devices_failed) /
+                     static_cast<double>(devices_checked);
+  }
 };
 
 /// Validates every device of a datacenter against its generated contracts.
@@ -41,6 +62,10 @@ class DatacenterValidator {
 
   /// Runs validation over all devices (or a subset) with the given level of
   /// parallelism. Violations are reported in device-id order.
+  ///
+  /// Fetches go through FibSource::try_fetch: a device whose pull fails is
+  /// counted in devices_failed and skipped — the run completes with partial
+  /// coverage instead of propagating the failure.
   [[nodiscard]] ValidationSummary run(unsigned threads = 1) const;
   [[nodiscard]] ValidationSummary run(
       const std::vector<topo::DeviceId>& devices, unsigned threads) const;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rcdc/flaky_fib_source.hpp"
+#include "rcdc/resilient_fib_source.hpp"
 #include "routing/bgp_sim.hpp"
 #include "topology/clos_builder.hpp"
 
@@ -87,6 +89,215 @@ TEST(MonitoringPipeline, SingleWorkerConfigWorks) {
   MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
                               config);
   EXPECT_EQ(pipeline.run_cycle().devices, topology.device_count());
+}
+
+TEST(MonitoringPipeline, BoundedQueueBackpressuresWithoutLoss) {
+  // Capacity 1 forces every push to wait for a pop: the cycle must still
+  // validate every device exactly once.
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  PipelineConfig config = fast_config();
+  config.queue_capacity = 1;
+  config.puller_workers = 8;
+  config.validator_workers = 2;
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              config);
+  const auto stats = pipeline.run_cycle();
+  EXPECT_EQ(stats.devices, topology.device_count());
+  EXPECT_EQ(stats.devices_failed, 0u);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_GT(stats.contracts_checked, 0u);
+}
+
+TEST(MonitoringPipeline, StatsMeansMatchTotals) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              fast_config());
+  const auto stats = pipeline.run_cycle();
+  ASSERT_GT(stats.devices, 0u);
+  EXPECT_EQ(stats.fetch_mean().count(),
+            stats.fetch_total.count() /
+                static_cast<std::int64_t>(stats.devices));
+  EXPECT_EQ(stats.validate_mean().count(),
+            stats.validate_total.count() /
+                static_cast<std::int64_t>(stats.devices));
+  EXPECT_DOUBLE_EQ(stats.coverage(), 1.0);
+}
+
+// Acceptance: at a 20% transient-failure rate with retries enabled, a full
+// cycle over a 3-tier Clos completes with 100% device coverage and zero
+// spurious violations vs. the fault-free baseline.
+TEST(MonitoringPipeline, TwentyPercentFlakinessWithRetriesKeepsFullCoverage) {
+  const auto topology = topo::build_clos(topo::ClosParams{});
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource inner(sim);
+
+  const auto baseline = [&] {
+    MonitoringPipeline pipeline(metadata, inner,
+                                make_trie_verifier_factory(), fast_config());
+    return pipeline.run_cycle();
+  }();
+  ASSERT_EQ(baseline.violations, 0u);
+
+  const FlakyFibSource flaky(inner,
+                             FlakyConfig{.transient_rate = 0.2, .seed = 31});
+  ManualFetchClock clock;
+  const ResilientFibSource hardened(
+      flaky,
+      ResilienceConfig{.retry = {.max_attempts = 6,
+                                 .initial_backoff =
+                                     std::chrono::milliseconds(50)},
+                       .breaker = {.failure_threshold = 10,
+                                   .cool_down = std::chrono::seconds(30)},
+                       .seed = 3},
+      &clock);
+  MonitoringPipeline pipeline(metadata, hardened,
+                              make_trie_verifier_factory(), fast_config());
+  const auto stats = pipeline.run_cycle();
+  EXPECT_EQ(stats.devices, baseline.devices);
+  EXPECT_EQ(stats.devices_failed, 0u);
+  EXPECT_DOUBLE_EQ(stats.coverage(), 1.0);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.violations, baseline.violations);  // zero spurious
+  EXPECT_EQ(stats.violations_degraded, 0u);
+}
+
+// Acceptance: with retries disabled the cycle still completes, reporting
+// the failed devices in PipelineStats rather than throwing.
+TEST(MonitoringPipeline, FlakinessWithoutRetriesCompletesWithPartialCoverage) {
+  const auto topology = topo::build_clos(topo::ClosParams{});
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource inner(sim);
+  const FlakyFibSource flaky(inner,
+                             FlakyConfig{.transient_rate = 0.2, .seed = 31});
+  MonitoringPipeline pipeline(metadata, flaky, make_trie_verifier_factory(),
+                              fast_config());
+  const auto stats = pipeline.run_cycle();
+  EXPECT_EQ(stats.devices, topology.device_count());
+  EXPECT_GT(stats.devices_failed, 0u);
+  EXPECT_LT(stats.coverage(), 1.0);
+  EXPECT_EQ(stats.retries, 0u);
+  // Transient failures yield no table at all, so nothing spurious is
+  // validated.
+  EXPECT_EQ(stats.violations, 0u);
+}
+
+TEST(MonitoringPipeline, GarbageTablesProduceDegradedConfidenceAlerts) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource inner(sim);
+  const FlakyFibSource flaky(inner,
+                             FlakyConfig{.truncate_rate = 1.0, .seed = 7});
+  MonitoringPipeline pipeline(metadata, flaky, make_trie_verifier_factory(),
+                              fast_config());
+  std::size_t degraded_alerts = 0;
+  pipeline.set_alert_sink(
+      [&](const Violation&, const RiskAssessment& assessment) {
+        if (assessment.degraded_confidence) ++degraded_alerts;
+      });
+  const auto stats = pipeline.run_cycle();
+  // Every table was truncated garbage: violations exist and every alert is
+  // flagged lower-confidence.
+  EXPECT_GT(stats.violations, 0u);
+  EXPECT_EQ(stats.violations_degraded, stats.violations);
+  EXPECT_EQ(degraded_alerts, stats.violations);
+  EXPECT_EQ(stats.devices_failed, 0u);
+}
+
+// Acceptance: a persistently dead device trips the breaker after the
+// configured threshold, subsequent cycles skip it within the cool-down
+// (counted as devices_failed), and a half-open probe restores it once the
+// source recovers.
+TEST(MonitoringPipeline, BreakerSkipsDeadDeviceAcrossCyclesThenRecovers) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource inner(sim);
+  FlakyFibSource flaky(inner, FlakyConfig{.seed = 1});
+  const topo::DeviceId dead = *topology.find_device("ToR1");
+  flaky.mark_dead(dead);
+
+  ManualFetchClock clock;
+  const ResilientFibSource hardened(
+      flaky,
+      ResilienceConfig{.retry = {.max_attempts = 2,
+                                 .initial_backoff =
+                                     std::chrono::milliseconds(10)},
+                       .breaker = {.failure_threshold = 2,
+                                   .cool_down = std::chrono::hours(1)},
+                       .serve_stale = false},
+      &clock);
+  MonitoringPipeline pipeline(metadata, hardened,
+                              make_trie_verifier_factory(), fast_config());
+
+  const auto first = pipeline.run_cycle();
+  EXPECT_EQ(first.devices_failed, 1u);
+  EXPECT_EQ(first.breaker_opens, 0u);
+
+  const auto second = pipeline.run_cycle();  // reaches the threshold
+  EXPECT_EQ(second.devices_failed, 1u);
+  EXPECT_EQ(second.breaker_opens, 1u);
+  EXPECT_EQ(hardened.breaker_state(dead), BreakerState::kOpen);
+
+  // Within the cool-down the dead device is skipped, not re-pulled.
+  const auto flaky_calls_before = flaky.records().size();
+  const auto third = pipeline.run_cycle();
+  EXPECT_EQ(third.devices_failed, 1u);
+  EXPECT_EQ(third.retries, 0u);
+  EXPECT_EQ(flaky.records().size(), flaky_calls_before);
+  EXPECT_GE(hardened.stats().short_circuits, 1u);
+
+  // The device recovers; after the cool-down a half-open probe restores it.
+  flaky.revive(dead);
+  clock.advance(std::chrono::hours(2));
+  const auto fourth = pipeline.run_cycle();
+  EXPECT_EQ(fourth.devices_failed, 0u);
+  EXPECT_DOUBLE_EQ(fourth.coverage(), 1.0);
+  EXPECT_EQ(hardened.breaker_state(dead), BreakerState::kClosed);
+  EXPECT_GE(hardened.stats().half_open_probes, 1u);
+}
+
+TEST(MonitoringPipeline, StaleFallbackCountsDevicesStale) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource inner(sim);
+  FlakyFibSource flaky(inner, FlakyConfig{.seed = 1});
+  const topo::DeviceId victim = *topology.find_device("ToR1");
+
+  ManualFetchClock clock;
+  const ResilientFibSource hardened(
+      flaky,
+      ResilienceConfig{.retry = {.max_attempts = 2,
+                                 .initial_backoff =
+                                     std::chrono::milliseconds(10)},
+                       .breaker = {.failure_threshold = 100,
+                                   .cool_down = std::chrono::seconds(30)},
+                       .serve_stale = true},
+      &clock);
+  MonitoringPipeline pipeline(metadata, hardened,
+                              make_trie_verifier_factory(), fast_config());
+
+  const auto warm = pipeline.run_cycle();  // populate every cache
+  ASSERT_EQ(warm.devices_failed, 0u);
+
+  flaky.mark_dead(victim);
+  const auto degraded = pipeline.run_cycle();
+  // The dead device's last good table is served stale: coverage holds, the
+  // device is counted stale, and (the network being healthy when cached)
+  // no violations appear.
+  EXPECT_EQ(degraded.devices_failed, 0u);
+  EXPECT_EQ(degraded.devices_stale, 1u);
+  EXPECT_DOUBLE_EQ(degraded.coverage(), 1.0);
+  EXPECT_EQ(degraded.violations, 0u);
 }
 
 TEST(MonitoringPipeline, RepeatedCyclesAreStable) {

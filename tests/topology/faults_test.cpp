@@ -94,6 +94,75 @@ TEST(FaultInjector, RepairWithOverlappingFaults) {
   EXPECT_EQ(t.link(0).bgp_state, BgpSessionState::kAdminShutdown);
 }
 
+TEST(FaultInjector, RepairDuplicateFaultOnSameLinkKeepsTheOther) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  // The same link goes physically down twice (e.g. re-reported by two
+  // monitors): repairing one record must keep the link down.
+  injector.link_down(0);
+  injector.link_down(0);
+  injector.repair(0);
+  EXPECT_EQ(t.link(0).link_state, LinkState::kDown);
+  injector.repair(0);
+  EXPECT_EQ(t.link(0).link_state, LinkState::kUp);
+}
+
+TEST(FaultInjector, RepairLayer2FaultKeepsOverlappingAdminShut) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  const DeviceId a1 = *t.find_device("A1");
+  const auto link = *t.find_link(*t.find_device("ToR1"), a1);
+  // A layer-2 interface bug shuts every session of A1; one of those links
+  // is also independently admin-shut. Repairing the device fault must
+  // leave the admin-shut session shut.
+  injector.bgp_admin_shutdown(link);
+  injector.device_fault(a1, DeviceFaultKind::kLayer2InterfaceBug);
+  injector.repair(1);  // remove the layer-2 fault
+  EXPECT_EQ(t.link(link).bgp_state, BgpSessionState::kAdminShutdown);
+  EXPECT_FALSE(
+      injector.device_has_fault(a1, DeviceFaultKind::kLayer2InterfaceBug));
+  // The other sessions of A1 are restored.
+  EXPECT_FALSE(t.usable_neighbors(a1).empty());
+}
+
+TEST(FaultInjector, ReapplyRestoresOverlappingFaultsAfterExternalClear) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  const DeviceId a2 = *t.find_device("A2");
+  injector.link_down(0);
+  injector.bgp_admin_shutdown(0);
+  injector.device_fault(a2, DeviceFaultKind::kLayer2InterfaceBug);
+  // Someone resets the topology's fault state behind the injector's back.
+  t.clear_faults();
+  EXPECT_TRUE(t.link(0).usable());
+  injector.reapply();
+  EXPECT_EQ(t.link(0).link_state, LinkState::kDown);
+  EXPECT_EQ(t.link(0).bgp_state, BgpSessionState::kAdminShutdown);
+  EXPECT_TRUE(t.usable_neighbors(a2).empty());
+  EXPECT_EQ(injector.records().size(), 3u);
+}
+
+TEST(FaultInjector, RepairSequenceOverOverlappingFaultsConverges) {
+  Topology t = build_figure3();
+  FaultInjector injector(t);
+  injector.link_down(0);
+  injector.bgp_admin_shutdown(0);
+  injector.link_down(1);
+  // Repair in an order that interleaves the overlapped link: after each
+  // repair the topology equals the state implied by the remaining records.
+  injector.repair(1);  // remove admin-shut on link 0; link 0 stays down
+  EXPECT_EQ(t.link(0).link_state, LinkState::kDown);
+  // The session is no longer admin-shut, though it cannot establish while
+  // the link is physically down.
+  EXPECT_NE(t.link(0).bgp_state, BgpSessionState::kAdminShutdown);
+  injector.repair(0);  // remove link-down on link 0
+  EXPECT_TRUE(t.link(0).usable());
+  EXPECT_EQ(t.link(1).link_state, LinkState::kDown);
+  injector.repair(0);
+  EXPECT_TRUE(t.link(1).usable());
+  EXPECT_TRUE(injector.records().empty());
+}
+
 TEST(FaultInjector, ResetClearsEverything) {
   Topology t = build_figure3();
   FaultInjector injector(t, 3);

@@ -17,7 +17,9 @@
 
 #include "rcdc/beliefs_io.hpp"
 #include "rcdc/fib_source.hpp"
+#include "rcdc/flaky_fib_source.hpp"
 #include "rcdc/global_checker.hpp"
+#include "rcdc/resilient_fib_source.hpp"
 #include "rcdc/report_io.hpp"
 #include "rcdc/triage.hpp"
 #include "rcdc/validator.hpp"
@@ -39,7 +41,18 @@ void usage() {
       "  --global         also run the global all-pairs baseline\n"
       "  --beliefs FILE   also check operator beliefs (template properties)\n"
       "  --json           emit the report as JSON (stream-analytics feed)\n"
-      "  --quiet          print only the summary line\n";
+      "  --quiet          print only the summary line\n"
+      "fault-injection (flaky fetch layer; per-attempt probabilities):\n"
+      "  --flaky-timeout R --flaky-transient R --flaky-truncate R\n"
+      "  --flaky-corrupt R --flaky-unreachable R   rates in [0,1]\n"
+      "  --flaky-seed N   failure-schedule seed (default 0)\n"
+      "resilience (retry/backoff + per-device circuit breaker):\n"
+      "  --retries N          pull attempts per fetch (enables the layer)\n"
+      "  --backoff-ms N       initial backoff, doubled per retry (def 50)\n"
+      "  --deadline-ms N      per-fetch overall budget (default 10000)\n"
+      "  --breaker-threshold N  consecutive failures to open (default 5)\n"
+      "  --breaker-cooldown-ms N  open-state cool-down (default 30000)\n"
+      "  --no-stale           disable the stale-table cache fallback\n";
 }
 
 std::string slurp(const std::string& path) {
@@ -83,6 +96,10 @@ int main(int argc, char** argv) {
   bool as_json = false;
   bool quiet = false;
   std::string beliefs_path;
+  rcdc::FlakyConfig flaky;
+  bool use_flaky = false;
+  rcdc::ResilienceConfig resilience;
+  bool use_resilience = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -92,6 +109,36 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    const auto rate_value = [&] {
+      use_flaky = true;
+      const auto text = value();
+      double rate = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), rate);
+      if (ec != std::errc{} || ptr != text.data() + text.size() ||
+          rate < 0.0 || rate > 1.0) {
+        std::cerr << "rcdc_validate: " << flag << " wants a rate in [0,1], got '"
+                  << text << "'\n";
+        std::exit(2);
+      }
+      return rate;
+    };
+    const auto count_value = [&]() -> std::uint64_t {
+      const auto text = value();
+      std::uint64_t n = 0;
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), n);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        std::cerr << "rcdc_validate: " << flag
+                  << " wants a non-negative integer, got '" << text << "'\n";
+        std::exit(2);
+      }
+      return n;
+    };
+    const auto ms_value = [&] {
+      use_resilience = true;
+      return std::chrono::milliseconds(count_value());
     };
     if (flag == "--topology") {
       topology_path = value();
@@ -108,6 +155,34 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (flag == "--beliefs") {
       beliefs_path = value();
+    } else if (flag == "--flaky-timeout") {
+      flaky.timeout_rate = rate_value();
+    } else if (flag == "--flaky-transient") {
+      flaky.transient_rate = rate_value();
+    } else if (flag == "--flaky-truncate") {
+      flaky.truncate_rate = rate_value();
+    } else if (flag == "--flaky-corrupt") {
+      flaky.corrupt_rate = rate_value();
+    } else if (flag == "--flaky-unreachable") {
+      flaky.unreachable_rate = rate_value();
+    } else if (flag == "--flaky-seed") {
+      flaky.seed = count_value();
+    } else if (flag == "--retries") {
+      use_resilience = true;
+      resilience.retry.max_attempts = static_cast<unsigned>(count_value());
+    } else if (flag == "--backoff-ms") {
+      resilience.retry.initial_backoff = ms_value();
+    } else if (flag == "--deadline-ms") {
+      resilience.retry.fetch_deadline = ms_value();
+    } else if (flag == "--breaker-threshold") {
+      use_resilience = true;
+      resilience.breaker.failure_threshold =
+          static_cast<unsigned>(count_value());
+    } else if (flag == "--breaker-cooldown-ms") {
+      resilience.breaker.cool_down = ms_value();
+    } else if (flag == "--no-stale") {
+      use_resilience = true;
+      resilience.serve_stale = false;
     } else if (flag == "--quiet") {
       quiet = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -138,10 +213,25 @@ int main(int argc, char** argv) {
       fibs = std::make_unique<FileFibSource>(tables_dir, topology);
     }
 
+    // Optional fetch-layer decorators: failure injection under the
+    // resilience layer, so retries/breakers see the injected flakiness.
+    std::unique_ptr<rcdc::FlakyFibSource> flaky_source;
+    std::unique_ptr<rcdc::ResilientFibSource> resilient_source;
+    const rcdc::FibSource* active = fibs.get();
+    if (use_flaky) {
+      flaky_source = std::make_unique<rcdc::FlakyFibSource>(*active, flaky);
+      active = flaky_source.get();
+    }
+    if (use_resilience) {
+      resilient_source =
+          std::make_unique<rcdc::ResilientFibSource>(*active, resilience);
+      active = resilient_source.get();
+    }
+
     const rcdc::VerifierFactory factory =
         verifier_name == "smt" ? rcdc::make_smt_verifier_factory()
                                : rcdc::make_trie_verifier_factory();
-    const rcdc::DatacenterValidator validator(metadata, *fibs, factory);
+    const rcdc::DatacenterValidator validator(metadata, *active, factory);
     const auto summary = validator.run(threads);
 
     if (as_json) {
@@ -170,6 +260,14 @@ int main(int argc, char** argv) {
               << std::chrono::duration<double>(summary.elapsed).count()
               << " s (" << verifier_name << ", " << threads
               << " threads)\n";
+    if (use_flaky || use_resilience) {
+      std::cout << "fetch layer: coverage " << 100.0 * summary.coverage()
+                << "% (" << summary.devices_failed << " failed, "
+                << summary.devices_stale << " stale, " << summary.retries
+                << " retries, " << summary.breaker_opens
+                << " breaker-opens, " << summary.violations_degraded
+                << " degraded-confidence violations)\n";
+    }
 
     bool beliefs_ok = true;
     if (!beliefs_path.empty()) {
