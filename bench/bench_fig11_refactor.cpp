@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "secguru/refactor.hpp"
 
 int main() {
@@ -83,5 +85,23 @@ int main() {
       "\nfinal ACL: %zu rules (< 1000: %s) in %.1f s of SecGuru checking\n",
       production.rules.size(),
       production.rules.size() < 1000 ? "yes" : "NO", seconds);
+
+  // Registry dump: plan-level timing plus per-step precheck outcomes.
+  dcv::obs::MetricsRegistry registry;
+  registry
+      .histogram("dcv_secguru_refactor_plan_ns",
+                 "Wall time of one full pre-checked refactor plan")
+      .observe(static_cast<std::uint64_t>(seconds * 1e9));
+  auto& steps_total = registry.counter("dcv_secguru_refactor_steps_total",
+                                       "Refactor steps executed");
+  auto& failures_total =
+      registry.counter("dcv_secguru_precheck_failures_total",
+                       "Contract failures caught by the precheck");
+  for (const StepOutcome& o : outcomes) {
+    steps_total.inc();
+    failures_total.inc(o.precheck_failures.size());
+  }
+  std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
+              dcv::obs::write_prometheus(registry).c_str());
   return production.rules.size() < 1000 ? 0 : 1;
 }

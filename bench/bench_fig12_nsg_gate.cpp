@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "secguru/nsg_gate.hpp"
 
 int main() {
@@ -67,5 +69,25 @@ int main() {
       "settles; the gate rejected %zu breaking changes that would each have\n"
       "become an incident.\n",
       before, after, rejected);
+
+  // Registry dump: the simulated operation's aggregate gate metrics.
+  dcv::obs::MetricsRegistry registry;
+  auto& changes = registry.counter("dcv_nsg_changes_attempted_total",
+                                   "Customer NSG changes attempted");
+  auto& gate_rejects = registry.counter(
+      "dcv_nsg_changes_rejected_total",
+      "Changes the SecGuru gate rejected as contract-breaking");
+  auto& incidents = registry.counter("dcv_nsg_incidents_reported_total",
+                                     "Customer incidents reported");
+  auto& open_incidents = registry.histogram(
+      "dcv_nsg_open_incidents", "Open incidents, sampled once per day");
+  for (const auto& day : series) {
+    changes.inc(day.changes_attempted);
+    gate_rejects.inc(day.changes_rejected_by_gate);
+    incidents.inc(day.incidents_reported);
+    open_incidents.observe(day.incidents_open);
+  }
+  std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
+              dcv::obs::write_prometheus(registry).c_str());
   return after == 0 ? 0 : 1;
 }

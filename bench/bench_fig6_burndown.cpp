@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "rcdc/burndown.hpp"
 
 namespace {
@@ -25,7 +27,9 @@ std::string bar(double fraction, char fill) {
 int main() {
   using namespace dcv::rcdc;
 
-  const BurndownConfig config{};  // deploy at day 5, as in the paper
+  dcv::obs::MetricsRegistry registry;
+  BurndownConfig config{};  // deploy at day 5, as in the paper
+  config.metrics = &registry;
   const auto series = simulate_burndown(config);
 
   std::printf(
@@ -48,5 +52,8 @@ int main() {
       "\nshape check: peak-normalized totals fall from 1.0 to %.2f after\n"
       "deployment — the paper's downward trend.\n",
       last.high_fraction + last.low_fraction);
+
+  std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
+              dcv::obs::write_prometheus(registry).c_str());
   return 0;
 }

@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "rcdc/incremental.hpp"
 #include "routing/bgp_sim.hpp"
 #include "topology/clos_builder.hpp"
@@ -34,8 +36,9 @@ int main() {
   std::printf(
       "  cycle  changed-FIBs  contracts-checked  cycle (ms)  violations\n");
 
-  rcdc::IncrementalValidator validator(metadata,
-                                       rcdc::make_trie_verifier_factory());
+  obs::MetricsRegistry registry;
+  rcdc::IncrementalValidator validator(
+      metadata, rcdc::make_trie_verifier_factory(&registry), {}, &registry);
   for (int cycle = 0; cycle < 8; ++cycle) {
     if (cycle > 0) faults.random_link_failures(1);
     const routing::BgpSimulator sim(topology, &faults);
@@ -59,5 +62,8 @@ int main() {
       "stays local (see the small cycles). Either way the cached verdicts\n"
       "of untouched devices are reused verbatim. (Cycle time is dominated\n"
       "by re-running routing, standing in for table pulls.)\n");
+
+  std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
+              obs::write_prometheus(registry).c_str());
   return 0;
 }

@@ -7,9 +7,12 @@
 // finishes quickly; throughput scales with puller workers because
 // validation is local and cheap — fetching dominates, exactly the regime
 // the paper's horizontally-partitioned service is built for.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "rcdc/pipeline.hpp"
 #include "routing/fib_synthesizer.hpp"
 #include "topology/clos_builder.hpp"
@@ -52,7 +55,8 @@ int main() {
     std::printf("  %7u %10u %10.1f %10.1f %16.0f %19.1f %11zu\n", pullers,
                 4u, wall_ms,
                 1000.0 * static_cast<double>(stats.devices) / wall_ms,
-                std::chrono::duration<double, std::milli>(stats.fetch_total)
+                std::chrono::duration<double, std::milli>(
+                    stats.fetch_sim_total)
                         .count() /
                     static_cast<double>(stats.devices),
                 std::chrono::duration<double, std::micro>(
@@ -66,5 +70,41 @@ int main() {
       "\nWith production (uncompressed) latencies, one instance at 64\n"
       "pullers sustains ~100+ devices/s -> a full O(10K)-device cycle in\n"
       "a couple of minutes, matching the paper's instance sizing.\n");
+
+  // Instrumentation overhead: the same cycle with the metrics registry off
+  // vs on. The acceptance budget is <5% wall-time overhead; the registry's
+  // hot path is one branch + a few relaxed atomics per record, so the
+  // delta should disappear into fetch-sleep noise.
+  obs::MetricsRegistry registry;
+  auto overhead_config = rcdc::PipelineConfig{
+      .puller_workers = 16,
+      .validator_workers = 4,
+      .fetch_latency_min = std::chrono::microseconds(200'000),
+      .fetch_latency_max = std::chrono::microseconds(800'000),
+      .time_scale = 0.001,
+      .seed = 11};
+  double wall_off = 0.0;
+  double wall_on = 0.0;
+  for (const bool instrumented : {false, true}) {
+    overhead_config.metrics = instrumented ? &registry : nullptr;
+    rcdc::MonitoringPipeline pipeline(metadata, fibs,
+                                      rcdc::make_trie_verifier_factory(),
+                                      overhead_config);
+    double best = 1e300;  // best-of-3 damps scheduler noise
+    for (int run = 0; run < 3; ++run) {
+      const auto stats = pipeline.run_cycle();
+      best = std::min(
+          best,
+          std::chrono::duration<double, std::milli>(stats.wall).count());
+    }
+    (instrumented ? wall_on : wall_off) = best;
+  }
+  std::printf(
+      "\ninstrumentation overhead (best of 3, 16 pullers): "
+      "%.1f ms off vs %.1f ms on = %+.2f%% (budget <5%%)\n",
+      wall_off, wall_on, 100.0 * (wall_on - wall_off) / wall_off);
+
+  std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
+              obs::write_prometheus(registry).c_str());
   return 0;
 }

@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "rcdc/flaky_fib_source.hpp"
 #include "rcdc/pipeline.hpp"
 #include "rcdc/resilient_fib_source.hpp"
@@ -40,7 +42,9 @@ int main() {
       "  rate    mode        wall (ms)  coverage  retries  failed  stale"
       "  violations\n");
 
-  const auto pipeline_config = rcdc::PipelineConfig{
+  obs::MetricsRegistry registry;  // the resilient arm records here
+
+  auto pipeline_config = rcdc::PipelineConfig{
       .puller_workers = 8,
       .validator_workers = 4,
       .fetch_latency_min = std::chrono::microseconds(200),
@@ -61,11 +65,13 @@ int main() {
                         .fetch_deadline = std::chrono::seconds(10)},
               .breaker = {.failure_threshold = 5,
                           .cool_down = std::chrono::seconds(30)},
-              .seed = 7},
+              .seed = 7,
+              .metrics = resilient ? &registry : nullptr},
           &clock);
       const rcdc::FibSource& source =
           resilient ? static_cast<const rcdc::FibSource&>(hardened) : flaky;
 
+      pipeline_config.metrics = resilient ? &registry : nullptr;
       rcdc::MonitoringPipeline pipeline(
           metadata, source, rcdc::make_trie_verifier_factory(),
           pipeline_config);
@@ -82,5 +88,9 @@ int main() {
   std::printf(
       "\nThe naive path loses ~rate of the fleet every cycle; the resilient\n"
       "path holds coverage at ~100%% for O(rate * devices) extra attempts.\n");
+
+  std::printf(
+      "\n-- metrics registry, resilient arm (Prometheus exposition) --\n%s",
+      obs::write_prometheus(registry).c_str());
   return 0;
 }

@@ -78,7 +78,7 @@ int main() {
                      .count()
               << " ms, mean simulated fetch "
               << std::chrono::duration_cast<std::chrono::milliseconds>(
-                     stats.fetch_total)
+                     stats.fetch_sim_total)
                          .count() /
                      static_cast<long>(stats.devices)
               << " ms\n";

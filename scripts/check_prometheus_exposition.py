@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Strict-ish parser for the Prometheus text exposition format (v0.0.4).
+
+CI smoke check: fails (exit 1) if the metrics dump written by
+`rcdc_validate --metrics-out` is not a well-formed exposition. Checks:
+
+  * every line is a `# HELP`, `# TYPE`, or a sample line
+  * `# TYPE` declares counter / gauge / histogram, once per family,
+    before any of the family's samples
+  * sample names belong to a declared family (histograms own the
+    `_bucket` / `_sum` / `_count` suffixes)
+  * label blocks are well-formed, values properly quoted/escaped
+  * histogram buckets are cumulative (non-decreasing in `le` order),
+    end with an `+Inf` bucket, and the `+Inf` count equals `_count`
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>-?(?:[0-9.eE+-]+|\+Inf|-Inf|NaN))$"
+)
+LABEL_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\[\\"n])*)"$'
+)
+
+
+def split_labels(block):
+    """Split a label block on top-level commas, respecting escapes."""
+    parts, current, in_quotes, escaped = [], "", False, False
+    for ch in block:
+        if escaped:
+            current += ch
+            escaped = False
+        elif ch == "\\":
+            current += ch
+            escaped = True
+        elif ch == '"':
+            current += ch
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    return parts
+
+
+def fail(lineno, message):
+    print(f"exposition error at line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} metrics.prom", file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    types = {}          # family name -> type
+    samples = 0
+    # histogram family -> {"buckets": [(le, cumulative)], "count": int}
+    histograms = {}
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            if len(line.split(" ", 3)) < 4:
+                fail(lineno, f"malformed HELP line: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            fields = line.split(" ")
+            if len(fields) != 4:
+                fail(lineno, f"malformed TYPE line: {line!r}")
+            _, _, family, kind = fields
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(lineno, f"unknown type {kind!r} for {family}")
+            if family in types:
+                fail(lineno, f"family {family} declared twice")
+            types[family] = kind
+            if kind == "histogram":
+                histograms[family] = {"buckets": {}, "count": {}}
+            continue
+        if line.startswith("#"):
+            fail(lineno, f"unexpected comment line: {line!r}")
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(lineno, f"unparsable sample line: {line!r}")
+        name, label_block = match.group("name"), match.group("labels")
+
+        labels = {}
+        le = None
+        if label_block:
+            for part in split_labels(label_block):
+                label = LABEL_RE.match(part)
+                if not label:
+                    fail(lineno, f"malformed label {part!r}")
+                labels[label.group("key")] = label.group("value")
+            le = labels.pop("le", None)
+
+        family, suffix = name, ""
+        for candidate in ("_bucket", "_sum", "_count"):
+            base = name.removesuffix(candidate)
+            if base != name and types.get(base) == "histogram":
+                family, suffix = base, candidate
+                break
+        if family not in types:
+            fail(lineno, f"sample {name!r} has no preceding # TYPE")
+        if types[family] == "histogram" and not suffix:
+            fail(lineno, f"histogram {family} sampled without a suffix")
+        if suffix == "_bucket" and le is None:
+            fail(lineno, f"{name} bucket sample without an le label")
+
+        series = tuple(sorted(labels.items()))
+        if suffix == "_bucket":
+            value = float("inf") if le == "+Inf" else float(le)
+            buckets = histograms[family]["buckets"].setdefault(series, [])
+            buckets.append((value, int(match.group("value"))))
+        elif suffix == "_count":
+            histograms[family]["count"][series] = int(match.group("value"))
+        samples += 1
+
+    for family, data in histograms.items():
+        for series, buckets in data["buckets"].items():
+            les = [le for le, _ in buckets]
+            counts = [count for _, count in buckets]
+            if les != sorted(les):
+                fail(0, f"{family}{dict(series)}: le values out of order")
+            if counts != sorted(counts):
+                fail(0, f"{family}{dict(series)}: buckets not cumulative")
+            if not les or les[-1] != float("inf"):
+                fail(0, f"{family}{dict(series)}: missing +Inf bucket")
+            if data["count"].get(series) != counts[-1]:
+                fail(0, f"{family}{dict(series)}: _count != +Inf bucket")
+
+    if samples == 0:
+        fail(0, "exposition contains no samples")
+    print(f"ok: {samples} samples across {len(types)} families "
+          f"({sum(1 for t in types.values() if t == 'histogram')} histograms)")
+
+
+if __name__ == "__main__":
+    main()

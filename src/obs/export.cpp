@@ -1,0 +1,208 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace dcv::obs {
+
+namespace {
+
+using Metric = MetricsRegistry::Metric;
+
+/// Prometheus label-value / JSON string escaping (the two agree on the
+/// characters we must handle: backslash, quote, newline).
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+/// {k="v",...} with an optional extra label (used for le=...); empty string
+/// when there are no labels at all.
+std::string label_block(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + escape(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += std::string(extra_key) + "=\"" + std::string(extra_value) + "\"";
+  }
+  return out + "}";
+}
+
+/// Families in first-registration order, series in registration order
+/// within each family (Prometheus requires one contiguous block per name).
+std::vector<std::pair<std::string, std::vector<Metric>>> group_by_family(
+    const std::vector<Metric>& metrics) {
+  std::vector<std::pair<std::string, std::vector<Metric>>> families;
+  std::map<std::string, std::size_t> position;
+  for (const Metric& metric : metrics) {
+    const auto [it, inserted] =
+        position.emplace(metric.name, families.size());
+    if (inserted) families.emplace_back(metric.name, std::vector<Metric>{});
+    families[it->second].second.push_back(metric);
+  }
+  return families;
+}
+
+}  // namespace
+
+std::string write_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, series] : group_by_family(registry.collect())) {
+    out += "# HELP " + name + " " + escape(series.front().help) + "\n";
+    out += "# TYPE " + name + " " +
+           std::string(to_string(series.front().type)) + "\n";
+    for (const Metric& metric : series) {
+      char line[160];
+      switch (metric.type) {
+        case MetricType::kCounter:
+          std::snprintf(line, sizeof(line), " %" PRIu64 "\n",
+                        metric.counter->value());
+          out += name + label_block(metric.labels) + line;
+          break;
+        case MetricType::kGauge:
+          out += name + label_block(metric.labels) + " " +
+                 format_double(metric.gauge->value()) + "\n";
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *metric.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+            const std::uint64_t n = h.bucket_count(i);
+            if (n == 0) continue;
+            cumulative += n;
+            std::snprintf(line, sizeof(line), " %" PRIu64 "\n", cumulative);
+            out += name + "_bucket" +
+                   label_block(metric.labels, "le",
+                               std::to_string(Histogram::bucket_upper(i))) +
+                   line;
+          }
+          std::snprintf(line, sizeof(line), " %" PRIu64 "\n", h.count());
+          out += name + "_bucket" +
+                 label_block(metric.labels, "le", "+Inf") + line;
+          std::snprintf(line, sizeof(line), " %" PRIu64 "\n", h.sum());
+          out += name + "_sum" + label_block(metric.labels) + line;
+          std::snprintf(line, sizeof(line), " %" PRIu64 "\n", h.count());
+          out += name + "_count" + label_block(metric.labels) + line;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string write_json(const MetricsRegistry& registry) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Metric& metric : registry.collect()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + escape(metric.name) + "\",\"type\":\"" +
+           std::string(to_string(metric.type)) + "\",\"help\":\"" +
+           escape(metric.help) + "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : metric.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      out += escape(key);
+      out += "\":\"";
+      out += escape(value);
+      out += '"';
+    }
+    out += "}";
+    char buffer[192];
+    switch (metric.type) {
+      case MetricType::kCounter:
+        std::snprintf(buffer, sizeof(buffer), ",\"value\":%" PRIu64,
+                      metric.counter->value());
+        out += buffer;
+        break;
+      case MetricType::kGauge:
+        out += ",\"value\":";
+        out += format_double(metric.gauge->value());
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *metric.histogram;
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                      ",\"max\":%" PRIu64,
+                      h.count(), h.sum(), h.max());
+        out += buffer;
+        out += ",\"mean\":";
+        out += format_double(h.mean());
+        out += ",\"p50\":";
+        out += format_double(h.quantile(0.50));
+        out += ",\"p90\":";
+        out += format_double(h.quantile(0.90));
+        out += ",\"p99\":";
+        out += format_double(h.quantile(0.99));
+        out += ",\"buckets\":[";
+        bool first_bucket = true;
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          const std::uint64_t n = h.bucket_count(i);
+          if (n == 0) continue;
+          if (!first_bucket) out += ',';
+          first_bucket = false;
+          std::snprintf(buffer, sizeof(buffer),
+                        "{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+                        Histogram::bucket_upper(i), n);
+          out += buffer;
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  return out + "]}";
+}
+
+std::string write_trace_json(const TraceRing& ring) {
+  std::string out = "{\"dropped\":" + std::to_string(ring.dropped()) +
+                    ",\"spans\":[";
+  bool first = true;
+  for (const TraceEvent& event : ring.events()) {
+    if (!first) out += ',';
+    first = false;
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"start_ns\":%lld,\"duration_ns\":%lld}",
+                  static_cast<long long>(event.start.count()),
+                  static_cast<long long>(event.duration.count()));
+    out += "{\"name\":\"" + escape(event.name) + "\"," + buffer;
+  }
+  return out + "]}";
+}
+
+}  // namespace dcv::obs

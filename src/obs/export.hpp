@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace dcv::obs {
+
+/// Renders the registry in the Prometheus text exposition format (v0.0.4):
+/// one # HELP / # TYPE header per family, histograms as cumulative
+/// _bucket{le=...} series plus _sum and _count. Empty log-buckets are
+/// elided (the cumulative counts stay correct); le bounds are the
+/// histogram's integer bucket uppers.
+[[nodiscard]] std::string write_prometheus(const MetricsRegistry& registry);
+
+/// Renders the registry as a JSON document:
+///   {"metrics":[{"name":...,"type":...,"labels":{...}, ...}]}
+/// with counters/gauges carrying "value" and histograms carrying
+/// count/sum/max/mean/p50/p90/p99 plus the non-empty buckets.
+[[nodiscard]] std::string write_json(const MetricsRegistry& registry);
+
+/// Renders a trace ring as JSON: retained spans (oldest first) with start
+/// offset and duration in nanoseconds, plus the drop count.
+[[nodiscard]] std::string write_trace_json(const TraceRing& ring);
+
+}  // namespace dcv::obs

@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "net/error.hpp"
+
+namespace dcv::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < 8) return static_cast<std::size_t>(value);
+  const auto octave = static_cast<std::size_t>(std::bit_width(value));
+  const auto sub = static_cast<std::size_t>((value >> (octave - 3)) & 3);
+  return 8 + (octave - 4) * 4 + sub;
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) {
+  if (index < 8) return index;
+  const std::size_t octave = 4 + (index - 8) / 4;
+  const std::uint64_t sub = (index - 8) % 4;
+  // For the topmost bucket (octave 64, sub 3) the shift wraps to 0 and the
+  // -1 yields UINT64_MAX — exactly the intended inclusive upper bound.
+  return ((sub + 5) << (octave - 3)) - 1;
+}
+
+double Histogram::quantile(double q) const {
+  std::array<std::uint64_t, kBucketCount> snapshot;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5), 1,
+      total);
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (snapshot[i] == 0) continue;
+    if (cumulative + snapshot[i] < rank) {
+      cumulative += snapshot[i];
+      continue;
+    }
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(bucket_upper(i - 1) + 1);
+    const double upper =
+        std::min(static_cast<double>(bucket_upper(i)),
+                 static_cast<double>(max_.load(std::memory_order_relaxed)));
+    const double within = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(snapshot[i]);
+    return lower + within * std::max(0.0, upper - lower);
+  }
+  return static_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const std::uint64_t other_max = other.max();
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+std::string_view to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string series_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        std::string_view help,
+                                                        Labels labels,
+                                                        MetricType type) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = series_key(name, labels);
+  const std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    if (it->second->metric.type != type) {
+      throw InvalidArgument("metric '" + std::string(name) +
+                            "' re-registered as a different type");
+    }
+    return *it->second;
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.metric.name = std::string(name);
+  entry.metric.help = std::string(help);
+  entry.metric.type = type;
+  entry.metric.labels = std::move(labels);
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      entry.metric.counter = entry.counter.get();
+      break;
+    case MetricType::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      entry.metric.gauge = entry.gauge.get();
+      break;
+    case MetricType::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      entry.metric.histogram = entry.histogram.get();
+      break;
+  }
+  index_.emplace(key, &entry);
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  Labels labels) {
+  return *find_or_create(name, help, std::move(labels), MetricType::kCounter)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  return *find_or_create(name, help, std::move(labels), MetricType::kGauge)
+              .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help, Labels labels) {
+  return *find_or_create(name, help, std::move(labels), MetricType::kHistogram)
+              .histogram;
+}
+
+std::vector<MetricsRegistry::Metric> MetricsRegistry::collect() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<Metric> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.metric);
+  return out;
+}
+
+}  // namespace dcv::obs

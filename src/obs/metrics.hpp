@@ -1,0 +1,166 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dcv::obs {
+
+/// Metric labels, Prometheus-style: a small set of key/value dimensions.
+/// Stored sorted by key so that {a=1,b=2} and {b=2,a=1} name one series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count. Hot path is one relaxed atomic
+/// add; readers see an approximate (but never torn) snapshot.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that goes up and down (queue depth, coverage fraction).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram of non-negative integer samples (latencies in
+/// nanoseconds, counts of work items).
+///
+/// Buckets 0..7 are exact; above that each power-of-two octave splits into
+/// 4 sub-buckets keyed by the two bits after the leading one, bounding the
+/// relative quantile error at 1/8 while keeping the whole histogram a fixed
+/// 252-slot array of relaxed atomics — recording is index + three atomic
+/// adds, no locks, safe from any number of threads.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 8 + 61 * 4;
+
+  void observe(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the target rank; capped at the exact observed max.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Adds another histogram's samples into this one (e.g. folding striped
+  /// per-thread histograms). Concurrent observes on either side yield an
+  /// approximate but consistent-in-total result.
+  void merge(const Histogram& other);
+
+  /// Bucket index a sample lands in.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+  /// Largest sample value the bucket holds (inclusive).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricType type);
+
+/// Thread-safe home of all metrics of one process/run.
+///
+/// Registration (counter()/gauge()/histogram()) takes a mutex and is meant
+/// to happen once per component at construction; the returned references
+/// are stable for the registry's lifetime, and recording through them never
+/// touches the registry again — instrumented hot paths stay lock-free.
+/// Re-registering the same name+labels returns the existing instrument, so
+/// per-worker objects (verifiers) can share one series.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, std::string_view help,
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       Labels labels = {});
+
+  /// One registered series, as seen by exporters.
+  struct Metric {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    Labels labels;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// All series in registration order (series of one name are adjacent the
+  /// way they were registered). Values are read live through the pointers.
+  [[nodiscard]] std::vector<Metric> collect() const;
+
+ private:
+  struct Entry {
+    Metric metric;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, std::string_view help,
+                        Labels labels, MetricType type);
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::unordered_map<std::string, Entry*> index_;
+};
+
+}  // namespace dcv::obs

@@ -1,0 +1,51 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace dcv::obs {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::record(std::string_view name,
+                       std::chrono::steady_clock::time_point start,
+                       std::chrono::nanoseconds duration) {
+  TraceEvent event{.name = std::string(name),
+                   .start = start - epoch_,
+                   .duration = duration};
+  const std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[total_ % capacity_] = std::move(event);
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, the oldest retained event sits right after
+  // the most recently overwritten slot.
+  const std::size_t head = total_ > capacity_ ? total_ % capacity_ : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::recorded() const {
+  const std::lock_guard lock(mutex_);
+  return total_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  const std::lock_guard lock(mutex_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+}  // namespace dcv::obs

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dcv::obs {
+
+/// RAII stopwatch: records elapsed nanoseconds into a Histogram at scope
+/// exit. A null histogram makes the timer a cheap no-op beyond one clock
+/// read, so instrumented code needs no branches around the registry being
+/// disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Records now instead of at scope exit; idempotent. Returns the elapsed
+  /// time (also when no histogram is attached).
+  std::chrono::nanoseconds stop() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    if (!stopped_) {
+      stopped_ = true;
+      if (histogram_ != nullptr) {
+        histogram_->observe(static_cast<std::uint64_t>(elapsed.count()));
+      }
+    }
+    return elapsed;
+  }
+
+  /// Drops the measurement (e.g. the timed operation failed and should not
+  /// pollute the latency distribution).
+  void cancel() { stopped_ = true; }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+/// One completed span as kept by the trace ring.
+struct TraceEvent {
+  std::string name;
+  /// Start, as an offset from the ring's creation (steady clock).
+  std::chrono::nanoseconds start{0};
+  std::chrono::nanoseconds duration{0};
+};
+
+/// Bounded in-memory span buffer: the newest `capacity` spans survive,
+/// older ones are overwritten (dropped() counts the overwritten ones).
+/// Mutex-protected — spans are stage-granular, not per-sample-granular, so
+/// the lock is off any per-item hot path.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void record(std::string_view name, std::chrono::steady_clock::time_point start,
+              std::chrono::nanoseconds duration);
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+};
+
+/// RAII trace span: times a named region into a histogram (like
+/// ScopedTimer) and additionally logs the interval into a TraceRing.
+/// Either sink may be null.
+class Span {
+ public:
+  Span(std::string_view name, Histogram* histogram, TraceRing* ring = nullptr)
+      : name_(name),
+        histogram_(histogram),
+        ring_(ring),
+        start_(std::chrono::steady_clock::now()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    const auto duration = std::chrono::steady_clock::now() - start_;
+    if (histogram_ != nullptr) {
+      histogram_->observe(static_cast<std::uint64_t>(duration.count()));
+    }
+    if (ring_ != nullptr) ring_->record(name_, start_, duration);
+  }
+
+ private:
+  std::string_view name_;
+  Histogram* histogram_;
+  TraceRing* ring_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dcv::obs

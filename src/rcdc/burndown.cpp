@@ -121,10 +121,12 @@ std::vector<BurndownDay> simulate_burndown(const BurndownConfig& config) {
     if (day >= config.rcdc_deploy_day) {
       // RCDC runs: simulate routing over the faulty network, validate every
       // device locally, and count what the contracts catch.
-      const routing::BgpSimulator simulator(topology, &injector);
+      const routing::BgpSimulator simulator(topology, &injector,
+                                            config.metrics);
       const SimulatorFibSource fibs(simulator);
-      const DatacenterValidator validator(metadata, fibs,
-                                          make_trie_verifier_factory());
+      const DatacenterValidator validator(
+          metadata, fibs, make_trie_verifier_factory(config.metrics), {},
+          config.metrics);
       today.violations_detected = validator.run(/*threads=*/2)
                                       .violations.size();
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "topology/clos_builder.hpp"
 
 namespace dcv::rcdc {
@@ -32,6 +33,9 @@ struct BurndownConfig {
   std::size_t high_risk_capacity_per_day = 8;
   std::size_t low_risk_capacity_per_day = 4;
   std::uint64_t seed = 42;
+  /// Optional metrics sink (must outlive the call): the daily RCDC runs
+  /// record their dcv_validator_* / dcv_verifier_* / dcv_bgp_* series here.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One day of the simulated operation.

@@ -3,42 +3,72 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/span.hpp"
+
 namespace dcv::rcdc {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
-
-void mix(std::uint64_t& hash, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (value >> (8 * i)) & 0xFF;
-    hash *= kFnvPrime;
-  }
+/// splitmix64 finalizer: a strong 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
 
 std::uint64_t fingerprint(const routing::ForwardingTable& fib) {
-  std::uint64_t hash = kFnvOffset;
+  // Semantic content hash: each rule is hashed independently and the rule
+  // hashes are combined with wrap-around addition, so neither the order
+  // rules are stored in nor the order ECMP next hops arrived in changes the
+  // fingerprint — two permuted-but-equivalent tables must not look changed
+  // to the incremental validator. (ForwardingTable canonicalizes on add();
+  // hashing order-insensitively keeps equivalence intact for any table
+  // whose rules reach us pre-built, e.g. parsed or corrupted pulls.)
+  std::uint64_t table_acc = 0;
   for (const routing::Rule& rule : fib.rules()) {
-    mix(hash, rule.prefix.network().value());
-    mix(hash, static_cast<std::uint64_t>(rule.prefix.length()));
-    mix(hash, rule.connected ? 1 : 0);
-    for (const topo::DeviceId hop : rule.next_hops) mix(hash, hop);
+    std::uint64_t hops_acc = 0;
+    for (const topo::DeviceId hop : rule.next_hops) {
+      hops_acc += mix64(static_cast<std::uint64_t>(hop) + 1);
+    }
+    std::uint64_t rule_hash =
+        mix64(rule.prefix.network().value() ^
+              (static_cast<std::uint64_t>(rule.prefix.length()) << 33) ^
+              (rule.connected ? 1ull << 32 : 0));
+    rule_hash = mix64(rule_hash ^ hops_acc ^
+                      mix64(rule.next_hops.size()));
+    table_acc += mix64(rule_hash);
   }
+  const std::uint64_t hash = mix64(table_acc ^ fib.size());
   // Reserve 0 as the "never validated" sentinel.
   return hash == 0 ? 1 : hash;
 }
 
 IncrementalValidator::IncrementalValidator(
     const topo::MetadataService& metadata, VerifierFactory verifier_factory,
-    ContractGenOptions options)
+    ContractGenOptions options, obs::MetricsRegistry* metrics)
     : metadata_(&metadata),
       verifier_factory_(std::move(verifier_factory)),
       generator_(metadata, options),
       fingerprints_(metadata.topology().device_count(), 0),
-      cached_violations_(metadata.topology().device_count()) {}
+      cached_violations_(metadata.topology().device_count()) {
+  if (metrics != nullptr) {
+    fingerprint_ns_ = &metrics->histogram(
+        "dcv_incremental_fingerprint_ns",
+        "Time to fingerprint one device's forwarding table");
+    revalidated_total_ = &metrics->counter(
+        "dcv_incremental_devices_revalidated_total",
+        "Devices re-verified because their FIB fingerprint changed");
+    skipped_total_ = &metrics->counter(
+        "dcv_incremental_devices_skipped_total",
+        "Devices whose cached verdicts were reused (fingerprint unchanged)");
+    revalidation_ratio_ = &metrics->gauge(
+        "dcv_incremental_revalidation_ratio",
+        "Fraction of devices re-verified in the latest cycle");
+  }
+}
 
 IncrementalValidator::CycleResult IncrementalValidator::run_cycle(
     const FibSource& fibs, unsigned threads) {
@@ -57,7 +87,9 @@ IncrementalValidator::CycleResult IncrementalValidator::run_cycle(
       if (device >= device_count) break;
       const routing::ForwardingTable fib =
           fibs.fetch(static_cast<topo::DeviceId>(device));
+      obs::ScopedTimer fingerprint_timer(fingerprint_ns_);
       const std::uint64_t print = fingerprint(fib);
+      fingerprint_timer.stop();
       if (print == fingerprints_[device]) continue;  // unchanged: reuse
       const auto contracts =
           generator_.for_device(static_cast<topo::DeviceId>(device));
@@ -81,6 +113,15 @@ IncrementalValidator::CycleResult IncrementalValidator::run_cycle(
   result.devices_total = device_count;
   result.devices_revalidated = revalidated.load();
   result.contracts_checked = contracts_checked.load();
+  if (revalidated_total_ != nullptr) {
+    revalidated_total_->inc(result.devices_revalidated);
+    skipped_total_->inc(result.devices_total - result.devices_revalidated);
+    revalidation_ratio_->set(
+        result.devices_total == 0
+            ? 0.0
+            : static_cast<double>(result.devices_revalidated) /
+                  static_cast<double>(result.devices_total));
+  }
   for (const auto& device_violations : cached_violations_) {
     result.violations.insert(result.violations.end(),
                              device_violations.begin(),

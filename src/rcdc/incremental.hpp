@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rcdc/contract_gen.hpp"
 #include "rcdc/fib_source.hpp"
 #include "rcdc/validator.hpp"
@@ -21,9 +22,13 @@ namespace dcv::rcdc {
 /// lists are reused verbatim for untouched devices.
 class IncrementalValidator {
  public:
+  /// `metrics`, when set, receives dcv_incremental_* series (fingerprint
+  /// time, revalidation ratio, devices revalidated/skipped) and must
+  /// outlive the validator.
   IncrementalValidator(const topo::MetadataService& metadata,
                        VerifierFactory verifier_factory,
-                       ContractGenOptions options = {});
+                       ContractGenOptions options = {},
+                       obs::MetricsRegistry* metrics = nullptr);
 
   struct CycleResult {
     std::size_t devices_total = 0;
@@ -48,9 +53,16 @@ class IncrementalValidator {
   ContractGenerator generator_;
   std::vector<std::uint64_t> fingerprints_;  // 0 = never validated
   std::vector<std::vector<Violation>> cached_violations_;
+  obs::Histogram* fingerprint_ns_ = nullptr;
+  obs::Counter* revalidated_total_ = nullptr;
+  obs::Counter* skipped_total_ = nullptr;
+  obs::Gauge* revalidation_ratio_ = nullptr;
 };
 
-/// Content fingerprint of a forwarding table (FNV-1a over rules).
+/// Semantic content fingerprint of a forwarding table: invariant under
+/// permutation of rule storage order and of each rule's ECMP next-hop set
+/// (equivalent tables fingerprint identically; never returns the 0
+/// "never validated" sentinel).
 [[nodiscard]] std::uint64_t fingerprint(const routing::ForwardingTable& fib);
 
 }  // namespace dcv::rcdc

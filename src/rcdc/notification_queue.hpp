@@ -1,0 +1,76 @@
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace dcv::rcdc {
+
+/// The cloud-queue stand-in of the Figure 5 pipeline: a bounded MPMC queue
+/// of notifications. The puller posts "routing table ready for device X";
+/// validators consume. push() blocks while the queue is at capacity, so a
+/// burst of fast pulls backpressures the pullers instead of buffering
+/// unbounded tables.
+template <typename T>
+class NotificationQueue {
+ public:
+  explicit NotificationQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  /// Blocks until there is room. Closing the queue releases any blocked
+  /// producers: their items are dropped (push returns false) rather than
+  /// deadlocking them against consumers that will never pop again.
+  /// Returns true if the item was enqueued.
+  bool push(T item) {
+    {
+      std::unique_lock lock(mutex_);
+      space_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock lock(mutex_);
+      ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    space_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      const std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  /// Instantaneous depth (for queue-depth gauges; racy by nature).
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable space_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dcv::rcdc

@@ -5,63 +5,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/span.hpp"
+#include "rcdc/notification_queue.hpp"
+
 namespace dcv::rcdc {
 
 namespace {
-
-/// The cloud-queue stand-in: a bounded MPMC queue of notifications. The
-/// puller posts "routing table ready for device X"; validators consume.
-/// push() blocks while the queue is at capacity, so a burst of fast pulls
-/// backpressures the pullers instead of buffering unbounded tables.
-template <typename T>
-class NotificationQueue {
- public:
-  explicit NotificationQueue(std::size_t capacity)
-      : capacity_(std::max<std::size_t>(1, capacity)) {}
-
-  /// Blocks until there is room (or the queue is closed, which drops the
-  /// item — closing with producers still active is a caller bug).
-  void push(T item) {
-    {
-      std::unique_lock lock(mutex_);
-      space_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-      if (closed_) return;
-      items_.push_back(std::move(item));
-    }
-    ready_.notify_one();
-  }
-
-  /// Blocks until an item arrives or the queue is closed and drained.
-  std::optional<T> pop() {
-    std::optional<T> item;
-    {
-      std::unique_lock lock(mutex_);
-      ready_.wait(lock, [&] { return !items_.empty() || closed_; });
-      if (items_.empty()) return std::nullopt;
-      item = std::move(items_.front());
-      items_.pop_front();
-    }
-    space_.notify_one();
-    return item;
-  }
-
-  void close() {
-    {
-      const std::lock_guard lock(mutex_);
-      closed_ = true;
-    }
-    ready_.notify_all();
-    space_.notify_all();
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  std::condition_variable space_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
-};
 
 struct Notification {
   topo::DeviceId device = topo::kInvalidDevice;
@@ -70,6 +19,73 @@ struct Notification {
   /// The table is degraded (stale fallback or truncated/corrupted pull):
   /// violations found on it are reported at degraded confidence.
   bool degraded = false;
+  /// When the puller enqueued this notification (for queue-wait metrics).
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+/// Per-cycle handles into the registry; all null when metrics are off, so
+/// the hot paths pay one branch per record and nothing else.
+struct CycleMetrics {
+  obs::Histogram* fetch_latency_ns = nullptr;
+  obs::Histogram* fetch_sim_ns = nullptr;
+  obs::Histogram* validate_latency_ns = nullptr;
+  obs::Histogram* queue_wait_ns = nullptr;
+  obs::Histogram* queue_push_block_ns = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* coverage = nullptr;
+  obs::Counter* cycles_total = nullptr;
+  obs::Counter* devices_fresh = nullptr;
+  obs::Counter* devices_stale = nullptr;
+  obs::Counter* devices_failed = nullptr;
+  obs::Counter* retries_total = nullptr;
+  obs::Counter* breaker_opens_total = nullptr;
+  obs::Counter* violations_total = nullptr;
+
+  explicit CycleMetrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    fetch_latency_ns = &registry->histogram(
+        "dcv_pipeline_fetch_latency_ns",
+        "Per-device table acquisition wall time (scaled sleep + pull)");
+    fetch_sim_ns = &registry->histogram(
+        "dcv_pipeline_fetch_sim_ns",
+        "Per-device simulated (production-magnitude) fetch latency");
+    validate_latency_ns = &registry->histogram(
+        "dcv_pipeline_validate_latency_ns",
+        "Per-device contract validation time");
+    queue_wait_ns = &registry->histogram(
+        "dcv_pipeline_queue_wait_ns",
+        "Time a notification spent in the puller->validator queue");
+    queue_push_block_ns = &registry->histogram(
+        "dcv_pipeline_queue_push_block_ns",
+        "Time a puller spent blocked on a full notification queue");
+    queue_depth = &registry->gauge("dcv_pipeline_queue_depth",
+                                   "Notification queue depth (sampled)");
+    coverage = &registry->gauge(
+        "dcv_pipeline_coverage",
+        "Fraction of devices that produced a table in the latest cycle");
+    cycles_total = &registry->counter("dcv_pipeline_cycles_total",
+                                      "Monitoring cycles completed");
+    devices_fresh =
+        &registry->counter("dcv_pipeline_devices_total",
+                           "Devices processed, by pull result",
+                           {{"result", "fresh"}});
+    devices_stale =
+        &registry->counter("dcv_pipeline_devices_total",
+                           "Devices processed, by pull result",
+                           {{"result", "stale"}});
+    devices_failed =
+        &registry->counter("dcv_pipeline_devices_total",
+                           "Devices processed, by pull result",
+                           {{"result", "failed"}});
+    retries_total = &registry->counter(
+        "dcv_pipeline_retries_total",
+        "Extra pull attempts beyond the first, summed over devices");
+    breaker_opens_total = &registry->counter(
+        "dcv_pipeline_breaker_opens_total",
+        "Circuit-breaker open transitions observed by pullers");
+    violations_total = &registry->counter("dcv_pipeline_violations_total",
+                                          "Contract violations found");
+  }
 };
 
 }  // namespace
@@ -86,6 +102,7 @@ MonitoringPipeline::MonitoringPipeline(const topo::MetadataService& metadata,
 PipelineStats MonitoringPipeline::run_cycle() {
   const auto start = std::chrono::steady_clock::now();
   PipelineStats stats;
+  CycleMetrics metrics(config_.metrics);
 
   // Stage 1 — device contract generator: contracts for every device into
   // the (read-only after this point) contract store.
@@ -99,7 +116,8 @@ PipelineStats MonitoringPipeline::run_cycle() {
 
   NotificationQueue<Notification> queue(config_.queue_capacity);
   std::atomic<std::size_t> next_device{0};
-  std::atomic<std::uint64_t> fetch_total_ns{0};
+  std::atomic<std::uint64_t> fetch_sim_total_ns{0};
+  std::atomic<std::uint64_t> fetch_scaled_total_ns{0};
   std::atomic<std::uint64_t> validate_total_ns{0};
   std::atomic<std::size_t> contracts_checked{0};
   std::atomic<std::size_t> violation_count{0};
@@ -129,31 +147,57 @@ PipelineStats MonitoringPipeline::run_cycle() {
           std::chrono::duration<double, std::micro>(
               static_cast<double>(simulated.count())) *
           config_.time_scale);
+      obs::ScopedTimer fetch_timer(metrics.fetch_latency_ns);
       if (scaled.count() > 0) std::this_thread::sleep_for(scaled);
       FetchOutcome outcome = fibs_->try_fetch(devices[i]);
+      fetch_timer.stop();
       if (outcome.attempts > 1) {
         retries.fetch_add(outcome.attempts - 1, std::memory_order_relaxed);
+        if (metrics.retries_total != nullptr) {
+          metrics.retries_total->inc(outcome.attempts - 1);
+        }
       }
       if (outcome.breaker_tripped) {
         breaker_opens.fetch_add(1, std::memory_order_relaxed);
+        if (metrics.breaker_opens_total != nullptr) {
+          metrics.breaker_opens_total->inc();
+        }
       }
       if (!outcome.has_table()) {
         devices_failed.fetch_add(1, std::memory_order_relaxed);
+        if (metrics.devices_failed != nullptr) metrics.devices_failed->inc();
         continue;
       }
       if (outcome.stale) {
         devices_stale.fetch_add(1, std::memory_order_relaxed);
+        if (metrics.devices_stale != nullptr) metrics.devices_stale->inc();
+      } else if (metrics.devices_fresh != nullptr) {
+        metrics.devices_fresh->inc();
       }
       Notification n{.device = devices[i],
                      .fib = std::move(*outcome.table),
                      .simulated_fetch = simulated,
                      .degraded = outcome.degraded()};
-      fetch_total_ns.fetch_add(
+      fetch_sim_total_ns.fetch_add(
           static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(simulated)
                   .count()),
           std::memory_order_relaxed);
+      fetch_scaled_total_ns.fetch_add(
+          static_cast<std::uint64_t>(scaled.count()),
+          std::memory_order_relaxed);
+      if (metrics.fetch_sim_ns != nullptr) {
+        metrics.fetch_sim_ns->observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(simulated)
+                .count()));
+      }
+      obs::ScopedTimer push_timer(metrics.queue_push_block_ns);
+      n.enqueued_at = std::chrono::steady_clock::now();
       queue.push(std::move(n));
+      push_timer.stop();
+      if (metrics.queue_depth != nullptr) {
+        metrics.queue_depth->set(static_cast<double>(queue.size()));
+      }
     }
   };
 
@@ -164,6 +208,11 @@ PipelineStats MonitoringPipeline::run_cycle() {
     while (true) {
       auto notification = queue.pop();
       if (!notification) break;
+      if (metrics.queue_wait_ns != nullptr) {
+        metrics.queue_wait_ns->observe(static_cast<std::uint64_t>(
+            (std::chrono::steady_clock::now() - notification->enqueued_at)
+                .count()));
+      }
       const auto& contracts = contract_store[notification->device].contracts;
       const auto t0 = std::chrono::steady_clock::now();
       const auto violations =
@@ -172,10 +221,17 @@ PipelineStats MonitoringPipeline::run_cycle() {
       validate_total_ns.fetch_add(
           static_cast<std::uint64_t>((t1 - t0).count()),
           std::memory_order_relaxed);
+      if (metrics.validate_latency_ns != nullptr) {
+        metrics.validate_latency_ns->observe(
+            static_cast<std::uint64_t>((t1 - t0).count()));
+      }
       contracts_checked.fetch_add(contracts.size(),
                                   std::memory_order_relaxed);
       violation_count.fetch_add(violations.size(),
                                 std::memory_order_relaxed);
+      if (metrics.violations_total != nullptr && !violations.empty()) {
+        metrics.violations_total->inc(violations.size());
+      }
       if (notification->degraded) {
         violations_degraded.fetch_add(violations.size(),
                                       std::memory_order_relaxed);
@@ -221,9 +277,15 @@ PipelineStats MonitoringPipeline::run_cycle() {
   stats.devices_stale = devices_stale.load();
   stats.retries = retries.load();
   stats.breaker_opens = breaker_opens.load();
-  stats.fetch_total = std::chrono::nanoseconds(fetch_total_ns.load());
+  stats.fetch_sim_total = std::chrono::nanoseconds(fetch_sim_total_ns.load());
+  stats.fetch_scaled_total =
+      std::chrono::nanoseconds(fetch_scaled_total_ns.load());
   stats.validate_total = std::chrono::nanoseconds(validate_total_ns.load());
   stats.wall = std::chrono::steady_clock::now() - start;
+  if (metrics.cycles_total != nullptr) {
+    metrics.cycles_total->inc();
+    metrics.coverage->set(stats.coverage());
+  }
   return stats;
 }
 

@@ -1,13 +1,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <optional>
 
+#include "obs/metrics.hpp"
 #include "rcdc/severity.hpp"
 #include "rcdc/validator.hpp"
 
@@ -29,6 +26,11 @@ struct PipelineConfig {
   /// stand-in). Pullers block when the queue is full — backpressure instead
   /// of unbounded table buffering. Clamped to ≥ 1.
   std::size_t queue_capacity = 256;
+  /// Optional metrics sink (must outlive the pipeline). When set, every
+  /// cycle records the dcv_pipeline_* series: fetch/validate latency
+  /// histograms, queue depth/wait, coverage, retry and breaker counters.
+  /// When null the instrumentation is fully disabled (no atomics touched).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregate statistics of one monitoring cycle.
@@ -52,9 +54,16 @@ struct PipelineStats {
   /// Circuit-breaker closed→open (or half-open→open) transitions observed
   /// during the cycle.
   std::size_t breaker_opens = 0;
+  /// Cycle wall time, measured on the real (scaled) clock.
   std::chrono::nanoseconds wall{0};
-  /// Sum of simulated fetch latencies (before scaling) over fetched devices.
-  std::chrono::nanoseconds fetch_total{0};
+  /// Sum of *simulated* (production-magnitude, pre-scale) fetch latencies
+  /// over fetched devices. Reports what the paper's 200–800 ms pulls would
+  /// have cost; NOT comparable to `wall` unless time_scale == 1.
+  std::chrono::nanoseconds fetch_sim_total{0};
+  /// Sum of *scaled* fetch latencies actually slept (simulated × time_scale)
+  /// over fetched devices — same clock as `wall`, so utilization-style
+  /// ratios against wall time must use this total, never fetch_sim_total.
+  std::chrono::nanoseconds fetch_scaled_total{0};
   /// Sum of real contract-validation times across devices.
   std::chrono::nanoseconds validate_total{0};
 
@@ -64,10 +73,17 @@ struct PipelineStats {
                         : static_cast<double>(devices - devices_failed) /
                               static_cast<double>(devices);
   }
-  /// Mean simulated fetch latency over devices actually fetched.
-  [[nodiscard]] std::chrono::nanoseconds fetch_mean() const {
+  /// Mean simulated (pre-scale) fetch latency over devices actually fetched.
+  [[nodiscard]] std::chrono::nanoseconds fetch_sim_mean() const {
     const auto fetched = static_cast<std::int64_t>(devices - devices_failed);
-    return fetched == 0 ? std::chrono::nanoseconds{0} : fetch_total / fetched;
+    return fetched == 0 ? std::chrono::nanoseconds{0}
+                        : fetch_sim_total / fetched;
+  }
+  /// Mean scaled fetch latency (same clock as `wall`) over fetched devices.
+  [[nodiscard]] std::chrono::nanoseconds fetch_scaled_mean() const {
+    const auto fetched = static_cast<std::int64_t>(devices - devices_failed);
+    return fetched == 0 ? std::chrono::nanoseconds{0}
+                        : fetch_scaled_total / fetched;
   }
   /// Mean contract-validation time over devices actually validated.
   [[nodiscard]] std::chrono::nanoseconds validate_mean() const {

@@ -62,6 +62,39 @@ ResilientFibSource::ResilientFibSource(const FibSource& inner,
   config_.retry.max_attempts = std::max(1u, config_.retry.max_attempts);
   config_.breaker.failure_threshold =
       std::max(1u, config_.breaker.failure_threshold);
+  if (obs::MetricsRegistry* registry = config_.metrics;
+      registry != nullptr) {
+    attempts_hist_ = &registry->histogram(
+        "dcv_fetch_attempts", "Pull attempts needed per fetch");
+    attempts_total_ = &registry->counter("dcv_fetch_attempts_total",
+                                         "Total pull attempts issued");
+    retries_total_ = &registry->counter(
+        "dcv_fetch_retries_total", "Pull attempts beyond the first");
+    backoff_sleep_ns_total_ = &registry->counter(
+        "dcv_fetch_backoff_sleep_ns_total",
+        "Total time slept in retry backoff");
+    deadline_hits_total_ = &registry->counter(
+        "dcv_fetch_deadline_hits_total",
+        "Retry loops cut short by the per-fetch deadline");
+    stale_served_total_ = &registry->counter(
+        "dcv_fetch_stale_served_total",
+        "Fetches answered from the stale-table cache");
+    short_circuits_total_ = &registry->counter(
+        "dcv_fetch_short_circuits_total",
+        "Fetches short-circuited by an open breaker");
+    breaker_to_open_ = &registry->counter(
+        "dcv_fetch_breaker_transitions_total",
+        "Circuit-breaker transitions, by target state",
+        {{"to", "open"}});
+    breaker_to_half_open_ = &registry->counter(
+        "dcv_fetch_breaker_transitions_total",
+        "Circuit-breaker transitions, by target state",
+        {{"to", "half_open"}});
+    breaker_to_closed_ = &registry->counter(
+        "dcv_fetch_breaker_transitions_total",
+        "Circuit-breaker transitions, by target state",
+        {{"to", "closed"}});
+  }
 }
 
 std::chrono::nanoseconds ResilientFibSource::backoff_before(
@@ -90,6 +123,7 @@ FetchOutcome ResilientFibSource::try_fetch(topo::DeviceId device) const {
   // answer. Caller must hold mutex_.
   const auto short_circuit = [&](DeviceState& st) {
     ++stats_.short_circuits;
+    if (short_circuits_total_ != nullptr) short_circuits_total_->inc();
     FetchOutcome out = FetchOutcome::failure(FetchErrorKind::kUnreachable);
     out.attempts = 0;
     out.breaker_open = true;
@@ -98,6 +132,7 @@ FetchOutcome ResilientFibSource::try_fetch(topo::DeviceId device) const {
       out.stale = true;
       out.staleness = now - st.cached_at;
       ++stats_.stale_served;
+      if (stale_served_total_ != nullptr) stale_served_total_->inc();
     }
     return out;
   };
@@ -111,6 +146,7 @@ FetchOutcome ResilientFibSource::try_fetch(topo::DeviceId device) const {
         return short_circuit(st);
       }
       st.breaker = BreakerState::kHalfOpen;
+      if (breaker_to_half_open_ != nullptr) breaker_to_half_open_->inc();
     }
     if (st.breaker == BreakerState::kHalfOpen) {
       if (st.probe_inflight) return short_circuit(st);
@@ -126,6 +162,8 @@ FetchOutcome ResilientFibSource::try_fetch(topo::DeviceId device) const {
   const auto start = clock_->now();
   const std::uint32_t budget = probing ? 1u : config_.retry.max_attempts;
   std::uint32_t attempts = 0;
+  bool deadline_hit = false;
+  std::uint64_t backoff_slept_ns = 0;
   FetchOutcome last;
   while (true) {
     ++attempts;
@@ -133,14 +171,29 @@ FetchOutcome ResilientFibSource::try_fetch(topo::DeviceId device) const {
     if (last.ok()) break;
     if (attempts >= budget) break;
     const auto backoff = backoff_before(device, attempts);
-    if (clock_->now() + backoff - start > config_.retry.fetch_deadline) break;
+    if (clock_->now() + backoff - start > config_.retry.fetch_deadline) {
+      deadline_hit = true;
+      break;
+    }
     clock_->sleep_for(backoff);
+    backoff_slept_ns += static_cast<std::uint64_t>(backoff.count());
+  }
+  if (attempts_hist_ != nullptr) {
+    attempts_hist_->observe(attempts);
+    attempts_total_->inc(attempts);
+    if (attempts > 1) retries_total_->inc(attempts - 1);
+    if (backoff_slept_ns > 0) backoff_sleep_ns_total_->inc(backoff_slept_ns);
+    if (deadline_hit) deadline_hits_total_->inc();
   }
 
   if (last.ok()) {
     const std::lock_guard lock(mutex_);
     stats_.retries += attempts - 1;
     DeviceState& st = state_[device];
+    if (st.breaker != BreakerState::kClosed &&
+        breaker_to_closed_ != nullptr) {
+      breaker_to_closed_->inc();
+    }
     st.breaker = BreakerState::kClosed;
     st.consecutive_failures = 0;
     st.probe_inflight = false;
@@ -159,6 +212,7 @@ FetchOutcome ResilientFibSource::try_fetch(topo::DeviceId device) const {
     const std::lock_guard lock(mutex_);
     stats_.retries += attempts - 1;
     ++stats_.exhausted;
+    if (deadline_hit) ++stats_.deadline_hits;
     DeviceState& st = state_[device];
     if (probing) {
       st.breaker = BreakerState::kOpen;
@@ -176,11 +230,13 @@ FetchOutcome ResilientFibSource::try_fetch(topo::DeviceId device) const {
         tripped = true;
       }
     }
+    if (tripped && breaker_to_open_ != nullptr) breaker_to_open_->inc();
     if (config_.serve_stale && st.has_cache) {
       last.table = st.cached_table;
       last.stale = true;
       last.staleness = clock_->now() - st.cached_at;
       ++stats_.stale_served;
+      if (stale_served_total_ != nullptr) stale_served_total_->inc();
     }
   }
   last.attempts = attempts;

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "rcdc/fib_source.hpp"
 
 namespace dcv::rcdc {
@@ -80,6 +81,11 @@ struct ResilienceConfig {
   /// when a fetch fails outright or is short-circuited by the breaker.
   bool serve_stale = true;
   std::uint64_t seed = 0;
+  /// Optional metrics sink (must outlive the source). When set, every fetch
+  /// records the dcv_fetch_* series: attempts histogram, retry/backoff/
+  /// deadline/stale/short-circuit counters, and breaker transitions by
+  /// target state. Null disables instrumentation entirely.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
@@ -97,6 +103,9 @@ struct ResilienceStats {
   std::uint64_t short_circuits = 0;
   std::uint64_t half_open_probes = 0;
   std::uint64_t stale_served = 0;
+  /// Retry loops cut short because the next backoff would overrun the
+  /// per-fetch deadline (attempt budget not yet exhausted).
+  std::uint64_t deadline_hits = 0;
 };
 
 /// Decorator that gives any FibSource the failure-handling a production
@@ -150,6 +159,18 @@ class ResilientFibSource final : public FibSource {
   mutable std::mutex mutex_;
   mutable std::unordered_map<topo::DeviceId, DeviceState> state_;
   mutable ResilienceStats stats_;
+
+  // Registry handles; all null when config_.metrics is null.
+  obs::Histogram* attempts_hist_ = nullptr;
+  obs::Counter* attempts_total_ = nullptr;
+  obs::Counter* retries_total_ = nullptr;
+  obs::Counter* backoff_sleep_ns_total_ = nullptr;
+  obs::Counter* deadline_hits_total_ = nullptr;
+  obs::Counter* stale_served_total_ = nullptr;
+  obs::Counter* short_circuits_total_ = nullptr;
+  obs::Counter* breaker_to_open_ = nullptr;
+  obs::Counter* breaker_to_half_open_ = nullptr;
+  obs::Counter* breaker_to_closed_ = nullptr;
 };
 
 }  // namespace dcv::rcdc

@@ -62,7 +62,9 @@ std::vector<Violation> TrieVerifier::check(
     const auto range = net::AddressInterval::from_prefix(contract.prefix);
     net::IntervalSet covered;  // the list L of §2.5.2, as an interval union
     bool complete = false;
+    std::uint64_t walked = 0;
     for (const auto& [rule_prefix, rule] : candidates) {
+      ++walked;
       // The slice of the contract range this rule can match: the rule's
       // prefix if it nests inside the range, the whole range otherwise
       // (prefixes never partially overlap).
@@ -100,6 +102,7 @@ std::vector<Violation> TrieVerifier::check(
                                      .rule_prefix = contract.prefix,
                                      .actual_next_hops = {}});
     }
+    if (rules_walked_ != nullptr) rules_walked_->observe(walked);
   }
   return violations;
 }

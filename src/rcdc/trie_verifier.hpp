@@ -1,5 +1,6 @@
 #pragma once
 
+#include "obs/metrics.hpp"
 #include "rcdc/verifier.hpp"
 
 namespace dcv::rcdc {
@@ -20,9 +21,19 @@ namespace dcv::rcdc {
 /// which property tests assert.
 class TrieVerifier final : public Verifier {
  public:
+  /// `rules_walked`, when non-null, receives one sample per specific
+  /// contract: the number of candidate rules actually walked before the
+  /// §2.5.2 coverage stop condition fired — the quantity the trie's
+  /// early-exit is designed to keep small.
+  explicit TrieVerifier(obs::Histogram* rules_walked = nullptr)
+      : rules_walked_(rules_walked) {}
+
   [[nodiscard]] std::vector<Violation> check(
       const routing::ForwardingTable& fib, std::span<const Contract> contracts,
       topo::DeviceId device) override;
+
+ private:
+  obs::Histogram* rules_walked_;
 };
 
 }  // namespace dcv::rcdc

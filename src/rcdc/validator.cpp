@@ -4,20 +4,102 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/span.hpp"
 #include "rcdc/linear_verifier.hpp"
 #include "rcdc/smt_verifier.hpp"
 #include "rcdc/trie_verifier.hpp"
 
 namespace dcv::rcdc {
 
+namespace {
+
+/// Decorator recording check latency and contract throughput for any
+/// engine, labeled by engine name.
+class InstrumentedVerifier final : public Verifier {
+ public:
+  InstrumentedVerifier(std::unique_ptr<Verifier> inner,
+                       obs::Histogram* check_ns, obs::Counter* contracts)
+      : inner_(std::move(inner)), check_ns_(check_ns), contracts_(contracts) {}
+
+  [[nodiscard]] std::vector<Violation> check(
+      const routing::ForwardingTable& fib, std::span<const Contract> contracts,
+      topo::DeviceId device) override {
+    obs::ScopedTimer timer(check_ns_);
+    auto violations = inner_->check(fib, contracts, device);
+    timer.stop();
+    contracts_->inc(contracts.size());
+    return violations;
+  }
+
+ private:
+  std::unique_ptr<Verifier> inner_;
+  obs::Histogram* check_ns_;
+  obs::Counter* contracts_;
+};
+
+/// Wraps `make_inner` so every produced verifier reports under
+/// {engine=<name>}. The registry outlives the factory by contract.
+VerifierFactory instrumented_factory(
+    obs::MetricsRegistry* metrics, const char* engine,
+    std::function<std::unique_ptr<Verifier>(obs::MetricsRegistry*)>
+        make_inner) {
+  if (metrics == nullptr) {
+    return [make_inner = std::move(make_inner)] {
+      return make_inner(nullptr);
+    };
+  }
+  obs::Histogram* check_ns = &metrics->histogram(
+      "dcv_verifier_check_ns", "Per-device contract check time, by engine",
+      {{"engine", engine}});
+  obs::Counter* contracts = &metrics->counter(
+      "dcv_verifier_contracts_checked_total",
+      "Contracts checked, by engine", {{"engine", engine}});
+  return [metrics, check_ns, contracts, make_inner = std::move(make_inner)] {
+    return std::make_unique<InstrumentedVerifier>(make_inner(metrics),
+                                                  check_ns, contracts);
+  };
+}
+
+}  // namespace
+
 DatacenterValidator::DatacenterValidator(const topo::MetadataService& metadata,
                                          const FibSource& fibs,
                                          VerifierFactory verifier_factory,
-                                         ContractGenOptions options)
+                                         ContractGenOptions options,
+                                         obs::MetricsRegistry* metrics)
     : metadata_(&metadata),
       fibs_(&fibs),
       verifier_factory_(std::move(verifier_factory)),
-      generator_(metadata, options) {}
+      generator_(metadata, options) {
+  if (metrics != nullptr) {
+    fetch_latency_ns_ = &metrics->histogram(
+        "dcv_validator_fetch_latency_ns",
+        "Per-device table acquisition time in batch validation");
+    validate_latency_ns_ = &metrics->histogram(
+        "dcv_validator_validate_latency_ns",
+        "Per-device contract check time in batch validation");
+    devices_fresh_ = &metrics->counter("dcv_validator_devices_total",
+                                       "Devices validated, by pull result",
+                                       {{"result", "fresh"}});
+    devices_stale_ = &metrics->counter("dcv_validator_devices_total",
+                                       "Devices validated, by pull result",
+                                       {{"result", "stale"}});
+    devices_failed_ = &metrics->counter("dcv_validator_devices_total",
+                                        "Devices validated, by pull result",
+                                        {{"result", "failed"}});
+    retries_total_ = &metrics->counter(
+        "dcv_validator_retries_total",
+        "Extra pull attempts beyond the first, summed over devices");
+    breaker_opens_total_ = &metrics->counter(
+        "dcv_validator_breaker_opens_total",
+        "Circuit-breaker open transitions observed during runs");
+    violations_total_ = &metrics->counter("dcv_validator_violations_total",
+                                          "Contract violations found");
+    coverage_ = &metrics->gauge(
+        "dcv_validator_coverage",
+        "Fraction of devices that produced a table in the latest run");
+  }
+}
 
 ValidationSummary DatacenterValidator::run(unsigned threads) const {
   std::vector<topo::DeviceId> devices;
@@ -58,15 +140,36 @@ ValidationSummary DatacenterValidator::run(
       const topo::DeviceId device = devices[i];
       const auto contracts = generator_.for_device(device);
       if (contracts.empty()) continue;
+      obs::ScopedTimer fetch_timer(fetch_latency_ns_);
       FetchOutcome outcome = fibs_->try_fetch(device);
-      if (outcome.attempts > 1) result.retries += outcome.attempts - 1;
-      if (outcome.breaker_tripped) ++result.breaker_opens;
+      fetch_timer.stop();
+      if (outcome.attempts > 1) {
+        result.retries += outcome.attempts - 1;
+        if (retries_total_ != nullptr) {
+          retries_total_->inc(outcome.attempts - 1);
+        }
+      }
+      if (outcome.breaker_tripped) {
+        ++result.breaker_opens;
+        if (breaker_opens_total_ != nullptr) breaker_opens_total_->inc();
+      }
       if (!outcome.has_table()) {
         ++result.devices_failed;
+        if (devices_failed_ != nullptr) devices_failed_->inc();
         continue;
       }
-      if (outcome.stale) ++result.devices_stale;
+      if (outcome.stale) {
+        ++result.devices_stale;
+        if (devices_stale_ != nullptr) devices_stale_->inc();
+      } else if (devices_fresh_ != nullptr) {
+        devices_fresh_->inc();
+      }
+      obs::ScopedTimer validate_timer(validate_latency_ns_);
       auto violations = verifier->check(*outcome.table, contracts, device);
+      validate_timer.stop();
+      if (violations_total_ != nullptr && !violations.empty()) {
+        violations_total_->inc(violations.size());
+      }
       result.contracts_checked += contracts.size();
       if (outcome.degraded()) result.violations_degraded += violations.size();
       result.violations.insert(result.violations.end(),
@@ -108,19 +211,34 @@ ValidationSummary DatacenterValidator::run(
               return a.rule_prefix < b.rule_prefix;
             });
   summary.elapsed = std::chrono::steady_clock::now() - start;
+  if (coverage_ != nullptr) coverage_->set(summary.coverage());
   return summary;
 }
 
-VerifierFactory make_trie_verifier_factory() {
-  return [] { return std::make_unique<TrieVerifier>(); };
+VerifierFactory make_trie_verifier_factory(obs::MetricsRegistry* metrics) {
+  return instrumented_factory(
+      metrics, "trie", [](obs::MetricsRegistry* registry) {
+        obs::Histogram* rules_walked =
+            registry == nullptr
+                ? nullptr
+                : &registry->histogram(
+                      "dcv_verifier_rules_walked",
+                      "Candidate rules walked per specific contract",
+                      {{"engine", "trie"}});
+        return std::make_unique<TrieVerifier>(rules_walked);
+      });
 }
 
-VerifierFactory make_smt_verifier_factory() {
-  return [] { return std::make_unique<SmtVerifier>(); };
+VerifierFactory make_smt_verifier_factory(obs::MetricsRegistry* metrics) {
+  return instrumented_factory(metrics, "smt", [](obs::MetricsRegistry*) {
+    return std::make_unique<SmtVerifier>();
+  });
 }
 
-VerifierFactory make_linear_verifier_factory() {
-  return [] { return std::make_unique<LinearVerifier>(); };
+VerifierFactory make_linear_verifier_factory(obs::MetricsRegistry* metrics) {
+  return instrumented_factory(metrics, "linear", [](obs::MetricsRegistry*) {
+    return std::make_unique<LinearVerifier>();
+  });
 }
 
 }  // namespace dcv::rcdc

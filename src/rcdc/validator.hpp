@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rcdc/contract_gen.hpp"
 #include "rcdc/fib_source.hpp"
 #include "rcdc/verifier.hpp"
@@ -56,9 +57,14 @@ struct ValidationSummary {
 /// thus scale").
 class DatacenterValidator {
  public:
+  /// `metrics`, when non-null (must outlive the validator), receives the
+  /// dcv_validator_* series from every run(): fetch/validate latency
+  /// histograms, per-result device counters, coverage, and retry/breaker
+  /// counters.
   DatacenterValidator(const topo::MetadataService& metadata,
                       const FibSource& fibs, VerifierFactory verifier_factory,
-                      ContractGenOptions options = {});
+                      ContractGenOptions options = {},
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Runs validation over all devices (or a subset) with the given level of
   /// parallelism. Violations are reported in device-id order.
@@ -75,15 +81,34 @@ class DatacenterValidator {
   const FibSource* fibs_;
   VerifierFactory verifier_factory_;
   ContractGenerator generator_;
+
+  // Registry handles; all null when the validator is not instrumented.
+  obs::Histogram* fetch_latency_ns_ = nullptr;
+  obs::Histogram* validate_latency_ns_ = nullptr;
+  obs::Counter* devices_fresh_ = nullptr;
+  obs::Counter* devices_stale_ = nullptr;
+  obs::Counter* devices_failed_ = nullptr;
+  obs::Counter* retries_total_ = nullptr;
+  obs::Counter* breaker_opens_total_ = nullptr;
+  obs::Counter* violations_total_ = nullptr;
+  obs::Gauge* coverage_ = nullptr;
 };
 
-/// Convenience factory for the fast engine.
-[[nodiscard]] VerifierFactory make_trie_verifier_factory();
+/// Convenience factories for the three engines. When `metrics` is non-null
+/// (it must outlive every verifier the factory creates), each produced
+/// verifier records dcv_verifier_check_ns and
+/// dcv_verifier_contracts_checked_total labeled {engine="trie"|"smt"|
+/// "linear"}; the trie engine additionally samples
+/// dcv_verifier_rules_walked{engine="trie"} per specific contract.
+[[nodiscard]] VerifierFactory make_trie_verifier_factory(
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience factory for the Z3 engine.
-[[nodiscard]] VerifierFactory make_smt_verifier_factory();
+[[nodiscard]] VerifierFactory make_smt_verifier_factory(
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience factory for the linear-scan ablation baseline.
-[[nodiscard]] VerifierFactory make_linear_verifier_factory();
+[[nodiscard]] VerifierFactory make_linear_verifier_factory(
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace dcv::rcdc

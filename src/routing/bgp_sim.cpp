@@ -21,10 +21,11 @@ struct Candidate {
 }  // namespace
 
 BgpSimulator::BgpSimulator(const topo::Topology& topology,
-                           const topo::FaultInjector* faults)
+                           const topo::FaultInjector* faults,
+                           obs::MetricsRegistry* metrics)
     : topology_(&topology), faults_(faults) {
   ribs_.resize(topology.device_count());
-  run();
+  run(metrics);
 }
 
 const Rib& BgpSimulator::rib(topo::DeviceId device) const {
@@ -32,8 +33,9 @@ const Rib& BgpSimulator::rib(topo::DeviceId device) const {
   return ribs_[device];
 }
 
-void BgpSimulator::run() {
+void BgpSimulator::run(obs::MetricsRegistry* metrics) {
   const auto& devices = topology_->devices();
+  std::uint64_t routes_propagated = 0;
 
   // Locally originated routes: ToRs originate their hosted VLAN prefixes,
   // regional spines originate the default route (§2.1).
@@ -130,6 +132,7 @@ void BgpSimulator::run() {
           const auto path = export_path(n, d, entry);
           if (!path) continue;
           if (!import_ok(d, prefix, *path)) continue;
+          ++routes_propagated;
           candidates[prefix].push_back(
               Candidate{.neighbor = n.id,
                         .as_path = *path,
@@ -184,6 +187,17 @@ void BgpSimulator::run() {
       next[d.id] = std::move(rib);
     }
     ribs_ = std::move(next);
+  }
+
+  if (metrics != nullptr) {
+    metrics
+        ->histogram("dcv_bgp_convergence_rounds",
+                    "Synchronous rounds until EBGP convergence")
+        .observe(static_cast<std::uint64_t>(rounds_));
+    metrics
+        ->counter("dcv_bgp_routes_propagated_total",
+                  "Accepted candidate announcements across all rounds")
+        .inc(routes_propagated);
   }
 }
 

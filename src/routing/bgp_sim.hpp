@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "routing/fib.hpp"
 #include "topology/faults.hpp"
 #include "topology/topology.hpp"
@@ -52,8 +53,12 @@ class BgpSimulator {
  public:
   /// Runs propagation to a fixpoint over the topology's *current* link and
   /// session state. `faults` may be null (no device-level faults).
+  /// `metrics`, when non-null, receives one dcv_bgp_convergence_rounds
+  /// sample and the dcv_bgp_routes_propagated_total count of accepted
+  /// candidate announcements for this run.
   explicit BgpSimulator(const topo::Topology& topology,
-                        const topo::FaultInjector* faults = nullptr);
+                        const topo::FaultInjector* faults = nullptr,
+                        obs::MetricsRegistry* metrics = nullptr);
 
   /// The converged RIB of a device.
   [[nodiscard]] const Rib& rib(topo::DeviceId device) const;
@@ -74,7 +79,7 @@ class BgpSimulator {
   }
 
  private:
-  void run();
+  void run(obs::MetricsRegistry* metrics);
 
   const topo::Topology* topology_;
   const topo::FaultInjector* faults_;

@@ -1,0 +1,471 @@
+// Unit tests for the dcv::obs subsystem: log-bucketed histograms,
+// counters/gauges, the registry, the exporters, and the tracing helpers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/error.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace dcv::obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// Histogram bucket geometry
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_upper(v), v);
+  }
+}
+
+TEST(Histogram, BucketUppersAreStrictlyIncreasing) {
+  for (std::size_t i = 1; i < Histogram::kBucketCount; ++i) {
+    EXPECT_LT(Histogram::bucket_upper(i - 1), Histogram::bucket_upper(i))
+        << "at index " << i;
+  }
+  EXPECT_EQ(Histogram::bucket_upper(Histogram::kBucketCount - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Histogram, BucketIndexRoundTripsThroughUppers) {
+  // Every bucket's inclusive upper bound must map back to that bucket, and
+  // the value one past it to the next one.
+  for (std::size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+    const std::uint64_t upper = Histogram::bucket_upper(i);
+    EXPECT_EQ(Histogram::bucket_index(upper), i);
+    EXPECT_EQ(Histogram::bucket_index(upper + 1), i + 1);
+  }
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBucketCount - 1);
+}
+
+TEST(Histogram, ValuesFallWithinTheirBucketBounds) {
+  std::vector<std::uint64_t> samples;
+  for (int shift = 0; shift < 63; ++shift) {
+    const std::uint64_t p = std::uint64_t{1} << shift;
+    samples.insert(samples.end(), {p - 1, p, p + 1, p + p / 3});
+  }
+  samples.insert(samples.end(),
+                 {0, 7, 8, 9, 100, 1000, 123456789,
+                  std::numeric_limits<std::uint64_t>::max()});
+  for (const std::uint64_t v : samples) {
+    const std::size_t i = Histogram::bucket_index(v);
+    ASSERT_LT(i, Histogram::kBucketCount) << "value " << v;
+    EXPECT_LE(v, Histogram::bucket_upper(i)) << "value " << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper(i - 1)) << "value " << v;
+    }
+  }
+}
+
+TEST(Histogram, BucketWidthBoundsRelativeError) {
+  // Four sub-buckets per octave: a bucket's width is at most a quarter of
+  // its lower bound, which is what caps the quantile interpolation error.
+  for (std::size_t i = 8; i + 1 < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lower = Histogram::bucket_upper(i - 1) + 1;
+    const std::uint64_t width = Histogram::bucket_upper(i) - lower + 1;
+    EXPECT_LE(4 * width, lower) << "at index " << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Histogram recording and statistics
+
+TEST(Histogram, ObserveTracksCountSumMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.observe(3);
+  h.observe(5);
+  h.observe(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 108u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 36.0);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(3)), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(100)), 1u);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  const Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, QuantileOfSingleExactValueIsThatValue) {
+  Histogram h;
+  h.observe(5);  // exact bucket: no interpolation slack
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileInterpolatesUniformSamples) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  // Buckets are at most 1/4 wide relative to their lower bound, so the
+  // interpolated percentile lands within the true value's bucket.
+  EXPECT_GE(p50, 40.0);
+  EXPECT_LE(p50, 64.0);
+  EXPECT_GE(p90, 80.0);
+  EXPECT_LE(p90, 96.0);
+  EXPECT_GE(p99, 90.0);
+  EXPECT_LE(p99, 100.0);  // capped at the observed max
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max()));
+}
+
+TEST(Histogram, QuantileIsCappedAtObservedMax) {
+  Histogram h;
+  h.observe(1000);  // bucket upper is 1023, but nothing above 1000 was seen
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, MergeCombinesEverything) {
+  Histogram a;
+  Histogram b;
+  Histogram reference;
+  for (const std::uint64_t v : {1u, 2u, 3u, 1000u}) {
+    a.observe(v);
+    reference.observe(v);
+  }
+  for (const std::uint64_t v : {5u, 500u}) {
+    b.observe(v);
+    reference.observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), reference.count());
+  EXPECT_EQ(a.sum(), reference.sum());
+  EXPECT_EQ(a.max(), reference.max());
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(a.bucket_count(i), reference.bucket_count(i)) << "bucket " << i;
+  }
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.sum(), 505u);
+}
+
+// Suite name is part of the CI thread-sanitizer filter; keep in sync with
+// .github/workflows/ci.yml.
+TEST(ObsConcurrency, HistogramObserveFromManyThreads) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      const auto value = static_cast<std::uint64_t>(t + 1) * 10;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(value);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  // sum over t of (t+1)*10*kPerThread = 10 * kPerThread * (1+...+8)
+  EXPECT_EQ(h.sum(), 10 * kPerThread * 36);
+  EXPECT_EQ(h.max(), 80u);
+  for (int t = 0; t < kThreads; ++t) {
+    const auto value = static_cast<std::uint64_t>(t + 1) * 10;
+    EXPECT_EQ(h.bucket_count(Histogram::bucket_index(value)), kPerThread);
+  }
+}
+
+TEST(ObsConcurrency, CounterIncFromManyThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+// --------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(Counter, IncrementsByOneAndByN) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAddIncludingNegative) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+// --------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistry, ReRegistrationReturnsTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("dcv_test_total", "help");
+  Counter& b = registry.counter("dcv_test_total", "other help ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Histogram& a = registry.histogram("dcv_test_ns", "help",
+                                    {{"stage", "fetch"}, {"mode", "sim"}});
+  Histogram& b = registry.histogram("dcv_test_ns", "help",
+                                    {{"mode", "sim"}, {"stage", "fetch"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, DifferentLabelValuesAreDistinctSeries) {
+  MetricsRegistry registry;
+  Counter& fresh =
+      registry.counter("dcv_devices_total", "help", {{"result", "fresh"}});
+  Counter& stale =
+      registry.counter("dcv_devices_total", "help", {{"result", "stale"}});
+  EXPECT_NE(&fresh, &stale);
+  fresh.inc(3);
+  EXPECT_EQ(stale.value(), 0u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("dcv_test_total", "help");
+  EXPECT_THROW(registry.gauge("dcv_test_total", "help"), InvalidArgument);
+  EXPECT_THROW(registry.histogram("dcv_test_total", "help"), InvalidArgument);
+  // A differently-labeled series of the same family and type is fine.
+  registry.counter("dcv_test_total", "help", {{"k", "v"}});
+}
+
+TEST(MetricsRegistry, CollectPreservesRegistrationOrderAndMetadata) {
+  MetricsRegistry registry;
+  registry.counter("dcv_c", "count help");
+  registry.gauge("dcv_g", "gauge help");
+  registry.histogram("dcv_h", "hist help", {{"b", "2"}, {"a", "1"}});
+  const auto metrics = registry.collect();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].name, "dcv_c");
+  EXPECT_EQ(metrics[0].type, MetricType::kCounter);
+  EXPECT_EQ(metrics[0].help, "count help");
+  EXPECT_EQ(metrics[1].name, "dcv_g");
+  EXPECT_EQ(metrics[1].type, MetricType::kGauge);
+  EXPECT_EQ(metrics[2].name, "dcv_h");
+  EXPECT_EQ(metrics[2].type, MetricType::kHistogram);
+  // Labels come back sorted regardless of registration order.
+  const Labels expected{{"a", "1"}, {"b", "2"}};
+  EXPECT_EQ(metrics[2].labels, expected);
+}
+
+// --------------------------------------------------------------------------
+// Exporters
+
+TEST(PrometheusExport, CounterGaugeAndHistogramLines) {
+  MetricsRegistry registry;
+  registry.counter("dcv_requests_total", "Requests served").inc(3);
+  registry.gauge("dcv_coverage", "Fraction validated").set(0.5);
+  Histogram& h =
+      registry.histogram("dcv_latency_ns", "Latency", {{"stage", "x"}});
+  h.observe(5);
+  h.observe(5);
+  h.observe(100);
+
+  const std::string out = write_prometheus(registry);
+  EXPECT_NE(out.find("# HELP dcv_requests_total Requests served\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE dcv_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("dcv_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE dcv_coverage gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("dcv_coverage 0.5\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE dcv_latency_ns histogram\n"), std::string::npos);
+  // Buckets are cumulative: two 5s then the 100 (bucket upper 111).
+  EXPECT_NE(out.find("dcv_latency_ns_bucket{stage=\"x\",le=\"5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("dcv_latency_ns_bucket{stage=\"x\",le=\"111\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("dcv_latency_ns_bucket{stage=\"x\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("dcv_latency_ns_sum{stage=\"x\"} 110\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("dcv_latency_ns_count{stage=\"x\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusExport, LabeledSeriesShareOneFamilyHeader) {
+  MetricsRegistry registry;
+  registry.counter("dcv_devices_total", "help", {{"result", "fresh"}}).inc(7);
+  registry.counter("dcv_other_total", "other").inc();  // interleaves
+  registry.counter("dcv_devices_total", "help", {{"result", "stale"}}).inc(2);
+
+  const std::string out = write_prometheus(registry);
+  // One contiguous block per family even though registration interleaved.
+  std::size_t helps = 0;
+  for (std::size_t pos = out.find("# HELP dcv_devices_total");
+       pos != std::string::npos;
+       pos = out.find("# HELP dcv_devices_total", pos + 1)) {
+    ++helps;
+  }
+  EXPECT_EQ(helps, 1u);
+  EXPECT_NE(out.find("dcv_devices_total{result=\"fresh\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("dcv_devices_total{result=\"stale\"} 2\n"),
+            std::string::npos);
+  const auto fresh = out.find("dcv_devices_total{result=\"fresh\"}");
+  const auto stale = out.find("dcv_devices_total{result=\"stale\"}");
+  const auto other = out.find("dcv_other_total 1");
+  EXPECT_LT(fresh, stale);
+  EXPECT_LT(stale, other);  // family block emitted before the later family
+}
+
+TEST(PrometheusExport, EscapesHelpAndLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .counter("dcv_esc_total", "line1\nline2 \"quoted\" back\\slash",
+               {{"path", "a\\b\"c\nd"}})
+      .inc();
+  const std::string out = write_prometheus(registry);
+  EXPECT_NE(out.find("# HELP dcv_esc_total line1\\nline2 \\\"quoted\\\" "
+                     "back\\\\slash\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("dcv_esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(JsonExport, EmitsAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.counter("dcv_requests_total", "Requests").inc(3);
+  registry.gauge("dcv_coverage", "Coverage").set(1.0);
+  Histogram& h = registry.histogram("dcv_latency_ns", "Latency",
+                                    {{"stage", "validate"}});
+  h.observe(5);
+  h.observe(100);
+
+  const std::string out = write_json(registry);
+  EXPECT_EQ(out.substr(0, 12), "{\"metrics\":[");
+  EXPECT_EQ(out.substr(out.size() - 2), "]}");
+  EXPECT_NE(out.find("\"name\":\"dcv_requests_total\",\"type\":\"counter\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"dcv_coverage\",\"type\":\"gauge\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"labels\":{\"stage\":\"validate\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"count\":2,\"sum\":105,\"max\":100"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(out.find("\"buckets\":[{\"le\":5,\"count\":1}"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// ScopedTimer / Span / TraceRing
+
+TEST(ScopedTimer, RecordsElapsedOnScopeExit) {
+  Histogram h;
+  {
+    const ScopedTimer timer(&h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 1'000'000u);  // at least the 1ms slept
+}
+
+TEST(ScopedTimer, StopIsIdempotentAndReturnsElapsed) {
+  Histogram h;
+  ScopedTimer timer(&h);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto elapsed = timer.stop();
+  EXPECT_GE(elapsed, std::chrono::milliseconds(1));
+  timer.stop();  // second stop must not double-record
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimer, CancelDropsTheMeasurement) {
+  Histogram h;
+  {
+    ScopedTimer timer(&h);
+    timer.cancel();
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ScopedTimer, NullHistogramIsANoOp) {
+  ScopedTimer timer(nullptr);
+  EXPECT_GE(timer.stop().count(), 0);
+}
+
+TEST(TraceRing, KeepsNewestEventsOldestFirst) {
+  TraceRing ring(4);
+  const auto now = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    ring.record("event" + std::to_string(i), now + std::chrono::microseconds(i),
+                std::chrono::nanoseconds(100 + i));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].name, "event" + std::to_string(6 + i));
+    EXPECT_EQ(events[i].duration, std::chrono::nanoseconds(106 + i));
+  }
+  EXPECT_LE(events[0].start, events[1].start);
+}
+
+TEST(Span, RecordsIntoHistogramAndRing) {
+  Histogram h;
+  TraceRing ring(8);
+  {
+    const Span span("validate", &h, &ring);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "validate");
+  EXPECT_GE(events[0].duration.count(), 0);
+}
+
+TEST(Span, NullSinksAreSafe) {
+  const Span span("noop", nullptr, nullptr);  // must not crash on destruct
+}
+
+TEST(TraceExport, JsonContainsSpansAndDropCount) {
+  TraceRing ring(2);
+  const auto now = std::chrono::steady_clock::now();
+  ring.record("fetch", now, std::chrono::nanoseconds(42));
+  ring.record("validate \"x\"", now, std::chrono::nanoseconds(7));
+  ring.record("export", now, std::chrono::nanoseconds(9));  // evicts "fetch"
+  const std::string out = write_trace_json(ring);
+  EXPECT_NE(out.find("\"dropped\":1"), std::string::npos);
+  EXPECT_EQ(out.find("\"name\":\"fetch\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"validate \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"duration_ns\":9"), std::string::npos);
+  EXPECT_NE(out.find("\"start_ns\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcv::obs

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "routing/bgp_sim.hpp"
 #include "topology/clos_builder.hpp"
 
@@ -42,6 +45,83 @@ TEST(Fingerprint, SensitiveToContent) {
   EXPECT_NE(fingerprint(routing::ForwardingTable{}), 0u);
 }
 
+// The fingerprint is a *semantic* content hash: two equivalent tables whose
+// rules or ECMP next-hop sets merely arrived in a different order must
+// fingerprint identically (otherwise the incremental validator re-verifies
+// unchanged devices), while any real content change must still be seen.
+TEST(Fingerprint, InvariantUnderRuleAndHopPermutation) {
+  const std::vector<routing::Rule> rules = {
+      {.prefix = net::Prefix::parse("10.0.0.0/24"), .next_hops = {1, 2, 3}},
+      {.prefix = net::Prefix::parse("10.0.1.0/24"), .next_hops = {4, 5}},
+      {.prefix = net::Prefix::parse("10.0.0.0/16"), .next_hops = {6}},
+      {.prefix = net::Prefix::parse("0.0.0.0/0"), .next_hops = {7, 8}},
+      {.prefix = net::Prefix::parse("192.168.0.0/30"),
+       .next_hops = {},
+       .connected = true},
+  };
+
+  routing::ForwardingTable reference;
+  for (const auto& rule : rules) reference.add(rule);
+  const std::uint64_t expected = fingerprint(reference);
+
+  std::mt19937_64 rng(2019);
+  for (int trial = 0; trial < 32; ++trial) {
+    auto shuffled = rules;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    routing::ForwardingTable permuted;
+    for (auto& rule : shuffled) {
+      std::shuffle(rule.next_hops.begin(), rule.next_hops.end(), rng);
+      permuted.add(std::move(rule));
+    }
+    EXPECT_EQ(fingerprint(permuted), expected);
+  }
+
+  // Real changes still change the fingerprint: a hop swapped for another...
+  routing::ForwardingTable changed_hop = reference;
+  changed_hop.add(routing::Rule{.prefix = net::Prefix::parse("10.0.0.0/24"),
+                                .next_hops = {1, 2, 9}});
+  EXPECT_NE(fingerprint(changed_hop), expected);
+  // ...a hop dropped from the ECMP set...
+  routing::ForwardingTable dropped_hop = reference;
+  dropped_hop.add(routing::Rule{.prefix = net::Prefix::parse("10.0.1.0/24"),
+                                .next_hops = {4}});
+  EXPECT_NE(fingerprint(dropped_hop), expected);
+  // ...and a hop moved between two rules' sets (totals preserved).
+  routing::ForwardingTable moved_hop = reference;
+  moved_hop.add(routing::Rule{.prefix = net::Prefix::parse("10.0.0.0/24"),
+                              .next_hops = {1, 2}});
+  moved_hop.add(routing::Rule{.prefix = net::Prefix::parse("10.0.1.0/24"),
+                              .next_hops = {3, 4, 5}});
+  EXPECT_NE(fingerprint(moved_hop), expected);
+}
+
+/// Serves the inner source's tables rebuilt with the rule insertion order
+/// and every ECMP next-hop set freshly permuted on each fetch — the
+/// "equivalent table, different arrival order" shape of real pulls.
+class PermutingFibSource final : public FibSource {
+ public:
+  PermutingFibSource(const FibSource& inner, std::uint64_t seed)
+      : inner_(&inner), seed_(seed) {}
+
+  [[nodiscard]] routing::ForwardingTable fetch(
+      topo::DeviceId device) const override {
+    const routing::ForwardingTable original = inner_->fetch(device);
+    std::mt19937_64 rng(seed_ ^ (0x9E3779B97F4A7C15ull * (device + 1)));
+    auto rules = original.rules();
+    std::shuffle(rules.begin(), rules.end(), rng);
+    routing::ForwardingTable permuted;
+    for (auto& rule : rules) {
+      std::shuffle(rule.next_hops.begin(), rule.next_hops.end(), rng);
+      permuted.add(std::move(rule));
+    }
+    return permuted;
+  }
+
+ private:
+  const FibSource* inner_;
+  std::uint64_t seed_;
+};
+
 TEST_F(IncrementalTest, FirstCycleValidatesEverything) {
   const routing::BgpSimulator sim(topology_);
   const SimulatorFibSource fibs(sim);
@@ -49,6 +129,25 @@ TEST_F(IncrementalTest, FirstCycleValidatesEverything) {
   const auto result = validator.run_cycle(fibs, 2);
   EXPECT_EQ(result.devices_revalidated, result.devices_total);
   EXPECT_TRUE(result.violations.empty());
+}
+
+// Acceptance for the fingerprint bugfix: a second cycle that pulls
+// permuted-but-equivalent tables (shuffled rule arrival order, shuffled
+// ECMP next-hop sets) must not re-validate a single device.
+TEST_F(IncrementalTest, PermutedEquivalentFibIsNotRevalidated) {
+  const routing::BgpSimulator sim(topology_);
+  const SimulatorFibSource fibs(sim);
+  IncrementalValidator validator(metadata_, make_trie_verifier_factory());
+  const auto first = validator.run_cycle(fibs, 2);
+  ASSERT_EQ(first.devices_revalidated, first.devices_total);
+
+  for (const std::uint64_t seed : {7ull, 8ull}) {
+    const PermutingFibSource permuted(fibs, seed);
+    const auto cycle = validator.run_cycle(permuted, 2);
+    EXPECT_EQ(cycle.devices_revalidated, 0u);
+    EXPECT_EQ(cycle.contracts_checked, 0u);
+    EXPECT_EQ(cycle.violations, first.violations);
+  }
 }
 
 TEST_F(IncrementalTest, UnchangedNetworkRevalidatesNothing) {

@@ -1,0 +1,107 @@
+// Tests for the bounded MPMC NotificationQueue, in particular the shutdown
+// contract: close() must release producers blocked on a full queue (their
+// push() returns false) and consumers blocked on an empty one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "rcdc/notification_queue.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+TEST(NotificationQueue, FifoOrderAndSize) {
+  NotificationQueue<int> queue(8);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(NotificationQueue, CapacityIsClampedToAtLeastOne) {
+  NotificationQueue<int> queue(0);
+  EXPECT_TRUE(queue.push(7));  // would deadlock if capacity stayed 0
+  EXPECT_EQ(queue.pop(), std::optional<int>(7));
+}
+
+TEST(NotificationQueue, PopDrainsRemainingItemsAfterClose) {
+  NotificationQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // closed: rejected immediately
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(NotificationQueue, CloseReleasesProducersBlockedOnFullQueue) {
+  NotificationQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));  // fill to capacity
+
+  constexpr int kProducers = 4;
+  std::atomic<int> started{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int i = 0; i < kProducers; ++i) {
+    producers.emplace_back([&queue, &started, &rejected, i] {
+      started.fetch_add(1);
+      if (!queue.push(i + 1)) rejected.fetch_add(1);
+    });
+  }
+  // Let every producer reach (and block in) push() against the full queue.
+  while (started.load() < kProducers) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  queue.close();
+  for (auto& producer : producers) producer.join();  // must not deadlock
+  EXPECT_EQ(rejected.load(), kProducers);
+
+  // The item enqueued before close is still deliverable.
+  EXPECT_EQ(queue.pop(), std::optional<int>(0));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(NotificationQueue, CloseReleasesConsumersBlockedOnEmptyQueue) {
+  NotificationQueue<int> queue(4);
+  std::atomic<int> woke_empty{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&queue, &woke_empty] {
+      if (queue.pop() == std::nullopt) woke_empty.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  for (auto& consumer : consumers) consumer.join();
+  EXPECT_EQ(woke_empty.load(), 3);
+}
+
+TEST(NotificationQueue, BackpressuredProducerDeliversEverythingInOrder) {
+  NotificationQueue<int> queue(2);
+  constexpr int kItems = 200;
+  std::thread producer([&queue] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(queue.push(i));
+  });
+  for (int i = 0; i < kItems; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  producer.join();
+  queue.close();
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -31,7 +31,8 @@ TEST(MonitoringPipeline, CleanCycleOnHealthyNetwork) {
   EXPECT_EQ(stats.violations, 0u);
   EXPECT_EQ(stats.alerts_high + stats.alerts_low, 0u);
   EXPECT_GT(stats.contracts_checked, 0u);
-  EXPECT_GT(stats.fetch_total.count(), 0);
+  EXPECT_GT(stats.fetch_sim_total.count(), 0);
+  EXPECT_GT(stats.fetch_scaled_total.count(), 0);
   EXPECT_GT(stats.wall.count(), 0);
 }
 
@@ -72,7 +73,7 @@ TEST(MonitoringPipeline, FetchLatencySimulatedInProductionRange) {
   const auto stats = pipeline.run_cycle();
   // Mean simulated fetch latency must sit in the configured 200-800us
   // band (the paper's 200-800ms, scaled).
-  const auto mean_ns = stats.fetch_total.count() /
+  const auto mean_ns = stats.fetch_sim_total.count() /
                        static_cast<std::int64_t>(stats.devices);
   EXPECT_GE(mean_ns, 200'000);
   EXPECT_LE(mean_ns, 800'000);
@@ -120,13 +121,51 @@ TEST(MonitoringPipeline, StatsMeansMatchTotals) {
                               fast_config());
   const auto stats = pipeline.run_cycle();
   ASSERT_GT(stats.devices, 0u);
-  EXPECT_EQ(stats.fetch_mean().count(),
-            stats.fetch_total.count() /
+  EXPECT_EQ(stats.fetch_sim_mean().count(),
+            stats.fetch_sim_total.count() /
+                static_cast<std::int64_t>(stats.devices));
+  EXPECT_EQ(stats.fetch_scaled_mean().count(),
+            stats.fetch_scaled_total.count() /
                 static_cast<std::int64_t>(stats.devices));
   EXPECT_EQ(stats.validate_mean().count(),
             stats.validate_total.count() /
                 static_cast<std::int64_t>(stats.devices));
   EXPECT_DOUBLE_EQ(stats.coverage(), 1.0);
+}
+
+// The bugfix this PR carries: `wall` is measured on the real (scaled)
+// clock while the old fetch_total summed *pre-scale* simulated latencies —
+// mixing the two inflated utilization ratios by 1/time_scale. Both totals
+// are now explicit; assert their exact relationship. Each device's scaled
+// sleep is duration_cast-truncated from simulated*time_scale, so the sum
+// differs from fetch_sim_total*time_scale by < 1ns per fetched device.
+TEST(MonitoringPipeline, ScaledAndSimulatedFetchTotalsRelate) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  const auto config = fast_config();
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              config);
+  const auto stats = pipeline.run_cycle();
+  ASSERT_EQ(stats.devices_failed, 0u);
+
+  const double expected_scaled =
+      static_cast<double>(stats.fetch_sim_total.count()) * config.time_scale;
+  const double actual_scaled =
+      static_cast<double>(stats.fetch_scaled_total.count());
+  EXPECT_LE(actual_scaled, expected_scaled);
+  EXPECT_GE(actual_scaled,
+            expected_scaled - static_cast<double>(stats.devices));
+
+  // With time_scale < 1, the simulated total is strictly larger than the
+  // scaled one, and only the scaled total can sensibly relate to wall.
+  EXPECT_GT(stats.fetch_sim_total, stats.fetch_scaled_total);
+  // The cycle cannot finish faster than the scaled fetch work spread
+  // across the puller pool.
+  EXPECT_GE(stats.wall.count() * static_cast<std::int64_t>(
+                                     config.puller_workers),
+            stats.fetch_scaled_total.count());
 }
 
 // Acceptance: at a 20% transient-failure rate with retries enabled, a full

@@ -15,6 +15,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "rcdc/beliefs_io.hpp"
 #include "rcdc/fib_source.hpp"
 #include "rcdc/flaky_fib_source.hpp"
@@ -52,7 +54,12 @@ void usage() {
       "  --deadline-ms N      per-fetch overall budget (default 10000)\n"
       "  --breaker-threshold N  consecutive failures to open (default 5)\n"
       "  --breaker-cooldown-ms N  open-state cool-down (default 30000)\n"
-      "  --no-stale           disable the stale-table cache fallback\n";
+      "  --no-stale           disable the stale-table cache fallback\n"
+      "observability:\n"
+      "  --metrics-out FILE   dump the metrics registry after the run and\n"
+      "                       print a per-stage latency table\n"
+      "  --metrics-format F   prom (default; Prometheus text exposition)\n"
+      "                       or json\n";
 }
 
 std::string slurp(const std::string& path) {
@@ -85,6 +92,52 @@ class FileFibSource final : public rcdc::FibSource {
   const topo::Topology* topology_;
 };
 
+/// Per-stage latency summary from every histogram that saw samples, ns
+/// rendered as ms. The "stages" are exactly the instrumented subsystems:
+/// fetch, validate, fingerprint, verifier engines, queue waits.
+void print_latency_table(const obs::MetricsRegistry& registry) {
+  std::printf("\nper-stage latency (ms unless noted):\n");
+  std::printf("  %-38s %9s %9s %9s %9s %9s %11s\n", "stage", "count", "p50",
+              "p90", "p99", "max", "total");
+  const double kMs = 1e6;
+  for (const auto& metric : registry.collect()) {
+    if (metric.type != obs::MetricType::kHistogram) continue;
+    const obs::Histogram& h = *metric.histogram;
+    if (h.count() == 0) continue;
+    std::string name = metric.name;
+    for (const auto& [key, val] : metric.labels) {
+      name += "{" + key + "=" + val + "}";
+    }
+    // Dimensionless histograms (attempt/round/rule counts) print raw.
+    const bool is_ns = metric.name.find("_ns") != std::string::npos;
+    const double scale = is_ns ? kMs : 1.0;
+    std::printf("  %-38s %9llu %9.3f %9.3f %9.3f %9.3f %11.3f%s\n",
+                name.c_str(),
+                static_cast<unsigned long long>(h.count()),
+                h.quantile(0.5) / scale, h.quantile(0.9) / scale,
+                h.quantile(0.99) / scale,
+                static_cast<double>(h.max()) / scale,
+                static_cast<double>(h.sum()) / scale, is_ns ? "" : " (n)");
+  }
+}
+
+/// Writes the registry dump; exits the process on I/O failure so a CI
+/// artifact step never silently uploads a half-written exposition.
+void write_metrics_file(const obs::MetricsRegistry& registry,
+                        const std::string& path, const std::string& format) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "rcdc_validate: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << (format == "json" ? obs::write_json(registry)
+                           : obs::write_prometheus(registry));
+  if (!out.good()) {
+    std::cerr << "rcdc_validate: failed writing " << path << "\n";
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +153,8 @@ int main(int argc, char** argv) {
   bool use_flaky = false;
   rcdc::ResilienceConfig resilience;
   bool use_resilience = false;
+  std::string metrics_out;
+  std::string metrics_format = "prom";
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -183,6 +238,15 @@ int main(int argc, char** argv) {
     } else if (flag == "--no-stale") {
       use_resilience = true;
       resilience.serve_stale = false;
+    } else if (flag == "--metrics-out") {
+      metrics_out = value();
+    } else if (flag == "--metrics-format") {
+      metrics_format = value();
+      if (metrics_format != "prom" && metrics_format != "json") {
+        std::cerr << "rcdc_validate: --metrics-format wants prom or json, "
+                  << "got '" << metrics_format << "'\n";
+        return 2;
+      }
     } else if (flag == "--quiet") {
       quiet = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -200,6 +264,10 @@ int main(int argc, char** argv) {
   }
 
   try {
+    obs::MetricsRegistry registry;
+    obs::MetricsRegistry* metrics =
+        metrics_out.empty() ? nullptr : &registry;
+
     const topo::Topology topology =
         topo::parse_topology(slurp(topology_path));
     const topo::MetadataService metadata(topology);
@@ -207,7 +275,8 @@ int main(int argc, char** argv) {
     std::unique_ptr<routing::BgpSimulator> simulator;
     std::unique_ptr<rcdc::FibSource> fibs;
     if (tables_dir.empty()) {
-      simulator = std::make_unique<routing::BgpSimulator>(topology);
+      simulator =
+          std::make_unique<routing::BgpSimulator>(topology, nullptr, metrics);
       fibs = std::make_unique<rcdc::SimulatorFibSource>(*simulator);
     } else {
       fibs = std::make_unique<FileFibSource>(tables_dir, topology);
@@ -223,19 +292,24 @@ int main(int argc, char** argv) {
       active = flaky_source.get();
     }
     if (use_resilience) {
+      resilience.metrics = metrics;
       resilient_source =
           std::make_unique<rcdc::ResilientFibSource>(*active, resilience);
       active = resilient_source.get();
     }
 
     const rcdc::VerifierFactory factory =
-        verifier_name == "smt" ? rcdc::make_smt_verifier_factory()
-                               : rcdc::make_trie_verifier_factory();
-    const rcdc::DatacenterValidator validator(metadata, *active, factory);
+        verifier_name == "smt" ? rcdc::make_smt_verifier_factory(metrics)
+                               : rcdc::make_trie_verifier_factory(metrics);
+    const rcdc::DatacenterValidator validator(metadata, *active, factory, {},
+                                              metrics);
     const auto summary = validator.run(threads);
 
     if (as_json) {
       std::cout << rcdc::write_report_json(summary, topology);
+      if (metrics != nullptr) {
+        write_metrics_file(registry, metrics_out, metrics_format);
+      }
       return summary.violations.empty() ? 0 : 3;
     }
 
@@ -267,6 +341,12 @@ int main(int argc, char** argv) {
                 << " retries, " << summary.breaker_opens
                 << " breaker-opens, " << summary.violations_degraded
                 << " degraded-confidence violations)\n";
+    }
+    if (metrics != nullptr) {
+      if (!quiet) print_latency_table(registry);
+      write_metrics_file(registry, metrics_out, metrics_format);
+      std::cout << "metrics: " << metrics_format << " dump written to "
+                << metrics_out << "\n";
     }
 
     bool beliefs_ok = true;
