@@ -11,13 +11,18 @@
 // suite (one step carries an injected typo, which the precheck catches).
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "bench_io.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "secguru/refactor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcv::secguru;
+
+  const std::string json_out = dcv::benchio::extract_json_flag(argc, argv);
+  dcv::benchio::BenchReport report("bench_fig11_refactor");
 
   const LegacyAclParams params{};  // several thousand rules
   Policy production = generate_legacy_edge_acl(params);
@@ -103,5 +108,15 @@ int main() {
   }
   std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
               dcv::obs::write_prometheus(registry).c_str());
+  if (!json_out.empty()) {
+    report.workload("contracts",
+                    static_cast<double>(contracts.contracts.size()));
+    report.workload("plan_steps", static_cast<double>(plan.size()));
+    report.value("plan_precheck_s", "s", seconds);
+    report.value("final_rules", "rules",
+                 static_cast<double>(production.rules.size()), "none");
+    report.attach_registry(&registry);
+    if (!report.write(json_out)) return 1;
+  }
   return production.rules.size() < 1000 ? 0 : 1;
 }

@@ -10,15 +10,20 @@
 // backup-blocking lockdown), broken networks surface as incidents after a
 // detection lag, and from the deploy day the gated API rejects breaking
 // changes up front.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "bench_io.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "secguru/nsg_gate.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcv::secguru;
+
+  const std::string json_out = dcv::benchio::extract_json_flag(argc, argv);
+  dcv::benchio::BenchReport report("bench_fig12_nsg_gate");
 
   NsgIncidentConfig config;
   config.days = 200;
@@ -37,7 +42,11 @@ int main() {
       "auto-added database-backup contracts\n\n",
       config.gate_deploy_day);
 
+  const auto sim_start = std::chrono::steady_clock::now();
   const auto series = simulate_nsg_incidents(config);
+  const double sim_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - sim_start)
+                            .count();
 
   std::printf(
       "  days     vnets  changes  rejected  reported  open(max)\n");
@@ -89,5 +98,19 @@ int main() {
   }
   std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
               dcv::obs::write_prometheus(registry).c_str());
+  if (!json_out.empty()) {
+    report.workload("days", static_cast<double>(config.days));
+    report.workload("gate_deploy_day",
+                    static_cast<double>(config.gate_deploy_day));
+    report.value("simulation_ms", "ms", sim_ms);
+    report.value("incidents_before_gate", "incidents",
+                 static_cast<double>(before), "none");
+    report.value("incidents_after_gate", "incidents",
+                 static_cast<double>(after), "none");
+    report.value("changes_rejected", "changes",
+                 static_cast<double>(rejected), "none");
+    report.attach_registry(&registry);
+    if (!report.write(json_out)) return 1;
+  }
   return after == 0 ? 0 : 1;
 }

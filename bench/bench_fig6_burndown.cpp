@@ -9,9 +9,11 @@
 // detects them from the deploy day on, and remediation drains the backlog
 // in risk order. The y-axis matches the paper: proportions of high/low-risk
 // errors relative to the peak total.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "bench_io.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "rcdc/burndown.hpp"
@@ -24,13 +26,20 @@ std::string bar(double fraction, char fill) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcv::rcdc;
+
+  const std::string json_out = dcv::benchio::extract_json_flag(argc, argv);
+  dcv::benchio::BenchReport report("bench_fig6_burndown");
 
   dcv::obs::MetricsRegistry registry;
   BurndownConfig config{};  // deploy at day 5, as in the paper
   config.metrics = &registry;
+  const auto sim_start = std::chrono::steady_clock::now();
   const auto series = simulate_burndown(config);
+  const double sim_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - sim_start)
+                            .count();
 
   std::printf(
       "== F6: burndown of routing intent-drift errors (cf. Figure 6) ==\n"
@@ -55,5 +64,15 @@ int main() {
 
   std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
               dcv::obs::write_prometheus(registry).c_str());
+  if (!json_out.empty()) {
+    report.workload("days", static_cast<double>(series.size()));
+    report.workload("deploy_day",
+                    static_cast<double>(config.rcdc_deploy_day));
+    report.value("simulation_ms", "ms", sim_ms);
+    report.value("final_error_fraction", "fraction",
+                 last.high_fraction + last.low_fraction, "none");
+    report.attach_registry(&registry);
+    if (!report.write(json_out)) return 1;
+  }
   return 0;
 }

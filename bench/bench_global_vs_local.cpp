@@ -11,8 +11,10 @@
 //    comparison to global approaches."
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 
+#include "bench_io.hpp"
 #include "rcdc/fib_source.hpp"
 #include "rcdc/global_checker.hpp"
 #include "rcdc/validator.hpp"
@@ -22,7 +24,8 @@ namespace {
 
 using namespace dcv;
 
-void run_tier(const char* name, const topo::ClosParams& params) {
+void run_tier(const char* name, const topo::ClosParams& params,
+              benchio::BenchReport& report) {
   const topo::Topology topology = topo::build_clos(params);
   const topo::MetadataService metadata(topology);
   const routing::FibSynthesizer synthesizer(metadata);
@@ -49,6 +52,16 @@ void run_tier(const char* name, const topo::ClosParams& params) {
   const double analysis_s =
       std::chrono::duration<double>(global.analysis_time).count();
 
+  const std::string tag = name;
+  report.workload("devices_" + tag,
+                  static_cast<double>(topology.device_count()));
+  report.value("local_single_s_" + tag, "s", local_s);
+  report.value("local_parallel_s_" + tag, "s", local_p_s);
+  report.value("global_total_s_" + tag, "s", snapshot_s + analysis_s,
+               "none");  // the slow strawman must not gate
+  report.value("global_over_local_" + tag, "x",
+               (snapshot_s + analysis_s) / std::max(local_s, 1e-9), "none");
+
   std::printf(
       "  %-4s %8zu %9zu %10zu %12.3f %13.3f %13.3f %13.3f %10.1f\n", name,
       topology.device_count(), global.pairs_checked,
@@ -62,7 +75,9 @@ void run_tier(const char* name, const topo::ClosParams& params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_out = dcv::benchio::extract_json_flag(argc, argv);
+  dcv::benchio::BenchReport report("bench_global_vs_local");
   std::printf(
       "== C4: local contracts vs global all-pairs verification ==\n"
       "Global = snapshot every FIB + per-destination traversal of the\n"
@@ -76,17 +91,20 @@ int main() {
                  .tors_per_cluster = 8,
                  .leaves_per_cluster = 4,
                  .spines_per_plane = 1,
-                 .regional_spines = 4});
+                 .regional_spines = 4},
+           report);
   run_tier("M", {.clusters = 16,
                  .tors_per_cluster = 12,
                  .leaves_per_cluster = 6,
                  .spines_per_plane = 2,
-                 .regional_spines = 4});
+                 .regional_spines = 4},
+           report);
   run_tier("L", {.clusters = 32,
                  .tors_per_cluster = 16,
                  .leaves_per_cluster = 8,
                  .spines_per_plane = 4,
-                 .regional_spines = 8});
+                 .regional_spines = 8},
+           report);
 
   // The ECMP path census behind "roughly 1000 different paths per pair":
   // with m leaves per cluster and s spines per plane, an inter-cluster
@@ -111,5 +129,6 @@ int main() {
                   static_cast<unsigned long long>(result.max_paths_per_pair));
     }
   }
+  if (!json_out.empty() && !report.write(json_out)) return 1;
   return 0;
 }

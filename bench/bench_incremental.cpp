@@ -9,7 +9,10 @@
 // work saved per cycle under a trickle of faults.
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_io.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "rcdc/incremental.hpp"
@@ -17,8 +20,11 @@
 #include "topology/clos_builder.hpp"
 #include "topology/faults.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcv;
+
+  const std::string json_out = benchio::extract_json_flag(argc, argv);
+  benchio::BenchReport report("bench_incremental");
 
   topo::Topology topology = topo::build_clos(topo::ClosParams{
       .clusters = 24,
@@ -39,6 +45,8 @@ int main() {
   obs::MetricsRegistry registry;
   rcdc::IncrementalValidator validator(
       metadata, rcdc::make_trie_verifier_factory(&registry), {}, &registry);
+  std::vector<double> warm_cycle_ms;
+  std::vector<double> warm_contracts;
   for (int cycle = 0; cycle < 8; ++cycle) {
     if (cycle > 0) faults.random_link_failures(1);
     const routing::BgpSimulator sim(topology, &faults);
@@ -48,6 +56,13 @@ int main() {
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
+    if (cycle == 0) {
+      report.value("cold_cycle_ms", "ms", ms);
+    } else {
+      warm_cycle_ms.push_back(ms);
+      warm_contracts.push_back(
+          static_cast<double>(result.contracts_checked));
+    }
     std::printf("  %5d  %12zu  %17zu  %10.1f  %10zu%s\n", cycle,
                 result.devices_revalidated, result.contracts_checked, ms,
                 result.violations.size(),
@@ -65,5 +80,14 @@ int main() {
 
   std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
               obs::write_prometheus(registry).c_str());
+  if (!json_out.empty()) {
+    report.workload("devices",
+                    static_cast<double>(topology.device_count()));
+    report.metric("warm_cycle_ms", "ms", warm_cycle_ms);
+    report.metric("warm_contracts_checked", "contracts", warm_contracts,
+                  "none");
+    report.attach_registry(&registry);
+    if (!report.write(json_out)) return 1;
+  }
   return 0;
 }

@@ -10,15 +10,20 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "bench_io.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "rcdc/pipeline.hpp"
 #include "routing/fib_synthesizer.hpp"
 #include "topology/clos_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcv;
+
+  const std::string json_out = benchio::extract_json_flag(argc, argv);
+  benchio::BenchReport report("bench_pipeline");
 
   const topo::ClosParams params{.clusters = 24,
                                 .tors_per_cluster = 16,
@@ -52,6 +57,15 @@ int main() {
     const auto stats = pipeline.run_cycle();
     const double wall_ms =
         std::chrono::duration<double, std::milli>(stats.wall).count();
+    report.value("cycle_wall_ms_p" + std::to_string(pullers), "ms", wall_ms);
+    report.value("devices_per_s_p" + std::to_string(pullers), "1/s",
+                 1000.0 * static_cast<double>(stats.devices) / wall_ms,
+                 "higher");
+    if (pullers == 1u) {
+      report.workload("devices", static_cast<double>(stats.devices));
+      report.workload("time_scale", 0.001);
+      report.workload("validator_workers", 4.0);
+    }
     std::printf("  %7u %10u %10.1f %10.1f %16.0f %19.1f %11zu\n", pullers,
                 4u, wall_ms,
                 1000.0 * static_cast<double>(stats.devices) / wall_ms,
@@ -106,5 +120,14 @@ int main() {
 
   std::printf("\n-- metrics registry (Prometheus exposition) --\n%s",
               obs::write_prometheus(registry).c_str());
+
+  if (!json_out.empty()) {
+    report.value("instrumented_cycle_ms", "ms", wall_on);
+    report.value("uninstrumented_cycle_ms", "ms", wall_off);
+    report.value("instrumentation_overhead_pct", "%",
+                 100.0 * (wall_on - wall_off) / wall_off, "none");
+    report.attach_registry(&registry);
+    if (!report.write(json_out)) return 1;
+  }
   return 0;
 }

@@ -13,8 +13,10 @@
 // the test suite), so memory stays O(one device) per worker at every scale.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 
+#include "bench_io.hpp"
 #include "rcdc/fib_source.hpp"
 #include "rcdc/validator.hpp"
 #include "topology/clos_builder.hpp"
@@ -29,7 +31,7 @@ struct Tier {
   bool parallel_only = false;  // skip the single-thread run (too slow)
 };
 
-void run_tier(const Tier& tier) {
+void run_tier(const Tier& tier, benchio::BenchReport& report) {
   const topo::Topology topology = topo::build_clos(tier.params);
   const topo::MetadataService metadata(topology);
   const routing::FibSynthesizer synthesizer(metadata);
@@ -60,6 +62,16 @@ void run_tier(const Tier& tier) {
       std::chrono::duration<double>(parallel.elapsed).count();
   if (contracts == 0) contracts = parallel.contracts_checked;
 
+  const std::string tag = tier.name;
+  report.workload(std::string("devices_") + tag,
+                  static_cast<double>(devices));
+  if (!tier.parallel_only) {
+    report.value("single_thread_s_" + tag, "s", single_seconds);
+    report.value("ms_per_device_" + tag, "ms",
+                 1000.0 * single_seconds / static_cast<double>(devices));
+  }
+  report.value("parallel_s_" + tag, "s", parallel_seconds);
+
   std::printf(
       "  %-6s %8zu %9zu %12zu %14.2f %14.3f %11.2f (x%u threads)\n",
       tier.name, devices, prefixes, contracts, single_seconds,
@@ -71,7 +83,9 @@ void run_tier(const Tier& tier) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_out = dcv::benchio::extract_json_flag(argc, argv);
+  dcv::benchio::BenchReport report("bench_rcdc_scale");
   std::printf(
       "== C1: local validation at scale (cf. SS1/SS2.6.3) ==\n"
       "Claim shape: 10^4 routers, FIBs with thousands of prefixes, all\n"
@@ -104,12 +118,13 @@ int main() {
                .spines_per_plane = 6,
                .regional_spines = 8}},
   };
-  for (const Tier& tier : tiers) run_tier(tier);
+  for (const Tier& tier : tiers) run_tier(tier, report);
 
   std::printf(
       "\nThe XXL single-thread time is the paper's '10^4 routers on a\n"
       "single CPU' number; the ms/device column is its '180ms per device'\n"
       "analog (ours is faster: synthetic FIBs live in cache, no device\n"
       "I/O).\n");
+  if (!json_out.empty() && !report.write(json_out)) return 1;
   return 0;
 }

@@ -10,7 +10,9 @@
 // happened to succeed.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "bench_io.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "rcdc/flaky_fib_source.hpp"
@@ -19,8 +21,11 @@
 #include "routing/fib_synthesizer.hpp"
 #include "topology/clos_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcv;
+
+  const std::string json_out = benchio::extract_json_flag(argc, argv);
+  benchio::BenchReport report("bench_resilience");
 
   const topo::ClosParams params{.clusters = 12,
                                 .tors_per_cluster = 12,
@@ -76,6 +81,15 @@ int main() {
           metadata, source, rcdc::make_trie_verifier_factory(),
           pipeline_config);
       const auto stats = pipeline.run_cycle();
+      {
+        const std::string tag = (resilient ? "resilient_" : "naive_") +
+                                std::to_string(static_cast<int>(100 * rate));
+        report.value("cycle_wall_ms_" + tag, "ms",
+                     std::chrono::duration<double, std::milli>(stats.wall)
+                         .count());
+        report.value("coverage_" + tag, "fraction", stats.coverage(),
+                     "none");
+      }
       std::printf(
           "  %4.0f%%  %-10s %10.1f %8.1f%% %8zu %7zu %6zu %11zu\n",
           100.0 * rate, resilient ? "resilient" : "naive",
@@ -92,5 +106,10 @@ int main() {
   std::printf(
       "\n-- metrics registry, resilient arm (Prometheus exposition) --\n%s",
       obs::write_prometheus(registry).c_str());
+  if (!json_out.empty()) {
+    report.workload("devices", static_cast<double>(topology.device_count()));
+    report.attach_registry(&registry);
+    if (!report.write(json_out)) return 1;
+  }
   return 0;
 }

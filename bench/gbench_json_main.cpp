@@ -1,0 +1,69 @@
+// Custom main for the google-benchmark binaries: behaves exactly like
+// benchmark_main (console output, all gbench flags honored) but also
+// understands the suite-wide `--json OUT` flag, emitting every run as a
+// dcv-bench-v1 snapshot so scripts/bench_compare.py can gate these benches
+// alongside the plain ones. The target's CMake rule defines DCV_BENCH_NAME.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_io.hpp"
+
+#ifndef DCV_BENCH_NAME
+#error "DCV_BENCH_NAME must be defined by the build rule"
+#endif
+
+namespace {
+
+/// Console output as usual, plus a copy of every per-iteration run for the
+/// JSON snapshot.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        collected_.push_back(run);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Run>& collected() const {
+    return collected_;
+  }
+
+ private:
+  std::vector<Run> collected_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_out = dcv::benchio::extract_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!json_out.empty()) {
+    dcv::benchio::BenchReport report(DCV_BENCH_NAME);
+    report.workload("runs",
+                    static_cast<double>(reporter.collected().size()));
+    for (const auto& run : reporter.collected()) {
+      const double iterations =
+          run.iterations == 0 ? 1.0 : static_cast<double>(run.iterations);
+      report.value(run.benchmark_name() + "_real_ns", "ns",
+                   1e9 * run.real_accumulated_time / iterations);
+      report.value(run.benchmark_name() + "_cpu_ns", "ns",
+                   1e9 * run.cpu_accumulated_time / iterations);
+    }
+    if (!report.write(json_out)) {
+      benchmark::Shutdown();
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -195,11 +195,35 @@ std::string write_trace_json(const TraceRing& ring) {
   for (const TraceEvent& event : ring.events()) {
     if (!first) out += ',';
     first = false;
-    char buffer[96];
+    char buffer[192];
     std::snprintf(buffer, sizeof(buffer),
-                  "\"start_ns\":%lld,\"duration_ns\":%lld}",
+                  "\"id\":%" PRIu64 ",\"parent\":%" PRIu64
+                  ",\"cycle\":%" PRIu64 ",\"thread\":%u"
+                  ",\"start_ns\":%lld,\"duration_ns\":%lld}",
+                  event.id, event.parent, event.cycle, event.thread,
                   static_cast<long long>(event.start.count()),
                   static_cast<long long>(event.duration.count()));
+    out += "{\"name\":\"" + escape(event.name) + "\"," + buffer;
+  }
+  return out + "]}";
+}
+
+std::string write_chrome_trace(const TraceRing& ring) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : ring.events()) {
+    if (!first) out += ',';
+    first = false;
+    char buffer[256];
+    // Chrome trace timestamps are microseconds; keep ns resolution in the
+    // fractional part.
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"cat\":\"dcv\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":1,\"tid\":%u,\"args\":{\"span_id\":%" PRIu64
+                  ",\"parent_id\":%" PRIu64 ",\"cycle\":%" PRIu64 "}}",
+                  static_cast<double>(event.start.count()) / 1e3,
+                  static_cast<double>(event.duration.count()) / 1e3,
+                  event.thread, event.id, event.parent, event.cycle);
     out += "{\"name\":\"" + escape(event.name) + "\"," + buffer;
   }
   return out + "]}";

@@ -21,7 +21,15 @@ namespace dcv::obs {
 [[nodiscard]] std::string write_json(const MetricsRegistry& registry);
 
 /// Renders a trace ring as JSON: retained spans (oldest first) with start
-/// offset and duration in nanoseconds, plus the drop count.
+/// offset and duration in nanoseconds, span/parent ids, cycle correlation
+/// and thread index, plus the drop count.
 [[nodiscard]] std::string write_trace_json(const TraceRing& ring);
+
+/// Renders a trace ring in the Chrome trace-event JSON format (complete
+/// "X" events, ts/dur in microseconds), loadable in Perfetto or
+/// chrome://tracing. Parent/cycle links travel in each event's args;
+/// same-thread nesting is additionally visible from ts/dur containment on
+/// one tid track.
+[[nodiscard]] std::string write_chrome_trace(const TraceRing& ring);
 
 }  // namespace dcv::obs

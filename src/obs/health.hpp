@@ -1,0 +1,25 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace dcv::obs {
+
+/// Liveness/readiness verdict as served by TelemetryServer (/healthz,
+/// /readyz). `alive` answers "is the process making progress at all";
+/// `ready` answers "should traffic/alert consumers trust this instance
+/// right now" (coverage above threshold, breakers quiet, queue not
+/// saturated, last cycle fresh).
+struct HealthSnapshot {
+  bool alive = true;
+  bool ready = true;
+  /// Human-readable explanation, one "key: value" per line. Served as the
+  /// endpoint body, so a failing /readyz names the violated rule.
+  std::string detail;
+};
+
+/// Called per /healthz-/readyz request, from the server's listener thread —
+/// probes must be cheap and thread-safe against the instrumented system.
+using HealthProbe = std::function<HealthSnapshot()>;
+
+}  // namespace dcv::obs

@@ -1,8 +1,32 @@
 #include "obs/span.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace dcv::obs {
+
+namespace {
+
+/// Span ids are process-unique and never reused; 0 is reserved for "none".
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint32_t> g_next_thread_index{0};
+
+thread_local std::uint64_t t_current_span = 0;
+thread_local std::uint64_t t_current_cycle = 0;
+
+}  // namespace
+
+std::uint64_t current_span_id() { return t_current_span; }
+
+std::uint64_t current_cycle_id() { return t_current_cycle; }
+
+void set_current_cycle_id(std::uint64_t cycle) { t_current_cycle = cycle; }
+
+std::uint32_t thread_index() {
+  thread_local const std::uint32_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
 
 TraceRing::TraceRing(std::size_t capacity)
     : epoch_(std::chrono::steady_clock::now()),
@@ -10,19 +34,52 @@ TraceRing::TraceRing(std::size_t capacity)
   ring_.reserve(capacity_);
 }
 
+void TraceRing::attach_metrics(MetricsRegistry& registry) {
+  dropped_total_ = &registry.counter(
+      "dcv_obs_trace_dropped_total",
+      "Spans overwritten in the trace ring before they could be exported");
+  registry
+      .gauge("dcv_obs_trace_ring_capacity",
+             "Span capacity of the trace ring")
+      .set(static_cast<double>(capacity_));
+  size_gauge_ = &registry.gauge("dcv_obs_trace_ring_size",
+                                "Spans currently retained in the trace ring");
+}
+
 void TraceRing::record(std::string_view name,
                        std::chrono::steady_clock::time_point start,
                        std::chrono::nanoseconds duration) {
+  record_span(name, /*id=*/0, /*parent=*/0, /*cycle=*/0, start, duration);
+}
+
+void TraceRing::record_span(std::string_view name, std::uint64_t id,
+                            std::uint64_t parent, std::uint64_t cycle,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::nanoseconds duration) {
   TraceEvent event{.name = std::string(name),
+                   .id = id,
+                   .parent = parent,
+                   .cycle = cycle,
+                   .thread = thread_index(),
                    .start = start - epoch_,
                    .duration = duration};
-  const std::lock_guard lock(mutex_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(event));
-  } else {
-    ring_[total_ % capacity_] = std::move(event);
+  std::size_t retained;
+  bool overwrote;
+  {
+    const std::lock_guard lock(mutex_);
+    overwrote = ring_.size() >= capacity_;
+    if (!overwrote) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[total_ % capacity_] = std::move(event);
+    }
+    ++total_;
+    retained = ring_.size();
   }
-  ++total_;
+  if (overwrote && dropped_total_ != nullptr) dropped_total_->inc();
+  if (size_gauge_ != nullptr) {
+    size_gauge_->set(static_cast<double>(retained));
+  }
 }
 
 std::vector<TraceEvent> TraceRing::events() const {
@@ -46,6 +103,39 @@ std::uint64_t TraceRing::recorded() const {
 std::uint64_t TraceRing::dropped() const {
   const std::lock_guard lock(mutex_);
   return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+std::size_t TraceRing::size() const {
+  const std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+Span::Span(std::string_view name, Histogram* histogram, TraceRing* ring)
+    : name_(name),
+      histogram_(histogram),
+      ring_(ring),
+      start_(std::chrono::steady_clock::now()),
+      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_(t_current_span) {
+  t_current_span = id_;
+}
+
+std::chrono::nanoseconds Span::stop() {
+  const auto duration = std::chrono::steady_clock::now() - start_;
+  if (!stopped_) {
+    stopped_ = true;
+    // Well-nested usage means this span is the innermost; a stop() out of
+    // order would clobber a child's stack entry, so only pop our own.
+    if (t_current_span == id_) t_current_span = parent_;
+    if (histogram_ != nullptr) {
+      histogram_->observe(static_cast<std::uint64_t>(duration.count()));
+    }
+    if (ring_ != nullptr) {
+      ring_->record_span(name_, id_, parent_, t_current_cycle, start_,
+                         duration);
+    }
+  }
+  return duration;
 }
 
 }  // namespace dcv::obs

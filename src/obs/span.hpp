@@ -48,9 +48,50 @@ class ScopedTimer {
   bool stopped_ = false;
 };
 
+/// Process-unique id of the innermost Span currently open on the calling
+/// thread; 0 when none. New spans link to this as their parent.
+[[nodiscard]] std::uint64_t current_span_id();
+
+/// Correlation id stamped onto every span the calling thread records; 0
+/// means uncorrelated. Worker threads of one monitoring cycle all set the
+/// cycle's id, so spans from different threads can be grouped even though
+/// parent links never cross threads.
+[[nodiscard]] std::uint64_t current_cycle_id();
+void set_current_cycle_id(std::uint64_t cycle);
+
+/// RAII cycle-correlation scope: sets the calling thread's cycle id and
+/// restores the previous one on exit (cycles can nest, e.g. a pipeline run
+/// inside a bench harness that correlates its own phases).
+class CycleScope {
+ public:
+  explicit CycleScope(std::uint64_t cycle)
+      : previous_(current_cycle_id()) {
+    set_current_cycle_id(cycle);
+  }
+  CycleScope(const CycleScope&) = delete;
+  CycleScope& operator=(const CycleScope&) = delete;
+  ~CycleScope() { set_current_cycle_id(previous_); }
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// Small dense index of the calling thread (assigned on first use, stable
+/// for the thread's lifetime). Used as the `tid` of trace events — readable
+/// in a trace viewer, unlike 64-bit native thread ids.
+[[nodiscard]] std::uint32_t thread_index();
+
 /// One completed span as kept by the trace ring.
 struct TraceEvent {
   std::string name;
+  /// Process-unique span id (never 0 for events recorded through Span).
+  std::uint64_t id = 0;
+  /// Id of the enclosing span on the same thread; 0 for thread roots.
+  std::uint64_t parent = 0;
+  /// Cross-thread correlation id (monitoring cycle); 0 = uncorrelated.
+  std::uint64_t cycle = 0;
+  /// Dense index of the recording thread (thread_index()).
+  std::uint32_t thread = 0;
   /// Start, as an offset from the ring's creation (steady clock).
   std::chrono::nanoseconds start{0};
   std::chrono::nanoseconds duration{0};
@@ -64,13 +105,27 @@ class TraceRing {
  public:
   explicit TraceRing(std::size_t capacity);
 
+  /// Registers the ring's health series in `registry` (which must outlive
+  /// the ring): dcv_obs_trace_dropped_total counts spans overwritten before
+  /// export, dcv_obs_trace_ring_capacity / dcv_obs_trace_ring_size expose
+  /// how full the ring runs. Call once, before concurrent record()s.
+  void attach_metrics(MetricsRegistry& registry);
+
   void record(std::string_view name, std::chrono::steady_clock::time_point start,
               std::chrono::nanoseconds duration);
+
+  /// Full-fidelity record used by Span: keeps the causal links.
+  void record_span(std::string_view name, std::uint64_t id,
+                   std::uint64_t parent, std::uint64_t cycle,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::nanoseconds duration);
 
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
   [[nodiscard]] std::uint64_t recorded() const;
   [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
 
  private:
   mutable std::mutex mutex_;
@@ -78,35 +133,45 @@ class TraceRing {
   std::vector<TraceEvent> ring_;
   std::size_t capacity_;
   std::uint64_t total_ = 0;
+  /// Registry handles; null when attach_metrics was never called.
+  Counter* dropped_total_ = nullptr;
+  Gauge* size_gauge_ = nullptr;
 };
 
 /// RAII trace span: times a named region into a histogram (like
-/// ScopedTimer) and additionally logs the interval into a TraceRing.
-/// Either sink may be null.
+/// ScopedTimer) and additionally logs the interval — with its process-unique
+/// id, parent link, and cycle correlation — into a TraceRing. Either sink
+/// may be null.
+///
+/// Spans opened while another Span is alive on the same thread become its
+/// children (a thread-local stack tracks the innermost open span), so
+/// nested instrumentation forms trees a trace viewer can fold.
 class Span {
  public:
-  Span(std::string_view name, Histogram* histogram, TraceRing* ring = nullptr)
-      : name_(name),
-        histogram_(histogram),
-        ring_(ring),
-        start_(std::chrono::steady_clock::now()) {}
+  Span(std::string_view name, Histogram* histogram, TraceRing* ring = nullptr);
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
-  ~Span() {
-    const auto duration = std::chrono::steady_clock::now() - start_;
-    if (histogram_ != nullptr) {
-      histogram_->observe(static_cast<std::uint64_t>(duration.count()));
-    }
-    if (ring_ != nullptr) ring_->record(name_, start_, duration);
-  }
+  ~Span() { stop(); }
+
+  /// Ends the span now instead of at scope exit; idempotent. Records into
+  /// both sinks and pops the span off the thread's stack, so a sibling
+  /// opened afterwards does not become this span's child. Returns the
+  /// elapsed time.
+  std::chrono::nanoseconds stop();
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] std::uint64_t parent() const { return parent_; }
 
  private:
   std::string_view name_;
   Histogram* histogram_;
   TraceRing* ring_;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t id_;
+  std::uint64_t parent_;
+  bool stopped_ = false;
 };
 
 }  // namespace dcv::obs

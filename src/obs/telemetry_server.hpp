@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace dcv::obs {
+
+struct TelemetryServerConfig {
+  /// TCP port to listen on; 0 asks the kernel for an ephemeral port (read
+  /// the bound one back with port()).
+  std::uint16_t port = 0;
+  /// Pending-connection backlog handed to listen(); together with the
+  /// one-at-a-time request handling this bounds how much connection state
+  /// the server ever holds.
+  int backlog = 16;
+  /// How long stop() may lag: the accept loop re-checks the shutdown flag
+  /// at this interval when idle.
+  std::chrono::milliseconds accept_poll{50};
+  /// Per-connection receive/send budget, so one stalled scraper cannot
+  /// wedge the listener thread (requests are handled sequentially).
+  std::chrono::milliseconds io_timeout{2000};
+  std::size_t max_request_bytes = 4096;
+};
+
+/// Dependency-free HTTP/1.1 scrape endpoint for one process's telemetry:
+///
+///   /metrics       Prometheus text exposition of the registry
+///   /metrics.json  the same registry as JSON
+///   /healthz       200 while the probe reports alive, else 503
+///   /readyz        200 while the probe reports ready, else 503
+///   /tracez        recent spans from the trace ring, as JSON
+///
+/// One listener thread accepts and serves connections sequentially
+/// (Connection: close, bounded request size, per-connection IO deadline).
+/// That is deliberately minimal — scrapers poll at seconds granularity —
+/// but safe against slow or hostile peers. stop() (also run by the
+/// destructor) finishes the in-flight response, stops accepting, and joins
+/// the thread.
+///
+/// The registry and ring pointers may be null; their endpoints then answer
+/// 404. Both sinks and the probe must outlive the server.
+class TelemetryServer {
+ public:
+  /// Binds, listens, and starts serving. Throws std::system_error when the
+  /// socket cannot be created or the port is already in use.
+  TelemetryServer(const MetricsRegistry* registry, const TraceRing* trace,
+                  HealthProbe probe, TelemetryServerConfig config = {});
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  ~TelemetryServer();
+
+  /// Graceful shutdown: completes the in-flight request, closes the
+  /// listening socket, joins the listener thread. Idempotent.
+  void stop();
+
+  /// The actually bound port (the requested one, or the kernel's pick when
+  /// the config asked for port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve();
+  void handle_connection(int client_fd);
+  [[nodiscard]] std::string respond(std::string_view method,
+                                    std::string_view target) const;
+
+  const MetricsRegistry* registry_;
+  const TraceRing* trace_;
+  HealthProbe probe_;
+  TelemetryServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::mutex stop_mutex_;
+  std::thread listener_;
+};
+
+}  // namespace dcv::obs

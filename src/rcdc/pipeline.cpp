@@ -1,6 +1,7 @@
 #include "rcdc/pipeline.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <random>
 #include <thread>
 #include <vector>
@@ -11,6 +12,10 @@
 namespace dcv::rcdc {
 
 namespace {
+
+/// Cycle correlation ids are process-unique (not per-pipeline), so several
+/// pipelines sharing one trace ring never alias each other's cycles.
+std::atomic<std::uint64_t> g_next_cycle_id{1};
 
 struct Notification {
   topo::DeviceId device = topo::kInvalidDevice;
@@ -103,15 +108,22 @@ PipelineStats MonitoringPipeline::run_cycle() {
   const auto start = std::chrono::steady_clock::now();
   PipelineStats stats;
   CycleMetrics metrics(config_.metrics);
+  const std::uint64_t cycle_id =
+      g_next_cycle_id.fetch_add(1, std::memory_order_relaxed);
+  cycle_in_progress_.store(true, std::memory_order_relaxed);
+  const obs::CycleScope cycle_scope(cycle_id);
+  obs::Span cycle_span("cycle", nullptr, config_.trace);
 
   // Stage 1 — device contract generator: contracts for every device into
   // the (read-only after this point) contract store.
   const ContractGenerator generator(*metadata_);
+  obs::Span contracts_span("contracts", nullptr, config_.trace);
   const auto contract_store = generator.generate_all();
   std::vector<topo::DeviceId> devices;
   for (const DeviceContracts& entry : contract_store) {
     if (!entry.contracts.empty()) devices.push_back(entry.device);
   }
+  contracts_span.stop();
   stats.devices = devices.size();
 
   NotificationQueue<Notification> queue(config_.queue_capacity);
@@ -135,6 +147,7 @@ PipelineStats MonitoringPipeline::run_cycle() {
   // production fetch latency, scaled) and post a notification. A failed
   // fetch costs the cycle coverage, never the cycle.
   const auto puller = [&](unsigned worker) {
+    const obs::CycleScope cycle_tag(cycle_id);
     std::mt19937_64 rng(config_.seed * 1315423911u + worker);
     std::uniform_int_distribution<std::int64_t> latency_us(
         config_.fetch_latency_min.count(), config_.fetch_latency_max.count());
@@ -147,10 +160,10 @@ PipelineStats MonitoringPipeline::run_cycle() {
           std::chrono::duration<double, std::micro>(
               static_cast<double>(simulated.count())) *
           config_.time_scale);
-      obs::ScopedTimer fetch_timer(metrics.fetch_latency_ns);
+      obs::Span fetch_span("fetch", metrics.fetch_latency_ns, config_.trace);
       if (scaled.count() > 0) std::this_thread::sleep_for(scaled);
       FetchOutcome outcome = fibs_->try_fetch(devices[i]);
-      fetch_timer.stop();
+      fetch_span.stop();
       if (outcome.attempts > 1) {
         retries.fetch_add(outcome.attempts - 1, std::memory_order_relaxed);
         if (metrics.retries_total != nullptr) {
@@ -195,8 +208,10 @@ PipelineStats MonitoringPipeline::run_cycle() {
       n.enqueued_at = std::chrono::steady_clock::now();
       queue.push(std::move(n));
       push_timer.stop();
+      const std::size_t depth = queue.size();
+      live_queue_depth_.store(depth, std::memory_order_relaxed);
       if (metrics.queue_depth != nullptr) {
-        metrics.queue_depth->set(static_cast<double>(queue.size()));
+        metrics.queue_depth->set(static_cast<double>(depth));
       }
     }
   };
@@ -204,27 +219,27 @@ PipelineStats MonitoringPipeline::run_cycle() {
   // Stage 3 — routing-table validator: join table + contracts, verify,
   // classify, alert.
   const auto validator = [&] {
+    const obs::CycleScope cycle_tag(cycle_id);
     const auto verifier = verifier_factory_();
     while (true) {
       auto notification = queue.pop();
       if (!notification) break;
+      live_queue_depth_.store(queue.size(), std::memory_order_relaxed);
       if (metrics.queue_wait_ns != nullptr) {
         metrics.queue_wait_ns->observe(static_cast<std::uint64_t>(
             (std::chrono::steady_clock::now() - notification->enqueued_at)
                 .count()));
       }
+      obs::Span validate_span("validate", nullptr, config_.trace);
       const auto& contracts = contract_store[notification->device].contracts;
-      const auto t0 = std::chrono::steady_clock::now();
+      obs::Span verify_span("verify", metrics.validate_latency_ns,
+                            config_.trace);
       const auto violations =
           verifier->check(notification->fib, contracts, notification->device);
-      const auto t1 = std::chrono::steady_clock::now();
+      const auto verify_elapsed = verify_span.stop();
       validate_total_ns.fetch_add(
-          static_cast<std::uint64_t>((t1 - t0).count()),
+          static_cast<std::uint64_t>(verify_elapsed.count()),
           std::memory_order_relaxed);
-      if (metrics.validate_latency_ns != nullptr) {
-        metrics.validate_latency_ns->observe(
-            static_cast<std::uint64_t>((t1 - t0).count()));
-      }
       contracts_checked.fetch_add(contracts.size(),
                                   std::memory_order_relaxed);
       violation_count.fetch_add(violations.size(),
@@ -236,6 +251,7 @@ PipelineStats MonitoringPipeline::run_cycle() {
         violations_degraded.fetch_add(violations.size(),
                                       std::memory_order_relaxed);
       }
+      obs::Span report_span("report", nullptr, config_.trace);
       for (const Violation& v : violations) {
         const RiskAssessment assessment =
             risk.assess(v, notification->degraded);
@@ -249,6 +265,8 @@ PipelineStats MonitoringPipeline::run_cycle() {
           alert_sink_(v, assessment);
         }
       }
+      report_span.stop();
+      validate_span.stop();
     }
   };
 
@@ -286,7 +304,107 @@ PipelineStats MonitoringPipeline::run_cycle() {
     metrics.cycles_total->inc();
     metrics.coverage->set(stats.coverage());
   }
+  cycle_span.stop();
+
+  // Publish the completed cycle to the telemetry plane.
+  last_coverage_.store(stats.coverage(), std::memory_order_relaxed);
+  last_breaker_opens_.store(stats.breaker_opens, std::memory_order_relaxed);
+  last_devices_failed_.store(stats.devices_failed,
+                             std::memory_order_relaxed);
+  live_queue_depth_.store(0, std::memory_order_relaxed);
+  last_cycle_end_ns_.store(std::chrono::steady_clock::now()
+                               .time_since_epoch()
+                               .count(),
+                           std::memory_order_relaxed);
+  cycles_completed_.fetch_add(1, std::memory_order_relaxed);
+  cycle_in_progress_.store(false, std::memory_order_relaxed);
   return stats;
+}
+
+PipelineHealth MonitoringPipeline::health() const {
+  PipelineHealth health;
+  health.cycles_completed = cycles_completed_.load(std::memory_order_relaxed);
+  health.cycle_in_progress =
+      cycle_in_progress_.load(std::memory_order_relaxed);
+  health.coverage = last_coverage_.load(std::memory_order_relaxed);
+  health.queue_depth = live_queue_depth_.load(std::memory_order_relaxed);
+  health.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  health.breaker_opens_last_cycle =
+      last_breaker_opens_.load(std::memory_order_relaxed);
+  health.devices_failed_last_cycle =
+      last_devices_failed_.load(std::memory_order_relaxed);
+  const std::int64_t end_ns =
+      last_cycle_end_ns_.load(std::memory_order_relaxed);
+  health.since_last_cycle =
+      end_ns < 0 ? std::chrono::nanoseconds{-1}
+                 : std::chrono::steady_clock::now().time_since_epoch() -
+                       std::chrono::nanoseconds(end_ns);
+  return health;
+}
+
+obs::HealthProbe make_pipeline_probe(const MonitoringPipeline& pipeline,
+                                     ReadinessRules rules) {
+  return [&pipeline, rules]() -> obs::HealthSnapshot {
+    const PipelineHealth health = pipeline.health();
+    obs::HealthSnapshot snapshot;
+    char line[160];
+
+    std::snprintf(line, sizeof(line),
+                  "cycles_completed: %llu\ncycle_in_progress: %s\n"
+                  "coverage: %.4f\nqueue: %zu/%zu\n"
+                  "breaker_opens_last_cycle: %zu\n",
+                  static_cast<unsigned long long>(health.cycles_completed),
+                  health.cycle_in_progress ? "true" : "false",
+                  health.coverage, health.queue_depth, health.queue_capacity,
+                  health.breaker_opens_last_cycle);
+    snapshot.detail = line;
+    if (health.since_last_cycle.count() >= 0) {
+      std::snprintf(
+          line, sizeof(line), "cycle_age_s: %.3f\n",
+          std::chrono::duration<double>(health.since_last_cycle).count());
+      snapshot.detail += line;
+    }
+
+    const auto fail = [&](const char* reason) {
+      snapshot.ready = false;
+      snapshot.detail += std::string("not-ready: ") + reason + "\n";
+    };
+    if (health.cycles_completed == 0) {
+      fail("no monitoring cycle has completed yet");
+    } else {
+      if (health.coverage < rules.min_coverage) {
+        std::snprintf(line, sizeof(line),
+                      "coverage %.4f below threshold %.4f", health.coverage,
+                      rules.min_coverage);
+        fail(line);
+      }
+      if (health.breaker_opens_last_cycle > rules.max_breaker_opens) {
+        std::snprintf(line, sizeof(line),
+                      "circuit breakers opened last cycle: %zu (max %zu)",
+                      health.breaker_opens_last_cycle,
+                      rules.max_breaker_opens);
+        fail(line);
+      }
+      const double saturation =
+          static_cast<double>(health.queue_depth) /
+          static_cast<double>(health.queue_capacity);
+      if (saturation > rules.max_queue_saturation) {
+        std::snprintf(line, sizeof(line),
+                      "notification queue saturated: %zu/%zu",
+                      health.queue_depth, health.queue_capacity);
+        fail(line);
+      }
+      if (rules.max_cycle_age.count() > 0 &&
+          health.since_last_cycle > rules.max_cycle_age) {
+        std::snprintf(
+            line, sizeof(line), "last cycle is stale: %.3f s old (max %.3f)",
+            std::chrono::duration<double>(health.since_last_cycle).count(),
+            std::chrono::duration<double>(rules.max_cycle_age).count());
+        fail(line);
+      }
+    }
+    return snapshot;
+  };
 }
 
 }  // namespace dcv::rcdc

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "rcdc/severity.hpp"
 #include "rcdc/validator.hpp"
 
@@ -31,6 +34,12 @@ struct PipelineConfig {
   /// histograms, queue depth/wait, coverage, retry and breaker counters.
   /// When null the instrumentation is fully disabled (no atomics touched).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional span sink (must outlive the pipeline). When set, every cycle
+  /// records a causal span tree: a root "cycle" span (with "contracts" as
+  /// its child) on the calling thread, and per-device "fetch" spans plus
+  /// "validate" → {"verify", "report"} trees on the worker threads, all
+  /// carrying the cycle's correlation id. Null disables span recording.
+  obs::TraceRing* trace = nullptr;
 };
 
 /// Aggregate statistics of one monitoring cycle.
@@ -93,6 +102,37 @@ struct PipelineStats {
   }
 };
 
+/// Point-in-time view of the pipeline for the telemetry plane: everything
+/// a readiness probe needs, readable from any thread while cycles run.
+struct PipelineHealth {
+  std::uint64_t cycles_completed = 0;
+  bool cycle_in_progress = false;
+  /// Coverage of the last *completed* cycle (1.0 before the first one).
+  double coverage = 1.0;
+  /// Live notification-queue depth (sampled by the workers) and its bound.
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t breaker_opens_last_cycle = 0;
+  std::size_t devices_failed_last_cycle = 0;
+  /// Time since the last completed cycle finished; negative before the
+  /// first cycle completes.
+  std::chrono::nanoseconds since_last_cycle{-1};
+};
+
+/// Thresholds that turn PipelineHealth into a readiness verdict. The
+/// defaults encode "serve only while monitoring is trustworthy": at least
+/// one cycle done, ≥90% of devices produced a table, no breaker opened
+/// last cycle, queue below saturation, and (when enabled) the last cycle
+/// finished recently enough that verdicts are not stale.
+struct ReadinessRules {
+  double min_coverage = 0.9;
+  std::size_t max_breaker_opens = 0;
+  /// queue_depth / queue_capacity above this fraction counts as saturated.
+  double max_queue_saturation = 0.9;
+  /// 0 disables the staleness rule (useful for one-shot runs).
+  std::chrono::nanoseconds max_cycle_age{0};
+};
+
 /// The three-microservice monitoring pipeline of Figure 5, realized
 /// in-process: a device contract generator feeds a contract store; puller
 /// workers fetch routing tables (with simulated production latencies) and
@@ -124,12 +164,35 @@ class MonitoringPipeline {
   /// reported, never waited on.
   [[nodiscard]] PipelineStats run_cycle();
 
+  /// Live state snapshot for the telemetry plane; safe to call from any
+  /// thread, including while run_cycle() is executing on another.
+  [[nodiscard]] PipelineHealth health() const;
+
  private:
   const topo::MetadataService* metadata_;
   const FibSource* fibs_;
   VerifierFactory verifier_factory_;
   PipelineConfig config_;
   AlertSink alert_sink_;
+
+  // Telemetry-plane state, updated by run_cycle and read by health().
+  std::atomic<std::uint64_t> cycles_completed_{0};
+  std::atomic<bool> cycle_in_progress_{false};
+  std::atomic<double> last_coverage_{1.0};
+  std::atomic<std::size_t> live_queue_depth_{0};
+  std::atomic<std::size_t> last_breaker_opens_{0};
+  std::atomic<std::size_t> last_devices_failed_{0};
+  /// steady_clock::time_since_epoch() of the last cycle's end; -1 = none.
+  std::atomic<std::int64_t> last_cycle_end_ns_{-1};
 };
+
+/// Builds a /readyz probe over the pipeline's live state: not-ready when no
+/// cycle has completed yet, coverage is below rules.min_coverage, circuit
+/// breakers opened last cycle beyond rules.max_breaker_opens, the
+/// notification queue is saturated, or the last cycle is older than
+/// rules.max_cycle_age. The detail text names every violated rule. The
+/// pipeline must outlive the probe.
+[[nodiscard]] obs::HealthProbe make_pipeline_probe(
+    const MonitoringPipeline& pipeline, ReadinessRules rules = {});
 
 }  // namespace dcv::rcdc

@@ -1,0 +1,262 @@
+// Causal-span tests: process-unique ids, parent links via the thread-local
+// span stack, cycle correlation across threads, ring health metrics, and
+// the Chrome trace-event exporter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using namespace dcv::obs;
+
+const TraceEvent* find_event(const std::vector<TraceEvent>& events,
+                             const std::string& name) {
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [&](const TraceEvent& e) { return e.name == name; });
+  return it == events.end() ? nullptr : &*it;
+}
+
+TEST(SpanLinkage, IdsAreUniqueAndNonZero) {
+  TraceRing ring(16);
+  std::uint64_t first = 0;
+  {
+    Span a("a", nullptr, &ring);
+    first = a.id();
+    EXPECT_NE(first, 0u);
+  }
+  Span b("b", nullptr, &ring);
+  EXPECT_NE(b.id(), 0u);
+  EXPECT_NE(b.id(), first);
+}
+
+TEST(SpanLinkage, TopLevelSpanHasNoParent) {
+  Span root("root", nullptr, nullptr);
+  EXPECT_EQ(root.parent(), 0u);
+}
+
+TEST(SpanLinkage, NestedSpansFormAChainOnOneThread) {
+  TraceRing ring(16);
+  {
+    Span outer("outer", nullptr, &ring);
+    EXPECT_EQ(current_span_id(), outer.id());
+    {
+      Span mid("mid", nullptr, &ring);
+      EXPECT_EQ(mid.parent(), outer.id());
+      Span inner("inner", nullptr, &ring);
+      EXPECT_EQ(inner.parent(), mid.id());
+    }
+    // Both children closed: a new sibling links to outer, not to them.
+    Span sibling("sibling", nullptr, &ring);
+    EXPECT_EQ(sibling.parent(), outer.id());
+  }
+  EXPECT_EQ(current_span_id(), 0u);
+}
+
+TEST(SpanLinkage, ExplicitStopPopsTheStack) {
+  Span outer("outer", nullptr, nullptr);
+  Span first("first", nullptr, nullptr);
+  first.stop();
+  first.stop();  // idempotent
+  Span second("second", nullptr, nullptr);
+  EXPECT_EQ(second.parent(), outer.id());
+}
+
+TEST(SpanLinkage, RingKeepsIdParentAndName) {
+  TraceRing ring(16);
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    Span outer("outer", nullptr, &ring);
+    outer_id = outer.id();
+    Span inner("inner", nullptr, &ring);
+    inner_id = inner.id();
+  }
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 2u);  // inner closes first
+  const TraceEvent* inner = find_event(events, "inner");
+  const TraceEvent* outer = find_event(events, "outer");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(inner->id, inner_id);
+  EXPECT_EQ(inner->parent, outer_id);
+  EXPECT_EQ(outer->id, outer_id);
+  EXPECT_EQ(outer->parent, 0u);
+}
+
+TEST(CycleCorrelation, ScopeSetsAndRestoresTheThreadCycle) {
+  EXPECT_EQ(current_cycle_id(), 0u);
+  {
+    const CycleScope outer(7);
+    EXPECT_EQ(current_cycle_id(), 7u);
+    {
+      const CycleScope inner(9);
+      EXPECT_EQ(current_cycle_id(), 9u);
+    }
+    EXPECT_EQ(current_cycle_id(), 7u);
+  }
+  EXPECT_EQ(current_cycle_id(), 0u);
+}
+
+TEST(CycleCorrelation, SpansAcrossThreadsShareTheCycleId) {
+  TraceRing ring(64);
+  constexpr std::uint64_t kCycle = 42;
+  {
+    const CycleScope scope(kCycle);
+    Span root("root", nullptr, &ring);
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 3; ++i) {
+      workers.emplace_back([&ring] {
+        const CycleScope worker_scope(kCycle);
+        Span work("work", nullptr, &ring);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.cycle, kCycle) << event.name;
+  }
+  // Parent links never cross threads: each worker span is a thread root.
+  for (const TraceEvent& event : events) {
+    if (event.name == "work") {
+      EXPECT_EQ(event.parent, 0u);
+    }
+  }
+}
+
+TEST(CycleCorrelation, ThreadIndicesAreDistinctAcrossLiveThreads) {
+  const std::uint32_t own = thread_index();
+  EXPECT_EQ(own, thread_index());  // stable for the thread
+  std::uint32_t other = own;
+  std::thread([&other] { other = thread_index(); }).join();
+  EXPECT_NE(other, own);
+}
+
+TEST(TraceRingMetrics, AttachRegistersCapacityDropsAndSize) {
+  MetricsRegistry registry;
+  TraceRing ring(4);
+  ring.attach_metrics(registry);
+
+  const std::string prom = write_prometheus(registry);
+  EXPECT_NE(prom.find("dcv_obs_trace_ring_capacity 4"), std::string::npos);
+  EXPECT_NE(prom.find("dcv_obs_trace_dropped_total 0"), std::string::npos);
+
+  for (int i = 0; i < 6; ++i) {
+    Span span("s", nullptr, &ring);
+  }
+  EXPECT_EQ(ring.recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring.size(), 4u);
+
+  const std::string after = write_prometheus(registry);
+  EXPECT_NE(after.find("dcv_obs_trace_dropped_total 2"), std::string::npos);
+  EXPECT_NE(after.find("dcv_obs_trace_ring_size 4"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsWellFormedParentLinkedEvents) {
+  TraceRing ring(16);
+  {
+    const CycleScope scope(5);
+    Span outer("outer", nullptr, &ring);
+    Span inner("inner", nullptr, &ring);
+  }
+  const std::string trace = write_chrome_trace(ring);
+
+  // Structural envelope (a JSON library is deliberately not a dependency;
+  // tests_e2e already validates the exposition with Python in CI).
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_EQ(trace.back(), '}');
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cycle\":5"), std::string::npos);
+
+  // The inner event's parent_id arg is the outer event's span_id.
+  const auto events = ring.events();
+  const TraceEvent* outer = find_event(events, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(
+      trace.find("\"parent_id\":" + std::to_string(outer->id)),
+      std::string::npos);
+}
+
+TEST(ChromeTrace, BalancedBracesAndQuotes) {
+  TraceRing ring(8);
+  {
+    Span a("span \"quoted\\name\"", nullptr, &ring);
+  }
+  const std::string trace = write_chrome_trace(ring);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : trace) {
+    if (escaped) {
+      escaped = false;
+    } else if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// TSan-exercised (the CI thread-sanitizer job runs ObsConcurrency.*):
+// spans recorded from many threads while both exporters walk the ring.
+TEST(ObsConcurrency, SpanRecordingWhileExporting) {
+  MetricsRegistry registry;
+  TraceRing ring(128);
+  ring.attach_metrics(registry);
+  Histogram& latency =
+      registry.histogram("test_span_ns", "concurrent span latencies");
+
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&ring, &latency, t] {
+      const CycleScope scope(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span outer("outer", &latency, &ring);
+        Span inner("inner", &latency, &ring);
+      }
+    });
+  }
+  // Export continuously while the workers hammer the ring.
+  for (int i = 0; i < 50; ++i) {
+    const std::string chrome = write_chrome_trace(ring);
+    EXPECT_FALSE(chrome.empty());
+    const std::string json = write_trace_json(ring);
+    EXPECT_FALSE(json.empty());
+    const std::string prom = write_prometheus(registry);
+    EXPECT_FALSE(prom.empty());
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(ring.recorded(),
+            static_cast<std::uint64_t>(2 * kThreads * kSpansPerThread));
+  EXPECT_EQ(ring.dropped(), ring.recorded() - ring.capacity());
+  EXPECT_EQ(latency.count(),
+            static_cast<std::uint64_t>(2 * kThreads * kSpansPerThread));
+}
+
+}  // namespace

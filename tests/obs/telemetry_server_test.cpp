@@ -1,0 +1,253 @@
+// TelemetryServer tests: live scrapes during concurrent registry mutation,
+// readiness flips, graceful shutdown with in-flight connections, and the
+// port-in-use error path. All requests go through a real TCP socket — the
+// server under test is the production listener, not a mock.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <system_error>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry_server.hpp"
+
+namespace {
+
+using namespace dcv::obs;
+
+struct HttpResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.1 GET against 127.0.0.1:port.
+HttpResponse http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  std::string raw;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  HttpResponse response;
+  if (raw.rfind("HTTP/1.1 ", 0) == 0) {
+    response.status = std::stoi(raw.substr(9, 3));
+  }
+  const auto split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) {
+    response.headers = raw.substr(0, split);
+    response.body = raw.substr(split + 4);
+  }
+  return response;
+}
+
+TEST(TelemetryServer, BindsAnEphemeralPortAndCountsRequests) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, nullptr,
+                         [] { return HealthSnapshot{}; });
+  EXPECT_NE(server.port(), 0u);
+  EXPECT_EQ(server.requests_served(), 0u);
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+  EXPECT_EQ(http_get(server.port(), "/readyz").status, 200);
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(TelemetryServer, ServesMetricsInBothFormats) {
+  MetricsRegistry registry;
+  registry.counter("test_scrapes_total", "scrapes").inc(3);
+  TelemetryServer server(&registry, nullptr,
+                         [] { return HealthSnapshot{}; });
+
+  const HttpResponse prom = http_get(server.port(), "/metrics");
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_NE(prom.headers.find("text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("test_scrapes_total 3"), std::string::npos);
+
+  const HttpResponse json = http_get(server.port(), "/metrics.json");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(json.body.find("\"test_scrapes_total\""), std::string::npos);
+}
+
+TEST(TelemetryServer, ScrapeDuringConcurrentMutationIsConsistent) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test_mutations_total", "mutations");
+  TelemetryServer server(&registry, nullptr,
+                         [] { return HealthSnapshot{}; });
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    while (!stop.load()) counter.inc();
+  });
+  for (int i = 0; i < 20; ++i) {
+    const HttpResponse response = http_get(server.port(), "/metrics");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("test_mutations_total"),
+              std::string::npos);
+  }
+  stop.store(true);
+  mutator.join();
+}
+
+TEST(TelemetryServer, ReadyzFollowsTheProbe) {
+  MetricsRegistry registry;
+  std::atomic<bool> ready{true};
+  TelemetryServer server(&registry, nullptr, [&ready] {
+    HealthSnapshot snapshot;
+    snapshot.ready = ready.load();
+    snapshot.detail = ready.load() ? "all good" : "coverage too low";
+    return snapshot;
+  });
+
+  HttpResponse response = http_get(server.port(), "/readyz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("all good"), std::string::npos);
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+
+  ready.store(false);
+  response = http_get(server.port(), "/readyz");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("coverage too low"), std::string::npos);
+  // Liveness is independent of readiness.
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 200);
+
+  ready.store(true);
+  EXPECT_EQ(http_get(server.port(), "/readyz").status, 200);
+}
+
+TEST(TelemetryServer, HealthzReportsDeadProcess) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, nullptr, [] {
+    HealthSnapshot snapshot;
+    snapshot.alive = false;
+    return snapshot;
+  });
+  EXPECT_EQ(http_get(server.port(), "/healthz").status, 503);
+}
+
+TEST(TelemetryServer, TracezServesTheRing) {
+  MetricsRegistry registry;
+  TraceRing ring(16);
+  {
+    Span span("scrape-me", nullptr, &ring);
+  }
+  TelemetryServer server(&registry, &ring,
+                         [] { return HealthSnapshot{}; });
+  const HttpResponse response = http_get(server.port(), "/tracez");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("scrape-me"), std::string::npos);
+}
+
+TEST(TelemetryServer, MissingSinksAnswer404) {
+  TelemetryServer server(nullptr, nullptr,
+                         [] { return HealthSnapshot{}; });
+  EXPECT_EQ(http_get(server.port(), "/metrics").status, 404);
+  EXPECT_EQ(http_get(server.port(), "/tracez").status, 404);
+  EXPECT_EQ(http_get(server.port(), "/no-such-endpoint").status, 404);
+}
+
+TEST(TelemetryServer, QueryStringsAreIgnored) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, nullptr,
+                         [] { return HealthSnapshot{}; });
+  EXPECT_EQ(http_get(server.port(), "/metrics?format=prometheus").status,
+            200);
+}
+
+TEST(TelemetryServer, PortInUseThrowsSystemError) {
+  MetricsRegistry registry;
+  TelemetryServer first(&registry, nullptr,
+                        [] { return HealthSnapshot{}; });
+  EXPECT_THROW(
+      {
+        TelemetryServer second(
+            &registry, nullptr, [] { return HealthSnapshot{}; },
+            TelemetryServerConfig{.port = first.port()});
+      },
+      std::system_error);
+  // The survivor keeps serving.
+  EXPECT_EQ(http_get(first.port(), "/healthz").status, 200);
+}
+
+TEST(TelemetryServer, StopIsGracefulAndIdempotent) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, nullptr,
+                         [] { return HealthSnapshot{}; });
+  const std::uint16_t port = server.port();
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+
+  // A connection opened (but not yet written to) while stop() runs must
+  // not hang the shutdown: the listener either serves or abandons it.
+  const int idle = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  (void)::connect(idle, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+
+  server.stop();
+  server.stop();  // idempotent
+
+  // The port is released: a fresh server can bind it immediately.
+  TelemetryServer successor(
+      &registry, nullptr, [] { return HealthSnapshot{}; },
+      TelemetryServerConfig{.port = port});
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+  ::close(idle);
+}
+
+// TSan-exercised (the CI thread-sanitizer job runs ObsConcurrency.*):
+// scrapes racing registry mutation and server shutdown.
+TEST(ObsConcurrency, ScrapesRaceMutationAndShutdown) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test_race_total", "race");
+  TraceRing ring(64);
+  ring.attach_metrics(registry);
+  auto server = std::make_unique<TelemetryServer>(
+      &registry, &ring, [] { return HealthSnapshot{}; });
+  const std::uint16_t port = server->port();
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    while (!stop.load()) {
+      counter.inc();
+      Span span("race", nullptr, &ring);
+    }
+  });
+  std::thread scraper([&] {
+    for (int i = 0; i < 10; ++i) {
+      (void)http_get(port, "/metrics");
+      (void)http_get(port, "/tracez");
+    }
+  });
+  scraper.join();
+  server->stop();
+  stop.store(true);
+  mutator.join();
+}
+
+}  // namespace

@@ -1,0 +1,307 @@
+// Telemetry-plane tests for the monitoring pipeline: the causal span tree
+// recorded per cycle, the health() snapshot, and the /readyz probe built by
+// make_pipeline_probe. Suite name stays `MonitoringPipeline` so the CI
+// thread-sanitizer job's filter picks these up.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/span.hpp"
+#include "rcdc/flaky_fib_source.hpp"
+#include "rcdc/pipeline.hpp"
+#include "rcdc/resilient_fib_source.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::rcdc {
+namespace {
+
+PipelineConfig traced_config(obs::TraceRing* ring) {
+  return PipelineConfig{.puller_workers = 4,
+                        .validator_workers = 4,
+                        .fetch_latency_min = std::chrono::microseconds(200),
+                        .fetch_latency_max = std::chrono::microseconds(800),
+                        .time_scale = 0.01,
+                        .seed = 5,
+                        .trace = ring};
+}
+
+std::map<std::uint64_t, obs::TraceEvent> events_by_id(
+    const obs::TraceRing& ring) {
+  std::map<std::uint64_t, obs::TraceEvent> index;
+  for (const auto& event : ring.events()) index.emplace(event.id, event);
+  return index;
+}
+
+TEST(MonitoringPipeline, CycleRecordsAParentLinkedSpanTree) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  obs::TraceRing ring(4096);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              traced_config(&ring));
+  const auto stats = pipeline.run_cycle();
+
+  const auto index = events_by_id(ring);
+  std::map<std::string, std::size_t> names;
+  for (const auto& [id, event] : index) ++names[event.name];
+
+  // One cycle root with one contracts child; per-device fetch and
+  // validate → {verify, report} trees on the workers.
+  EXPECT_EQ(names["cycle"], 1u);
+  EXPECT_EQ(names["contracts"], 1u);
+  EXPECT_EQ(names["fetch"], stats.devices);
+  EXPECT_EQ(names["validate"], stats.devices);
+  EXPECT_EQ(names["verify"], stats.devices);
+  EXPECT_EQ(names["report"], stats.devices);
+
+  std::uint64_t cycle_span = 0;
+  std::uint64_t cycle_correlation = 0;
+  for (const auto& [id, event] : index) {
+    if (event.name == "cycle") {
+      cycle_span = id;
+      cycle_correlation = event.cycle;
+    }
+  }
+  ASSERT_NE(cycle_span, 0u);
+  ASSERT_NE(cycle_correlation, 0u);
+
+  for (const auto& [id, event] : index) {
+    // Every span of the cycle carries the same correlation id ...
+    EXPECT_EQ(event.cycle, cycle_correlation) << event.name;
+    // ... and parent links are intact within their thread: contracts hangs
+    // off the cycle root, verify/report hang off a validate span.
+    if (event.name == "contracts") {
+      EXPECT_EQ(event.parent, cycle_span);
+    } else if (event.name == "verify" || event.name == "report") {
+      const auto parent = index.find(event.parent);
+      ASSERT_NE(parent, index.end()) << event.name;
+      EXPECT_EQ(parent->second.name, "validate");
+    } else if (event.name == "fetch" || event.name == "validate") {
+      // Worker-thread roots: parented by nothing on their own thread.
+      EXPECT_EQ(event.parent, 0u) << event.name;
+    }
+  }
+
+  // The cycle root must span its children in time.
+  const auto& root = index.at(cycle_span);
+  for (const auto& [id, event] : index) {
+    EXPECT_GE(event.start.count(), root.start.count()) << event.name;
+    EXPECT_LE((event.start + event.duration).count(),
+              (root.start + root.duration).count() + 1'000'000)
+        << event.name;
+  }
+}
+
+TEST(MonitoringPipeline, CyclesGetDistinctCorrelationIds) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  obs::TraceRing ring(4096);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              traced_config(&ring));
+  (void)pipeline.run_cycle();
+  (void)pipeline.run_cycle();
+
+  std::set<std::uint64_t> cycle_ids;
+  for (const auto& event : ring.events()) {
+    if (event.name == "cycle") cycle_ids.insert(event.cycle);
+    EXPECT_NE(event.cycle, 0u);
+  }
+  EXPECT_EQ(cycle_ids.size(), 2u);
+}
+
+TEST(MonitoringPipeline, ChromeTraceOfACycleIsParentLinked) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  obs::TraceRing ring(4096);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              traced_config(&ring));
+  (void)pipeline.run_cycle();
+
+  const std::string trace = obs::write_chrome_trace(ring);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  for (const char* stage : {"cycle", "contracts", "fetch", "validate",
+                            "verify", "report"}) {
+    EXPECT_NE(trace.find("\"name\":\"" + std::string(stage) + "\""),
+              std::string::npos)
+        << stage;
+  }
+  // Spot-check one causal link survives the export: a verify event carries
+  // its validate parent's span id.
+  const auto index = events_by_id(ring);
+  for (const auto& [id, event] : index) {
+    if (event.name != "verify") continue;
+    EXPECT_NE(trace.find("\"span_id\":" + std::to_string(id)),
+              std::string::npos);
+    EXPECT_NE(trace.find("\"parent_id\":" + std::to_string(event.parent)),
+              std::string::npos);
+    break;
+  }
+}
+
+TEST(MonitoringPipeline, HealthSnapshotTracksCycles) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              traced_config(nullptr));
+
+  PipelineHealth before = pipeline.health();
+  EXPECT_EQ(before.cycles_completed, 0u);
+  EXPECT_FALSE(before.cycle_in_progress);
+  EXPECT_LT(before.since_last_cycle.count(), 0);
+  EXPECT_EQ(before.queue_capacity, 256u);
+
+  const auto stats = pipeline.run_cycle();
+  PipelineHealth after = pipeline.health();
+  EXPECT_EQ(after.cycles_completed, 1u);
+  EXPECT_FALSE(after.cycle_in_progress);
+  EXPECT_DOUBLE_EQ(after.coverage, stats.coverage());
+  EXPECT_EQ(after.queue_depth, 0u);
+  EXPECT_GE(after.since_last_cycle.count(), 0);
+}
+
+TEST(MonitoringPipeline, ProbeNotReadyBeforeFirstCycle) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              traced_config(nullptr));
+  const auto probe = make_pipeline_probe(pipeline);
+
+  obs::HealthSnapshot snapshot = probe();
+  EXPECT_TRUE(snapshot.alive);
+  EXPECT_FALSE(snapshot.ready);
+  EXPECT_NE(snapshot.detail.find("no monitoring cycle"), std::string::npos);
+
+  (void)pipeline.run_cycle();
+  snapshot = probe();
+  EXPECT_TRUE(snapshot.ready) << snapshot.detail;
+}
+
+TEST(MonitoringPipeline, ProbeFlipsOnLowCoverage) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  // Half the fleet unreachable: coverage lands far below the 0.9 default.
+  const FlakyFibSource flaky(
+      fibs, FlakyConfig{.unreachable_rate = 0.5, .seed = 3});
+  MonitoringPipeline pipeline(metadata, flaky, make_trie_verifier_factory(),
+                              traced_config(nullptr));
+  const auto stats = pipeline.run_cycle();
+  ASSERT_LT(stats.coverage(), 0.9);
+
+  const auto probe = make_pipeline_probe(pipeline);
+  const obs::HealthSnapshot snapshot = probe();
+  EXPECT_TRUE(snapshot.alive);
+  EXPECT_FALSE(snapshot.ready);
+  EXPECT_NE(snapshot.detail.find("coverage"), std::string::npos);
+
+  // Relaxed rules accept the same cycle.
+  ReadinessRules lenient;
+  lenient.min_coverage = 0.0;
+  const obs::HealthSnapshot relaxed =
+      make_pipeline_probe(pipeline, lenient)();
+  EXPECT_TRUE(relaxed.ready) << relaxed.detail;
+}
+
+TEST(MonitoringPipeline, ProbeFlipsOnBreakerOpens) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource inner(sim);
+  FlakyFibSource flaky(inner, FlakyConfig{.seed = 1});
+  flaky.mark_dead(*topology.find_device("ToR1"));
+
+  ManualFetchClock clock;
+  const ResilientFibSource hardened(
+      flaky,
+      ResilienceConfig{.retry = {.max_attempts = 2,
+                                 .initial_backoff =
+                                     std::chrono::milliseconds(10)},
+                       .breaker = {.failure_threshold = 2,
+                                   .cool_down = std::chrono::hours(1)},
+                       .serve_stale = false},
+      &clock);
+  MonitoringPipeline pipeline(metadata, hardened,
+                              make_trie_verifier_factory(),
+                              traced_config(nullptr));
+  // One dead device out of a dozen keeps coverage above 0.9, so the
+  // readiness verdict isolates the breaker rule.
+  ReadinessRules rules;
+  rules.min_coverage = 0.5;
+
+  (void)pipeline.run_cycle();  // failure 1 of 2: breaker still closed
+  EXPECT_TRUE(make_pipeline_probe(pipeline, rules)().ready);
+
+  const auto stats = pipeline.run_cycle();  // threshold reached: opens
+  ASSERT_EQ(stats.breaker_opens, 1u);
+  const obs::HealthSnapshot snapshot =
+      make_pipeline_probe(pipeline, rules)();
+  EXPECT_FALSE(snapshot.ready);
+  EXPECT_NE(snapshot.detail.find("circuit breakers"), std::string::npos);
+
+  ReadinessRules tolerant = rules;
+  tolerant.max_breaker_opens = 1;
+  EXPECT_TRUE(make_pipeline_probe(pipeline, tolerant)().ready);
+}
+
+TEST(MonitoringPipeline, ProbeFlipsOnStaleCycle) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              traced_config(nullptr));
+  (void)pipeline.run_cycle();
+
+  ReadinessRules strict;
+  strict.max_cycle_age = std::chrono::nanoseconds(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const obs::HealthSnapshot stale = make_pipeline_probe(pipeline, strict)();
+  EXPECT_FALSE(stale.ready);
+  EXPECT_NE(stale.detail.find("stale"), std::string::npos);
+
+  // Age rule disabled (the default): the same state is ready.
+  EXPECT_TRUE(make_pipeline_probe(pipeline)().ready);
+}
+
+TEST(MonitoringPipeline, ProbeReadableWhileCycleRuns) {
+  const auto topology = topo::build_clos(topo::ClosParams{});
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  obs::TraceRing ring(4096);
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              traced_config(&ring));
+  const auto probe = make_pipeline_probe(pipeline);
+
+  std::thread runner([&pipeline] {
+    (void)pipeline.run_cycle();
+    (void)pipeline.run_cycle();
+  });
+  for (int i = 0; i < 100; ++i) {
+    const obs::HealthSnapshot snapshot = probe();
+    EXPECT_TRUE(snapshot.alive);
+    const PipelineHealth health = pipeline.health();
+    EXPECT_LE(health.queue_depth, health.queue_capacity);
+  }
+  runner.join();
+  EXPECT_EQ(pipeline.health().cycles_completed, 2u);
+}
+
+}  // namespace
+}  // namespace dcv::rcdc

@@ -7,17 +7,22 @@
 // dcv_topogen --tables), or from EBGP simulation over the topology's
 // recorded link/session state. Prints the violation report with risk and
 // triage annotations — the offline equivalent of one RCDC monitoring cycle.
+#include <atomic>
 #include <charconv>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry_server.hpp"
 #include "rcdc/beliefs_io.hpp"
+#include "rcdc/pipeline.hpp"
 #include "rcdc/fib_source.hpp"
 #include "rcdc/flaky_fib_source.hpp"
 #include "rcdc/global_checker.hpp"
@@ -59,7 +64,32 @@ void usage() {
       "  --metrics-out FILE   dump the metrics registry after the run and\n"
       "                       print a per-stage latency table\n"
       "  --metrics-format F   prom (default; Prometheus text exposition)\n"
-      "                       or json\n";
+      "                       or json\n"
+      "  --metrics-flush-sec N  additionally rewrite --metrics-out every N\n"
+      "                       seconds (atomic rename), so a killed run\n"
+      "                       still leaves fresh metrics on disk\n"
+      "live monitoring (continuous pipeline instead of one offline sweep;\n"
+      "enabled by --serve, --cycles, or --trace-out):\n"
+      "  --serve PORT         HTTP telemetry on PORT (0 = ephemeral):\n"
+      "                       /metrics /metrics.json /healthz /readyz\n"
+      "                       /tracez; runs cycles until SIGINT/SIGTERM\n"
+      "                       unless --cycles bounds them\n"
+      "  --cycles N           run N monitoring cycles (0 = until signal;\n"
+      "                       default 1 without --serve)\n"
+      "  --interval-ms N      pause between cycles (default 0)\n"
+      "  --pullers N / --validators N   pipeline workers (default 8 / 4)\n"
+      "  --queue-capacity N   puller->validator queue bound (default 256)\n"
+      "  --time-scale X       compress the simulated 200-800ms fetch\n"
+      "                       latencies by X (default 0.001)\n"
+      "  --seed N             fetch-latency schedule seed (default 0)\n"
+      "  --trace-out FILE     write the span ring as Chrome trace-event\n"
+      "                       JSON at exit (open in Perfetto)\n"
+      "  --trace-capacity N   span ring capacity (default 65536)\n"
+      "readiness rules (what /readyz enforces):\n"
+      "  --ready-coverage T   minimum per-cycle device coverage (def 0.9)\n"
+      "  --ready-max-breaker-opens N  tolerated opens per cycle (def 0)\n"
+      "  --ready-max-age-sec N  503 when the last cycle is older than N\n"
+      "                       seconds (default 0 = disabled)\n";
 }
 
 std::string slurp(const std::string& path) {
@@ -121,22 +151,38 @@ void print_latency_table(const obs::MetricsRegistry& registry) {
   }
 }
 
+/// Writes `content` to `path` via a temp file + rename, so readers (and a
+/// process killed mid-write) only ever see a complete old or new file.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << content;
+    if (!out.good()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+[[nodiscard]] std::string render_metrics(const obs::MetricsRegistry& registry,
+                                         const std::string& format) {
+  return format == "json" ? obs::write_json(registry)
+                          : obs::write_prometheus(registry);
+}
+
 /// Writes the registry dump; exits the process on I/O failure so a CI
 /// artifact step never silently uploads a half-written exposition.
 void write_metrics_file(const obs::MetricsRegistry& registry,
                         const std::string& path, const std::string& format) {
-  std::ofstream out(path);
-  if (!out) {
+  if (!write_file_atomic(path, render_metrics(registry, format))) {
     std::cerr << "rcdc_validate: cannot write " << path << "\n";
     std::exit(1);
   }
-  out << (format == "json" ? obs::write_json(registry)
-                           : obs::write_prometheus(registry));
-  if (!out.good()) {
-    std::cerr << "rcdc_validate: failed writing " << path << "\n";
-    std::exit(1);
-  }
 }
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
 
 }  // namespace
 
@@ -155,6 +201,20 @@ int main(int argc, char** argv) {
   bool use_resilience = false;
   std::string metrics_out;
   std::string metrics_format = "prom";
+  std::uint64_t metrics_flush_sec = 0;
+  bool serve_set = false;
+  std::uint16_t serve_port = 0;
+  bool cycles_given = false;
+  std::uint64_t cycles = 0;
+  std::chrono::milliseconds cycle_interval{0};
+  unsigned pullers = 8;
+  unsigned validators = 4;
+  std::size_t queue_capacity = 256;
+  double time_scale = 0.001;
+  std::uint64_t pipeline_seed = 0;
+  std::string trace_out;
+  std::size_t trace_capacity = 65536;
+  rcdc::ReadinessRules readiness;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -194,6 +254,19 @@ int main(int argc, char** argv) {
     const auto ms_value = [&] {
       use_resilience = true;
       return std::chrono::milliseconds(count_value());
+    };
+    const auto double_value = [&] {
+      const auto text = value();
+      double parsed = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), parsed);
+      if (ec != std::errc{} || ptr != text.data() + text.size() ||
+          parsed < 0.0) {
+        std::cerr << "rcdc_validate: " << flag
+                  << " wants a non-negative number, got '" << text << "'\n";
+        std::exit(2);
+      }
+      return parsed;
     };
     if (flag == "--topology") {
       topology_path = value();
@@ -240,6 +313,36 @@ int main(int argc, char** argv) {
       resilience.serve_stale = false;
     } else if (flag == "--metrics-out") {
       metrics_out = value();
+    } else if (flag == "--metrics-flush-sec") {
+      metrics_flush_sec = count_value();
+    } else if (flag == "--serve") {
+      serve_set = true;
+      serve_port = static_cast<std::uint16_t>(count_value());
+    } else if (flag == "--cycles") {
+      cycles_given = true;
+      cycles = count_value();
+    } else if (flag == "--interval-ms") {
+      cycle_interval = std::chrono::milliseconds(count_value());
+    } else if (flag == "--pullers") {
+      pullers = static_cast<unsigned>(count_value());
+    } else if (flag == "--validators") {
+      validators = static_cast<unsigned>(count_value());
+    } else if (flag == "--queue-capacity") {
+      queue_capacity = count_value();
+    } else if (flag == "--time-scale") {
+      time_scale = double_value();
+    } else if (flag == "--seed") {
+      pipeline_seed = count_value();
+    } else if (flag == "--trace-out") {
+      trace_out = value();
+    } else if (flag == "--trace-capacity") {
+      trace_capacity = count_value();
+    } else if (flag == "--ready-coverage") {
+      readiness.min_coverage = double_value();
+    } else if (flag == "--ready-max-breaker-opens") {
+      readiness.max_breaker_opens = count_value();
+    } else if (flag == "--ready-max-age-sec") {
+      readiness.max_cycle_age = std::chrono::seconds(count_value());
     } else if (flag == "--metrics-format") {
       metrics_format = value();
       if (metrics_format != "prom" && metrics_format != "json") {
@@ -263,10 +366,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Live-monitoring mode: any serve/cycles/trace request turns the offline
+  // sweep into a continuously running MonitoringPipeline.
+  const bool pipeline_mode = serve_set || cycles_given || !trace_out.empty();
+  if (pipeline_mode && !cycles_given && !serve_set) cycles = 1;
+
   try {
     obs::MetricsRegistry registry;
     obs::MetricsRegistry* metrics =
-        metrics_out.empty() ? nullptr : &registry;
+        (pipeline_mode || !metrics_out.empty()) ? &registry : nullptr;
+
+    // Periodic atomic-rename flush: a killed run still leaves a complete,
+    // recent exposition on disk for the scraper/artifact step.
+    std::jthread metrics_flusher;
+    if (metrics_flush_sec > 0 && !metrics_out.empty()) {
+      metrics_flusher = std::jthread([&registry, metrics_out, metrics_format,
+                                      metrics_flush_sec](
+                                         std::stop_token stop) {
+        const auto period = std::chrono::seconds(metrics_flush_sec);
+        auto next_flush = std::chrono::steady_clock::now() + period;
+        while (!stop.stop_requested()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          if (std::chrono::steady_clock::now() < next_flush) continue;
+          if (!write_file_atomic(metrics_out,
+                                 render_metrics(registry, metrics_format))) {
+            std::cerr << "rcdc_validate: periodic metrics flush to "
+                      << metrics_out << " failed\n";
+          }
+          next_flush = std::chrono::steady_clock::now() + period;
+        }
+      });
+    }
 
     const topo::Topology topology =
         topo::parse_topology(slurp(topology_path));
@@ -301,6 +431,87 @@ int main(int argc, char** argv) {
     const rcdc::VerifierFactory factory =
         verifier_name == "smt" ? rcdc::make_smt_verifier_factory(metrics)
                                : rcdc::make_trie_verifier_factory(metrics);
+
+    if (pipeline_mode) {
+      std::unique_ptr<obs::TraceRing> trace;
+      if (serve_set || !trace_out.empty()) {
+        trace = std::make_unique<obs::TraceRing>(trace_capacity);
+        trace->attach_metrics(registry);
+      }
+
+      rcdc::PipelineConfig pipeline_config;
+      pipeline_config.puller_workers = pullers;
+      pipeline_config.validator_workers = validators;
+      pipeline_config.time_scale = time_scale;
+      pipeline_config.seed = pipeline_seed;
+      pipeline_config.queue_capacity = queue_capacity;
+      pipeline_config.metrics = &registry;
+      pipeline_config.trace = trace.get();
+      rcdc::MonitoringPipeline pipeline(metadata, *active, factory,
+                                        pipeline_config);
+
+      std::unique_ptr<obs::TelemetryServer> server;
+      if (serve_set) {
+        obs::TelemetryServerConfig server_config;
+        server_config.port = serve_port;
+        server = std::make_unique<obs::TelemetryServer>(
+            &registry, trace.get(),
+            rcdc::make_pipeline_probe(pipeline, readiness), server_config);
+        std::cout << "telemetry: /metrics /metrics.json /healthz /readyz "
+                     "/tracez on port "
+                  << server->port() << "\n";
+      }
+      std::signal(SIGINT, on_signal);
+      std::signal(SIGTERM, on_signal);
+
+      std::size_t total_violations = 0;
+      std::uint64_t completed = 0;
+      for (std::uint64_t c = 0; (cycles == 0 || c < cycles) && !g_stop;
+           ++c) {
+        const auto stats = pipeline.run_cycle();
+        ++completed;
+        total_violations += stats.violations;
+        if (!quiet) {
+          std::printf(
+              "cycle %llu: %zu devices, coverage %.1f%%, %zu violations "
+              "(%zu high), wall %.3f s\n",
+              static_cast<unsigned long long>(completed), stats.devices,
+              100.0 * stats.coverage(), stats.violations, stats.alerts_high,
+              std::chrono::duration<double>(stats.wall).count());
+          std::fflush(stdout);
+        }
+        // Sleep the inter-cycle interval in slices so a signal still stops
+        // the run promptly.
+        const auto pause_until =
+            std::chrono::steady_clock::now() + cycle_interval;
+        while (std::chrono::steady_clock::now() < pause_until && !g_stop &&
+               (cycles == 0 || c + 1 < cycles)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+
+      if (server != nullptr) server->stop();
+      if (trace != nullptr && !trace_out.empty()) {
+        if (!write_file_atomic(trace_out, obs::write_chrome_trace(*trace))) {
+          std::cerr << "rcdc_validate: cannot write " << trace_out << "\n";
+          return 1;
+        }
+        std::cout << "trace: " << trace->size() << " spans ("
+                  << trace->dropped() << " dropped) written to " << trace_out
+                  << " (Chrome trace-event JSON; open in Perfetto)\n";
+      }
+      if (!metrics_out.empty()) {
+        if (!quiet) print_latency_table(registry);
+        write_metrics_file(registry, metrics_out, metrics_format);
+        std::cout << "metrics: " << metrics_format << " dump written to "
+                  << metrics_out << "\n";
+      }
+      std::cout << "rcdc_validate: " << completed << " monitoring cycles, "
+                << total_violations << " violations"
+                << (g_stop ? " (stopped by signal)" : "") << "\n";
+      return total_violations == 0 ? 0 : 3;
+    }
+
     const rcdc::DatacenterValidator validator(metadata, *active, factory, {},
                                               metrics);
     const auto summary = validator.run(threads);
