@@ -12,6 +12,24 @@ Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
 
 Exit codes: 0 ok, 1 regression(s) found, 2 usage / malformed snapshot.
+
+Checked-in baselines and how to refresh them
+--------------------------------------------
+CI gates every run against the snapshots in bench/baselines/ (one
+BENCH_<name>.json per bench). Wall-clock metrics (ms, devices/s) are
+machine-dependent, so the CI gate uses a deliberately generous
+--threshold: it catches order-of-magnitude regressions across machine
+classes, while ratio metrics (e.g. bench_hotpath's *_speedup_ratio) are
+machine-independent and meaningful at any threshold. To refresh after an
+intentional performance change:
+
+    cmake --build build --target bench_pipeline bench_hotpath
+    ./build/bench/bench_pipeline --json bench/baselines/BENCH_pipeline.json
+    ./build/bench/bench_hotpath  --json bench/baselines/BENCH_hotpath.json
+
+then commit the updated JSON together with the change that moved the
+numbers, and say in the commit message why the baseline moved. Never
+refresh a baseline to silence a gate you cannot explain.
 """
 
 import argparse

@@ -154,4 +154,32 @@ std::vector<DeviceContracts> ContractGenerator::generate_all() const {
   return out;
 }
 
+ContractPlan::ContractPlan(std::uint64_t epoch,
+                           std::vector<DeviceContracts> devices)
+    : epoch_(epoch), devices_(std::move(devices)) {
+  for (DeviceContracts& entry : devices_) {
+    // Trie-walk order: default contracts first (checked against the default
+    // rule, no trie walk), then specific contracts in ascending prefix
+    // order so successive walks revisit warm trie paths.
+    std::stable_sort(entry.contracts.begin(), entry.contracts.end(),
+                     [](const Contract& a, const Contract& b) {
+                       const bool a_default = a.kind == ContractKind::kDefault;
+                       const bool b_default = b.kind == ContractKind::kDefault;
+                       if (a_default != b_default) return a_default;
+                       return a.prefix < b.prefix;
+                     });
+    total_contracts_ += entry.contracts.size();
+  }
+}
+
+ContractPlanPtr ContractGenerator::plan() const {
+  const std::uint64_t epoch = metadata_->epoch();
+  const std::lock_guard lock(plan_mutex_);
+  if (cached_plan_ == nullptr || cached_plan_->epoch() != epoch) {
+    cached_plan_ = std::make_shared<const ContractPlan>(epoch,
+                                                        generate_all());
+  }
+  return cached_plan_;
+}
+
 }  // namespace dcv::rcdc

@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "rcdc/contract.hpp"
@@ -13,6 +17,51 @@ struct ContractGenOptions {
   /// paper's Figure 3 walkthrough checks R devices too.
   bool include_regional_spines = true;
 };
+
+/// A precompiled, immutable verification plan for one topology epoch:
+/// every device's contract set, pre-ordered in trie-walk order (default
+/// contracts first, then specific contracts in ascending prefix order — the
+/// address order in which the policy trie is traversed). One plan is built
+/// per expected-topology epoch and shared across worker threads and
+/// monitoring cycles via shared_ptr; the §2.5.2 hot path consumes plans
+/// instead of re-deriving contracts from metadata per device per cycle.
+///
+/// Immutability is the mid-cycle safety story: a cycle captures one
+/// ContractPlanPtr at its start and uses only that pointer, so a concurrent
+/// epoch bump can never swap contracts under a running worker.
+class ContractPlan {
+ public:
+  ContractPlan(std::uint64_t epoch, std::vector<DeviceContracts> devices);
+
+  /// The expected-topology epoch this plan was compiled from.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Per-device plans, indexed by dense device id; devices with no
+  /// contracts carry an empty vector.
+  [[nodiscard]] const std::vector<DeviceContracts>& devices() const {
+    return devices_;
+  }
+
+  /// One device's contracts in trie-walk order (empty span for
+  /// contract-free devices or out-of-range ids).
+  [[nodiscard]] std::span<const Contract> contracts_for(
+      topo::DeviceId device) const {
+    if (device >= devices_.size()) return {};
+    return devices_[device].contracts;
+  }
+
+  /// Total contracts across all devices.
+  [[nodiscard]] std::size_t total_contracts() const {
+    return total_contracts_;
+  }
+
+ private:
+  std::uint64_t epoch_;
+  std::vector<DeviceContracts> devices_;
+  std::size_t total_contracts_ = 0;
+};
+
+using ContractPlanPtr = std::shared_ptr<const ContractPlan>;
 
 /// The device contract generator of §2.4 and Figure 5: consumes facts from
 /// the metadata service and derives, for every device, the full contract
@@ -47,9 +96,21 @@ class ContractGenerator {
   /// Contracts for the whole datacenter, device by device.
   [[nodiscard]] std::vector<DeviceContracts> generate_all() const;
 
+  /// The precompiled plan for the metadata's current topology epoch.
+  /// Thread-safe: the plan for an epoch is built once and shared by every
+  /// caller until the expected topology changes, so steady-state calls are
+  /// a lock + pointer copy. Callers must not mutate the topology
+  /// concurrently with this call (the same rule as every metadata read);
+  /// a plan already handed out stays valid and immutable regardless of
+  /// later epoch bumps.
+  [[nodiscard]] ContractPlanPtr plan() const;
+
  private:
   const topo::MetadataService* metadata_;
   ContractGenOptions options_;
+
+  mutable std::mutex plan_mutex_;
+  mutable ContractPlanPtr cached_plan_;
 };
 
 }  // namespace dcv::rcdc

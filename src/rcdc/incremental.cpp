@@ -1,5 +1,6 @@
 #include "rcdc/incremental.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -73,7 +74,20 @@ IncrementalValidator::IncrementalValidator(
 IncrementalValidator::CycleResult IncrementalValidator::run_cycle(
     const FibSource& fibs, unsigned threads) {
   const std::size_t device_count = metadata_->topology().device_count();
-  threads = std::max(1u, threads);
+  // Clamp the pool to the work available.
+  threads = std::clamp(
+      threads, 1u,
+      static_cast<unsigned>(std::max<std::size_t>(1, device_count)));
+
+  // One immutable plan for this cycle. A topology-epoch change invalidates
+  // every cached verdict: contracts may have changed for any device, so the
+  // fingerprint shortcut is no longer sound and everything revalidates.
+  const ContractPlanPtr plan = generator_.plan();
+  if (plan->epoch() != plan_epoch_) {
+    plan_epoch_ = plan->epoch();
+    fingerprints_.assign(device_count, 0);
+    cached_violations_.assign(device_count, {});
+  }
 
   std::atomic<std::size_t> next_index{0};
   std::atomic<std::size_t> revalidated{0};
@@ -91,8 +105,8 @@ IncrementalValidator::CycleResult IncrementalValidator::run_cycle(
       const std::uint64_t print = fingerprint(fib);
       fingerprint_timer.stop();
       if (print == fingerprints_[device]) continue;  // unchanged: reuse
-      const auto contracts =
-          generator_.for_device(static_cast<topo::DeviceId>(device));
+      const std::span<const Contract> contracts =
+          plan->contracts_for(static_cast<topo::DeviceId>(device));
       cached_violations_[device] = verifier->check(
           fib, contracts, static_cast<topo::DeviceId>(device));
       fingerprints_[device] = print;

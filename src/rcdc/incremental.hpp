@@ -51,6 +51,11 @@ class IncrementalValidator {
   const topo::MetadataService* metadata_;
   VerifierFactory verifier_factory_;
   ContractGenerator generator_;
+  /// Epoch of the plan the caches were built against; a mismatch at cycle
+  /// start drops every cached verdict (contracts may have changed) and
+  /// resizes the per-device state to the current device count. Starts at
+  /// the all-ones sentinel so the first cycle adopts the live epoch.
+  std::uint64_t plan_epoch_ = ~std::uint64_t{0};
   std::vector<std::uint64_t> fingerprints_;  // 0 = never validated
   std::vector<std::vector<Violation>> cached_violations_;
   obs::Histogram* fingerprint_ns_ = nullptr;

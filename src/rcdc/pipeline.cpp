@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/span.hpp"
+#include "rcdc/incremental.hpp"
 #include "rcdc/notification_queue.hpp"
 
 namespace dcv::rcdc {
@@ -45,6 +46,10 @@ struct CycleMetrics {
   obs::Counter* retries_total = nullptr;
   obs::Counter* breaker_opens_total = nullptr;
   obs::Counter* violations_total = nullptr;
+  obs::Histogram* fingerprint_ns = nullptr;
+  obs::Counter* devices_revalidated = nullptr;
+  obs::Counter* devices_skipped = nullptr;
+  obs::Gauge* revalidation_ratio = nullptr;
 
   explicit CycleMetrics(obs::MetricsRegistry* registry) {
     if (registry == nullptr) return;
@@ -90,6 +95,18 @@ struct CycleMetrics {
         "Circuit-breaker open transitions observed by pullers");
     violations_total = &registry->counter("dcv_pipeline_violations_total",
                                           "Contract violations found");
+    fingerprint_ns = &registry->histogram(
+        "dcv_incremental_fingerprint_ns",
+        "Time to fingerprint one device's forwarding table");
+    devices_revalidated = &registry->counter(
+        "dcv_incremental_devices_revalidated_total",
+        "Devices re-verified because their FIB fingerprint changed");
+    devices_skipped = &registry->counter(
+        "dcv_incremental_devices_skipped_total",
+        "Devices whose cached verdicts were reused (fingerprint unchanged)");
+    revalidation_ratio = &registry->gauge(
+        "dcv_incremental_revalidation_ratio",
+        "Fraction of devices re-verified in the latest cycle");
   }
 };
 
@@ -102,7 +119,8 @@ MonitoringPipeline::MonitoringPipeline(const topo::MetadataService& metadata,
     : metadata_(&metadata),
       fibs_(&fibs),
       verifier_factory_(std::move(verifier_factory)),
-      config_(config) {}
+      config_(config),
+      generator_(metadata) {}
 
 PipelineStats MonitoringPipeline::run_cycle() {
   const auto start = std::chrono::steady_clock::now();
@@ -114,13 +132,22 @@ PipelineStats MonitoringPipeline::run_cycle() {
   const obs::CycleScope cycle_scope(cycle_id);
   obs::Span cycle_span("cycle", nullptr, config_.trace);
 
-  // Stage 1 — device contract generator: contracts for every device into
-  // the (read-only after this point) contract store.
-  const ContractGenerator generator(*metadata_);
+  // Stage 1 — device contract generator: capture this cycle's immutable
+  // contract plan. In steady state the plan is cached for the current
+  // topology epoch, so this is a lock + pointer copy rather than a full
+  // regeneration; a concurrent epoch bump can only affect the *next*
+  // cycle's plan, never the one captured here.
   obs::Span contracts_span("contracts", nullptr, config_.trace);
-  const auto contract_store = generator.generate_all();
+  const ContractPlanPtr plan = generator_.plan();
+  if (config_.incremental && plan->epoch() != plan_epoch_) {
+    // Contracts may have changed for any device: every cached verdict is
+    // stale, and the per-device state tracks the new device count.
+    plan_epoch_ = plan->epoch();
+    fingerprints_.assign(metadata_->topology().device_count(), 0);
+    cached_violations_.assign(metadata_->topology().device_count(), {});
+  }
   std::vector<topo::DeviceId> devices;
-  for (const DeviceContracts& entry : contract_store) {
+  for (const DeviceContracts& entry : plan->devices()) {
     if (!entry.contracts.empty()) devices.push_back(entry.device);
   }
   contracts_span.stop();
@@ -138,6 +165,8 @@ PipelineStats MonitoringPipeline::run_cycle() {
   std::atomic<std::size_t> violations_degraded{0};
   std::atomic<std::size_t> devices_failed{0};
   std::atomic<std::size_t> devices_stale{0};
+  std::atomic<std::size_t> devices_revalidated{0};
+  std::atomic<std::size_t> devices_skipped{0};
   std::atomic<std::size_t> retries{0};
   std::atomic<std::size_t> breaker_opens{0};
   std::mutex sink_mutex;
@@ -231,28 +260,63 @@ PipelineStats MonitoringPipeline::run_cycle() {
                 .count()));
       }
       obs::Span validate_span("validate", nullptr, config_.trace);
-      const auto& contracts = contract_store[notification->device].contracts;
-      obs::Span verify_span("verify", metrics.validate_latency_ns,
-                            config_.trace);
-      const auto violations =
-          verifier->check(notification->fib, contracts, notification->device);
-      const auto verify_elapsed = verify_span.stop();
-      validate_total_ns.fetch_add(
-          static_cast<std::uint64_t>(verify_elapsed.count()),
-          std::memory_order_relaxed);
-      contracts_checked.fetch_add(contracts.size(),
-                                  std::memory_order_relaxed);
-      violation_count.fetch_add(violations.size(),
+      const std::size_t device_index = notification->device;
+      const std::span<const Contract> contracts =
+          plan->contracts_for(notification->device);
+
+      // Incremental skip: an unchanged fingerprint means the cached verdict
+      // for this table content is still exact — replay it through the same
+      // risk/alert path instead of re-verifying. The "cached" vs "verify"
+      // child span distinguishes the two outcomes in traces.
+      std::uint64_t print = 0;
+      bool skipped = false;
+      if (config_.incremental) {
+        obs::ScopedTimer fingerprint_timer(metrics.fingerprint_ns);
+        print = fingerprint(notification->fib);
+        fingerprint_timer.stop();
+        skipped = print == fingerprints_[device_index];
+      }
+
+      std::vector<Violation> fresh;
+      const std::vector<Violation>* violations = &fresh;
+      if (skipped) {
+        obs::Span cached_span("cached", nullptr, config_.trace);
+        violations = &cached_violations_[device_index];
+        devices_skipped.fetch_add(1, std::memory_order_relaxed);
+        if (metrics.devices_skipped != nullptr) metrics.devices_skipped->inc();
+        cached_span.stop();
+      } else {
+        obs::Span verify_span("verify", metrics.validate_latency_ns,
+                              config_.trace);
+        fresh = verifier->check(notification->fib, contracts,
+                                notification->device);
+        const auto verify_elapsed = verify_span.stop();
+        validate_total_ns.fetch_add(
+            static_cast<std::uint64_t>(verify_elapsed.count()),
+            std::memory_order_relaxed);
+        contracts_checked.fetch_add(contracts.size(),
+                                    std::memory_order_relaxed);
+        devices_revalidated.fetch_add(1, std::memory_order_relaxed);
+        if (metrics.devices_revalidated != nullptr) {
+          metrics.devices_revalidated->inc();
+        }
+        if (config_.incremental) {
+          cached_violations_[device_index] = std::move(fresh);
+          fingerprints_[device_index] = print;
+          violations = &cached_violations_[device_index];
+        }
+      }
+      violation_count.fetch_add(violations->size(),
                                 std::memory_order_relaxed);
-      if (metrics.violations_total != nullptr && !violations.empty()) {
-        metrics.violations_total->inc(violations.size());
+      if (metrics.violations_total != nullptr && !violations->empty()) {
+        metrics.violations_total->inc(violations->size());
       }
       if (notification->degraded) {
-        violations_degraded.fetch_add(violations.size(),
+        violations_degraded.fetch_add(violations->size(),
                                       std::memory_order_relaxed);
       }
       obs::Span report_span("report", nullptr, config_.trace);
-      for (const Violation& v : violations) {
+      for (const Violation& v : *violations) {
         const RiskAssessment assessment =
             risk.assess(v, notification->degraded);
         if (assessment.level == RiskLevel::kHigh) {
@@ -293,6 +357,8 @@ PipelineStats MonitoringPipeline::run_cycle() {
   stats.violations_degraded = violations_degraded.load();
   stats.devices_failed = devices_failed.load();
   stats.devices_stale = devices_stale.load();
+  stats.devices_revalidated = devices_revalidated.load();
+  stats.devices_skipped = devices_skipped.load();
   stats.retries = retries.load();
   stats.breaker_opens = breaker_opens.load();
   stats.fetch_sim_total = std::chrono::nanoseconds(fetch_sim_total_ns.load());
@@ -303,6 +369,12 @@ PipelineStats MonitoringPipeline::run_cycle() {
   if (metrics.cycles_total != nullptr) {
     metrics.cycles_total->inc();
     metrics.coverage->set(stats.coverage());
+    const std::size_t validated =
+        stats.devices_revalidated + stats.devices_skipped;
+    metrics.revalidation_ratio->set(
+        validated == 0 ? 0.0
+                       : static_cast<double>(stats.devices_revalidated) /
+                             static_cast<double>(validated));
   }
   cycle_span.stop();
 

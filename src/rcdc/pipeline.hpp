@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
@@ -29,6 +30,16 @@ struct PipelineConfig {
   /// stand-in). Pullers block when the queue is full — backpressure instead
   /// of unbounded table buffering. Clamped to ≥ 1.
   std::size_t queue_capacity = 256;
+  /// Incremental validation (on by default): each validated table is
+  /// fingerprinted (order-insensitive semantic hash), and a device whose
+  /// fingerprint is unchanged since its last verdict reuses the cached
+  /// violation list instead of re-verifying — tables are still pulled every
+  /// cycle (that is how change is observed), but steady-state verification
+  /// work drops to the changed set. Cached verdicts are invalidated
+  /// whenever the expected-topology epoch (and hence the contract plan)
+  /// changes. Replayed violations flow through the same risk/alert path as
+  /// fresh ones.
+  bool incremental = true;
   /// Optional metrics sink (must outlive the pipeline). When set, every
   /// cycle records the dcv_pipeline_* series: fetch/validate latency
   /// histograms, queue depth/wait, coverage, retry and breaker counters.
@@ -58,6 +69,12 @@ struct PipelineStats {
   /// Devices validated against a stale cached table rather than a fresh
   /// pull.
   std::size_t devices_stale = 0;
+  /// Devices actually re-verified this cycle (fingerprint changed, first
+  /// seen, or incremental mode off).
+  std::size_t devices_revalidated = 0;
+  /// Devices whose cached verdicts were replayed because their table
+  /// fingerprint was unchanged (always 0 with incremental mode off).
+  std::size_t devices_skipped = 0;
   /// Extra pull attempts beyond the first, summed over all devices.
   std::size_t retries = 0;
   /// Circuit-breaker closed→open (or half-open→open) transitions observed
@@ -174,6 +191,18 @@ class MonitoringPipeline {
   VerifierFactory verifier_factory_;
   PipelineConfig config_;
   AlertSink alert_sink_;
+  /// Owns the epoch-keyed contract-plan cache: each cycle captures one
+  /// immutable plan pointer instead of regenerating every device's
+  /// contracts (stage 1 becomes a pointer copy in steady state).
+  ContractGenerator generator_;
+
+  // Incremental-validation state, owned by run_cycle (each device index is
+  // touched by exactly one validator worker per cycle; cross-cycle
+  // visibility comes from the worker joins). Reset whenever the plan epoch
+  // changes.
+  std::uint64_t plan_epoch_ = ~std::uint64_t{0};
+  std::vector<std::uint64_t> fingerprints_;  // 0 = never validated
+  std::vector<std::vector<Violation>> cached_violations_;
 
   // Telemetry-plane state, updated by run_cycle and read by health().
   std::atomic<std::uint64_t> cycles_completed_{0};

@@ -1,9 +1,6 @@
 #include "rcdc/trie_verifier.hpp"
 
-#include <algorithm>
-
 #include "net/interval.hpp"
-#include "trie/prefix_trie.hpp"
 
 namespace dcv::rcdc {
 
@@ -35,11 +32,23 @@ std::vector<Violation> TrieVerifier::check(
     topo::DeviceId device) {
   std::vector<Violation> violations;
 
-  // Build the policy trie once per device (§2.5.2: "We represent
-  // prefix-based routing policies into a hash-trie").
-  trie::PrefixTrie<const routing::Rule*> policy;
+  // Rebuild the policy trie into the retained arena (§2.5.2: "We represent
+  // prefix-based routing policies into a hash-trie"). After the first few
+  // devices the arena has grown to the working-set size and rebuilds stop
+  // allocating.
+  const std::size_t capacity_before = policy_.node_capacity();
+  policy_.clear();
+  policy_.reserve(fib.rules().size() * 2);
   for (const routing::Rule& rule : fib.rules()) {
-    policy.insert(rule.prefix, &rule);
+    policy_.insert(rule.prefix, &rule);
+  }
+  if (metrics_.rebuilds != nullptr) metrics_.rebuilds->inc();
+  if (metrics_.arena_growth != nullptr &&
+      policy_.node_capacity() > capacity_before) {
+    metrics_.arena_growth->inc();
+  }
+  if (metrics_.arena_nodes != nullptr) {
+    metrics_.arena_nodes->set(static_cast<double>(policy_.node_capacity()));
   }
 
   for (const Contract& contract : contracts) {
@@ -49,21 +58,15 @@ std::vector<Violation> TrieVerifier::check(
     }
 
     // Candidate rules related to the contract range, in descending order of
-    // prefix length (the walk order of §2.5.2).
-    auto candidates = policy.related(contract.prefix);
-    std::sort(candidates.begin(), candidates.end(),
-              [](const auto& a, const auto& b) {
-                if (a.first.length() != b.first.length()) {
-                  return a.first.length() > b.first.length();
-                }
-                return a.first < b.first;
-              });
+    // prefix length (the walk order of §2.5.2) via the trie's counting
+    // sort; both buffers are retained across contracts and devices.
+    policy_.related_ordered(contract.prefix, candidates_, scratch_);
 
     const auto range = net::AddressInterval::from_prefix(contract.prefix);
     net::IntervalSet covered;  // the list L of §2.5.2, as an interval union
     bool complete = false;
     std::uint64_t walked = 0;
-    for (const auto& [rule_prefix, rule] : candidates) {
+    for (const auto& [rule_prefix, rule] : candidates_) {
       ++walked;
       // The slice of the contract range this rule can match: the rule's
       // prefix if it nests inside the range, the whole range otherwise
@@ -102,7 +105,9 @@ std::vector<Violation> TrieVerifier::check(
                                      .rule_prefix = contract.prefix,
                                      .actual_next_hops = {}});
     }
-    if (rules_walked_ != nullptr) rules_walked_->observe(walked);
+    if (metrics_.rules_walked != nullptr) {
+      metrics_.rules_walked->observe(walked);
+    }
   }
   return violations;
 }

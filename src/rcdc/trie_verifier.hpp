@@ -1,9 +1,27 @@
 #pragma once
 
+#include <vector>
+
 #include "obs/metrics.hpp"
 #include "rcdc/verifier.hpp"
+#include "trie/prefix_trie.hpp"
 
 namespace dcv::rcdc {
+
+/// Registry handles for the trie engine's hot-path series; all-null when
+/// uninstrumented, so every record site is one branch.
+struct TrieVerifierMetrics {
+  /// One sample per specific contract: candidate rules actually walked
+  /// before the §2.5.2 coverage stop condition fired.
+  obs::Histogram* rules_walked = nullptr;
+  /// dcv_trie_rebuilds_total: policy-trie rebuilds into the retained arena.
+  obs::Counter* rebuilds = nullptr;
+  /// dcv_trie_arena_growth_total: rebuilds that had to grow the node arena
+  /// (steady state should see almost none — the arena is retained).
+  obs::Counter* arena_growth = nullptr;
+  /// dcv_trie_arena_nodes: node-arena capacity after the latest rebuild.
+  obs::Gauge* arena_nodes = nullptr;
+};
 
 /// The specialized fast engine of §2.5.2. For each policy it builds a
 /// prefix trie once; for each contract C it collects the related rule set
@@ -19,21 +37,31 @@ namespace dcv::rcdc {
 /// intersection with the range is not already covered by longer rules) —
 /// this makes the engine agree exactly with the SMT engine's semantics,
 /// which property tests assert.
+///
+/// The verifier is stateful across check() calls (one instance per worker
+/// thread): the policy trie and candidate buffers are retained, so each
+/// device rebuilds into the previous device's arena — the steady-state hot
+/// path allocates nothing, and the candidate walk order comes from the
+/// trie's 33-way counting sort instead of a per-contract std::sort.
 class TrieVerifier final : public Verifier {
  public:
-  /// `rules_walked`, when non-null, receives one sample per specific
-  /// contract: the number of candidate rules actually walked before the
-  /// §2.5.2 coverage stop condition fired — the quantity the trie's
-  /// early-exit is designed to keep small.
+  /// Back-compat convenience: instrument only the rules-walked histogram.
   explicit TrieVerifier(obs::Histogram* rules_walked = nullptr)
-      : rules_walked_(rules_walked) {}
+      : TrieVerifier(TrieVerifierMetrics{.rules_walked = rules_walked}) {}
+
+  explicit TrieVerifier(TrieVerifierMetrics metrics) : metrics_(metrics) {}
 
   [[nodiscard]] std::vector<Violation> check(
       const routing::ForwardingTable& fib, std::span<const Contract> contracts,
       topo::DeviceId device) override;
 
  private:
-  obs::Histogram* rules_walked_;
+  using Policy = trie::PrefixTrie<const routing::Rule*>;
+
+  TrieVerifierMetrics metrics_;
+  Policy policy_;
+  std::vector<Policy::Entry> candidates_;
+  std::vector<Policy::Entry> scratch_;
 };
 
 }  // namespace dcv::rcdc

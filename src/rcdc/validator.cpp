@@ -113,7 +113,17 @@ ValidationSummary DatacenterValidator::run(unsigned threads) const {
 ValidationSummary DatacenterValidator::run(
     const std::vector<topo::DeviceId>& devices, unsigned threads) const {
   const auto start = std::chrono::steady_clock::now();
-  threads = std::max(1u, threads);
+  // Clamp the pool to the work available: spawning more workers than
+  // devices just burns thread startup for threads that immediately find the
+  // shared counter exhausted.
+  threads = std::clamp(threads, 1u,
+                       static_cast<unsigned>(std::max<std::size_t>(
+                           1, devices.size())));
+
+  // One immutable plan pointer for the whole run: every worker reads the
+  // same precompiled contract spans, and a concurrent topology change can
+  // at worst affect the *next* run.
+  const ContractPlanPtr plan = generator_.plan();
 
   struct WorkerResult {
     std::size_t contracts_checked = 0;
@@ -138,7 +148,7 @@ ValidationSummary DatacenterValidator::run(
           next_index.fetch_add(1, std::memory_order_relaxed);
       if (i >= devices.size()) break;
       const topo::DeviceId device = devices[i];
-      const auto contracts = generator_.for_device(device);
+      const std::span<const Contract> contracts = plan->contracts_for(device);
       if (contracts.empty()) continue;
       obs::ScopedTimer fetch_timer(fetch_latency_ns_);
       FetchOutcome outcome = fibs_->try_fetch(device);
@@ -218,14 +228,23 @@ ValidationSummary DatacenterValidator::run(
 VerifierFactory make_trie_verifier_factory(obs::MetricsRegistry* metrics) {
   return instrumented_factory(
       metrics, "trie", [](obs::MetricsRegistry* registry) {
-        obs::Histogram* rules_walked =
-            registry == nullptr
-                ? nullptr
-                : &registry->histogram(
-                      "dcv_verifier_rules_walked",
-                      "Candidate rules walked per specific contract",
-                      {{"engine", "trie"}});
-        return std::make_unique<TrieVerifier>(rules_walked);
+        TrieVerifierMetrics trie_metrics;
+        if (registry != nullptr) {
+          trie_metrics.rules_walked = &registry->histogram(
+              "dcv_verifier_rules_walked",
+              "Candidate rules walked per specific contract",
+              {{"engine", "trie"}});
+          trie_metrics.rebuilds = &registry->counter(
+              "dcv_trie_rebuilds_total",
+              "Policy-trie rebuilds into a retained node arena");
+          trie_metrics.arena_growth = &registry->counter(
+              "dcv_trie_arena_growth_total",
+              "Trie rebuilds that had to grow the node arena");
+          trie_metrics.arena_nodes = &registry->gauge(
+              "dcv_trie_arena_nodes",
+              "Node-arena capacity after the latest trie rebuild");
+        }
+        return std::make_unique<TrieVerifier>(trie_metrics);
       });
 }
 

@@ -34,6 +34,10 @@ class MetadataService {
 
   [[nodiscard]] const Topology& topology() const { return *topology_; }
 
+  /// The underlying topology's expected-architecture epoch (see
+  /// Topology::epoch). Contract plans are keyed by this value.
+  [[nodiscard]] std::uint64_t epoch() const { return topology_->epoch(); }
+
   /// Every hosted prefix in the datacenter with its locality facts, ordered
   /// by prefix.
   [[nodiscard]] std::span<const PrefixFact> all_prefixes() const {

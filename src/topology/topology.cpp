@@ -39,6 +39,7 @@ DeviceId Topology::add_device(std::string name, DeviceRole role, Asn asn,
   if (cluster != kNoCluster) {
     cluster_count_ = std::max(cluster_count_, std::size_t{cluster} + 1);
   }
+  ++epoch_;
   return id;
 }
 
@@ -50,12 +51,14 @@ LinkId Topology::add_link(DeviceId a, DeviceId b) {
   links_.push_back(Link{.id = id, .a = a, .b = b});
   incident_links_[a].push_back(id);
   incident_links_[b].push_back(id);
+  ++epoch_;
   return id;
 }
 
 void Topology::add_hosted_prefix(DeviceId tor, const net::Prefix& prefix) {
   if (tor >= devices_.size()) throw InvalidArgument("bad device id");
   devices_[tor].hosted_prefixes.push_back(prefix);
+  ++epoch_;
 }
 
 const Device& Topology::device(DeviceId id) const {
@@ -162,6 +165,7 @@ void Topology::set_bgp_state(LinkId id, BgpSessionState state) {
 void Topology::set_asn(DeviceId id, Asn asn) {
   if (id >= devices_.size()) throw InvalidArgument("bad device id");
   devices_[id].asn = asn;
+  ++epoch_;
 }
 
 void Topology::shut_all_sessions_of(DeviceId id) {

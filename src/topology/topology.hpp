@@ -36,6 +36,14 @@ class Topology {
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }
 
+  /// Monotone version counter of the *expected* topology: bumped by every
+  /// mutation that changes the device/link/prefix set or expected
+  /// configuration (add_device, add_link, add_hosted_prefix, set_asn) and
+  /// never by link/session *state* changes — contracts derive from expected
+  /// topology only (§2.4), so contract plans keyed by this epoch stay valid
+  /// across fault injection and operational state drift.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   [[nodiscard]] const Device& device(DeviceId id) const;
   [[nodiscard]] const Link& link(LinkId id) const;
   [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
@@ -96,6 +104,7 @@ class Topology {
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> incident_links_;
   std::size_t cluster_count_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace dcv::topo

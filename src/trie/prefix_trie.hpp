@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <utility>
 #include <vector>
 
@@ -23,11 +22,33 @@ namespace dcv::trie {
 ///    keys are proper prefixes, the related set is one root-to-range path
 ///    plus one subtree, so collection touches only useful nodes.
 ///
-/// Nodes are pooled in a contiguous arena; the trie grows but never shrinks.
+/// Nodes are pooled in a contiguous arena of 12-byte traversal records;
+/// payloads live out-of-line in a parallel value arena so walking the trie
+/// never drags values through the cache. clear() retains both arenas: a
+/// verifier that rebuilds one trie per device amortizes allocation to zero
+/// in steady state.
 template <typename T>
 class PrefixTrie {
  public:
+  /// One related-set result: the stored prefix and its value.
+  using Entry = std::pair<net::Prefix, const T*>;
+
   PrefixTrie() { nodes_.emplace_back(); }
+
+  /// Pre-sizes the node arena (and the value arena to the same bound).
+  void reserve(std::size_t nodes) {
+    nodes_.reserve(nodes);
+    values_.reserve(nodes);
+  }
+
+  /// Removes every stored prefix but keeps both arenas' capacity, so the
+  /// next build into this trie allocates nothing once the arena has grown
+  /// to the working-set size.
+  void clear() {
+    nodes_.clear();
+    values_.clear();
+    nodes_.emplace_back();
+  }
 
   /// Inserts (or replaces) the value stored at `prefix`.
   void insert(const net::Prefix& prefix, T value) {
@@ -42,8 +63,13 @@ class PrefixTrie {
       }
       node = next;
     }
-    if (!nodes_[node].value.has_value()) ++size_;
-    nodes_[node].value = std::move(value);
+    const std::int32_t slot = nodes_[node].value_index;
+    if (slot < 0) {
+      nodes_[node].value_index = static_cast<std::int32_t>(values_.size());
+      values_.push_back(std::move(value));
+    } else {
+      values_[static_cast<std::size_t>(slot)] = std::move(value);
+    }
   }
 
   /// The value stored exactly at `prefix`, or nullptr.
@@ -53,7 +79,7 @@ class PrefixTrie {
       node = nodes_[node].child[prefix.bit(depth) ? 1 : 0];
       if (node < 0) return nullptr;
     }
-    return nodes_[node].value ? &*nodes_[node].value : nullptr;
+    return value_of(node);
   }
 
   /// Longest-prefix-match lookup: the value whose prefix is the longest one
@@ -62,7 +88,7 @@ class PrefixTrie {
     const T* best = nullptr;
     std::int32_t node = 0;
     for (int depth = 0;; ++depth) {
-      if (nodes_[node].value) best = &*nodes_[node].value;
+      if (const T* value = value_of(node); value != nullptr) best = value;
       if (depth == 32) break;
       node = nodes_[node].child[address.bit(depth) ? 1 : 0];
       if (node < 0) break;
@@ -74,49 +100,91 @@ class PrefixTrie {
   /// it (ancestors on the path to `range`, including an entry at `range`
   /// itself) or contained in it (the subtree below `range`). Order is
   /// ancestors first, then subtree in depth-first order; callers needing
-  /// the paper's descending-prefix-length order sort the result.
-  [[nodiscard]] std::vector<std::pair<net::Prefix, const T*>> related(
-      const net::Prefix& range) const {
-    std::vector<std::pair<net::Prefix, const T*>> out;
-    std::int32_t node = 0;
-    std::uint32_t bits = 0;
-    for (int depth = 0; depth < range.length(); ++depth) {
-      if (nodes_[node].value) {
-        out.emplace_back(
-            net::Prefix(net::Ipv4Address(bits), depth), &*nodes_[node].value);
-      }
-      const int bit = range.bit(depth) ? 1 : 0;
-      if (bit != 0) bits |= (std::uint32_t{1} << (31 - depth));
-      node = nodes_[node].child[bit];
-      if (node < 0) return out;
-    }
-    collect_subtree(node, bits, range.length(), out);
+  /// the paper's descending-prefix-length order use related_ordered().
+  [[nodiscard]] std::vector<Entry> related(const net::Prefix& range) const {
+    std::vector<Entry> out;
+    collect_related(range, out);
     return out;
+  }
+
+  /// The related set of `range` in the §2.5.2 walk order — descending
+  /// prefix length, ties in ascending prefix order — produced by a 33-way
+  /// counting sort over depths instead of a comparison sort. `out` receives
+  /// the result; `scratch` is caller-retained workspace, so a caller that
+  /// keeps both buffers across queries allocates nothing in steady state.
+  void related_ordered(const net::Prefix& range, std::vector<Entry>& out,
+                       std::vector<Entry>& scratch) const {
+    scratch.clear();
+    collect_related(range, scratch);
+    out.clear();
+    out.resize(scratch.size());
+    std::size_t offsets[33] = {};
+    for (const Entry& entry : scratch) {
+      ++offsets[32 - entry.first.length()];
+    }
+    std::size_t at = 0;
+    for (int bucket = 0; bucket <= 32; ++bucket) {
+      const std::size_t count = offsets[bucket];
+      offsets[bucket] = at;
+      at += count;
+    }
+    // Stable placement: depth-first collection visits same-length prefixes
+    // in ascending order, and the counting sort preserves that order within
+    // each length bucket — exactly the old comparator's tie-break.
+    for (Entry& entry : scratch) {
+      out[offsets[32 - entry.first.length()]++] = std::move(entry);
+    }
   }
 
   /// Visits every stored (prefix, value) in depth-first order.
   template <typename F>
   void visit_all(F&& visit) const {
-    std::vector<std::pair<net::Prefix, const T*>> all;
+    std::vector<Entry> all;
     collect_subtree(0, 0, 0, all);
     for (const auto& [prefix, value] : all) visit(prefix, *value);
   }
 
-  [[nodiscard]] std::size_t size() const { return size_; }
-  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// Arena introspection for the dcv_trie_* reuse metrics.
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_capacity() const {
+    return nodes_.capacity();
+  }
 
  private:
   struct Node {
     std::int32_t child[2] = {-1, -1};
-    std::optional<T> value;
+    /// Index into the value arena; -1 when no prefix ends at this node.
+    std::int32_t value_index = -1;
   };
 
-  void collect_subtree(
-      std::int32_t node, std::uint32_t bits, int depth,
-      std::vector<std::pair<net::Prefix, const T*>>& out) const {
-    if (nodes_[node].value) {
-      out.emplace_back(net::Prefix(net::Ipv4Address(bits), depth),
-                       &*nodes_[node].value);
+  [[nodiscard]] const T* value_of(std::int32_t node) const {
+    const std::int32_t slot = nodes_[node].value_index;
+    return slot < 0 ? nullptr : &values_[static_cast<std::size_t>(slot)];
+  }
+
+  void collect_related(const net::Prefix& range,
+                       std::vector<Entry>& out) const {
+    std::int32_t node = 0;
+    std::uint32_t bits = 0;
+    for (int depth = 0; depth < range.length(); ++depth) {
+      if (const T* value = value_of(node); value != nullptr) {
+        out.emplace_back(net::Prefix(net::Ipv4Address(bits), depth), value);
+      }
+      const int bit = range.bit(depth) ? 1 : 0;
+      if (bit != 0) bits |= (std::uint32_t{1} << (31 - depth));
+      node = nodes_[node].child[bit];
+      if (node < 0) return;
+    }
+    collect_subtree(node, bits, range.length(), out);
+  }
+
+  void collect_subtree(std::int32_t node, std::uint32_t bits, int depth,
+                       std::vector<Entry>& out) const {
+    if (const T* value = value_of(node); value != nullptr) {
+      out.emplace_back(net::Prefix(net::Ipv4Address(bits), depth), value);
     }
     if (depth == 32) return;
     if (const auto left = nodes_[node].child[0]; left >= 0) {
@@ -129,7 +197,7 @@ class PrefixTrie {
   }
 
   std::vector<Node> nodes_;
-  std::size_t size_ = 0;
+  std::vector<T> values_;
 };
 
 }  // namespace dcv::trie

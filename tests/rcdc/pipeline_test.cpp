@@ -350,7 +350,32 @@ TEST(MonitoringPipeline, RepeatedCyclesAreStable) {
   const auto second = pipeline.run_cycle();
   EXPECT_EQ(first.devices, second.devices);
   EXPECT_EQ(first.violations, second.violations);
+  // Incremental mode (the default): cycle 1 verifies everything, cycle 2
+  // finds every fingerprint unchanged and replays cached verdicts without
+  // checking a single contract.
+  EXPECT_EQ(first.devices_revalidated, first.devices);
+  EXPECT_EQ(first.devices_skipped, 0u);
+  EXPECT_EQ(second.devices_revalidated, 0u);
+  EXPECT_EQ(second.devices_skipped, second.devices);
+  EXPECT_EQ(second.contracts_checked, 0u);
+}
+
+TEST(MonitoringPipeline, NonIncrementalModeRechecksEveryCycle) {
+  const auto topology = topo::build_figure3();
+  const topo::MetadataService metadata(topology);
+  const routing::BgpSimulator sim(topology);
+  const SimulatorFibSource fibs(sim);
+  auto config = fast_config();
+  config.incremental = false;
+  MonitoringPipeline pipeline(metadata, fibs, make_trie_verifier_factory(),
+                              config);
+  const auto first = pipeline.run_cycle();
+  const auto second = pipeline.run_cycle();
+  EXPECT_EQ(first.violations, second.violations);
   EXPECT_EQ(first.contracts_checked, second.contracts_checked);
+  EXPECT_GT(second.contracts_checked, 0u);
+  EXPECT_EQ(second.devices_revalidated, second.devices);
+  EXPECT_EQ(second.devices_skipped, 0u);
 }
 
 }  // namespace

@@ -154,5 +154,28 @@ TEST(Topology, DatacenterMembership) {
   EXPECT_EQ(t.device(1).datacenter, kNoDatacenter);
 }
 
+TEST(Topology, EpochTracksExpectedTopologyOnly) {
+  Topology t;
+  EXPECT_EQ(t.epoch(), 0u);
+  const DeviceId a = t.add_device("a", DeviceRole::kTor, 65001, 0);
+  const DeviceId b = t.add_device("b", DeviceRole::kLeaf, 65002);
+  EXPECT_EQ(t.epoch(), 2u);
+  const LinkId link = t.add_link(a, b);
+  EXPECT_EQ(t.epoch(), 3u);
+  t.add_hosted_prefix(a, net::Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(t.epoch(), 4u);
+  t.set_asn(b, 65099);
+  EXPECT_EQ(t.epoch(), 5u);
+
+  // State mutations (fault injection, operational drift) must never bump
+  // the epoch: contracts ignore current state (§2.4), so plans keyed by
+  // the epoch stay valid across them.
+  t.set_link_state(link, LinkState::kDown);
+  t.set_bgp_state(link, BgpSessionState::kAdminShutdown);
+  t.shut_all_sessions_of(a);
+  t.clear_faults();
+  EXPECT_EQ(t.epoch(), 5u);
+}
+
 }  // namespace
 }  // namespace dcv::topo

@@ -177,5 +177,91 @@ TEST(PrefixTrieProperty, RelatedAgreesWithBruteForce) {
   }
 }
 
+TEST(PrefixTrie, RelatedOrderedSortsByDescendingLength) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::default_route(), 0);
+  trie.insert(Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(Prefix::parse("10.1.2.0/24"), 24);
+  trie.insert(Prefix::parse("10.1.3.0/24"), 24);
+  trie.insert(Prefix::parse("10.1.2.128/25"), 25);
+  std::vector<PrefixTrie<int>::Entry> out;
+  std::vector<PrefixTrie<int>::Entry> scratch;
+  trie.related_ordered(Prefix::parse("10.1.0.0/16"), out, scratch);
+  std::vector<Prefix> got;
+  for (const auto& [prefix, value] : out) got.push_back(prefix);
+  // Descending length; the two /24 siblings tie-break in ascending order.
+  const std::vector<Prefix> expected = {
+      Prefix::parse("10.1.2.128/25"), Prefix::parse("10.1.2.0/24"),
+      Prefix::parse("10.1.3.0/24"), Prefix::parse("10.1.0.0/16"),
+      Prefix::parse("10.0.0.0/8"), Prefix::default_route()};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(PrefixTrieProperty, RelatedOrderedMatchesComparisonSort) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint32_t> addr(0, 0xFFFFFFFFu);
+  std::uniform_int_distribution<int> len(0, 32);
+  PrefixTrie<int> trie;
+  std::vector<PrefixTrie<int>::Entry> out;
+  std::vector<PrefixTrie<int>::Entry> scratch;
+  for (int round = 0; round < 30; ++round) {
+    trie.clear();
+    for (int i = 0; i < 60; ++i) {
+      trie.insert(Prefix(Ipv4Address(addr(rng)), len(rng) / 2), i);
+    }
+    for (int q = 0; q < 20; ++q) {
+      const Prefix range(Ipv4Address(addr(rng)), len(rng));
+      trie.related_ordered(range, out, scratch);
+      auto expected = trie.related(range);
+      std::sort(expected.begin(), expected.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first.length() != b.first.length()) {
+                    return a.first.length() > b.first.length();
+                  }
+                  return a.first < b.first;
+                });
+      ASSERT_EQ(out.size(), expected.size());
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].first, expected[i].first) << range.to_string();
+        EXPECT_EQ(*out[i].second, *expected[i].second) << range.to_string();
+      }
+    }
+  }
+}
+
+TEST(PrefixTrie, ClearRetainsArenaCapacity) {
+  PrefixTrie<int> trie;
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint32_t> addr(0, 0xFFFFFFFFu);
+  for (int i = 0; i < 200; ++i) {
+    trie.insert(Prefix(Ipv4Address(addr(rng)), 24), i);
+  }
+  const std::size_t grown = trie.node_capacity();
+  ASSERT_GT(grown, 1u);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.node_count(), 1u);  // just the root
+  EXPECT_EQ(trie.node_capacity(), grown);  // arena retained
+  // Rebuilding a same-shape trie must not grow the arena again.
+  std::mt19937_64 rng2(7);
+  for (int i = 0; i < 200; ++i) {
+    trie.insert(Prefix(Ipv4Address(addr(rng2)), 24), i);
+  }
+  EXPECT_EQ(trie.node_capacity(), grown);
+  EXPECT_EQ(trie.size(), 200u);
+}
+
+TEST(PrefixTrie, ReserveGrowsArenaUpFront) {
+  PrefixTrie<int> trie;
+  trie.reserve(1024);
+  const std::size_t reserved = trie.node_capacity();
+  EXPECT_GE(reserved, 1024u);
+  for (int i = 0; i < 30; ++i) {
+    trie.insert(Prefix(Ipv4Address(std::uint32_t{1} << 8 << i % 16), 24), i);
+  }
+  EXPECT_EQ(trie.node_capacity(), reserved);
+}
+
 }  // namespace
 }  // namespace dcv::trie

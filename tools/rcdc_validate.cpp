@@ -79,6 +79,9 @@ void usage() {
       "  --interval-ms N      pause between cycles (default 0)\n"
       "  --pullers N / --validators N   pipeline workers (default 8 / 4)\n"
       "  --queue-capacity N   puller->validator queue bound (default 256)\n"
+      "  --no-incremental     re-verify every device every cycle instead\n"
+      "                       of skipping devices whose table fingerprint\n"
+      "                       is unchanged (incremental is the default)\n"
       "  --time-scale X       compress the simulated 200-800ms fetch\n"
       "                       latencies by X (default 0.001)\n"
       "  --seed N             fetch-latency schedule seed (default 0)\n"
@@ -212,6 +215,7 @@ int main(int argc, char** argv) {
   std::size_t queue_capacity = 256;
   double time_scale = 0.001;
   std::uint64_t pipeline_seed = 0;
+  bool incremental = true;
   std::string trace_out;
   std::size_t trace_capacity = 65536;
   rcdc::ReadinessRules readiness;
@@ -329,6 +333,8 @@ int main(int argc, char** argv) {
       validators = static_cast<unsigned>(count_value());
     } else if (flag == "--queue-capacity") {
       queue_capacity = count_value();
+    } else if (flag == "--no-incremental") {
+      incremental = false;
     } else if (flag == "--time-scale") {
       time_scale = double_value();
     } else if (flag == "--seed") {
@@ -445,6 +451,7 @@ int main(int argc, char** argv) {
       pipeline_config.time_scale = time_scale;
       pipeline_config.seed = pipeline_seed;
       pipeline_config.queue_capacity = queue_capacity;
+      pipeline_config.incremental = incremental;
       pipeline_config.metrics = &registry;
       pipeline_config.trace = trace.get();
       rcdc::MonitoringPipeline pipeline(metadata, *active, factory,
@@ -473,9 +480,10 @@ int main(int argc, char** argv) {
         total_violations += stats.violations;
         if (!quiet) {
           std::printf(
-              "cycle %llu: %zu devices, coverage %.1f%%, %zu violations "
-              "(%zu high), wall %.3f s\n",
+              "cycle %llu: %zu devices (%zu revalidated, %zu cached), "
+              "coverage %.1f%%, %zu violations (%zu high), wall %.3f s\n",
               static_cast<unsigned long long>(completed), stats.devices,
+              stats.devices_revalidated, stats.devices_skipped,
               100.0 * stats.coverage(), stats.violations, stats.alerts_high,
               std::chrono::duration<double>(stats.wall).count());
           std::fflush(stdout);
