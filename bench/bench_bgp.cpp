@@ -1,0 +1,177 @@
+// Route-simulation cost: the input-generation half of the system.
+//
+// After PR 4 made verification zero-rebuild, producing the FIBs became the
+// dominant cost of every simulator-backed study. This bench pins the two
+// claims of the worklist engine:
+//
+//   1. cold full convergence: worklist rounds over dirty frontiers with
+//      borrowed/interned AS-paths vs the retained Jacobi reference
+//      (whole-network copy per round, std::map RIBs, a vector allocation
+//      per candidate) — gated at >= 3x;
+//   2. warm reconvergence: after a single-link fault, reconverge() seeded
+//      from the fault site vs cold-rerunning the *new* engine on the
+//      mutated topology — gated at >= 10x.
+//
+// Both gates are medians of per-run paired ratios (the two arms of one
+// pair see the same machine conditions), so the checked-in baseline is
+// machine-independent; absolute rates are reported ungated.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_io.hpp"
+#include "obs/metrics.hpp"
+#include "routing/bgp_reference.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+#include "topology/faults.hpp"
+
+namespace {
+
+using namespace dcv;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_out = benchio::extract_json_flag(argc, argv);
+  benchio::BenchReport report("bench_bgp");
+
+  const topo::ClosParams params{.clusters = 16,
+                                .tors_per_cluster = 12,
+                                .leaves_per_cluster = 6,
+                                .spines_per_plane = 2,
+                                .regional_spines = 4};
+  topo::Topology topology = topo::build_clos(params);
+  const std::size_t device_count = topology.device_count();
+  const unsigned threads = 4;
+  const routing::BgpSimOptions options{.threads = threads};
+
+  std::printf(
+      "== EBGP simulation: worklist engine vs Jacobi reference "
+      "(%zu devices, %zu links, %u threads) ==\n\n",
+      device_count, topology.link_count(), threads);
+
+  // -- cold full convergence, paired runs ----------------------------------
+  {  // warmup, untimed
+    const routing::ReferenceBgpSimulator ref(topology);
+    const routing::BgpSimulator sim(topology, nullptr, nullptr, options);
+    if (sim.rounds() != ref.rounds()) {
+      std::printf("FATAL: engines disagree on rounds (%d vs %d)\n",
+                  sim.rounds(), ref.rounds());
+      return 3;
+    }
+  }
+  double reference_s = 1e300;
+  double worklist_s = 1e300;
+  std::array<double, 3> paired_cold{};
+  for (std::size_t run = 0; run < paired_cold.size(); ++run) {
+    auto start = std::chrono::steady_clock::now();
+    const routing::ReferenceBgpSimulator ref(topology);
+    const double run_ref = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const routing::BgpSimulator sim(topology, nullptr, nullptr, options);
+    const double run_sim = seconds_since(start);
+
+    if (run == 0) {
+      // Full differential sweep once per bench run: the speedup only
+      // counts if the engines agree everywhere.
+      for (const topo::Device& device : topology.devices()) {
+        if (sim.rib(device.id) != ref.rib(device.id)) {
+          std::printf("FATAL: RIB mismatch at %s\n", device.name.c_str());
+          return 3;
+        }
+      }
+    }
+    reference_s = std::min(reference_s, run_ref);
+    worklist_s = std::min(worklist_s, run_sim);
+    paired_cold[run] = run_ref / run_sim;
+  }
+  std::sort(paired_cold.begin(), paired_cold.end());
+  const double cold_speedup = paired_cold[paired_cold.size() / 2];
+  std::printf("cold full convergence (best of %zu):\n", paired_cold.size());
+  std::printf("  reference (Jacobi, map RIBs, copy-all rounds): %8.1f ms\n",
+              1e3 * reference_s);
+  std::printf("  worklist  (frontier, flat RIBs, %u threads) : %8.1f ms\n",
+              threads, 1e3 * worklist_s);
+  std::printf("  cold speedup: %.2fx (acceptance floor 3x)\n\n",
+              cold_speedup);
+  report.value("cold_reference_s", "s", reference_s, "none");
+  report.value("cold_worklist_s", "s", worklist_s, "lower");
+  report.value("cold_speedup_ratio", "x", cold_speedup, "higher");
+
+  // -- warm reconvergence after a single-link fault ------------------------
+  // One persistent simulator absorbs a fault, reconverges from the fault
+  // site, and is compared against cold-rerunning the same (new) engine on
+  // the mutated topology. Repair between probes restores the healthy state
+  // through the same delta path.
+  obs::MetricsRegistry registry;
+  topo::FaultInjector injector(topology, /*seed=*/17);
+  routing::BgpSimulator warm(topology, &injector, &registry, options);
+
+  std::array<double, 5> paired_warm{};
+  double reconverge_s = 1e300;
+  double cold_rerun_s = 1e300;
+  for (std::size_t probe = 0; probe < paired_warm.size(); ++probe) {
+    injector.random_link_failures(1);
+
+    auto start = std::chrono::steady_clock::now();
+    warm.reconverge();
+    const double run_warm = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const routing::BgpSimulator cold(topology, &injector, nullptr, options);
+    const double run_cold = seconds_since(start);
+
+    for (const topo::Device& device : topology.devices()) {
+      if (warm.rib(device.id) != cold.rib(device.id)) {
+        std::printf("FATAL: warm/cold mismatch at %s\n",
+                    device.name.c_str());
+        return 3;
+      }
+    }
+    reconverge_s = std::min(reconverge_s, run_warm);
+    cold_rerun_s = std::min(cold_rerun_s, run_cold);
+    paired_warm[probe] = run_cold / run_warm;
+
+    injector.repair(0);
+    warm.reconverge();
+  }
+  std::sort(paired_warm.begin(), paired_warm.end());
+  const double warm_speedup = paired_warm[paired_warm.size() / 2];
+  std::printf("warm reconvergence after one link fault (%zu probes):\n",
+              paired_warm.size());
+  std::printf("  cold rerun of worklist engine: %8.2f ms\n",
+              1e3 * cold_rerun_s);
+  std::printf("  warm reconverge() from fault : %8.2f ms\n",
+              1e3 * reconverge_s);
+  std::printf("  warm speedup: %.1fx (acceptance floor 10x)\n\n",
+              warm_speedup);
+  report.value("warm_cold_rerun_s", "s", cold_rerun_s, "none");
+  report.value("warm_reconverge_s", "s", reconverge_s, "lower");
+  report.value("warm_speedup_ratio", "x", warm_speedup, "higher");
+
+  report.workload("devices", static_cast<double>(device_count));
+  report.workload("links", static_cast<double>(topology.link_count()));
+  report.workload("threads", static_cast<double>(threads));
+
+  const bool pass = cold_speedup >= 3.0 && warm_speedup >= 10.0;
+  std::printf("acceptance: cold >= 3x %s, warm >= 10x %s\n",
+              cold_speedup >= 3.0 ? "OK" : "FAIL",
+              warm_speedup >= 10.0 ? "OK" : "FAIL");
+
+  if (!json_out.empty()) {
+    report.attach_registry(&registry);
+    if (!report.write(json_out)) return 1;
+  }
+  return pass ? 0 : 2;
+}

@@ -1,6 +1,7 @@
 #include "rcdc/burndown.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <random>
 
 #include "rcdc/fib_source.hpp"
@@ -110,6 +111,11 @@ std::vector<BurndownDay> simulate_burndown(const BurndownConfig& config) {
   std::vector<BurndownDay> series;
   series.reserve(static_cast<std::size_t>(config.days));
   std::size_t peak_total = 1;
+  // One simulator for the whole study: each RCDC day warm-starts from the
+  // previous day's converged state and propagates only the deltas from the
+  // overnight fault arrivals and yesterday's remediations, instead of
+  // rebuilding a full simulator per scenario.
+  std::optional<routing::BgpSimulator> simulator;
 
   for (int day = 0; day < config.days; ++day) {
     for (int i = arrivals(rng); i > 0; --i) {
@@ -121,9 +127,12 @@ std::vector<BurndownDay> simulate_burndown(const BurndownConfig& config) {
     if (day >= config.rcdc_deploy_day) {
       // RCDC runs: simulate routing over the faulty network, validate every
       // device locally, and count what the contracts catch.
-      const routing::BgpSimulator simulator(topology, &injector,
-                                            config.metrics);
-      const SimulatorFibSource fibs(simulator);
+      if (!simulator) {
+        simulator.emplace(topology, &injector, config.metrics);
+      } else {
+        simulator->reconverge();
+      }
+      const SimulatorFibSource fibs(*simulator);
       const DatacenterValidator validator(
           metadata, fibs, make_trie_verifier_factory(config.metrics), {},
           config.metrics);

@@ -134,7 +134,10 @@ class FibSource {
 };
 
 /// FIBs produced by the EBGP route-propagation simulator over the current
-/// (possibly faulty) network state.
+/// (possibly faulty) network state. Fetches copy from the simulator's
+/// materialized-FIB cache — the table is programmed from the RIB at most
+/// once per (re)convergence, not once per pipeline cycle (see
+/// dcv_bgp_fib_rebuilds_total / dcv_bgp_fib_cache_hits_total).
 class SimulatorFibSource final : public FibSource {
  public:
   explicit SimulatorFibSource(const routing::BgpSimulator& simulator)

@@ -30,10 +30,9 @@ NetworkChange shut_links(std::string description,
 
 namespace {
 
-std::vector<Violation> validate_emulated(const topo::Topology& emulated,
-                                         const topo::MetadataService& intent,
-                                         ContractGenOptions options) {
-  const routing::BgpSimulator simulator(emulated);
+std::vector<Violation> validate_emulated(
+    const routing::BgpSimulator& simulator,
+    const topo::MetadataService& intent, ContractGenOptions options) {
   const SimulatorFibSource fibs(simulator);
   const DatacenterValidator validator(intent, fibs,
                                       make_trie_verifier_factory(), options);
@@ -51,11 +50,16 @@ PrecheckResult PrecheckPipeline::check(const NetworkChange& change) const {
   const topo::MetadataService intent(*production_);
 
   topo::Topology emulated = *production_;  // "same topology as production"
-  const auto baseline = validate_emulated(emulated, intent, options_);
+  // One simulator across the before/after comparison: applying the change
+  // and warm-starting reconvergence from the touched devices is the
+  // emulation analogue of pushing a change into a converged network.
+  routing::BgpSimulator simulator(emulated);
+  const auto baseline = validate_emulated(simulator, intent, options_);
   result.baseline_violations = baseline.size();
 
   change.apply(emulated);
-  auto post = validate_emulated(emulated, intent, options_);
+  simulator.reconverge();
+  auto post = validate_emulated(simulator, intent, options_);
   result.post_change_violations = post.size();
 
   // The change is charged only with violations absent from the baseline.

@@ -1,0 +1,198 @@
+#include "routing/bgp_reference.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "net/error.hpp"
+
+namespace dcv::routing {
+
+namespace {
+
+/// A route as received from one neighbor: the neighbor id and the AS-path
+/// the neighbor advertised (neighbor's ASN first).
+struct Candidate {
+  topo::DeviceId neighbor = topo::kInvalidDevice;
+  std::vector<topo::Asn> as_path;
+  topo::DatacenterId origin_datacenter = 0;
+};
+
+bool is_private_asn(topo::Asn asn) {
+  return BgpSimulator::is_private_asn(asn);
+}
+
+}  // namespace
+
+ReferenceBgpSimulator::ReferenceBgpSimulator(const topo::Topology& topology,
+                                             const topo::FaultInjector* faults)
+    : topology_(&topology), faults_(faults) {
+  ribs_.resize(topology.device_count());
+  run();
+}
+
+Rib ReferenceBgpSimulator::rib(topo::DeviceId device) const {
+  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
+  std::vector<RibEntry> entries;
+  entries.reserve(ribs_[device].size());
+  for (const auto& [prefix, entry] : ribs_[device]) entries.push_back(entry);
+  return Rib(std::move(entries));
+}
+
+ForwardingTable ReferenceBgpSimulator::fib(topo::DeviceId device) const {
+  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
+  std::vector<RibEntry> entries;
+  entries.reserve(ribs_[device].size());
+  for (const auto& [prefix, entry] : ribs_[device]) entries.push_back(entry);
+  return program_fib(entries, faults_, device);
+}
+
+void ReferenceBgpSimulator::run() {
+  const auto& devices = topology_->devices();
+
+  // Locally originated routes: ToRs originate their hosted VLAN prefixes,
+  // regional spines originate the default route (§2.1).
+  for (const topo::Device& d : devices) {
+    if (d.role == topo::DeviceRole::kTor) {
+      for (const net::Prefix& p : d.hosted_prefixes) {
+        ribs_[d.id][p] = RibEntry{.prefix = p,
+                                  .as_path = {},
+                                  .next_hops = {},
+                                  .connected = true,
+                                  .origin_datacenter = d.datacenter};
+      }
+    } else if (d.role == topo::DeviceRole::kRegionalSpine) {
+      const auto def = net::Prefix::default_route();
+      ribs_[d.id][def] = RibEntry{.prefix = def,
+                                  .as_path = {},
+                                  .next_hops = {},
+                                  .connected = true,
+                                  .origin_datacenter = topo::kNoDatacenter};
+    }
+  }
+
+  // What `from` advertises about `entry` across the session to `to`, or
+  // nullopt if its export policy suppresses the route.
+  const auto export_path =
+      [&](const topo::Device& from, const topo::Device& to,
+          const RibEntry& entry) -> std::optional<std::vector<topo::Asn>> {
+    std::vector<topo::Asn> path;
+    if (entry.connected) {
+      path = {from.asn};
+    } else {
+      path = entry.as_path;  // already begins with from.asn
+    }
+    if (from.role == topo::DeviceRole::kRegionalSpine) {
+      // Never hairpin a datacenter's own routes back into it.
+      if (entry.origin_datacenter != topo::kNoDatacenter &&
+          to.datacenter == entry.origin_datacenter) {
+        return std::nullopt;
+      }
+      // Strip private ASNs from the relayed tail (§2.1) so that private-ASN
+      // reuse across datacenters cannot cause loop-prevention rejections.
+      std::vector<topo::Asn> stripped;
+      stripped.push_back(path.front());
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        if (!is_private_asn(path[i])) stripped.push_back(path[i]);
+      }
+      path = std::move(stripped);
+    }
+    return path;
+  };
+
+  // Whether `to` accepts an announcement of `prefix` with the given path.
+  const auto import_ok = [&](const topo::Device& to, const net::Prefix& prefix,
+                             const std::vector<topo::Asn>& path) -> bool {
+    if (faults_ != nullptr && prefix.is_default() &&
+        faults_->device_has_fault(
+            to.id, topo::DeviceFaultKind::kRejectDefaultRoute)) {
+      return false;  // route-map misconfiguration (§2.6.2 "Policy Errors")
+    }
+    if (to.role == topo::DeviceRole::kTor) {
+      // ToR upstream sessions accept paths containing the (reused) ToR ASN
+      // of a sibling rack (§2.1); path lengths still rule such routes out of
+      // best-path selection, so this cannot loop.
+      return true;
+    }
+    if (to.role == topo::DeviceRole::kRegionalSpine) {
+      // Tier-peer rule: never re-import a route that already traversed the
+      // regional layer (keeps regionals on their own originated default and
+      // forbids regional-spine valleys).
+      for (const topo::Asn asn : path) {
+        if (!is_private_asn(asn)) return false;
+      }
+      return true;
+    }
+    return std::find(path.begin(), path.end(), to.asn) == path.end();
+  };
+
+  bool changed = true;
+  rounds_ = 0;
+  // Convergence is bounded by the network diameter; the cap is a safety net.
+  constexpr int kMaxRounds = 64;
+  while (changed && rounds_ < kMaxRounds) {
+    ++rounds_;
+    changed = false;
+    std::vector<MapRib> next = ribs_;
+
+    for (const topo::Device& d : devices) {
+      std::unordered_map<net::Prefix, std::vector<Candidate>> candidates;
+      for (const topo::LinkId lid : topology_->links_of(d.id)) {
+        const topo::Link& link = topology_->link(lid);
+        if (!link.usable()) continue;
+        const topo::Device& n = topology_->device(link.other(d.id));
+        for (const auto& [prefix, entry] : ribs_[n.id]) {
+          const auto path = export_path(n, d, entry);
+          if (!path) continue;
+          if (!import_ok(d, prefix, *path)) continue;
+          candidates[prefix].push_back(
+              Candidate{.neighbor = n.id,
+                        .as_path = *path,
+                        .origin_datacenter = entry.origin_datacenter});
+        }
+      }
+
+      MapRib rib;
+      // Locally originated entries always win.
+      for (const auto& [prefix, entry] : ribs_[d.id]) {
+        if (entry.connected) rib[prefix] = entry;
+      }
+      for (auto& [prefix, cands] : candidates) {
+        if (rib.contains(prefix)) continue;
+        std::size_t best_len = SIZE_MAX;
+        for (const Candidate& c : cands) {
+          best_len = std::min(best_len, c.as_path.size());
+        }
+        std::vector<topo::DeviceId> next_hops;
+        const std::vector<topo::Asn>* chosen = nullptr;
+        topo::DatacenterId origin = 0;
+        for (const Candidate& c : cands) {
+          if (c.as_path.size() != best_len) continue;
+          next_hops.push_back(c.neighbor);
+          if (chosen == nullptr || c.as_path < *chosen) {
+            chosen = &c.as_path;
+            origin = c.origin_datacenter;
+          }
+        }
+        canonicalize(next_hops);
+        std::vector<topo::Asn> as_path;
+        as_path.reserve(chosen->size() + 1);
+        as_path.push_back(d.asn);
+        as_path.insert(as_path.end(), chosen->begin(), chosen->end());
+        rib[prefix] = RibEntry{.prefix = prefix,
+                               .as_path = std::move(as_path),
+                               .next_hops = std::move(next_hops),
+                               .connected = false,
+                               .origin_datacenter = origin};
+      }
+
+      // RibEntry::operator== includes origin_datacenter — the historical
+      // comparison omitted it and could converge on stale origins.
+      if (rib != ribs_[d.id]) changed = true;
+      next[d.id] = std::move(rib);
+    }
+    ribs_ = std::move(next);
+  }
+}
+
+}  // namespace dcv::routing

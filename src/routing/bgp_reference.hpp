@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "routing/bgp_sim.hpp"
+
+namespace dcv::routing {
+
+/// The original Jacobi-style EBGP simulator, retained verbatim as the
+/// correctness oracle and performance baseline for the worklist engine in
+/// BgpSimulator: every round recomputes every device from the previous
+/// round's full state and deep-copies the whole network's RIBs. Routing
+/// policy (§2.1) and fault handling are identical to BgpSimulator — the
+/// differential test suite pins the two engines to byte-equal RIBs and
+/// FIBs — but nothing here is incremental, parallel, or allocation-lean.
+///
+/// One behavioral fix relative to the historical code is included: the
+/// per-round convergence check compares origin_datacenter too (via
+/// RibEntry::operator==), so an origin flip with unchanged path/next-hops
+/// still triggers another round instead of leaving regional-spine hairpin
+/// suppression acting on a stale origin.
+class ReferenceBgpSimulator {
+ public:
+  explicit ReferenceBgpSimulator(const topo::Topology& topology,
+                                 const topo::FaultInjector* faults = nullptr);
+
+  /// The converged RIB of a device, materialized into the canonical flat
+  /// representation for direct comparison with BgpSimulator::rib().
+  [[nodiscard]] Rib rib(topo::DeviceId device) const;
+
+  /// The FIB programmed from the RIB, with device-level FIB faults applied.
+  [[nodiscard]] ForwardingTable fib(topo::DeviceId device) const;
+
+  /// Number of synchronous rounds until convergence.
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+ private:
+  using MapRib = std::map<net::Prefix, RibEntry>;
+
+  void run();
+
+  const topo::Topology* topology_;
+  const topo::FaultInjector* faults_;
+  std::vector<MapRib> ribs_;  // indexed by device id
+  int rounds_ = 0;
+};
+
+}  // namespace dcv::routing

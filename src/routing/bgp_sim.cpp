@@ -1,7 +1,11 @@
 #include "routing/bgp_sim.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <thread>
 #include <unordered_map>
 
 #include "net/error.hpp"
@@ -10,216 +14,116 @@ namespace dcv::routing {
 
 namespace {
 
-/// A route as received from one neighbor: the neighbor id and the AS-path
-/// the neighbor advertised (neighbor's ASN first).
+using topo::Asn;
+using topo::DeviceId;
+
+/// A route as received from one neighbor during one device step. The path
+/// view borrows either the neighbor's stored entry (immutable within a
+/// round — results are double-buffered) or the worker's path interner;
+/// both outlive the step.
 struct Candidate {
-  topo::DeviceId neighbor = topo::kInvalidDevice;
-  std::vector<topo::Asn> as_path;
+  net::Prefix prefix;
+  DeviceId neighbor = topo::kInvalidDevice;
+  std::span<const Asn> path;
   topo::DatacenterId origin_datacenter = 0;
+};
+
+struct PathHash {
+  using is_transparent = void;
+  std::size_t operator()(std::span<const Asn> path) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ull;  // FNV-1a
+    for (const Asn asn : path) {
+      h ^= asn;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+  std::size_t operator()(const std::vector<Asn>& path) const noexcept {
+    return (*this)(std::span<const Asn>(path));
+  }
+};
+
+struct PathEq {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const noexcept {
+    return std::ranges::equal(a, b);
+  }
+};
+
+/// Hash-consed AS-path storage. Only paths that must be *rewritten* during
+/// export — private-ASN stripping at regional spines, single-ASN connected
+/// originations — are interned; unchanged relays borrow the neighbor
+/// entry's storage directly. Rewritten paths are massively shared across
+/// prefixes and devices, so the steady state is a hash probe, no
+/// allocation.
+class PathInterner {
+ public:
+  std::span<const Asn> intern(std::span<const Asn> path) {
+    const auto it = index_.find(path);
+    if (it != index_.end()) return paths_[it->second];
+    paths_.emplace_back(path.begin(), path.end());
+    index_.emplace(paths_.back(), paths_.size() - 1);
+    return paths_.back();
+  }
+
+  [[nodiscard]] std::size_t size() const { return paths_.size(); }
+
+ private:
+  std::deque<std::vector<Asn>> paths_;  // element references stay valid
+  std::unordered_map<std::vector<Asn>, std::size_t, PathHash, PathEq> index_;
 };
 
 }  // namespace
 
-BgpSimulator::BgpSimulator(const topo::Topology& topology,
-                           const topo::FaultInjector* faults,
-                           obs::MetricsRegistry* metrics)
-    : topology_(&topology), faults_(faults) {
-  ribs_.resize(topology.device_count());
-  run(metrics);
+// ---------------------------------------------------------------------------
+// Rib
+
+Rib::Rib(std::vector<RibEntry> entries) : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const RibEntry& a, const RibEntry& b) {
+              return a.prefix < b.prefix;
+            });
 }
 
-const Rib& BgpSimulator::rib(topo::DeviceId device) const {
-  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
-  return ribs_[device];
+const RibEntry* Rib::find(const net::Prefix& prefix) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const RibEntry& e, const net::Prefix& p) { return e.prefix < p; });
+  if (it == entries_.end() || it->prefix != prefix) return nullptr;
+  return &*it;
 }
 
-void BgpSimulator::run(obs::MetricsRegistry* metrics) {
-  const auto& devices = topology_->devices();
-  std::uint64_t routes_propagated = 0;
-
-  // Locally originated routes: ToRs originate their hosted VLAN prefixes,
-  // regional spines originate the default route (§2.1).
-  for (const topo::Device& d : devices) {
-    if (d.role == topo::DeviceRole::kTor) {
-      for (const net::Prefix& p : d.hosted_prefixes) {
-        ribs_[d.id][p] = RibEntry{.prefix = p,
-                                  .as_path = {},
-                                  .next_hops = {},
-                                  .connected = true,
-                                  .origin_datacenter = d.datacenter};
-      }
-    } else if (d.role == topo::DeviceRole::kRegionalSpine) {
-      const auto def = net::Prefix::default_route();
-      ribs_[d.id][def] = RibEntry{.prefix = def,
-                                  .as_path = {},
-                                  .next_hops = {},
-                                  .connected = true,
-                                  .origin_datacenter = topo::kNoDatacenter};
-    }
-  }
-
-  // What `from` advertises about `entry` across the session to `to`, or
-  // nullopt if its export policy suppresses the route.
-  const auto export_path =
-      [&](const topo::Device& from, const topo::Device& to,
-          const RibEntry& entry) -> std::optional<std::vector<topo::Asn>> {
-    std::vector<topo::Asn> path;
-    if (entry.connected) {
-      path = {from.asn};
-    } else {
-      path = entry.as_path;  // already begins with from.asn
-    }
-    if (from.role == topo::DeviceRole::kRegionalSpine) {
-      // Never hairpin a datacenter's own routes back into it.
-      if (entry.origin_datacenter != topo::kNoDatacenter &&
-          to.datacenter == entry.origin_datacenter) {
-        return std::nullopt;
-      }
-      // Strip private ASNs from the relayed tail (§2.1) so that private-ASN
-      // reuse across datacenters cannot cause loop-prevention rejections.
-      std::vector<topo::Asn> stripped;
-      stripped.push_back(path.front());
-      for (std::size_t i = 1; i < path.size(); ++i) {
-        if (!is_private_asn(path[i])) stripped.push_back(path[i]);
-      }
-      path = std::move(stripped);
-    }
-    return path;
-  };
-
-  // Whether `to` accepts an announcement of `prefix` with the given path.
-  const auto import_ok = [&](const topo::Device& to, const net::Prefix& prefix,
-                             const std::vector<topo::Asn>& path) -> bool {
-    if (faults_ != nullptr && prefix.is_default() &&
-        faults_->device_has_fault(
-            to.id, topo::DeviceFaultKind::kRejectDefaultRoute)) {
-      return false;  // route-map misconfiguration (§2.6.2 "Policy Errors")
-    }
-    if (to.role == topo::DeviceRole::kTor) {
-      // ToR upstream sessions accept paths containing the (reused) ToR ASN
-      // of a sibling rack (§2.1); path lengths still rule such routes out of
-      // best-path selection, so this cannot loop.
-      return true;
-    }
-    if (to.role == topo::DeviceRole::kRegionalSpine) {
-      // Tier-peer rule: never re-import a route that already traversed the
-      // regional layer (keeps regionals on their own originated default and
-      // forbids regional-spine valleys).
-      for (const topo::Asn asn : path) {
-        if (!is_private_asn(asn)) return false;
-      }
-      return true;
-    }
-    return std::find(path.begin(), path.end(), to.asn) == path.end();
-  };
-
-  bool changed = true;
-  rounds_ = 0;
-  // Convergence is bounded by the network diameter; the cap is a safety net.
-  constexpr int kMaxRounds = 64;
-  while (changed && rounds_ < kMaxRounds) {
-    ++rounds_;
-    changed = false;
-    std::vector<Rib> next = ribs_;
-
-    for (const topo::Device& d : devices) {
-      std::unordered_map<net::Prefix, std::vector<Candidate>> candidates;
-      for (const topo::LinkId lid : topology_->links_of(d.id)) {
-        const topo::Link& link = topology_->link(lid);
-        if (!link.usable()) continue;
-        const topo::Device& n = topology_->device(link.other(d.id));
-        for (const auto& [prefix, entry] : ribs_[n.id]) {
-          const auto path = export_path(n, d, entry);
-          if (!path) continue;
-          if (!import_ok(d, prefix, *path)) continue;
-          ++routes_propagated;
-          candidates[prefix].push_back(
-              Candidate{.neighbor = n.id,
-                        .as_path = *path,
-                        .origin_datacenter = entry.origin_datacenter});
-        }
-      }
-
-      Rib rib;
-      // Locally originated entries always win.
-      for (const auto& [prefix, entry] : ribs_[d.id]) {
-        if (entry.connected) rib[prefix] = entry;
-      }
-      for (auto& [prefix, cands] : candidates) {
-        if (rib.contains(prefix)) continue;
-        std::size_t best_len = SIZE_MAX;
-        for (const Candidate& c : cands) {
-          best_len = std::min(best_len, c.as_path.size());
-        }
-        std::vector<topo::DeviceId> next_hops;
-        const std::vector<topo::Asn>* chosen = nullptr;
-        topo::DatacenterId origin = 0;
-        for (const Candidate& c : cands) {
-          if (c.as_path.size() != best_len) continue;
-          next_hops.push_back(c.neighbor);
-          if (chosen == nullptr || c.as_path < *chosen) {
-            chosen = &c.as_path;
-            origin = c.origin_datacenter;
-          }
-        }
-        canonicalize(next_hops);
-        std::vector<topo::Asn> as_path;
-        as_path.reserve(chosen->size() + 1);
-        as_path.push_back(d.asn);
-        as_path.insert(as_path.end(), chosen->begin(), chosen->end());
-        rib[prefix] = RibEntry{.prefix = prefix,
-                               .as_path = std::move(as_path),
-                               .next_hops = std::move(next_hops),
-                               .connected = false,
-                               .origin_datacenter = origin};
-      }
-
-      if (rib.size() != ribs_[d.id].size() ||
-          !std::equal(rib.begin(), rib.end(), ribs_[d.id].begin(),
-                      [](const auto& a, const auto& b) {
-                        return a.first == b.first &&
-                               a.second.as_path == b.second.as_path &&
-                               a.second.next_hops == b.second.next_hops &&
-                               a.second.connected == b.second.connected;
-                      })) {
-        changed = true;
-      }
-      next[d.id] = std::move(rib);
-    }
-    ribs_ = std::move(next);
-  }
-
-  if (metrics != nullptr) {
-    metrics
-        ->histogram("dcv_bgp_convergence_rounds",
-                    "Synchronous rounds until EBGP convergence")
-        .observe(static_cast<std::uint64_t>(rounds_));
-    metrics
-        ->counter("dcv_bgp_routes_propagated_total",
-                  "Accepted candidate announcements across all rounds")
-        .inc(routes_propagated);
-  }
+const RibEntry& Rib::at(const net::Prefix& prefix) const {
+  const RibEntry* entry = find(prefix);
+  if (entry == nullptr) throw InvalidArgument("no RIB entry for prefix");
+  return *entry;
 }
 
-ForwardingTable BgpSimulator::fib(topo::DeviceId device) const {
-  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
+// ---------------------------------------------------------------------------
+// FIB programming (shared with ReferenceBgpSimulator)
+
+ForwardingTable program_fib(std::span<const RibEntry> entries,
+                            const topo::FaultInjector* faults,
+                            topo::DeviceId device) {
   const bool rib_fib_bug =
-      faults_ != nullptr &&
-      faults_->device_has_fault(device,
-                                topo::DeviceFaultKind::kRibFibInconsistency);
+      faults != nullptr &&
+      faults->device_has_fault(device,
+                               topo::DeviceFaultKind::kRibFibInconsistency);
   const bool ecmp_bug =
-      faults_ != nullptr &&
-      faults_->device_has_fault(device,
-                                topo::DeviceFaultKind::kEcmpSingleNextHop);
+      faults != nullptr &&
+      faults->device_has_fault(device,
+                               topo::DeviceFaultKind::kEcmpSingleNextHop);
 
   ForwardingTable fib;
-  for (const auto& [prefix, entry] : ribs_[device]) {
-    Rule rule{.prefix = prefix,
+  for (const RibEntry& entry : entries) {
+    Rule rule{.prefix = entry.prefix,
               .next_hops = entry.next_hops,
               .connected = entry.connected};
     // "Software Bug 1": the FIB retains far fewer next hops for the default
     // route than the RIB computed (§2.6.2).
-    if (rib_fib_bug && prefix.is_default() && rule.next_hops.size() > 1) {
+    if (rib_fib_bug && entry.prefix.is_default() &&
+        rule.next_hops.size() > 1) {
       rule.next_hops.resize(1);
     }
     // ECMP misconfiguration: a single next hop is programmed everywhere
@@ -230,6 +134,663 @@ ForwardingTable BgpSimulator::fib(topo::DeviceId device) const {
     fib.add(std::move(rule));
   }
   return fib;
+}
+
+// ---------------------------------------------------------------------------
+// Worker state and pool
+
+struct BgpSimulator::WorkerState {
+  std::vector<Candidate> candidates;
+  std::vector<DeviceId> hops_scratch;
+  std::vector<Asn> strip_scratch;
+  /// Recomputed entries; only moved out when the device actually changed,
+  /// so the buffer is reused across the (common) unchanged devices.
+  std::vector<RibEntry> fresh;
+  PathInterner interner;
+  std::uint64_t routes_propagated = 0;
+};
+
+/// A persistent pool: N-1 spawned threads plus the calling thread. run()
+/// is a barrier — it returns only after every worker finished the job, so
+/// frontier results published by workers are visible to the committing
+/// thread through the pool mutex.
+struct BgpSimulator::WorkerPool {
+  explicit WorkerPool(unsigned workers) {
+    for (unsigned t = 1; t < workers; ++t) {
+      threads_.emplace_back([this, t] { loop(t); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+  }
+
+  void run(const std::function<void(unsigned)>& job) {
+    {
+      const std::lock_guard lock(mutex_);
+      job_ = &job;
+      ++generation_;
+      pending_ = threads_.size();
+    }
+    wake_.notify_all();
+    job(0);
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void loop(unsigned id) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(unsigned)>* job = nullptr;
+      {
+        std::unique_lock lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      (*job)(id);
+      {
+        const std::lock_guard lock(mutex_);
+        if (--pending_ == 0) done_.notify_one();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::jthread> threads_;
+};
+
+// ---------------------------------------------------------------------------
+// BgpSimulator
+
+BgpSimulator::BgpSimulator(const topo::Topology& topology,
+                           const topo::FaultInjector* faults,
+                           obs::MetricsRegistry* metrics,
+                           BgpSimOptions options)
+    : topology_(&topology),
+      faults_(faults),
+      metrics_(metrics),
+      options_(options) {
+  if (options_.threads == 0) {
+    options_.threads =
+        std::clamp(std::thread::hardware_concurrency(), 1u, 16u);
+  }
+  workers_.reserve(options_.threads);
+  for (unsigned t = 0; t < options_.threads; ++t) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+  if (metrics_ != nullptr) {
+    rounds_hist_ = &metrics_->histogram(
+        "dcv_bgp_convergence_rounds",
+        "Synchronous rounds until EBGP convergence");
+    reconverge_hist_ = &metrics_->histogram(
+        "dcv_bgp_reconverge_rounds",
+        "Rounds a warm-start reconverge() took to reach the new fixpoint");
+    frontier_hist_ = &metrics_->histogram(
+        "dcv_bgp_frontier_devices",
+        "Devices reprocessed per worklist round");
+    routes_counter_ = &metrics_->counter(
+        "dcv_bgp_routes_propagated_total",
+        "Accepted candidate announcements across all rounds");
+    paths_gauge_ = &metrics_->gauge(
+        "dcv_bgp_paths_interned",
+        "Distinct rewritten AS-paths held by the hash-consing interners");
+    fib_rebuilds_ = &metrics_->counter(
+        "dcv_bgp_fib_rebuilds_total",
+        "ForwardingTable materializations from a converged RIB");
+    fib_hits_ = &metrics_->counter(
+        "dcv_bgp_fib_cache_hits_total",
+        "fib() fetches served from the materialized-table cache");
+  }
+  ribs_.resize(topology.device_count());
+  fib_cache_.resize(topology.device_count());
+  cold_run();
+}
+
+BgpSimulator::~BgpSimulator() = default;
+
+const Rib& BgpSimulator::rib(topo::DeviceId device) const {
+  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
+  return ribs_[device];
+}
+
+const ForwardingTable& BgpSimulator::fib(topo::DeviceId device) const {
+  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
+  const std::lock_guard lock(fib_locks_[device % fib_locks_.size()]);
+  std::unique_ptr<ForwardingTable>& slot = fib_cache_[device];
+  if (slot == nullptr) {
+    slot = std::make_unique<ForwardingTable>(
+        program_fib(ribs_[device].entries(), faults_, device));
+    if (fib_rebuilds_ != nullptr) fib_rebuilds_->inc();
+  } else if (fib_hits_ != nullptr) {
+    fib_hits_->inc();
+  }
+  return *slot;
+}
+
+void BgpSimulator::invalidate_fib(topo::DeviceId device) {
+  const std::lock_guard lock(fib_locks_[device % fib_locks_.size()]);
+  fib_cache_[device].reset();
+}
+
+void BgpSimulator::snapshot_state() {
+  const auto& devices = topology_->devices();
+  const auto& links = topology_->links();
+  snap_link_usable_.resize(links.size());
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    snap_link_usable_[l] = links[l].usable() ? 1 : 0;
+  }
+  snap_reject_default_.assign(devices.size(), 0);
+  snap_fib_fault_.assign(devices.size(), 0);
+  snap_asn_.resize(devices.size());
+  snap_hosted_.resize(devices.size());
+  for (const topo::Device& d : devices) {
+    if (faults_ != nullptr) {
+      if (faults_->device_has_fault(
+              d.id, topo::DeviceFaultKind::kRejectDefaultRoute)) {
+        snap_reject_default_[d.id] = 1;
+      }
+      std::uint8_t sig = 0;
+      if (faults_->device_has_fault(
+              d.id, topo::DeviceFaultKind::kRibFibInconsistency)) {
+        sig |= 1;
+      }
+      if (faults_->device_has_fault(
+              d.id, topo::DeviceFaultKind::kEcmpSingleNextHop)) {
+        sig |= 2;
+      }
+      snap_fib_fault_[d.id] = sig;
+    }
+    snap_asn_[d.id] = d.asn;
+    snap_hosted_[d.id] = d.hosted_prefixes;
+  }
+}
+
+bool BgpSimulator::diff_state(std::vector<topo::DeviceId>& seeds) {
+  const auto& devices = topology_->devices();
+  const auto& links = topology_->links();
+  if (devices.size() != snap_asn_.size() ||
+      links.size() != snap_link_usable_.size()) {
+    return false;  // expected shape changed: warm state is unusable
+  }
+
+  std::vector<std::uint8_t> marked(devices.size(), 0);
+  const auto seed = [&](DeviceId d) {
+    if (!marked[d]) {
+      marked[d] = 1;
+      seeds.push_back(d);
+    }
+  };
+
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    const std::uint8_t usable = links[l].usable() ? 1 : 0;
+    if (usable != snap_link_usable_[l]) {
+      seed(links[l].a);
+      seed(links[l].b);
+    }
+  }
+  for (const topo::Device& d : devices) {
+    std::uint8_t reject = 0;
+    std::uint8_t sig = 0;
+    if (faults_ != nullptr) {
+      if (faults_->device_has_fault(
+              d.id, topo::DeviceFaultKind::kRejectDefaultRoute)) {
+        reject = 1;
+      }
+      if (faults_->device_has_fault(
+              d.id, topo::DeviceFaultKind::kRibFibInconsistency)) {
+        sig |= 1;
+      }
+      if (faults_->device_has_fault(
+              d.id, topo::DeviceFaultKind::kEcmpSingleNextHop)) {
+        sig |= 2;
+      }
+    }
+    if (reject != snap_reject_default_[d.id]) seed(d.id);
+    // FIB-programming faults never touch the RIB; flipping one only stales
+    // the materialized table.
+    if (sig != snap_fib_fault_[d.id]) invalidate_fib(d.id);
+    if (d.asn != snap_asn_[d.id]) {
+      // The device's own paths and its neighbors' loop checks both involve
+      // this ASN.
+      seed(d.id);
+      for (const topo::LinkId lid : topology_->links_of(d.id)) {
+        seed(topology_->link(lid).other(d.id));
+      }
+    }
+    if (d.hosted_prefixes != snap_hosted_[d.id]) seed(d.id);
+  }
+  return true;
+}
+
+void BgpSimulator::cold_run() {
+  const auto& devices = topology_->devices();
+  // Seed locally originated routes so the first round already propagates
+  // them: ToRs originate their hosted VLAN prefixes, regional spines the
+  // default route (§2.1).
+  for (const topo::Device& d : devices) {
+    std::vector<RibEntry> entries;
+    if (d.role == topo::DeviceRole::kTor) {
+      entries.reserve(d.hosted_prefixes.size());
+      for (const net::Prefix& p : d.hosted_prefixes) {
+        entries.push_back(RibEntry{.prefix = p,
+                                   .as_path = {},
+                                   .next_hops = {},
+                                   .connected = true,
+                                   .origin_datacenter = d.datacenter});
+      }
+    } else if (d.role == topo::DeviceRole::kRegionalSpine) {
+      entries.push_back(RibEntry{.prefix = net::Prefix::default_route(),
+                                 .as_path = {},
+                                 .next_hops = {},
+                                 .connected = true,
+                                 .origin_datacenter = topo::kNoDatacenter});
+    }
+    ribs_[d.id] = Rib(std::move(entries));
+    invalidate_fib(d.id);
+  }
+  snapshot_state();
+  std::vector<DeviceId> frontier(devices.size());
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    frontier[d] = static_cast<DeviceId>(d);
+  }
+  rounds_ = run_worklist(std::move(frontier));
+  publish_metrics(rounds_, /*warm=*/false);
+}
+
+int BgpSimulator::reconverge() {
+  std::vector<DeviceId> seeds;
+  if (!diff_state(seeds)) {
+    ribs_.assign(topology_->device_count(), Rib{});
+    fib_cache_.clear();
+    fib_cache_.resize(topology_->device_count());
+    cold_run();
+    return rounds_;
+  }
+  snapshot_state();  // import_ok reads the refreshed fault flags
+  rounds_ = seeds.empty() ? 0 : run_worklist(std::move(seeds));
+  publish_metrics(rounds_, /*warm=*/true);
+  return rounds_;
+}
+
+int BgpSimulator::run_worklist(std::vector<topo::DeviceId> frontier) {
+  const auto& devices = topology_->devices();
+  for (const auto& worker : workers_) worker->routes_propagated = 0;
+
+  int rounds = 0;
+  // Convergence is bounded by the network diameter; the cap is a safety net.
+  constexpr int kMaxRounds = 64;
+  std::vector<Rib> results;
+  std::vector<std::uint8_t> changed;
+  std::vector<std::uint8_t> queued(devices.size(), 0);
+  std::vector<DeviceId> next;
+  // Prefixes whose entries changed anywhere in the previous round, sorted.
+  // The seed round recomputes its devices in full (external state changed
+  // under them); every later round only reselects dirty prefixes.
+  std::vector<net::Prefix> dirty;
+  std::vector<net::Prefix> next_dirty;
+  bool seed_round = true;
+
+  while (!frontier.empty() && rounds < kMaxRounds) {
+    ++rounds;
+    if (frontier_hist_ != nullptr) frontier_hist_->observe(frontier.size());
+    results.assign(frontier.size(), Rib{});
+    changed.assign(frontier.size(), 0);
+    const std::vector<net::Prefix>* round_dirty = seed_round ? nullptr : &dirty;
+
+    std::atomic<std::size_t> cursor{0};
+    const auto job = [&](unsigned worker) {
+      WorkerState& state = *workers_[worker];
+      while (true) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= frontier.size()) break;
+        changed[i] = process_device(devices[frontier[i]], state, results[i],
+                                    round_dirty)
+                         ? 1
+                         : 0;
+      }
+    };
+    if (workers_.size() > 1 &&
+        frontier.size() >= options_.parallel_threshold) {
+      if (pool_ == nullptr) {
+        pool_ = std::make_unique<WorkerPool>(
+            static_cast<unsigned>(workers_.size()));
+      }
+      pool_->run(job);
+    } else {
+      job(0);
+    }
+
+    // Commit changed results: splice partial (dirty-only) results over the
+    // previous state by moving untouched entries, record which prefixes
+    // changed for the next round's dirty set, and enqueue usable-link
+    // neighbors as the next frontier.
+    next.clear();
+    next_dirty.clear();
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (!changed[i]) continue;
+      const DeviceId d = frontier[i];
+      std::vector<RibEntry> fresh = std::move(results[i]).release();
+      if (round_dirty == nullptr) {
+        // Full recompute: diff old vs new for the dirty set, then replace.
+        const auto& old = ribs_[d].entries();
+        auto oit = old.begin();
+        auto fit = fresh.begin();
+        while (oit != old.end() || fit != fresh.end()) {
+          if (fit == fresh.end() ||
+              (oit != old.end() && oit->prefix < fit->prefix)) {
+            next_dirty.push_back((oit++)->prefix);  // entry removed
+          } else if (oit == old.end() || fit->prefix < oit->prefix) {
+            next_dirty.push_back((fit++)->prefix);  // entry added
+          } else {
+            if (*oit != *fit) next_dirty.push_back(fit->prefix);
+            ++oit;
+            ++fit;
+          }
+        }
+        ribs_[d] = Rib::from_sorted(std::move(fresh));
+      } else {
+        // Partial recompute: `fresh` holds entries for dirty prefixes only.
+        // Merge-walk old entries (moving clean ones — no reallocation) with
+        // the fresh entries; an old dirty-prefix entry with no fresh
+        // counterpart was withdrawn.
+        std::vector<RibEntry> old = std::move(ribs_[d]).release();
+        std::vector<RibEntry> merged;
+        merged.reserve(old.size() + fresh.size());
+        auto dit = round_dirty->begin();
+        auto fit = fresh.begin();
+        for (RibEntry& entry : old) {
+          while (fit != fresh.end() && fit->prefix < entry.prefix) {
+            next_dirty.push_back(fit->prefix);  // entry added
+            merged.push_back(std::move(*fit++));
+          }
+          while (dit != round_dirty->end() && *dit < entry.prefix) ++dit;
+          if (dit == round_dirty->end() || *dit != entry.prefix) {
+            merged.push_back(std::move(entry));  // clean prefix: keep
+            continue;
+          }
+          if (fit != fresh.end() && fit->prefix == entry.prefix) {
+            if (*fit != entry) next_dirty.push_back(fit->prefix);
+            merged.push_back(std::move(*fit++));
+          } else {
+            next_dirty.push_back(entry.prefix);  // withdrawn
+          }
+        }
+        for (; fit != fresh.end(); ++fit) {
+          next_dirty.push_back(fit->prefix);
+          merged.push_back(std::move(*fit));
+        }
+        ribs_[d] = Rib::from_sorted(std::move(merged));
+      }
+      invalidate_fib(d);
+      for (const topo::LinkId lid : topology_->links_of(d)) {
+        const topo::Link& link = topology_->link(lid);
+        if (!link.usable()) continue;
+        const DeviceId neighbor = link.other(d);
+        if (!queued[neighbor]) {
+          queued[neighbor] = 1;
+          next.push_back(neighbor);
+        }
+      }
+    }
+    for (const DeviceId d : next) queued[d] = 0;
+    frontier = next;
+    std::sort(next_dirty.begin(), next_dirty.end());
+    next_dirty.erase(std::unique(next_dirty.begin(), next_dirty.end()),
+                     next_dirty.end());
+    std::swap(dirty, next_dirty);
+    seed_round = false;
+  }
+  return rounds;
+}
+
+bool BgpSimulator::process_device(const topo::Device& d, WorkerState& state,
+                                  Rib& out,
+                                  const std::vector<net::Prefix>* dirty) const {
+  std::vector<RibEntry>& entries = state.fresh;
+  entries.clear();
+  const auto is_dirty = [dirty](const net::Prefix& p) {
+    return dirty == nullptr ||
+           std::binary_search(dirty->begin(), dirty->end(), p);
+  };
+  std::size_t connected_count = 0;
+  if (d.role == topo::DeviceRole::kTor) {
+    for (const net::Prefix& p : d.hosted_prefixes) {
+      if (!is_dirty(p)) continue;
+      entries.push_back(RibEntry{.prefix = p,
+                                 .as_path = {},
+                                 .next_hops = {},
+                                 .connected = true,
+                                 .origin_datacenter = d.datacenter});
+    }
+    connected_count = entries.size();
+  } else if (d.role == topo::DeviceRole::kRegionalSpine) {
+    if (is_dirty(net::Prefix::default_route())) {
+      entries.push_back(RibEntry{.prefix = net::Prefix::default_route(),
+                                 .as_path = {},
+                                 .next_hops = {},
+                                 .connected = true,
+                                 .origin_datacenter = topo::kNoDatacenter});
+      connected_count = 1;
+    }
+  }
+
+  // Collect acceptable announcements from all usable sessions. Path views
+  // borrow the neighbor's entry storage; only rewritten paths (stripping,
+  // connected origination) go through the interner. In dirty mode only the
+  // neighbors' entries for dirty prefixes are considered — entries for
+  // clean prefixes are bit-identical to last round, so they cannot change
+  // this device's selection.
+  state.candidates.clear();
+  for (const topo::LinkId lid : topology_->links_of(d.id)) {
+    const topo::Link& link = topology_->link(lid);
+    if (!link.usable()) continue;
+    const topo::Device& n = topology_->device(link.other(d.id));
+
+    const auto consider = [&](const RibEntry& entry) {
+      // -- export policy of n toward d --
+      std::span<const Asn> path;
+      if (entry.connected) {
+        path = state.interner.intern(std::span<const Asn>(&n.asn, 1));
+      } else {
+        path = entry.as_path;  // already begins with n.asn
+      }
+      if (n.role == topo::DeviceRole::kRegionalSpine) {
+        // Never hairpin a datacenter's own routes back into it.
+        if (entry.origin_datacenter != topo::kNoDatacenter &&
+            d.datacenter == entry.origin_datacenter) {
+          return;
+        }
+        // Strip private ASNs from the relayed tail (§2.1) so that
+        // private-ASN reuse across datacenters cannot cause loop-prevention
+        // rejections. Most relayed paths at this tier need no rewrite;
+        // scan first and keep the borrowed view on the no-op path.
+        if (std::any_of(path.begin() + 1, path.end(), is_private_asn)) {
+          state.strip_scratch.clear();
+          state.strip_scratch.push_back(path.front());
+          for (std::size_t i = 1; i < path.size(); ++i) {
+            if (!is_private_asn(path[i])) {
+              state.strip_scratch.push_back(path[i]);
+            }
+          }
+          path = state.interner.intern(state.strip_scratch);
+        }
+      }
+
+      // -- import policy of d --
+      if (snap_reject_default_[d.id] && entry.prefix.is_default()) {
+        return;  // route-map misconfiguration (§2.6.2 "Policy Errors")
+      }
+      if (d.role == topo::DeviceRole::kRegionalSpine) {
+        // Tier-peer rule: never re-import a route that already traversed
+        // the regional layer (keeps regionals on their own originated
+        // default and forbids regional-spine valleys).
+        if (!std::all_of(path.begin(), path.end(), is_private_asn)) return;
+      } else if (d.role != topo::DeviceRole::kTor) {
+        // ToR upstream sessions accept paths containing the (reused) ToR
+        // ASN of a sibling rack (§2.1); everyone else rejects own-ASN
+        // paths.
+        if (std::find(path.begin(), path.end(), d.asn) != path.end()) {
+          return;
+        }
+      }
+
+      ++state.routes_propagated;
+      state.candidates.push_back(
+          Candidate{.prefix = entry.prefix,
+                    .neighbor = n.id,
+                    .path = path,
+                    .origin_datacenter = entry.origin_datacenter});
+    };
+
+    if (dirty == nullptr) {
+      for (const RibEntry& entry : ribs_[n.id]) consider(entry);
+    } else {
+      // Monotone merge of the sorted dirty set against the neighbor's
+      // sorted entries: linear two-pointer when the dirty set is a big
+      // fraction of the RIB (early cold rounds), binary-search skips when
+      // it is narrow (warm reconvergence tails).
+      const auto& neighbor_entries = ribs_[n.id].entries();
+      if (dirty->size() * 8 >= neighbor_entries.size()) {
+        auto dit = dirty->begin();
+        for (const RibEntry& entry : neighbor_entries) {
+          while (dit != dirty->end() && *dit < entry.prefix) ++dit;
+          if (dit == dirty->end()) break;
+          if (*dit == entry.prefix) consider(entry);
+        }
+      } else {
+        auto eit = neighbor_entries.begin();
+        for (const net::Prefix& p : *dirty) {
+          eit = std::lower_bound(eit, neighbor_entries.end(), p,
+                                 [](const RibEntry& e, const net::Prefix& pp) {
+                                   return e.prefix < pp;
+                                 });
+          if (eit == neighbor_entries.end()) break;
+          if (eit->prefix == p) consider(*eit++);
+        }
+      }
+    }
+  }
+
+  std::sort(state.candidates.begin(), state.candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.prefix < b.prefix;
+            });
+
+  // Best-path selection per prefix group: shortest AS-path wins, ECMP
+  // across all equally-short neighbors, deterministic (lexicographically
+  // least) representative path. Locally originated entries always win.
+  for (std::size_t i = 0; i < state.candidates.size();) {
+    std::size_t j = i;
+    while (j < state.candidates.size() &&
+           state.candidates[j].prefix == state.candidates[i].prefix) {
+      ++j;
+    }
+    const net::Prefix prefix = state.candidates[i].prefix;
+    bool owned = false;
+    for (std::size_t c = 0; c < connected_count; ++c) {
+      if (entries[c].prefix == prefix) {
+        owned = true;
+        break;
+      }
+    }
+    if (!owned) {
+      std::size_t best_len = SIZE_MAX;
+      for (std::size_t k = i; k < j; ++k) {
+        best_len = std::min(best_len, state.candidates[k].path.size());
+      }
+      state.hops_scratch.clear();
+      std::span<const Asn> chosen;
+      topo::DatacenterId origin = 0;
+      for (std::size_t k = i; k < j; ++k) {
+        const Candidate& c = state.candidates[k];
+        if (c.path.size() != best_len) continue;
+        state.hops_scratch.push_back(c.neighbor);
+        if (chosen.data() == nullptr ||
+            std::ranges::lexicographical_compare(c.path, chosen)) {
+          chosen = c.path;
+          origin = c.origin_datacenter;
+        }
+      }
+      canonicalize(state.hops_scratch);
+      RibEntry entry;
+      entry.prefix = prefix;
+      entry.as_path.reserve(chosen.size() + 1);
+      entry.as_path.push_back(d.asn);
+      entry.as_path.insert(entry.as_path.end(), chosen.begin(), chosen.end());
+      entry.next_hops = state.hops_scratch;
+      entry.connected = false;
+      entry.origin_datacenter = origin;
+      entries.push_back(std::move(entry));
+    }
+    i = j;
+  }
+
+  // Change detection happens here in the worker (parallel) rather than in
+  // the single-threaded commit. Unchanged devices — the common case on a
+  // settling wave — leave `out` untouched and keep their scratch buffer.
+  std::sort(entries.begin(), entries.end(),
+            [](const RibEntry& a, const RibEntry& b) {
+              return a.prefix < b.prefix;
+            });
+  const auto& old = ribs_[d.id].entries();
+  if (dirty == nullptr) {
+    if (entries == old) return false;
+  } else {
+    // `entries` holds exactly the surviving dirty-prefix routes; compare
+    // against the old entries restricted to the dirty set.
+    bool changed = false;
+    auto dit = dirty->begin();
+    auto fit = entries.begin();
+    for (const RibEntry& old_entry : old) {
+      if (fit != entries.end() && fit->prefix < old_entry.prefix) {
+        changed = true;  // route appeared for a prefix the device lacked
+        break;
+      }
+      while (dit != dirty->end() && *dit < old_entry.prefix) ++dit;
+      if (dit == dirty->end() || *dit != old_entry.prefix) continue;
+      if (fit == entries.end() || fit->prefix != old_entry.prefix ||
+          !(*fit == old_entry)) {
+        changed = true;  // route withdrawn or modified
+        break;
+      }
+      ++fit;
+    }
+    if (!changed && fit != entries.end()) changed = true;  // trailing adds
+    if (!changed) return false;
+  }
+  out = Rib::from_sorted(std::move(entries));
+  return true;
+}
+
+void BgpSimulator::publish_metrics(int rounds, bool warm) {
+  if (metrics_ == nullptr) return;
+  if (warm) {
+    reconverge_hist_->observe(static_cast<std::uint64_t>(rounds));
+  } else {
+    rounds_hist_->observe(static_cast<std::uint64_t>(rounds));
+  }
+  std::uint64_t routes = 0;
+  std::size_t paths = 0;
+  for (const auto& worker : workers_) {
+    routes += worker->routes_propagated;
+    paths += worker->interner.size();
+  }
+  routes_counter_->inc(routes);
+  paths_gauge_->set(static_cast<double>(paths));
 }
 
 }  // namespace dcv::routing

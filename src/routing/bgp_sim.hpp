@@ -1,7 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -23,12 +26,79 @@ struct RibEntry {
   bool connected = false;
   /// Datacenter where the route originated; kNoDatacenter for the default
   /// route (originated by regional spines). Regional spines use this to
-  /// avoid relaying a datacenter's own routes back into it.
+  /// avoid relaying a datacenter's own routes back into it. Part of entry
+  /// equality: an origin flip must re-trigger propagation even when path
+  /// and next hops are unchanged, or hairpin suppression acts on stale
+  /// origins.
   topo::DatacenterId origin_datacenter = 0;
+
+  friend bool operator==(const RibEntry&, const RibEntry&) = default;
 };
 
-/// The routing information base of one device: prefix -> selected routes.
-using Rib = std::map<net::Prefix, RibEntry>;
+/// The routing information base of one device: RibEntry records in a flat
+/// vector sorted by prefix (binary-search lookups, cache-friendly scans,
+/// one contiguous allocation instead of a map node per prefix).
+class Rib {
+ public:
+  using const_iterator = std::vector<RibEntry>::const_iterator;
+
+  Rib() = default;
+  /// Takes entries in any order and sorts them into canonical prefix order.
+  explicit Rib(std::vector<RibEntry> entries);
+
+  /// The entry for exactly this prefix, or nullptr.
+  [[nodiscard]] const RibEntry* find(const net::Prefix& prefix) const;
+  /// The entry for exactly this prefix; throws InvalidArgument if absent.
+  [[nodiscard]] const RibEntry& at(const net::Prefix& prefix) const;
+  [[nodiscard]] bool contains(const net::Prefix& prefix) const {
+    return find(prefix) != nullptr;
+  }
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const std::vector<RibEntry>& entries() const {
+    return entries_;
+  }
+  /// Steals the entry storage (used by the worklist commit to move-splice
+  /// unchanged entries into a successor RIB without reallocating them).
+  [[nodiscard]] std::vector<RibEntry> release() && {
+    return std::move(entries_);
+  }
+  /// Adopts entries already in canonical prefix order without re-sorting
+  /// (the worklist engine's workers and commit produce sorted output).
+  [[nodiscard]] static Rib from_sorted(std::vector<RibEntry> entries) {
+    Rib rib;
+    rib.entries_ = std::move(entries);
+    return rib;
+  }
+
+  friend bool operator==(const Rib&, const Rib&) = default;
+
+ private:
+  std::vector<RibEntry> entries_;
+};
+
+/// Programs a FIB from converged RIB entries, applying the device-level
+/// FIB-programming faults of §2.6.2 (kRibFibInconsistency,
+/// kEcmpSingleNextHop). Shared by the worklist engine and the retained
+/// reference implementation.
+[[nodiscard]] ForwardingTable program_fib(std::span<const RibEntry> entries,
+                                          const topo::FaultInjector* faults,
+                                          topo::DeviceId device);
+
+/// Tuning knobs of the worklist engine. The converged result is identical
+/// at every thread count: workers read the previous round's state and write
+/// per-device results, and best-path selection is order-independent.
+struct BgpSimOptions {
+  /// Worker threads for frontier processing; 0 picks a hardware default.
+  unsigned threads = 0;
+  /// Frontiers smaller than this are processed inline on the calling
+  /// thread — warm reconvergence frontiers are usually a handful of
+  /// devices, where handing work to the pool costs more than the work.
+  std::size_t parallel_threshold = 32;
+};
 
 /// A synchronous-round EBGP route-propagation simulator implementing the
 /// routing design of §2.1:
@@ -49,26 +119,55 @@ using Rib = std::map<net::Prefix, RibEntry>;
 /// kRejectDefaultRoute drops default announcements at import; FIB-programming
 /// faults (kRibFibInconsistency, kEcmpSingleNextHop) distort fib() output
 /// while leaving the RIB intact, reproducing §2.6.2's software bugs.
+///
+/// Unlike the retained ReferenceBgpSimulator (Jacobi full recompute with a
+/// whole-network copy per round), this engine is worklist-driven: a round
+/// reprocesses only the dirty frontier — devices with at least one neighbor
+/// whose RIB changed in the previous round — and double-buffers only those
+/// devices' results. Frontiers are processed in parallel; candidate
+/// collection borrows AS-path storage from the (immutable within a round)
+/// previous state and hash-conses the few paths that must be rewritten
+/// (private-ASN stripping, connected-route origination), so the steady loop
+/// allocates nothing per announcement. ReferenceBgpSimulator equivalence is
+/// pinned by the differential test suite.
 class BgpSimulator {
  public:
   /// Runs propagation to a fixpoint over the topology's *current* link and
   /// session state. `faults` may be null (no device-level faults).
-  /// `metrics`, when non-null, receives one dcv_bgp_convergence_rounds
-  /// sample and the dcv_bgp_routes_propagated_total count of accepted
-  /// candidate announcements for this run.
+  /// `metrics`, when non-null, receives dcv_bgp_* series for this run and
+  /// every later reconverge().
   explicit BgpSimulator(const topo::Topology& topology,
                         const topo::FaultInjector* faults = nullptr,
-                        obs::MetricsRegistry* metrics = nullptr);
+                        obs::MetricsRegistry* metrics = nullptr,
+                        BgpSimOptions options = {});
+  ~BgpSimulator();
+
+  BgpSimulator(const BgpSimulator&) = delete;
+  BgpSimulator& operator=(const BgpSimulator&) = delete;
+
+  /// Warm-start reconvergence: diffs the topology's current link/session
+  /// usability, ASN assignments, hosted prefixes and device-fault state
+  /// against a snapshot taken at the last convergence, seeds the worklist
+  /// from exactly the changed devices, and propagates deltas to a new
+  /// fixpoint. Equivalent to (but much cheaper than) a cold rerun on the
+  /// mutated topology; if the device/link sets themselves changed, it
+  /// falls back to a cold full run. Returns the rounds taken (0 when
+  /// nothing changed). Not thread-safe against concurrent rib()/fib().
+  int reconverge();
 
   /// The converged RIB of a device.
   [[nodiscard]] const Rib& rib(topo::DeviceId device) const;
 
   /// The FIB programmed from the RIB, with any device-level FIB faults
   /// applied. Connected (locally hosted) prefixes are included as connected
-  /// rules.
-  [[nodiscard]] ForwardingTable fib(topo::DeviceId device) const;
+  /// rules. Materialized once and cached; reconverge() invalidates only the
+  /// devices whose RIB (or FIB-fault state) actually changed, so steady
+  /// monitoring cycles stop rebuilding ForwardingTables. Safe to call
+  /// concurrently.
+  [[nodiscard]] const ForwardingTable& fib(topo::DeviceId device) const;
 
-  /// Number of synchronous rounds until convergence.
+  /// Number of synchronous rounds of the most recent convergence (the
+  /// initial cold run, or the latest reconverge()).
   [[nodiscard]] int rounds() const { return rounds_; }
 
   /// True if `asn` falls in the private-use range stripped by regional
@@ -79,12 +178,65 @@ class BgpSimulator {
   }
 
  private:
-  void run(obs::MetricsRegistry* metrics);
+  struct WorkerState;
+  struct WorkerPool;
+
+  void cold_run();
+  /// Runs the worklist to a fixpoint from the given seed frontier;
+  /// returns rounds taken and marks changed devices' FIB caches dirty.
+  int run_worklist(std::vector<topo::DeviceId> frontier);
+  /// Recomputes a device's routes. In the seed round (`dirty == nullptr`)
+  /// the whole RIB is recomputed and `out` receives it in full; in later
+  /// rounds only the globally dirty prefixes (sorted) are recomputed —
+  /// selection is per-prefix independent, so entries for clean prefixes
+  /// cannot have changed — and `out` receives just those entries, which
+  /// the commit splices over the previous state. Returns true iff the
+  /// device's RIB changed (false leaves `out` untouched).
+  bool process_device(const topo::Device& device, WorkerState& state,
+                      Rib& out,
+                      const std::vector<net::Prefix>* dirty) const;
+  void snapshot_state();
+  /// Diffs current topology/fault state against the snapshot into a seed
+  /// frontier; returns false if the expected shape changed (cold rerun
+  /// needed). Devices whose FIB-only fault state flipped get their cached
+  /// table invalidated here.
+  bool diff_state(std::vector<topo::DeviceId>& seeds);
+  void invalidate_fib(topo::DeviceId device);
+  void publish_metrics(int rounds, bool warm);
 
   const topo::Topology* topology_;
   const topo::FaultInjector* faults_;
+  obs::MetricsRegistry* metrics_;
+  BgpSimOptions options_;
   std::vector<Rib> ribs_;  // indexed by device id
   int rounds_ = 0;
+
+  // Instruments resolved once from metrics_ (null when metrics_ is null).
+  obs::Histogram* rounds_hist_ = nullptr;
+  obs::Histogram* reconverge_hist_ = nullptr;
+  obs::Histogram* frontier_hist_ = nullptr;
+  obs::Counter* routes_counter_ = nullptr;
+  obs::Gauge* paths_gauge_ = nullptr;
+  obs::Counter* fib_rebuilds_ = nullptr;
+  obs::Counter* fib_hits_ = nullptr;
+
+  // Per-worker scratch (candidate buffers, path interner); index 0 doubles
+  // as the inline/single-thread state. The pool is created lazily on the
+  // first frontier large enough to split.
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  // Snapshot of everything route-affecting, diffed by reconverge().
+  std::vector<std::uint8_t> snap_link_usable_;
+  std::vector<std::uint8_t> snap_reject_default_;
+  std::vector<std::uint8_t> snap_fib_fault_;
+  std::vector<topo::Asn> snap_asn_;
+  std::vector<std::vector<net::Prefix>> snap_hosted_;
+
+  // Lazily materialized per-device FIBs, striped locks for concurrent
+  // fetches.
+  mutable std::vector<std::unique_ptr<ForwardingTable>> fib_cache_;
+  mutable std::array<std::mutex, 64> fib_locks_;
 };
 
 }  // namespace dcv::routing

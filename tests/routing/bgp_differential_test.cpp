@@ -1,0 +1,306 @@
+// Differential pinning of the worklist engine (BgpSimulator) against the
+// retained Jacobi reference (ReferenceBgpSimulator): across randomized
+// small Clos topologies, fault sets, and link-state churn, warm-started
+// reconvergence must produce byte-equal RIBs and FIBs to a cold reference
+// run on the mutated topology — at thread count 1 and at thread count N.
+//
+// The BgpParallel suite at the bottom is additionally run under
+// ThreadSanitizer in CI; keep its tests self-contained and thread-heavy.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "net/error.hpp"
+#include "obs/metrics.hpp"
+#include "rcdc/fib_source.hpp"
+#include "routing/bgp_reference.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+#include "topology/faults.hpp"
+
+namespace dcv::routing {
+namespace {
+
+using topo::ClosParams;
+using topo::DeviceFaultKind;
+using topo::DeviceId;
+using topo::DeviceRole;
+using topo::FaultInjector;
+using topo::Topology;
+
+ClosParams random_params(std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::uint32_t> clusters(1, 3);
+  std::uniform_int_distribution<std::uint32_t> tors(1, 3);
+  std::uniform_int_distribution<std::uint32_t> leaves(1, 3);
+  std::uniform_int_distribution<std::uint32_t> spines(1, 2);
+  std::uniform_int_distribution<std::uint32_t> regionals(2, 4);
+  return ClosParams{.clusters = clusters(rng),
+                    .tors_per_cluster = tors(rng),
+                    .leaves_per_cluster = leaves(rng),
+                    .spines_per_plane = spines(rng),
+                    .regional_spines = regionals(rng)};
+}
+
+/// One random mutation drawn from the production churn mix: link failures,
+/// session shutdowns, device faults, ASN drift, and repairs of earlier
+/// faults (FaultInjector::repair clears and re-applies the remaining set,
+/// which stresses the reconverge diff with whole-topology state swings).
+void churn_step(Topology& topology, FaultInjector& injector,
+                std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> pick(0.0, 1.0);
+  const double p = pick(rng);
+  if (p < 0.30) {
+    injector.random_link_failures(1);
+  } else if (p < 0.50) {
+    injector.random_bgp_shutdowns(1);
+  } else if (p < 0.70) {
+    static constexpr DeviceFaultKind kKinds[] = {
+        DeviceFaultKind::kRibFibInconsistency,
+        DeviceFaultKind::kLayer2InterfaceBug,
+        DeviceFaultKind::kEcmpSingleNextHop,
+        DeviceFaultKind::kRejectDefaultRoute,
+    };
+    static constexpr DeviceRole kRoles[] = {
+        DeviceRole::kTor, DeviceRole::kLeaf, DeviceRole::kSpine};
+    std::uniform_int_distribution<std::size_t> kind_pick(0, 3);
+    std::uniform_int_distribution<std::size_t> role_pick(0, 2);
+    injector.random_device_faults(1, kRoles[role_pick(rng)],
+                                  kKinds[kind_pick(rng)]);
+  } else if (p < 0.85 && !injector.records().empty()) {
+    std::uniform_int_distribution<std::size_t> record_pick(
+        0, injector.records().size() - 1);
+    injector.repair(record_pick(rng));
+  } else {
+    // ASN drift: the §2.6.2 migration misconfiguration — reassign a random
+    // non-regional device's ASN within the private range.
+    std::uniform_int_distribution<std::size_t> device_pick(
+        0, topology.device_count() - 1);
+    std::uniform_int_distribution<topo::Asn> asn_pick(64500, 65535);
+    const DeviceId d = static_cast<DeviceId>(device_pick(rng));
+    if (topology.device(d).role != DeviceRole::kRegionalSpine) {
+      topology.set_asn(d, asn_pick(rng));
+    }
+  }
+}
+
+/// Asserts warm engine state ≡ cold reference on every device.
+void expect_equal(const BgpSimulator& sim, const ReferenceBgpSimulator& ref,
+                  const Topology& topology, const char* context) {
+  for (const topo::Device& device : topology.devices()) {
+    ASSERT_EQ(sim.rib(device.id), ref.rib(device.id))
+        << context << ": RIB mismatch at " << device.name;
+    ASSERT_EQ(sim.fib(device.id), ref.fib(device.id))
+        << context << ": FIB mismatch at " << device.name;
+  }
+}
+
+class BgpDifferential : public testing::TestWithParam<unsigned> {};
+
+// 27 random topologies x 20 churn steps per thread count = 540 mutated
+// states per instantiation, 1080 across both — each state compared on
+// every device's RIB and FIB against a cold reference run.
+TEST_P(BgpDifferential, WarmReconvergeMatchesColdReferenceUnderChurn) {
+  const unsigned threads = GetParam();
+  std::mt19937_64 rng(0xD1FFu * (threads + 1));
+  for (int topo_case = 0; topo_case < 27; ++topo_case) {
+    Topology topology = topo::build_clos(random_params(rng));
+    FaultInjector injector(topology, /*seed=*/rng());
+    BgpSimulator sim(topology, &injector, nullptr,
+                     BgpSimOptions{.threads = threads,
+                                   .parallel_threshold = 8});
+    {
+      const ReferenceBgpSimulator cold_ref(topology, &injector);
+      ASSERT_EQ(sim.rounds(), cold_ref.rounds());
+      expect_equal(sim, cold_ref, topology, "cold");
+    }
+    for (int step = 0; step < 20; ++step) {
+      churn_step(topology, injector, rng);
+      sim.reconverge();
+      const ReferenceBgpSimulator ref(topology, &injector);
+      expect_equal(sim, ref, topology, "churn");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, BgpDifferential,
+                         testing::Values(1u, 4u));
+
+TEST(BgpReconverge, NoChangeIsZeroRounds) {
+  Topology topology = topo::build_clos(ClosParams{.clusters = 2,
+                                                  .tors_per_cluster = 2,
+                                                  .leaves_per_cluster = 2,
+                                                  .spines_per_plane = 1,
+                                                  .regional_spines = 2});
+  BgpSimulator sim(topology);
+  EXPECT_EQ(sim.reconverge(), 0);
+}
+
+TEST(BgpReconverge, HostedPrefixChangePropagatesAsDelta) {
+  Topology topology = topo::build_clos(ClosParams{.clusters = 2,
+                                                  .tors_per_cluster = 2,
+                                                  .leaves_per_cluster = 2,
+                                                  .spines_per_plane = 1,
+                                                  .regional_spines = 2});
+  BgpSimulator sim(topology);
+  const auto tors = topology.devices_with_role(DeviceRole::kTor);
+  const auto extra = net::Prefix::parse("10.200.0.0/24");
+  topology.add_hosted_prefix(tors.front(), extra);
+  EXPECT_GT(sim.reconverge(), 0);
+  const ReferenceBgpSimulator ref(topology);
+  for (const topo::Device& device : topology.devices()) {
+    ASSERT_EQ(sim.rib(device.id), ref.rib(device.id)) << device.name;
+  }
+  EXPECT_TRUE(sim.rib(tors.front()).contains(extra));
+}
+
+TEST(BgpReconverge, TopologyGrowthFallsBackToColdRun) {
+  Topology topology = topo::build_clos(ClosParams{.clusters = 2,
+                                                  .tors_per_cluster = 2,
+                                                  .leaves_per_cluster = 2,
+                                                  .spines_per_plane = 1,
+                                                  .regional_spines = 2});
+  BgpSimulator sim(topology);
+  // A new device+link changes the expected shape: not representable as a
+  // delta seed, so reconverge must rebuild from cold — and still be right.
+  const auto spines = topology.devices_with_role(DeviceRole::kSpine);
+  const DeviceId extra = topology.add_device(
+      "extra-regional", DeviceRole::kRegionalSpine, 63099);
+  topology.add_link(extra, spines.front());
+  EXPECT_GT(sim.reconverge(), 0);
+  const ReferenceBgpSimulator ref(topology);
+  for (const topo::Device& device : topology.devices()) {
+    ASSERT_EQ(sim.rib(device.id), ref.rib(device.id)) << device.name;
+  }
+}
+
+// Regression for the historical convergence check that ignored
+// origin_datacenter: entries differing only in origin must compare unequal,
+// so an origin flip re-triggers propagation and regional-spine hairpin
+// suppression never acts on a stale origin.
+TEST(RibEntryEquality, OriginDatacenterIsPartOfEquality) {
+  RibEntry a{.prefix = net::Prefix::parse("10.0.0.0/24"),
+             .as_path = {64500, 63000},
+             .next_hops = {3},
+             .connected = false,
+             .origin_datacenter = 0};
+  RibEntry b = a;
+  EXPECT_EQ(a, b);
+  b.origin_datacenter = 1;
+  EXPECT_NE(a, b);
+  EXPECT_NE(Rib({a}), Rib({b}));
+}
+
+TEST(RibLookup, FindAtContains) {
+  const auto p1 = net::Prefix::parse("10.0.0.0/24");
+  const auto p2 = net::Prefix::parse("10.0.1.0/24");
+  const Rib rib({RibEntry{.prefix = p2}, RibEntry{.prefix = p1}});
+  ASSERT_EQ(rib.size(), 2u);
+  EXPECT_EQ(rib.begin()->prefix, std::min(p1, p2));  // sorted on construction
+  EXPECT_TRUE(rib.contains(p1));
+  EXPECT_EQ(rib.at(p2).prefix, p2);
+  EXPECT_EQ(rib.find(net::Prefix::parse("10.9.9.0/24")), nullptr);
+  EXPECT_THROW(static_cast<void>(rib.at(net::Prefix::default_route())),
+               InvalidArgument);
+}
+
+// The acceptance criterion for SimulatorFibSource: repeated fetches serve
+// the cached materialization; a reconverge rebuilds only the devices whose
+// RIB actually changed.
+TEST(FibCache, FetchesServeCachedTablesAcrossCycles) {
+  Topology topology = topo::build_clos(ClosParams{.clusters = 3,
+                                                  .tors_per_cluster = 3,
+                                                  .leaves_per_cluster = 3,
+                                                  .spines_per_plane = 2,
+                                                  .regional_spines = 4});
+  FaultInjector injector(topology, /*seed=*/9);
+  obs::MetricsRegistry registry;
+  BgpSimulator sim(topology, &injector, &registry);
+  const rcdc::SimulatorFibSource source(sim);
+
+  const auto& rebuilds =
+      registry.counter("dcv_bgp_fib_rebuilds_total", "");
+  const auto& hits = registry.counter("dcv_bgp_fib_cache_hits_total", "");
+  const std::size_t n = topology.device_count();
+
+  // Two full pipeline cycles: every table is built exactly once.
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (DeviceId d = 0; d < n; ++d) (void)source.fetch(d);
+  }
+  EXPECT_EQ(rebuilds.value(), n);
+  EXPECT_EQ(hits.value(), n);
+
+  // One link fault + warm reconverge: only affected devices rebuild.
+  injector.random_link_failures(1);
+  EXPECT_GT(sim.reconverge(), 0);
+  for (DeviceId d = 0; d < n; ++d) (void)source.fetch(d);
+  const std::uint64_t after_fault = rebuilds.value();
+  EXPECT_GT(after_fault, n);       // something was invalidated
+  EXPECT_LT(after_fault, 2 * n);   // but nowhere near the whole fleet
+
+  // A FIB-programming fault flips a device's table without touching RIBs:
+  // exactly that one device rebuilds.
+  const auto tors = topology.devices_with_role(DeviceRole::kTor);
+  injector.device_fault(tors.front(),
+                        DeviceFaultKind::kEcmpSingleNextHop);
+  EXPECT_EQ(sim.reconverge(), 0);  // no routing change
+  for (DeviceId d = 0; d < n; ++d) (void)source.fetch(d);
+  EXPECT_EQ(rebuilds.value(), after_fault + 1);
+}
+
+// ---------------------------------------------------------------------------
+// BgpParallel.* — exercised under ThreadSanitizer in CI.
+
+TEST(BgpParallel, DeterministicAcrossThreadCounts) {
+  Topology topology = topo::build_clos(ClosParams{.clusters = 4,
+                                                  .tors_per_cluster = 4,
+                                                  .leaves_per_cluster = 4,
+                                                  .spines_per_plane = 2,
+                                                  .regional_spines = 4});
+  const BgpSimulator serial(topology, nullptr, nullptr,
+                            BgpSimOptions{.threads = 1});
+  const BgpSimulator parallel(topology, nullptr, nullptr,
+                              BgpSimOptions{.threads = 8,
+                                            .parallel_threshold = 1});
+  ASSERT_EQ(serial.rounds(), parallel.rounds());
+  for (const topo::Device& device : topology.devices()) {
+    ASSERT_EQ(serial.rib(device.id), parallel.rib(device.id)) << device.name;
+  }
+}
+
+TEST(BgpParallel, ReconvergeChurnWithConcurrentFibFetches) {
+  Topology topology = topo::build_clos(ClosParams{.clusters = 4,
+                                                  .tors_per_cluster = 3,
+                                                  .leaves_per_cluster = 3,
+                                                  .spines_per_plane = 2,
+                                                  .regional_spines = 4});
+  FaultInjector injector(topology, /*seed=*/21);
+  BgpSimulator sim(topology, &injector, nullptr,
+                   BgpSimOptions{.threads = 4, .parallel_threshold = 1});
+  std::mt19937_64 rng(21);
+  for (int round = 0; round < 5; ++round) {
+    churn_step(topology, injector, rng);
+    sim.reconverge();
+    // Converged state is immutable until the next reconverge: hammer the
+    // striped FIB cache from several threads at once.
+    std::vector<std::thread> fetchers;
+    for (int t = 0; t < 4; ++t) {
+      fetchers.emplace_back([&sim, &topology, t] {
+        for (std::size_t d = 0; d < topology.device_count(); ++d) {
+          const auto& fib =
+              sim.fib(static_cast<DeviceId>((d + t) %
+                                            topology.device_count()));
+          ASSERT_GE(fib.rules().size(), 0u);
+        }
+      });
+    }
+    for (std::thread& f : fetchers) f.join();
+  }
+  const ReferenceBgpSimulator ref(topology, &injector);
+  for (const topo::Device& device : topology.devices()) {
+    ASSERT_EQ(sim.rib(device.id), ref.rib(device.id)) << device.name;
+  }
+}
+
+}  // namespace
+}  // namespace dcv::routing

@@ -48,7 +48,7 @@ TEST_P(BgpInvariants, AsPathsAreLoopFree) {
   const auto topology = topo::build_clos(params());
   const BgpSimulator sim(topology);
   for (const topo::Device& device : topology.devices()) {
-    for (const auto& [prefix, entry] : sim.rib(device.id)) {
+    for (const RibEntry& entry : sim.rib(device.id)) {
       // No ASN may repeat in a selected path — except the reused ToR ASN,
       // which the allowas-in configuration admits at the receiving ToR
       // only (§2.1); even there a single path never contains the same
@@ -61,7 +61,7 @@ TEST_P(BgpInvariants, AsPathsAreLoopFree) {
           continue;  // allowas-in at the ToR
         }
         EXPECT_LE(seen.count(asn), 1u)
-            << device.name << " " << prefix.to_string();
+            << device.name << " " << entry.prefix.to_string();
       }
     }
   }
@@ -73,14 +73,14 @@ TEST_P(BgpInvariants, PathLengthsMatchArchitecturalDistance) {
   const rcdc::LocalValidationFramework framework(metadata);
   const BgpSimulator sim(topology);
   for (const topo::Device& device : topology.devices()) {
-    for (const auto& [prefix, entry] : sim.rib(device.id)) {
-      if (prefix.is_default() || entry.connected) continue;
-      const auto rank = framework.delta(prefix, device.id);
+    for (const RibEntry& entry : sim.rib(device.id)) {
+      if (entry.prefix.is_default() || entry.connected) continue;
+      const auto rank = framework.delta(entry.prefix, device.id);
       if (!rank) continue;
       // The selected AS-path (own ASN + traversed ASNs) spans exactly the
       // architectural distance to the hosting ToR.
       EXPECT_EQ(entry.as_path.size(), static_cast<std::size_t>(*rank) + 1)
-          << device.name << " " << prefix.to_string();
+          << device.name << " " << entry.prefix.to_string();
     }
   }
 }
@@ -143,6 +143,43 @@ TEST_P(BgpInvariants, FaultsOnlyEverShrinkNextHopSets) {
                                 rule.next_hops.end()))
           << device.name << " " << rule.prefix.to_string();
     }
+  }
+}
+
+TEST_P(BgpInvariants, NextHopsAreCanonicallyOrdered) {
+  // ECMP next-hop sets come out of selection in canonical order on every
+  // device and prefix — the determinism argument for the parallel frontier
+  // rests on selection being order-independent.
+  const auto topology = topo::build_clos(params());
+  const BgpSimulator sim(topology);
+  for (const topo::Device& device : topology.devices()) {
+    for (const RibEntry& entry : sim.rib(device.id)) {
+      auto canonical = entry.next_hops;
+      canonicalize(canonical);
+      EXPECT_EQ(entry.next_hops, canonical)
+          << device.name << " " << entry.prefix.to_string();
+    }
+  }
+}
+
+TEST_P(BgpInvariants, ReconvergeAfterLinkFlapsEqualsColdRun) {
+  // Warm-starting from fault sites reaches the same fixpoint as a cold run
+  // on the mutated topology — across shapes and a burst of random flaps.
+  auto topology = topo::build_clos(params());
+  topo::FaultInjector faults(topology, /*seed=*/GetParam().clusters * 31 +
+                                           GetParam().regionals);
+  BgpSimulator warm(topology, &faults);
+  faults.random_link_failures(2);
+  faults.random_bgp_shutdowns(1);
+  warm.reconverge();
+  if (!faults.records().empty()) {
+    faults.repair(0);  // one flap back up
+    warm.reconverge();
+  }
+  const BgpSimulator cold(topology, &faults);
+  for (const topo::Device& device : topology.devices()) {
+    ASSERT_EQ(warm.rib(device.id), cold.rib(device.id)) << device.name;
+    ASSERT_EQ(warm.fib(device.id), cold.fib(device.id)) << device.name;
   }
 }
 
