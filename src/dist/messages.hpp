@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/wire.hpp"
+#include "rcdc/contract.hpp"
+
+namespace dcv::dist {
+
+/// Protocol revision carried inside kHello, independent of the frame
+/// version: the frame layer can stay at v1 while message payloads evolve.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// worker → coordinator on connect.
+struct HelloMsg {
+  std::string worker_id;
+  std::uint32_t protocol = kProtocolVersion;
+  /// Epoch of the expected topology the worker loaded; the coordinator
+  /// refuses workers validating against a different architecture.
+  std::uint64_t topology_epoch = 0;
+};
+
+/// coordinator → worker acknowledging the hello.
+struct WelcomeMsg {
+  std::uint64_t heartbeat_interval_ns = 0;
+  std::uint64_t lease_ns = 0;
+};
+
+/// One device's work item inside an assignment: the device plus the
+/// contracts the coordinator's plan derived for it (contract planning is
+/// coordinator-owned; workers never re-derive intent).
+struct DeviceWork {
+  topo::DeviceId device = topo::kInvalidDevice;
+  std::vector<rcdc::Contract> contracts;
+};
+
+/// coordinator → worker: one shard to fetch and validate.
+struct AssignMsg {
+  std::uint32_t shard_id = 0;
+  /// 0-based delivery attempt; results echo it so a late answer from a
+  /// worker the coordinator already gave up on is recognizably stale.
+  std::uint32_t attempt = 0;
+  std::uint64_t plan_epoch = 0;
+  std::vector<DeviceWork> devices;
+};
+
+/// worker → coordinator while validating: renews the shard lease.
+struct HeartbeatMsg {
+  std::uint32_t shard_id = 0;
+  std::uint32_t attempt = 0;
+  std::uint32_t devices_done = 0;
+};
+
+/// worker → coordinator: everything the coordinator needs to merge one
+/// validated shard into the run: summary counts, the violations
+/// themselves, per-device FIB fingerprints (for cross-cycle change
+/// detection at the coordinator), and the worker's serialized
+/// obs::MetricsRegistry (dcv-metrics-v1, possibly empty).
+struct ResultMsg {
+  std::uint32_t shard_id = 0;
+  std::uint32_t attempt = 0;
+  std::uint64_t devices_checked = 0;
+  std::uint64_t contracts_checked = 0;
+  std::uint64_t devices_failed = 0;
+  std::uint64_t devices_stale = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t violations_degraded = 0;
+  std::uint64_t elapsed_ns = 0;
+  std::vector<rcdc::Violation> violations;
+  /// (device, fingerprint) pairs for every device that yielded a table.
+  std::vector<std::pair<topo::DeviceId, std::uint64_t>> fingerprints;
+  std::vector<std::uint8_t> registry_blob;
+};
+
+// Encoders produce a complete Frame (payload + type); decoders parse a
+// frame payload and return nullopt on any malformed input — wrong counts,
+// truncation, out-of-range enum values, prefix lengths beyond /32 — never
+// throwing and never reading out of bounds.
+
+[[nodiscard]] Frame encode(const HelloMsg& msg);
+[[nodiscard]] Frame encode(const WelcomeMsg& msg);
+[[nodiscard]] Frame encode(const AssignMsg& msg);
+[[nodiscard]] Frame encode(const HeartbeatMsg& msg);
+[[nodiscard]] Frame encode(const ResultMsg& msg);
+[[nodiscard]] Frame encode_shutdown();
+
+[[nodiscard]] std::optional<HelloMsg> decode_hello(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<WelcomeMsg> decode_welcome(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<AssignMsg> decode_assign(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<HeartbeatMsg> decode_heartbeat(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<ResultMsg> decode_result(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace dcv::dist

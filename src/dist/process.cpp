@@ -1,0 +1,113 @@
+#include "dist/process.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace dcv::dist {
+
+namespace {
+
+volatile std::sig_atomic_t g_child_exited = 0;
+
+extern "C" void on_sigchld(int) { g_child_exited = 1; }
+
+}  // namespace
+
+void install_fleet_signal_handlers() {
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction action{};
+  action.sa_handler = on_sigchld;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: reaping happens from the serve loop, not the handler; no
+  // syscall in the coordinator should fail with EINTR just because a
+  // worker died.
+  action.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+  ::sigaction(SIGCHLD, &action, nullptr);
+}
+
+bool child_exit_pending() { return g_child_exited != 0; }
+
+WorkerFleet::WorkerFleet(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    exits_clean_ = &metrics->counter("dcv_dist_worker_exits_total",
+                                     "Worker process exits, by kind",
+                                     {{"reason", "exit0"}});
+    exits_error_ = &metrics->counter("dcv_dist_worker_exits_total",
+                                     "Worker process exits, by kind",
+                                     {{"reason", "exit"}});
+    exits_signal_ = &metrics->counter("dcv_dist_worker_exits_total",
+                                      "Worker process exits, by kind",
+                                      {{"reason", "signal"}});
+  }
+}
+
+WorkerFleet::~WorkerFleet() {
+  kill_all(SIGKILL);
+  // Blocking reap on teardown only: every child is already dead or dying.
+  for (const pid_t pid : pids_) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  pids_.clear();
+}
+
+pid_t WorkerFleet::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) return -1;
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    raw.push_back(const_cast<char*>(arg.c_str()));
+  }
+  raw.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::execv(raw[0], raw.data());
+    // exec failed: exit the child without running parent atexit handlers.
+    ::_exit(127);
+  }
+  pids_.push_back(pid);
+  return pid;
+}
+
+std::vector<WorkerExit> WorkerFleet::reap() {
+  g_child_exited = 0;
+  std::vector<WorkerExit> exits;
+  for (auto it = pids_.begin(); it != pids_.end();) {
+    int status = 0;
+    const pid_t done = ::waitpid(*it, &status, WNOHANG);
+    if (done != *it) {
+      ++it;
+      continue;
+    }
+    WorkerExit exit;
+    exit.pid = done;
+    if (WIFSIGNALED(status)) {
+      exit.reason = "signal";
+      exit.code = WTERMSIG(status);
+      if (exits_signal_ != nullptr) exits_signal_->inc();
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      exit.reason = "exit0";
+      exit.code = 0;
+      if (exits_clean_ != nullptr) exits_clean_->inc();
+    } else {
+      exit.reason = "exit";
+      exit.code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      if (exits_error_ != nullptr) exits_error_->inc();
+    }
+    exits.push_back(std::move(exit));
+    it = pids_.erase(it);
+  }
+  return exits;
+}
+
+void WorkerFleet::kill_all(int signum) {
+  for (const pid_t pid : pids_) {
+    ::kill(pid, signum);
+  }
+}
+
+}  // namespace dcv::dist

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dcv::dist {
+
+/// One reaped child: how it left and with what.
+struct WorkerExit {
+  pid_t pid = -1;
+  /// "exit0" (clean), "exit" (nonzero status), "signal" (killed).
+  std::string reason;
+  /// Exit status for "exit0"/"exit", signal number for "signal".
+  int code = 0;
+};
+
+/// Installs the coordinator-process signal discipline (idempotent,
+/// process-global): SIGPIPE ignored — a worker dying mid-write must
+/// surface as a send() error on its transport, not kill the coordinator —
+/// and SIGCHLD noted in a flag so the serve loop knows to reap.
+void install_fleet_signal_handlers();
+
+/// True once any SIGCHLD arrived since the last reap() — cheap hint, not
+/// a requirement: reap() is safe to call any time.
+[[nodiscard]] bool child_exit_pending();
+
+/// Local worker processes under one coordinator: fork/exec, reap, kill.
+/// Reaping classifies every exit and (when instrumented) counts it in
+/// dcv_dist_worker_exits_total{reason=exit0|exit|signal}, so operator
+/// dashboards separate clean drains from crash loops. Not thread-safe;
+/// owned by the coordinator's main loop.
+class WorkerFleet {
+ public:
+  /// `metrics`, when non-null, must outlive the fleet.
+  explicit WorkerFleet(obs::MetricsRegistry* metrics = nullptr);
+  /// Kills (SIGKILL) and reaps anything still running.
+  ~WorkerFleet();
+
+  WorkerFleet(const WorkerFleet&) = delete;
+  WorkerFleet& operator=(const WorkerFleet&) = delete;
+
+  /// Spawns `argv[0]` with the given argument list. Returns the pid, or
+  /// -1 when fork/exec fails.
+  pid_t spawn(const std::vector<std::string>& argv);
+
+  /// Reaps every already-exited child without blocking (waitpid WNOHANG);
+  /// no zombies survive a serve loop that calls this periodically.
+  std::vector<WorkerExit> reap();
+
+  /// Children spawned and not yet reaped.
+  [[nodiscard]] std::size_t alive() const { return pids_.size(); }
+  [[nodiscard]] const std::vector<pid_t>& pids() const { return pids_; }
+
+  /// Signals every live child (best effort).
+  void kill_all(int signum);
+
+ private:
+  std::vector<pid_t> pids_;
+  obs::Counter* exits_clean_ = nullptr;
+  obs::Counter* exits_error_ = nullptr;
+  obs::Counter* exits_signal_ = nullptr;
+};
+
+}  // namespace dcv::dist

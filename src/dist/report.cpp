@@ -1,0 +1,50 @@
+#include "dist/report.hpp"
+
+#include <sstream>
+
+namespace dcv::dist {
+
+std::string write_distributed_report_json(const DistributedSummary& summary,
+                                          const topo::Topology& topology,
+                                          const rcdc::ReportOptions& options) {
+  std::ostringstream out;
+  const char* nl = options.pretty ? "\n" : "";
+  const char* in1 = options.pretty ? "  " : "";
+  const char* in2 = options.pretty ? "    " : "";
+  const char* in3 = options.pretty ? "      " : "";
+
+  out << "{" << nl;
+  out << in1 << "\"distributed\": {" << nl;
+  out << in2 << "\"workers_connected\": " << summary.workers_connected << ","
+      << nl;
+  out << in2 << "\"workers_lost\": " << summary.workers_lost << "," << nl;
+  out << in2 << "\"shards_failed\": " << summary.shards_failed << "," << nl;
+  out << in2 << "\"reassignments\": " << summary.reassignments << "," << nl;
+  out << in2 << "\"coverage\": " << summary.coverage() << "," << nl;
+  out << in2 << "\"degraded\": " << (summary.degraded() ? "true" : "false")
+      << "," << nl;
+  out << in2 << "\"shards\": [";
+  bool first = true;
+  for (const ShardOutcome& shard : summary.shards) {
+    if (!first) out << ",";
+    first = false;
+    out << nl << in3 << "{"
+        << "\"shard\": " << shard.shard_id << ", "
+        << "\"worker\": \"" << rcdc::json_escape(shard.worker) << "\", "
+        << "\"devices\": " << shard.devices << ", "
+        << "\"attempts\": " << shard.attempts << ", "
+        << "\"status\": \"" << to_string(shard.status) << "\", "
+        << "\"degraded_confidence\": "
+        << (shard.degraded_confidence ? "true" : "false") << "}";
+  }
+  out << nl << in2 << "]" << nl;
+  out << in1 << "}," << nl;
+  std::string inner =
+      rcdc::write_report_json(summary.merged, topology, options);
+  while (!inner.empty() && inner.back() == '\n') inner.pop_back();
+  out << in1 << "\"validation\": " << inner;
+  out << nl << "}" << nl;
+  return out.str();
+}
+
+}  // namespace dcv::dist

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "dist/coordinator.hpp"
+#include "rcdc/report_io.hpp"
+
+namespace dcv::dist {
+
+/// Renders one distributed cycle as JSON: the merged validation report
+/// (same schema as single-process write_report_json, so downstream
+/// consumers need no new parser) wrapped with a "distributed" object —
+/// fleet counters, per-shard outcomes, and the degraded_confidence marks
+/// operators use to decide which verdicts deserve a fresh-pull recheck.
+[[nodiscard]] std::string write_distributed_report_json(
+    const DistributedSummary& summary, const topo::Topology& topology,
+    const rcdc::ReportOptions& options = {});
+
+}  // namespace dcv::dist

@@ -1,0 +1,202 @@
+#include "dist/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace dcv::dist {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd, std::string peer, TcpTransportConfig config)
+    : fd_(fd), peer_(std::move(peer)), config_(config) {
+  set_nonblocking(fd_);
+  set_nodelay(fd_);
+}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TcpTransport::send(const Frame& frame) {
+  if (closed_) return false;
+  if (frame.payload.size() > kMaxPayload) {
+    // The peer would reject this as a fatal framing error anyway; failing
+    // the send keeps the stream clean and surfaces the bug at the sender.
+    return false;
+  }
+  const std::vector<std::uint8_t> encoded = encode_frame(frame);
+  std::size_t sent = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        config_.send_timeout;
+  while (sent < encoded.size()) {
+    const ssize_t n = ::send(fd_, encoded.data() + sent, encoded.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        closed_ = true;
+        return false;
+      }
+      struct pollfd pfd{fd_, POLLOUT, 0};
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - now);
+      ::poll(&pfd, 1, static_cast<int>(std::max<std::int64_t>(
+                          1, left.count())));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    closed_ = true;  // EPIPE/ECONNRESET: the peer is gone
+    return false;
+  }
+  return true;
+}
+
+void TcpTransport::fill_from_socket() {
+  std::uint8_t chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      recv_buffer_.insert(recv_buffer_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    closed_ = true;  // n == 0: orderly EOF; n < 0: reset — both terminal
+    return;
+  }
+}
+
+std::optional<Frame> TcpTransport::poll() {
+  if (decoded_.empty() && !closed_) fill_from_socket();
+  // Decode everything bufferable, even after close: a worker that sent its
+  // result and then died must still deliver that result.
+  while (!recv_buffer_.empty()) {
+    DecodeResult result = try_decode_frame(recv_buffer_);
+    if (result.ok()) {
+      decoded_.push_back(std::move(*result.frame));
+      recv_buffer_.erase(recv_buffer_.begin(),
+                         recv_buffer_.begin() +
+                             static_cast<std::ptrdiff_t>(result.consumed));
+      continue;
+    }
+    if (result.error == DecodeError::kNeedMoreData) break;
+    // Fatal framing error: the stream cannot be resynced.
+    last_error_ = result.error;
+    closed_ = true;
+    recv_buffer_.clear();
+    break;
+  }
+  if (decoded_.empty()) return std::nullopt;
+  Frame frame = std::move(decoded_.front());
+  decoded_.pop_front();
+  return frame;
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd_, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(saved, std::generic_category(), "bind/listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  set_nonblocking(fd_);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpTransport> TcpListener::accept(
+    std::chrono::milliseconds timeout) {
+  struct pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (ready <= 0) return nullptr;
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  const int client = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (client < 0) return nullptr;
+  char text[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &addr.sin_addr, text, sizeof text);
+  return std::make_unique<TcpTransport>(
+      client, std::string(text) + ":" + std::to_string(ntohs(addr.sin_port)));
+}
+
+std::unique_ptr<TcpTransport> connect_tcp(const std::string& host,
+                                          std::uint16_t port,
+                                          std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return nullptr;
+  }
+  set_nonblocking(fd);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof addr);
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  if (rc < 0) {
+    struct pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, static_cast<int>(timeout.count())) <= 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    int error = 0;
+    socklen_t len = sizeof error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) < 0 ||
+        error != 0) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  return std::make_unique<TcpTransport>(
+      fd, host + ":" + std::to_string(port));
+}
+
+}  // namespace dcv::dist

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/wire.hpp"
+
+namespace dcv::dist {
+
+/// One frame-oriented, order-preserving channel to a peer. Implementations:
+/// TcpTransport for real coordinator↔worker links, and the test-only
+/// in-process transports in tests/dist (scripted crash/hang/partition),
+/// which is how the coordinator's failure handling is unit-tested without
+/// wall sleeps or real processes.
+///
+/// Not thread-safe; each endpoint is owned by one event loop.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Queues/writes one frame. Returns false when the peer is gone (broken
+  /// pipe, bounded send budget exhausted); the transport is closed then.
+  [[nodiscard]] virtual bool send(const Frame& frame) = 0;
+
+  /// Returns the next complete frame if one is available without waiting;
+  /// nullopt otherwise. A fatal stream error (EOF, reset, framing error)
+  /// flips closed() — frames decoded before the error are still drained
+  /// first, so a result followed by a crash is not lost.
+  [[nodiscard]] virtual std::optional<Frame> poll() = 0;
+
+  /// The peer is definitively gone; poll() can still drain decoded frames.
+  [[nodiscard]] virtual bool closed() const = 0;
+
+  /// Label for logs and metrics ("w0", "127.0.0.1:4219").
+  [[nodiscard]] virtual std::string peer() const = 0;
+};
+
+struct TcpTransportConfig {
+  /// Bounded budget for one send() — a wedged peer fails the send (and
+  /// closes the transport) instead of blocking the event loop forever.
+  std::chrono::milliseconds send_timeout{5000};
+};
+
+/// Frame transport over a connected TCP socket (non-blocking reads,
+/// poll()-bounded writes, TCP_NODELAY, SIGPIPE suppressed at the socket).
+class TcpTransport final : public Transport {
+ public:
+  /// Takes ownership of a connected socket fd.
+  TcpTransport(int fd, std::string peer, TcpTransportConfig config = {});
+  ~TcpTransport() override;
+
+  [[nodiscard]] bool send(const Frame& frame) override;
+  [[nodiscard]] std::optional<Frame> poll() override;
+  [[nodiscard]] bool closed() const override { return closed_; }
+  [[nodiscard]] std::string peer() const override { return peer_; }
+
+  /// The decode error that killed the stream, if any (for logs/metrics).
+  [[nodiscard]] std::optional<DecodeError> last_error() const {
+    return last_error_;
+  }
+
+ private:
+  void fill_from_socket();
+
+  int fd_;
+  std::string peer_;
+  TcpTransportConfig config_;
+  bool closed_ = false;
+  std::optional<DecodeError> last_error_;
+  std::vector<std::uint8_t> recv_buffer_;
+  std::deque<Frame> decoded_;
+};
+
+/// Listening socket accepting worker connections for a coordinator.
+/// Loopback-only by design: cross-host deployment should front this with
+/// real transport security, which is out of scope here.
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:port (0 = ephemeral; read the bound
+  /// port back with port()). Throws std::system_error on bind failure.
+  explicit TcpListener(std::uint16_t port, int backlog = 16);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Accepts one connection, waiting at most `timeout`; nullptr on timeout.
+  [[nodiscard]] std::unique_ptr<TcpTransport> accept(
+      std::chrono::milliseconds timeout);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to a coordinator at 127.0.0.1:port (or `host`); nullptr on
+/// refusal/timeout — callers own the retry/backoff loop (see
+/// WorkerMain/ReconnectPolicy).
+[[nodiscard]] std::unique_ptr<TcpTransport> connect_tcp(
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds timeout);
+
+}  // namespace dcv::dist

@@ -1,0 +1,126 @@
+#include "dist/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "net/bytes.hpp"
+
+namespace dcv::dist {
+
+std::string_view to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kWelcome:
+      return "welcome";
+    case MsgType::kAssign:
+      return "assign";
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kResult:
+      return "result";
+    case MsgType::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+std::string_view to_string(DecodeError error) {
+  switch (error) {
+    case DecodeError::kNeedMoreData:
+      return "need-more-data";
+    case DecodeError::kBadMagic:
+      return "bad-magic";
+    case DecodeError::kBadVersion:
+      return "bad-version";
+    case DecodeError::kOversized:
+      return "oversized";
+    case DecodeError::kBadChecksum:
+      return "bad-checksum";
+    case DecodeError::kUnknownType:
+      return "unknown-type";
+  }
+  return "?";
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+bool known_type(std::uint16_t type) {
+  return type >= static_cast<std::uint16_t>(MsgType::kHello) &&
+         type <= static_cast<std::uint16_t>(MsgType::kShutdown);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  net::ByteWriter writer;
+  writer.u32(kWireMagic);
+  writer.u16(kWireVersion);
+  writer.u16(static_cast<std::uint16_t>(frame.type));
+  writer.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  writer.raw(frame.payload);
+  // CRC over everything after the magic: version, type, length, payload.
+  const auto& bytes = writer.buffer();
+  writer.u32(crc32(std::span(bytes).subspan(4, bytes.size() - 4)));
+  return writer.take();
+}
+
+DecodeResult try_decode_frame(std::span<const std::uint8_t> buffer) {
+  const auto fatal = [&](DecodeError error) {
+    return DecodeResult{.error = error, .consumed = buffer.size()};
+  };
+  if (buffer.size() < kFrameOverhead) {
+    return DecodeResult{.error = DecodeError::kNeedMoreData};
+  }
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t type = 0;
+  std::uint32_t length = 0;
+  std::memcpy(&magic, buffer.data(), 4);
+  std::memcpy(&version, buffer.data() + 4, 2);
+  std::memcpy(&type, buffer.data() + 6, 2);
+  std::memcpy(&length, buffer.data() + 8, 4);
+  if (magic != kWireMagic) return fatal(DecodeError::kBadMagic);
+  if (version != kWireVersion) return fatal(DecodeError::kBadVersion);
+  if (length > kMaxPayload) return fatal(DecodeError::kOversized);
+  const std::size_t total = kFrameOverhead + length;
+  if (buffer.size() < total) {
+    return DecodeResult{.error = DecodeError::kNeedMoreData};
+  }
+  std::uint32_t declared_crc = 0;
+  std::memcpy(&declared_crc, buffer.data() + 12 + length, 4);
+  if (crc32(buffer.subspan(4, 8 + length)) != declared_crc) {
+    return fatal(DecodeError::kBadChecksum);
+  }
+  // Type is validated after the checksum: a random unknown-type value with
+  // a valid CRC is a genuine protocol mismatch, not line noise.
+  if (!known_type(type)) return fatal(DecodeError::kUnknownType);
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.assign(buffer.begin() + 12,
+                       buffer.begin() + 12 + static_cast<std::ptrdiff_t>(length));
+  return DecodeResult{.frame = std::move(frame), .consumed = total};
+}
+
+}  // namespace dcv::dist

@@ -1,0 +1,146 @@
+#include "dist/worker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics_serde.hpp"
+#include "rcdc/incremental.hpp"
+
+namespace dcv::dist {
+
+WorkerSession::WorkerSession(const rcdc::FibSource& fibs,
+                             rcdc::VerifierFactory verifier_factory,
+                             WorkerSessionConfig config)
+    : fibs_(&fibs),
+      verifier_factory_(std::move(verifier_factory)),
+      config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : &default_clock_) {}
+
+SessionEnd WorkerSession::run(Transport& transport) {
+  HelloMsg hello;
+  hello.worker_id = config_.id;
+  hello.topology_epoch = config_.topology_epoch;
+  if (!transport.send(encode(hello))) return SessionEnd::kConnectionLost;
+
+  // Wait for the welcome (bounded): the coordinator may instead reject us
+  // by closing the connection.
+  std::chrono::nanoseconds heartbeat_interval{0};
+  const auto handshake_deadline = clock_->now() + config_.handshake_deadline;
+  while (true) {
+    std::optional<Frame> frame = transport.poll();
+    if (frame.has_value()) {
+      if (frame->type != MsgType::kWelcome) return SessionEnd::kConnectionLost;
+      const std::optional<WelcomeMsg> welcome = decode_welcome(frame->payload);
+      if (!welcome.has_value()) return SessionEnd::kConnectionLost;
+      heartbeat_interval =
+          std::chrono::nanoseconds(welcome->heartbeat_interval_ns);
+      break;
+    }
+    if (transport.closed() || clock_->now() >= handshake_deadline) {
+      return SessionEnd::kConnectionLost;
+    }
+    clock_->sleep_for(config_.poll_interval);
+  }
+
+  while (true) {
+    std::optional<Frame> frame = transport.poll();
+    if (!frame.has_value()) {
+      if (transport.closed()) return SessionEnd::kConnectionLost;
+      clock_->sleep_for(config_.poll_interval);
+      continue;
+    }
+    switch (frame->type) {
+      case MsgType::kShutdown:
+        return SessionEnd::kShutdown;
+      case MsgType::kAssign: {
+        const std::optional<AssignMsg> assignment =
+            decode_assign(frame->payload);
+        if (!assignment.has_value()) return SessionEnd::kConnectionLost;
+        if (!validate_shard(*assignment, transport, heartbeat_interval)) {
+          return SessionEnd::kConnectionLost;
+        }
+        break;
+      }
+      default:
+        // Welcome replays and worker-role frames are protocol noise; the
+        // connection is the recovery unit.
+        return SessionEnd::kConnectionLost;
+    }
+  }
+}
+
+bool WorkerSession::validate_shard(
+    const AssignMsg& assignment, Transport& transport,
+    std::chrono::nanoseconds heartbeat_interval) {
+  const auto start = clock_->now();
+  auto last_heartbeat = start;
+  const auto verifier = verifier_factory_();
+
+  ResultMsg result;
+  result.shard_id = assignment.shard_id;
+  result.attempt = assignment.attempt;
+  result.devices_checked = assignment.devices.size();
+
+  const std::chrono::nanoseconds scaled_latency{
+      static_cast<std::int64_t>(std::llround(
+          static_cast<double>(config_.fetch_latency.count()) *
+          std::max(0.0, config_.time_scale)))};
+
+  std::uint32_t done = 0;
+  for (const DeviceWork& work : assignment.devices) {
+    if (heartbeat_interval.count() > 0 &&
+        clock_->now() - last_heartbeat >= heartbeat_interval) {
+      HeartbeatMsg heartbeat;
+      heartbeat.shard_id = assignment.shard_id;
+      heartbeat.attempt = assignment.attempt;
+      heartbeat.devices_done = done;
+      if (!transport.send(encode(heartbeat))) return false;
+      last_heartbeat = clock_->now();
+    }
+    ++done;
+    if (work.contracts.empty()) continue;
+    rcdc::FetchOutcome outcome = fibs_->try_fetch(work.device);
+    if (scaled_latency.count() > 0) clock_->sleep_for(scaled_latency);
+    if (outcome.attempts > 1) result.retries += outcome.attempts - 1;
+    if (outcome.breaker_tripped) ++result.breaker_opens;
+    if (!outcome.has_table()) {
+      ++result.devices_failed;
+      continue;
+    }
+    if (outcome.stale) ++result.devices_stale;
+    result.fingerprints.emplace_back(work.device,
+                                     rcdc::fingerprint(*outcome.table));
+    auto violations =
+        verifier->check(*outcome.table, work.contracts, work.device);
+    result.contracts_checked += work.contracts.size();
+    if (outcome.degraded()) result.violations_degraded += violations.size();
+    result.violations.insert(result.violations.end(),
+                             std::make_move_iterator(violations.begin()),
+                             std::make_move_iterator(violations.end()));
+  }
+
+  result.elapsed_ns =
+      static_cast<std::uint64_t>((clock_->now() - start).count());
+  if (config_.metrics != nullptr) {
+    result.registry_blob = obs::serialize_registry(*config_.metrics);
+  }
+  if (!transport.send(encode(result))) return false;
+  ++shards_validated_;
+  return true;
+}
+
+std::chrono::nanoseconds reconnect_backoff(const ReconnectPolicy& policy,
+                                           std::uint32_t attempt) {
+  if (attempt <= 1) return std::chrono::nanoseconds{0};
+  double backoff = static_cast<double>(policy.initial_backoff.count());
+  for (std::uint32_t i = 2; i < attempt; ++i) {
+    backoff *= policy.multiplier;
+    if (backoff >= static_cast<double>(policy.max_backoff.count())) break;
+  }
+  const double capped =
+      std::min(backoff, static_cast<double>(policy.max_backoff.count()));
+  return std::chrono::nanoseconds{static_cast<std::int64_t>(capped)};
+}
+
+}  // namespace dcv::dist

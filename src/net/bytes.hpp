@@ -1,0 +1,127 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcv::net {
+
+/// Append-only little-endian byte encoder for the binary interchange
+/// formats (dist wire frames, serialized metrics registries). Fixed-width
+/// integers only — the decoding side must be able to bound every read
+/// before performing it, and implicit varint lengths make that harder to
+/// audit than explicit u32 counts.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed (u32) byte string.
+  void str(std::string_view v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    append(v.data(), v.size());
+  }
+  void bytes(std::span<const std::uint8_t> v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    append(v.data(), v.size());
+  }
+  /// Raw bytes, no length prefix (for payloads framed elsewhere).
+  void raw(std::span<const std::uint8_t> v) { append(v.data(), v.size()); }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const {
+    return out_;
+  }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked decoder over an immutable byte span. Every read method
+/// returns false (and leaves the output untouched) once the reader has
+/// failed or would run past the end; failure is sticky, so a decode
+/// routine can issue all its reads and check ok() once at the end. Never
+/// throws, never reads out of bounds — malformed input from the wire must
+/// degrade to a decode error, not UB (the dist fuzz corpus runs these
+/// paths under ASan+UBSan).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) { return read(&v, sizeof v); }
+  [[nodiscard]] bool u16(std::uint16_t& v) { return read(&v, sizeof v); }
+  [[nodiscard]] bool u32(std::uint32_t& v) { return read(&v, sizeof v); }
+  [[nodiscard]] bool u64(std::uint64_t& v) { return read(&v, sizeof v); }
+  [[nodiscard]] bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  [[nodiscard]] bool str(std::string& v) {
+    std::uint32_t n = 0;
+    if (!u32(n) || n > remaining()) return fail();
+    v.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] bool bytes(std::vector<std::uint8_t>& v) {
+    std::uint32_t n = 0;
+    if (!u32(n) || n > remaining()) return fail();
+    v.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  /// Reads a u32 element count and rejects counts that could not possibly
+  /// fit in the remaining bytes (each element needs ≥ min_element_bytes),
+  /// so a corrupted count cannot drive a multi-gigabyte reserve().
+  [[nodiscard]] bool count(std::uint32_t& n, std::size_t min_element_bytes) {
+    if (!u32(n)) return false;
+    if (min_element_bytes != 0 && n > remaining() / min_element_bytes) {
+      return fail();
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when the reader consumed the input exactly and never failed.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+  bool read(void* out, std::size_t n) {
+    if (!ok_ || n > remaining()) return fail();
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+static_assert(std::endian::native == std::endian::little,
+              "wire formats assume little-endian hosts");
+
+}  // namespace dcv::net

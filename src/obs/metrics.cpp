@@ -69,6 +69,22 @@ void Histogram::merge(const Histogram& other) {
   }
 }
 
+void Histogram::merge_counts(
+    const std::array<std::uint64_t, kBucketCount>& buckets,
+    std::uint64_t count, std::uint64_t sum, std::uint64_t max_value) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] != 0) {
+      buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (max_value > seen && !max_.compare_exchange_weak(
+                                 seen, max_value, std::memory_order_relaxed)) {
+  }
+}
+
 std::string_view to_string(MetricType type) {
   switch (type) {
     case MetricType::kCounter:
@@ -149,6 +165,27 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view help, Labels labels) {
   return *find_or_create(name, help, std::move(labels), MetricType::kHistogram)
               .histogram;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot first: find_or_create locks our mutex, and `other` may be
+  // `*this` only by caller error, which collect() makes safe anyway.
+  for (const Metric& metric : other.collect()) {
+    switch (metric.type) {
+      case MetricType::kCounter:
+        counter(metric.name, metric.help, metric.labels)
+            .inc(metric.counter->value());
+        break;
+      case MetricType::kGauge:
+        gauge(metric.name, metric.help, metric.labels)
+            .set(metric.gauge->value());
+        break;
+      case MetricType::kHistogram:
+        histogram(metric.name, metric.help, metric.labels)
+            .merge(*metric.histogram);
+        break;
+    }
+  }
 }
 
 std::vector<MetricsRegistry::Metric> MetricsRegistry::collect() const {

@@ -99,6 +99,13 @@ class Histogram {
   /// approximate but consistent-in-total result.
   void merge(const Histogram& other);
 
+  /// Folds exact per-bucket counts plus count/sum/max totals into this
+  /// histogram — the deserialization counterpart of merge(), used when the
+  /// other histogram lives in another process and arrived as a snapshot.
+  void merge_counts(const std::array<std::uint64_t, kBucketCount>& buckets,
+                    std::uint64_t count, std::uint64_t sum,
+                    std::uint64_t max_value);
+
   /// Bucket index a sample lands in.
   [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
   /// Largest sample value the bucket holds (inclusive).
@@ -146,6 +153,16 @@ class MetricsRegistry {
   /// All series in registration order (series of one name are adjacent the
   /// way they were registered). Values are read live through the pointers.
   [[nodiscard]] std::vector<Metric> collect() const;
+
+  /// Folds every series of `other` into this registry, creating any series
+  /// not registered here yet (same name+labels ⇒ same series). Counters and
+  /// histograms accumulate; gauges adopt the other registry's value
+  /// (last-writer-wins — gauges are point-in-time readings, and distributed
+  /// callers disambiguate by labeling per-worker series anyway). The
+  /// serialized round-trip (serialize_registry → merge_serialized) is
+  /// equivalent to this in-process merge by the metrics_serde property
+  /// tests.
+  void merge(const MetricsRegistry& other);
 
  private:
   struct Entry {

@@ -1,0 +1,171 @@
+#include "obs/metrics_serde.hpp"
+
+#include <array>
+#include <utility>
+
+#include "net/bytes.hpp"
+
+namespace dcv::obs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D564344;  // "DCVM" in LE byte order
+constexpr std::uint16_t kVersion = 1;
+
+/// A decoded series, staged before the merge so malformed input can be
+/// rejected without touching the destination registry.
+struct DecodedSeries {
+  MetricType type = MetricType::kCounter;
+  std::string name;
+  std::string help;
+  Labels labels;
+  std::uint64_t counter = 0;
+  double gauge = 0.0;
+  std::uint64_t hist_count = 0;
+  std::uint64_t hist_sum = 0;
+  std::uint64_t hist_max = 0;
+  std::array<std::uint64_t, Histogram::kBucketCount> buckets{};
+};
+
+bool decode(std::span<const std::uint8_t> blob,
+            std::vector<DecodedSeries>& out) {
+  net::ByteReader reader(blob);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  if (!reader.u32(magic) || magic != kMagic) return false;
+  if (!reader.u16(version) || version != kVersion) return false;
+  std::uint32_t series = 0;
+  // A series is at least type + two empty strings + label count = 13 bytes.
+  if (!reader.count(series, 13)) return false;
+  out.reserve(series);
+  for (std::uint32_t i = 0; i < series; ++i) {
+    DecodedSeries s;
+    std::uint8_t type = 0;
+    if (!reader.u8(type) || type > static_cast<std::uint8_t>(
+                                       MetricType::kHistogram)) {
+      return false;
+    }
+    s.type = static_cast<MetricType>(type);
+    if (!reader.str(s.name) || !reader.str(s.help)) return false;
+    std::uint32_t labels = 0;
+    if (!reader.count(labels, 8)) return false;
+    s.labels.reserve(labels);
+    for (std::uint32_t l = 0; l < labels; ++l) {
+      std::string key, value;
+      if (!reader.str(key) || !reader.str(value)) return false;
+      s.labels.emplace_back(std::move(key), std::move(value));
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        if (!reader.u64(s.counter)) return false;
+        break;
+      case MetricType::kGauge:
+        if (!reader.f64(s.gauge)) return false;
+        break;
+      case MetricType::kHistogram: {
+        if (!reader.u64(s.hist_count) || !reader.u64(s.hist_sum) ||
+            !reader.u64(s.hist_max)) {
+          return false;
+        }
+        std::uint32_t nonzero = 0;
+        if (!reader.count(nonzero, 10)) return false;
+        for (std::uint32_t b = 0; b < nonzero; ++b) {
+          std::uint16_t index = 0;
+          std::uint64_t value = 0;
+          if (!reader.u16(index) || !reader.u64(value)) return false;
+          if (index >= Histogram::kBucketCount) return false;
+          s.buckets[index] = value;
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return reader.done();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_registry(const MetricsRegistry& registry) {
+  const auto metrics = registry.collect();
+  net::ByteWriter writer;
+  writer.u32(kMagic);
+  writer.u16(kVersion);
+  writer.u32(static_cast<std::uint32_t>(metrics.size()));
+  for (const auto& metric : metrics) {
+    writer.u8(static_cast<std::uint8_t>(metric.type));
+    writer.str(metric.name);
+    writer.str(metric.help);
+    writer.u32(static_cast<std::uint32_t>(metric.labels.size()));
+    for (const auto& [key, value] : metric.labels) {
+      writer.str(key);
+      writer.str(value);
+    }
+    switch (metric.type) {
+      case MetricType::kCounter:
+        writer.u64(metric.counter->value());
+        break;
+      case MetricType::kGauge:
+        writer.f64(metric.gauge->value());
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *metric.histogram;
+        writer.u64(h.count());
+        writer.u64(h.sum());
+        writer.u64(h.max());
+        // Sparse buckets: real histograms populate a handful of the 252
+        // slots, so (index, count) pairs beat a dense dump.
+        std::uint32_t nonzero = 0;
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          if (h.bucket_count(i) != 0) ++nonzero;
+        }
+        writer.u32(nonzero);
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          const std::uint64_t n = h.bucket_count(i);
+          if (n == 0) continue;
+          writer.u16(static_cast<std::uint16_t>(i));
+          writer.u64(n);
+        }
+        break;
+      }
+    }
+  }
+  return writer.take();
+}
+
+bool merge_serialized(MetricsRegistry& into,
+                      std::span<const std::uint8_t> blob,
+                      const Labels& extra_labels) {
+  std::vector<DecodedSeries> series;
+  if (!decode(blob, series)) return false;
+  // Registering a name that already exists under a different type throws;
+  // treat that as malformed input too, after verifying up front so a
+  // half-merged blob never happens.
+  try {
+    for (DecodedSeries& s : series) {
+      for (const auto& extra : extra_labels) s.labels.push_back(extra);
+      switch (s.type) {
+        case MetricType::kCounter:
+          into.counter(s.name, s.help, s.labels).inc(s.counter);
+          break;
+        case MetricType::kGauge:
+          into.gauge(s.name, s.help, s.labels).set(s.gauge);
+          break;
+        case MetricType::kHistogram:
+          into.histogram(s.name, s.help, s.labels)
+              .merge_counts(s.buckets, s.hist_count, s.hist_sum, s.hist_max);
+          break;
+      }
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool deserialize_registry(std::span<const std::uint8_t> blob,
+                          MetricsRegistry& out) {
+  return merge_serialized(out, blob);
+}
+
+}  // namespace dcv::obs

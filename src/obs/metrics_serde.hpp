@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dcv::obs {
+
+/// Binary snapshot of a whole registry (dcv-metrics-v1): every series with
+/// its name, help, labels, type, and current value — counters/gauges as one
+/// scalar, histograms as exact bucket counts plus count/sum/max. The format
+/// is versioned and self-delimiting so a worker's registry can travel
+/// inside a dist wire frame and be folded into the coordinator's registry
+/// at the other end.
+///
+/// Values are read through the same relaxed atomics the exporters use, so
+/// serializing while instruments record yields an approximate (but never
+/// torn) snapshot, like collect().
+[[nodiscard]] std::vector<std::uint8_t> serialize_registry(
+    const MetricsRegistry& registry);
+
+/// Decodes a dcv-metrics-v1 blob and merges every series into `into` with
+/// MetricsRegistry::merge semantics (counters/histograms accumulate, gauges
+/// adopt the snapshot value). `extra_labels` are appended to every decoded
+/// series — the coordinator uses {worker=<id>} so one fleet's series stay
+/// distinguishable after the fold. Returns false on any malformed input:
+/// short buffer, bad magic/version, impossible counts, trailing garbage
+/// (all rejected before anything merges), or a series whose type conflicts
+/// with one already registered in `into` (series decoded before the
+/// conflict stay merged). Never throws.
+[[nodiscard]] bool merge_serialized(MetricsRegistry& into,
+                                    std::span<const std::uint8_t> blob,
+                                    const Labels& extra_labels = {});
+
+/// Convenience round-trip used by tests: decodes into a fresh registry.
+/// Returns false on malformed input.
+[[nodiscard]] bool deserialize_registry(std::span<const std::uint8_t> blob,
+                                        MetricsRegistry& out);
+
+}  // namespace dcv::obs

@@ -1,0 +1,451 @@
+// Coordinator failure-domain tests. Workers here are scripted in-process
+// Transports (obedient / crash-after-assign / silent / heartbeat-forever)
+// driven by a ManualFetchClock, so every crash, hang, and partition
+// scenario — including lease expiry and the hard shard deadline — runs
+// deterministically with zero wall-clock sleeping.
+#include "dist/coordinator.hpp"
+
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/messages.hpp"
+#include "obs/metrics_serde.hpp"
+#include "rcdc/resilient_fib_source.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace dcv::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// An in-process fake worker implementing the wire protocol from the
+/// worker's side, with scriptable misbehavior.
+class ScriptedWorker final : public Transport {
+ public:
+  enum class Mode {
+    /// Handshakes, then answers every assignment with a synthesized clean
+    /// result (fingerprints + a small metrics registry included).
+    kObedient,
+    /// Handshakes, accepts one assignment, then the process "dies": the
+    /// connection closes without a result.
+    kCrashAfterAssign,
+    /// Handshakes, accepts assignments, then goes silent — the connection
+    /// stays open but nothing ever comes back (hang/partition). Detected
+    /// only by lease expiry.
+    kSilentAfterAssign,
+    /// Keeps heartbeating its assignment forever without ever producing a
+    /// result — the pathological worker the hard shard deadline exists for.
+    kHeartbeatForever,
+  };
+
+  ScriptedWorker(std::string id, std::uint64_t epoch, Mode mode,
+                 rcdc::FetchClock* clock = nullptr)
+      : id_(std::move(id)), mode_(mode), clock_(clock) {
+    HelloMsg hello;
+    hello.worker_id = id_;
+    hello.topology_epoch = epoch;
+    outbox_.push_back(encode(hello));
+  }
+
+  /// Sends a hello with an arbitrary protocol version (rejection tests).
+  static std::unique_ptr<ScriptedWorker> with_hello(std::string id,
+                                                    std::uint32_t protocol,
+                                                    std::uint64_t epoch) {
+    auto worker = std::make_unique<ScriptedWorker>(id, epoch, Mode::kObedient);
+    HelloMsg hello;
+    hello.worker_id = id;
+    hello.protocol = protocol;
+    hello.topology_epoch = epoch;
+    worker->outbox_.clear();
+    worker->outbox_.push_back(encode(hello));
+    return worker;
+  }
+
+  bool send(const Frame& frame) override {
+    if (closed_) return false;
+    switch (frame.type) {
+      case MsgType::kWelcome:
+        welcomed_ = true;
+        return true;
+      case MsgType::kAssign: {
+        const auto assign = decode_assign(frame.payload);
+        EXPECT_TRUE(assign.has_value()) << id_ << ": malformed assign";
+        if (!assign) return true;
+        ++assignments_received_;
+        switch (mode_) {
+          case Mode::kObedient:
+            outbox_.push_back(encode(synthesize_result(*assign)));
+            break;
+          case Mode::kCrashAfterAssign:
+            closed_ = true;
+            break;
+          case Mode::kSilentAfterAssign:
+            break;
+          case Mode::kHeartbeatForever:
+            active_ = *assign;
+            if (clock_ != nullptr) last_heartbeat_ = clock_->now();
+            break;
+        }
+        return true;
+      }
+      case MsgType::kShutdown:
+        shutdown_received_ = true;
+        return true;
+      default:
+        ADD_FAILURE() << id_ << ": unexpected frame " << to_string(frame.type);
+        return true;
+    }
+  }
+
+  std::optional<Frame> poll() override {
+    if (!outbox_.empty()) {
+      Frame frame = std::move(outbox_.front());
+      outbox_.erase(outbox_.begin());
+      return frame;
+    }
+    // Heartbeat-forever mode: one heartbeat per elapsed interval, paced on
+    // the injected clock so the coordinator's idle sleeps (which advance
+    // simulated time) are what release the next beat.
+    if (mode_ == Mode::kHeartbeatForever && active_.has_value() &&
+        clock_ != nullptr && clock_->now() - last_heartbeat_ >= 500ms) {
+      last_heartbeat_ = clock_->now();
+      return encode(HeartbeatMsg{active_->shard_id, active_->attempt, 1});
+    }
+    return std::nullopt;
+  }
+
+  bool closed() const override { return closed_; }
+  std::string peer() const override { return id_; }
+
+  [[nodiscard]] bool shutdown_received() const { return shutdown_received_; }
+  [[nodiscard]] int assignments_received() const {
+    return assignments_received_;
+  }
+
+ private:
+  ResultMsg synthesize_result(const AssignMsg& assign) {
+    ResultMsg result;
+    result.shard_id = assign.shard_id;
+    result.attempt = assign.attempt;
+    result.devices_checked = assign.devices.size();
+    result.contracts_checked = std::accumulate(
+        assign.devices.begin(), assign.devices.end(), std::uint64_t{0},
+        [](std::uint64_t total, const DeviceWork& work) {
+          return total + work.contracts.size();
+        });
+    result.elapsed_ns = 1'000'000;
+    for (const DeviceWork& work : assign.devices) {
+      result.fingerprints.emplace_back(work.device,
+                                       0x9E3779B9u ^ (work.device * 2654435761u));
+    }
+    obs::MetricsRegistry registry;
+    registry.counter("dcv_worker_shards_validated_total", "shards").inc();
+    result.registry_blob = obs::serialize_registry(registry);
+    return result;
+  }
+
+  std::string id_;
+  Mode mode_;
+  rcdc::FetchClock* clock_;
+  bool closed_ = false;
+  bool welcomed_ = false;
+  bool shutdown_received_ = false;
+  int assignments_received_ = 0;
+  std::optional<AssignMsg> active_;
+  std::chrono::steady_clock::time_point last_heartbeat_{};
+  std::vector<Frame> outbox_;
+};
+
+class CoordinatorTest : public testing::Test {
+ protected:
+  CoordinatorTest()
+      : topology_(topo::build_clos(topo::ClosParams{.clusters = 2,
+                                                    .tors_per_cluster = 3,
+                                                    .leaves_per_cluster = 3,
+                                                    .spines_per_plane = 1,
+                                                    .regional_spines = 2})),
+        metadata_(topology_) {}
+
+  CoordinatorConfig config() {
+    CoordinatorConfig cfg;
+    cfg.clock = &clock_;
+    cfg.metrics = &registry_;
+    cfg.lease = 2s;
+    cfg.heartbeat_interval = 500ms;
+    cfg.poll_interval = 50ms;
+    cfg.shard_deadline = 30s;
+    return cfg;
+  }
+
+  /// Adds a scripted worker and returns a borrowed pointer (the
+  /// coordinator owns the transport).
+  ScriptedWorker* add(Coordinator& coordinator, const std::string& id,
+                      ScriptedWorker::Mode mode) {
+    auto worker =
+        std::make_unique<ScriptedWorker>(id, topology_.epoch(), mode, &clock_);
+    ScriptedWorker* raw = worker.get();
+    coordinator.add_worker(std::move(worker));
+    return raw;
+  }
+
+  topo::Topology topology_;
+  topo::MetadataService metadata_;
+  rcdc::ManualFetchClock clock_;
+  obs::MetricsRegistry registry_;
+};
+
+TEST_F(CoordinatorTest, HappyPathThreeWorkers) {
+  Coordinator coordinator(metadata_, config());
+  std::vector<ScriptedWorker*> workers = {
+      add(coordinator, "w0", ScriptedWorker::Mode::kObedient),
+      add(coordinator, "w1", ScriptedWorker::Mode::kObedient),
+      add(coordinator, "w2", ScriptedWorker::Mode::kObedient)};
+  EXPECT_EQ(coordinator.pump(3, 5s), 3u);
+
+  const DistributedSummary summary = coordinator.run_cycle();
+  EXPECT_EQ(summary.workers_connected, 3u);
+  EXPECT_EQ(summary.workers_lost, 0u);
+  EXPECT_EQ(summary.shards_failed, 0u);
+  EXPECT_EQ(summary.reassignments, 0u);
+  EXPECT_DOUBLE_EQ(summary.coverage(), 1.0);
+  EXPECT_FALSE(summary.degraded());
+  EXPECT_EQ(summary.merged.devices_checked, topology_.device_count());
+  EXPECT_GT(summary.merged.contracts_checked, 0u);
+  // Shards are carved at ~4 per live worker (ceil-division may merge the
+  // tail, but there are always enough to spread across the fleet).
+  EXPECT_GE(summary.shards.size(), 3u);
+  EXPECT_LE(summary.shards.size(), 12u);
+  for (const ShardOutcome& shard : summary.shards) {
+    EXPECT_EQ(shard.status, ShardStatus::kValidated);
+    EXPECT_FALSE(shard.degraded_confidence);
+    EXPECT_EQ(shard.attempts, 1u);
+  }
+  // Every device fingerprint arrived at the coordinator.
+  EXPECT_EQ(coordinator.fingerprints().size(), topology_.device_count());
+  // All three workers did work (queue-stealing may skew the split, but
+  // nobody is idle with 4 shards each carved for them).
+  for (ScriptedWorker* worker : workers) {
+    EXPECT_GT(worker->assignments_received(), 0);
+  }
+  // Worker registries were folded in under {worker=<id>} labels.
+  EXPECT_GT(registry_
+                .counter("dcv_worker_shards_validated_total", "",
+                         {{"worker", "w1"}})
+                .value(),
+            0u);
+  EXPECT_EQ(coordinator.cycles_completed(), 1u);
+
+  coordinator.shutdown_workers();
+  for (ScriptedWorker* worker : workers) {
+    EXPECT_TRUE(worker->shutdown_received());
+  }
+}
+
+TEST_F(CoordinatorTest, CrashReassignedWithinCycle) {
+  Coordinator coordinator(metadata_, config());
+  add(coordinator, "steady", ScriptedWorker::Mode::kObedient);
+  add(coordinator, "crasher", ScriptedWorker::Mode::kCrashAfterAssign);
+  EXPECT_EQ(coordinator.pump(2, 5s), 2u);
+
+  const DistributedSummary summary = coordinator.run_cycle();
+  // The crasher's shard moved to the survivor: full coverage, no failed
+  // shards, but the event is visible as a loss + reassignment and the
+  // recovered shard carries degraded confidence.
+  EXPECT_DOUBLE_EQ(summary.coverage(), 1.0);
+  EXPECT_FALSE(summary.degraded());
+  EXPECT_EQ(summary.workers_lost, 1u);
+  EXPECT_GE(summary.reassignments, 1u);
+  std::size_t recovered = 0;
+  for (const ShardOutcome& shard : summary.shards) {
+    if (shard.status == ShardStatus::kRecovered) {
+      ++recovered;
+      EXPECT_TRUE(shard.degraded_confidence);
+      EXPECT_EQ(shard.worker, "steady");
+      EXPECT_GE(shard.attempts, 2u);
+    }
+  }
+  EXPECT_GE(recovered, 1u);
+  EXPECT_EQ(coordinator.live_workers(), 1u);
+}
+
+TEST_F(CoordinatorTest, CrashBudgetExhaustedDegradesThenRecovers) {
+  // Retry budget 0: a lost shard fails immediately. This is the
+  // deterministic twin of the kill-one-of-three process test.
+  CoordinatorConfig cfg = config();
+  cfg.shard_retry_budget = 0;
+  Coordinator coordinator(metadata_, cfg);
+  add(coordinator, "w0", ScriptedWorker::Mode::kObedient);
+  add(coordinator, "w1", ScriptedWorker::Mode::kObedient);
+  add(coordinator, "crasher", ScriptedWorker::Mode::kCrashAfterAssign);
+  EXPECT_EQ(coordinator.pump(3, 5s), 3u);
+
+  const DistributedSummary degraded = coordinator.run_cycle();
+  EXPECT_LT(degraded.coverage(), 1.0);
+  EXPECT_TRUE(degraded.degraded());
+  EXPECT_GE(degraded.shards_failed, 1u);
+  std::size_t failed_devices = 0;
+  for (const ShardOutcome& shard : degraded.shards) {
+    if (shard.status == ShardStatus::kFailed) {
+      EXPECT_TRUE(shard.degraded_confidence);
+      EXPECT_TRUE(shard.worker.empty());
+      failed_devices += shard.devices;
+    }
+  }
+  // Coverage dropped by exactly the failed shards' devices.
+  EXPECT_EQ(degraded.merged.devices_failed, failed_devices);
+  EXPECT_DOUBLE_EQ(
+      degraded.coverage(),
+      1.0 - static_cast<double>(failed_devices) /
+                static_cast<double>(topology_.device_count()));
+
+  // Next cycle the survivors carry the whole fleet: coverage back to 1.0.
+  const DistributedSummary recovered = coordinator.run_cycle();
+  EXPECT_DOUBLE_EQ(recovered.coverage(), 1.0);
+  EXPECT_FALSE(recovered.degraded());
+  EXPECT_EQ(coordinator.cycles_completed(), 2u);
+}
+
+TEST_F(CoordinatorTest, HangDetectedByLeaseExpiry) {
+  Coordinator coordinator(metadata_, config());
+  add(coordinator, "steady", ScriptedWorker::Mode::kObedient);
+  add(coordinator, "hung", ScriptedWorker::Mode::kSilentAfterAssign);
+  EXPECT_EQ(coordinator.pump(2, 5s), 2u);
+
+  const DistributedSummary summary = coordinator.run_cycle();
+  // The silent worker holds its shard until the lease (2 s simulated)
+  // expires, then the shard is reassigned. No wall time passed. (The
+  // coordinator frees lost workers at cycle end, so don't touch the
+  // ScriptedWorker pointer after run_cycle — a lease can only expire on
+  // an assigned shard, which workers_lost + reassignments already prove.)
+  EXPECT_DOUBLE_EQ(summary.coverage(), 1.0);
+  EXPECT_EQ(summary.workers_lost, 1u);
+  EXPECT_GE(summary.reassignments, 1u);
+  EXPECT_EQ(coordinator.live_workers(), 1u);
+  EXPECT_GT(
+      registry_
+          .counter("dcv_dist_workers_lost_total", "",
+                   {{"reason", "lease_expired"}})
+          .value(),
+      0u);
+}
+
+TEST_F(CoordinatorTest, HeartbeatCannotExtendPastShardDeadline) {
+  CoordinatorConfig cfg = config();
+  cfg.shard_deadline = 6s;  // a few lease renewals, then the axe
+  Coordinator coordinator(metadata_, cfg);
+  add(coordinator, "steady", ScriptedWorker::Mode::kObedient);
+  add(coordinator, "stuck", ScriptedWorker::Mode::kHeartbeatForever);
+  EXPECT_EQ(coordinator.pump(2, 5s), 2u);
+
+  const DistributedSummary summary = coordinator.run_cycle();
+  // The stuck worker renewed its lease via heartbeats yet still lost the
+  // shard at the hard deadline; the cycle completed with full coverage.
+  EXPECT_DOUBLE_EQ(summary.coverage(), 1.0);
+  EXPECT_EQ(summary.workers_lost, 1u);
+  EXPECT_GT(registry_
+                .counter("dcv_dist_workers_lost_total", "",
+                         {{"reason", "shard_deadline"}})
+                .value(),
+            0u);
+}
+
+TEST_F(CoordinatorTest, AllWorkersLostFailsEveryShardWithoutHanging) {
+  CoordinatorConfig cfg = config();
+  cfg.shard_retry_budget = 1;
+  Coordinator coordinator(metadata_, cfg);
+  add(coordinator, "c0", ScriptedWorker::Mode::kCrashAfterAssign);
+  add(coordinator, "c1", ScriptedWorker::Mode::kCrashAfterAssign);
+  EXPECT_EQ(coordinator.pump(2, 5s), 2u);
+
+  const DistributedSummary summary = coordinator.run_cycle();
+  EXPECT_EQ(summary.workers_lost, 2u);
+  EXPECT_EQ(summary.shards_failed, summary.shards.size());
+  EXPECT_DOUBLE_EQ(summary.coverage(), 0.0);
+  EXPECT_TRUE(summary.degraded());
+  EXPECT_EQ(summary.merged.devices_failed, topology_.device_count());
+  EXPECT_EQ(coordinator.live_workers(), 0u);
+}
+
+TEST_F(CoordinatorTest, NoWorkersYieldsFullyFailedCycle) {
+  Coordinator coordinator(metadata_, config());
+  const DistributedSummary summary = coordinator.run_cycle();
+  EXPECT_EQ(summary.workers_connected, 0u);
+  EXPECT_TRUE(summary.degraded());
+  EXPECT_DOUBLE_EQ(summary.coverage(), 0.0);
+}
+
+TEST_F(CoordinatorTest, RejectsWrongEpochAndWrongProtocol) {
+  Coordinator coordinator(metadata_, config());
+  auto wrong_epoch = std::make_unique<ScriptedWorker>(
+      "time-traveler", topology_.epoch() + 1, ScriptedWorker::Mode::kObedient);
+  coordinator.add_worker(std::move(wrong_epoch));
+  coordinator.add_worker(ScriptedWorker::with_hello(
+      "alien", kProtocolVersion + 7, topology_.epoch()));
+  EXPECT_EQ(coordinator.pump(2, 1s), 0u);
+  EXPECT_EQ(coordinator.live_workers(), 0u);
+  EXPECT_EQ(registry_.counter("dcv_dist_workers_rejected_total", "").value(),
+            2u);
+}
+
+TEST_F(CoordinatorTest, FleetProbeTracksReadiness) {
+  Coordinator coordinator(metadata_, config());
+  FleetReadinessRules rules;
+  rules.min_workers = 1;
+  rules.min_coverage = 0.95;
+  const obs::HealthProbe probe = make_fleet_probe(coordinator, rules);
+
+  // No workers, no cycles: alive but not ready.
+  obs::HealthSnapshot snapshot = probe();
+  EXPECT_TRUE(snapshot.alive);
+  EXPECT_FALSE(snapshot.ready);
+
+  add(coordinator, "w0", ScriptedWorker::Mode::kObedient);
+  EXPECT_EQ(coordinator.pump(1, 5s), 1u);
+  snapshot = probe();
+  EXPECT_FALSE(snapshot.ready) << "no completed cycle yet";
+
+  (void)coordinator.run_cycle();
+  snapshot = probe();
+  EXPECT_TRUE(snapshot.ready) << snapshot.detail;
+
+  // A degraded cycle (worker gone, every shard failed) flips it back.
+  coordinator.shutdown_workers();
+  CoordinatorConfig cfg = config();
+  cfg.shard_retry_budget = 0;
+  Coordinator degraded_coordinator(metadata_, cfg);
+  const obs::HealthProbe degraded_probe =
+      make_fleet_probe(degraded_coordinator, rules);
+  add(degraded_coordinator, "c", ScriptedWorker::Mode::kCrashAfterAssign);
+  EXPECT_EQ(degraded_coordinator.pump(1, 5s), 1u);
+  (void)degraded_coordinator.run_cycle();
+  snapshot = degraded_probe();
+  EXPECT_FALSE(snapshot.ready);
+  EXPECT_NE(snapshot.detail.find("coverage"), std::string::npos);
+}
+
+TEST_F(CoordinatorTest, DuplicateWorkerIdsStayDistinguishable) {
+  Coordinator coordinator(metadata_, config());
+  add(coordinator, "twin", ScriptedWorker::Mode::kObedient);
+  add(coordinator, "twin", ScriptedWorker::Mode::kObedient);
+  EXPECT_EQ(coordinator.pump(2, 5s), 2u);
+  const DistributedSummary summary = coordinator.run_cycle();
+  EXPECT_DOUBLE_EQ(summary.coverage(), 1.0);
+  // The second "twin" was renamed on admission, so shard outcomes never
+  // ambiguously attribute work.
+  bool saw_suffixed = false;
+  for (const ShardOutcome& shard : summary.shards) {
+    if (shard.worker != "twin") {
+      EXPECT_EQ(shard.worker.rfind("twin#", 0), 0u) << shard.worker;
+      saw_suffixed = true;
+    }
+  }
+  EXPECT_TRUE(saw_suffixed);
+}
+
+}  // namespace
+}  // namespace dcv::dist

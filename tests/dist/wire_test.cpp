@@ -1,0 +1,440 @@
+// Wire-format tests: frame round-trips, streaming decode, every framing
+// error, message codec round-trips, hostile-input rejection, the checked-in
+// malformed-frame corpus, and a seeded mutation fuzz pass. The decode path
+// must never crash, never read out of bounds (ASan/UBSan enforce this in
+// CI), and never accept a frame whose checksum or structure lies.
+#include "dist/messages.hpp"
+#include "dist/wire.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dcv::dist {
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Runs every payload decoder that could apply to the frame; the point is
+/// that none of them crashes or over-reads, whatever the bytes say.
+void exercise_payload_decoders(const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kHello:
+      (void)decode_hello(frame.payload);
+      break;
+    case MsgType::kWelcome:
+      (void)decode_welcome(frame.payload);
+      break;
+    case MsgType::kAssign:
+      (void)decode_assign(frame.payload);
+      break;
+    case MsgType::kHeartbeat:
+      (void)decode_heartbeat(frame.payload);
+      break;
+    case MsgType::kResult:
+      (void)decode_result(frame.payload);
+      break;
+    case MsgType::kShutdown:
+      break;
+  }
+}
+
+TEST(Crc32Test, MatchesIeeeCheckValue) {
+  // The standard CRC-32 check string.
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(WireFrameTest, RoundTripsEveryType) {
+  for (const MsgType type :
+       {MsgType::kHello, MsgType::kWelcome, MsgType::kAssign,
+        MsgType::kHeartbeat, MsgType::kResult, MsgType::kShutdown}) {
+    Frame frame{type, {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42}};
+    const auto encoded = encode_frame(frame);
+    EXPECT_EQ(encoded.size(), frame.payload.size() + kFrameOverhead);
+    const DecodeResult result = try_decode_frame(encoded);
+    ASSERT_TRUE(result.ok()) << to_string(type);
+    EXPECT_EQ(result.frame->type, type);
+    EXPECT_EQ(result.frame->payload, frame.payload);
+    EXPECT_EQ(result.consumed, encoded.size());
+  }
+}
+
+TEST(WireFrameTest, EmptyPayloadRoundTrips) {
+  const auto encoded = encode_frame(Frame{MsgType::kShutdown, {}});
+  const DecodeResult result = try_decode_frame(encoded);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.frame->payload.empty());
+}
+
+TEST(WireFrameTest, StreamingDecodeSplitsAndConcatenations) {
+  const auto first = encode_frame(Frame{MsgType::kHello, {1, 2, 3}});
+  const auto second = encode_frame(Frame{MsgType::kHeartbeat, {9}});
+  std::vector<std::uint8_t> stream = first;
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  // Every prefix shorter than the first frame wants more data.
+  for (std::size_t cut = 0; cut < first.size(); ++cut) {
+    const DecodeResult partial =
+        try_decode_frame(std::span(stream.data(), cut));
+    EXPECT_FALSE(partial.ok());
+    EXPECT_EQ(partial.error, DecodeError::kNeedMoreData);
+    EXPECT_EQ(partial.consumed, 0u);
+  }
+  // The full buffer yields frame one, then frame two from the remainder.
+  const DecodeResult one = try_decode_frame(stream);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.frame->type, MsgType::kHello);
+  const DecodeResult two = try_decode_frame(
+      std::span(stream.data() + one.consumed, stream.size() - one.consumed));
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two.frame->type, MsgType::kHeartbeat);
+}
+
+TEST(WireFrameTest, RejectsCorruptHeadersAndChecksums) {
+  const auto good = encode_frame(Frame{MsgType::kHello, {1, 2, 3, 4}});
+
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(try_decode_frame(bad_magic).error, DecodeError::kBadMagic);
+
+  auto bad_version = good;
+  bad_version[4] ^= 0xFF;
+  EXPECT_EQ(try_decode_frame(bad_version).error, DecodeError::kBadVersion);
+
+  auto bad_payload = good;
+  bad_payload[12] ^= 0x01;
+  EXPECT_EQ(try_decode_frame(bad_payload).error, DecodeError::kBadChecksum);
+
+  auto bad_crc = good;
+  bad_crc.back() ^= 0x01;
+  EXPECT_EQ(try_decode_frame(bad_crc).error, DecodeError::kBadChecksum);
+
+  // A fatal error consumes the whole buffer: the stream cannot resync.
+  EXPECT_EQ(try_decode_frame(bad_magic).consumed, bad_magic.size());
+}
+
+TEST(WireFrameTest, RejectsOversizedDeclaredLength) {
+  std::vector<std::uint8_t> header(kFrameOverhead, 0);
+  const std::uint32_t magic = kWireMagic;
+  const std::uint16_t version = kWireVersion;
+  const std::uint16_t type = 1;
+  const std::uint32_t huge = kMaxPayload + 1;
+  std::memcpy(header.data(), &magic, 4);
+  std::memcpy(header.data() + 4, &version, 2);
+  std::memcpy(header.data() + 6, &type, 2);
+  std::memcpy(header.data() + 8, &huge, 4);
+  EXPECT_EQ(try_decode_frame(header).error, DecodeError::kOversized);
+}
+
+TEST(WireFrameTest, RejectsUnknownTypeOnlyAfterChecksum) {
+  Frame frame{MsgType::kHello, {7, 7}};
+  auto encoded = encode_frame(frame);
+  // Patch type to 99 and recompute the CRC so only the type is wrong.
+  const std::uint16_t unknown = 99;
+  std::memcpy(encoded.data() + 6, &unknown, 2);
+  const std::uint32_t crc = crc32(
+      std::span(encoded).subspan(4, encoded.size() - 8));
+  std::memcpy(encoded.data() + encoded.size() - 4, &crc, 4);
+  EXPECT_EQ(try_decode_frame(encoded).error, DecodeError::kUnknownType);
+}
+
+using rcdc::Contract;
+
+Contract sample_contract() {
+  Contract contract;
+  contract.kind = rcdc::ContractKind::kSpecific;
+  contract.prefix = net::Prefix(net::Ipv4Address(0x0A010200u), 24);
+  contract.expected_next_hops = {4, 9, 17};
+  contract.mode = rcdc::MatchMode::kSubsetAtLeast;
+  contract.min_next_hops = 2;
+  contract.allow_default_route = true;
+  return contract;
+}
+
+TEST(MessageCodecTest, HelloRoundTrips) {
+  HelloMsg msg;
+  msg.worker_id = "worker-7";
+  msg.topology_epoch = 42;
+  const Frame frame = encode(msg);
+  EXPECT_EQ(frame.type, MsgType::kHello);
+  const auto decoded = decode_hello(frame.payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->worker_id, "worker-7");
+  EXPECT_EQ(decoded->protocol, kProtocolVersion);
+  EXPECT_EQ(decoded->topology_epoch, 42u);
+}
+
+TEST(MessageCodecTest, WelcomeRoundTrips) {
+  WelcomeMsg msg;
+  msg.heartbeat_interval_ns = 123456789;
+  msg.lease_ns = 5000000000;
+  const auto decoded = decode_welcome(encode(msg).payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->heartbeat_interval_ns, msg.heartbeat_interval_ns);
+  EXPECT_EQ(decoded->lease_ns, msg.lease_ns);
+}
+
+TEST(MessageCodecTest, AssignRoundTripsDevicesAndContracts) {
+  AssignMsg msg;
+  msg.shard_id = 3;
+  msg.attempt = 2;
+  msg.plan_epoch = 7;
+  msg.devices.push_back({11, {sample_contract()}});
+  Contract defaulted;  // default contract, empty hops
+  msg.devices.push_back({12, {defaulted, sample_contract()}});
+  msg.devices.push_back({13, {}});  // contract-free device still travels
+
+  const auto decoded = decode_assign(encode(msg).payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->shard_id, 3u);
+  EXPECT_EQ(decoded->attempt, 2u);
+  EXPECT_EQ(decoded->plan_epoch, 7u);
+  ASSERT_EQ(decoded->devices.size(), 3u);
+  EXPECT_EQ(decoded->devices[0].device, 11u);
+  ASSERT_EQ(decoded->devices[0].contracts.size(), 1u);
+  const Contract& c = decoded->devices[0].contracts[0];
+  EXPECT_EQ(c.kind, rcdc::ContractKind::kSpecific);
+  EXPECT_EQ(c.prefix.to_string(), "10.1.2.0/24");
+  EXPECT_EQ(c.expected_next_hops, (std::vector<topo::DeviceId>{4, 9, 17}));
+  EXPECT_EQ(c.mode, rcdc::MatchMode::kSubsetAtLeast);
+  EXPECT_EQ(c.min_next_hops, 2u);
+  EXPECT_TRUE(c.allow_default_route);
+  EXPECT_EQ(decoded->devices[1].contracts.size(), 2u);
+  EXPECT_TRUE(decoded->devices[2].contracts.empty());
+}
+
+TEST(MessageCodecTest, ResultRoundTripsViolationsFingerprintsAndBlob) {
+  ResultMsg msg;
+  msg.shard_id = 5;
+  msg.attempt = 1;
+  msg.devices_checked = 100;
+  msg.contracts_checked = 900;
+  msg.devices_failed = 3;
+  msg.devices_stale = 2;
+  msg.retries = 7;
+  msg.breaker_opens = 1;
+  msg.violations_degraded = 4;
+  msg.elapsed_ns = 123456;
+  rcdc::Violation violation;
+  violation.device = 42;
+  violation.contract = sample_contract();
+  violation.kind = rcdc::ViolationKind::kUnreachableRange;
+  violation.rule_prefix = net::Prefix(net::Ipv4Address(0x0A000000u), 8);
+  violation.actual_next_hops = {5};
+  msg.violations.push_back(violation);
+  msg.fingerprints = {{1, 0x1111}, {2, 0x2222}};
+  msg.registry_blob = {1, 2, 3, 4, 5};
+
+  const auto decoded = decode_result(encode(msg).payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->devices_checked, 100u);
+  EXPECT_EQ(decoded->contracts_checked, 900u);
+  EXPECT_EQ(decoded->devices_failed, 3u);
+  EXPECT_EQ(decoded->devices_stale, 2u);
+  EXPECT_EQ(decoded->retries, 7u);
+  EXPECT_EQ(decoded->breaker_opens, 1u);
+  EXPECT_EQ(decoded->violations_degraded, 4u);
+  EXPECT_EQ(decoded->elapsed_ns, 123456u);
+  ASSERT_EQ(decoded->violations.size(), 1u);
+  EXPECT_EQ(decoded->violations[0].device, 42u);
+  EXPECT_EQ(decoded->violations[0].kind,
+            rcdc::ViolationKind::kUnreachableRange);
+  EXPECT_EQ(decoded->violations[0].actual_next_hops,
+            (std::vector<topo::DeviceId>{5}));
+  EXPECT_EQ(decoded->fingerprints, msg.fingerprints);
+  EXPECT_EQ(decoded->registry_blob, msg.registry_blob);
+}
+
+TEST(MessageCodecTest, RejectsTruncationsOfEveryMessage) {
+  const std::vector<Frame> frames = {
+      encode(HelloMsg{"w", kProtocolVersion, 1}),
+      encode(WelcomeMsg{100, 200}),
+      encode(AssignMsg{1, 0, 1, {{7, {sample_contract()}}}}),
+      encode(HeartbeatMsg{1, 0, 5}),
+      [] {
+        ResultMsg r;
+        r.shard_id = 1;
+        r.violations.resize(1);
+        r.violations[0].contract = sample_contract();
+        r.fingerprints = {{3, 9}};
+        r.registry_blob = {1, 2};
+        return encode(r);
+      }(),
+  };
+  for (const Frame& frame : frames) {
+    for (std::size_t cut = 0; cut < frame.payload.size(); ++cut) {
+      const std::span<const std::uint8_t> truncated(frame.payload.data(), cut);
+      Frame partial{frame.type, {truncated.begin(), truncated.end()}};
+      exercise_payload_decoders(partial);  // must not crash
+      switch (frame.type) {
+        case MsgType::kHello:
+          EXPECT_FALSE(decode_hello(truncated).has_value());
+          break;
+        case MsgType::kWelcome:
+          EXPECT_FALSE(decode_welcome(truncated).has_value());
+          break;
+        case MsgType::kAssign:
+          EXPECT_FALSE(decode_assign(truncated).has_value());
+          break;
+        case MsgType::kHeartbeat:
+          EXPECT_FALSE(decode_heartbeat(truncated).has_value());
+          break;
+        case MsgType::kResult:
+          EXPECT_FALSE(decode_result(truncated).has_value());
+          break;
+        case MsgType::kShutdown:
+          break;
+      }
+    }
+  }
+}
+
+TEST(MessageCodecTest, RejectsTrailingJunk) {
+  Frame frame = encode(HeartbeatMsg{1, 2, 3});
+  frame.payload.push_back(0xAA);
+  EXPECT_FALSE(decode_heartbeat(frame.payload).has_value());
+}
+
+TEST(MessageCodecTest, RejectsOutOfRangeEnumsAndPrefixes) {
+  // Contract kind 200 inside an assign.
+  AssignMsg msg{0, 0, 1, {{7, {sample_contract()}}}};
+  Frame frame = encode(msg);
+  // The contract kind byte sits after shard(4) + attempt(4) + epoch(8) +
+  // device count(4) + device id(4) + contract count(4) = 28 bytes.
+  ASSERT_GT(frame.payload.size(), 28u);
+  frame.payload[28] = 200;
+  EXPECT_FALSE(decode_assign(frame.payload).has_value());
+}
+
+TEST(CorpusTest, EveryCheckedInFrameDecodesSafely) {
+  const std::filesystem::path dir =
+      std::filesystem::path(DCV_TEST_DATA_DIR) / "dist" / "corpus";
+  ASSERT_TRUE(std::filesystem::exists(dir)) << dir;
+  std::size_t files = 0;
+  std::size_t decoded_ok = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".bin") continue;
+    ++files;
+    const auto bytes = read_file(entry.path());
+    const DecodeResult result = try_decode_frame(bytes);
+    if (result.ok()) {
+      ++decoded_ok;
+      exercise_payload_decoders(*result.frame);
+    }
+    // Named expectations for the deliberately-broken files.
+    const std::string name = entry.path().filename().string();
+    if (name == "valid_hello.bin") {
+      EXPECT_TRUE(result.ok()) << name;
+      EXPECT_TRUE(decode_hello(result.frame->payload).has_value());
+    } else if (name == "bad_magic.bin") {
+      EXPECT_EQ(result.error, DecodeError::kBadMagic);
+    } else if (name == "bad_version.bin") {
+      EXPECT_EQ(result.error, DecodeError::kBadVersion);
+    } else if (name == "bad_crc.bin") {
+      EXPECT_EQ(result.error, DecodeError::kBadChecksum);
+    } else if (name == "unknown_type.bin") {
+      EXPECT_EQ(result.error, DecodeError::kUnknownType);
+    } else if (name == "oversized_length.bin") {
+      EXPECT_EQ(result.error, DecodeError::kOversized);
+    } else if (name == "empty.bin" || name == "truncated_header.bin" ||
+               name == "truncated_payload.bin") {
+      EXPECT_EQ(result.error, DecodeError::kNeedMoreData);
+    } else if (name == "hostile_string_len.bin" ||
+               name == "hostile_count_assign.bin" ||
+               name == "hostile_count_contracts.bin" ||
+               name == "hostile_count_result.bin" ||
+               name == "bad_prefix_len.bin" || name == "trailing_junk.bin") {
+      // Well-framed, hostile payload: the frame decodes, the message must
+      // not.
+      ASSERT_TRUE(result.ok()) << name;
+      switch (result.frame->type) {
+        case MsgType::kHello:
+          EXPECT_FALSE(decode_hello(result.frame->payload)) << name;
+          break;
+        case MsgType::kAssign:
+          EXPECT_FALSE(decode_assign(result.frame->payload)) << name;
+          break;
+        case MsgType::kResult:
+          EXPECT_FALSE(decode_result(result.frame->payload)) << name;
+          break;
+        case MsgType::kHeartbeat:
+          EXPECT_FALSE(decode_heartbeat(result.frame->payload)) << name;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  EXPECT_GE(files, 15u) << "corpus went missing";
+  EXPECT_GE(decoded_ok, 1u);
+}
+
+TEST(MutationFuzzTest, TenThousandMutationsNeverCrash) {
+  // Seeded: failures reproduce. Start from real frames so mutations
+  // explore the interesting neighborhoods of the format, not just noise.
+  std::mt19937 rng(0xDC5F00D);
+  AssignMsg assign{3, 1, 1, {{7, {sample_contract()}}, {8, {}}}};
+  ResultMsg result;
+  result.shard_id = 3;
+  result.violations.resize(2);
+  result.violations[0].contract = sample_contract();
+  result.violations[1].contract = sample_contract();
+  result.fingerprints = {{7, 0xAB}, {8, 0xCD}};
+  result.registry_blob = {0x44, 0x43, 0x56, 0x4D, 1, 0};
+  const std::vector<std::vector<std::uint8_t>> seeds = {
+      encode_frame(encode(assign)),
+      encode_frame(encode(result)),
+      encode_frame(encode(HelloMsg{"fuzz", kProtocolVersion, 9})),
+      encode_frame(encode_shutdown()),
+  };
+
+  for (int iteration = 0; iteration < 10000; ++iteration) {
+    std::vector<std::uint8_t> bytes = seeds[rng() % seeds.size()];
+    switch (rng() % 4) {
+      case 0:  // bit flips
+        for (int n = 1 + static_cast<int>(rng() % 8); n > 0; --n) {
+          bytes[rng() % bytes.size()] ^= 1u << (rng() % 8);
+        }
+        break;
+      case 1:  // truncate
+        bytes.resize(rng() % (bytes.size() + 1));
+        break;
+      case 2:  // extend with junk
+        for (int n = 1 + static_cast<int>(rng() % 32); n > 0; --n) {
+          bytes.push_back(static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      case 3: {  // splice two seeds
+        const auto& other = seeds[rng() % seeds.size()];
+        const std::size_t cut = rng() % (bytes.size() + 1);
+        bytes.resize(cut);
+        bytes.insert(bytes.end(), other.begin() + rng() % other.size(),
+                     other.end());
+        break;
+      }
+    }
+    const DecodeResult decoded = try_decode_frame(bytes);
+    if (decoded.ok()) {
+      exercise_payload_decoders(*decoded.frame);
+      EXPECT_LE(decoded.consumed, bytes.size());
+    } else if (decoded.error != DecodeError::kNeedMoreData) {
+      EXPECT_EQ(decoded.consumed, bytes.size());
+    } else {
+      EXPECT_EQ(decoded.consumed, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcv::dist

@@ -1,0 +1,239 @@
+// Registry snapshot (de)serialization: the dcv-metrics-v1 blob a worker
+// ships inside a Result frame must reconstruct the registry exactly, and
+// merging blobs must be indistinguishable from merging the live registries
+// in-process. Malformed blobs (truncated, bit-flipped, hostile counts) must
+// be rejected without crashing and without partial garbage for the
+// well-formed prefix cases the format can detect up front.
+#include "obs/metrics_serde.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace dcv::obs {
+namespace {
+
+/// Populates a registry with a representative mix of series.
+void fill_registry_a(MetricsRegistry& registry) {
+  registry.counter("requests_total", "requests", {{"code", "200"}}).inc(7);
+  registry.counter("requests_total", "requests", {{"code", "500"}}).inc(2);
+  registry.counter("bare_counter", "no labels").inc(1);
+  registry.gauge("queue_depth", "depth").set(12.5);
+  registry.gauge("coverage", "fraction", {{"cycle", "1"}}).set(0.97);
+  auto& h = registry.histogram("latency_ns", "latency", {{"op", "fetch"}});
+  for (const std::uint64_t sample : {0u, 1u, 7u, 8u, 100u, 5000u, 123456u}) {
+    h.observe(sample);
+  }
+}
+
+void fill_registry_b(MetricsRegistry& registry) {
+  // Overlapping series (merge must accumulate) plus new ones.
+  registry.counter("requests_total", "requests", {{"code", "200"}}).inc(5);
+  registry.gauge("queue_depth", "depth").set(3.0);
+  registry.histogram("latency_ns", "latency", {{"op", "fetch"}})
+      .observe(999999);
+  registry.counter("b_only_total", "b only").inc(42);
+  registry.histogram("latency_ns", "latency", {{"op", "check"}}).observe(17);
+}
+
+/// Collects a registry into comparable (name, labels, type, rendering)
+/// tuples. Histograms compare bucket-exactly.
+struct SeriesSnapshot {
+  std::string name;
+  Labels labels;
+  MetricType type;
+  std::uint64_t counter = 0;
+  double gauge = 0.0;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  friend bool operator==(const SeriesSnapshot&,
+                         const SeriesSnapshot&) = default;
+};
+
+std::vector<SeriesSnapshot> snapshot(const MetricsRegistry& registry) {
+  std::vector<SeriesSnapshot> out;
+  for (const auto& metric : registry.collect()) {
+    SeriesSnapshot s;
+    s.name = metric.name;
+    s.labels = metric.labels;
+    s.type = metric.type;
+    switch (metric.type) {
+      case MetricType::kCounter:
+        s.counter = metric.counter->value();
+        break;
+      case MetricType::kGauge:
+        s.gauge = metric.gauge->value();
+        break;
+      case MetricType::kHistogram:
+        s.buckets.resize(Histogram::kBucketCount);
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          s.buckets[i] = metric.histogram->bucket_count(i);
+        }
+        s.count = metric.histogram->count();
+        s.sum = metric.histogram->sum();
+        s.max = metric.histogram->max();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  // collect() preserves registration order, which can differ between the
+  // original and a deserialized copy's merge order only if series differ —
+  // sort so comparison is order-independent.
+  std::sort(out.begin(), out.end(),
+            [](const SeriesSnapshot& a, const SeriesSnapshot& b) {
+              return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+            });
+  return out;
+}
+
+TEST(MetricsSerdeTest, RoundTripReconstructsEverySeries) {
+  MetricsRegistry original;
+  fill_registry_a(original);
+  const auto blob = serialize_registry(original);
+  ASSERT_FALSE(blob.empty());
+
+  MetricsRegistry copy;
+  ASSERT_TRUE(deserialize_registry(blob, copy));
+  EXPECT_EQ(snapshot(copy), snapshot(original));
+
+  // Quantiles derive from the (exactly reconstructed) buckets, so the
+  // copy answers them identically.
+  const auto& h_in =
+      original.histogram("latency_ns", "", {{"op", "fetch"}});
+  const auto& h_out = copy.histogram("latency_ns", "", {{"op", "fetch"}});
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(h_out.quantile(q), h_in.quantile(q));
+  }
+}
+
+TEST(MetricsSerdeTest, EmptyRegistryRoundTrips) {
+  MetricsRegistry empty;
+  const auto blob = serialize_registry(empty);
+  MetricsRegistry copy;
+  ASSERT_TRUE(deserialize_registry(blob, copy));
+  EXPECT_TRUE(copy.collect().empty());
+}
+
+TEST(MetricsSerdeTest, SerializedMergeEqualsInProcessMerge) {
+  // The satellite property: deserialize(serialize(r)).merge() ≡ merge(r).
+  MetricsRegistry a;
+  MetricsRegistry b;
+  fill_registry_a(a);
+  fill_registry_b(b);
+
+  MetricsRegistry in_process;
+  in_process.merge(a);
+  in_process.merge(b);
+
+  MetricsRegistry via_wire;
+  ASSERT_TRUE(merge_serialized(via_wire, serialize_registry(a)));
+  ASSERT_TRUE(merge_serialized(via_wire, serialize_registry(b)));
+
+  EXPECT_EQ(snapshot(via_wire), snapshot(in_process));
+
+  // Spot-check the merge semantics themselves: counters accumulated,
+  // gauge adopted B's later value, histogram holds both sides' samples.
+  EXPECT_EQ(via_wire.counter("requests_total", "", {{"code", "200"}}).value(),
+            12u);
+  EXPECT_EQ(via_wire.gauge("queue_depth", "").value(), 3.0);
+  EXPECT_EQ(
+      via_wire.histogram("latency_ns", "", {{"op", "fetch"}}).count(), 8u);
+}
+
+TEST(MetricsSerdeTest, ExtraLabelsRelabelEverySeries) {
+  MetricsRegistry worker;
+  worker.counter("shards_total", "shards").inc(3);
+  worker.gauge("busy", "busy", {{"phase", "fetch"}}).set(1.0);
+
+  MetricsRegistry coordinator;
+  ASSERT_TRUE(merge_serialized(coordinator, serialize_registry(worker),
+                               {{"worker", "w1"}}));
+
+  // The relabeled series exist; the unlabeled originals do not.
+  bool found_counter = false;
+  bool found_gauge = false;
+  for (const auto& metric : coordinator.collect()) {
+    if (metric.name == "shards_total") {
+      EXPECT_EQ(metric.labels, (Labels{{"worker", "w1"}}));
+      EXPECT_EQ(metric.counter->value(), 3u);
+      found_counter = true;
+    }
+    if (metric.name == "busy") {
+      EXPECT_EQ(metric.labels,
+                (Labels{{"phase", "fetch"}, {"worker", "w1"}}));
+      found_gauge = true;
+    }
+  }
+  EXPECT_TRUE(found_counter);
+  EXPECT_TRUE(found_gauge);
+
+  // Two workers' identically-named series stay distinguishable.
+  ASSERT_TRUE(merge_serialized(coordinator, serialize_registry(worker),
+                               {{"worker", "w2"}}));
+  EXPECT_EQ(
+      coordinator.counter("shards_total", "", {{"worker", "w1"}}).value(), 3u);
+  EXPECT_EQ(
+      coordinator.counter("shards_total", "", {{"worker", "w2"}}).value(), 3u);
+}
+
+TEST(MetricsSerdeTest, RejectsTruncationsWithoutCrashing) {
+  MetricsRegistry registry;
+  fill_registry_a(registry);
+  const auto blob = serialize_registry(registry);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    MetricsRegistry scratch;
+    EXPECT_FALSE(deserialize_registry(
+        std::span(blob.data(), cut), scratch))
+        << "truncation at " << cut << " accepted";
+  }
+}
+
+TEST(MetricsSerdeTest, SurvivesSeededBitFlips) {
+  MetricsRegistry registry;
+  fill_registry_a(registry);
+  const auto pristine = serialize_registry(registry);
+  std::mt19937 rng(0xC0FFEE);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    auto blob = pristine;
+    for (int flips = 1 + static_cast<int>(rng() % 4); flips > 0; --flips) {
+      blob[rng() % blob.size()] ^= 1u << (rng() % 8);
+    }
+    MetricsRegistry scratch;
+    // Accept or reject — either is fine; crashing or hanging is not. A
+    // flip that only touches a value byte can still decode.
+    (void)merge_serialized(scratch, blob);
+  }
+}
+
+TEST(MetricsSerdeTest, RejectsTypeConflicts) {
+  MetricsRegistry sender;
+  sender.counter("depth", "was a counter over there").inc(9);
+  const auto blob = serialize_registry(sender);
+
+  MetricsRegistry receiver;
+  receiver.gauge("depth", "is a gauge here").set(4.0);
+  EXPECT_FALSE(merge_serialized(receiver, blob));
+  // The receiver's own series is untouched.
+  EXPECT_EQ(receiver.gauge("depth", "").value(), 4.0);
+}
+
+TEST(MetricsSerdeTest, GarbageAndEmptyInputsRejected) {
+  MetricsRegistry scratch;
+  EXPECT_FALSE(deserialize_registry({}, scratch));
+  const std::vector<std::uint8_t> garbage(64, 0xAB);
+  EXPECT_FALSE(deserialize_registry(garbage, scratch));
+}
+
+}  // namespace
+}  // namespace dcv::obs

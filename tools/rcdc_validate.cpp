@@ -17,7 +17,12 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "dist/coordinator.hpp"
+#include "dist/process.hpp"
+#include "dist/report.hpp"
+#include "dist/transport.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry_server.hpp"
@@ -92,7 +97,33 @@ void usage() {
       "  --ready-coverage T   minimum per-cycle device coverage (def 0.9)\n"
       "  --ready-max-breaker-opens N  tolerated opens per cycle (def 0)\n"
       "  --ready-max-age-sec N  503 when the last cycle is older than N\n"
-      "                       seconds (default 0 = disabled)\n";
+      "                       seconds (default 0 = disabled)\n"
+      "distributed validation (coordinator/worker fleet; enabled by\n"
+      "--workers or --listen; combines with --cycles/--serve/--json):\n"
+      "  --workers N          spawn N local dcv_worker processes and shard\n"
+      "                       the device space across them\n"
+      "  --listen PORT        also/instead accept external dcv_worker\n"
+      "                       connections on 127.0.0.1:PORT (0=ephemeral)\n"
+      "  --expect-workers N   wait for N workers before the first cycle\n"
+      "                       (default: the --workers count)\n"
+      "  --accept-timeout-sec N  admission wait bound (default 30)\n"
+      "  --lease-ms N         shard lease; a worker silent this long is\n"
+      "                       declared lost and its shard reassigned\n"
+      "                       (default 5000)\n"
+      "  --heartbeat-ms N     heartbeat cadence advertised to workers\n"
+      "                       (default 1000)\n"
+      "  --shard-retry N      extra deliveries per lost shard before it is\n"
+      "                       marked failed (default 2); exhausting the\n"
+      "                       budget completes the run degraded (exit 4,\n"
+      "                       coverage < 1) instead of hanging\n"
+      "  --shards-per-worker N  shards carved per worker (default 4)\n"
+      "  --worker-bin PATH    dcv_worker binary (default: next to this\n"
+      "                       binary)\n"
+      "  --worker-fetch-latency-us N  simulated per-device pull latency\n"
+      "                       passed to spawned workers (default 0)\n"
+      "  --worker-arg ARG     extra flag passed through to every spawned\n"
+      "                       worker (repeatable)\n"
+      "  --ready-min-workers N  /readyz fails below N live workers (def 1)\n";
 }
 
 std::string slurp(const std::string& path) {
@@ -219,6 +250,19 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::size_t trace_capacity = 65536;
   rcdc::ReadinessRules readiness;
+  unsigned spawn_workers = 0;
+  bool listen_set = false;
+  std::uint16_t listen_port = 0;
+  std::size_t expect_workers = 0;
+  std::chrono::milliseconds dist_lease{5000};
+  std::chrono::milliseconds dist_heartbeat{1000};
+  std::uint32_t shard_retry = 2;
+  std::uint32_t shards_per_worker = 4;
+  std::chrono::seconds accept_timeout{30};
+  std::string worker_bin;
+  std::uint64_t worker_fetch_latency_us = 0;
+  std::vector<std::string> worker_extra_args;
+  dist::FleetReadinessRules fleet_readiness;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -343,6 +387,31 @@ int main(int argc, char** argv) {
       trace_out = value();
     } else if (flag == "--trace-capacity") {
       trace_capacity = count_value();
+    } else if (flag == "--workers") {
+      spawn_workers = static_cast<unsigned>(count_value());
+    } else if (flag == "--listen") {
+      listen_set = true;
+      listen_port = static_cast<std::uint16_t>(count_value());
+    } else if (flag == "--expect-workers") {
+      expect_workers = count_value();
+    } else if (flag == "--lease-ms") {
+      dist_lease = std::chrono::milliseconds(count_value());
+    } else if (flag == "--heartbeat-ms") {
+      dist_heartbeat = std::chrono::milliseconds(count_value());
+    } else if (flag == "--shard-retry") {
+      shard_retry = static_cast<std::uint32_t>(count_value());
+    } else if (flag == "--shards-per-worker") {
+      shards_per_worker = static_cast<std::uint32_t>(count_value());
+    } else if (flag == "--accept-timeout-sec") {
+      accept_timeout = std::chrono::seconds(count_value());
+    } else if (flag == "--worker-bin") {
+      worker_bin = value();
+    } else if (flag == "--worker-fetch-latency-us") {
+      worker_fetch_latency_us = count_value();
+    } else if (flag == "--worker-arg") {
+      worker_extra_args.push_back(value());
+    } else if (flag == "--ready-min-workers") {
+      fleet_readiness.min_workers = count_value();
     } else if (flag == "--ready-coverage") {
       readiness.min_coverage = double_value();
     } else if (flag == "--ready-max-breaker-opens") {
@@ -372,15 +441,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Live-monitoring mode: any serve/cycles/trace request turns the offline
-  // sweep into a continuously running MonitoringPipeline.
-  const bool pipeline_mode = serve_set || cycles_given || !trace_out.empty();
-  if (pipeline_mode && !cycles_given && !serve_set) cycles = 1;
+  // Distributed mode: shard the device space across worker processes. Any
+  // serve/cycles/trace request otherwise turns the offline sweep into a
+  // continuously running MonitoringPipeline.
+  const bool distributed = spawn_workers > 0 || listen_set;
+  const bool pipeline_mode =
+      !distributed && (serve_set || cycles_given || !trace_out.empty());
+  if ((pipeline_mode || distributed) && !cycles_given && !serve_set) {
+    cycles = 1;
+  }
 
   try {
     obs::MetricsRegistry registry;
     obs::MetricsRegistry* metrics =
-        (pipeline_mode || !metrics_out.empty()) ? &registry : nullptr;
+        (pipeline_mode || distributed || !metrics_out.empty()) ? &registry
+                                                               : nullptr;
 
     // Periodic atomic-rename flush: a killed run still leaves a complete,
     // recent exposition on disk for the scraper/artifact step.
@@ -407,6 +482,182 @@ int main(int argc, char** argv) {
     const topo::Topology topology =
         topo::parse_topology(slurp(topology_path));
     const topo::MetadataService metadata(topology);
+
+    if (distributed) {
+      // Coordinator role: SIGPIPE must surface as transport errors, and
+      // SIGCHLD marks exited workers for reaping between cycles.
+      dist::install_fleet_signal_handlers();
+      std::signal(SIGINT, on_signal);
+      std::signal(SIGTERM, on_signal);
+
+      dist::TcpListener listener(listen_set ? listen_port : 0);
+      if (!quiet || listen_set) {
+        // JSON mode keeps stdout machine-readable: the report only.
+        std::ostream& log = as_json ? std::cerr : std::cout;
+        log << "coordinator: accepting workers on 127.0.0.1:"
+            << listener.port() << "\n";
+        log.flush();
+      }
+
+      dist::WorkerFleet fleet(&registry);
+      if (spawn_workers > 0) {
+        if (worker_bin.empty()) {
+          worker_bin = (std::filesystem::path(argv[0]).parent_path() /
+                        "dcv_worker")
+                           .string();
+        }
+        for (unsigned w = 0; w < spawn_workers; ++w) {
+          std::vector<std::string> args = {
+              worker_bin,
+              "--connect",
+              "127.0.0.1:" + std::to_string(listener.port()),
+              "--topology",
+              topology_path,
+              "--worker-id",
+              "w" + std::to_string(w),
+              "--verifier",
+              verifier_name,
+              "--quiet",
+          };
+          if (!tables_dir.empty()) {
+            args.push_back("--tables");
+            args.push_back(tables_dir);
+          }
+          if (worker_fetch_latency_us > 0) {
+            args.push_back("--fetch-latency-us");
+            args.push_back(std::to_string(worker_fetch_latency_us));
+          }
+          args.insert(args.end(), worker_extra_args.begin(),
+                      worker_extra_args.end());
+          if (fleet.spawn(args) < 0) {
+            std::cerr << "rcdc_validate: cannot spawn " << worker_bin << "\n";
+            return 1;
+          }
+        }
+      }
+
+      std::size_t expect = expect_workers > 0 ? expect_workers : spawn_workers;
+      if (expect == 0) {
+        std::cerr << "rcdc_validate: --listen needs --expect-workers N "
+                     "(or combine with --workers)\n";
+        return 2;
+      }
+
+      dist::CoordinatorConfig coordinator_config;
+      coordinator_config.lease = dist_lease;
+      coordinator_config.heartbeat_interval = dist_heartbeat;
+      coordinator_config.shard_retry_budget = shard_retry;
+      coordinator_config.shards_per_worker = shards_per_worker;
+      coordinator_config.metrics = &registry;
+      dist::Coordinator coordinator(metadata, coordinator_config);
+
+      std::unique_ptr<obs::TelemetryServer> server;
+      if (serve_set) {
+        obs::TelemetryServerConfig server_config;
+        server_config.port = serve_port;
+        fleet_readiness.min_coverage = readiness.min_coverage;
+        server = std::make_unique<obs::TelemetryServer>(
+            &registry, nullptr,
+            dist::make_fleet_probe(coordinator, fleet_readiness),
+            server_config);
+        std::cout << "telemetry: /metrics /metrics.json /healthz /readyz "
+                     "on port "
+                  << server->port() << "\n";
+        std::cout.flush();
+      }
+
+      // Admission: accept + handshake until the expected fleet is live.
+      const auto accept_deadline =
+          std::chrono::steady_clock::now() + accept_timeout;
+      while (coordinator.live_workers() < expect && !g_stop &&
+             std::chrono::steady_clock::now() < accept_deadline) {
+        auto transport = listener.accept(std::chrono::milliseconds(50));
+        if (transport != nullptr) {
+          coordinator.add_worker(std::move(transport));
+        }
+        coordinator.pump(expect, std::chrono::milliseconds(10));
+        fleet.reap();
+      }
+      if (coordinator.live_workers() == 0) {
+        std::cerr << "rcdc_validate: no workers joined within "
+                  << accept_timeout.count() << " s\n";
+        return 1;
+      }
+
+      bool any_degraded = false;
+      std::size_t total_violations = 0;
+      std::uint64_t completed = 0;
+      std::string last_report;
+      for (std::uint64_t c = 0; (cycles == 0 || c < cycles) && !g_stop;
+           ++c) {
+        dist::DistributedSummary summary = coordinator.run_cycle();
+        ++completed;
+        any_degraded = any_degraded || summary.degraded();
+        total_violations += summary.merged.violations.size();
+        for (const dist::WorkerExit& exit : fleet.reap()) {
+          if (!quiet) {
+            std::cerr << "worker pid " << exit.pid << " exited ("
+                      << exit.reason << " " << exit.code << ")\n";
+          }
+        }
+        std::size_t shards_ok = 0;
+        for (const dist::ShardOutcome& shard : summary.shards) {
+          if (shard.status != dist::ShardStatus::kFailed) ++shards_ok;
+        }
+        if (!quiet) {
+          std::fprintf(
+              as_json ? stderr : stdout,
+              "cycle %llu: coverage %.1f%%, %zu violations, %zu/%zu shards "
+              "validated, %zu reassignments, %zu workers live%s\n",
+              static_cast<unsigned long long>(completed),
+              100.0 * summary.coverage(), summary.merged.violations.size(),
+              shards_ok, summary.shards.size(), summary.reassignments,
+              coordinator.live_workers(),
+              summary.degraded() ? " [DEGRADED]" : "");
+          std::fflush(as_json ? stderr : stdout);
+        }
+        if (as_json) {
+          last_report = dist::write_distributed_report_json(summary, topology);
+        }
+        // Re-admit reconnecting workers between cycles, then pause.
+        const auto pause_until =
+            std::chrono::steady_clock::now() + cycle_interval;
+        do {
+          auto transport = listener.accept(std::chrono::milliseconds(0));
+          if (transport != nullptr) {
+            coordinator.add_worker(std::move(transport));
+            coordinator.pump(expect, std::chrono::milliseconds(20));
+          }
+          if (std::chrono::steady_clock::now() >= pause_until) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        } while (!g_stop && (cycles == 0 || c + 1 < cycles));
+      }
+
+      coordinator.shutdown_workers();
+      for (int i = 0; i < 40 && fleet.alive() > 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        fleet.reap();
+      }
+      if (server != nullptr) server->stop();
+      if (as_json) std::cout << last_report;
+      if (!metrics_out.empty()) {
+        if (!quiet && !as_json) print_latency_table(registry);
+        write_metrics_file(registry, metrics_out, metrics_format);
+      }
+      if (!as_json) {
+        std::cout << "rcdc_validate: " << completed
+                  << " distributed cycles, " << total_violations
+                  << " violations"
+                  << (any_degraded ? " (degraded: lost shards exhausted "
+                                     "their retry budget)"
+                                   : "")
+                  << (g_stop ? " (stopped by signal)" : "") << "\n";
+      }
+      // Exit codes: degraded completion is distinct from both success and
+      // ordinary violations so CI and operators can tell them apart.
+      if (any_degraded) return 4;
+      return total_violations == 0 ? 0 : 3;
+    }
 
     std::unique_ptr<routing::BgpSimulator> simulator;
     std::unique_ptr<rcdc::FibSource> fibs;
