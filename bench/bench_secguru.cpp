@@ -1,0 +1,256 @@
+// SecGuru fast path: what does contract checking cost when most contracts
+// never reach Z3?
+//
+// bench_secguru_acl measures the Z3 engine's scaling across rule-count
+// bands. This bench measures the interval fast path against that engine on
+// the same workload — the band-1000 legacy edge ACL and its regression
+// suite — in three regimes:
+//
+//   1. suite sweep: FastEngine::check_suite vs Engine::check_suite, paired
+//      per-run ratios (both sides see the same machine conditions), gated
+//      on the median;
+//   2. warm re-check: IncrementalSuiteChecker after a 1-rule edit, vs a
+//      full fast-path sweep — only contracts whose filter intersects the
+//      edited rule's cube are re-verified;
+//   3. differential: randomized policies × contracts where FastEngine and
+//      Engine must agree on every verdict (exit 3 on any disagreement, the
+//      same convention as bench_hotpath's engine cross-check).
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_io.hpp"
+#include "obs/metrics.hpp"
+#include "secguru/engine.hpp"
+#include "secguru/fast_engine.hpp"
+#include "secguru/refactor.hpp"
+
+namespace {
+
+using namespace dcv;
+using namespace dcv::secguru;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Appends the 1-rule edit for the warm regime: a narrow whitelist permit
+/// (one host to one /28 service endpoint on 443) whose cube intersects
+/// exactly one regression contract's filter.
+Policy with_one_rule_edit(const Policy& base) {
+  Policy edited = base;
+  edited.rules.push_back(Rule{
+      .action = Action::kPermit,
+      .protocol = net::ProtocolSpec::tcp(),
+      .src = net::Prefix::parse("8.8.8.8/32"),
+      .src_ports = net::PortRange::any(),
+      .dst = net::Prefix::parse("104.208.0.16/28"),
+      .dst_ports = net::PortRange::exactly(443),
+      .comment = "bench: 1-rule edit"});
+  return edited;
+}
+
+bool same_failures(const PolicyReport& a, const PolicyReport& b) {
+  if (a.failures.size() != b.failures.size()) return false;
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    if (a.failures[i].contract_name != b.failures[i].contract_name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_out = benchio::extract_json_flag(argc, argv);
+  benchio::BenchReport report("bench_secguru");
+  obs::MetricsRegistry registry;
+
+  // The band-1000 workload of bench_secguru_acl: ~1000 rules, ~74
+  // contracts (the paper's "approximately 300ms ... takes a second" band).
+  const LegacyAclParams params{.owned_prefixes = 24,
+                               .services = 60,
+                               .whitelist_entries_per_service = 12,
+                               .zero_day_blocks = 20};
+  const Policy acl = generate_legacy_edge_acl(params);
+  const ContractSuite suite = edge_acl_contracts(params);
+
+  std::printf("== secguru fast path (%zu rules, %zu contracts) ==\n\n",
+              acl.rules.size(), suite.contracts.size());
+
+  Engine z3_engine;
+  FastEngine fast(FastEngineConfig{}, &registry);
+
+  // -- suite sweep: fast path vs Z3, paired medians -----------------------
+  (void)z3_engine.check_suite(acl, suite);  // warmup (Z3 context, caches)
+  (void)fast.check_suite(acl, suite);
+  std::array<double, 3> paired_speedup{};
+  double z3_s = 1e300;
+  double fast_s = 1e300;
+  PolicyReport z3_report;
+  PolicyReport fast_report;
+  for (std::size_t run = 0; run < paired_speedup.size(); ++run) {
+    auto start = std::chrono::steady_clock::now();
+    z3_report = z3_engine.check_suite(acl, suite);
+    const double run_z3 = seconds_since(start);
+    start = std::chrono::steady_clock::now();
+    fast_report = fast.check_suite(acl, suite);
+    const double run_fast = seconds_since(start);
+    z3_s = std::min(z3_s, run_z3);
+    fast_s = std::min(fast_s, run_fast);
+    paired_speedup[run] = run_z3 / run_fast;
+  }
+  if (!same_failures(z3_report, fast_report)) {
+    std::printf("FATAL: engines disagree on the edge suite (%zu vs %zu "
+                "failures)\n",
+                z3_report.failures.size(), fast_report.failures.size());
+    return 3;
+  }
+  std::sort(paired_speedup.begin(), paired_speedup.end());
+  const double suite_speedup = paired_speedup[paired_speedup.size() / 2];
+  const double hit_fraction =
+      static_cast<double>(fast.fastpath_hits()) /
+      static_cast<double>(fast.fastpath_hits() + fast.smt_fallbacks());
+  std::printf("suite sweep (best of %zu):\n", paired_speedup.size());
+  std::printf("  Z3 engine  : %8.1f ms\n", z3_s * 1e3);
+  std::printf("  fast path  : %8.3f ms  (%.0f%% decided without Z3)\n",
+              fast_s * 1e3, hit_fraction * 100.0);
+  std::printf("  speedup: %.1fx (acceptance floor 5x)\n\n", suite_speedup);
+  // The frozen Z3 baseline drifting with machine load is noise, not a
+  // product regression — informational only.
+  report.value("suite_z3_ms", "ms", z3_s * 1e3, "none");
+  report.value("suite_fast_ms", "ms", fast_s * 1e3, "lower");
+  report.value("suite_speedup_ratio", "x", suite_speedup, "higher");
+  report.value("fastpath_hit_fraction", "ratio", hit_fraction, "higher");
+
+  // -- warm re-check after a 1-rule edit ----------------------------------
+  const Policy edited = with_one_rule_edit(acl);
+  IncrementalSuiteChecker checker(fast, suite, &registry);
+  (void)checker.check(acl);  // prime the cache
+  std::array<double, 5> warm_paired{};
+  double warm_s = 1e300;
+  double full_s = 1e300;
+  std::size_t reverified = 0;
+  for (std::size_t run = 0; run < warm_paired.size(); ++run) {
+    // Alternate edit/revert so every timed check sees a 1-rule diff.
+    const Policy& next = run % 2 == 0 ? edited : acl;
+    auto start = std::chrono::steady_clock::now();
+    const auto outcome = checker.check(next);
+    const double run_warm = seconds_since(start);
+    start = std::chrono::steady_clock::now();
+    const PolicyReport full = fast.check_suite(next, suite);
+    const double run_full = seconds_since(start);
+    if (!same_failures(outcome.report, full)) {
+      std::printf("FATAL: incremental re-check disagrees with full check\n");
+      return 3;
+    }
+    warm_s = std::min(warm_s, run_warm);
+    full_s = std::min(full_s, run_full);
+    warm_paired[run] = run_full / run_warm;
+    reverified = outcome.reverified;
+  }
+  std::sort(warm_paired.begin(), warm_paired.end());
+  const double warm_speedup = warm_paired[warm_paired.size() / 2];
+  std::printf("warm re-check after 1-rule edit (best of %zu):\n",
+              warm_paired.size());
+  std::printf("  full fast sweep : %8.3f ms (%zu contracts)\n", full_s * 1e3,
+              suite.contracts.size());
+  std::printf("  incremental     : %8.3f ms (%zu re-verified)\n",
+              warm_s * 1e3, reverified);
+  std::printf("  warm speedup: %.1fx (acceptance floor 3x)\n\n",
+              warm_speedup);
+  report.value("warm_full_ms", "ms", full_s * 1e3, "none");
+  report.value("warm_recheck_ms", "ms", warm_s * 1e3, "lower");
+  report.value("warm_speedup_ratio", "x", warm_speedup, "higher");
+
+  // -- randomized differential: FastEngine must agree with Engine ---------
+  std::mt19937_64 rng(20190819);
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<int> len(4, 30);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> port_pick(0, 4);
+  constexpr std::uint16_t kPorts[] = {80, 443, 445, 1433, 0xFFFF};
+  std::size_t cases = 0;
+  const auto diff_start = std::chrono::steady_clock::now();
+  for (int trial = 0; trial < 250; ++trial) {
+    Policy policy{.name = "differential",
+                  .semantics = coin(rng) == 0
+                                   ? PolicySemantics::kFirstApplicable
+                                   : PolicySemantics::kDenyOverrides,
+                  .rules = {}};
+    for (int i = 0; i < 8; ++i) {
+      policy.rules.push_back(Rule{
+          .action = coin(rng) == 0 ? Action::kPermit : Action::kDeny,
+          .protocol = coin(rng) == 0 ? net::ProtocolSpec::any()
+                                     : net::ProtocolSpec::tcp(),
+          .src = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .src_ports = net::PortRange::any(),
+          .dst = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .dst_ports = coin(rng) == 0
+                           ? net::PortRange::any()
+                           : net::PortRange::exactly(
+                                 kPorts[port_pick(rng)])});
+    }
+    for (int c = 0; c < 8; ++c) {
+      const ConnectivityContract contract{
+          .name = "c" + std::to_string(cases),
+          .expect = coin(rng) == 0 ? Expectation::kAllow
+                                   : Expectation::kDeny,
+          .protocol = coin(rng) == 0 ? net::ProtocolSpec::any()
+                                     : net::ProtocolSpec::tcp(),
+          .src = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .src_ports = net::PortRange::any(),
+          .dst = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .dst_ports = coin(rng) == 0
+                           ? net::PortRange::any()
+                           : net::PortRange::exactly(
+                                 kPorts[port_pick(rng)])};
+      const auto fast_result = fast.check(policy, contract);
+      const auto z3_result = z3_engine.check(policy, contract);
+      ++cases;
+      if (fast_result.holds != z3_result.holds) {
+        std::printf("FATAL: differential disagreement on case %zu\n", cases);
+        return 3;
+      }
+      if (!fast_result.holds) {
+        // The fast witness must really violate the expectation.
+        if (!fast_result.witness.has_value() ||
+            !contract.covers(*fast_result.witness) ||
+            evaluate(policy, *fast_result.witness).allowed !=
+                (contract.expect == Expectation::kDeny)) {
+          std::printf("FATAL: invalid fast-path witness on case %zu\n",
+                      cases);
+          return 3;
+        }
+      }
+    }
+  }
+  const double diff_s = seconds_since(diff_start);
+  std::printf("differential: %zu randomized cases agree (%.1f s)\n\n",
+              cases, diff_s);
+  report.value("differential_cases", "cases",
+               static_cast<double>(cases), "higher");
+
+  report.workload("rules", static_cast<double>(acl.rules.size()));
+  report.workload("contracts", static_cast<double>(suite.contracts.size()));
+  report.workload("differential_trials", 250.0);
+  report.attach_registry(&registry);
+
+  const bool pass =
+      suite_speedup >= 5.0 && warm_speedup >= 3.0 && cases >= 2000;
+  std::printf("acceptance: suite >= 5x %s, warm >= 3x %s, "
+              "differential >= 2000 cases %s\n",
+              suite_speedup >= 5.0 ? "OK" : "FAIL",
+              warm_speedup >= 3.0 ? "OK" : "FAIL",
+              cases >= 2000 ? "OK" : "FAIL");
+
+  if (!json_out.empty() && !report.write(json_out)) return 1;
+  return pass ? 0 : 2;
+}

@@ -49,6 +49,13 @@ struct PortRange {
   [[nodiscard]] constexpr bool overlaps(const PortRange& o) const {
     return lo <= o.hi && o.lo <= hi;
   }
+  /// True iff the range holds at least one port (lo <= hi). An inverted
+  /// range denotes the empty set — contains() is false for every port.
+  [[nodiscard]] constexpr bool valid() const { return lo <= hi; }
+  /// The overlap of the two ranges; !valid() when they are disjoint.
+  [[nodiscard]] constexpr PortRange intersection(const PortRange& o) const {
+    return PortRange(lo < o.lo ? o.lo : lo, hi < o.hi ? hi : o.hi);
+  }
 
   [[nodiscard]] std::string to_string() const;
 

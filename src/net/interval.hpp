@@ -39,6 +39,11 @@ struct AddressInterval {
   [[nodiscard]] constexpr bool overlaps(const AddressInterval& o) const {
     return lo <= o.hi && o.lo <= hi;
   }
+  /// The overlap of the two intervals; invalid() when they are disjoint.
+  [[nodiscard]] constexpr AddressInterval intersection(
+      const AddressInterval& o) const {
+    return AddressInterval(lo < o.lo ? o.lo : lo, hi < o.hi ? hi : o.hi);
+  }
   [[nodiscard]] std::uint64_t size() const {
     return std::uint64_t{hi.value()} - lo.value() + 1;
   }

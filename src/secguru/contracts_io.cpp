@@ -141,6 +141,34 @@ ContractSuite parse_contracts(std::string_view text, std::string name) {
   return suite;
 }
 
+std::string write_failure(const ContractCheckResult& failure,
+                          const Policy& policy) {
+  std::string out = "FAIL " + failure.contract_name;
+  if (failure.witness) {
+    out += "  witness: " + failure.witness->to_string();
+  }
+  if (failure.violating_rule &&
+      *failure.violating_rule < policy.rules.size()) {
+    const Rule& rule = policy.rules[*failure.violating_rule];
+    out += "  rule " + std::to_string(rule.line) + ": " + rule.to_string();
+  } else {
+    out += "  (implicit default deny)";
+  }
+  return out;
+}
+
+std::string write_report(const PolicyReport& report, const Policy& policy) {
+  std::string out;
+  for (const ContractCheckResult& failure : report.failures) {
+    out += write_failure(failure, policy) + "\n";
+  }
+  out += std::to_string(policy.rules.size()) + " rules (" +
+         std::string(to_string(policy.semantics)) + "), " +
+         std::to_string(report.contracts_checked) + " contracts, " +
+         std::to_string(report.failures.size()) + " failed\n";
+  return out;
+}
+
 std::string write_contracts(const ContractSuite& suite) {
   std::ostringstream out;
   for (const ConnectivityContract& c : suite.contracts) {

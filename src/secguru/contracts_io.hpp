@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "secguru/contracts.hpp"
+#include "secguru/engine.hpp"
 
 namespace dcv::secguru {
 
@@ -25,5 +26,22 @@ namespace dcv::secguru {
 
 /// Renders a suite back to the same format.
 [[nodiscard]] std::string write_contracts(const ContractSuite& suite);
+
+/// Renders one failure as a report line:
+///
+///   FAIL <contract>  witness: <packet>  rule <line>: <rule text>
+///
+/// A witness decided by no explicit rule renders "(implicit default deny)"
+/// — violating_rule is nullopt exactly when the implicit default deny
+/// decided the witness, and dropping that case silently would hide the
+/// most common NSG lockdown failure mode (every rule missed, so traffic
+/// the contract requires fell through to the default).
+[[nodiscard]] std::string write_failure(const ContractCheckResult& failure,
+                                        const Policy& policy);
+
+/// Renders a whole report: one write_failure line per failure plus the
+/// closing summary ("<n> rules (<semantics>), <m> contracts, <k> failed").
+[[nodiscard]] std::string write_report(const PolicyReport& report,
+                                       const Policy& policy);
 
 }  // namespace dcv::secguru

@@ -212,19 +212,40 @@ std::optional<net::PacketHeader> Engine::permitted_beyond(
 
 std::vector<std::size_t> Engine::shadowed_rules(const Policy& policy) {
   std::vector<std::size_t> shadowed;
-  if (policy.semantics != PolicySemantics::kFirstApplicable) return shadowed;
   z3::context& ctx = impl().ctx;
   const auto x = smt::SymbolicPacket::create(ctx);
-  // Incremental solving: after testing rule i, assert ¬r_i(x) permanently —
-  // a packet deciding rule j > i must not match any earlier rule anyway.
+  if (policy.semantics == PolicySemantics::kFirstApplicable) {
+    // Incremental solving: after testing rule i, assert ¬r_i(x)
+    // permanently — a packet deciding rule j > i must not match any
+    // earlier rule anyway.
+    z3::solver solver(ctx);
+    for (std::size_t i = 0; i < policy.rules.size(); ++i) {
+      const z3::expr r = rule_predicate(x, policy.rules[i]);
+      solver.push();
+      solver.add(r);
+      if (solver.check() != z3::sat) shadowed.push_back(i);
+      solver.pop();
+      solver.add(!r);
+    }
+    return shadowed;
+  }
+  // Deny-overrides: rule order never matters, so "shadowed" means the rule
+  // adds nothing to its action's union — its filter is covered by
+  // same-action rules earlier in the list (earlier-wins makes the answer
+  // deterministic: of N copies, all but the first are redundant). Both
+  // unions grow incrementally; each query is r_i ∧ ¬union(same action).
   z3::solver solver(ctx);
+  z3::expr permit_union = ctx.bool_val(false);
+  z3::expr deny_union = ctx.bool_val(false);
   for (std::size_t i = 0; i < policy.rules.size(); ++i) {
     const z3::expr r = rule_predicate(x, policy.rules[i]);
+    z3::expr& same_action_union =
+        policy.rules[i].action == Action::kPermit ? permit_union : deny_union;
     solver.push();
-    solver.add(r);
+    solver.add(r && !same_action_union);
     if (solver.check() != z3::sat) shadowed.push_back(i);
     solver.pop();
-    solver.add(!r);
+    same_action_union = same_action_union || r;
   }
   return shadowed;
 }

@@ -90,9 +90,13 @@ class Engine {
   [[nodiscard]] std::optional<net::PacketHeader> permitted_beyond(
       const Policy& narrow, const Policy& wide);
 
-  /// Indices of rules that can never decide a packet under the
-  /// first-applicable convention (fully shadowed by earlier rules) — the
-  /// "unnecessary or redundant" rules targeted by ACL refactoring (§3.3).
+  /// Indices of redundant rules — the "unnecessary or redundant" rules
+  /// targeted by ACL refactoring (§3.3). Under first-applicable, a rule is
+  /// shadowed when earlier rules match everything it matches, so it can
+  /// never decide a packet. Under deny-overrides (where order is
+  /// irrelevant), a rule is shadowed when same-action rules earlier in the
+  /// list cover its filter — removing it cannot change any verdict; of N
+  /// identical copies, every copy but the first is reported.
   [[nodiscard]] std::vector<std::size_t> shadowed_rules(const Policy& policy);
 
  private:

@@ -40,7 +40,9 @@ NsgChangeResult NsgGate::try_update(VirtualNetwork& vnet,
     return result;
   }
   const ContractSuite suite = database_backup_contracts(vnet, infra_);
-  result.report = engine_->check_suite(proposed.to_policy(), suite);
+  result.report = fast_ != nullptr
+                      ? fast_->check_suite(proposed.to_policy(), suite)
+                      : engine_->check_suite(proposed.to_policy(), suite);
   result.accepted = result.report.ok();
   if (result.accepted) vnet.nsg = proposed;
   return result;
@@ -96,7 +98,7 @@ Nsg baseline_nsg(const VirtualNetwork& vnet,
 
 std::vector<NsgIncidentDay> simulate_nsg_incidents(
     const NsgIncidentConfig& config) {
-  Engine engine;
+  FastEngine engine;
   const BackupInfrastructure infra;
   const NsgGate gate(engine, infra);
   std::mt19937_64 rng(config.seed);

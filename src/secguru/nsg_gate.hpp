@@ -6,6 +6,7 @@
 
 #include "secguru/contracts.hpp"
 #include "secguru/engine.hpp"
+#include "secguru/fast_engine.hpp"
 #include "secguru/nsg.hpp"
 
 namespace dcv::secguru {
@@ -51,13 +52,20 @@ class NsgGate {
   explicit NsgGate(Engine& engine, BackupInfrastructure infra = {})
       : engine_(&engine), infra_(infra) {}
 
+  /// Gate backed by the interval fast path: most backup contracts are
+  /// decided without ever touching Z3, so the API-path validation cost
+  /// drops accordingly. Inconclusive cases still get exact Z3 answers.
+  explicit NsgGate(FastEngine& engine, BackupInfrastructure infra = {})
+      : fast_(&engine), infra_(infra) {}
+
   /// Validates and, on success, applies `proposed` to the virtual network.
   /// For networks without a database instance no contracts apply and the
   /// change is always accepted.
   NsgChangeResult try_update(VirtualNetwork& vnet, const Nsg& proposed) const;
 
  private:
-  Engine* engine_;
+  Engine* engine_ = nullptr;
+  FastEngine* fast_ = nullptr;
   BackupInfrastructure infra_;
 };
 

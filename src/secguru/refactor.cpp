@@ -240,8 +240,13 @@ Change append_rules(std::string description, std::vector<Rule> rules) {
                 }};
 }
 
-std::vector<StepOutcome> execute_refactor_plan(
-    Engine& engine, Policy& production, const std::vector<Change>& plan,
+namespace {
+
+/// The plan loop, generic over the checker (Engine or FastEngine — both
+/// expose check_suite with the same shape).
+template <typename EngineT>
+std::vector<StepOutcome> run_plan(
+    EngineT& engine, Policy& production, const std::vector<Change>& plan,
     const ContractSuite& contracts, const TestDevice& lab,
     const TestDevice& production_device) {
   std::vector<StepOutcome> outcomes;
@@ -280,6 +285,24 @@ std::vector<StepOutcome> execute_refactor_plan(
     outcomes.push_back(std::move(outcome));
   }
   return outcomes;
+}
+
+}  // namespace
+
+std::vector<StepOutcome> execute_refactor_plan(
+    Engine& engine, Policy& production, const std::vector<Change>& plan,
+    const ContractSuite& contracts, const TestDevice& lab,
+    const TestDevice& production_device) {
+  return run_plan(engine, production, plan, contracts, lab,
+                  production_device);
+}
+
+std::vector<StepOutcome> execute_refactor_plan(
+    FastEngine& engine, Policy& production, const std::vector<Change>& plan,
+    const ContractSuite& contracts, const TestDevice& lab,
+    const TestDevice& production_device) {
+  return run_plan(engine, production, plan, contracts, lab,
+                  production_device);
 }
 
 }  // namespace dcv::secguru

@@ -8,6 +8,7 @@
 
 #include "secguru/contracts.hpp"
 #include "secguru/engine.hpp"
+#include "secguru/fast_engine.hpp"
 #include "secguru/rule.hpp"
 
 namespace dcv::secguru {
@@ -97,6 +98,13 @@ struct StepOutcome {
 /// step back. `production` is updated in place with each successful step.
 [[nodiscard]] std::vector<StepOutcome> execute_refactor_plan(
     Engine& engine, Policy& production, const std::vector<Change>& plan,
+    const ContractSuite& contracts, const TestDevice& lab = {},
+    const TestDevice& production_device = {});
+
+/// Same methodology, pre- and post-checked through the interval fast path
+/// (Z3 only for contracts the set algebra cannot decide exactly).
+[[nodiscard]] std::vector<StepOutcome> execute_refactor_plan(
+    FastEngine& engine, Policy& production, const std::vector<Change>& plan,
     const ContractSuite& contracts, const TestDevice& lab = {},
     const TestDevice& production_device = {});
 

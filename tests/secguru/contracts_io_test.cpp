@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "net/error.hpp"
+#include "secguru/acl_parser.hpp"
+#include "secguru/engine.hpp"
 
 namespace dcv::secguru {
 namespace {
@@ -56,6 +58,71 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ContractsIo, EmptyAndCommentOnly) {
   EXPECT_TRUE(parse_contracts("").contracts.empty());
   EXPECT_TRUE(parse_contracts("# only a comment\n").contracts.empty());
+}
+
+TEST(ContractsIo, WriteFailureRendersViolatingRule) {
+  const Policy acl = parse_acl(
+      "deny tcp any any eq 445\npermit tcp any 1.0.0.0/24 eq 443\n");
+  const ContractCheckResult failure{
+      .contract_name = "smb",
+      .holds = false,
+      .witness = net::PacketHeader{.src_ip = net::Ipv4Address(0x08080808),
+                                   .src_port = 1,
+                                   .dst_ip = net::Ipv4Address(0x01000001),
+                                   .dst_port = 445,
+                                   .protocol = 6},
+      .violating_rule = 0};
+  const std::string line = write_failure(failure, acl);
+  EXPECT_NE(line.find("FAIL smb"), std::string::npos);
+  EXPECT_NE(line.find("witness:"), std::string::npos);
+  EXPECT_NE(line.find("rule " + std::to_string(acl.rules[0].line)),
+            std::string::npos);
+  EXPECT_NE(line.find(acl.rules[0].to_string()), std::string::npos);
+  EXPECT_EQ(line.find("implicit default deny"), std::string::npos);
+}
+
+TEST(ContractsIo, WriteFailureRendersImplicitDefaultDeny) {
+  // violating_rule == nullopt means the implicit default deny decided the
+  // witness — the report must say so rather than dropping the field.
+  const Policy acl = parse_acl("permit tcp any 1.0.0.0/24 eq 443\n");
+  const ContractCheckResult failure{
+      .contract_name = "unreached",
+      .holds = false,
+      .witness = net::PacketHeader{.src_ip = net::Ipv4Address(0x08080808),
+                                   .src_port = 1,
+                                   .dst_ip = net::Ipv4Address(0x09090909),
+                                   .dst_port = 443,
+                                   .protocol = 6},
+      .violating_rule = std::nullopt};
+  const std::string line = write_failure(failure, acl);
+  EXPECT_NE(line.find("FAIL unreached"), std::string::npos);
+  EXPECT_NE(line.find("(implicit default deny)"), std::string::npos);
+}
+
+TEST(ContractsIo, WriteReportRoundTripThroughEngine) {
+  // End-to-end: check a suite whose failures include both a rule-decided
+  // witness and a default-deny witness, and render the whole report.
+  Engine engine;
+  const Policy acl = parse_acl(
+      "deny tcp any any eq 445\npermit tcp any 1.0.0.0/24 eq 443\n");
+  const ContractSuite suite = parse_contracts(
+      "allow tcp any 1.0.0.0/24 eq 445  # smb-open\n"
+      "allow tcp any 9.9.9.0/24 eq 443  # other-net\n"
+      "allow tcp any 1.0.0.0/24 eq 443  # web\n");
+  const PolicyReport report = engine.check_suite(acl, suite);
+  ASSERT_EQ(report.failures.size(), 2u);
+
+  const std::string text = write_report(report, acl);
+  // The rule-decided failure names the deny rule...
+  EXPECT_NE(text.find("FAIL smb-open"), std::string::npos);
+  EXPECT_NE(text.find(acl.rules[0].to_string()), std::string::npos);
+  // ...the default-deny failure is rendered explicitly, not dropped...
+  EXPECT_NE(text.find("FAIL other-net"), std::string::npos);
+  EXPECT_NE(text.find("(implicit default deny)"), std::string::npos);
+  // ...and the summary counts match the report.
+  EXPECT_NE(text.find("2 rules"), std::string::npos);
+  EXPECT_NE(text.find("3 contracts"), std::string::npos);
+  EXPECT_NE(text.find("2 failed"), std::string::npos);
 }
 
 }  // namespace

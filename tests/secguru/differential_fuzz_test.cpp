@@ -1,0 +1,242 @@
+// Seeded differential fuzzing of the concrete evaluator against the Z3
+// encoding: secguru::evaluate() and smt's policy_predicate must agree on
+// every packet, under both combination conventions. The Z3 side is driven
+// through the public Engine API with point contracts — a contract whose
+// filter is a single packet (host /32 sources and destinations, exact
+// ports, one protocol) expecting kAllow holds iff the policy admits that
+// packet.
+//
+// Packets are sampled adversarially at rule boundaries (interval endpoints
+// and their off-by-one neighbors, blocked-port edges, protocol wildcard
+// vs. exact numbers) plus uniformly at random, which is exactly where
+// range-endpoint, wildcard, and default-deny divergences would hide.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "net/interval.hpp"
+#include "secguru/engine.hpp"
+#include "secguru/rule.hpp"
+
+namespace dcv::secguru {
+namespace {
+
+/// A contract matching exactly `packet`, expecting it to be admitted.
+ConnectivityContract point_contract(const net::PacketHeader& packet) {
+  return ConnectivityContract{
+      .name = "point",
+      .expect = Expectation::kAllow,
+      .protocol = net::ProtocolSpec(packet.protocol),
+      .src = net::Prefix(packet.src_ip, 32),
+      .src_ports = net::PortRange::exactly(packet.src_port),
+      .dst = net::Prefix(packet.dst_ip, 32),
+      .dst_ports = net::PortRange::exactly(packet.dst_port)};
+}
+
+/// The Z3 oracle: does the symbolic policy predicate admit `packet`?
+bool z3_allows(Engine& engine, const Policy& policy,
+               const net::PacketHeader& packet) {
+  // The point contract holds iff every packet it covers — exactly one —
+  // is admitted by P(x).
+  return engine.check(policy, point_contract(packet)).holds;
+}
+
+/// Interesting coordinates for one dimension: every rule endpoint and its
+/// off-by-one neighbors (clamped), so samples land on both sides of every
+/// interval boundary in the policy.
+template <typename T, typename U>
+void add_boundaries(std::vector<T>& out, U lo, U hi, U min, U max) {
+  out.push_back(static_cast<T>(lo));
+  out.push_back(static_cast<T>(hi));
+  if (lo > min) out.push_back(static_cast<T>(lo - 1));
+  if (hi < max) out.push_back(static_cast<T>(hi + 1));
+}
+
+struct CandidatePools {
+  std::vector<std::uint32_t> src_ips;
+  std::vector<std::uint32_t> dst_ips;
+  std::vector<std::uint16_t> src_ports;
+  std::vector<std::uint16_t> dst_ports;
+  std::vector<std::uint8_t> protocols;
+};
+
+CandidatePools pools_for(const Policy& policy) {
+  CandidatePools pools;
+  pools.protocols = {0, 1, 6, 17, 255};
+  pools.src_ports = {0, 0xFFFF};
+  pools.dst_ports = {0, 0xFFFF};
+  for (const Rule& rule : policy.rules) {
+    const auto src = net::AddressInterval::from_prefix(rule.src);
+    const auto dst = net::AddressInterval::from_prefix(rule.dst);
+    add_boundaries(pools.src_ips, src.lo.value(), src.hi.value(), 0u,
+                   0xFFFFFFFFu);
+    add_boundaries(pools.dst_ips, dst.lo.value(), dst.hi.value(), 0u,
+                   0xFFFFFFFFu);
+    add_boundaries(pools.src_ports, rule.src_ports.lo, rule.src_ports.hi,
+                   std::uint16_t{0}, std::uint16_t{0xFFFF});
+    add_boundaries(pools.dst_ports, rule.dst_ports.lo, rule.dst_ports.hi,
+                   std::uint16_t{0}, std::uint16_t{0xFFFF});
+    if (rule.protocol.number) {
+      add_boundaries(pools.protocols, *rule.protocol.number,
+                     *rule.protocol.number, std::uint8_t{0},
+                     std::uint8_t{0xFF});
+    }
+  }
+  return pools;
+}
+
+Policy random_policy(std::mt19937_64& rng, PolicySemantics semantics,
+                     int rule_count) {
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<int> len(0, 32);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> pick(0, 5);
+  std::uniform_int_distribution<std::uint16_t> port;
+  constexpr std::uint8_t kProtocols[] = {1, 6, 17, 47};
+
+  Policy policy{.name = "fuzz", .semantics = semantics, .rules = {}};
+  for (int i = 0; i < rule_count; ++i) {
+    const auto ports = [&]() -> net::PortRange {
+      switch (pick(rng)) {
+        case 0:
+          return net::PortRange::any();
+        case 1:
+          return net::PortRange::exactly(port(rng));
+        default: {
+          const std::uint16_t a = port(rng);
+          const std::uint16_t b = port(rng);
+          return net::PortRange(std::min(a, b), std::max(a, b));
+        }
+      }
+    };
+    policy.rules.push_back(Rule{
+        .action = coin(rng) == 0 ? Action::kPermit : Action::kDeny,
+        .protocol = pick(rng) < 2
+                        ? net::ProtocolSpec::any()
+                        : net::ProtocolSpec(kProtocols[pick(rng) % 4]),
+        .src = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+        .src_ports = ports(),
+        .dst = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+        .dst_ports = ports()});
+  }
+  return policy;
+}
+
+TEST(DifferentialFuzz, EvaluateAgreesWithZ3EncodingOnBothSemantics) {
+  Engine engine;
+  std::mt19937_64 rng(20190823);  // SIGCOMM'19; fixed for reproducibility
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<std::uint16_t> port;
+  std::uniform_int_distribution<int> rule_count(0, 10);  // incl. empty
+  std::size_t cases = 0;
+
+  for (int trial = 0; trial < 50; ++trial) {
+    for (const PolicySemantics semantics :
+         {PolicySemantics::kFirstApplicable,
+          PolicySemantics::kDenyOverrides}) {
+      const Policy policy = random_policy(rng, semantics, rule_count(rng));
+      const CandidatePools pools = pools_for(policy);
+      const auto pick_from = [&](const auto& pool, auto fallback) {
+        if (pool.empty()) return fallback;
+        std::uniform_int_distribution<std::size_t> idx(0, pool.size() - 1);
+        return pool[idx(rng)];
+      };
+
+      for (int sample = 0; sample < 22; ++sample) {
+        // Three in four packets from boundary pools, the rest uniform.
+        const bool boundary = sample % 4 != 3;
+        const net::PacketHeader packet =
+            boundary
+                ? net::PacketHeader{
+                      .src_ip = net::Ipv4Address(
+                          pick_from(pools.src_ips, addr(rng))),
+                      .src_port = pick_from(pools.src_ports, port(rng)),
+                      .dst_ip = net::Ipv4Address(
+                          pick_from(pools.dst_ips, addr(rng))),
+                      .dst_port = pick_from(pools.dst_ports, port(rng)),
+                      .protocol = pick_from(pools.protocols,
+                                            std::uint8_t{6})}
+                : net::PacketHeader{
+                      .src_ip = net::Ipv4Address(addr(rng)),
+                      .src_port = port(rng),
+                      .dst_ip = net::Ipv4Address(addr(rng)),
+                      .dst_port = port(rng),
+                      .protocol = static_cast<std::uint8_t>(addr(rng))};
+
+        const Decision concrete = evaluate(policy, packet);
+        const bool symbolic = z3_allows(engine, policy, packet);
+        ++cases;
+        ASSERT_EQ(concrete.allowed, symbolic)
+            << "divergence on "
+            << (semantics == PolicySemantics::kFirstApplicable
+                    ? "first-applicable"
+                    : "deny-overrides")
+            << " policy (trial " << trial << "), packet "
+            << packet.to_string() << ", concrete rule "
+            << (concrete.rule_index
+                    ? std::to_string(*concrete.rule_index)
+                    : std::string("default-deny"));
+      }
+    }
+  }
+  // The acceptance bar: at least 2000 randomized agreement cases.
+  EXPECT_GE(cases, 2000u);
+}
+
+TEST(DifferentialFuzz, HandCraftedEdgeCases) {
+  Engine engine;
+  // Regression pins for the classic divergence spots: range endpoints,
+  // the protocol wildcard, and default deny on the empty policy.
+  const auto check_all = [&](Policy policy) {
+    for (const PolicySemantics semantics :
+         {PolicySemantics::kFirstApplicable,
+          PolicySemantics::kDenyOverrides}) {
+      policy.semantics = semantics;
+      for (const std::uint16_t p :
+           {std::uint16_t{99}, std::uint16_t{100}, std::uint16_t{200},
+            std::uint16_t{201}, std::uint16_t{0}, std::uint16_t{0xFFFF}}) {
+        for (const std::uint8_t proto :
+             {std::uint8_t{0}, std::uint8_t{6}, std::uint8_t{17},
+              std::uint8_t{255}}) {
+          const net::PacketHeader packet{
+              .src_ip = net::Ipv4Address::from_octets(1, 0, 0, 255),
+              .src_port = 1,
+              .dst_ip = net::Ipv4Address::from_octets(2, 0, 1, 0),
+              .dst_port = p,
+              .protocol = proto};
+          EXPECT_EQ(evaluate(policy, packet).allowed,
+                    z3_allows(engine, policy, packet))
+              << packet.to_string();
+        }
+      }
+    }
+  };
+
+  check_all(Policy{.name = "empty",
+                   .semantics = PolicySemantics::kFirstApplicable,
+                   .rules = {}});
+
+  Policy ranged{.name = "ranged",
+                .semantics = PolicySemantics::kFirstApplicable,
+                .rules = {}};
+  ranged.rules.push_back(Rule{
+      .action = Action::kPermit,
+      .protocol = net::ProtocolSpec::any(),  // wildcard
+      .src = net::Prefix::parse("1.0.0.0/24"),
+      .src_ports = net::PortRange::any(),
+      .dst = net::Prefix::parse("2.0.0.0/16"),
+      .dst_ports = net::PortRange(100, 200)});  // inclusive endpoints
+  ranged.rules.push_back(Rule{
+      .action = Action::kDeny,
+      .protocol = net::ProtocolSpec::tcp(),
+      .src = net::Prefix::default_route(),
+      .src_ports = net::PortRange::any(),
+      .dst = net::Prefix::parse("2.0.0.0/16"),
+      .dst_ports = net::PortRange(200, 200)});  // shares endpoint 200
+  check_all(ranged);
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -153,11 +153,48 @@ TEST(Engine, ShadowedRules) {
             (std::vector<std::size_t>{2, 3}));
 }
 
-TEST(Engine, ShadowedRulesEmptyForDenyOverrides) {
+TEST(Engine, ShadowedRulesDenyOverridesDuplicates) {
   Engine engine;
   Policy policy = parse_acl("permit ip any any\npermit ip any any\n");
   policy.semantics = PolicySemantics::kDenyOverrides;
+  // Of identical copies, every copy but the first is redundant.
+  EXPECT_EQ(engine.shadowed_rules(policy), (std::vector<std::size_t>{1}));
+}
+
+TEST(Engine, ShadowedRulesDenyOverridesSubsumption) {
+  Engine engine;
+  Policy policy = parse_acl(
+      "deny ip 10.0.0.0/8 any\n"
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "deny ip 10.1.0.0/16 any\n"           // inside rule 0's deny union
+      "permit tcp any 1.0.0.64/26 eq 80\n"  // inside rule 1's permit union
+      "permit udp any any\n");
+  policy.semantics = PolicySemantics::kDenyOverrides;
+  EXPECT_EQ(engine.shadowed_rules(policy),
+            (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Engine, ShadowedRulesDenyOverridesCrossActionNotShadowed) {
+  Engine engine;
+  // A deny inside a permit's filter is NOT shadowed under deny-overrides:
+  // it flips verdicts inside its region. Only same-action coverage counts.
+  Policy policy = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "deny tcp any 1.0.0.0/26 eq 80\n");
+  policy.semantics = PolicySemantics::kDenyOverrides;
   EXPECT_TRUE(engine.shadowed_rules(policy).empty());
+}
+
+TEST(Engine, ShadowedRulesDenyOverridesOrderIndependentUnion) {
+  Engine engine;
+  // Two /25s jointly cover the /24 that follows them: shadowing is about
+  // the union of earlier same-action rules, not any single one.
+  Policy policy = parse_acl(
+      "permit tcp any 1.0.0.0/25 eq 80\n"
+      "permit tcp any 1.0.0.128/25 eq 80\n"
+      "permit tcp any 1.0.0.0/24 eq 80\n");
+  policy.semantics = PolicySemantics::kDenyOverrides;
+  EXPECT_EQ(engine.shadowed_rules(policy), (std::vector<std::size_t>{2}));
 }
 
 TEST(Engine, DenyOverridesContractChecking) {

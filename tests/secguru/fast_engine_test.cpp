@@ -1,0 +1,594 @@
+#include "secguru/fast_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "obs/metrics.hpp"
+#include "secguru/acl_parser.hpp"
+#include "secguru/contracts_io.hpp"
+#include "secguru/engine.hpp"
+
+namespace dcv::secguru {
+namespace {
+
+ConnectivityContract deny_contract(const char* name, const char* src,
+                                   const char* dst) {
+  return ConnectivityContract{.name = name,
+                              .expect = Expectation::kDeny,
+                              .protocol = net::ProtocolSpec::any(),
+                              .src = net::Prefix::parse(src),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::parse(dst),
+                              .dst_ports = net::PortRange::any()};
+}
+
+ConnectivityContract allow_contract(const char* name, const char* src,
+                                    const char* dst, std::uint16_t port) {
+  return ConnectivityContract{.name = name,
+                              .expect = Expectation::kAllow,
+                              .protocol = net::ProtocolSpec::tcp(),
+                              .src = net::Prefix::parse(src),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::parse(dst),
+                              .dst_ports = net::PortRange::exactly(port)};
+}
+
+constexpr const char* kSmallAcl = R"(remark private isolation
+deny ip 10.0.0.0/8 any
+remark port blocks
+deny tcp any any eq 445
+remark service permits
+permit tcp any 104.208.32.0/20 eq 443
+permit tcp any 104.208.32.0/20 eq 80
+)";
+
+// --- PacketCube algebra -----------------------------------------------
+
+PacketCube cube(const char* src, std::uint16_t sp_lo, std::uint16_t sp_hi,
+                const char* dst, std::uint16_t dp_lo, std::uint16_t dp_hi,
+                std::uint8_t proto_lo = 0, std::uint8_t proto_hi = 0xFF) {
+  return PacketCube{
+      .src = net::AddressInterval::from_prefix(net::Prefix::parse(src)),
+      .src_ports = net::PortRange(sp_lo, sp_hi),
+      .dst = net::AddressInterval::from_prefix(net::Prefix::parse(dst)),
+      .dst_ports = net::PortRange(dp_lo, dp_hi),
+      .proto_lo = proto_lo,
+      .proto_hi = proto_hi};
+}
+
+TEST(PacketCube, IntersectDisjointAndOverlap) {
+  const PacketCube a = cube("1.0.0.0/24", 0, 0xFFFF, "0.0.0.0/0", 0, 0xFFFF);
+  const PacketCube b = cube("2.0.0.0/24", 0, 0xFFFF, "0.0.0.0/0", 0, 0xFFFF);
+  EXPECT_FALSE(a.intersect(b).has_value());
+  EXPECT_FALSE(a.overlaps(b));
+
+  const PacketCube c = cube("1.0.0.0/25", 100, 200, "0.0.0.0/0", 443, 443);
+  const auto inter = a.intersect(c);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(inter->src.lo, net::Ipv4Address::from_octets(1, 0, 0, 0));
+  EXPECT_EQ(inter->src.hi, net::Ipv4Address::from_octets(1, 0, 0, 127));
+  EXPECT_EQ(inter->src_ports, net::PortRange(100, 200));
+  EXPECT_EQ(inter->dst_ports, net::PortRange(443, 443));
+}
+
+TEST(PacketCube, SubtractProducesDisjointExactCover) {
+  // Property, checked by exhaustive membership over a tiny grid: the
+  // subtraction pieces exactly cover a \ b, pairwise disjointly.
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::uint32_t> coord(0, 7);
+  const auto random_cube = [&]() {
+    PacketCube c{};
+    const std::uint32_t s1 = coord(rng), s2 = coord(rng);
+    const std::uint32_t d1 = coord(rng), d2 = coord(rng);
+    c.src = {net::Ipv4Address(std::min(s1, s2)),
+             net::Ipv4Address(std::max(s1, s2))};
+    c.dst = {net::Ipv4Address(std::min(d1, d2)),
+             net::Ipv4Address(std::max(d1, d2))};
+    const auto p1 = static_cast<std::uint16_t>(coord(rng));
+    const auto p2 = static_cast<std::uint16_t>(coord(rng));
+    c.src_ports = net::PortRange(std::min(p1, p2), std::max(p1, p2));
+    c.dst_ports = net::PortRange::any();
+    c.proto_lo = 0;
+    c.proto_hi = 0xFF;
+    return c;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const PacketCube a = random_cube();
+    const PacketCube b = random_cube();
+    std::vector<PacketCube> pieces;
+    a.subtract(b, pieces);
+    EXPECT_LE(pieces.size(), 10u);
+    for (std::uint32_t s = 0; s <= 7; ++s) {
+      for (std::uint32_t d = 0; d <= 7; ++d) {
+        for (std::uint16_t p = 0; p <= 7; ++p) {
+          const net::PacketHeader packet{.src_ip = net::Ipv4Address(s),
+                                         .src_port = p,
+                                         .dst_ip = net::Ipv4Address(d),
+                                         .dst_port = 0,
+                                         .protocol = 6};
+          const bool in_diff = a.contains(packet) && !b.contains(packet);
+          int covering = 0;
+          for (const PacketCube& piece : pieces) {
+            EXPECT_TRUE(piece.valid());
+            if (piece.contains(packet)) ++covering;
+          }
+          EXPECT_EQ(covering, in_diff ? 1 : 0)
+              << "a=" << a.to_string() << " b=" << b.to_string()
+              << " packet=" << packet.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(PacketCube, SubtractDisjointKeepsWholeCube) {
+  const PacketCube a = cube("1.0.0.0/24", 0, 0xFFFF, "0.0.0.0/0", 0, 0xFFFF);
+  const PacketCube b = cube("2.0.0.0/24", 0, 0xFFFF, "0.0.0.0/0", 0, 0xFFFF);
+  std::vector<PacketCube> pieces;
+  a.subtract(b, pieces);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].src.lo, a.src.lo);
+  EXPECT_EQ(pieces[0].src.hi, a.src.hi);
+}
+
+TEST(PacketCube, SubtractCoveringCubeLeavesNothing) {
+  const PacketCube a = cube("1.0.0.0/24", 100, 200, "9.9.9.0/24", 443, 443,
+                            6, 6);
+  const PacketCube b = cube("0.0.0.0/0", 0, 0xFFFF, "0.0.0.0/0", 0, 0xFFFF);
+  std::vector<PacketCube> pieces;
+  a.subtract(b, pieces);
+  EXPECT_TRUE(pieces.empty());
+}
+
+TEST(PacketCube, FromRuleClampsProtocol) {
+  const Policy acl = parse_acl("permit tcp any 1.0.0.0/24 eq 80\n");
+  const PacketCube c = PacketCube::from_rule(acl.rules[0]);
+  EXPECT_EQ(c.proto_lo, 6);
+  EXPECT_EQ(c.proto_hi, 6);
+  EXPECT_EQ(c.dst_ports, net::PortRange::exactly(80));
+  const Policy wildcard = parse_acl("permit ip any any\n");
+  const PacketCube w = PacketCube::from_rule(wildcard.rules[0]);
+  EXPECT_EQ(w.proto_lo, 0);
+  EXPECT_EQ(w.proto_hi, 0xFF);
+}
+
+TEST(PacketCube, LowCornerIsContained) {
+  const PacketCube c = cube("1.0.0.0/24", 100, 200, "9.9.9.0/24", 443, 443,
+                            6, 17);
+  EXPECT_TRUE(c.contains(c.low_corner()));
+  EXPECT_EQ(c.low_corner().protocol, 6);
+  EXPECT_EQ(c.low_corner().dst_port, 443);
+}
+
+// --- FastEngine verdicts (mirror of the Engine tests) ------------------
+
+TEST(FastEngine, DenyContractHolds) {
+  FastEngine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const auto result =
+      engine.check(acl, deny_contract("private", "10.0.0.0/8", "0.0.0.0/0"));
+  EXPECT_TRUE(result.holds);
+  EXPECT_FALSE(result.witness.has_value());
+  EXPECT_EQ(engine.fastpath_hits(), 1u);
+  EXPECT_EQ(engine.smt_fallbacks(), 0u);
+}
+
+TEST(FastEngine, AllowContractHolds) {
+  FastEngine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  EXPECT_TRUE(engine
+                  .check(acl, allow_contract("web", "8.8.8.0/24",
+                                             "104.208.32.0/20", 443))
+                  .holds);
+}
+
+TEST(FastEngine, AllowContractViolatedWithWitnessAndRule) {
+  FastEngine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const auto result = engine.check(
+      acl, allow_contract("smb", "8.8.8.0/24", "104.208.32.0/20", 445));
+  EXPECT_FALSE(result.holds);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(net::Prefix::parse("104.208.32.0/20")
+                  .contains(result.witness->dst_ip));
+  EXPECT_EQ(result.witness->dst_port, 445);
+  ASSERT_TRUE(result.violating_rule.has_value());
+  EXPECT_EQ(*result.violating_rule, 1u);
+}
+
+TEST(FastEngine, AllowContractViolatedByDefaultDeny) {
+  FastEngine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const auto result = engine.check(
+      acl, allow_contract("other", "8.8.8.0/24", "9.9.9.0/24", 443));
+  EXPECT_FALSE(result.holds);
+  EXPECT_EQ(result.violating_rule, std::nullopt);
+}
+
+TEST(FastEngine, DenyContractViolatedPointsAtPermit) {
+  FastEngine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const auto result = engine.check(
+      acl, deny_contract("leak", "8.8.8.0/24", "104.208.32.0/20"));
+  EXPECT_FALSE(result.holds);
+  ASSERT_TRUE(result.violating_rule.has_value());
+  EXPECT_GE(*result.violating_rule, 2u);
+}
+
+TEST(FastEngine, DenyOverridesContractChecking) {
+  FastEngine engine;
+  Policy policy{.name = "fw",
+                .semantics = PolicySemantics::kDenyOverrides,
+                .rules = {}};
+  policy.rules.push_back(Rule{.action = Action::kPermit,
+                              .protocol = net::ProtocolSpec::any(),
+                              .src = net::Prefix::default_route(),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::default_route(),
+                              .dst_ports = net::PortRange::any()});
+  policy.rules.push_back(Rule{.action = Action::kDeny,
+                              .protocol = net::ProtocolSpec::any(),
+                              .src = net::Prefix::default_route(),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::parse("168.63.129.0/24"),
+                              .dst_ports = net::PortRange::any()});
+  EXPECT_TRUE(
+      engine.check(policy, deny_contract("infra", "0.0.0.0/0",
+                                         "168.63.129.0/24"))
+          .holds);
+  EXPECT_TRUE(engine
+                  .check(policy, allow_contract("web", "8.8.8.0/24",
+                                                "9.9.9.0/24", 443))
+                  .holds);
+  // An allow contract into the denied range fails with a deny witness.
+  const auto result = engine.check(
+      policy, allow_contract("blocked", "8.8.8.0/24", "168.63.129.0/24", 443));
+  EXPECT_FALSE(result.holds);
+  ASSERT_TRUE(result.violating_rule.has_value());
+  EXPECT_EQ(*result.violating_rule, 1u);
+}
+
+TEST(FastEngine, DenyOverridesUncoveredTrafficFailsAllow) {
+  FastEngine engine;
+  Policy policy = parse_acl("permit tcp any 1.0.0.0/25 eq 80\n");
+  policy.semantics = PolicySemantics::kDenyOverrides;
+  // The upper /25 matches no permit at all: default denied.
+  const auto result = engine.check(
+      policy, allow_contract("half", "8.8.8.0/24", "1.0.0.0/24", 80));
+  EXPECT_FALSE(result.holds);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(net::Prefix::parse("1.0.0.128/25")
+                  .contains(result.witness->dst_ip));
+  EXPECT_EQ(result.violating_rule, std::nullopt);
+}
+
+TEST(FastEngine, InvertedPortRangeRuleMatchesNothing) {
+  // An inverted (empty) port range must behave as the empty set, exactly
+  // as evaluate() and the SMT encoding treat it.
+  Policy policy = parse_acl(
+      "deny tcp any any eq 445\npermit tcp any 1.0.0.0/24 eq 443\n");
+  policy.rules[0].dst_ports = net::PortRange(500, 400);  // empty deny
+  FastEngine fast;
+  Engine slow;
+  const auto contract =
+      allow_contract("web", "8.8.8.0/24", "1.0.0.0/24", 443);
+  EXPECT_EQ(fast.check(policy, contract).holds,
+            slow.check(policy, contract).holds);
+  EXPECT_TRUE(fast.check(policy, contract).holds);
+}
+
+// --- Fallback behavior -------------------------------------------------
+
+TEST(FastEngine, TinyBudgetFallsBackToZ3AndStaysCorrect) {
+  // A budget of 1 residual cube makes any fragmenting subtraction
+  // inconclusive; verdicts must then come from Z3 and still be right.
+  FastEngine fast(FastEngineConfig{.max_residual_cubes = 1});
+  Engine slow;
+  const Policy acl = parse_acl(kSmallAcl);
+  // The "straddle" contract's port range [0, 444] splits on the eq-443
+  // permit, exceeding the 1-cube budget; the others stay on the fast path.
+  ConnectivityContract straddle =
+      allow_contract("straddle", "8.8.8.0/24", "104.208.32.0/20", 0);
+  straddle.dst_ports = net::PortRange(0, 444);
+  const ContractSuite suite{
+      .name = "s",
+      .contracts = {
+          deny_contract("ok", "10.0.0.0/8", "0.0.0.0/0"),
+          allow_contract("fails", "8.8.8.0/24", "9.9.9.0/24", 443),
+          straddle,
+          allow_contract("ok2", "8.8.8.0/24", "104.208.32.0/20", 80)}};
+  const PolicyReport fast_report = fast.check_suite(acl, suite);
+  const PolicyReport slow_report = slow.check_suite(acl, suite);
+  ASSERT_EQ(fast_report.failures.size(), slow_report.failures.size());
+  for (std::size_t i = 0; i < fast_report.failures.size(); ++i) {
+    EXPECT_EQ(fast_report.failures[i].contract_name,
+              slow_report.failures[i].contract_name);
+  }
+  EXPECT_GT(fast.smt_fallbacks(), 0u);
+  EXPECT_GT(fast.fastpath_hits(), 0u);
+}
+
+// --- check_suite: ordering and parallelism -----------------------------
+
+TEST(FastEngine, CheckSuiteCollectsFailuresInContractOrder) {
+  FastEngine engine;
+  const Policy acl = parse_acl(kSmallAcl);
+  const ContractSuite suite{
+      .name = "s",
+      .contracts = {
+          allow_contract("f1", "8.8.8.0/24", "9.9.9.0/24", 443),
+          deny_contract("ok", "10.0.0.0/8", "0.0.0.0/0"),
+          allow_contract("f2", "8.8.8.0/24", "104.208.32.0/20", 445),
+          allow_contract("f3", "8.8.8.0/24", "7.7.7.0/24", 80)}};
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const PolicyReport report = engine.check_suite(acl, suite, threads);
+    EXPECT_EQ(report.contracts_checked, 4u);
+    ASSERT_EQ(report.failures.size(), 3u) << threads << " threads";
+    EXPECT_EQ(report.failures[0].contract_name, "f1");
+    EXPECT_EQ(report.failures[1].contract_name, "f2");
+    EXPECT_EQ(report.failures[2].contract_name, "f3");
+  }
+}
+
+TEST(FastEngine, ParallelSuiteMatchesSerialWithFallbacks) {
+  // Tiny budget forces Z3 fallbacks inside worker threads: the pooled
+  // engines must keep parallel results identical to serial ones.
+  const Policy acl = parse_acl(kSmallAcl);
+  ContractSuite suite{.name = "s", .contracts = {}};
+  for (int i = 0; i < 40; ++i) {
+    if (i % 2 == 0) {
+      const std::string dst = std::to_string(9 + (i % 7)) + ".9.9.0/24";
+      suite.contracts.push_back(allow_contract(
+          ("c" + std::to_string(i)).c_str(), "8.8.8.0/24", dst.c_str(),
+          static_cast<std::uint16_t>(80 + i)));
+    } else {
+      // Port range straddling the eq-443 permit (while dodging the 445
+      // deny): subtracting the permit splits the port dimension into two
+      // pieces, blowing a budget of 1 and forcing the Z3 fallback inside
+      // whichever worker draws the contract.
+      ConnectivityContract wide = allow_contract(
+          ("w" + std::to_string(i)).c_str(), "8.8.8.0/24",
+          "104.208.32.0/20", 0);
+      wide.dst_ports = net::PortRange(0, 444);
+      suite.contracts.push_back(std::move(wide));
+    }
+  }
+  FastEngine serial(FastEngineConfig{.max_residual_cubes = 1});
+  FastEngine parallel(FastEngineConfig{.max_residual_cubes = 1});
+  const PolicyReport a = serial.check_suite(acl, suite, 1);
+  const PolicyReport b = parallel.check_suite(acl, suite, 4);
+  EXPECT_GT(serial.smt_fallbacks(), 0u);
+  EXPECT_GT(parallel.smt_fallbacks(), 0u);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].contract_name, b.failures[i].contract_name);
+    EXPECT_EQ(a.failures[i].holds, b.failures[i].holds);
+  }
+}
+
+// --- Randomized FastEngine ≡ Engine differential -----------------------
+
+TEST(FastEngineProperty, AgreesWithZ3EngineOnRandomPolicies) {
+  Engine slow;
+  FastEngine fast;
+  std::mt19937_64 rng(97);
+  std::uniform_int_distribution<std::uint32_t> addr;
+  std::uniform_int_distribution<int> len(8, 30);
+  std::uniform_int_distribution<int> port(0, 4);
+  std::uniform_int_distribution<int> coin(0, 1);
+  constexpr std::uint16_t kPorts[] = {80, 443, 445, 1000, 0xFFFF};
+
+  for (int trial = 0; trial < 30; ++trial) {
+    Policy policy{.name = "random",
+                  .semantics = coin(rng) == 0
+                                   ? PolicySemantics::kFirstApplicable
+                                   : PolicySemantics::kDenyOverrides,
+                  .rules = {}};
+    for (int i = 0; i < 10; ++i) {
+      policy.rules.push_back(Rule{
+          .action = coin(rng) == 0 ? Action::kPermit : Action::kDeny,
+          .protocol = coin(rng) == 0 ? net::ProtocolSpec::any()
+                                     : net::ProtocolSpec::tcp(),
+          .src = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .src_ports = net::PortRange::any(),
+          .dst = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .dst_ports = coin(rng) == 0
+                           ? net::PortRange::any()
+                           : net::PortRange::exactly(kPorts[port(rng)])});
+    }
+    for (int c = 0; c < 8; ++c) {
+      const ConnectivityContract contract{
+          .name = "c",
+          .expect = coin(rng) == 0 ? Expectation::kAllow
+                                   : Expectation::kDeny,
+          .protocol = coin(rng) == 0 ? net::ProtocolSpec::any()
+                                     : net::ProtocolSpec::tcp(),
+          .src = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .src_ports = net::PortRange::any(),
+          .dst = net::Prefix(net::Ipv4Address(addr(rng)), len(rng)),
+          .dst_ports = coin(rng) == 0
+                           ? net::PortRange::any()
+                           : net::PortRange::exactly(kPorts[port(rng)])};
+      const auto fast_result = fast.check(policy, contract);
+      const auto slow_result = slow.check(policy, contract);
+      ASSERT_EQ(fast_result.holds, slow_result.holds)
+          << "semantics="
+          << (policy.semantics == PolicySemantics::kFirstApplicable
+                  ? "first-applicable"
+                  : "deny-overrides")
+          << " trial=" << trial << " contract=" << c;
+      if (!fast_result.holds) {
+        // Any witness is fine, but it must be a real one: inside the
+        // contract filter and concretely contradicting the expectation.
+        ASSERT_TRUE(fast_result.witness.has_value());
+        EXPECT_TRUE(contract.covers(*fast_result.witness));
+        EXPECT_EQ(evaluate(policy, *fast_result.witness).allowed,
+                  contract.expect == Expectation::kDeny);
+        EXPECT_EQ(fast_result.violating_rule,
+                  evaluate(policy, *fast_result.witness).rule_index);
+      }
+    }
+  }
+  // This workload is interval-friendly; the fast path must carry it.
+  EXPECT_GT(fast.fastpath_hits(), 0u);
+}
+
+// --- Metrics -----------------------------------------------------------
+
+TEST(FastEngine, RegistersAndDrivesMetrics) {
+  obs::MetricsRegistry registry;
+  FastEngine engine(FastEngineConfig{}, &registry);
+  const Policy acl = parse_acl(kSmallAcl);
+  (void)engine.check(acl,
+                     allow_contract("web", "8.8.8.0/24",
+                                    "104.208.32.0/20", 443));
+  EXPECT_EQ(registry
+                .counter("dcv_secguru_fastpath_hits_total",
+                         "Contract checks decided by interval algebra "
+                         "without Z3")
+                .value(),
+            1u);
+  EXPECT_EQ(registry
+                .counter("dcv_secguru_smt_fallbacks_total",
+                         "Contract checks that fell back to the Z3 engine")
+                .value(),
+            0u);
+  EXPECT_EQ(registry
+                .histogram("dcv_secguru_check_ns",
+                           "SecGuru contract check latency (ns)")
+                .count(),
+            1u);
+}
+
+// --- IncrementalSuiteChecker -------------------------------------------
+
+ContractSuite small_suite() {
+  return ContractSuite{
+      .name = "s",
+      .contracts = {
+          deny_contract("private", "10.0.0.0/8", "0.0.0.0/0"),
+          allow_contract("web", "8.8.8.0/24", "104.208.32.0/20", 443),
+          allow_contract("alt", "8.8.8.0/24", "104.208.32.0/20", 80),
+          deny_contract("other-net", "8.8.8.0/24", "77.0.0.0/8")}};
+}
+
+TEST(IncrementalSuiteChecker, FirstCheckVerifiesEverything) {
+  FastEngine engine;
+  IncrementalSuiteChecker checker(engine, small_suite());
+  const Policy acl = parse_acl(kSmallAcl);
+  const auto outcome = checker.check(acl);
+  EXPECT_EQ(outcome.reverified, 4u);
+  EXPECT_EQ(outcome.skipped, 0u);
+  EXPECT_TRUE(outcome.report.ok());
+}
+
+TEST(IncrementalSuiteChecker, NoChangeSkipsEverything) {
+  FastEngine engine;
+  IncrementalSuiteChecker checker(engine, small_suite());
+  const Policy acl = parse_acl(kSmallAcl);
+  (void)checker.check(acl);
+  const auto outcome = checker.check(acl);
+  EXPECT_EQ(outcome.reverified, 0u);
+  EXPECT_EQ(outcome.skipped, 4u);
+  EXPECT_TRUE(outcome.report.ok());
+}
+
+TEST(IncrementalSuiteChecker, OneRuleEditReverifiesOnlyIntersecting) {
+  FastEngine engine;
+  IncrementalSuiteChecker checker(engine, small_suite());
+  const Policy acl = parse_acl(kSmallAcl);
+  (void)checker.check(acl);
+
+  // Append a deny whose cube (any -> 77.0.0.0/8) intersects exactly two
+  // contract filters: "other-net" (dst 77/8) and "private" (dst any). The
+  // two contracts aimed at 104.208.32.0/20 cannot be affected and replay.
+  Policy edited = acl;
+  edited.rules.push_back(Rule{.action = Action::kDeny,
+                              .protocol = net::ProtocolSpec::any(),
+                              .src = net::Prefix::default_route(),
+                              .src_ports = net::PortRange::any(),
+                              .dst = net::Prefix::parse("77.0.0.0/8"),
+                              .dst_ports = net::PortRange::any()});
+  const auto outcome = checker.check(edited);
+  EXPECT_EQ(outcome.reverified, 2u);
+  EXPECT_EQ(outcome.skipped, 2u);
+  EXPECT_TRUE(outcome.report.ok());
+
+  // The incremental report must be identical to a fresh full check.
+  FastEngine fresh_engine;
+  const PolicyReport full =
+      fresh_engine.check_suite(edited, checker.suite());
+  EXPECT_EQ(outcome.report.failures.size(), full.failures.size());
+}
+
+TEST(IncrementalSuiteChecker, EditFlippingAVerdictIsCaught) {
+  FastEngine engine;
+  IncrementalSuiteChecker checker(engine, small_suite());
+  const Policy acl = parse_acl(kSmallAcl);
+  EXPECT_TRUE(checker.check(acl).report.ok());
+
+  // A lockdown deny ahead of the permits breaks the two allow contracts.
+  Policy edited = acl;
+  edited.rules.insert(
+      edited.rules.begin(),
+      Rule{.action = Action::kDeny,
+           .protocol = net::ProtocolSpec::any(),
+           .src = net::Prefix::default_route(),
+           .src_ports = net::PortRange::any(),
+           .dst = net::Prefix::parse("104.208.32.0/20"),
+           .dst_ports = net::PortRange::any()});
+  const auto outcome = checker.check(edited);
+  EXPECT_EQ(outcome.report.failures.size(), 2u);
+  // Reverting the edit flips the verdicts back, again incrementally.
+  const auto reverted = checker.check(acl);
+  EXPECT_TRUE(reverted.report.ok());
+  EXPECT_GT(reverted.skipped, 0u);
+}
+
+TEST(IncrementalSuiteChecker, SemanticsChangeForcesFullRecheck) {
+  FastEngine engine;
+  IncrementalSuiteChecker checker(engine, small_suite());
+  const Policy acl = parse_acl(kSmallAcl);
+  (void)checker.check(acl);
+  Policy flipped = acl;
+  flipped.semantics = PolicySemantics::kDenyOverrides;
+  const auto outcome = checker.check(flipped);
+  EXPECT_EQ(outcome.reverified, 4u);
+  EXPECT_EQ(outcome.skipped, 0u);
+}
+
+TEST(IncrementalSuiteChecker, ResetDropsCache) {
+  FastEngine engine;
+  IncrementalSuiteChecker checker(engine, small_suite());
+  const Policy acl = parse_acl(kSmallAcl);
+  (void)checker.check(acl);
+  checker.reset();
+  const auto outcome = checker.check(acl);
+  EXPECT_EQ(outcome.reverified, 4u);
+  EXPECT_EQ(outcome.skipped, 0u);
+}
+
+TEST(IncrementalSuiteChecker, CountsFlowIntoMetrics) {
+  obs::MetricsRegistry registry;
+  FastEngine engine;
+  IncrementalSuiteChecker checker(engine, small_suite(), &registry);
+  const Policy acl = parse_acl(kSmallAcl);
+  (void)checker.check(acl);
+  (void)checker.check(acl);
+  EXPECT_EQ(registry
+                .counter("dcv_secguru_contracts_reverified_total",
+                         "Contracts re-verified because a rule edit "
+                         "touched their filter")
+                .value(),
+            4u);
+  EXPECT_EQ(registry
+                .counter("dcv_secguru_contracts_skipped_total",
+                         "Contracts whose cached verdict was replayed "
+                         "across a rule edit")
+                .value(),
+            4u);
+}
+
+}  // namespace
+}  // namespace dcv::secguru

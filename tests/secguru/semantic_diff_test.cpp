@@ -97,6 +97,108 @@ TEST(SemanticDiff, RespectsWitnessCap) {
   EXPECT_EQ(witnesses.size(), 5u);
 }
 
+TEST(SemanticDiff, TerminatesOnDuplicateRules) {
+  Engine engine;
+  // Duplicate rules mean several rule indices decide identical regions —
+  // an exclusion strategy keyed on rule pairs must still make progress
+  // (the first copy decides under first-applicable, so the duplicates can
+  // never appear as deciding rules and the loop cannot cycle).
+  const Policy before = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "permit tcp any 1.0.0.0/24 eq 80\n");
+  const Policy after = parse_acl("deny tcp any 1.0.0.0/24 eq 80\n");
+  const auto witnesses = engine.semantic_diff(before, after, 64);
+  ASSERT_FALSE(witnesses.empty());
+  for (const auto& w : witnesses) {
+    EXPECT_EQ(w.before_rule, 0u);
+    EXPECT_TRUE(w.before_allowed);
+    EXPECT_FALSE(w.after_allowed);
+  }
+}
+
+TEST(SemanticDiff, TerminatesOnOverlappingRegions) {
+  Engine engine;
+  // Overlapping filters decide interleaved fragments; a generous cap must
+  // not loop — once every deciding rule pair is excluded the query goes
+  // unsat even though far fewer than max_witnesses were produced.
+  const Policy before = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "permit tcp any 1.0.0.0/25 eq 80\n"
+      "permit tcp any 1.0.0.128/25 eq 80\n"
+      "permit udp any 1.0.0.0/24 eq 53\n");
+  const Policy after = parse_acl(
+      "deny tcp any 1.0.0.0/26 eq 80\n"
+      "permit tcp any 1.0.0.0/24 eq 80\n");
+  const auto witnesses = engine.semantic_diff(before, after, 1000);
+  ASSERT_FALSE(witnesses.empty());
+  EXPECT_LT(witnesses.size(), 1000u);
+  for (const auto& w : witnesses) {
+    EXPECT_EQ(evaluate(before, w.packet).allowed, w.before_allowed);
+    EXPECT_EQ(evaluate(after, w.packet).allowed, w.after_allowed);
+    EXPECT_NE(w.before_allowed, w.after_allowed);
+  }
+}
+
+TEST(SemanticDiff, WitnessPacketsPairwiseDistinct) {
+  Engine engine;
+  const Policy before = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "permit udp any 2.0.0.0/24 eq 53\n"
+      "permit ip 3.0.0.0/24 any\n");
+  const Policy after = parse_acl("permit tcp any 1.0.0.0/25 eq 80\n");
+  const auto witnesses = engine.semantic_diff(before, after, 16);
+  ASSERT_GE(witnesses.size(), 2u);
+  for (std::size_t i = 0; i < witnesses.size(); ++i) {
+    for (std::size_t j = i + 1; j < witnesses.size(); ++j) {
+      EXPECT_FALSE(witnesses[i].packet == witnesses[j].packet)
+          << "witness " << i << " and " << j << " are the same packet: "
+          << witnesses[i].packet.to_string();
+    }
+  }
+}
+
+TEST(SemanticDiff, EmptyPolicies) {
+  Engine engine;
+  const Policy empty{.name = "empty",
+                     .semantics = PolicySemantics::kFirstApplicable,
+                     .rules = {}};
+  // Empty vs empty: equivalent (everything default-denied).
+  EXPECT_TRUE(engine.semantic_diff(empty, empty).empty());
+  // Empty vs one permit: exactly one interaction (default deny vs rule 0).
+  const Policy one = parse_acl("permit tcp any 1.0.0.0/24 eq 80\n");
+  const auto witnesses = engine.semantic_diff(empty, one, 16);
+  ASSERT_EQ(witnesses.size(), 1u);
+  EXPECT_FALSE(witnesses[0].before_allowed);
+  EXPECT_TRUE(witnesses[0].after_allowed);
+  EXPECT_EQ(witnesses[0].before_rule, std::nullopt);
+  EXPECT_EQ(witnesses[0].after_rule, 0u);
+}
+
+TEST(SemanticDiff, DenyOverridesAdversarialPairTerminates) {
+  Engine engine;
+  // Under deny-overrides the exclusion region is the deciding rule's raw
+  // filter; overlapping permits plus a carving deny stress that the loop
+  // still converges and every witness is concretely correct.
+  Policy before = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "permit tcp any 1.0.0.0/25 eq 80\n");
+  Policy after = parse_acl(
+      "permit tcp any 1.0.0.0/24 eq 80\n"
+      "permit tcp any 1.0.0.0/25 eq 80\n"
+      "deny tcp any 1.0.0.64/26 eq 80\n");
+  before.semantics = PolicySemantics::kDenyOverrides;
+  after.semantics = PolicySemantics::kDenyOverrides;
+  const auto witnesses = engine.semantic_diff(before, after, 256);
+  ASSERT_FALSE(witnesses.empty());
+  EXPECT_LT(witnesses.size(), 256u);
+  for (const auto& w : witnesses) {
+    EXPECT_TRUE(net::Prefix::parse("1.0.0.64/26").contains(w.packet.dst_ip));
+    EXPECT_TRUE(w.before_allowed);
+    EXPECT_FALSE(w.after_allowed);
+  }
+}
+
 TEST(SemanticDiff, DenyOverridesPoliciesSupported) {
   Engine engine;
   Policy before = parse_acl("permit ip any 10.0.0.0/8\n");

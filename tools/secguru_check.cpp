@@ -14,6 +14,7 @@
 #include "secguru/contracts_io.hpp"
 #include "secguru/device_config.hpp"
 #include "secguru/engine.hpp"
+#include "secguru/fast_engine.hpp"
 #include "secguru/nsg.hpp"
 
 namespace {
@@ -27,7 +28,9 @@ void usage() {
       "  --nsg             parse the policy as an NSG table (Figure 9\n"
       "                    format) instead of a Cisco-style ACL\n"
       "  --deny-overrides  use deny-overrides semantics (host firewalls)\n"
-      "  --shadowed        also report rules that can never match\n"
+      "  --shadowed        also report redundant rules\n"
+      "  --smt-only        skip the interval fast path, use Z3 for every\n"
+      "                    contract (the pre-fast-path behavior)\n"
       "  --quiet           print only the summary line\n";
 }
 
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   bool as_nsg = false;
   bool deny_overrides = false;
   bool report_shadowed = false;
+  bool smt_only = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +83,8 @@ int main(int argc, char** argv) {
       deny_overrides = true;
     } else if (flag == "--shadowed") {
       report_shadowed = true;
+    } else if (flag == "--smt-only") {
+      smt_only = true;
     } else if (flag == "--quiet") {
       quiet = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -119,21 +125,14 @@ int main(int argc, char** argv) {
         parse_contracts(slurp(contracts_path), contracts_path);
 
     Engine engine;
-    const PolicyReport report = engine.check_suite(policy, suite);
+    FastEngine fast_engine;
+    const PolicyReport report = smt_only
+                                    ? engine.check_suite(policy, suite)
+                                    : fast_engine.check_suite(policy, suite);
 
     if (!quiet) {
       for (const ContractCheckResult& failure : report.failures) {
-        std::cout << "FAIL " << failure.contract_name;
-        if (failure.witness) {
-          std::cout << "  witness: " << failure.witness->to_string();
-        }
-        if (failure.violating_rule) {
-          const Rule& rule = policy.rules[*failure.violating_rule];
-          std::cout << "  rule " << rule.line << ": " << rule.to_string();
-        } else {
-          std::cout << "  (implicit default deny)";
-        }
-        std::cout << "\n";
+        std::cout << write_failure(failure, policy) << "\n";
       }
     }
 
