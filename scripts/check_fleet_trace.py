@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validator for the merged fleet timeline the coordinator serves/writes.
+
+CI smoke check for distributed tracing: fails (exit 1) unless the merged
+trace is well-formed and causally consistent. Two input shapes:
+
+  --tracez FILE   the /tracez JSON snapshot:
+                  {"dropped": N, "processes": [{"process": ...,
+                   "spans": [...]}], "truncated": M}
+  --chrome FILE   the Perfetto-loadable Chrome trace written by
+                  --trace-out: process_name metadata ("M") events name one
+                  track per process, "X" events carry span_id/parent_id.
+
+Checks, for either shape:
+
+  * valid JSON with the expected top-level structure
+  * spans from at least --min-processes distinct processes
+  * one of the processes is the coordinator
+  * every worker span's parent resolves — to another span of the same
+    worker (its shard root) or to a coordinator span (its shard's assign)
+  * no worker span starts before its resolved parent (the re-based,
+    clamped merged timeline keeps causal order)
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_fleet_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_causal_order(worker_spans, coordinator_starts, label):
+    """worker_spans: list of (name, span_id, parent_id, start) per process.
+    coordinator_starts: {span_id: start}. Returns the span count checked."""
+    checked = 0
+    for process, spans in worker_spans.items():
+        own = {span_id: start for (_, span_id, _, start) in spans}
+        for name, span_id, parent_id, start in spans:
+            checked += 1
+            if parent_id in own:
+                parent_start = own[parent_id]
+            elif parent_id in coordinator_starts:
+                parent_start = coordinator_starts[parent_id]
+            else:
+                fail(f"{label}: {process} span '{name}' (id {span_id}) has "
+                     f"unresolvable parent {parent_id}")
+            # Sub-nanosecond tolerance for the µs float round-trip.
+            if start < parent_start - 1e-6:
+                fail(f"{label}: {process} span '{name}' starts at {start} "
+                     f"before its parent at {parent_start}")
+    return checked
+
+
+def check_tracez(path, min_processes, quiet):
+    with open(path) as handle:
+        merged = json.load(handle)
+    for key in ("dropped", "processes", "truncated"):
+        if key not in merged:
+            fail(f"{path}: missing top-level key '{key}'")
+    populated = [p for p in merged["processes"] if p["spans"]]
+    if len(populated) < min_processes:
+        fail(f"{path}: spans from {len(populated)} processes, "
+             f"need {min_processes}")
+    names = [p["process"] for p in populated]
+    if "coordinator" not in names:
+        fail(f"{path}: no coordinator track among {names}")
+
+    coordinator_starts = {}
+    worker_spans = {}
+    for process in populated:
+        if process["process"] == "coordinator":
+            for span in process["spans"]:
+                coordinator_starts[span["id"]] = span["start_ns"]
+        else:
+            worker_spans[process["process"]] = [
+                (span["name"], span["id"], span["parent"], span["start_ns"])
+                for span in process["spans"]
+            ]
+    checked = check_causal_order(worker_spans, coordinator_starts, path)
+    if not quiet:
+        total = sum(len(p["spans"]) for p in populated)
+        print(f"tracez ok: {total} spans across {len(populated)} processes, "
+              f"{checked} worker spans causally parented "
+              f"(dropped {merged['dropped']}, truncated {merged['truncated']})")
+
+
+def check_chrome(path, min_processes, quiet):
+    with open(path) as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents")
+    if events is None:
+        fail(f"{path}: no traceEvents array")
+    track_names = {}  # pid -> process name, from "M" metadata events
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            track_names[event["pid"]] = event["args"]["name"]
+    spans_by_pid = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        spans_by_pid.setdefault(event["pid"], []).append(
+            (event["name"], event["args"]["span_id"],
+             event["args"]["parent_id"], event["ts"]))
+    populated = [pid for pid in spans_by_pid if spans_by_pid[pid]]
+    if len(populated) < min_processes:
+        fail(f"{path}: spans from {len(populated)} tracks, "
+             f"need {min_processes}")
+    for pid in populated:
+        if pid not in track_names:
+            fail(f"{path}: pid {pid} has spans but no process_name metadata")
+    coordinator_pids = [p for p, n in track_names.items() if n == "coordinator"]
+    if not coordinator_pids:
+        fail(f"{path}: no coordinator track among {sorted(track_names.values())}")
+
+    coordinator_starts = {}
+    worker_spans = {}
+    for pid, spans in spans_by_pid.items():
+        if pid in coordinator_pids:
+            for _, span_id, _, ts in spans:
+                coordinator_starts[span_id] = ts
+        else:
+            worker_spans[track_names[pid]] = spans
+    checked = check_causal_order(worker_spans, coordinator_starts, path)
+    if not quiet:
+        total = sum(len(s) for s in spans_by_pid.values())
+        print(f"chrome trace ok: {total} spans across {len(populated)} "
+              f"named tracks, {checked} worker spans causally parented")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--tracez", help="merged /tracez JSON snapshot")
+    group.add_argument("--chrome", help="merged Chrome/Perfetto trace file")
+    parser.add_argument("--min-processes", type=int, default=2,
+                        help="minimum distinct processes with spans")
+    parser.add_argument("--quiet", action="store_true",
+                        help="no output on success (polling loops)")
+    args = parser.parse_args()
+    try:
+        if args.tracez:
+            check_tracez(args.tracez, args.min_processes, args.quiet)
+        else:
+            check_chrome(args.chrome, args.min_processes, args.quiet)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as error:
+        fail(f"{error!r}")
+
+
+if __name__ == "__main__":
+    main()

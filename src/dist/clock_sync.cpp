@@ -1,0 +1,27 @@
+#include "dist/clock_sync.hpp"
+
+namespace dcv::dist {
+
+void ClockSyncEstimator::seed_one_way(std::int64_t remote_send_ns,
+                                      std::int64_t local_recv_ns) {
+  if (seeded_ || synchronized()) return;
+  seeded_ = true;
+  offset_ns_ = remote_send_ns - local_recv_ns;
+}
+
+void ClockSyncEstimator::add_sample(std::int64_t t1_local_send_ns,
+                                    std::int64_t t2_remote_recv_ns,
+                                    std::int64_t t3_remote_send_ns,
+                                    std::int64_t t4_local_recv_ns) {
+  const std::int64_t rtt = (t4_local_recv_ns - t1_local_send_ns) -
+                           (t3_remote_send_ns - t2_remote_recv_ns);
+  if (rtt < 0) return;
+  ++samples_;
+  if (best_rtt_ns_ >= 0 && rtt >= best_rtt_ns_) return;
+  best_rtt_ns_ = rtt;
+  offset_ns_ = ((t2_remote_recv_ns - t1_local_send_ns) +
+                (t3_remote_send_ns - t4_local_recv_ns)) /
+               2;
+}
+
+}  // namespace dcv::dist

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dcv::dist {
+
+/// Estimates a remote peer's steady-clock offset from timestamped message
+/// exchanges, NTP style. Each process stamps outgoing frames with its own
+/// steady clock and echoes the last timestamp it saw from the peer plus
+/// its local receive time, giving the classic four-timestamp sample
+///
+///   t1 = local send, t2 = remote receive, t3 = remote send,
+///   t4 = local receive
+///
+/// from which offset = ((t2 - t1) + (t3 - t4)) / 2 (remote − local,
+/// midpoint-of-RTT assumption: the error is bounded by half the
+/// round-trip's asymmetry). The estimator keeps the sample with the
+/// smallest RTT seen so far — Cristian's observation that the tightest
+/// round trip bounds the offset best — so estimates only sharpen as a
+/// session ages. A one-way seed (Hello/Welcome, before any echo exists)
+/// fills in a crude first estimate that the first real sample replaces.
+class ClockSyncEstimator {
+ public:
+  /// Crude bootstrap from a single one-way stamp: assumes the frame's
+  /// flight time was zero, so the offset error is up to one full one-way
+  /// delay. Ignored once any round-trip sample exists.
+  void seed_one_way(std::int64_t remote_send_ns, std::int64_t local_recv_ns);
+
+  /// Adds a four-timestamp round-trip sample (all nanoseconds; t1/t4 on
+  /// the local clock, t2/t3 on the remote clock). Samples whose implied
+  /// RTT is negative — reordered or forged echoes — are rejected.
+  void add_sample(std::int64_t t1_local_send_ns,
+                  std::int64_t t2_remote_recv_ns,
+                  std::int64_t t3_remote_send_ns,
+                  std::int64_t t4_local_recv_ns);
+
+  /// Best estimate of remote_clock − local_clock in nanoseconds (so
+  /// local = remote − offset); 0 until seeded or sampled.
+  [[nodiscard]] std::int64_t offset_ns() const { return offset_ns_; }
+
+  /// RTT of the best sample so far; bounds the estimate's error at
+  /// roughly rtt/2. -1 until a round-trip sample lands.
+  [[nodiscard]] std::int64_t best_rtt_ns() const { return best_rtt_ns_; }
+
+  /// True once at least one round-trip sample was accepted (the one-way
+  /// seed alone does not count as synchronized).
+  [[nodiscard]] bool synchronized() const { return best_rtt_ns_ >= 0; }
+
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+ private:
+  std::int64_t offset_ns_ = 0;
+  std::int64_t best_rtt_ns_ = -1;
+  std::uint64_t samples_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace dcv::dist

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics_serde.hpp"
+#include "obs/span_serde.hpp"
 
 namespace dcv::dist {
 
@@ -25,7 +26,8 @@ Coordinator::Coordinator(const topo::MetadataService& metadata,
     : metadata_(&metadata),
       config_(config),
       generator_(metadata, config.contract_options),
-      clock_(config.clock != nullptr ? config.clock : &default_clock_) {
+      clock_(config.clock != nullptr ? config.clock : &default_clock_),
+      merger_(std::make_unique<obs::TraceMerger>(config.trace, "coordinator")) {
   obs::MetricsRegistry* metrics = config_.metrics;
   if (metrics != nullptr) {
     workers_live_gauge_ = &metrics->gauge(
@@ -62,6 +64,10 @@ Coordinator::Coordinator(const topo::MetadataService& metadata,
     decode_errors_ = &metrics->counter(
         "dcv_dist_decode_errors_total",
         "Well-framed messages whose payload failed to decode");
+    trace_decode_errors_ = &metrics->counter(
+        "dcv_dist_trace_decode_errors_total",
+        "Result trace blobs that failed dcv-trace-v1 decoding (the shard "
+        "result itself still counted)");
     cycle_coverage_ = &metrics->gauge(
         "dcv_dist_cycle_coverage",
         "Device coverage of the latest distributed cycle");
@@ -121,10 +127,29 @@ void Coordinator::handle_hello(std::size_t worker_index, const Frame& frame) {
       break;
     }
   }
+  const auto now = clock_->now();
+  // A zero stamp means the peer opted out of clock sync (pre-v2 style
+  // fakes and test drivers); never seed from it.
+  if (hello->send_ns != 0) {
+    worker.clock_sync.seed_one_way(
+        static_cast<std::int64_t>(hello->send_ns),
+        now.time_since_epoch().count());
+  }
+  if (config_.metrics != nullptr) {
+    worker.offset_gauge = &config_.metrics->gauge(
+        "dcv_dist_clock_offset_ns",
+        "Estimated worker steady-clock offset (worker minus coordinator), "
+        "from min-RTT midpoint-of-round-trip samples",
+        {{"worker", worker.id}});
+    worker.offset_gauge->set(
+        static_cast<double>(worker.clock_sync.offset_ns()));
+  }
   WelcomeMsg welcome;
   welcome.heartbeat_interval_ns =
       static_cast<std::uint64_t>(config_.heartbeat_interval.count());
   welcome.lease_ns = static_cast<std::uint64_t>(config_.lease.count());
+  welcome.send_ns =
+      static_cast<std::uint64_t>(now.time_since_epoch().count());
   if (!worker.transport->send(encode(welcome))) {
     lose_worker(worker_index, "disconnect");
     return;
@@ -138,9 +163,32 @@ void Coordinator::handle_hello(std::size_t worker_index, const Frame& frame) {
   }
 }
 
+void Coordinator::observe_clock_echo(Worker& worker, std::uint64_t send_ns,
+                                     std::uint64_t peer_tx_ns,
+                                     std::uint64_t peer_rx_ns) {
+  if (send_ns == 0 || peer_tx_ns == 0 || peer_rx_ns == 0) return;
+  worker.clock_sync.add_sample(static_cast<std::int64_t>(peer_tx_ns),
+                               static_cast<std::int64_t>(peer_rx_ns),
+                               static_cast<std::int64_t>(send_ns),
+                               clock_->now().time_since_epoch().count());
+  if (worker.offset_gauge != nullptr) {
+    worker.offset_gauge->set(
+        static_cast<double>(worker.clock_sync.offset_ns()));
+  }
+}
+
+void Coordinator::record_assign_span(const Shard& shard,
+                                     std::string_view name) {
+  if (config_.trace == nullptr || shard.assign_span == 0) return;
+  config_.trace->record_span(name, shard.assign_span, cycle_span_,
+                             current_cycle_id_, shard.assign_sent_at,
+                             clock_->now() - shard.assign_sent_at);
+}
+
 void Coordinator::handle_heartbeat(std::size_t worker_index,
                                    const HeartbeatMsg& msg) {
   Worker& worker = workers_[worker_index];
+  observe_clock_echo(worker, msg.send_ns, msg.peer_tx_ns, msg.peer_rx_ns);
   if (!worker.active_shard.has_value()) return;
   Shard& shard = shards_[*worker.active_shard];
   if (shard.id != msg.shard_id || shard.attempt != msg.attempt) return;
@@ -151,6 +199,7 @@ void Coordinator::handle_heartbeat(std::size_t worker_index,
 
 void Coordinator::handle_result(std::size_t worker_index, ResultMsg msg) {
   Worker& worker = workers_[worker_index];
+  observe_clock_echo(worker, msg.send_ns, msg.peer_tx_ns, msg.peer_rx_ns);
   const bool current = worker.active_shard.has_value() &&
                        msg.shard_id < shards_.size() &&
                        shards_[msg.shard_id].owner == worker_index &&
@@ -169,6 +218,30 @@ void Coordinator::handle_result(std::size_t worker_index, ResultMsg msg) {
     // malformed blob is dropped (the validation result still counts).
     (void)obs::merge_serialized(*config_.metrics, msg.registry_blob,
                                 {{"worker", worker.id}});
+  }
+  // The assign span must land in the local ring before the worker's tree
+  // is merged under it, so no snapshot ever sees children without their
+  // parent.
+  record_assign_span(shard, "assign");
+  if (!msg.trace_blob.empty()) {
+    obs::DecodedTrace remote;
+    if (obs::deserialize_trace(msg.trace_blob, remote)) {
+      // Merger offset is local − remote; the estimator reports remote −
+      // local. The floor pins the tree to start no earlier than its
+      // assign, absorbing the ±rtt/2 estimation error.
+      const std::chrono::nanoseconds floor =
+          config_.trace != nullptr
+              ? shard.assign_sent_at - config_.trace->epoch()
+              : std::chrono::nanoseconds{0};
+      merger_->add_remote(worker.id, std::move(remote),
+                          -worker.clock_sync.offset_ns(), shard.assign_span,
+                          floor);
+    } else if (trace_decode_errors_ != nullptr) {
+      // Malformed telemetry never fails the shard: the validation result
+      // is already decoded and counted.
+      trace_decode_errors_->inc();
+    }
+    msg.trace_blob.clear();
   }
   shard.result = std::move(msg);
   shard.result_worker = worker.id;
@@ -277,6 +350,8 @@ void Coordinator::lose_worker(std::size_t worker_index,
 void Coordinator::requeue_or_fail(std::size_t shard_index) {
   Shard& shard = shards_[shard_index];
   if (shard.done()) return;
+  record_assign_span(shard, "assign_lost");
+  shard.assign_span = 0;
   shard.lost_once = true;
   if (shard.deliveries >= 1 + config_.shard_retry_budget) {
     shard.failed = true;
@@ -313,11 +388,16 @@ bool Coordinator::assign_pending_shards() {
     shard.hard_deadline = now + config_.shard_deadline;
     shard.lease_deadline = std::min(now + config_.lease, shard.hard_deadline);
     worker.active_shard = shard_index;
+    shard.assign_span = obs::allocate_span_id();
+    shard.assign_sent_at = now;
     AssignMsg assign;
     assign.shard_id = shard.id;
     assign.attempt = shard.attempt;
     assign.plan_epoch = metadata_->epoch();
     assign.devices = shard.devices;
+    assign.cycle_id = current_cycle_id_;
+    assign.parent_span = shard.assign_span;
+    assign.send_ns = static_cast<std::uint64_t>(now.time_since_epoch().count());
     if (!worker.transport->send(encode(assign))) {
       // lose_worker sees active_shard and requeues (or fails) the shard.
       lose_worker(idle_worker, "disconnect");
@@ -348,6 +428,8 @@ void Coordinator::fail_all_pending() {
 DistributedSummary Coordinator::run_cycle() {
   cycle_in_progress_.store(true, std::memory_order_relaxed);
   const auto start = clock_->now();
+  current_cycle_id_ = cycles_completed_.load(std::memory_order_relaxed) + 1;
+  cycle_span_ = obs::allocate_span_id();
   const std::uint64_t lost_before =
       workers_lost_total_.load(std::memory_order_relaxed);
   std::erase_if(workers_, [](const Worker& w) { return w.dead; });
@@ -440,6 +522,7 @@ DistributedSummary Coordinator::finish_cycle(
     if (shard.result.has_value()) {
       const ResultMsg& result = *shard.result;
       outcome.worker = shard.result_worker;
+      outcome.elapsed_ns = result.elapsed_ns;
       outcome.status =
           shard.lost_once ? ShardStatus::kRecovered : ShardStatus::kValidated;
       // A recovered shard was fully re-validated, but it sits behind a
@@ -482,6 +565,11 @@ DistributedSummary Coordinator::finish_cycle(
                      return a.device < b.device;
                    });
   summary.merged.elapsed = clock_->now() - start;
+  if (config_.trace != nullptr) {
+    config_.trace->record_span("cycle", cycle_span_, /*parent=*/0,
+                               current_cycle_id_, start,
+                               summary.merged.elapsed);
+  }
 
   const double coverage = summary.coverage();
   last_coverage_.store(coverage, std::memory_order_relaxed);

@@ -11,10 +11,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dist/clock_sync.hpp"
 #include "dist/messages.hpp"
 #include "dist/transport.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_merge.hpp"
 #include "rcdc/contract_gen.hpp"
 #include "rcdc/resilient_fib_source.hpp"
 #include "rcdc/validator.hpp"
@@ -51,6 +54,12 @@ struct CoordinatorConfig {
   /// When non-null (must outlive the coordinator), receives dcv_dist_*
   /// series plus every worker's merged registry labeled {worker=<id>}.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When non-null (must outlive the coordinator), receives the
+  /// coordinator's own cycle/assign spans, and anchors the merged fleet
+  /// timeline: worker span trees arriving in results are re-parented under
+  /// their shard's assign span and rebased onto this ring's epoch (see
+  /// merger()).
+  obs::TraceRing* trace = nullptr;
   /// Injected time source; defaults to the shared SystemFetchClock. Tests
   /// drive lease expiry and idle sleeps with a ManualFetchClock so no
   /// failure scenario ever wall-sleeps.
@@ -78,6 +87,10 @@ struct ShardOutcome {
   std::size_t devices = 0;
   /// Deliveries consumed (1 = clean first-assignment validation).
   std::uint32_t attempts = 0;
+  /// Worker-reported wall time of the accepted validation (0 for failed
+  /// shards) — the same figure feeding dcv_dist_shard_elapsed_ns, carried
+  /// per shard so slow shards are attributable from the report alone.
+  std::uint64_t elapsed_ns = 0;
   ShardStatus status = ShardStatus::kFailed;
   /// True for results that warrant reduced trust: the shard failed
   /// outright, or was validated only via reassignment after a loss (its
@@ -176,6 +189,12 @@ class Coordinator {
   };
   [[nodiscard]] Health health() const;
 
+  /// The fleet trace: the coordinator's local spans plus every worker span
+  /// tree merged onto the coordinator timeline. Thread-safe (snapshot());
+  /// valid for the coordinator's lifetime, useful only when config.trace
+  /// was set.
+  [[nodiscard]] const obs::TraceMerger& merger() const { return *merger_; }
+
  private:
   struct Worker {
     std::string id;          // from hello; peer address until then
@@ -185,6 +204,11 @@ class Coordinator {
     /// Index into shards_ of the assignment in flight, or nullopt.
     std::optional<std::size_t> active_shard;
     bool dead = false;
+    /// Offset of this worker's steady clock, estimated from timestamp
+    /// echoes on its heartbeats/results (zero-stamped peers stay
+    /// unsynchronized and merge with offset 0).
+    ClockSyncEstimator clock_sync;
+    obs::Gauge* offset_gauge = nullptr;
   };
 
   struct Shard {
@@ -199,6 +223,11 @@ class Coordinator {
     std::optional<ResultMsg> result;
     std::string result_worker;
     bool failed = false;
+    /// Trace identity of the delivery in flight: the assign span's id
+    /// (minted per delivery) and when it was sent, so the span interval
+    /// can be recorded once the result (or the loss) is known.
+    std::uint64_t assign_span = 0;
+    std::chrono::steady_clock::time_point assign_sent_at{};
 
     [[nodiscard]] bool done() const { return result.has_value() || failed; }
   };
@@ -215,11 +244,24 @@ class Coordinator {
   [[nodiscard]] bool any_admissible_worker() const;
   DistributedSummary finish_cycle(std::chrono::steady_clock::time_point start);
 
+  /// Records one completed assign-delivery span (or "assign_lost") into
+  /// the local trace ring; no-op when untraced.
+  void record_assign_span(const Shard& shard, std::string_view name);
+  /// Feeds a worker frame's clock-sync triple into its estimator (t4 =
+  /// receipt, on the coordinator clock) and refreshes the offset gauge.
+  /// Zero stamps — peers not participating in sync — are ignored.
+  void observe_clock_echo(Worker& worker, std::uint64_t send_ns,
+                          std::uint64_t peer_tx_ns, std::uint64_t peer_rx_ns);
+
   const topo::MetadataService* metadata_;
   CoordinatorConfig config_;
   rcdc::ContractGenerator generator_;
   rcdc::SystemFetchClock default_clock_;
   rcdc::FetchClock* clock_;
+  std::unique_ptr<obs::TraceMerger> merger_;
+  /// Trace identity of the cycle in progress (1-based id + root span).
+  std::uint64_t current_cycle_id_ = 0;
+  std::uint64_t cycle_span_ = 0;
 
   std::vector<Worker> workers_;
   std::vector<Shard> shards_;
@@ -246,6 +288,7 @@ class Coordinator {
   obs::Counter* reassignments_ = nullptr;
   obs::Counter* stale_results_ = nullptr;
   obs::Counter* decode_errors_ = nullptr;
+  obs::Counter* trace_decode_errors_ = nullptr;
   obs::Gauge* cycle_coverage_ = nullptr;
   obs::Histogram* shard_elapsed_ns_ = nullptr;
 };

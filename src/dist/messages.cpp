@@ -102,6 +102,7 @@ Frame encode(const HelloMsg& msg) {
   writer.str(msg.worker_id);
   writer.u32(msg.protocol);
   writer.u64(msg.topology_epoch);
+  writer.u64(msg.send_ns);
   return Frame{MsgType::kHello, writer.take()};
 }
 
@@ -109,7 +110,8 @@ std::optional<HelloMsg> decode_hello(std::span<const std::uint8_t> payload) {
   net::ByteReader reader(payload);
   HelloMsg msg;
   if (!reader.str(msg.worker_id) || !reader.u32(msg.protocol) ||
-      !reader.u64(msg.topology_epoch) || !reader.done()) {
+      !reader.u64(msg.topology_epoch) || !reader.u64(msg.send_ns) ||
+      !reader.done()) {
     return std::nullopt;
   }
   return msg;
@@ -119,6 +121,7 @@ Frame encode(const WelcomeMsg& msg) {
   net::ByteWriter writer;
   writer.u64(msg.heartbeat_interval_ns);
   writer.u64(msg.lease_ns);
+  writer.u64(msg.send_ns);
   return Frame{MsgType::kWelcome, writer.take()};
 }
 
@@ -127,7 +130,7 @@ std::optional<WelcomeMsg> decode_welcome(
   net::ByteReader reader(payload);
   WelcomeMsg msg;
   if (!reader.u64(msg.heartbeat_interval_ns) || !reader.u64(msg.lease_ns) ||
-      !reader.done()) {
+      !reader.u64(msg.send_ns) || !reader.done()) {
     return std::nullopt;
   }
   return msg;
@@ -146,6 +149,12 @@ Frame encode(const AssignMsg& msg) {
       put_contract(writer, contract);
     }
   }
+  // Trace context and send stamp go after the device list: decoder tests
+  // pin the byte offsets of the leading fields, and appending keeps v1
+  // payload prefixes byte-identical.
+  writer.u64(msg.cycle_id);
+  writer.u64(msg.parent_span);
+  writer.u64(msg.send_ns);
   return Frame{MsgType::kAssign, writer.take()};
 }
 
@@ -169,7 +178,10 @@ std::optional<AssignMsg> decode_assign(std::span<const std::uint8_t> payload) {
       if (!get_contract(reader, contract)) return std::nullopt;
     }
   }
-  if (!reader.done()) return std::nullopt;
+  if (!reader.u64(msg.cycle_id) || !reader.u64(msg.parent_span) ||
+      !reader.u64(msg.send_ns) || !reader.done()) {
+    return std::nullopt;
+  }
   return msg;
 }
 
@@ -178,6 +190,9 @@ Frame encode(const HeartbeatMsg& msg) {
   writer.u32(msg.shard_id);
   writer.u32(msg.attempt);
   writer.u32(msg.devices_done);
+  writer.u64(msg.send_ns);
+  writer.u64(msg.peer_tx_ns);
+  writer.u64(msg.peer_rx_ns);
   return Frame{MsgType::kHeartbeat, writer.take()};
 }
 
@@ -186,7 +201,9 @@ std::optional<HeartbeatMsg> decode_heartbeat(
   net::ByteReader reader(payload);
   HeartbeatMsg msg;
   if (!reader.u32(msg.shard_id) || !reader.u32(msg.attempt) ||
-      !reader.u32(msg.devices_done) || !reader.done()) {
+      !reader.u32(msg.devices_done) || !reader.u64(msg.send_ns) ||
+      !reader.u64(msg.peer_tx_ns) || !reader.u64(msg.peer_rx_ns) ||
+      !reader.done()) {
     return std::nullopt;
   }
   return msg;
@@ -214,6 +231,10 @@ Frame encode(const ResultMsg& msg) {
     writer.u64(fingerprint);
   }
   writer.bytes(msg.registry_blob);
+  writer.bytes(msg.trace_blob);
+  writer.u64(msg.send_ns);
+  writer.u64(msg.peer_tx_ns);
+  writer.u64(msg.peer_rx_ns);
   return Frame{MsgType::kResult, writer.take()};
 }
 
@@ -240,7 +261,11 @@ std::optional<ResultMsg> decode_result(std::span<const std::uint8_t> payload) {
   for (auto& [device, fingerprint] : msg.fingerprints) {
     if (!reader.u32(device) || !reader.u64(fingerprint)) return std::nullopt;
   }
-  if (!reader.bytes(msg.registry_blob) || !reader.done()) return std::nullopt;
+  if (!reader.bytes(msg.registry_blob) || !reader.bytes(msg.trace_blob) ||
+      !reader.u64(msg.send_ns) || !reader.u64(msg.peer_tx_ns) ||
+      !reader.u64(msg.peer_rx_ns) || !reader.done()) {
+    return std::nullopt;
+  }
   return msg;
 }
 

@@ -13,7 +13,13 @@ namespace dcv::dist {
 
 /// Protocol revision carried inside kHello, independent of the frame
 /// version: the frame layer can stay at v1 while message payloads evolve.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2 added trace propagation and clock-sync timestamps: every message
+/// carries the sender's steady-clock send time, worker→coordinator
+/// messages echo the last coordinator timestamp seen (plus its local
+/// receive time) for NTP-style offset estimation, AssignMsg names the
+/// coordinator's cycle and parent span, and ResultMsg ships the worker's
+/// serialized span tree (dcv-trace-v1).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// worker → coordinator on connect.
 struct HelloMsg {
@@ -22,12 +28,17 @@ struct HelloMsg {
   /// Epoch of the expected topology the worker loaded; the coordinator
   /// refuses workers validating against a different architecture.
   std::uint64_t topology_epoch = 0;
+  /// Sender's steady clock at send (ns since its clock epoch); 0 = sender
+  /// does not participate in clock sync.
+  std::uint64_t send_ns = 0;
 };
 
 /// coordinator → worker acknowledging the hello.
 struct WelcomeMsg {
   std::uint64_t heartbeat_interval_ns = 0;
   std::uint64_t lease_ns = 0;
+  /// Sender's steady clock at send; 0 = no clock sync.
+  std::uint64_t send_ns = 0;
 };
 
 /// One device's work item inside an assignment: the device plus the
@@ -46,6 +57,13 @@ struct AssignMsg {
   std::uint32_t attempt = 0;
   std::uint64_t plan_epoch = 0;
   std::vector<DeviceWork> devices;
+  /// Trace context: the coordinator's monitoring-cycle id and the span id
+  /// the worker's shard tree should hang under in the merged timeline.
+  /// Both 0 when the coordinator is not tracing.
+  std::uint64_t cycle_id = 0;
+  std::uint64_t parent_span = 0;
+  /// Sender's steady clock at send; 0 = no clock sync.
+  std::uint64_t send_ns = 0;
 };
 
 /// worker → coordinator while validating: renews the shard lease.
@@ -53,6 +71,13 @@ struct HeartbeatMsg {
   std::uint32_t shard_id = 0;
   std::uint32_t attempt = 0;
   std::uint32_t devices_done = 0;
+  /// Clock-sync triple: the worker's steady clock at send, plus an echo of
+  /// the newest coordinator timestamp it has seen (peer_tx_ns) and the
+  /// worker-clock instant that frame arrived (peer_rx_ns). All 0 when the
+  /// worker has nothing to echo yet.
+  std::uint64_t send_ns = 0;
+  std::uint64_t peer_tx_ns = 0;
+  std::uint64_t peer_rx_ns = 0;
 };
 
 /// worker → coordinator: everything the coordinator needs to merge one
@@ -75,6 +100,15 @@ struct ResultMsg {
   /// (device, fingerprint) pairs for every device that yielded a table.
   std::vector<std::pair<topo::DeviceId, std::uint64_t>> fingerprints;
   std::vector<std::uint8_t> registry_blob;
+  /// The worker's span tree for this shard, serialized as dcv-trace-v1
+  /// (obs::span_serde); empty when the worker recorded nothing. A blob
+  /// decode_result accepts but span_serde rejects degrades to a trace
+  /// decode error at the coordinator — it never fails the shard.
+  std::vector<std::uint8_t> trace_blob;
+  /// Clock-sync triple (see HeartbeatMsg).
+  std::uint64_t send_ns = 0;
+  std::uint64_t peer_tx_ns = 0;
+  std::uint64_t peer_rx_ns = 0;
 };
 
 // Encoders produce a complete Frame (payload + type); decoders parse a

@@ -33,6 +33,7 @@ std::string write_distributed_report_json(const DistributedSummary& summary,
         << "\"worker\": \"" << rcdc::json_escape(shard.worker) << "\", "
         << "\"devices\": " << shard.devices << ", "
         << "\"attempts\": " << shard.attempts << ", "
+        << "\"elapsed_ns\": " << shard.elapsed_ns << ", "
         << "\"status\": \"" << to_string(shard.status) << "\", "
         << "\"degraded_confidence\": "
         << (shard.degraded_confidence ? "true" : "false") << "}";

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics_serde.hpp"
+#include "obs/span_serde.hpp"
 #include "rcdc/incremental.hpp"
 
 namespace dcv::dist {
@@ -18,9 +19,13 @@ WorkerSession::WorkerSession(const rcdc::FibSource& fibs,
       clock_(config_.clock != nullptr ? config_.clock : &default_clock_) {}
 
 SessionEnd WorkerSession::run(Transport& transport) {
+  peer_tx_ns_ = 0;
+  peer_rx_ns_ = 0;
   HelloMsg hello;
   hello.worker_id = config_.id;
   hello.topology_epoch = config_.topology_epoch;
+  hello.send_ns =
+      static_cast<std::uint64_t>(clock_->now().time_since_epoch().count());
   if (!transport.send(encode(hello))) return SessionEnd::kConnectionLost;
 
   // Wait for the welcome (bounded): the coordinator may instead reject us
@@ -33,6 +38,11 @@ SessionEnd WorkerSession::run(Transport& transport) {
       if (frame->type != MsgType::kWelcome) return SessionEnd::kConnectionLost;
       const std::optional<WelcomeMsg> welcome = decode_welcome(frame->payload);
       if (!welcome.has_value()) return SessionEnd::kConnectionLost;
+      if (welcome->send_ns != 0) {
+        peer_tx_ns_ = welcome->send_ns;
+        peer_rx_ns_ = static_cast<std::uint64_t>(
+            clock_->now().time_since_epoch().count());
+      }
       heartbeat_interval =
           std::chrono::nanoseconds(welcome->heartbeat_interval_ns);
       break;
@@ -57,6 +67,11 @@ SessionEnd WorkerSession::run(Transport& transport) {
         const std::optional<AssignMsg> assignment =
             decode_assign(frame->payload);
         if (!assignment.has_value()) return SessionEnd::kConnectionLost;
+        if (assignment->send_ns != 0) {
+          peer_tx_ns_ = assignment->send_ns;
+          peer_rx_ns_ = static_cast<std::uint64_t>(
+              clock_->now().time_since_epoch().count());
+        }
         if (!validate_shard(*assignment, transport, heartbeat_interval)) {
           return SessionEnd::kConnectionLost;
         }
@@ -82,6 +97,32 @@ bool WorkerSession::validate_shard(
   result.attempt = assignment.attempt;
   result.devices_checked = assignment.devices.size();
 
+  // The shard's span tree, shipped to the coordinator on the result frame
+  // with *absolute* local-clock starts (the merger rebases them by the
+  // estimated offset). Bounded so a huge shard cannot inflate the result
+  // frame; the root span always ships, so children stay parentable.
+  constexpr std::size_t kMaxTraceEventsPerShard = 8192;
+  const std::uint64_t shard_span = obs::allocate_span_id();
+  std::vector<obs::TraceEvent> trace_events;
+  std::uint64_t trace_dropped = 0;
+  const auto add_span = [&](std::string_view name,
+                            std::chrono::steady_clock::time_point span_start,
+                            std::chrono::nanoseconds duration) {
+    if (trace_events.size() >= kMaxTraceEventsPerShard) {
+      ++trace_dropped;
+      return;
+    }
+    trace_events.push_back({std::string(name), obs::allocate_span_id(),
+                            shard_span, assignment.cycle_id,
+                            obs::thread_index(),
+                            span_start.time_since_epoch(), duration});
+    if (config_.trace != nullptr) {
+      const obs::TraceEvent& event = trace_events.back();
+      config_.trace->record_span(name, event.id, shard_span,
+                                 assignment.cycle_id, span_start, duration);
+    }
+  };
+
   const std::chrono::nanoseconds scaled_latency{
       static_cast<std::int64_t>(std::llround(
           static_cast<double>(config_.fetch_latency.count()) *
@@ -95,13 +136,19 @@ bool WorkerSession::validate_shard(
       heartbeat.shard_id = assignment.shard_id;
       heartbeat.attempt = assignment.attempt;
       heartbeat.devices_done = done;
+      heartbeat.send_ns = static_cast<std::uint64_t>(
+          clock_->now().time_since_epoch().count());
+      heartbeat.peer_tx_ns = peer_tx_ns_;
+      heartbeat.peer_rx_ns = peer_rx_ns_;
       if (!transport.send(encode(heartbeat))) return false;
       last_heartbeat = clock_->now();
     }
     ++done;
     if (work.contracts.empty()) continue;
+    const auto fetch_start = clock_->now();
     rcdc::FetchOutcome outcome = fibs_->try_fetch(work.device);
     if (scaled_latency.count() > 0) clock_->sleep_for(scaled_latency);
+    add_span("fetch", fetch_start, clock_->now() - fetch_start);
     if (outcome.attempts > 1) result.retries += outcome.attempts - 1;
     if (outcome.breaker_tripped) ++result.breaker_opens;
     if (!outcome.has_table()) {
@@ -111,8 +158,10 @@ bool WorkerSession::validate_shard(
     if (outcome.stale) ++result.devices_stale;
     result.fingerprints.emplace_back(work.device,
                                      rcdc::fingerprint(*outcome.table));
+    const auto validate_start = clock_->now();
     auto violations =
         verifier->check(*outcome.table, work.contracts, work.device);
+    add_span("validate", validate_start, clock_->now() - validate_start);
     result.contracts_checked += work.contracts.size();
     if (outcome.degraded()) result.violations_degraded += violations.size();
     result.violations.insert(result.violations.end(),
@@ -120,11 +169,26 @@ bool WorkerSession::validate_shard(
                              std::make_move_iterator(violations.end()));
   }
 
-  result.elapsed_ns =
-      static_cast<std::uint64_t>((clock_->now() - start).count());
+  const auto finished = clock_->now();
+  result.elapsed_ns = static_cast<std::uint64_t>((finished - start).count());
+  // The shard root (parent 0: the coordinator re-parents batch roots under
+  // the assign span) rides past the cap so children always resolve.
+  trace_events.push_back({"shard", shard_span, /*parent=*/0,
+                          assignment.cycle_id, obs::thread_index(),
+                          start.time_since_epoch(), finished - start});
+  if (config_.trace != nullptr) {
+    config_.trace->record_span("shard", shard_span, 0, assignment.cycle_id,
+                               start, finished - start);
+  }
+  result.trace_blob = obs::serialize_trace(
+      trace_events, std::chrono::nanoseconds{0}, trace_dropped);
   if (config_.metrics != nullptr) {
     result.registry_blob = obs::serialize_registry(*config_.metrics);
   }
+  result.send_ns =
+      static_cast<std::uint64_t>(clock_->now().time_since_epoch().count());
+  result.peer_tx_ns = peer_tx_ns_;
+  result.peer_rx_ns = peer_rx_ns_;
   if (!transport.send(encode(result))) return false;
   ++shards_validated_;
   return true;

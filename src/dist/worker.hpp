@@ -7,6 +7,7 @@
 #include "dist/messages.hpp"
 #include "dist/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "rcdc/fib_source.hpp"
 #include "rcdc/resilient_fib_source.hpp"
 #include "rcdc/validator.hpp"
@@ -33,6 +34,11 @@ struct WorkerSessionConfig {
   /// accumulate here and a dcv-metrics-v1 snapshot rides on every result
   /// frame for the coordinator to merge under {worker=<id>}.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When non-null (must outlive the session), the shard/fetch/validate
+  /// spans shipped to the coordinator are also mirrored here, so a lone
+  /// worker can dump its own timeline (dcv_worker --trace-out) without a
+  /// coordinator merge.
+  obs::TraceRing* trace = nullptr;
   /// Injected time source; defaults to the shared SystemFetchClock.
   rcdc::FetchClock* clock = nullptr;
 };
@@ -78,6 +84,11 @@ class WorkerSession {
   rcdc::SystemFetchClock default_clock_;
   rcdc::FetchClock* clock_;
   std::uint64_t shards_validated_ = 0;
+  /// Newest coordinator send stamp seen on this connection and its local
+  /// receive time, echoed on every outgoing frame for the coordinator's
+  /// clock-offset estimation. 0 until a stamped frame arrives.
+  std::uint64_t peer_tx_ns_ = 0;
+  std::uint64_t peer_rx_ns_ = 0;
 };
 
 /// Reconnect schedule for a worker that lost its coordinator: exponential

@@ -1,7 +1,9 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 #include <map>
 
 namespace dcv::obs {
@@ -188,24 +190,61 @@ std::string write_json(const MetricsRegistry& registry) {
   return out + "]}";
 }
 
+namespace {
+
+void append_span_json(std::string& out, const TraceEvent& event) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"id\":%" PRIu64 ",\"parent\":%" PRIu64
+                ",\"cycle\":%" PRIu64 ",\"thread\":%u"
+                ",\"start_ns\":%lld,\"duration_ns\":%lld}",
+                event.id, event.parent, event.cycle, event.thread,
+                static_cast<long long>(event.start.count()),
+                static_cast<long long>(event.duration.count()));
+  out += "{\"name\":\"" + escape(event.name) + "\"," + buffer;
+}
+
+}  // namespace
+
 std::string write_trace_json(const TraceRing& ring) {
+  return write_trace_json(ring, std::numeric_limits<std::size_t>::max());
+}
+
+std::string write_trace_json(const TraceRing& ring, std::size_t max_spans) {
+  const auto events = ring.events();
+  const std::size_t rendered = std::min(events.size(), max_spans);
   std::string out = "{\"dropped\":" + std::to_string(ring.dropped()) +
+                    ",\"truncated\":" + std::to_string(events.size() - rendered) +
                     ",\"spans\":[";
-  bool first = true;
-  for (const TraceEvent& event : ring.events()) {
-    if (!first) out += ',';
-    first = false;
-    char buffer[192];
-    std::snprintf(buffer, sizeof(buffer),
-                  "\"id\":%" PRIu64 ",\"parent\":%" PRIu64
-                  ",\"cycle\":%" PRIu64 ",\"thread\":%u"
-                  ",\"start_ns\":%lld,\"duration_ns\":%lld}",
-                  event.id, event.parent, event.cycle, event.thread,
-                  static_cast<long long>(event.start.count()),
-                  static_cast<long long>(event.duration.count()));
-    out += "{\"name\":\"" + escape(event.name) + "\"," + buffer;
+  for (std::size_t i = 0; i < rendered; ++i) {
+    if (i != 0) out += ',';
+    append_span_json(out, events[i]);
   }
   return out + "]}";
+}
+
+std::string write_trace_json(const MergedTrace& merged,
+                             std::size_t max_spans) {
+  std::uint64_t truncated = merged.truncated;
+  std::size_t budget = max_spans;
+  std::string out = "{\"dropped\":" + std::to_string(merged.remote_dropped) +
+                    ",\"processes\":[";
+  bool first_track = true;
+  for (const MergedTrack& track : merged.tracks) {
+    if (!first_track) out += ',';
+    first_track = false;
+    out += "{\"process\":\"" + escape(track.process) + "\",\"spans\":[";
+    const std::size_t rendered = std::min(track.events.size(), budget);
+    truncated += track.events.size() - rendered;
+    budget -= rendered;
+    for (std::size_t i = 0; i < rendered; ++i) {
+      if (i != 0) out += ',';
+      append_span_json(out, track.events[i]);
+    }
+    out += "]}";
+  }
+  // Emitted after the tracks so render-time cuts are included in the count.
+  return out + "],\"truncated\":" + std::to_string(truncated) + "}";
 }
 
 std::string write_chrome_trace(const TraceRing& ring) {
@@ -225,6 +264,34 @@ std::string write_chrome_trace(const TraceRing& ring) {
                   static_cast<double>(event.duration.count()) / 1e3,
                   event.thread, event.id, event.parent, event.cycle);
     out += "{\"name\":\"" + escape(event.name) + "\"," + buffer;
+  }
+  return out + "]}";
+}
+
+std::string write_chrome_trace(const MergedTrace& merged) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buffer[256];
+  for (std::size_t t = 0; t < merged.tracks.size(); ++t) {
+    const MergedTrack& track = merged.tracks[t];
+    const unsigned pid = static_cast<unsigned>(t + 1);
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  pid, escape(track.process).c_str());
+    out += buffer;
+    for (const TraceEvent& event : track.events) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "\"cat\":\"dcv\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"pid\":%u,\"tid\":%u,\"args\":{\"span_id\":%" PRIu64
+                    ",\"parent_id\":%" PRIu64 ",\"cycle\":%" PRIu64 "}}",
+                    static_cast<double>(event.start.count()) / 1e3,
+                    static_cast<double>(event.duration.count()) / 1e3, pid,
+                    event.thread, event.id, event.parent, event.cycle);
+      out += ",{\"name\":\"" + escape(event.name) + "\"," + buffer;
+    }
   }
   return out + "]}";
 }

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_merge.hpp"
 
 namespace dcv::obs {
 
@@ -25,11 +26,32 @@ namespace dcv::obs {
 /// and thread index, plus the drop count.
 [[nodiscard]] std::string write_trace_json(const TraceRing& ring);
 
+/// Bounded variant for HTTP serving: renders at most `max_spans` spans
+/// (oldest first) and reports how many were cut in a "truncated" field, so
+/// a huge ring cannot wedge the telemetry server's sequential connection
+/// loop with an unbounded response.
+[[nodiscard]] std::string write_trace_json(const TraceRing& ring,
+                                           std::size_t max_spans);
+
+/// Renders a merged fleet trace as JSON: one entry per process track plus
+/// sender-side drop and merger/render truncation counts:
+///   {"dropped":N,"truncated":M,"processes":[{"process":...,"spans":[...]}]}
+/// At most `max_spans` spans total across tracks; the cut count is added
+/// to "truncated".
+[[nodiscard]] std::string write_trace_json(const MergedTrace& merged,
+                                           std::size_t max_spans);
+
 /// Renders a trace ring in the Chrome trace-event JSON format (complete
 /// "X" events, ts/dur in microseconds), loadable in Perfetto or
 /// chrome://tracing. Parent/cycle links travel in each event's args;
 /// same-thread nesting is additionally visible from ts/dur containment on
 /// one tid track.
 [[nodiscard]] std::string write_chrome_trace(const TraceRing& ring);
+
+/// Chrome trace-event rendering of a merged fleet trace: one pid per
+/// process track, named via "M" process_name metadata events, so Perfetto
+/// shows the coordinator and each worker as separately labelled tracks on
+/// one offset-aligned timeline.
+[[nodiscard]] std::string write_chrome_trace(const MergedTrace& merged);
 
 }  // namespace dcv::obs

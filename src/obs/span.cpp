@@ -28,6 +28,10 @@ std::uint32_t thread_index() {
   return index;
 }
 
+std::uint64_t allocate_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
 TraceRing::TraceRing(std::size_t capacity)
     : epoch_(std::chrono::steady_clock::now()),
       capacity_(std::max<std::size_t>(1, capacity)) {

@@ -81,6 +81,12 @@ class CycleScope {
 /// in a trace viewer, unlike 64-bit native thread ids.
 [[nodiscard]] std::uint32_t thread_index();
 
+/// Draws a fresh process-unique span id from the same counter Span uses.
+/// For code that records spans with explicit ids (overlapping intervals a
+/// RAII stack cannot express — e.g. a coordinator with many shard
+/// assignments in flight) and for re-keying remote spans on merge.
+[[nodiscard]] std::uint64_t allocate_span_id();
+
 /// One completed span as kept by the trace ring.
 struct TraceEvent {
   std::string name;
@@ -126,6 +132,13 @@ class TraceRing {
   [[nodiscard]] std::uint64_t dropped() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t size() const;
+
+  /// The steady-clock instant event start offsets are relative to (the
+  /// ring's construction). Lets serializers and mergers convert between
+  /// ring-relative and absolute steady-clock nanoseconds.
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
 
  private:
   mutable std::mutex mutex_;

@@ -1,0 +1,75 @@
+#include "obs/span_serde.hpp"
+
+#include <utility>
+
+#include "net/bytes.hpp"
+
+namespace dcv::obs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54564344;  // "DCVT" in LE byte order
+constexpr std::uint16_t kVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_trace(std::span<const TraceEvent> events,
+                                          std::chrono::nanoseconds epoch,
+                                          std::uint64_t dropped) {
+  net::ByteWriter writer;
+  writer.u32(kMagic);
+  writer.u16(kVersion);
+  writer.u64(dropped);
+  writer.u32(static_cast<std::uint32_t>(events.size()));
+  for (const TraceEvent& event : events) {
+    writer.str(event.name);
+    writer.u64(event.id);
+    writer.u64(event.parent);
+    writer.u64(event.cycle);
+    writer.u32(event.thread);
+    writer.u64(static_cast<std::uint64_t>((epoch + event.start).count()));
+    writer.u64(static_cast<std::uint64_t>(event.duration.count()));
+  }
+  return writer.take();
+}
+
+std::vector<std::uint8_t> serialize_trace(const TraceRing& ring) {
+  const auto events = ring.events();
+  return serialize_trace(events, ring.epoch().time_since_epoch(),
+                         ring.dropped());
+}
+
+bool deserialize_trace(std::span<const std::uint8_t> blob, DecodedTrace& out) {
+  net::ByteReader reader(blob);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  DecodedTrace staged;
+  if (!reader.u32(magic) || magic != kMagic) return false;
+  if (!reader.u16(version) || version != kVersion) return false;
+  if (!reader.u64(staged.dropped)) return false;
+  std::uint32_t count = 0;
+  // An event is at least an empty name + the six fixed fields = 48 bytes.
+  if (!reader.count(count, 48)) return false;
+  staged.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceEvent event;
+    std::uint32_t thread = 0;
+    std::uint64_t start = 0;
+    std::uint64_t duration = 0;
+    if (!reader.str(event.name) || !reader.u64(event.id) ||
+        !reader.u64(event.parent) || !reader.u64(event.cycle) ||
+        !reader.u32(thread) || !reader.u64(start) || !reader.u64(duration)) {
+      return false;
+    }
+    event.thread = thread;
+    event.start = std::chrono::nanoseconds(static_cast<std::int64_t>(start));
+    event.duration =
+        std::chrono::nanoseconds(static_cast<std::int64_t>(duration));
+    staged.events.push_back(std::move(event));
+  }
+  if (!reader.done()) return false;
+  out = std::move(staged);
+  return true;
+}
+
+}  // namespace dcv::obs

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace dcv::obs {
+
+/// Binary snapshot of trace spans (dcv-trace-v1): every event with its
+/// name, span/parent ids, cycle correlation, thread index, start, and
+/// duration, plus the producer's drop count. Starts travel as *absolute*
+/// steady-clock nanoseconds of the recording process (ring epoch + stored
+/// offset), so a receiver that knows the sender's clock offset can rebase
+/// them onto its own timeline. The format is versioned and self-delimiting
+/// so a worker's span tree can travel inside a dist wire frame.
+[[nodiscard]] std::vector<std::uint8_t> serialize_trace(const TraceRing& ring);
+
+/// Same format over an explicit event batch whose `start` fields are
+/// offsets from `epoch` (pass a zero epoch when starts are already
+/// absolute). Used by workers shipping per-shard span batches without
+/// routing them through a ring.
+[[nodiscard]] std::vector<std::uint8_t> serialize_trace(
+    std::span<const TraceEvent> events, std::chrono::nanoseconds epoch,
+    std::uint64_t dropped = 0);
+
+/// A decoded dcv-trace-v1 blob. Unlike ring-resident events, each event's
+/// `start` here is absolute sender-steady-clock nanoseconds.
+struct DecodedTrace {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+/// Decodes a dcv-trace-v1 blob. Returns false on any malformed input —
+/// short buffer, bad magic/version, impossible counts, trailing garbage —
+/// leaving `out` untouched. Never throws, never reads out of bounds (the
+/// dist mutation-fuzz corpus runs this path under ASan+UBSan).
+[[nodiscard]] bool deserialize_trace(std::span<const std::uint8_t> blob,
+                                     DecodedTrace& out);
+
+}  // namespace dcv::obs

@@ -184,11 +184,16 @@ std::string TelemetryServer::respond(std::string_view method,
     return http_response(200, "OK", kJsonType, write_json(*registry_));
   }
   if (target == "/tracez") {
+    if (config_.trace_renderer) {
+      return http_response(200, "OK", kJsonType,
+                           config_.trace_renderer(config_.max_trace_spans));
+    }
     if (trace_ == nullptr) {
       return http_response(404, "Not Found", kTextType,
                            "no trace ring attached\n");
     }
-    return http_response(200, "OK", kJsonType, write_trace_json(*trace_));
+    return http_response(200, "OK", kJsonType,
+                         write_trace_json(*trace_, config_.max_trace_spans));
   }
   if (target == "/healthz" || target == "/readyz") {
     const HealthSnapshot health =

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -28,6 +29,16 @@ struct TelemetryServerConfig {
   /// wedge the listener thread (requests are handled sequentially).
   std::chrono::milliseconds io_timeout{2000};
   std::size_t max_request_bytes = 4096;
+  /// Span budget for /tracez responses. The server handles connections
+  /// sequentially, so an unbounded fleet trace would wedge the listener
+  /// for every later scraper; past the cap the JSON carries a "truncated"
+  /// count instead of the cut spans.
+  std::size_t max_trace_spans = 65536;
+  /// When set, /tracez serves this renderer's output (called with
+  /// max_trace_spans) instead of the trace ring — the hook a coordinator
+  /// uses to serve the *merged* fleet timeline. Must be thread-safe (runs
+  /// on the listener thread) and is fixed at construction.
+  std::function<std::string(std::size_t)> trace_renderer;
 };
 
 /// Dependency-free HTTP/1.1 scrape endpoint for one process's telemetry:

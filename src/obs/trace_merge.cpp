@@ -1,0 +1,77 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+namespace dcv::obs {
+
+TraceMerger::TraceMerger(const TraceRing* local, std::string local_process,
+                         std::size_t max_remote_events)
+    : local_(local),
+      local_process_(std::move(local_process)),
+      max_remote_events_(std::max<std::size_t>(1, max_remote_events)),
+      epoch_(local != nullptr ? local->epoch()
+                              : std::chrono::steady_clock::now()) {}
+
+void TraceMerger::add_remote(std::string_view process, DecodedTrace trace,
+                             std::int64_t offset_ns, std::uint64_t parent_span,
+                             std::chrono::nanoseconds floor) {
+  // Re-key outside the lock: id allocation is its own atomic, and a batch
+  // from one worker must not serialize other workers' merges.
+  std::unordered_map<std::uint64_t, std::uint64_t> remap;
+  remap.reserve(trace.events.size());
+  for (const TraceEvent& event : trace.events) {
+    if (event.id != 0) remap.emplace(event.id, allocate_span_id());
+  }
+  const std::int64_t epoch_ns = epoch_.time_since_epoch().count();
+  std::int64_t min_start = std::numeric_limits<std::int64_t>::max();
+  for (TraceEvent& event : trace.events) {
+    if (const auto it = remap.find(event.id); it != remap.end()) {
+      event.id = it->second;
+    }
+    // Parents outside the batch are ids from the remote process's span
+    // space — meaningless here, so those spans become batch roots too.
+    const auto parent = remap.find(event.parent);
+    event.parent = parent != remap.end() ? parent->second : parent_span;
+    // Remote start is absolute remote-steady-clock ns; land it on the
+    // local timeline as an offset from our epoch.
+    const std::int64_t local_abs = event.start.count() + offset_ns;
+    event.start = std::chrono::nanoseconds(local_abs - epoch_ns);
+    min_start = std::min(min_start, event.start.count());
+  }
+  // The offset estimate is only good to ~RTT/2; shift the whole batch
+  // (keeping its internal structure) so nothing precedes its cause.
+  if (!trace.events.empty() && min_start < floor.count()) {
+    const std::chrono::nanoseconds shift(floor.count() - min_start);
+    for (TraceEvent& event : trace.events) event.start += shift;
+  }
+
+  const std::lock_guard lock(mutex_);
+  remote_dropped_ += trace.dropped;
+  if (remote_events_ + trace.events.size() > max_remote_events_) {
+    truncated_ += trace.events.size();
+    return;
+  }
+  remote_events_ += trace.events.size();
+  auto& track = remote_[std::string(process)];
+  track.insert(track.end(), std::make_move_iterator(trace.events.begin()),
+               std::make_move_iterator(trace.events.end()));
+}
+
+MergedTrace TraceMerger::snapshot() const {
+  MergedTrace out;
+  if (local_ != nullptr) {
+    out.tracks.push_back({local_process_, local_->events()});
+  }
+  const std::lock_guard lock(mutex_);
+  for (const auto& [process, events] : remote_) {
+    out.tracks.push_back({process, events});
+  }
+  out.remote_dropped = remote_dropped_;
+  out.truncated = truncated_;
+  return out;
+}
+
+}  // namespace dcv::obs

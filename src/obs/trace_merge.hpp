@@ -1,0 +1,75 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "obs/span_serde.hpp"
+
+namespace dcv::obs {
+
+/// One process's lane in a merged fleet trace. Event `start` offsets are
+/// relative to the *merger's* local epoch — remote events have already been
+/// rebased by their estimated clock offset.
+struct MergedTrack {
+  std::string process;
+  std::vector<TraceEvent> events;
+};
+
+/// A point-in-time copy of the merged fleet timeline.
+struct MergedTrace {
+  std::vector<MergedTrack> tracks;
+  /// Spans the *senders* reported dropping before serialization.
+  std::uint64_t remote_dropped = 0;
+  /// Remote spans this merger discarded to stay under its capacity.
+  std::uint64_t truncated = 0;
+};
+
+/// Folds remote span batches onto the local process's timeline. For each
+/// batch the merger re-keys span ids into the local id space (remote ids
+/// collide across processes — every TraceRing counts from 1), re-parents
+/// batch roots under a caller-supplied local span (the shard's assign
+/// span), and rebases absolute remote timestamps onto the local steady
+/// clock via the caller's offset estimate. Because that estimate carries
+/// up to ~RTT/2 of error, the caller also passes a causal `floor` (the
+/// assign span's start): the whole batch is shifted forward just enough
+/// that no remote span starts before it, so merged traces never show an
+/// effect preceding its cause. Thread-safe.
+class TraceMerger {
+ public:
+  /// `local` may be null (merged output then contains remote tracks only);
+  /// when set it must outlive the merger and its epoch anchors the merged
+  /// timeline. `max_remote_events` bounds merger memory: a batch that would
+  /// push the total past the cap is dropped whole (counted in truncated).
+  TraceMerger(const TraceRing* local, std::string local_process,
+              std::size_t max_remote_events = 65536);
+
+  /// Merges one decoded remote batch. `offset_ns` is the estimated
+  /// local_clock − remote_clock; `parent_span` adopts the batch's root
+  /// spans; `floor` is the earliest local-epoch-relative start any merged
+  /// span may have (pass zero ns to disable the clamp).
+  void add_remote(std::string_view process, DecodedTrace trace,
+                  std::int64_t offset_ns, std::uint64_t parent_span,
+                  std::chrono::nanoseconds floor);
+
+  [[nodiscard]] MergedTrace snapshot() const;
+
+ private:
+  const TraceRing* local_;
+  std::string local_process_;
+  std::size_t max_remote_events_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<TraceEvent>, std::less<>> remote_;
+  std::size_t remote_events_ = 0;
+  std::uint64_t remote_dropped_ = 0;
+  std::uint64_t truncated_ = 0;
+};
+
+}  // namespace dcv::obs

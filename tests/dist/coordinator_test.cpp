@@ -6,6 +6,7 @@
 #include "dist/coordinator.hpp"
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -15,6 +16,9 @@
 
 #include "dist/messages.hpp"
 #include "obs/metrics_serde.hpp"
+#include "obs/span.hpp"
+#include "obs/span_serde.hpp"
+#include "obs/trace_merge.hpp"
 #include "rcdc/resilient_fib_source.hpp"
 #include "topology/clos_builder.hpp"
 
@@ -158,6 +162,102 @@ class ScriptedWorker final : public Transport {
   int assignments_received_ = 0;
   std::optional<AssignMsg> active_;
   std::chrono::steady_clock::time_point last_heartbeat_{};
+  std::vector<Frame> outbox_;
+};
+
+/// A v2-fluent fake worker whose steady clock runs `skew` away from the
+/// coordinator's: it stamps hellos/results in its own (skewed) time, echoes
+/// the coordinator's send stamps for RTT sampling, and ships a small span
+/// tree (shard → fetch + validate) on every result, with starts in its own
+/// clock. Exercises the full clock-alignment + trace-merge path.
+class SkewedTracedWorker final : public Transport {
+ public:
+  SkewedTracedWorker(std::string id, std::uint64_t epoch,
+                     std::chrono::nanoseconds skew, rcdc::FetchClock* clock)
+      : id_(std::move(id)), skew_(skew), clock_(clock) {
+    HelloMsg hello;
+    hello.worker_id = id_;
+    hello.topology_epoch = epoch;
+    hello.send_ns = remote_now();
+    outbox_.push_back(encode(hello));
+  }
+
+  bool send(const Frame& frame) override {
+    switch (frame.type) {
+      case MsgType::kWelcome: {
+        const auto welcome = decode_welcome(frame.payload);
+        if (welcome.has_value() && welcome->send_ns != 0) {
+          peer_tx_ns_ = welcome->send_ns;
+          peer_rx_ns_ = remote_now();
+        }
+        return true;
+      }
+      case MsgType::kAssign: {
+        const auto assign = decode_assign(frame.payload);
+        EXPECT_TRUE(assign.has_value()) << id_ << ": malformed assign";
+        if (!assign) return true;
+        if (assign->send_ns != 0) {
+          peer_tx_ns_ = assign->send_ns;
+          peer_rx_ns_ = remote_now();
+        }
+        outbox_.push_back(encode(synthesize_result(*assign)));
+        return true;
+      }
+      default:
+        return true;
+    }
+  }
+
+  std::optional<Frame> poll() override {
+    if (outbox_.empty()) return std::nullopt;
+    Frame frame = std::move(outbox_.front());
+    outbox_.erase(outbox_.begin());
+    return frame;
+  }
+
+  bool closed() const override { return false; }
+  std::string peer() const override { return id_; }
+
+ private:
+  [[nodiscard]] std::uint64_t remote_now() const {
+    return static_cast<std::uint64_t>(
+        (clock_->now() + skew_).time_since_epoch().count());
+  }
+
+  ResultMsg synthesize_result(const AssignMsg& assign) {
+    ResultMsg result;
+    result.shard_id = assign.shard_id;
+    result.attempt = assign.attempt;
+    result.devices_checked = assign.devices.size();
+    result.elapsed_ns = 2'000'000;
+    for (const DeviceWork& work : assign.devices) {
+      result.fingerprints.emplace_back(work.device, 0x1234u ^ work.device);
+    }
+    using std::chrono::nanoseconds;
+    // Absolute starts in the *worker's* clock, as span_serde ships them;
+    // ids live in the worker's span space (the merger re-keys them).
+    const auto base = static_cast<std::int64_t>(remote_now());
+    const std::uint64_t shard_span = 100 + assign.shard_id * 10;
+    const std::vector<obs::TraceEvent> events = {
+        {"fetch", shard_span + 1, shard_span, assign.cycle_id, 0,
+         nanoseconds(base + 100), nanoseconds(300)},
+        {"validate", shard_span + 2, shard_span, assign.cycle_id, 0,
+         nanoseconds(base + 500), nanoseconds(200)},
+        {"shard", shard_span, 0, assign.cycle_id, 0, nanoseconds(base),
+         nanoseconds(900)},
+    };
+    result.trace_blob = obs::serialize_trace(events, nanoseconds(0), 0);
+    result.send_ns = remote_now();
+    result.peer_tx_ns = peer_tx_ns_;
+    result.peer_rx_ns = peer_rx_ns_;
+    return result;
+  }
+
+  std::string id_;
+  std::chrono::nanoseconds skew_;
+  rcdc::FetchClock* clock_;
+  std::uint64_t peer_tx_ns_ = 0;
+  std::uint64_t peer_rx_ns_ = 0;
   std::vector<Frame> outbox_;
 };
 
@@ -426,6 +526,85 @@ TEST_F(CoordinatorTest, FleetProbeTracksReadiness) {
   snapshot = degraded_probe();
   EXPECT_FALSE(snapshot.ready);
   EXPECT_NE(snapshot.detail.find("coverage"), std::string::npos);
+}
+
+TEST_F(CoordinatorTest, MergedTraceNestsWorkerSpansUnderAssignSpans) {
+  obs::TraceRing trace(4096);
+  CoordinatorConfig cfg = config();
+  cfg.trace = &trace;
+  Coordinator coordinator(metadata_, cfg);
+  // The worker's steady clock runs 250 ms ahead of the coordinator's.
+  constexpr auto kSkew = 250ms;
+  coordinator.add_worker(std::make_unique<SkewedTracedWorker>(
+      "skewed", topology_.epoch(), kSkew, &clock_));
+  EXPECT_EQ(coordinator.pump(1, 5s), 1u);
+
+  const DistributedSummary summary = coordinator.run_cycle();
+  EXPECT_DOUBLE_EQ(summary.coverage(), 1.0);
+  for (const ShardOutcome& shard : summary.shards) {
+    EXPECT_GT(shard.elapsed_ns, 0u);
+  }
+
+  // The estimator learned the skew (worker minus coordinator, positive):
+  // midpoint-of-RTT is only good to half the poll latency, so the bound is
+  // loose but the sign and magnitude must be right.
+  const double offset_ns =
+      registry_
+          .gauge("dcv_dist_clock_offset_ns", "", {{"worker", "skewed"}})
+          .value();
+  EXPECT_GT(offset_ns, 0.0);
+  EXPECT_NEAR(offset_ns, 2.5e8, 1.5e8);
+
+  const obs::MergedTrace merged = coordinator.merger().snapshot();
+  ASSERT_GE(merged.tracks.size(), 2u);
+  EXPECT_EQ(merged.tracks[0].process, "coordinator");
+  EXPECT_EQ(merged.truncated, 0u);
+  EXPECT_EQ(merged.remote_dropped, 0u);
+
+  // Index the coordinator's own spans: one "cycle" root, one "assign" per
+  // delivered shard.
+  std::map<std::uint64_t, const obs::TraceEvent*> assigns;
+  bool saw_cycle = false;
+  for (const obs::TraceEvent& event : merged.tracks[0].events) {
+    if (event.name == "assign") assigns[event.id] = &event;
+    if (event.name == "cycle") saw_cycle = true;
+  }
+  EXPECT_TRUE(saw_cycle);
+  ASSERT_FALSE(assigns.empty());
+
+  const obs::MergedTrack* worker_track = nullptr;
+  for (const obs::MergedTrack& track : merged.tracks) {
+    if (track.process == "skewed") worker_track = &track;
+  }
+  ASSERT_NE(worker_track, nullptr);
+  ASSERT_FALSE(worker_track->events.empty());
+
+  std::map<std::uint64_t, const obs::TraceEvent*> worker_spans;
+  for (const obs::TraceEvent& event : worker_track->events) {
+    worker_spans[event.id] = &event;
+  }
+  std::size_t shard_roots = 0;
+  for (const obs::TraceEvent& event : worker_track->events) {
+    if (event.name == "shard") {
+      // The batch root was re-parented under the owning shard's assign
+      // span, and — after the offset rewrite + causal clamp — never starts
+      // before it on the merged timeline.
+      ++shard_roots;
+      const auto assign = assigns.find(event.parent);
+      ASSERT_NE(assign, assigns.end())
+          << "shard span's parent is not an assign span";
+      EXPECT_GE(event.start.count(), assign->second->start.count());
+      EXPECT_EQ(event.cycle, assign->second->cycle);
+    } else {
+      // fetch/validate keep their in-batch parent (the shard root).
+      const auto parent = worker_spans.find(event.parent);
+      ASSERT_NE(parent, worker_spans.end())
+          << event.name << " has an unresolvable parent";
+      EXPECT_EQ(parent->second->name, "shard");
+      EXPECT_GE(event.start.count(), parent->second->start.count());
+    }
+  }
+  EXPECT_EQ(shard_roots, assigns.size());
 }
 
 TEST_F(CoordinatorTest, DuplicateWorkerIdsStayDistinguishable) {

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -20,6 +21,8 @@
 #include "dist/transport.hpp"
 #include "dist/worker.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_merge.hpp"
 #include "routing/bgp_sim.hpp"
 #include "topology/clos_builder.hpp"
 
@@ -99,6 +102,74 @@ TEST_F(E2eProcessTest, RealTcpCycleWithTwoWorkers) {
   w0.join();
   w1.join();
   EXPECT_EQ(shutdowns.load(), 2);
+}
+
+TEST_F(E2eProcessTest, ThreeWorkerCycleMergesOneCausalTimeline) {
+  TcpListener listener(0);
+  obs::TraceRing trace(8192);
+  CoordinatorConfig config;
+  config.shards_per_worker = 2;
+  config.trace = &trace;
+  Coordinator coordinator(metadata_, config);
+
+  std::atomic<int> shutdowns{0};
+  std::thread w0 = start_worker(listener.port(), "trace-w0", &shutdowns);
+  std::thread w1 = start_worker(listener.port(), "trace-w1", &shutdowns);
+  std::thread w2 = start_worker(listener.port(), "trace-w2", &shutdowns);
+  accept_workers(coordinator, listener, 3);
+
+  const DistributedSummary summary = coordinator.run_cycle();
+  EXPECT_DOUBLE_EQ(summary.coverage(), 1.0);
+
+  coordinator.shutdown_workers();
+  w0.join();
+  w1.join();
+  w2.join();
+
+  // The acceptance invariant: one merged timeline with a named track per
+  // process, where every worker span tree hangs under the assign span of
+  // the shard that caused it, and — after offset rewrite + causal clamp —
+  // no worker span starts before its assign span.
+  const obs::MergedTrace merged = coordinator.merger().snapshot();
+  ASSERT_GE(merged.tracks.size(), 3u);
+  EXPECT_EQ(merged.tracks[0].process, "coordinator");
+  EXPECT_EQ(merged.truncated, 0u);
+
+  std::map<std::uint64_t, const obs::TraceEvent*> assigns;
+  for (const obs::TraceEvent& event : merged.tracks[0].events) {
+    if (event.name == "assign") assigns[event.id] = &event;
+  }
+  ASSERT_FALSE(assigns.empty());
+
+  std::size_t fetch_or_validate = 0;
+  for (std::size_t t = 1; t < merged.tracks.size(); ++t) {
+    const obs::MergedTrack& track = merged.tracks[t];
+    EXPECT_EQ(track.process.rfind("trace-w", 0), 0u) << track.process;
+    ASSERT_FALSE(track.events.empty()) << track.process;
+    std::map<std::uint64_t, const obs::TraceEvent*> by_id;
+    for (const obs::TraceEvent& event : track.events) {
+      by_id[event.id] = &event;
+    }
+    for (const obs::TraceEvent& event : track.events) {
+      if (event.name == "shard") {
+        const auto assign = assigns.find(event.parent);
+        ASSERT_NE(assign, assigns.end())
+            << track.process << ": shard span not under an assign span";
+        EXPECT_GE(event.start.count(), assign->second->start.count())
+            << track.process << ": shard span precedes its assign span";
+      } else {
+        ++fetch_or_validate;
+        const auto parent = by_id.find(event.parent);
+        ASSERT_NE(parent, by_id.end())
+            << track.process << ": " << event.name << " parent unresolvable";
+        EXPECT_EQ(parent->second->name, "shard");
+        EXPECT_GE(event.start.count(), parent->second->start.count());
+      }
+    }
+  }
+  // Real shards fetch and validate, so the merged timeline carries leaf
+  // work spans from multiple workers, not just shard roots.
+  EXPECT_GT(fetch_or_validate, 0u);
 }
 
 TEST_F(E2eProcessTest, PeerCrashMidShardRecoversSameCycle) {

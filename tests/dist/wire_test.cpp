@@ -5,6 +5,7 @@
 // CI), and never accept a frame whose checksum or structure lies.
 #include "dist/messages.hpp"
 #include "dist/wire.hpp"
+#include "obs/span_serde.hpp"
 
 #include <cstdint>
 #include <cstring>
@@ -40,9 +41,16 @@ void exercise_payload_decoders(const Frame& frame) {
     case MsgType::kHeartbeat:
       (void)decode_heartbeat(frame.payload);
       break;
-    case MsgType::kResult:
-      (void)decode_result(frame.payload);
+    case MsgType::kResult: {
+      // A decodable result may still carry a hostile trace blob; the span
+      // deserializer faces the same adversary as the message codecs.
+      const auto result = decode_result(frame.payload);
+      if (result.has_value() && !result->trace_blob.empty()) {
+        obs::DecodedTrace trace;
+        (void)obs::deserialize_trace(result->trace_blob, trace);
+      }
       break;
+    }
     case MsgType::kShutdown:
       break;
   }
@@ -256,6 +264,79 @@ TEST(MessageCodecTest, ResultRoundTripsViolationsFingerprintsAndBlob) {
   EXPECT_EQ(decoded->registry_blob, msg.registry_blob);
 }
 
+TEST(MessageCodecTest, V2TraceContextFieldsRoundTrip) {
+  // Hello/Welcome carry send timestamps for the clock-sync handshake.
+  HelloMsg hello;
+  hello.worker_id = "w";
+  hello.send_ns = 111;
+  EXPECT_EQ(decode_hello(encode(hello).payload)->send_ns, 111u);
+
+  WelcomeMsg welcome;
+  welcome.send_ns = 222;
+  EXPECT_EQ(decode_welcome(encode(welcome).payload)->send_ns, 222u);
+
+  // Assign propagates the trace context: cycle id + parent span.
+  AssignMsg assign;
+  assign.shard_id = 1;
+  assign.plan_epoch = 1;
+  assign.devices.push_back({7, {sample_contract()}});
+  assign.cycle_id = 33;
+  assign.parent_span = 0xABCDEF;
+  assign.send_ns = 444;
+  const auto decoded_assign = decode_assign(encode(assign).payload);
+  ASSERT_TRUE(decoded_assign.has_value());
+  EXPECT_EQ(decoded_assign->cycle_id, 33u);
+  EXPECT_EQ(decoded_assign->parent_span, 0xABCDEFu);
+  EXPECT_EQ(decoded_assign->send_ns, 444u);
+
+  // Heartbeat echoes the coordinator's newest send for RTT sampling.
+  HeartbeatMsg heartbeat;
+  heartbeat.shard_id = 1;
+  heartbeat.send_ns = 555;
+  heartbeat.peer_tx_ns = 444;
+  heartbeat.peer_rx_ns = 500;
+  const auto decoded_hb = decode_heartbeat(encode(heartbeat).payload);
+  ASSERT_TRUE(decoded_hb.has_value());
+  EXPECT_EQ(decoded_hb->send_ns, 555u);
+  EXPECT_EQ(decoded_hb->peer_tx_ns, 444u);
+  EXPECT_EQ(decoded_hb->peer_rx_ns, 500u);
+}
+
+TEST(MessageCodecTest, ResultCarriesDecodableTraceBlob) {
+  using std::chrono::nanoseconds;
+  std::vector<obs::TraceEvent> events = {
+      {"fetch", 2, 1, 9, 0, nanoseconds(100), nanoseconds(40)},
+      {"shard", 1, 0, 9, 0, nanoseconds(50), nanoseconds(300)},
+  };
+  ResultMsg msg;
+  msg.shard_id = 4;
+  msg.trace_blob = obs::serialize_trace(events, nanoseconds(0), 2);
+  msg.send_ns = 777;
+  msg.peer_tx_ns = 700;
+  msg.peer_rx_ns = 750;
+
+  const auto decoded = decode_result(encode(msg).payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->send_ns, 777u);
+  EXPECT_EQ(decoded->peer_tx_ns, 700u);
+  EXPECT_EQ(decoded->peer_rx_ns, 750u);
+  obs::DecodedTrace trace;
+  ASSERT_TRUE(obs::deserialize_trace(decoded->trace_blob, trace));
+  EXPECT_EQ(trace.dropped, 2u);
+  ASSERT_EQ(trace.events.size(), 2u);
+  EXPECT_EQ(trace.events[0].name, "fetch");
+  EXPECT_EQ(trace.events[1].name, "shard");
+
+  // A garbage blob still rides the frame fine — the *message* decodes, and
+  // only the span layer rejects it.
+  ResultMsg hostile;
+  hostile.shard_id = 4;
+  hostile.trace_blob = {0xFF, 0xFE, 0xFD, 0xFC, 0x01, 0x02};
+  const auto decoded_hostile = decode_result(encode(hostile).payload);
+  ASSERT_TRUE(decoded_hostile.has_value());
+  EXPECT_FALSE(obs::deserialize_trace(decoded_hostile->trace_blob, trace));
+}
+
 TEST(MessageCodecTest, RejectsTruncationsOfEveryMessage) {
   const std::vector<Frame> frames = {
       encode(HelloMsg{"w", kProtocolVersion, 1}),
@@ -269,6 +350,11 @@ TEST(MessageCodecTest, RejectsTruncationsOfEveryMessage) {
         r.violations[0].contract = sample_contract();
         r.fingerprints = {{3, 9}};
         r.registry_blob = {1, 2};
+        r.trace_blob = obs::serialize_trace(
+            std::vector<obs::TraceEvent>{
+                {"shard", 1, 0, 1, 0, std::chrono::nanoseconds(1),
+                 std::chrono::nanoseconds(2)}},
+            std::chrono::nanoseconds(0), 0);
         return encode(r);
       }(),
   };
@@ -374,6 +460,16 @@ TEST(CorpusTest, EveryCheckedInFrameDecodesSafely) {
         default:
           break;
       }
+    } else if (name == "result_garbage_trace.bin" ||
+               name == "result_truncated_trace.bin") {
+      // Well-framed result whose embedded trace blob is hostile: frame and
+      // message decode, the span layer must reject the blob.
+      ASSERT_TRUE(result.ok()) << name;
+      const auto msg = decode_result(result.frame->payload);
+      ASSERT_TRUE(msg.has_value()) << name;
+      ASSERT_FALSE(msg->trace_blob.empty()) << name;
+      obs::DecodedTrace trace;
+      EXPECT_FALSE(obs::deserialize_trace(msg->trace_blob, trace)) << name;
     }
   }
   EXPECT_GE(files, 15u) << "corpus went missing";
@@ -392,9 +488,18 @@ TEST(MutationFuzzTest, TenThousandMutationsNeverCrash) {
   result.violations[1].contract = sample_contract();
   result.fingerprints = {{7, 0xAB}, {8, 0xCD}};
   result.registry_blob = {0x44, 0x43, 0x56, 0x4D, 1, 0};
+  ResultMsg traced = result;
+  traced.trace_blob = obs::serialize_trace(
+      std::vector<obs::TraceEvent>{
+          {"shard", 1, 0, 1, 0, std::chrono::nanoseconds(5),
+           std::chrono::nanoseconds(9)},
+          {"fetch", 2, 1, 1, 0, std::chrono::nanoseconds(6),
+           std::chrono::nanoseconds(3)}},
+      std::chrono::nanoseconds(0), 0);
   const std::vector<std::vector<std::uint8_t>> seeds = {
       encode_frame(encode(assign)),
       encode_frame(encode(result)),
+      encode_frame(encode(traced)),
       encode_frame(encode(HelloMsg{"fuzz", kProtocolVersion, 9})),
       encode_frame(encode_shutdown()),
   };

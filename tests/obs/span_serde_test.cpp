@@ -1,0 +1,156 @@
+// dcv-trace-v1 serde tests: serialize∘deserialize is the identity over
+// randomized span batches (with ring offsets converted to absolute
+// nanoseconds), and every class of malformed blob is rejected without
+// touching the output.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "obs/span_serde.hpp"
+
+namespace {
+
+using namespace dcv::obs;
+using std::chrono::nanoseconds;
+
+std::vector<TraceEvent> random_events(std::mt19937_64& rng, std::size_t n) {
+  std::vector<TraceEvent> events;
+  events.reserve(n);
+  std::uniform_int_distribution<std::uint64_t> id_dist(1, 1u << 20);
+  std::uniform_int_distribution<std::uint64_t> ns_dist(0, 1u << 30);
+  std::uniform_int_distribution<std::size_t> len_dist(0, 24);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceEvent event;
+    event.name = std::string(len_dist(rng), 'x');
+    if (!event.name.empty()) event.name[0] = static_cast<char>('a' + i % 26);
+    event.id = id_dist(rng);
+    event.parent = rng() % 2 == 0 ? 0 : id_dist(rng);
+    event.cycle = id_dist(rng);
+    event.thread = static_cast<std::uint32_t>(rng() % 64);
+    event.start = nanoseconds(static_cast<std::int64_t>(ns_dist(rng)));
+    event.duration = nanoseconds(static_cast<std::int64_t>(ns_dist(rng)));
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+TEST(SpanSerde, RoundTripIsIdentityOverRandomBatches) {
+  std::mt19937_64 rng(0xDC57ACE5);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const std::size_t n = static_cast<std::size_t>(rng() % 40);
+    const std::vector<TraceEvent> events = random_events(rng, n);
+    const nanoseconds epoch(static_cast<std::int64_t>(rng() % (1u << 20)));
+    const std::uint64_t dropped = rng() % 1000;
+
+    const auto blob = serialize_trace(events, epoch, dropped);
+    DecodedTrace decoded;
+    ASSERT_TRUE(deserialize_trace(blob, decoded));
+    EXPECT_EQ(decoded.dropped, dropped);
+    ASSERT_EQ(decoded.events.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(decoded.events[i].name, events[i].name);
+      EXPECT_EQ(decoded.events[i].id, events[i].id);
+      EXPECT_EQ(decoded.events[i].parent, events[i].parent);
+      EXPECT_EQ(decoded.events[i].cycle, events[i].cycle);
+      EXPECT_EQ(decoded.events[i].thread, events[i].thread);
+      // Starts come back absolute: ring offset + epoch.
+      EXPECT_EQ(decoded.events[i].start, events[i].start + epoch);
+      EXPECT_EQ(decoded.events[i].duration, events[i].duration);
+    }
+  }
+}
+
+TEST(SpanSerde, RingOverloadConvertsOffsetsToAbsoluteStarts) {
+  TraceRing ring(8);
+  const auto epoch_ns = ring.epoch().time_since_epoch();
+  ring.record_span("work", 7, 3, 1, ring.epoch() + nanoseconds(500),
+                   nanoseconds(200));
+
+  DecodedTrace decoded;
+  ASSERT_TRUE(deserialize_trace(serialize_trace(ring), decoded));
+  ASSERT_EQ(decoded.events.size(), 1u);
+  EXPECT_EQ(decoded.events[0].name, "work");
+  EXPECT_EQ(decoded.events[0].id, 7u);
+  EXPECT_EQ(decoded.events[0].parent, 3u);
+  EXPECT_EQ(decoded.events[0].start, epoch_ns + nanoseconds(500));
+  EXPECT_EQ(decoded.events[0].duration, nanoseconds(200));
+}
+
+TEST(SpanSerde, CarriesRingDropCount) {
+  TraceRing ring(2);
+  for (int i = 0; i < 5; ++i) {
+    ring.record("s", ring.epoch(), nanoseconds(1));
+  }
+  DecodedTrace decoded;
+  ASSERT_TRUE(deserialize_trace(serialize_trace(ring), decoded));
+  EXPECT_EQ(decoded.dropped, 3u);
+  EXPECT_EQ(decoded.events.size(), 2u);
+}
+
+TEST(SpanSerde, RejectsMalformedBlobs) {
+  const std::vector<TraceEvent> events = {
+      {"alpha", 1, 0, 9, 2, nanoseconds(10), nanoseconds(5)},
+      {"beta", 2, 1, 9, 2, nanoseconds(12), nanoseconds(2)},
+  };
+  const auto good = serialize_trace(events, nanoseconds(0), 0);
+  DecodedTrace decoded;
+  ASSERT_TRUE(deserialize_trace(good, decoded));
+
+  // Empty and short buffers.
+  EXPECT_FALSE(deserialize_trace({}, decoded));
+  for (std::size_t cut = 1; cut < good.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(good.begin(),
+                                              good.begin() + cut);
+    EXPECT_FALSE(deserialize_trace(truncated, decoded))
+        << "truncation at " << cut << " bytes must be rejected";
+  }
+
+  // Wrong magic / version.
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(deserialize_trace(bad_magic, decoded));
+  auto bad_version = good;
+  bad_version[4] = 0x7F;
+  EXPECT_FALSE(deserialize_trace(bad_version, decoded));
+
+  // Trailing garbage.
+  auto trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(deserialize_trace(trailing, decoded));
+
+  // Hostile count: claims 2^31 events in a tiny buffer.
+  auto hostile = good;
+  hostile[14] = 0x00;
+  hostile[15] = 0x00;
+  hostile[16] = 0x00;
+  hostile[17] = 0x80;
+  EXPECT_FALSE(deserialize_trace(hostile, decoded));
+}
+
+TEST(SpanSerde, RejectionLeavesOutputUntouched) {
+  const std::vector<TraceEvent> events = {
+      {"keep", 5, 0, 1, 0, nanoseconds(1), nanoseconds(1)}};
+  DecodedTrace decoded;
+  ASSERT_TRUE(
+      deserialize_trace(serialize_trace(events, nanoseconds(0), 7), decoded));
+  const std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(deserialize_trace(garbage, decoded));
+  ASSERT_EQ(decoded.events.size(), 1u);
+  EXPECT_EQ(decoded.events[0].name, "keep");
+  EXPECT_EQ(decoded.dropped, 7u);
+}
+
+TEST(SpanSerde, EmptyBatchRoundTrips) {
+  DecodedTrace decoded;
+  ASSERT_TRUE(deserialize_trace(
+      serialize_trace(std::vector<TraceEvent>{}, nanoseconds(0), 0),
+      decoded));
+  EXPECT_TRUE(decoded.events.empty());
+  EXPECT_EQ(decoded.dropped, 0u);
+}
+
+}  // namespace

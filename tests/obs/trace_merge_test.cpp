@@ -1,0 +1,169 @@
+// TraceMerger tests: remote span batches are re-keyed into the local id
+// space, re-parented under the owning span, rebased by the clock offset,
+// clamped to their causal floor, and bounded by the remote-event cap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "obs/span_serde.hpp"
+#include "obs/trace_merge.hpp"
+
+namespace {
+
+using namespace dcv::obs;
+using std::chrono::nanoseconds;
+
+DecodedTrace remote_batch(std::int64_t base_abs_ns) {
+  // A worker-shaped batch: a root span (parent 0) with two children, with
+  // *absolute* remote-clock starts as span_serde ships them.
+  DecodedTrace trace;
+  trace.events.push_back({"fetch", 11, 10, 4, 1,
+                          nanoseconds(base_abs_ns + 100), nanoseconds(50)});
+  trace.events.push_back({"validate", 12, 10, 4, 1,
+                          nanoseconds(base_abs_ns + 200), nanoseconds(80)});
+  trace.events.push_back({"shard", 10, 0, 4, 1, nanoseconds(base_abs_ns),
+                          nanoseconds(400)});
+  return trace;
+}
+
+const TraceEvent* find_span(const std::vector<TraceEvent>& events,
+                            std::string_view name) {
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [&](const TraceEvent& event) { return event.name == name; });
+  return it == events.end() ? nullptr : &*it;
+}
+
+TEST(TraceMerger, ReparentsAndRekeysRemoteBatchUnderOwningSpan) {
+  TraceRing local(16);
+  const std::uint64_t assign_span = allocate_span_id();
+  local.record_span("assign", assign_span, 0, 4, local.epoch(),
+                    nanoseconds(1000));
+
+  TraceMerger merger(&local, "coordinator");
+  const std::int64_t epoch_ns = local.epoch().time_since_epoch().count();
+  // Remote clock = local clock (offset 0): starts land where they were.
+  merger.add_remote("worker-1", remote_batch(epoch_ns + 5000),
+                    /*offset_ns=*/0, assign_span, nanoseconds(0));
+
+  const MergedTrace merged = merger.snapshot();
+  ASSERT_EQ(merged.tracks.size(), 2u);
+  EXPECT_EQ(merged.tracks[0].process, "coordinator");
+  EXPECT_EQ(merged.tracks[1].process, "worker-1");
+
+  const auto& events = merged.tracks[1].events;
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent* shard = find_span(events, "shard");
+  const TraceEvent* fetch = find_span(events, "fetch");
+  const TraceEvent* validate = find_span(events, "validate");
+  ASSERT_NE(shard, nullptr);
+  ASSERT_NE(fetch, nullptr);
+  ASSERT_NE(validate, nullptr);
+
+  // The batch root hangs off the assign span; children keep their remapped
+  // in-batch parent. All ids are fresh (re-keyed out of the remote space).
+  EXPECT_EQ(shard->parent, assign_span);
+  EXPECT_EQ(fetch->parent, shard->id);
+  EXPECT_EQ(validate->parent, shard->id);
+  EXPECT_NE(shard->id, 10u);
+  EXPECT_NE(fetch->id, 11u);
+  EXPECT_NE(validate->id, 12u);
+
+  // Offset 0 → starts become ring-relative verbatim.
+  EXPECT_EQ(shard->start, nanoseconds(5000));
+  EXPECT_EQ(fetch->start, nanoseconds(5100));
+  EXPECT_EQ(validate->start, nanoseconds(5200));
+}
+
+TEST(TraceMerger, RebasesByOffsetAndClampsToFloor) {
+  TraceRing local(16);
+  TraceMerger merger(&local, "coordinator");
+  const std::int64_t epoch_ns = local.epoch().time_since_epoch().count();
+
+  // Worker clock runs 1µs *behind* local: offset_ns (local − remote) =
+  // +1000. With a perfect estimate the batch lands at 5000..5400; claim a
+  // floor of 5150 to model an estimate that was ~150ns too early.
+  merger.add_remote("worker-1", remote_batch(epoch_ns + 4000),
+                    /*offset_ns=*/1000, /*parent_span=*/0,
+                    nanoseconds(5150));
+
+  const MergedTrace merged = merger.snapshot();
+  ASSERT_EQ(merged.tracks.size(), 2u);
+  const auto& events = merged.tracks[1].events;
+  const TraceEvent* shard = find_span(events, "shard");
+  const TraceEvent* fetch = find_span(events, "fetch");
+  ASSERT_NE(shard, nullptr);
+  ASSERT_NE(fetch, nullptr);
+  // Whole batch shifted forward by 150 so nothing precedes the floor;
+  // internal structure (fetch − shard = 100) is preserved.
+  EXPECT_EQ(shard->start, nanoseconds(5150));
+  EXPECT_EQ(fetch->start, nanoseconds(5250));
+}
+
+TEST(TraceMerger, CapDropsWholeBatchesAndCountsThem) {
+  TraceRing local(16);
+  TraceMerger merger(&local, "coordinator", /*max_remote_events=*/4);
+  const std::int64_t epoch_ns = local.epoch().time_since_epoch().count();
+
+  merger.add_remote("worker-1", remote_batch(epoch_ns), 0, 0, nanoseconds(0));
+  // Second batch would exceed the cap: dropped whole, counted.
+  merger.add_remote("worker-2", remote_batch(epoch_ns), 0, 0, nanoseconds(0));
+
+  const MergedTrace merged = merger.snapshot();
+  ASSERT_EQ(merged.tracks.size(), 2u);  // local + worker-1 only
+  EXPECT_EQ(merged.tracks[1].process, "worker-1");
+  EXPECT_EQ(merged.tracks[1].events.size(), 3u);
+  EXPECT_EQ(merged.truncated, 3u);
+}
+
+TEST(TraceMerger, AccumulatesRemoteDropCounts) {
+  TraceMerger merger(nullptr, "coordinator");
+  DecodedTrace first;
+  first.dropped = 5;
+  DecodedTrace second;
+  second.dropped = 2;
+  merger.add_remote("w", std::move(first), 0, 0, nanoseconds(0));
+  merger.add_remote("w", std::move(second), 0, 0, nanoseconds(0));
+  const MergedTrace merged = merger.snapshot();
+  EXPECT_EQ(merged.remote_dropped, 7u);
+  // No local ring → no local track; the remote track exists but is empty.
+  ASSERT_EQ(merged.tracks.size(), 1u);
+  EXPECT_TRUE(merged.tracks[0].events.empty());
+}
+
+TEST(TraceMerger, SerdeFeedsMergerEndToEnd) {
+  // The worker-side path: events serialized with absolute starts, decoded,
+  // then merged — the merged view keeps the tree shape.
+  std::vector<TraceEvent> events = {
+      {"fetch", 21, 20, 1, 0, nanoseconds(300), nanoseconds(10)},
+      {"shard", 20, 0, 1, 0, nanoseconds(250), nanoseconds(100)},
+  };
+  const auto blob = serialize_trace(events, nanoseconds(0), 0);
+  DecodedTrace decoded;
+  ASSERT_TRUE(deserialize_trace(blob, decoded));
+
+  TraceRing local(8);
+  TraceMerger merger(&local, "coordinator");
+  const std::uint64_t assign_span = allocate_span_id();
+  merger.add_remote("worker-9", std::move(decoded),
+                    local.epoch().time_since_epoch().count(), assign_span,
+                    nanoseconds(0));
+
+  const MergedTrace merged = merger.snapshot();
+  ASSERT_EQ(merged.tracks.size(), 2u);
+  const auto& track = merged.tracks[1].events;
+  const TraceEvent* shard = find_span(track, "shard");
+  const TraceEvent* fetch = find_span(track, "fetch");
+  ASSERT_NE(shard, nullptr);
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_EQ(shard->parent, assign_span);
+  EXPECT_EQ(fetch->parent, shard->id);
+  EXPECT_EQ(shard->start, nanoseconds(250));
+  EXPECT_EQ(fetch->start, nanoseconds(300));
+}
+
+}  // namespace

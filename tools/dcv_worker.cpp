@@ -19,7 +19,9 @@
 
 #include "dist/transport.hpp"
 #include "dist/worker.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "rcdc/fib_source.hpp"
 #include "rcdc/flaky_fib_source.hpp"
 #include "rcdc/resilient_fib_source.hpp"
@@ -56,7 +58,29 @@ void usage() {
       "fault injection (per-attempt probabilities, worker-local):\n"
       "  --flaky-timeout R --flaky-transient R --flaky-truncate R\n"
       "  --flaky-corrupt R --flaky-unreachable R --flaky-seed N\n"
+      "local telemetry dumps (written once, at exit):\n"
+      "  --metrics-out FILE   dump this worker's metrics registry\n"
+      "  --metrics-format F   prom (default) or json\n"
+      "  --trace-out FILE     dump this worker's own span timeline as a\n"
+      "                       Chrome/Perfetto trace (the coordinator merges\n"
+      "                       the same spans fleet-wide)\n"
+      "  --trace-capacity N   span ring capacity (default 4096)\n"
       "  --quiet              suppress per-connection log lines\n";
+}
+
+/// Atomic-enough file write: temp file in the same directory, then rename,
+/// so a reader never sees a half-written dump.
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
 }
 
 std::string slurp(const std::string& path) {
@@ -102,6 +126,10 @@ int main(int argc, char** argv) {
   std::string source_name = "sim";
   std::string verifier_name = "trie";
   std::string worker_id;
+  std::string metrics_out;
+  std::string metrics_format = "prom";
+  std::string trace_out;
+  std::uint64_t trace_capacity = 4096;
   std::uint64_t fetch_latency_us = 0;
   double time_scale = 1.0;
   dist::ReconnectPolicy reconnect;
@@ -155,6 +183,22 @@ int main(int argc, char** argv) {
       verifier_name = value();
     } else if (flag == "--worker-id") {
       worker_id = value();
+    } else if (flag == "--metrics-out") {
+      metrics_out = value();
+    } else if (flag == "--metrics-format") {
+      metrics_format = value();
+      if (metrics_format != "prom" && metrics_format != "json") {
+        std::cerr << "dcv_worker: --metrics-format wants prom or json\n";
+        return 2;
+      }
+    } else if (flag == "--trace-out") {
+      trace_out = value();
+    } else if (flag == "--trace-capacity") {
+      trace_capacity = count_value();
+      if (trace_capacity == 0) {
+        std::cerr << "dcv_worker: --trace-capacity wants a positive count\n";
+        return 2;
+      }
     } else if (flag == "--fetch-latency-us") {
       fetch_latency_us = count_value();
     } else if (flag == "--time-scale") {
@@ -222,6 +266,26 @@ int main(int argc, char** argv) {
     const topo::Topology topology = topo::parse_topology(slurp(topology_path));
     const topo::MetadataService metadata(topology);
     obs::MetricsRegistry registry;
+    std::unique_ptr<obs::TraceRing> trace;
+    if (!trace_out.empty()) {
+      trace = std::make_unique<obs::TraceRing>(
+          static_cast<std::size_t>(trace_capacity));
+      trace->attach_metrics(registry);
+    }
+    const auto dump_telemetry = [&] {
+      if (!metrics_out.empty()) {
+        const std::string body = metrics_format == "json"
+                                     ? obs::write_json(registry)
+                                     : obs::write_prometheus(registry);
+        if (!write_file_atomic(metrics_out, body)) {
+          std::cerr << "dcv_worker: cannot write " << metrics_out << "\n";
+        }
+      }
+      if (trace != nullptr &&
+          !write_file_atomic(trace_out, obs::write_chrome_trace(*trace))) {
+        std::cerr << "dcv_worker: cannot write " << trace_out << "\n";
+      }
+    };
 
     std::unique_ptr<routing::BgpSimulator> simulator;
     std::unique_ptr<routing::FibSynthesizer> synthesizer;
@@ -259,6 +323,7 @@ int main(int argc, char** argv) {
     session_config.fetch_latency = std::chrono::microseconds(fetch_latency_us);
     session_config.time_scale = time_scale;
     session_config.metrics = &registry;
+    session_config.trace = trace.get();
     dist::WorkerSession session(*active, factory, session_config);
 
     rcdc::SystemFetchClock clock;
@@ -272,6 +337,7 @@ int main(int argc, char** argv) {
           std::cerr << "dcv_worker: " << worker_id << ": coordinator at "
                     << connect_spec << " unreachable after "
                     << failed_connects << " attempts\n";
+          dump_telemetry();
           return 1;
         }
         clock.sleep_for(reconnect_backoff(reconnect, failed_connects + 1));
@@ -289,6 +355,7 @@ int main(int argc, char** argv) {
           std::cerr << "dcv_worker: " << worker_id << ": shutdown ("
                     << session.shards_validated() << " shards validated)\n";
         }
+        dump_telemetry();
         return 0;
       }
       // Connection lost. A session that did real work earns a fresh
@@ -297,10 +364,12 @@ int main(int argc, char** argv) {
       if (failed_connects >= reconnect.max_attempts) {
         std::cerr << "dcv_worker: " << worker_id
                   << ": giving up after repeated connection losses\n";
+        dump_telemetry();
         return 1;
       }
       clock.sleep_for(reconnect_backoff(reconnect, failed_connects + 1));
     }
+    dump_telemetry();
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "dcv_worker: " << error.what() << "\n";

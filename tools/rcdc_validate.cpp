@@ -91,7 +91,9 @@ void usage() {
       "                       latencies by X (default 0.001)\n"
       "  --seed N             fetch-latency schedule seed (default 0)\n"
       "  --trace-out FILE     write the span ring as Chrome trace-event\n"
-      "                       JSON at exit (open in Perfetto)\n"
+      "                       JSON at exit (open in Perfetto); in\n"
+      "                       distributed mode, the merged fleet timeline\n"
+      "                       with one named track per process\n"
       "  --trace-capacity N   span ring capacity (default 65536)\n"
       "readiness rules (what /readyz enforces):\n"
       "  --ready-coverage T   minimum per-cycle device coverage (def 0.9)\n"
@@ -543,27 +545,45 @@ int main(int argc, char** argv) {
         return 2;
       }
 
+      // The coordinator's trace ring anchors the merged fleet timeline:
+      // its own assign/cycle spans land here, worker trees are rebased
+      // onto its epoch.
+      std::unique_ptr<obs::TraceRing> fleet_trace;
+      if (serve_set || !trace_out.empty()) {
+        fleet_trace = std::make_unique<obs::TraceRing>(trace_capacity);
+        fleet_trace->attach_metrics(registry);
+      }
+
       dist::CoordinatorConfig coordinator_config;
       coordinator_config.lease = dist_lease;
       coordinator_config.heartbeat_interval = dist_heartbeat;
       coordinator_config.shard_retry_budget = shard_retry;
       coordinator_config.shards_per_worker = shards_per_worker;
       coordinator_config.metrics = &registry;
+      coordinator_config.trace = fleet_trace.get();
       dist::Coordinator coordinator(metadata, coordinator_config);
 
       std::unique_ptr<obs::TelemetryServer> server;
       if (serve_set) {
         obs::TelemetryServerConfig server_config;
         server_config.port = serve_port;
+        // /tracez serves the merged fleet timeline (coordinator + every
+        // worker's re-parented spans), not just the local ring.
+        server_config.trace_renderer =
+            [&coordinator](std::size_t max_spans) {
+              return obs::write_trace_json(coordinator.merger().snapshot(),
+                                           max_spans);
+            };
         fleet_readiness.min_coverage = readiness.min_coverage;
         server = std::make_unique<obs::TelemetryServer>(
-            &registry, nullptr,
+            &registry, fleet_trace.get(),
             dist::make_fleet_probe(coordinator, fleet_readiness),
             server_config);
-        std::cout << "telemetry: /metrics /metrics.json /healthz /readyz "
-                     "on port "
+        // Banner goes to stderr: with --json, stdout is the report and
+        // must stay machine-parseable.
+        std::cerr << "telemetry: /metrics /metrics.json /healthz /readyz "
+                     "/tracez on port "
                   << server->port() << "\n";
-        std::cout.flush();
       }
 
       // Admission: accept + handshake until the expected fleet is live.
@@ -644,6 +664,22 @@ int main(int argc, char** argv) {
         if (!quiet && !as_json) print_latency_table(registry);
         write_metrics_file(registry, metrics_out, metrics_format);
       }
+      if (!trace_out.empty()) {
+        // One Perfetto-loadable file: coordinator track + one named track
+        // per worker, offset-aligned onto the coordinator clock.
+        const obs::MergedTrace merged = coordinator.merger().snapshot();
+        if (!write_file_atomic(trace_out, obs::write_chrome_trace(merged))) {
+          std::cerr << "rcdc_validate: cannot write " << trace_out << "\n";
+        } else if (!quiet && !as_json) {
+          std::size_t spans = 0;
+          for (const obs::MergedTrack& track : merged.tracks) {
+            spans += track.events.size();
+          }
+          std::cout << "fleet trace: " << spans << " spans across "
+                    << merged.tracks.size() << " processes written to "
+                    << trace_out << "\n";
+        }
+      }
       if (!as_json) {
         std::cout << "rcdc_validate: " << completed
                   << " distributed cycles, " << total_violations
@@ -715,7 +751,7 @@ int main(int argc, char** argv) {
         server = std::make_unique<obs::TelemetryServer>(
             &registry, trace.get(),
             rcdc::make_pipeline_probe(pipeline, readiness), server_config);
-        std::cout << "telemetry: /metrics /metrics.json /healthz /readyz "
+        std::cerr << "telemetry: /metrics /metrics.json /healthz /readyz "
                      "/tracez on port "
                   << server->port() << "\n";
       }
