@@ -1,0 +1,748 @@
+#include "obs/http_server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <system_error>
+
+namespace dcv::obs {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string ascii_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+constexpr std::string_view kTextType = "text/plain; charset=utf-8";
+
+HttpResponse plain_response(int status, std::string_view body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = kTextType;
+  response.body = body;
+  return response;
+}
+
+}  // namespace
+
+std::string_view http_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return status < 400 ? "OK" : "Error";
+  }
+}
+
+std::string serialize_http_response(const HttpResponse& response) {
+  const std::string_view reason = response.reason.empty()
+                                      ? http_reason(response.status)
+                                      : std::string_view(response.reason);
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string_view HttpRequest::path() const {
+  const std::string_view t(target);
+  const auto query = t.find('?');
+  return query == std::string_view::npos ? t : t.substr(0, query);
+}
+
+std::string_view HttpRequest::query() const {
+  const std::string_view t(target);
+  const auto query = t.find('?');
+  return query == std::string_view::npos ? std::string_view{}
+                                         : t.substr(query + 1);
+}
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+std::string_view HttpRequest::query_param(std::string_view key) const {
+  std::string_view rest = query();
+  while (!rest.empty()) {
+    const auto amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const auto eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (eq == std::string_view::npos && pair == key) return {};
+  }
+  return {};
+}
+
+/// Per-connection state machine. Owned by the event loop; workers refer to
+/// connections only by id, so a connection closed mid-handling (peer churn,
+/// deadline) simply drops the eventual response.
+struct HttpServer::Connection {
+  enum class State : std::uint8_t {
+    kReading,   // accumulating request bytes; fd polled for POLLIN
+    kHandling,  // dispatched to a worker; fd not polled
+    kWriting,   // response staged; fd polled for POLLOUT
+  };
+
+  int fd = -1;
+  std::uint64_t id = 0;
+  State state = State::kReading;
+  std::string in;
+  std::string out;
+  std::size_t out_sent = 0;
+  /// Closes the connection when the peer makes no progress by this time
+  /// (reading or writing; suspended while a worker runs the handler).
+  std::chrono::steady_clock::time_point deadline;
+
+  // Incremental parse state.
+  bool line_parsed = false;
+  bool headers_parsed = false;
+  std::size_t header_end = 0;  // offset just past "\r\n\r\n"
+  std::size_t body_expected = 0;
+  HttpRequest request;
+  const Route* route = nullptr;
+};
+
+HttpServer::HttpServer(HttpServerConfig config) : config_(config) {
+  if (config_.worker_threads == 0) config_.worker_threads = 1;
+  if (config_.max_connections == 0) config_.max_connections = 1;
+  if (config_.max_queued_requests == 0) config_.max_queued_requests = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::add_route(std::string method, std::string path,
+                           HttpHandler handler, std::size_t max_body_bytes) {
+  routes_.push_back(Route{std::move(method), std::move(path),
+                          std::move(handler), max_body_bytes});
+}
+
+void HttpServer::set_fallback(HttpHandler handler) {
+  fallback_ = std::move(handler);
+}
+
+double HttpServer::queue_saturation() const {
+  return static_cast<double>(queued_requests_.load(std::memory_order_relaxed)) /
+         static_cast<double>(config_.max_queued_requests);
+}
+
+void HttpServer::start() {
+  if (started_) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("http: socket");
+  // REUSEADDR lets a restarted server rebind through TIME_WAIT; binding a
+  // port with a live listener still fails, which is the error we want.
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("http: bind");
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("http: listen");
+  }
+  set_nonblocking(listen_fd_);
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("http: pipe");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+
+  if (config_.metrics != nullptr) {
+    open_connections_gauge_ = &config_.metrics->gauge(
+        "dcv_http_open_connections", "Open HTTP connections");
+    queued_requests_gauge_ = &config_.metrics->gauge(
+        "dcv_http_queued_requests",
+        "Parsed HTTP requests waiting for a worker thread");
+    // Pre-register each route's latency series so /metrics shows the
+    // family even before the first hit.
+    for (const Route& route : routes_) (void)request_ns_for(route.path);
+  }
+
+  stopping_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  event_thread_ = std::thread([this] { event_loop(); });
+  workers_.reserve(config_.worker_threads);
+  for (unsigned w = 0; w < config_.worker_threads; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void HttpServer::stop() {
+  const std::lock_guard lock(stop_mutex_);
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  wake();
+  queue_cv_.notify_all();
+  if (event_thread_.joinable()) event_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  started_ = false;
+}
+
+void HttpServer::wake() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+const HttpServer::Route* HttpServer::find_route(std::string_view method,
+                                                std::string_view path) const {
+  for (const Route& route : routes_) {
+    if (route.method == method && route.path == path) return &route;
+  }
+  return nullptr;
+}
+
+void HttpServer::count_request(std::string_view path, int code) {
+  if (config_.metrics == nullptr) return;
+  const std::lock_guard lock(metrics_mutex_);
+  const auto key = std::make_pair(std::string(path), code);
+  auto it = request_counters_.find(key);
+  if (it == request_counters_.end()) {
+    Counter& counter = config_.metrics->counter(
+        "dcv_http_requests_total", "HTTP requests by path and status code",
+        {{"path", key.first}, {"code", std::to_string(code)}});
+    it = request_counters_.emplace(key, &counter).first;
+  }
+  it->second->inc();
+}
+
+Histogram* HttpServer::request_ns_for(std::string_view path) {
+  if (config_.metrics == nullptr) return nullptr;
+  const std::lock_guard lock(metrics_mutex_);
+  auto it = request_histograms_.find(path);
+  if (it == request_histograms_.end()) {
+    Histogram& histogram = config_.metrics->histogram(
+        "dcv_http_request_ns",
+        "Request latency from dispatch to response ready (queue wait + "
+        "handler execution)",
+        {{"path", std::string(path)}});
+    it = request_histograms_.emplace(std::string(path), &histogram).first;
+  }
+  return it->second;
+}
+
+void HttpServer::event_loop() {
+  std::vector<pollfd> pollfds;
+  std::vector<std::uint64_t> poll_ids;  // pollfds[i+2] -> connection id
+  // Once stopping, in-flight handlers and staged responses get one IO
+  // deadline's grace to finish before the loop abandons them.
+  std::chrono::steady_clock::time_point grace_deadline{};
+  bool grace_armed = false;
+
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_relaxed);
+    auto now = std::chrono::steady_clock::now();
+    if (stopping) {
+      if (!grace_armed) {
+        grace_armed = true;
+        grace_deadline = now + std::min(config_.io_timeout,
+                                        std::chrono::milliseconds(2000));
+        // Abandon connections still reading and everything queued but not
+        // yet picked up: no new work once shutdown starts.
+        {
+          const std::lock_guard lock(queue_mutex_);
+          for (const PendingRequest& pending : queue_) {
+            close_connection(pending.connection_id);
+            --inflight_;
+          }
+          queued_requests_.store(0, std::memory_order_relaxed);
+          if (queued_requests_gauge_ != nullptr) {
+            queued_requests_gauge_->set(0);
+          }
+          queue_.clear();
+        }
+        std::vector<std::uint64_t> to_close;
+        for (const auto& [id, conn] : connections_) {
+          if (conn->state == Connection::State::kReading) to_close.push_back(id);
+        }
+        for (const std::uint64_t id : to_close) close_connection(id);
+      }
+      const bool drained = connections_.empty() && inflight_ == 0;
+      if (drained || now >= grace_deadline) break;
+    }
+
+    pollfds.clear();
+    poll_ids.clear();
+    pollfds.push_back({.fd = wake_read_fd_, .events = POLLIN, .revents = 0});
+    const bool accepting =
+        !stopping && connections_.size() < config_.max_connections;
+    pollfds.push_back({.fd = accepting ? listen_fd_ : -1,
+                       .events = POLLIN,
+                       .revents = 0});
+    auto next_deadline = now + config_.poll_interval;
+    for (const auto& [id, conn] : connections_) {
+      short events = 0;
+      if (conn->state == Connection::State::kReading) events = POLLIN;
+      if (conn->state == Connection::State::kWriting) events = POLLOUT;
+      if (events == 0) continue;  // handling: fd parked until completion
+      pollfds.push_back({.fd = conn->fd, .events = events, .revents = 0});
+      poll_ids.push_back(id);
+      next_deadline = std::min(next_deadline, conn->deadline);
+    }
+    const auto wait = std::max<std::int64_t>(
+        0, std::chrono::duration_cast<std::chrono::milliseconds>(
+               next_deadline - now)
+               .count());
+    const int ready =
+        ::poll(pollfds.data(), pollfds.size(), static_cast<int>(wait));
+    now = std::chrono::steady_clock::now();
+    if (ready < 0 && errno != EINTR) break;
+
+    // Wake-pipe drain, then worker completions: attach each response to
+    // its (still open) connection and start writing.
+    if (pollfds[0].revents & POLLIN) {
+      char buffer[256];
+      while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+      }
+    }
+    {
+      std::vector<CompletedRequest> completed;
+      {
+        const std::lock_guard lock(completed_mutex_);
+        completed.swap(completed_);
+      }
+      for (CompletedRequest& done : completed) {
+        --inflight_;
+        const auto it = connections_.find(done.connection_id);
+        if (it == connections_.end()) continue;  // peer churned mid-handling
+        Connection& conn = *it->second;
+        conn.out = std::move(done.wire);
+        conn.out_sent = 0;
+        conn.state = Connection::State::kWriting;
+        conn.deadline = now + config_.io_timeout;
+        finish_write(conn);  // often completes in one shot on loopback
+        // finish_write may have closed (freed) the connection on a send
+        // error — re-look-up instead of touching the reference.
+        const auto again = connections_.find(done.connection_id);
+        if (again != connections_.end() &&
+            again->second->state == Connection::State::kWriting &&
+            again->second->out_sent >= again->second->out.size()) {
+          close_connection(done.connection_id);
+        }
+      }
+    }
+
+    if (pollfds[1].revents & POLLIN) {
+      while (connections_.size() < config_.max_connections) {
+        const int client = ::accept4(listen_fd_, nullptr, nullptr,
+                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (client < 0) break;
+        auto conn = std::make_unique<Connection>();
+        conn->fd = client;
+        conn->id = next_connection_id_++;
+        conn->deadline = now + config_.io_timeout;
+        connections_.emplace(conn->id, std::move(conn));
+        open_connections_.store(connections_.size(),
+                                std::memory_order_relaxed);
+        if (open_connections_gauge_ != nullptr) {
+          open_connections_gauge_->set(
+              static_cast<double>(connections_.size()));
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < poll_ids.size(); ++i) {
+      const pollfd& pfd = pollfds[i + 2];
+      const auto it = connections_.find(poll_ids[i]);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        close_connection(conn.id);
+        continue;
+      }
+      if (conn.state == Connection::State::kReading &&
+          (pfd.revents & (POLLIN | POLLHUP))) {
+        char buffer[4096];
+        bool peer_done = false;
+        while (true) {
+          const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+          if (n > 0) {
+            conn.in.append(buffer, static_cast<std::size_t>(n));
+            conn.deadline = now + config_.io_timeout;
+            continue;
+          }
+          if (n == 0) peer_done = true;
+          break;  // EAGAIN, EOF, or error
+        }
+        // advance_parser can stage an error response whose write fails,
+        // closing (freeing) the connection — keep the id on the stack.
+        const std::uint64_t conn_id = conn.id;
+        advance_parser(conn);
+        if (connections_.find(conn_id) == connections_.end()) continue;
+        if (peer_done && conn.state == Connection::State::kReading) {
+          // Peer half-closed before the request completed. Mirror the
+          // sequential server: answer what arrived (400 when even the
+          // request line is missing), writable because only SHUT_WR'd
+          // peers read on.
+          if (conn.line_parsed) {
+            conn.headers_parsed = true;
+            conn.body_expected = 0;
+            conn.request.body = conn.in.substr(
+                std::min(conn.header_end, conn.in.size()));
+            dispatch(conn, conn.route);
+          } else if (!conn.in.empty()) {
+            count_request("(unrouted)", 400);
+            stage_response(conn, plain_response(400, "bad request\n"),
+                           nullptr);
+          } else {
+            close_connection(conn.id);
+          }
+        }
+      } else if (conn.state == Connection::State::kWriting &&
+                 (pfd.revents & (POLLOUT | POLLHUP))) {
+        const std::uint64_t conn_id = conn.id;
+        conn.deadline = now + config_.io_timeout;
+        finish_write(conn);
+        const auto again = connections_.find(conn_id);
+        if (again != connections_.end() &&
+            again->second->out_sent >= again->second->out.size()) {
+          close_connection(conn_id);
+        }
+      }
+    }
+
+    // Deadline sweep: a peer that stalled mid-request gets 408; one that
+    // stalls mid-response (won't read) is dropped.
+    std::vector<std::uint64_t> expired_read;
+    std::vector<std::uint64_t> expired_write;
+    for (const auto& [id, conn] : connections_) {
+      if (conn->deadline > now) continue;
+      if (conn->state == Connection::State::kReading) expired_read.push_back(id);
+      if (conn->state == Connection::State::kWriting) {
+        expired_write.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : expired_write) close_connection(id);
+    for (const std::uint64_t id : expired_read) {
+      Connection& conn = *connections_.at(id);
+      count_request("(unrouted)", 408);
+      stage_response(conn, plain_response(408, "request timeout\n"), nullptr);
+    }
+  }
+
+  for (const auto& [id, conn] : connections_) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+  }
+  connections_.clear();
+  open_connections_.store(0, std::memory_order_relaxed);
+  if (open_connections_gauge_ != nullptr) open_connections_gauge_->set(0);
+}
+
+void HttpServer::advance_parser(Connection& conn) {
+  if (conn.state != Connection::State::kReading) return;
+
+  if (!conn.line_parsed) {
+    const auto line_end = conn.in.find("\r\n");
+    if (line_end == std::string::npos) {
+      // The request line alone gets the default cap; no request needs a
+      // kilobyte-scale first line.
+      if (conn.in.size() > config_.max_request_bytes) {
+        count_request("(unrouted)", 400);
+        stage_response(conn, plain_response(400, "bad request\n"), nullptr);
+      }
+      return;
+    }
+    const std::string_view line(conn.in.data(), line_end);
+    const auto method_end = line.find(' ');
+    const auto target_end = line.find(' ', method_end + 1);
+    if (method_end == std::string_view::npos ||
+        target_end == std::string_view::npos || method_end == 0 ||
+        target_end == method_end + 1) {
+      count_request("(unrouted)", 400);
+      stage_response(conn, plain_response(400, "bad request\n"), nullptr);
+      return;
+    }
+    conn.request.method = std::string(line.substr(0, method_end));
+    conn.request.target =
+        std::string(line.substr(method_end + 1, target_end - method_end - 1));
+    conn.route = find_route(conn.request.method, conn.request.path());
+    conn.line_parsed = true;
+  }
+
+  if (!conn.headers_parsed) {
+    const auto blank = conn.in.find("\r\n\r\n");
+    if (blank == std::string::npos) {
+      // Header section is bounded by the default cap regardless of any
+      // per-route body allowance.
+      if (conn.in.size() > config_.max_request_bytes) {
+        count_request(conn.route != nullptr ? std::string_view(conn.route->path)
+                                            : std::string_view("(unrouted)"),
+                      413);
+        stage_response(conn,
+                       plain_response(413, "request header section too large\n"),
+                       nullptr);
+      }
+      return;
+    }
+    conn.header_end = blank + 4;
+    const std::string_view head(conn.in.data(), blank + 2);
+    std::size_t cursor = head.find("\r\n") + 2;  // skip the request line
+    while (cursor < head.size()) {
+      const auto eol = head.find("\r\n", cursor);
+      const std::string_view line = head.substr(cursor, eol - cursor);
+      cursor = eol + 2;
+      const auto colon = line.find(':');
+      if (colon == std::string_view::npos) continue;  // lenient: skip junk
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+        value.remove_prefix(1);
+      }
+      conn.request.headers.emplace_back(ascii_lower(line.substr(0, colon)),
+                                        std::string(value));
+    }
+    const std::string_view counted_path =
+        conn.route != nullptr ? std::string_view(conn.route->path)
+                              : std::string_view("(unrouted)");
+    if (!conn.request.header("transfer-encoding").empty()) {
+      count_request(counted_path, 501);
+      stage_response(conn,
+                     plain_response(501, "chunked bodies not supported\n"),
+                     nullptr);
+      return;
+    }
+    const std::string_view length_text = conn.request.header("content-length");
+    std::size_t body_cap = config_.max_request_bytes;
+    if (conn.route != nullptr && conn.route->max_body_bytes > 0) {
+      body_cap = conn.route->max_body_bytes;
+    }
+    if (!length_text.empty()) {
+      std::size_t length = 0;
+      const auto [ptr, ec] = std::from_chars(
+          length_text.data(), length_text.data() + length_text.size(), length);
+      if (ec != std::errc{} || ptr != length_text.data() + length_text.size()) {
+        count_request(counted_path, 400);
+        stage_response(conn, plain_response(400, "bad content-length\n"),
+                       nullptr);
+        return;
+      }
+      if (length > body_cap) {
+        // Refuse before reading the body: the peer learns the cap instead
+        // of streaming megabytes into a connection that will fail anyway.
+        count_request(counted_path, 413);
+        stage_response(
+            conn,
+            plain_response(413, "request body exceeds " +
+                                    std::to_string(body_cap) + " bytes\n"),
+            nullptr);
+        return;
+      }
+      conn.body_expected = length;
+    }
+    conn.headers_parsed = true;
+  }
+
+  if (conn.in.size() < conn.header_end + conn.body_expected) return;
+  conn.request.body = conn.in.substr(conn.header_end, conn.body_expected);
+  dispatch(conn, conn.route);
+}
+
+void HttpServer::dispatch(Connection& conn, const Route* route) {
+  conn.state = Connection::State::kHandling;
+  PendingRequest pending;
+  pending.connection_id = conn.id;
+  pending.request = std::move(conn.request);
+  pending.route = route;
+  pending.enqueued = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard lock(queue_mutex_);
+    if (queue_.size() >= config_.max_queued_requests) {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      const std::string_view counted_path =
+          route != nullptr ? std::string_view(route->path)
+                           : std::string_view("(unrouted)");
+      count_request(counted_path, 429);
+      HttpResponse response = plain_response(
+          429, "overloaded: request queue is full, retry later\n");
+      response.extra_headers.emplace_back(
+          "Retry-After", std::to_string(config_.retry_after_seconds));
+      stage_response(conn, response, nullptr);
+      return;
+    }
+    queue_.push_back(std::move(pending));
+    ++inflight_;
+    queued_requests_.store(queue_.size(), std::memory_order_relaxed);
+    if (queued_requests_gauge_ != nullptr) {
+      queued_requests_gauge_->set(static_cast<double>(queue_.size()));
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void HttpServer::stage_response(Connection& conn, const HttpResponse& response,
+                                const char* /*counted_path*/) {
+  const std::uint64_t id = conn.id;
+  conn.out = serialize_http_response(response);
+  conn.out_sent = 0;
+  conn.state = Connection::State::kWriting;
+  conn.deadline = std::chrono::steady_clock::now() + config_.io_timeout;
+  finish_write(conn);  // may close (free) the connection on a send error
+  const auto it = connections_.find(id);
+  if (it != connections_.end() &&
+      it->second->out_sent >= it->second->out.size()) {
+    close_connection(id);
+  }
+}
+
+void HttpServer::finish_write(Connection& conn) {
+  while (conn.out_sent < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_sent,
+                             conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // Peer vanished mid-response: nothing left to deliver.
+    close_connection(conn.id);
+    return;
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HttpServer::close_connection(std::uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  ::shutdown(it->second->fd, SHUT_WR);
+  ::close(it->second->fd);
+  connections_.erase(it);
+  open_connections_.store(connections_.size(), std::memory_order_relaxed);
+  if (open_connections_gauge_ != nullptr) {
+    open_connections_gauge_->set(static_cast<double>(connections_.size()));
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    PendingRequest pending;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_relaxed)) return;
+        continue;
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      queued_requests_.store(queue_.size(), std::memory_order_relaxed);
+      if (queued_requests_gauge_ != nullptr) {
+        queued_requests_gauge_->set(static_cast<double>(queue_.size()));
+      }
+    }
+
+    const std::string_view counted_path =
+        pending.route != nullptr ? std::string_view(pending.route->path)
+                                 : std::string_view("(unrouted)");
+    HttpResponse response;
+    try {
+      if (pending.route != nullptr) {
+        response = pending.route->handler(pending.request);
+      } else if (fallback_) {
+        response = fallback_(pending.request);
+      } else {
+        response = plain_response(404, "unknown endpoint\n");
+      }
+    } catch (const std::exception& error) {
+      response =
+          plain_response(500, std::string("handler error: ") + error.what() +
+                                  "\n");
+    } catch (...) {
+      response = plain_response(500, "handler error\n");
+    }
+    count_request(counted_path, response.status);
+    if (Histogram* histogram = request_ns_for(counted_path)) {
+      histogram->observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - pending.enqueued)
+              .count()));
+    }
+
+    CompletedRequest done;
+    done.connection_id = pending.connection_id;
+    done.wire = serialize_http_response(response);
+    {
+      const std::lock_guard lock(completed_mutex_);
+      completed_.push_back(std::move(done));
+    }
+    wake();
+  }
+}
+
+}  // namespace dcv::obs

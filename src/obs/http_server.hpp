@@ -1,0 +1,252 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dcv::obs {
+
+/// One parsed HTTP/1.1 request as handed to a handler.
+struct HttpRequest {
+  std::string method;
+  /// The raw request target, query string included.
+  std::string target;
+  /// Header fields in arrival order, names lower-cased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// The target up to (excluding) any '?'.
+  [[nodiscard]] std::string_view path() const;
+  /// Everything after the first '?', or "".
+  [[nodiscard]] std::string_view query() const;
+  /// First header with this (lower-case) name, or "".
+  [[nodiscard]] std::string_view header(std::string_view name) const;
+  /// Value of `key` in the query string (key=value pairs split on '&'),
+  /// or "" when absent.
+  [[nodiscard]] std::string_view query_param(std::string_view key) const;
+};
+
+/// A handler's answer. Serialized as
+///   HTTP/1.1 <status> <reason>\r\n
+///   Content-Type: <content_type>\r\n
+///   Content-Length: <body.size()>\r\n
+///   <extra headers>
+///   Connection: close\r\n\r\n<body>
+/// which is byte-identical to the pre-concurrency TelemetryServer format
+/// when extra_headers is empty — the scrape-endpoint compatibility
+/// contract.
+struct HttpResponse {
+  int status = 200;
+  /// Derived from `status` when empty (200 -> "OK", ...).
+  std::string reason;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Runs on a worker thread; must be thread-safe against other handlers
+/// (several workers execute concurrently) and against the serving system.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  /// TCP port; 0 asks the kernel for an ephemeral port (read it back with
+  /// port()).
+  std::uint16_t port = 0;
+  /// Pending-connection backlog handed to listen().
+  int backlog = 64;
+  /// Worker threads executing handlers. All socket IO happens on the
+  /// event-loop thread; workers only run handlers, so this bounds handler
+  /// concurrency (and with max_queued_requests, total admitted work).
+  unsigned worker_threads = 4;
+  /// Open-connection cap. At the cap the event loop stops polling the
+  /// listening socket — further peers wait in the kernel backlog instead
+  /// of accumulating connection state in the server.
+  std::size_t max_connections = 128;
+  /// Parsed requests allowed to wait for a worker. A request arriving with
+  /// the queue full is answered 429 with Retry-After straight from the
+  /// event loop — the admission-control bound.
+  std::size_t max_queued_requests = 64;
+  /// Default per-request byte cap (request line + headers + body).
+  /// Routes may override with their own (usually larger) cap.
+  std::size_t max_request_bytes = 4096;
+  /// Per-connection progress deadline: a connection that makes no read or
+  /// write progress for this long is answered 408 (mid-request) or closed
+  /// (mid-response) — one slow-loris peer cannot pin a connection slot
+  /// forever.
+  std::chrono::milliseconds io_timeout{2000};
+  /// How long stop() may lag: the event loop re-checks the shutdown flag
+  /// at least this often when otherwise idle.
+  std::chrono::milliseconds poll_interval{50};
+  /// Retry-After header value on 429 overload responses.
+  unsigned retry_after_seconds = 1;
+  /// When set (must outlive the server), serving is instrumented:
+  /// dcv_http_requests_total{path,code}, dcv_http_request_ns{path}
+  /// (queue wait + handler, per matched route), and live
+  /// dcv_http_open_connections / dcv_http_queued_requests gauges.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Dependency-free concurrent HTTP/1.1 server: a poll()-driven event loop
+/// owns every socket (non-blocking accept/read/write, per-connection state
+/// machines with IO deadlines, bounded connection count), and a small
+/// worker pool executes handlers off a bounded dispatch queue. Admission
+/// control is structural: connections beyond max_connections wait in the
+/// kernel backlog, requests beyond max_queued_requests are answered 429
+/// with Retry-After without ever touching a worker, and queue_saturation()
+/// feeds readiness probes.
+///
+/// Lifecycle: construct, add_route()/set_fallback(), start(), stop().
+/// Routes are fixed at start() — registration is not thread-safe against
+/// serving. Responses always close the connection (Connection: close),
+/// matching the scrape-oriented predecessor.
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerConfig config = {});
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+  ~HttpServer();
+
+  /// Registers a handler for exactly (method, path) — the request target
+  /// is matched with its query string stripped. `max_body_bytes` lifts the
+  /// config-default request cap for this route (0 keeps the default);
+  /// oversized requests are refused with 413 before the body is read.
+  void add_route(std::string method, std::string path, HttpHandler handler,
+                 std::size_t max_body_bytes = 0);
+
+  /// Handler for requests matching no route. Without one, unmatched
+  /// requests get a plain 404.
+  void set_fallback(HttpHandler handler);
+
+  /// Binds, listens, spawns the event loop and workers. Throws
+  /// std::system_error when the socket cannot be created or the port is in
+  /// use.
+  void start();
+
+  /// Graceful shutdown: stops accepting, finishes writable responses,
+  /// joins every thread. Idempotent; also run by the destructor.
+  void stop();
+
+  /// The actually bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  /// Requests refused 429 because the dispatch queue was full.
+  [[nodiscard]] std::uint64_t requests_rejected() const {
+    return requests_rejected_.load(std::memory_order_relaxed);
+  }
+  /// Live open-connection count (event-loop owned sockets).
+  [[nodiscard]] std::size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+  /// Requests currently waiting for a worker.
+  [[nodiscard]] std::size_t queued_requests() const {
+    return queued_requests_.load(std::memory_order_relaxed);
+  }
+  /// queued_requests / max_queued_requests in [0,1] — the admission-control
+  /// signal readiness probes compare against their saturation threshold.
+  [[nodiscard]] double queue_saturation() const;
+
+ private:
+  struct Connection;
+  struct Route {
+    std::string method;
+    std::string path;
+    HttpHandler handler;
+    std::size_t max_body_bytes = 0;
+  };
+  struct PendingRequest {
+    std::uint64_t connection_id = 0;
+    HttpRequest request;
+    const Route* route = nullptr;  // null -> fallback
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct CompletedRequest {
+    std::uint64_t connection_id = 0;
+    std::string wire;  // fully serialized response
+  };
+
+  void event_loop();
+  void worker_loop();
+  /// Feeds newly read bytes through the connection's parser; returns false
+  /// when the connection must close immediately (fatal parse error already
+  /// queued as a response, or dispatch happened).
+  void advance_parser(Connection& conn);
+  void dispatch(Connection& conn, const Route* route);
+  /// Serializes and stages `response` for writing on the event loop.
+  void stage_response(Connection& conn, const HttpResponse& response,
+                      const char* counted_path);
+  void finish_write(Connection& conn);
+  void close_connection(std::uint64_t id);
+  void wake();
+  [[nodiscard]] const Route* find_route(std::string_view method,
+                                        std::string_view path) const;
+  void count_request(std::string_view path, int code);
+  Histogram* request_ns_for(std::string_view path);
+
+  HttpServerConfig config_;
+  std::vector<Route> routes_;
+  HttpHandler fallback_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  // Event-loop state (touched only by the event-loop thread once started).
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_connection_id_ = 1;
+  /// Requests dispatched (queued or running a handler) minus completed;
+  /// shutdown drains until this and the connection map are empty.
+  std::size_t inflight_ = 0;
+
+  // Dispatch queue: event loop -> workers.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+
+  // Completion queue: workers -> event loop (paired with a wake() write).
+  std::mutex completed_mutex_;
+  std::vector<CompletedRequest> completed_;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::size_t> open_connections_{0};
+  std::atomic<std::size_t> queued_requests_{0};
+
+  // Instrumentation (all null when config_.metrics is null).
+  Gauge* open_connections_gauge_ = nullptr;
+  Gauge* queued_requests_gauge_ = nullptr;
+  std::mutex metrics_mutex_;
+  std::map<std::pair<std::string, int>, Counter*> request_counters_;
+  std::map<std::string, Histogram*, std::less<>> request_histograms_;
+
+  std::thread event_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex stop_mutex_;
+};
+
+/// Exact serialization shared with the legacy scrape format (status line,
+/// Content-Type, Content-Length, extra headers, Connection: close).
+[[nodiscard]] std::string serialize_http_response(const HttpResponse& response);
+
+/// The default reason phrase for a status code ("OK", "Not Found", ...).
+[[nodiscard]] std::string_view http_reason(int status);
+
+}  // namespace dcv::obs

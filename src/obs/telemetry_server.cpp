@@ -1,14 +1,5 @@
 #include "obs/telemetry_server.hpp"
 
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <system_error>
 #include <utility>
 
 #include "obs/export.hpp"
@@ -17,34 +8,36 @@ namespace dcv::obs {
 
 namespace {
 
-[[noreturn]] void throw_errno(const char* what) {
-  throw std::system_error(errno, std::generic_category(), what);
-}
-
-void set_io_timeout(int fd, std::chrono::milliseconds timeout) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-std::string http_response(int status, std::string_view reason,
-                          std::string_view content_type,
-                          std::string_view body) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
-                    std::string(reason) + "\r\n";
-  out += "Content-Type: " + std::string(content_type) + "\r\n";
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
 constexpr std::string_view kPrometheusType =
     "text/plain; version=0.0.4; charset=utf-8";
 constexpr std::string_view kJsonType = "application/json";
 constexpr std::string_view kTextType = "text/plain; charset=utf-8";
+
+HttpResponse make_response(int status, std::string_view reason,
+                           std::string_view content_type,
+                           std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = reason;
+  response.content_type = content_type;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpServerConfig to_http_config(const TelemetryServerConfig& config) {
+  HttpServerConfig http;
+  http.port = config.port;
+  http.backlog = config.backlog;
+  http.worker_threads = config.worker_threads;
+  http.max_connections = config.max_connections;
+  http.max_queued_requests = config.max_queued_requests;
+  http.max_request_bytes = config.max_request_bytes;
+  http.io_timeout = config.io_timeout;
+  http.poll_interval = config.accept_poll;
+  http.retry_after_seconds = config.retry_after_seconds;
+  http.metrics = config.http_metrics;
+  return http;
+}
 
 }  // namespace
 
@@ -54,158 +47,75 @@ TelemetryServer::TelemetryServer(const MetricsRegistry* registry,
     : registry_(registry),
       trace_(trace),
       probe_(std::move(probe)),
-      config_(config) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) throw_errno("telemetry: socket");
-  // REUSEADDR lets a restarted monitor rebind through TIME_WAIT; binding a
-  // port with a live listener still fails, which is the error we want.
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(config_.port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    throw_errno("telemetry: bind");
+      config_(std::move(config)),
+      server_(to_http_config(config_)) {
+  // Every scrape endpoint goes through respond() so the byte-level format
+  // (405 on non-GET, 404 on unknown targets, exact bodies) stays what the
+  // sequential server produced. Named routes exist so per-path metrics and
+  // per-route body caps attach; their handlers and the fallback share the
+  // same dispatch.
+  const HttpHandler scrape = [this](const HttpRequest& request) {
+    return respond(request);
+  };
+  for (const char* path : {"/metrics", "/metrics.json", "/tracez", "/healthz",
+                           "/readyz", "/"}) {
+    server_.add_route("GET", path, scrape);
   }
-  if (::listen(listen_fd_, config_.backlog) < 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    throw_errno("telemetry: listen");
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
-    port_ = ntohs(addr.sin_port);
-  }
-  listener_ = std::thread([this] { serve(); });
+  server_.set_fallback(scrape);
+  if (config_.mount) config_.mount(server_);
+  server_.start();
 }
 
 TelemetryServer::~TelemetryServer() { stop(); }
 
-void TelemetryServer::stop() {
-  stopping_.store(true, std::memory_order_relaxed);
-  const std::lock_guard lock(stop_mutex_);
-  if (listener_.joinable()) listener_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-}
+void TelemetryServer::stop() { server_.stop(); }
 
-void TelemetryServer::serve() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    pollfd pfd{.fd = listen_fd_, .events = POLLIN, .revents = 0};
-    const int ready =
-        ::poll(&pfd, 1, static_cast<int>(config_.accept_poll.count()));
-    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    handle_connection(client);
-  }
-}
-
-void TelemetryServer::handle_connection(int client_fd) {
-  set_io_timeout(client_fd, config_.io_timeout);
-  std::string request;
-  char buffer[1024];
-  // Requests are header-only GETs: read until the blank line, bounded in
-  // bytes and by the socket timeout.
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.size() < config_.max_request_bytes) {
-    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    request.append(buffer, static_cast<std::size_t>(n));
-  }
-
-  std::string response;
-  const auto line_end = request.find("\r\n");
-  if (line_end == std::string::npos) {
-    response = http_response(400, "Bad Request", kTextType, "bad request\n");
-  } else {
-    const std::string_view line(request.data(), line_end);
-    const auto method_end = line.find(' ');
-    const auto target_end = line.find(' ', method_end + 1);
-    if (method_end == std::string_view::npos ||
-        target_end == std::string_view::npos) {
-      response =
-          http_response(400, "Bad Request", kTextType, "bad request\n");
-    } else {
-      response = respond(line.substr(0, method_end),
-                         line.substr(method_end + 1,
-                                     target_end - method_end - 1));
-    }
-  }
-
-  std::size_t sent = 0;
-  while (sent < response.size()) {
-    const ssize_t n = ::send(client_fd, response.data() + sent,
-                             response.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
-  ::shutdown(client_fd, SHUT_WR);
-  ::close(client_fd);
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
-}
-
-std::string TelemetryServer::respond(std::string_view method,
-                                     std::string_view target) const {
-  if (method != "GET") {
-    return http_response(405, "Method Not Allowed", kTextType,
+HttpResponse TelemetryServer::respond(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    return make_response(405, "Method Not Allowed", kTextType,
                          "only GET is supported\n");
   }
-  // Ignore any query string: scrapers commonly append cache-busters.
-  if (const auto query = target.find('?'); query != std::string_view::npos) {
-    target = target.substr(0, query);
-  }
+  // path() already strips any query string: scrapers commonly append
+  // cache-busters.
+  const std::string_view target = request.path();
 
   if (target == "/metrics") {
     if (registry_ == nullptr) {
-      return http_response(404, "Not Found", kTextType,
+      return make_response(404, "Not Found", kTextType,
                            "no metrics registry attached\n");
     }
-    return http_response(200, "OK", kPrometheusType,
+    return make_response(200, "OK", kPrometheusType,
                          write_prometheus(*registry_));
   }
   if (target == "/metrics.json") {
     if (registry_ == nullptr) {
-      return http_response(404, "Not Found", kTextType,
+      return make_response(404, "Not Found", kTextType,
                            "no metrics registry attached\n");
     }
-    return http_response(200, "OK", kJsonType, write_json(*registry_));
+    return make_response(200, "OK", kJsonType, write_json(*registry_));
   }
   if (target == "/tracez") {
     if (config_.trace_renderer) {
-      return http_response(200, "OK", kJsonType,
+      return make_response(200, "OK", kJsonType,
                            config_.trace_renderer(config_.max_trace_spans));
     }
     if (trace_ == nullptr) {
-      return http_response(404, "Not Found", kTextType,
+      return make_response(404, "Not Found", kTextType,
                            "no trace ring attached\n");
     }
-    return http_response(200, "OK", kJsonType,
+    return make_response(200, "OK", kJsonType,
                          write_trace_json(*trace_, config_.max_trace_spans));
   }
   if (target == "/healthz" || target == "/readyz") {
-    const HealthSnapshot health =
-        probe_ ? probe_() : HealthSnapshot{};
+    const HealthSnapshot health = probe_ ? probe_() : HealthSnapshot{};
     const bool ok = target == "/healthz" ? health.alive : health.ready;
     std::string body = ok ? "ok\n" : "unavailable\n";
     if (!health.detail.empty()) body += health.detail;
-    return http_response(ok ? 200 : 503, ok ? "OK" : "Service Unavailable",
-                         kTextType, body);
+    return make_response(ok ? 200 : 503, ok ? "OK" : "Service Unavailable",
+                         kTextType, std::move(body));
   }
   if (target == "/") {
-    return http_response(
+    return make_response(
         200, "OK", kTextType,
         "dcv telemetry endpoints:\n"
         "  /metrics       Prometheus text exposition\n"
@@ -214,7 +124,7 @@ std::string TelemetryServer::respond(std::string_view method,
         "  /readyz        readiness (coverage/breakers/queue/staleness)\n"
         "  /tracez        recent spans\n");
   }
-  return http_response(404, "Not Found", kTextType, "unknown endpoint\n");
+  return make_response(404, "Not Found", kTextType, "unknown endpoint\n");
 }
 
 }  // namespace dcv::obs

@@ -1,14 +1,12 @@
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "obs/health.hpp"
+#include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -18,30 +16,51 @@ struct TelemetryServerConfig {
   /// TCP port to listen on; 0 asks the kernel for an ephemeral port (read
   /// the bound one back with port()).
   std::uint16_t port = 0;
-  /// Pending-connection backlog handed to listen(); together with the
-  /// one-at-a-time request handling this bounds how much connection state
-  /// the server ever holds.
+  /// Pending-connection backlog handed to listen().
   int backlog = 16;
-  /// How long stop() may lag: the accept loop re-checks the shutdown flag
-  /// at this interval when idle.
+  /// How long stop() may lag: the event loop re-checks the shutdown flag
+  /// at this interval when idle. (Historically the accept-poll interval.)
   std::chrono::milliseconds accept_poll{50};
-  /// Per-connection receive/send budget, so one stalled scraper cannot
-  /// wedge the listener thread (requests are handled sequentially).
+  /// Per-connection progress deadline: no read/write progress for this
+  /// long answers 408 (mid-request) or drops the peer (mid-response).
   std::chrono::milliseconds io_timeout{2000};
+  /// Default per-request byte cap. Mounted routes (e.g. the change gate's
+  /// POST endpoints) may raise it per-endpoint.
   std::size_t max_request_bytes = 4096;
-  /// Span budget for /tracez responses. The server handles connections
-  /// sequentially, so an unbounded fleet trace would wedge the listener
-  /// for every later scraper; past the cap the JSON carries a "truncated"
-  /// count instead of the cut spans.
+  /// Span budget for /tracez responses; past the cap the JSON carries a
+  /// "truncated" count instead of the cut spans.
   std::size_t max_trace_spans = 65536;
   /// When set, /tracez serves this renderer's output (called with
   /// max_trace_spans) instead of the trace ring — the hook a coordinator
-  /// uses to serve the *merged* fleet timeline. Must be thread-safe (runs
-  /// on the listener thread) and is fixed at construction.
+  /// uses to serve the *merged* fleet timeline. Must be thread-safe (it
+  /// runs on worker threads) and is fixed at construction.
   std::function<std::string(std::size_t)> trace_renderer;
+
+  // --- concurrency knobs (all additive; defaults match the scrape-only
+  // workload the server originally handled) ---
+
+  /// Worker threads executing handlers concurrently.
+  unsigned worker_threads = 4;
+  /// Open-connection cap; beyond it peers wait in the kernel backlog.
+  std::size_t max_connections = 64;
+  /// Parsed requests allowed to wait for a worker before the server
+  /// answers 429 with Retry-After (admission control).
+  std::size_t max_queued_requests = 32;
+  /// Retry-After header value on 429 overload responses.
+  unsigned retry_after_seconds = 1;
+  /// When set (non-const because serving *writes* these instruments), the
+  /// server exports dcv_http_requests_total{path,code}, the
+  /// dcv_http_request_ns{path} histogram, and live open-connection /
+  /// queued-request gauges. Usually the same registry passed (const) for
+  /// /metrics serving.
+  MetricsRegistry* http_metrics = nullptr;
+  /// Called with the underlying HttpServer after the scrape routes are
+  /// registered and before start() — the hook services (e.g. the change
+  /// gate) use to mount their own POST routes on the shared listener.
+  std::function<void(HttpServer&)> mount;
 };
 
-/// Dependency-free HTTP/1.1 scrape endpoint for one process's telemetry:
+/// HTTP/1.1 scrape endpoint for one process's telemetry:
 ///
 ///   /metrics       Prometheus text exposition of the registry
 ///   /metrics.json  the same registry as JSON
@@ -49,15 +68,15 @@ struct TelemetryServerConfig {
 ///   /readyz        200 while the probe reports ready, else 503
 ///   /tracez        recent spans from the trace ring, as JSON
 ///
-/// One listener thread accepts and serves connections sequentially
-/// (Connection: close, bounded request size, per-connection IO deadline).
-/// That is deliberately minimal — scrapers poll at seconds granularity —
-/// but safe against slow or hostile peers. stop() (also run by the
-/// destructor) finishes the in-flight response, stops accepting, and joins
-/// the thread.
+/// Serving is concurrent (poll()-driven event loop + worker pool, see
+/// HttpServer) but the response bytes for these endpoints are identical to
+/// the original sequential implementation: Connection: close, same status
+/// lines, same bodies. stop() (also run by the destructor) finishes
+/// writable in-flight responses, stops accepting, and joins every thread.
 ///
 /// The registry and ring pointers may be null; their endpoints then answer
-/// 404. Both sinks and the probe must outlive the server.
+/// 404. Sinks, the probe, and any config.http_metrics registry must
+/// outlive the server.
 class TelemetryServer {
  public:
   /// Binds, listens, and starts serving. Throws std::system_error when the
@@ -70,34 +89,29 @@ class TelemetryServer {
 
   ~TelemetryServer();
 
-  /// Graceful shutdown: completes the in-flight request, closes the
-  /// listening socket, joins the listener thread. Idempotent.
+  /// Graceful shutdown: completes in-flight requests, closes the listening
+  /// socket, joins all threads. Idempotent.
   void stop();
 
   /// The actually bound port (the requested one, or the kernel's pick when
   /// the config asked for port 0).
-  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
 
   [[nodiscard]] std::uint64_t requests_served() const {
-    return requests_served_.load(std::memory_order_relaxed);
+    return server_.requests_served();
   }
 
+  /// The underlying concurrent server (admission counters, saturation).
+  [[nodiscard]] const HttpServer& http() const { return server_; }
+
  private:
-  void serve();
-  void handle_connection(int client_fd);
-  [[nodiscard]] std::string respond(std::string_view method,
-                                    std::string_view target) const;
+  [[nodiscard]] HttpResponse respond(const HttpRequest& request) const;
 
   const MetricsRegistry* registry_;
   const TraceRing* trace_;
   HealthProbe probe_;
   TelemetryServerConfig config_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> requests_served_{0};
-  std::mutex stop_mutex_;
-  std::thread listener_;
+  HttpServer server_;
 };
 
 }  // namespace dcv::obs

@@ -1,11 +1,16 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "rcdc/contract.hpp"
+#include "rcdc/fib_source.hpp"
 #include "rcdc/validator.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/metadata.hpp"
 #include "topology/topology.hpp"
 
 namespace dcv::rcdc {
@@ -29,6 +34,10 @@ struct NetworkChange {
 struct PrecheckResult {
   std::string description;
   bool approved = false;
+  /// Non-empty when the change could not be evaluated at all (its apply
+  /// threw — e.g. a plan referencing an unknown device); approved is then
+  /// false and the violation counts reflect the untouched baseline.
+  std::string error;
   /// Violations present on the emulated network *before* the change
   /// (pre-existing drift is not held against the change).
   std::size_t baseline_violations = 0;
@@ -37,6 +46,10 @@ struct PrecheckResult {
   /// The violations the change itself would introduce.
   std::vector<Violation> introduced;
 };
+
+/// Validation threads used when `configured` is 0: hardware-aware,
+/// clamped like the other worker pools.
+[[nodiscard]] unsigned resolve_precheck_threads(unsigned configured);
 
 /// The §2.7 pre-check workflow (Figure 7): "To prevent a large class of
 /// faulty updates from entering in the first place Azure uses a
@@ -55,10 +68,12 @@ struct PrecheckResult {
 class PrecheckPipeline {
  public:
   /// `production` is cloned per check; contracts always derive from the
-  /// *expected* architecture, i.e. the unmodified metadata.
+  /// *expected* architecture, i.e. the unmodified metadata. `threads`
+  /// bounds validation parallelism; 0 picks a hardware-aware default.
   explicit PrecheckPipeline(const topo::Topology& production,
-                            ContractGenOptions options = {})
-      : production_(&production), options_(options) {}
+                            ContractGenOptions options = {},
+                            unsigned threads = 0)
+      : production_(&production), options_(options), threads_(threads) {}
 
   [[nodiscard]] PrecheckResult check(const NetworkChange& change) const;
 
@@ -70,6 +85,84 @@ class PrecheckPipeline {
  private:
   const topo::Topology* production_;
   ContractGenOptions options_;
+  unsigned threads_ = 0;
+};
+
+/// The serving-layer counterpart of PrecheckPipeline: one persistent warm
+/// emulator instead of a clone-and-cold-converge per request.
+///
+/// Construction pays the full cost once — clone the production topology,
+/// cold-converge the simulator, validate the baseline, fingerprint every
+/// device's FIB. Each check() then applies the change, *warm*-reconverges
+/// (worklist seeded from exactly the touched devices), and revalidates only
+/// the devices whose FIB fingerprint diverged from the baseline — the
+/// serving analogue of keeping per-request work proportional to the
+/// change, not the fabric. The emulated clone is rolled back after every
+/// check, so checks are independent (no rollout semantics).
+///
+/// check_batch() amortizes further: checking K coalesced changes costs K+1
+/// reconvergences (apply, K-1 composite revert+apply steps, final revert)
+/// instead of 2K, because reverting change i and applying change i+1 is a
+/// single warm delta. Results are per-change and identical to K
+/// independent check() calls.
+///
+/// Not thread-safe: one session serves one gate thread (or is externally
+/// serialized — the change-gate batcher does exactly that).
+class PrecheckSession {
+ public:
+  explicit PrecheckSession(const topo::Topology& production,
+                           ContractGenOptions options = {},
+                           unsigned threads = 0);
+
+  PrecheckSession(const PrecheckSession&) = delete;
+  PrecheckSession& operator=(const PrecheckSession&) = delete;
+
+  [[nodiscard]] PrecheckResult check(const NetworkChange& change);
+  [[nodiscard]] std::vector<PrecheckResult> check_batch(
+      const std::vector<NetworkChange>& changes);
+
+  /// Epoch of the production topology this session was built from; the
+  /// gate compares it against the live epoch to detect stale sessions.
+  [[nodiscard]] std::uint64_t base_epoch() const { return base_epoch_; }
+  /// Violations present on the untouched emulated baseline.
+  [[nodiscard]] std::size_t baseline_violations() const {
+    return baseline_total_;
+  }
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+  /// Devices actually revalidated / skipped as fingerprint-identical,
+  /// summed over all checks (the proportionality evidence).
+  [[nodiscard]] std::uint64_t devices_revalidated() const {
+    return devices_revalidated_;
+  }
+  [[nodiscard]] std::uint64_t devices_skipped() const {
+    return devices_skipped_;
+  }
+
+ private:
+  /// Re-derives the divergence set after a reconvergence and validates it.
+  /// `divergent` carries the device set differing from baseline before the
+  /// step and is updated in place.
+  PrecheckResult evaluate(const std::string& description,
+                          std::vector<topo::DeviceId>& divergent);
+
+  ContractGenOptions options_;
+  unsigned threads_;
+  std::uint64_t base_epoch_ = 0;
+
+  topo::Topology base_;      // pristine clone, rollback source
+  topo::Topology emulated_;  // live working copy under the simulator
+  topo::MetadataService intent_;
+  routing::BgpSimulator simulator_;
+  SimulatorFibSource fibs_;
+  DatacenterValidator validator_;
+
+  std::size_t baseline_total_ = 0;
+  std::vector<std::uint64_t> baseline_fp_;  // per-device FIB fingerprints
+  std::vector<std::vector<Violation>> baseline_by_device_;
+
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t devices_revalidated_ = 0;
+  std::uint64_t devices_skipped_ = 0;
 };
 
 }  // namespace dcv::rcdc

@@ -1,0 +1,116 @@
+#include "rcdc/precheck_io.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "net/error.hpp"
+
+namespace dcv::rcdc {
+
+namespace {
+
+/// One primitive operation, fully resolved against the parse topology.
+struct Operation {
+  enum class Kind { kSetAsn, kShutLink, kDownLink } kind;
+  topo::DeviceId device = topo::kInvalidDevice;  // kSetAsn target
+  topo::Asn asn = 0;
+  topo::LinkId link = 0;  // kShutLink / kDownLink target
+};
+
+}  // namespace
+
+std::vector<NetworkChange> parse_change_plan(const std::string& text,
+                                             const topo::Topology& topology) {
+  const auto resolve_device = [&](const std::string& name, int line_number) {
+    const auto id = topology.find_device(name);
+    if (!id) {
+      throw ParseError("plan line " + std::to_string(line_number) +
+                       ": unknown device '" + name + "'");
+    }
+    return *id;
+  };
+
+  std::vector<std::pair<std::string, std::vector<Operation>>> raw;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "change") {
+      std::string description;
+      std::getline(tokens, description);
+      if (!description.empty() && description.front() == ' ') {
+        description.erase(0, 1);
+      }
+      raw.emplace_back(description, std::vector<Operation>{});
+      continue;
+    }
+    if (raw.empty()) {
+      throw ParseError("plan line " + std::to_string(line_number) +
+                       ": operation before any 'change'");
+    }
+    std::string a;
+    std::string b;
+    if (!(tokens >> a >> b)) {
+      throw ParseError("plan line " + std::to_string(line_number) +
+                       ": expected two arguments");
+    }
+    Operation op;
+    if (keyword == "set-asn") {
+      op.kind = Operation::Kind::kSetAsn;
+      op.device = resolve_device(a, line_number);
+      try {
+        const unsigned long asn = std::stoul(b);
+        if (asn == 0 || asn > 0xffffffffUL) throw std::out_of_range("asn");
+        op.asn = static_cast<topo::Asn>(asn);
+      } catch (const std::exception&) {
+        throw ParseError("plan line " + std::to_string(line_number) +
+                         ": invalid ASN '" + b + "'");
+      }
+    } else if (keyword == "shut-link" || keyword == "down-link") {
+      op.kind = keyword == "shut-link" ? Operation::Kind::kShutLink
+                                       : Operation::Kind::kDownLink;
+      const auto link = topology.find_link(resolve_device(a, line_number),
+                                           resolve_device(b, line_number));
+      if (!link) {
+        throw ParseError("plan line " + std::to_string(line_number) +
+                         ": no link " + a + " <-> " + b);
+      }
+      op.link = *link;
+    } else {
+      throw ParseError("plan line " + std::to_string(line_number) +
+                       ": unknown operation '" + keyword + "'");
+    }
+    raw.back().second.push_back(op);
+  }
+
+  std::vector<NetworkChange> plan;
+  plan.reserve(raw.size());
+  for (auto& [description, operations] : raw) {
+    plan.push_back(NetworkChange{
+        .description = description,
+        .apply = [operations =
+                      std::move(operations)](topo::Topology& emulated) {
+          for (const Operation& op : operations) {
+            switch (op.kind) {
+              case Operation::Kind::kSetAsn:
+                emulated.set_asn(op.device, op.asn);
+                break;
+              case Operation::Kind::kShutLink:
+                emulated.set_bgp_state(op.link,
+                                       topo::BgpSessionState::kAdminShutdown);
+                break;
+              case Operation::Kind::kDownLink:
+                emulated.set_link_state(op.link, topo::LinkState::kDown);
+                break;
+            }
+          }
+        }});
+  }
+  return plan;
+}
+
+}  // namespace dcv::rcdc

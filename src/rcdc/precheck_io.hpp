@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcdc/precheck.hpp"
+#include "topology/topology.hpp"
+
+namespace dcv::rcdc {
+
+/// Parses the line-oriented change-plan format used by dcv_precheck and
+/// the change-gate's POST /precheck endpoint:
+///
+///   # comments allowed
+///   change renumber ToR1
+///   set-asn T0-0-0 64990
+///   change maintenance window
+///   shut-link T0-0-0 T1-0-0
+///   down-link T1-0-1 T2-1-0
+///
+/// Each `change <description>` opens a change; the following set-asn /
+/// shut-link / down-link lines belong to it. Device names, link endpoints
+/// and ASN values are resolved against `topology` *at parse time*, so an
+/// invalid plan fails here with ParseError (a clean 400 for the gate)
+/// instead of throwing from NetworkChange::apply against a shared warm
+/// emulator. The returned changes capture resolved ids only and apply to
+/// any clone of `topology`.
+[[nodiscard]] std::vector<NetworkChange> parse_change_plan(
+    const std::string& text, const topo::Topology& topology);
+
+}  // namespace dcv::rcdc

@@ -282,8 +282,27 @@ const ForwardingTable& BgpSimulator::fib(topo::DeviceId device) const {
 }
 
 void BgpSimulator::invalidate_fib(topo::DeviceId device) {
-  const std::lock_guard lock(fib_locks_[device % fib_locks_.size()]);
-  fib_cache_[device].reset();
+  {
+    const std::lock_guard lock(fib_locks_[device % fib_locks_.size()]);
+    fib_cache_[device].reset();
+  }
+  if (changed_mark_.size() < topology_->device_count()) {
+    changed_mark_.resize(topology_->device_count(), 0);
+  }
+  if (changed_mark_[device] == 0) {
+    changed_mark_[device] = 1;
+    changed_list_.push_back(device);
+  }
+}
+
+std::vector<topo::DeviceId> BgpSimulator::take_changed_devices() {
+  std::vector<topo::DeviceId> drained = std::move(changed_list_);
+  changed_list_.clear();
+  for (const topo::DeviceId device : drained) {
+    if (device < changed_mark_.size()) changed_mark_[device] = 0;
+  }
+  std::sort(drained.begin(), drained.end());
+  return drained;
 }
 
 void BgpSimulator::snapshot_state() {

@@ -170,6 +170,14 @@ class BgpSimulator {
   /// initial cold run, or the latest reconverge()).
   [[nodiscard]] int rounds() const { return rounds_; }
 
+  /// Drains the set of devices whose RIB or FIB-programming state changed
+  /// since the previous take_changed_devices() call (construction counts
+  /// every device). The warm-precheck session uses this to bound
+  /// revalidation to the devices a change could have touched. Sorted,
+  /// deduplicated. Call only from the mutating thread (same contract as
+  /// reconverge()).
+  [[nodiscard]] std::vector<topo::DeviceId> take_changed_devices();
+
   /// True if `asn` falls in the private-use range stripped by regional
   /// spines (we treat 64500..65535 as the datacenter-private range; the
   /// regional tier itself uses ASNs below that range).
@@ -237,6 +245,11 @@ class BgpSimulator {
   // fetches.
   mutable std::vector<std::unique_ptr<ForwardingTable>> fib_cache_;
   mutable std::array<std::mutex, 64> fib_locks_;
+
+  // Devices invalidated since the last take_changed_devices() drain
+  // (mark vector dedups; touched only on the mutating thread).
+  std::vector<std::uint8_t> changed_mark_;
+  std::vector<topo::DeviceId> changed_list_;
 };
 
 }  // namespace dcv::routing

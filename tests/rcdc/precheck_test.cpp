@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "topology/clos_builder.hpp"
 
 namespace dcv::rcdc {
@@ -101,6 +104,128 @@ TEST_F(PrecheckTest, RolloutStopsAtFirstRejection) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_TRUE(results[0].approved);
   EXPECT_FALSE(results[1].approved);
+}
+
+TEST(PrecheckThreads, ZeroResolvesToAHardwareAwareDefault) {
+  const unsigned resolved = resolve_precheck_threads(0);
+  EXPECT_GE(resolved, 1u);
+  EXPECT_LE(resolved, 16u);
+  // An explicit count is taken at face value.
+  EXPECT_EQ(resolve_precheck_threads(3), 3u);
+  EXPECT_EQ(resolve_precheck_threads(64), 64u);
+}
+
+// The warm serving session must be semantically indistinguishable from
+// the cold clone-per-check pipeline — same verdicts, same counts, same
+// introduced violations — while revalidating only the diverged devices.
+class PrecheckSessionTest : public PrecheckTest {
+ protected:
+  static void expect_same(const PrecheckResult& warm,
+                          const PrecheckResult& cold) {
+    EXPECT_EQ(warm.approved, cold.approved) << warm.description;
+    EXPECT_EQ(warm.baseline_violations, cold.baseline_violations);
+    EXPECT_EQ(warm.post_change_violations, cold.post_change_violations);
+    ASSERT_EQ(warm.introduced.size(), cold.introduced.size());
+    for (const Violation& violation : cold.introduced) {
+      EXPECT_NE(std::find(warm.introduced.begin(), warm.introduced.end(),
+                          violation),
+                warm.introduced.end());
+    }
+  }
+};
+
+TEST_F(PrecheckSessionTest, MatchesThePipelineVerdictForVerdict) {
+  const PrecheckPipeline pipeline(topology_);
+  PrecheckSession session(topology_);
+  const std::vector<NetworkChange> probes = {
+      reassign_asn("renumber ToR1", id("ToR1"), 64900),
+      shut_links("shut ToR1-A1", {*topology_.find_link(id("ToR1"), id("A1"))}),
+      NetworkChange{.description = "no-op", .apply = [](topo::Topology&) {}},
+  };
+  for (const NetworkChange& change : probes) {
+    expect_same(session.check(change), pipeline.check(change));
+  }
+}
+
+TEST_F(PrecheckSessionTest, ChecksAreIndependentDespiteTheSharedEmulator) {
+  PrecheckSession session(topology_);
+  const auto bad = shut_links(
+      "shut", {*topology_.find_link(id("ToR1"), id("A1"))});
+  const auto good = reassign_asn("renumber", id("ToR1"), 64900);
+
+  EXPECT_FALSE(session.check(bad).approved);
+  // The rejected change must have been rolled back: the same good change
+  // still sees the pristine baseline.
+  const auto after = session.check(good);
+  EXPECT_TRUE(after.approved);
+  EXPECT_EQ(after.baseline_violations, 0u);
+  EXPECT_FALSE(session.check(bad).approved);  // and the bad one still fails
+  EXPECT_EQ(session.checks_run(), 3u);
+}
+
+TEST_F(PrecheckSessionTest, BatchResultsEqualIndividualChecks) {
+  PrecheckSession batched(topology_);
+  PrecheckSession individual(topology_);
+  const std::vector<NetworkChange> changes = {
+      reassign_asn("renumber ToR1", id("ToR1"), 64900),
+      shut_links("shut ToR1-A1", {*topology_.find_link(id("ToR1"), id("A1"))}),
+      reassign_asn("renumber ToR3", id("ToR3"), 64901),
+  };
+  const auto batch = batched.check_batch(changes);
+  ASSERT_EQ(batch.size(), changes.size());
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    expect_same(batch[i], individual.check(changes[i]));
+  }
+  EXPECT_TRUE(batch[0].approved);
+  EXPECT_FALSE(batch[1].approved);
+  EXPECT_TRUE(batch[2].approved);
+}
+
+TEST_F(PrecheckSessionTest, RevalidatesOnlyDivergedDevices) {
+  PrecheckSession session(topology_);
+  // A local ASN renumber leaves most FIBs fingerprint-identical; the
+  // session must skip those devices rather than revalidating the fabric.
+  (void)session.check(reassign_asn("renumber ToR1", id("ToR1"), 64900));
+  EXPECT_GT(session.devices_skipped(), 0u);
+  EXPECT_LT(session.devices_revalidated(),
+            session.devices_revalidated() + session.devices_skipped());
+}
+
+TEST_F(PrecheckSessionTest, ThrowingChangeReportsErrorAndRecovers) {
+  PrecheckSession session(topology_);
+  const NetworkChange broken{
+      .description = "explodes",
+      .apply = [](topo::Topology&) { throw std::runtime_error("bad plan"); }};
+  const auto result = session.check(broken);
+  EXPECT_FALSE(result.approved);
+  EXPECT_NE(result.error.find("bad plan"), std::string::npos);
+  // The session survives and still answers correctly.
+  EXPECT_TRUE(
+      session.check(reassign_asn("renumber", id("ToR1"), 64900)).approved);
+}
+
+TEST_F(PrecheckSessionTest, ShapeChangingChangesAreRefused) {
+  PrecheckSession session(topology_);
+  const NetworkChange grow{
+      .description = "add a device",
+      .apply = [](topo::Topology& emulated) {
+        emulated.add_device("intruder", topo::DeviceRole::kLeaf, 65432);
+      }};
+  const auto result = session.check(grow);
+  EXPECT_FALSE(result.approved);
+  EXPECT_NE(result.error.find("shape"), std::string::npos);
+  EXPECT_TRUE(
+      session.check(reassign_asn("renumber", id("ToR1"), 64900)).approved);
+}
+
+TEST_F(PrecheckSessionTest, PreexistingDriftStaysWithTheBaseline) {
+  topo::apply_figure3_failures(topology_);
+  PrecheckSession session(topology_);
+  EXPECT_GT(session.baseline_violations(), 0u);
+  const auto result = session.check(NetworkChange{
+      .description = "no-op", .apply = [](topo::Topology&) {}});
+  EXPECT_TRUE(result.approved);
+  EXPECT_EQ(result.post_change_violations, result.baseline_violations);
 }
 
 }  // namespace

@@ -1,0 +1,79 @@
+// FastEnginePool: leases hand out distinct engines, block when exhausted,
+// and release on destruction — the concurrency substrate of the gate's
+// POST /nsg-check endpoint.
+#include "secguru/engine_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace dcv::secguru {
+namespace {
+
+TEST(FastEnginePool, HandsOutDistinctEnginesAndRecycles) {
+  FastEnginePool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.available(), 2u);
+  {
+    const auto first = pool.acquire();
+    const auto second = pool.acquire();
+    EXPECT_NE(&*first, &*second);
+    EXPECT_EQ(pool.available(), 0u);
+  }
+  EXPECT_EQ(pool.available(), 2u);
+  // Recycled engines keep their identity (and thus their warm caches).
+  const auto again = pool.acquire();
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(FastEnginePool, ZeroSizeStillYieldsOneEngine) {
+  FastEnginePool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(FastEnginePool, AcquireBlocksUntilALeaseReturns) {
+  FastEnginePool pool(1);
+  std::optional<FastEnginePool::Lease> held(pool.acquire());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    const auto lease = pool.acquire();
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());  // still blocked on the only engine
+  held.reset();                   // release
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(FastEnginePool, ConcurrentLeasesNeverOversubscribe) {
+  constexpr std::size_t kEngines = 2;
+  FastEnginePool pool(kEngines);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> users;
+  for (int i = 0; i < 8; ++i) {
+    users.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        const auto lease = pool.acquire();
+        const int now = ++inside;
+        int snapshot = peak.load();
+        while (now > snapshot &&
+               !peak.compare_exchange_weak(snapshot, now)) {
+        }
+        --inside;
+      }
+    });
+  }
+  for (auto& user : users) user.join();
+  EXPECT_LE(peak.load(), static_cast<int>(kEngines));
+  EXPECT_EQ(pool.available(), kEngines);
+}
+
+}  // namespace
+}  // namespace dcv::secguru

@@ -25,6 +25,7 @@
 
 #include "net/error.hpp"
 #include "rcdc/precheck.hpp"
+#include "rcdc/precheck_io.hpp"
 #include "topology/topology_io.hpp"
 
 namespace {
@@ -44,94 +45,6 @@ std::string slurp(const std::string& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
-}
-
-/// One primitive operation of a change.
-struct Operation {
-  enum class Kind { kSetAsn, kShutLink, kDownLink } kind;
-  std::string a;
-  std::string b;  // second device, or the ASN text for kSetAsn
-};
-
-std::vector<rcdc::NetworkChange> parse_plan(const std::string& text) {
-  std::vector<std::pair<std::string, std::vector<Operation>>> raw;
-  std::istringstream in(text);
-  std::string line;
-  int line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    std::istringstream tokens(line);
-    std::string keyword;
-    if (!(tokens >> keyword) || keyword[0] == '#') continue;
-    if (keyword == "change") {
-      std::string description;
-      std::getline(tokens, description);
-      if (!description.empty() && description.front() == ' ') {
-        description.erase(0, 1);
-      }
-      raw.emplace_back(description, std::vector<Operation>{});
-      continue;
-    }
-    if (raw.empty()) {
-      throw ParseError("plan line " + std::to_string(line_number) +
-                       ": operation before any 'change'");
-    }
-    Operation op;
-    if (keyword == "set-asn") {
-      op.kind = Operation::Kind::kSetAsn;
-    } else if (keyword == "shut-link") {
-      op.kind = Operation::Kind::kShutLink;
-    } else if (keyword == "down-link") {
-      op.kind = Operation::Kind::kDownLink;
-    } else {
-      throw ParseError("plan line " + std::to_string(line_number) +
-                       ": unknown operation '" + keyword + "'");
-    }
-    if (!(tokens >> op.a >> op.b)) {
-      throw ParseError("plan line " + std::to_string(line_number) +
-                       ": expected two arguments");
-    }
-    raw.back().second.push_back(std::move(op));
-  }
-
-  std::vector<rcdc::NetworkChange> plan;
-  for (auto& [description, operations] : raw) {
-    plan.push_back(rcdc::NetworkChange{
-        .description = description,
-        .apply = [operations = std::move(operations)](
-                     topo::Topology& emulated) {
-          const auto device = [&](const std::string& name) {
-            const auto id = emulated.find_device(name);
-            if (!id) throw ParseError("unknown device '" + name + "'");
-            return *id;
-          };
-          for (const Operation& op : operations) {
-            switch (op.kind) {
-              case Operation::Kind::kSetAsn:
-                emulated.set_asn(device(op.a),
-                                 static_cast<topo::Asn>(
-                                     std::stoul(op.b)));
-                break;
-              case Operation::Kind::kShutLink:
-              case Operation::Kind::kDownLink: {
-                const auto link =
-                    emulated.find_link(device(op.a), device(op.b));
-                if (!link) {
-                  throw ParseError("no link " + op.a + " <-> " + op.b);
-                }
-                if (op.kind == Operation::Kind::kShutLink) {
-                  emulated.set_bgp_state(
-                      *link, topo::BgpSessionState::kAdminShutdown);
-                } else {
-                  emulated.set_link_state(*link, topo::LinkState::kDown);
-                }
-                break;
-              }
-            }
-          }
-        }});
-  }
-  return plan;
 }
 
 }  // namespace
@@ -173,7 +86,8 @@ int main(int argc, char** argv) {
   try {
     const topo::Topology production =
         topo::parse_topology(slurp(topology_path));
-    const auto plan = parse_plan(slurp(plan_path));
+    const auto plan =
+        rcdc::parse_change_plan(slurp(plan_path), production);
     const rcdc::PrecheckPipeline pipeline(production);
     const auto results = pipeline.check_rollout(plan);
 

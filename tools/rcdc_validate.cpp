@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dist/coordinator.hpp"
+#include "gate/gate_service.hpp"
 #include "dist/process.hpp"
 #include "dist/report.hpp"
 #include "dist/transport.hpp"
@@ -78,7 +79,14 @@ void usage() {
       "  --serve PORT         HTTP telemetry on PORT (0 = ephemeral):\n"
       "                       /metrics /metrics.json /healthz /readyz\n"
       "                       /tracez; runs cycles until SIGINT/SIGTERM\n"
-      "                       unless --cycles bounds them\n"
+      "                       unless --cycles bounds them. Non-distributed\n"
+      "                       serving also mounts the change gate:\n"
+      "                       POST /precheck (warm emulated prechecks,\n"
+      "                       coalesced into batches), POST /nsg-check\n"
+      "                       (pooled SecGuru), GET /gatez\n"
+      "  --http-workers N     HTTP handler threads (default 4)\n"
+      "  --http-queue N       request admission queue; beyond it requests\n"
+      "                       are answered 429 (default 32)\n"
       "  --cycles N           run N monitoring cycles (0 = until signal;\n"
       "                       default 1 without --serve)\n"
       "  --interval-ms N      pause between cycles (default 0)\n"
@@ -100,6 +108,8 @@ void usage() {
       "  --ready-max-breaker-opens N  tolerated opens per cycle (def 0)\n"
       "  --ready-max-age-sec N  503 when the last cycle is older than N\n"
       "                       seconds (default 0 = disabled)\n"
+      "  --ready-max-queue-saturation T  503 when a work queue (pipeline\n"
+      "                       or HTTP admission) sits above T (def 0.9)\n"
       "distributed validation (coordinator/worker fleet; enabled by\n"
       "--workers or --listen; combines with --cycles/--serve/--json):\n"
       "  --workers N          spawn N local dcv_worker processes and shard\n"
@@ -240,6 +250,8 @@ int main(int argc, char** argv) {
   std::uint64_t metrics_flush_sec = 0;
   bool serve_set = false;
   std::uint16_t serve_port = 0;
+  unsigned http_workers = 4;
+  std::size_t http_queue = 32;
   bool cycles_given = false;
   std::uint64_t cycles = 0;
   std::chrono::milliseconds cycle_interval{0};
@@ -368,6 +380,10 @@ int main(int argc, char** argv) {
     } else if (flag == "--serve") {
       serve_set = true;
       serve_port = static_cast<std::uint16_t>(count_value());
+    } else if (flag == "--http-workers") {
+      http_workers = static_cast<unsigned>(count_value());
+    } else if (flag == "--http-queue") {
+      http_queue = count_value();
     } else if (flag == "--cycles") {
       cycles_given = true;
       cycles = count_value();
@@ -420,6 +436,8 @@ int main(int argc, char** argv) {
       readiness.max_breaker_opens = count_value();
     } else if (flag == "--ready-max-age-sec") {
       readiness.max_cycle_age = std::chrono::seconds(count_value());
+    } else if (flag == "--ready-max-queue-saturation") {
+      readiness.max_queue_saturation = double_value();
     } else if (flag == "--metrics-format") {
       metrics_format = value();
       if (metrics_format != "prom" && metrics_format != "json") {
@@ -744,16 +762,36 @@ int main(int argc, char** argv) {
       rcdc::MonitoringPipeline pipeline(metadata, *active, factory,
                                         pipeline_config);
 
+      std::unique_ptr<gate::GateService> gate_service;
       std::unique_ptr<obs::TelemetryServer> server;
       if (serve_set) {
         obs::TelemetryServerConfig server_config;
         server_config.port = serve_port;
+        server_config.worker_threads = http_workers;
+        server_config.max_queued_requests = http_queue;
+        server_config.http_metrics = &registry;
+        // The change gate rides on the telemetry server: one warm precheck
+        // session + NSG engine pool, serving POST /precheck and
+        // POST /nsg-check next to the scrape endpoints.
+        gate::GateConfig gate_config;
+        gate_config.metrics = &registry;
+        gate_service =
+            std::make_unique<gate::GateService>(topology, gate_config);
+        server_config.mount = [&gate_service](obs::HttpServer& http) {
+          gate_service->attach(http);
+        };
         server = std::make_unique<obs::TelemetryServer>(
             &registry, trace.get(),
-            rcdc::make_pipeline_probe(pipeline, readiness), server_config);
+            gate_service->wrap_probe(
+                rcdc::make_pipeline_probe(pipeline, readiness),
+                readiness.max_queue_saturation),
+            server_config);
         std::cerr << "telemetry: /metrics /metrics.json /healthz /readyz "
                      "/tracez on port "
                   << server->port() << "\n";
+        std::cerr << "gate: POST /precheck, POST /nsg-check, GET /gatez "
+                     "(base epoch "
+                  << gate_service->session().base_epoch() << ")\n";
       }
       std::signal(SIGINT, on_signal);
       std::signal(SIGTERM, on_signal);
