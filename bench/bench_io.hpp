@@ -32,6 +32,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
 
 namespace dcv::benchio {
 
@@ -98,6 +99,14 @@ class BenchReport {
     registry_ = registry;
   }
 
+  /// Writable-registry variant: additionally refreshes the
+  /// dcv_process_*_rss_bytes gauges right before the snapshot is taken, so
+  /// the embedded registry carries the process footprint at report time.
+  void attach_registry(obs::MetricsRegistry* registry) {
+    registry_ = registry;
+    mutable_registry_ = registry;
+  }
+
   [[nodiscard]] std::string to_json() const {
     std::string out = "{\"schema\":\"dcv-bench-v1\",\"bench\":\"" +
                       json_escape(name_) + "\",\"workload\":{";
@@ -109,7 +118,7 @@ class BenchReport {
     }
     out += "},\"metrics\":{";
     first = true;
-    for (const Metric& m : metrics_) {
+    const auto emit = [&](const Metric& m) {
       if (!first) out += ',';
       first = false;
       out += "\"" + json_escape(m.name) + "\":{\"unit\":\"" +
@@ -121,8 +130,22 @@ class BenchReport {
              ",\"p90\":" + format_number(m.p90) +
              ",\"p99\":" + format_number(m.p99) +
              ",\"max\":" + format_number(m.max) + "}";
-    }
+    };
+    for (const Metric& m : metrics_) emit(m);
+    // Every report carries the process footprint at serialization time;
+    // "none" keeps the comparator from gating on allocator noise.
+    const obs::ProcessStats stats = obs::read_process_stats();
+    const auto footprint = [](std::string name, double v) {
+      return Metric{std::move(name), "bytes", "none", 1, v, v, v, v, v, v};
+    };
+    emit(footprint("process_rss_bytes",
+                   static_cast<double>(stats.rss_bytes)));
+    emit(footprint("process_peak_rss_bytes",
+                   static_cast<double>(stats.peak_rss_bytes)));
     out += "},\"registry\":";
+    if (mutable_registry_ != nullptr) {
+      obs::sample_process_gauges(*mutable_registry_);
+    }
     out += registry_ != nullptr ? obs::write_json(*registry_) : "null";
     return out + "}";
   }
@@ -160,6 +183,7 @@ class BenchReport {
   std::vector<std::pair<std::string, std::string>> workload_;
   std::vector<Metric> metrics_;
   const obs::MetricsRegistry* registry_ = nullptr;
+  obs::MetricsRegistry* mutable_registry_ = nullptr;
 };
 
 /// Extracts "--json OUT" from argv (compacting argc/argv so benches that

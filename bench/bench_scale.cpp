@@ -1,0 +1,230 @@
+// Route-state footprint at fabric scale: the memory half of the compaction
+// work (interned AS-paths, per-Rib hop arenas, flat sorted entry records).
+//
+// Sweeps Clos fabrics of ~1k / ~5k / ~20k devices (~50k behind --large)
+// and reports, per tier:
+//
+//   * compact resident route-state bytes per device — the flat RibEntry
+//     records, the per-device hop arenas, and the shared PathTable;
+//   * the same converged state priced in the pre-compaction layout (one
+//     std::map node per route owning its as_path/next_hop vectors — the
+//     exact model ReferenceBgpSimulator::route_state_bytes() uses), so the
+//     reduction is measured against identical route content rather than a
+//     different convergence result;
+//   * cold-convergence throughput in devices per second;
+//   * process RSS, via the obs process gauges.
+//
+// The model is a lower bound on the old layout (vectors priced at size,
+// not grown capacity), which makes the gated reduction ratio conservative.
+// At the smallest tier the Jacobi oracle actually runs: every device's RIB
+// and FIB must match the compact engine bit-for-bit (exit 3 otherwise),
+// and the oracle's self-reported bytes validate the model. Larger tiers
+// are compact-only — the pre-compaction representation cannot hold a
+// 20k-device fabric's route state in CI-sized memory, which is the point.
+//
+// Acceptance gate: >= 2x bytes-per-device reduction at the largest tier
+// run (the ~20k tier by default). Exit 2 on failure.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
+#include "routing/bgp_reference.hpp"
+#include "routing/bgp_sim.hpp"
+#include "topology/clos_builder.hpp"
+
+namespace {
+
+using namespace dcv;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Mirror of ReferenceBgpSimulator's pre-compaction entry (private there):
+/// two owned heap vectors, the flags, identical layout — so sizeof() prices
+/// the old representation without materializing it at fabric scale.
+struct OldHeapEntry {
+  std::vector<topo::Asn> as_path;
+  std::vector<topo::DeviceId> next_hops;
+  bool connected = false;
+  topo::DatacenterId origin_datacenter = 0;
+};
+using OldMapRib = std::map<net::Prefix, OldHeapEntry>;
+
+/// Bytes the converged route state of `sim` would occupy in the old
+/// heap-per-entry layout: per route one red-black tree node (key + value +
+/// ~3 pointers and color) plus the two owned vectors at exact size. Same
+/// per-entry model as ReferenceBgpSimulator::route_state_bytes(), applied
+/// to the compact engine's (identical) fixpoint.
+std::size_t modeled_old_bytes(const routing::BgpSimulator& sim,
+                              std::size_t device_count) {
+  std::size_t total = device_count * sizeof(OldMapRib);
+  for (topo::DeviceId d = 0; d < device_count; ++d) {
+    const routing::Rib& rib = sim.rib(d);
+    for (const routing::RibEntry& entry : rib) {
+      total += sizeof(net::Prefix) + sizeof(OldHeapEntry) + 4 * sizeof(void*);
+      total += entry.as_path().size() * sizeof(topo::Asn);
+      total += rib.next_hops(entry).size() * sizeof(topo::DeviceId);
+    }
+  }
+  return total;
+}
+
+struct Tier {
+  const char* name;        // metric prefix, e.g. "t20k"
+  std::uint32_t clusters;  // ~20 devices per cluster in the shape below
+  bool differential;       // run the Jacobi oracle and compare everything
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_out = benchio::extract_json_flag(argc, argv);
+  bool large = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--large") == 0) large = true;
+  }
+  benchio::BenchReport report("bench_scale");
+  obs::MetricsRegistry registry;
+
+  // One ToR per cluster keeps the prefix count (and so the O(devices x
+  // prefixes) route-entry total) at devices/20: the sweep scales fabric
+  // breadth without the quadratic blowup that would dwarf CI memory at the
+  // top tier. 42 shared devices (38 plane spines + 4 regionals) on top of
+  // 20 per cluster.
+  std::vector<Tier> tiers{{"t1k", 48, true},
+                          {"t5k", 248, false},
+                          {"t20k", 998, false}};
+  if (large) tiers.push_back({"t50k", 2498, false});
+
+  const unsigned threads = 4;
+  const routing::BgpSimOptions options{.threads = threads};
+  std::printf("== route-state footprint sweep (%zu tiers, %u threads) ==\n\n",
+              tiers.size(), threads);
+
+  double gate_ratio = 0.0;
+  std::size_t largest_devices = 0;
+  for (const Tier& tier : tiers) {
+    const topo::ClosParams params{.clusters = tier.clusters,
+                                  .tors_per_cluster = 1,
+                                  .leaves_per_cluster = 19,
+                                  .spines_per_plane = 2,
+                                  .regional_spines = 4};
+    const topo::Topology topology = topo::build_clos(params);
+    const std::size_t devices = topology.device_count();
+    const std::string prefix = tier.name;
+
+    const std::size_t table_before = routing::global_path_table().bytes();
+    const auto start = std::chrono::steady_clock::now();
+    const routing::BgpSimulator sim(topology, nullptr, &registry, options);
+    const double converge_s = seconds_since(start);
+    const double devices_per_sec = static_cast<double>(devices) / converge_s;
+
+    // Charge this tier the rib storage plus the path-table growth its own
+    // interning caused (the table is process-global and tiers share paths).
+    const std::size_t table_delta =
+        routing::global_path_table().bytes() - table_before;
+    const std::size_t compact_bytes = sim.route_state_bytes() + table_delta;
+    const std::size_t old_bytes = modeled_old_bytes(sim, devices);
+    const double compact_per_device =
+        static_cast<double>(compact_bytes) / static_cast<double>(devices);
+    const double old_per_device =
+        static_cast<double>(old_bytes) / static_cast<double>(devices);
+    const double ratio = old_per_device / compact_per_device;
+    gate_ratio = ratio;  // the last (largest) tier gates
+    largest_devices = devices;
+
+    const obs::ProcessStats stats = obs::read_process_stats();
+    std::printf("%s: %zu devices, %zu links, converged in %.2f s "
+                "(%.0f devices/s)\n",
+                tier.name, devices, topology.link_count(), converge_s,
+                devices_per_sec);
+    std::printf("  compact route state: %8.1f MiB  (%7.0f bytes/device)\n",
+                static_cast<double>(compact_bytes) / (1024.0 * 1024.0),
+                compact_per_device);
+    std::printf("  old-layout model   : %8.1f MiB  (%7.0f bytes/device)\n",
+                static_cast<double>(old_bytes) / (1024.0 * 1024.0),
+                old_per_device);
+    std::printf("  reduction: %.2fx   rss: %.1f MiB\n", ratio,
+                static_cast<double>(stats.rss_bytes) / (1024.0 * 1024.0));
+
+    report.value(prefix + "_devices_per_sec", "dev/s", devices_per_sec,
+                 "higher");
+    report.value(prefix + "_compact_bytes_per_device", "bytes",
+                 compact_per_device, "lower");
+    report.value(prefix + "_old_bytes_per_device", "bytes", old_per_device,
+                 "none");
+    report.value(prefix + "_reduction_ratio", "x", ratio, "higher");
+    report.value(prefix + "_rss_bytes", "bytes",
+                 static_cast<double>(stats.rss_bytes), "none");
+
+    if (tier.differential) {
+      // The oracle is affordable at this tier: pin the compact engine to
+      // bit-identical RIB and FIB fixpoints on every device, and check the
+      // old-layout model against the oracle's own accounting (the model
+      // prices vectors at size, the oracle at capacity, so model <= actual).
+      const routing::ReferenceBgpSimulator ref(topology);
+      if (sim.rounds() != ref.rounds()) {
+        std::printf("FATAL: engines disagree on rounds (%d vs %d)\n",
+                    sim.rounds(), ref.rounds());
+        return 3;
+      }
+      for (const topo::Device& device : topology.devices()) {
+        if (sim.rib(device.id) != ref.rib(device.id)) {
+          std::printf("FATAL: RIB mismatch at %s\n", device.name.c_str());
+          return 3;
+        }
+        if (sim.fib(device.id) != ref.fib(device.id)) {
+          std::printf("FATAL: FIB mismatch at %s\n", device.name.c_str());
+          return 3;
+        }
+      }
+      const std::size_t oracle_bytes = ref.route_state_bytes();
+      if (old_bytes > oracle_bytes) {
+        std::printf("FATAL: old-layout model (%zu) exceeds the oracle's "
+                    "actual bytes (%zu)\n",
+                    old_bytes, oracle_bytes);
+        return 3;
+      }
+      std::printf("  differential: %zu devices OK; oracle actual %.1f MiB "
+                  "(model is a %.2fx lower bound)\n",
+                  devices,
+                  static_cast<double>(oracle_bytes) / (1024.0 * 1024.0),
+                  static_cast<double>(oracle_bytes) /
+                      static_cast<double>(old_bytes));
+      report.value(prefix + "_oracle_bytes_per_device", "bytes",
+                   static_cast<double>(oracle_bytes) /
+                       static_cast<double>(devices),
+                   "none");
+    }
+    std::printf("\n");
+  }
+
+  report.workload("tiers", static_cast<double>(tiers.size()));
+  report.workload("largest_devices", static_cast<double>(largest_devices));
+  report.workload("threads", static_cast<double>(threads));
+  report.workload("tors_per_cluster", 1.0);
+  report.workload("leaves_per_cluster", 19.0);
+
+  const bool pass = gate_ratio >= 2.0;
+  std::printf("acceptance: >= 2x bytes/device reduction at %zu devices: "
+              "%.2fx %s\n",
+              largest_devices, gate_ratio, pass ? "OK" : "FAIL");
+
+  if (!json_out.empty()) {
+    report.attach_registry(&registry);
+    if (!report.write(json_out)) return 1;
+  }
+  return pass ? 0 : 2;
+}

@@ -213,6 +213,16 @@ void Coordinator::handle_result(std::size_t worker_index, ResultMsg msg) {
   if (shard_elapsed_ns_ != nullptr) {
     shard_elapsed_ns_->observe(static_cast<double>(msg.elapsed_ns));
   }
+  // Feed the shard's wall time back into the carving cost model: the next
+  // cycle sizes shards by estimated time, not device count.
+  {
+    std::vector<topo::DeviceId> shard_devices;
+    shard_devices.reserve(shard.devices.size());
+    for (const DeviceWork& work : shard.devices) {
+      shard_devices.push_back(work.device);
+    }
+    balancer_.record(shard_devices, msg.elapsed_ns);
+  }
   if (config_.metrics != nullptr && !msg.registry_blob.empty()) {
     // Fold the worker's own registry into ours under {worker=<id>}; a
     // malformed blob is dropped (the validation result still counts).
@@ -436,30 +446,38 @@ DistributedSummary Coordinator::run_cycle() {
   for (Worker& worker : workers_) worker.active_shard.reset();
 
   // Carve the device space into shards, each carrying its devices' full
-  // contract sets from the coordinator-owned plan. Shards are cut at the
-  // device-count target OR at a wire-size budget, whichever comes first:
-  // spine/leaf devices of a big fabric can each carry thousands of
+  // contract sets from the coordinator-owned plan. Shards are cut at a
+  // per-shard *cost* budget OR at a wire-size budget, whichever comes
+  // first: spine/leaf devices of a big fabric can each carry thousands of
   // contracts, and one assign frame must always stay far below the
   // kMaxPayload cap that workers (rightly) refuse to decode.
+  //
+  // The cost budget comes from the feedback balancer: per-device EWMA
+  // estimates derived from prior cycles' shard wall times. Before any
+  // feedback exists every device costs the same and the carve degrades to
+  // the equal-device-count chunking used previously.
   const rcdc::ContractPlanPtr plan = generator_.plan();
   const auto& devices = metadata_->topology().devices();
   const std::size_t shard_count = std::max<std::size_t>(
       1, static_cast<std::size_t>(config_.shards_per_worker) *
              std::max<std::size_t>(1, live_workers()));
-  const std::size_t chunk =
-      std::max<std::size_t>(1, (devices.size() + shard_count - 1) /
-                                   std::max<std::size_t>(1, shard_count));
+  double total_cost = 0.0;
+  for (const auto& device : devices) total_cost += balancer_.cost(device.id);
+  const double cost_budget =
+      total_cost / static_cast<double>(std::max<std::size_t>(1, shard_count));
   constexpr std::size_t kShardByteBudget = 8u << 20;  // 1/8 of kMaxPayload
   shards_.clear();
   pending_shards_.clear();
   Shard shard;
   std::size_t shard_bytes = 0;
-  const auto cut_shard = [this, &shard, &shard_bytes] {
+  double shard_cost = 0.0;
+  const auto cut_shard = [this, &shard, &shard_bytes, &shard_cost] {
     if (shard.devices.empty()) return;
     shard.id = static_cast<std::uint32_t>(shards_.size());
     shards_.push_back(std::move(shard));
     shard = Shard{};
     shard_bytes = 0;
+    shard_cost = 0.0;
   };
   for (const auto& device : devices) {
     DeviceWork work;
@@ -473,13 +491,16 @@ DistributedSummary Coordinator::run_cycle() {
     for (const rcdc::Contract& contract : work.contracts) {
       work_bytes += 20 + 4 * contract.expected_next_hops.size();
     }
+    // Cut *before* exceeding the budget (uniform costs: this is exactly the
+    // old `size >= ceil(n / shard_count)` device-count cut).
     if (!shard.devices.empty() &&
-        (shard.devices.size() >= chunk ||
+        (shard_cost >= cost_budget ||
          shard_bytes + work_bytes > kShardByteBudget)) {
       cut_shard();
     }
     shard.devices.push_back(std::move(work));
     shard_bytes += work_bytes;
+    shard_cost += balancer_.cost(device.id);
   }
   cut_shard();
   for (std::size_t i = 0; i < shards_.size(); ++i) {

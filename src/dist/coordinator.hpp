@@ -13,6 +13,7 @@
 
 #include "dist/clock_sync.hpp"
 #include "dist/messages.hpp"
+#include "dist/shard_balancer.hpp"
 #include "dist/transport.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
@@ -178,6 +179,10 @@ class Coordinator {
     return fingerprints_;
   }
 
+  /// The feedback cost model steering next-cycle shard carving. Exposed
+  /// for inspection: cost estimates are internal state, not a report.
+  [[nodiscard]] const ShardBalancer& balancer() const { return balancer_; }
+
   /// Thread-safe snapshot for the fleet /readyz probe.
   struct Health {
     std::size_t workers_live = 0;
@@ -267,6 +272,9 @@ class Coordinator {
   std::vector<Shard> shards_;
   std::deque<std::size_t> pending_shards_;
   std::unordered_map<topo::DeviceId, std::uint64_t> fingerprints_;
+  /// Per-device cost estimates from last cycles' shard timings; biases the
+  /// next cycle's carve toward equal estimated time per shard.
+  ShardBalancer balancer_;
 
   std::atomic<std::size_t> workers_live_{0};
   std::atomic<std::uint64_t> workers_lost_total_{0};

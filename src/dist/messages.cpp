@@ -1,5 +1,7 @@
 #include "dist/messages.hpp"
 
+#include <span>
+
 #include "net/bytes.hpp"
 
 namespace dcv::dist {
@@ -19,8 +21,9 @@ bool get_prefix(net::ByteReader& reader, net::Prefix& out) {
   return true;
 }
 
-void put_hops(net::ByteWriter& writer,
-              const std::vector<topo::DeviceId>& hops) {
+// Accepts any contiguous hop view (Rule vectors, arena-backed Rib slices)
+// so encoding never forces a copy of compact route state.
+void put_hops(net::ByteWriter& writer, std::span<const topo::DeviceId> hops) {
   writer.u32(static_cast<std::uint32_t>(hops.size()));
   for (const topo::DeviceId hop : hops) writer.u32(hop);
 }

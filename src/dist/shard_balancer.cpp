@@ -1,0 +1,30 @@
+#include "dist/shard_balancer.hpp"
+
+namespace dcv::dist {
+
+void ShardBalancer::record(std::span<const topo::DeviceId> devices,
+                           std::uint64_t elapsed_ns) {
+  if (devices.empty() || elapsed_ns == 0) return;
+  const double share = static_cast<double>(elapsed_ns) /
+                       static_cast<double>(devices.size());
+  for (const topo::DeviceId device : devices) {
+    const auto [it, inserted] = estimates_.try_emplace(device, share);
+    if (inserted) {
+      estimate_sum_ += share;
+    } else {
+      estimate_sum_ -= it->second;
+      it->second += alpha_ * (share - it->second);
+      estimate_sum_ += it->second;
+    }
+  }
+  ++observations_;
+}
+
+double ShardBalancer::cost(topo::DeviceId device) const {
+  const auto it = estimates_.find(device);
+  if (it != estimates_.end()) return it->second;
+  if (estimates_.empty()) return 1.0;
+  return estimate_sum_ / static_cast<double>(estimates_.size());
+}
+
+}  // namespace dcv::dist

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "topology/device.hpp"
+
+namespace dcv::dist {
+
+/// Feedback-driven cost model for shard carving.
+///
+/// Workers report wall time per completed shard (the figure feeding
+/// dcv_dist_shard_elapsed_ns); the balancer attributes each observation
+/// evenly across the shard's devices and folds it into a per-device EWMA.
+/// The next cycle then carves shards to equal *estimated time* instead of
+/// equal device count, so a fabric whose spines validate 10x slower than
+/// its ToRs stops bottlenecking every cycle on whichever worker drew the
+/// spine-heavy shard.
+///
+/// Even-split attribution is deliberately coarse — a shard mixes fast and
+/// slow devices — but it converges: devices that keep landing in slow
+/// shards accumulate cost, get carved into smaller shards, and subsequent
+/// observations attribute their time more precisely.
+class ShardBalancer {
+ public:
+  /// `alpha` weights the newest observation in the EWMA; higher adapts
+  /// faster but chases noise.
+  explicit ShardBalancer(double alpha = 0.3) : alpha_(alpha) {}
+
+  /// Folds one completed shard's wall time into the model. Empty shards
+  /// and zero timings (failed shards report 0) are ignored.
+  void record(std::span<const topo::DeviceId> devices,
+              std::uint64_t elapsed_ns);
+
+  /// Estimated validation cost of one device, in nanoseconds. Devices
+  /// never observed get the mean per-device estimate so newcomers neither
+  /// starve nor dominate a shard; before any feedback exists every device
+  /// costs 1.0, making cost-balanced carving degrade exactly to the
+  /// count-balanced carving used previously.
+  [[nodiscard]] double cost(topo::DeviceId device) const;
+
+  [[nodiscard]] bool has_observations() const { return observations_ > 0; }
+  [[nodiscard]] std::size_t devices_tracked() const {
+    return estimates_.size();
+  }
+
+ private:
+  double alpha_;
+  std::unordered_map<topo::DeviceId, double> estimates_;
+  /// Sum of current estimates, kept incrementally for the O(1) mean that
+  /// prices never-observed devices.
+  double estimate_sum_ = 0.0;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace dcv::dist

@@ -1,0 +1,58 @@
+#include "obs/process_stats.hpp"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace dcv::obs {
+
+ProcessStats read_process_stats() {
+  ProcessStats stats;
+#if defined(__linux__)
+  // statm field 2 is the resident page count; pages, not bytes.
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long size_pages = 0;
+    unsigned long long resident_pages = 0;
+    if (std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages) == 2) {
+      stats.rss_bytes =
+          static_cast<std::uint64_t>(resident_pages) *
+          static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+    }
+    std::fclose(statm);
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes.
+    stats.peak_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    // Linux and the BSDs report KiB.
+    stats.peak_rss_bytes =
+        static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  // Platforms without /proc still get a usable current reading: the peak is
+  // an upper bound and better than exporting 0.
+  if (stats.rss_bytes == 0) stats.rss_bytes = stats.peak_rss_bytes;
+  return stats;
+}
+
+void sample_process_gauges(MetricsRegistry& registry) {
+  const ProcessStats stats = read_process_stats();
+  registry
+      .gauge("dcv_process_rss_bytes",
+             "Current resident set size of this process in bytes")
+      .set(static_cast<double>(stats.rss_bytes));
+  registry
+      .gauge("dcv_process_peak_rss_bytes",
+             "Peak resident set size of this process in bytes")
+      .set(static_cast<double>(stats.peak_rss_bytes));
+}
+
+}  // namespace dcv::obs

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace dcv::obs {
+
+/// Point-in-time memory footprint of this process, as the kernel sees it.
+/// The scale benches gate on these (bytes/device at 20k+ fabrics), so they
+/// must reflect *resident* memory — heap capacity the allocator holds but
+/// never touched does not count.
+struct ProcessStats {
+  /// Current resident set size (/proc/self/statm on Linux), 0 when the
+  /// platform exposes no reading.
+  std::uint64_t rss_bytes = 0;
+  /// High-water resident set size since process start (getrusage
+  /// ru_maxrss).
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+/// Reads the current process stats. Cheap (one small /proc read plus one
+/// syscall) but not hot-path cheap: call at scrape/report time, not per
+/// operation.
+[[nodiscard]] ProcessStats read_process_stats();
+
+/// Registers (idempotently) and refreshes the process memory gauges:
+///
+///   dcv_process_rss_bytes       current resident set size
+///   dcv_process_peak_rss_bytes  peak resident set size
+///
+/// Callers re-invoke at every export point — the /metrics scrape path and
+/// bench report writes do — so the gauges are as fresh as the last reader.
+void sample_process_gauges(MetricsRegistry& registry);
+
+}  // namespace dcv::obs

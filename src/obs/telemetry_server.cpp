@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/export.hpp"
+#include "obs/process_stats.hpp"
 
 namespace dcv::obs {
 
@@ -84,6 +85,11 @@ HttpResponse TelemetryServer::respond(const HttpRequest& request) const {
       return make_response(404, "Not Found", kTextType,
                            "no metrics registry attached\n");
     }
+    // Process memory gauges are sampled at scrape time so every exposition
+    // carries the current footprint; needs the writable registry handle.
+    if (config_.http_metrics != nullptr) {
+      sample_process_gauges(*config_.http_metrics);
+    }
     return make_response(200, "OK", kPrometheusType,
                          write_prometheus(*registry_));
   }
@@ -91,6 +97,9 @@ HttpResponse TelemetryServer::respond(const HttpRequest& request) const {
     if (registry_ == nullptr) {
       return make_response(404, "Not Found", kTextType,
                            "no metrics registry attached\n");
+    }
+    if (config_.http_metrics != nullptr) {
+      sample_process_gauges(*config_.http_metrics);
     }
     return make_response(200, "OK", kJsonType, write_json(*registry_));
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,11 +58,15 @@ struct Contract {
 };
 
 /// True iff an observed next-hop set satisfies the contract's matching mode.
-[[nodiscard]] inline bool hops_satisfy(
-    const std::vector<topo::DeviceId>& actual, const Contract& contract) {
+/// Accepts any sorted next-hop view (Rule vectors, arena-backed Rib slices)
+/// without materializing a copy.
+[[nodiscard]] inline bool hops_satisfy(std::span<const topo::DeviceId> actual,
+                                       const Contract& contract) {
   switch (contract.mode) {
     case MatchMode::kExactSet:
-      return actual == contract.expected_next_hops;
+      return std::equal(actual.begin(), actual.end(),
+                        contract.expected_next_hops.begin(),
+                        contract.expected_next_hops.end());
     case MatchMode::kSubsetAtLeast:
       return actual.size() >= contract.min_next_hops &&
              std::includes(contract.expected_next_hops.begin(),

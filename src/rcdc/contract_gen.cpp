@@ -67,8 +67,9 @@ bool same_datacenter(const MetadataService& metadata, const Device& device,
 
 void tor_contracts(const MetadataService& metadata, const Device& tor,
                    std::vector<Contract>& out) {
-  const auto leaves =
+  const auto leaves_adj =
       metadata.topology().neighbors_with_role(tor.id, DeviceRole::kLeaf);
+  const std::vector<DeviceId> leaves(leaves_adj.begin(), leaves_adj.end());
   out.push_back(default_contract(leaves));
   for (const PrefixFact& fact : metadata.all_prefixes()) {
     if (fact.tor == tor.id) continue;  // "besides the prefix it announces"
@@ -79,8 +80,9 @@ void tor_contracts(const MetadataService& metadata, const Device& tor,
 
 void leaf_contracts(const MetadataService& metadata, const Device& leaf,
                     std::vector<Contract>& out) {
-  const auto spines =
+  const auto spines_adj =
       metadata.topology().neighbors_with_role(leaf.id, DeviceRole::kSpine);
+  const std::vector<DeviceId> spines(spines_adj.begin(), spines_adj.end());
   out.push_back(default_contract(spines));
   for (const PrefixFact& fact : metadata.all_prefixes()) {
     if (!same_datacenter(metadata, leaf, fact)) continue;
@@ -98,7 +100,8 @@ void spine_contracts(const MetadataService& metadata, const Device& spine,
                      std::vector<Contract>& out) {
   const auto regionals = metadata.topology().neighbors_with_role(
       spine.id, DeviceRole::kRegionalSpine);
-  out.push_back(default_contract(regionals));
+  out.push_back(default_contract(
+      std::vector<DeviceId>(regionals.begin(), regionals.end())));
   for (const PrefixFact& fact : metadata.all_prefixes()) {
     if (!same_datacenter(metadata, spine, fact)) continue;
     auto leaves = metadata.spine_downlinks_into(spine.id, fact.cluster);

@@ -137,8 +137,10 @@ class ExpectedTraversal {
     const Device& host = topology.device(fact_->tor);
     if (device.datacenter != host.datacenter) return {};
     switch (device.role) {
-      case DeviceRole::kTor:
-        return topology.neighbors_with_role(v, DeviceRole::kLeaf);
+      case DeviceRole::kTor: {
+        const auto leaves = topology.neighbors_with_role(v, DeviceRole::kLeaf);
+        return {leaves.begin(), leaves.end()};
+      }
       case DeviceRole::kLeaf:
         if (device.cluster == fact_->cluster) return {fact_->tor};
         return metadata_->leaf_uplinks_toward(v, fact_->cluster);

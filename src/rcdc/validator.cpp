@@ -111,7 +111,7 @@ ValidationSummary DatacenterValidator::run(unsigned threads) const {
 }
 
 ValidationSummary DatacenterValidator::run(
-    const std::vector<topo::DeviceId>& devices, unsigned threads) const {
+    std::span<const topo::DeviceId> devices, unsigned threads) const {
   const auto start = std::chrono::steady_clock::now();
   // Clamp the pool to the work available: spawning more workers than
   // devices just burns thread startup for threads that immediately find the

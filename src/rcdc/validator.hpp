@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -73,8 +74,8 @@ class DatacenterValidator {
   /// counted in devices_failed and skipped — the run completes with partial
   /// coverage instead of propagating the failure.
   [[nodiscard]] ValidationSummary run(unsigned threads = 1) const;
-  [[nodiscard]] ValidationSummary run(
-      const std::vector<topo::DeviceId>& devices, unsigned threads) const;
+  [[nodiscard]] ValidationSummary run(std::span<const topo::DeviceId> devices,
+                                      unsigned threads) const;
 
  private:
   const topo::MetadataService* metadata_;

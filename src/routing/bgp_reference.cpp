@@ -33,18 +33,33 @@ ReferenceBgpSimulator::ReferenceBgpSimulator(const topo::Topology& topology,
 
 Rib ReferenceBgpSimulator::rib(topo::DeviceId device) const {
   if (device >= ribs_.size()) throw InvalidArgument("bad device id");
-  std::vector<RibEntry> entries;
-  entries.reserve(ribs_[device].size());
-  for (const auto& [prefix, entry] : ribs_[device]) entries.push_back(entry);
-  return Rib(std::move(entries));
+  PathTable& table = global_path_table();
+  Rib rib;
+  rib.reserve(ribs_[device].size(), 0);
+  for (const auto& [prefix, entry] : ribs_[device]) {
+    rib.append(prefix, table.intern(entry.as_path), entry.next_hops,
+               entry.connected, entry.origin_datacenter);
+  }
+  return rib;  // std::map iterates in prefix order: already sorted
 }
 
 ForwardingTable ReferenceBgpSimulator::fib(topo::DeviceId device) const {
-  if (device >= ribs_.size()) throw InvalidArgument("bad device id");
-  std::vector<RibEntry> entries;
-  entries.reserve(ribs_[device].size());
-  for (const auto& [prefix, entry] : ribs_[device]) entries.push_back(entry);
-  return program_fib(entries, faults_, device);
+  return program_fib(rib(device), faults_, device);
+}
+
+std::size_t ReferenceBgpSimulator::route_state_bytes() const {
+  std::size_t total = ribs_.capacity() * sizeof(MapRib);
+  for (const MapRib& rib : ribs_) {
+    for (const auto& [prefix, entry] : rib) {
+      // One red-black tree node per entry (key + value + ~3 pointers and
+      // color, as libstdc++ lays it out) plus the two owned heap vectors.
+      total += sizeof(net::Prefix) + sizeof(HeapEntry) +
+               4 * sizeof(void*);
+      total += entry.as_path.capacity() * sizeof(topo::Asn);
+      total += entry.next_hops.capacity() * sizeof(topo::DeviceId);
+    }
+  }
+  return total;
 }
 
 void ReferenceBgpSimulator::run() {
@@ -55,19 +70,17 @@ void ReferenceBgpSimulator::run() {
   for (const topo::Device& d : devices) {
     if (d.role == topo::DeviceRole::kTor) {
       for (const net::Prefix& p : d.hosted_prefixes) {
-        ribs_[d.id][p] = RibEntry{.prefix = p,
-                                  .as_path = {},
-                                  .next_hops = {},
-                                  .connected = true,
-                                  .origin_datacenter = d.datacenter};
+        ribs_[d.id][p] = HeapEntry{.as_path = {},
+                                   .next_hops = {},
+                                   .connected = true,
+                                   .origin_datacenter = d.datacenter};
       }
     } else if (d.role == topo::DeviceRole::kRegionalSpine) {
       const auto def = net::Prefix::default_route();
-      ribs_[d.id][def] = RibEntry{.prefix = def,
-                                  .as_path = {},
-                                  .next_hops = {},
-                                  .connected = true,
-                                  .origin_datacenter = topo::kNoDatacenter};
+      ribs_[d.id][def] = HeapEntry{.as_path = {},
+                                   .next_hops = {},
+                                   .connected = true,
+                                   .origin_datacenter = topo::kNoDatacenter};
     }
   }
 
@@ -75,7 +88,7 @@ void ReferenceBgpSimulator::run() {
   // nullopt if its export policy suppresses the route.
   const auto export_path =
       [&](const topo::Device& from, const topo::Device& to,
-          const RibEntry& entry) -> std::optional<std::vector<topo::Asn>> {
+          const HeapEntry& entry) -> std::optional<std::vector<topo::Asn>> {
     std::vector<topo::Asn> path;
     if (entry.connected) {
       path = {from.asn};
@@ -179,14 +192,13 @@ void ReferenceBgpSimulator::run() {
         as_path.reserve(chosen->size() + 1);
         as_path.push_back(d.asn);
         as_path.insert(as_path.end(), chosen->begin(), chosen->end());
-        rib[prefix] = RibEntry{.prefix = prefix,
-                               .as_path = std::move(as_path),
-                               .next_hops = std::move(next_hops),
-                               .connected = false,
-                               .origin_datacenter = origin};
+        rib[prefix] = HeapEntry{.as_path = std::move(as_path),
+                                .next_hops = std::move(next_hops),
+                                .connected = false,
+                                .origin_datacenter = origin};
       }
 
-      // RibEntry::operator== includes origin_datacenter — the historical
+      // HeapEntry::operator== includes origin_datacenter — the historical
       // comparison omitted it and could converge on stale origins.
       if (rib != ribs_[d.id]) changed = true;
       next[d.id] = std::move(rib);

@@ -16,17 +16,26 @@ namespace dcv::routing {
 /// FIBs — but nothing here is incremental, parallel, or allocation-lean.
 ///
 /// One behavioral fix relative to the historical code is included: the
-/// per-round convergence check compares origin_datacenter too (via
-/// RibEntry::operator==), so an origin flip with unchanged path/next-hops
-/// still triggers another round instead of leaving regional-spine hairpin
-/// suppression acting on a stale origin.
+/// per-round convergence check compares origin_datacenter too, so an origin
+/// flip with unchanged path/next-hops still triggers another round instead
+/// of leaving regional-spine hairpin suppression acting on a stale origin.
+///
+/// Internally this oracle deliberately keeps the pre-compaction
+/// representation — every entry owns its AS-path and next-hop vectors on
+/// the heap — and converts to the interned/arena-backed Rib only at the
+/// rib()/fib() boundary. That keeps the oracle independent of the compact
+/// machinery it is used to validate (a PathTable or arena bug cannot
+/// silently cancel out on both sides of a differential comparison), and
+/// gives bench_scale a faithful replica of the old per-entry-vector memory
+/// layout to measure against.
 class ReferenceBgpSimulator {
  public:
   explicit ReferenceBgpSimulator(const topo::Topology& topology,
                                  const topo::FaultInjector* faults = nullptr);
 
-  /// The converged RIB of a device, materialized into the canonical flat
+  /// The converged RIB of a device, materialized into the canonical compact
   /// representation for direct comparison with BgpSimulator::rib().
+  /// AS-paths are interned into the global PathTable on the way out.
   [[nodiscard]] Rib rib(topo::DeviceId device) const;
 
   /// The FIB programmed from the RIB, with device-level FIB faults applied.
@@ -35,8 +44,25 @@ class ReferenceBgpSimulator {
   /// Number of synchronous rounds until convergence.
   [[nodiscard]] int rounds() const { return rounds_; }
 
+  /// Resident bytes of the converged route state in this oracle's
+  /// heap-per-entry representation (entry records plus owned path/hop
+  /// vector capacities). The pre-compaction baseline for bench_scale's
+  /// bytes-per-device comparison.
+  [[nodiscard]] std::size_t route_state_bytes() const;
+
  private:
-  using MapRib = std::map<net::Prefix, RibEntry>;
+  /// Pre-compaction RIB entry: owns its vectors. What every RibEntry used
+  /// to look like before path interning and hop arenas.
+  struct HeapEntry {
+    std::vector<topo::Asn> as_path;
+    std::vector<topo::DeviceId> next_hops;
+    bool connected = false;
+    topo::DatacenterId origin_datacenter = 0;
+
+    friend bool operator==(const HeapEntry&, const HeapEntry&) = default;
+  };
+
+  using MapRib = std::map<net::Prefix, HeapEntry>;
 
   void run();
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <thread>
 #include <unordered_map>
@@ -18,73 +17,22 @@ using topo::Asn;
 using topo::DeviceId;
 
 /// A route as received from one neighbor during one device step. The path
-/// view borrows either the neighbor's stored entry (immutable within a
-/// round — results are double-buffered) or the worker's path interner;
-/// both outlive the step.
+/// view borrows the global PathTable's storage (append-only, immutable), so
+/// it is valid for the whole run; path_id is the same path's interned
+/// identity, carried so selection results can reference it without
+/// re-interning.
 struct Candidate {
   net::Prefix prefix;
   DeviceId neighbor = topo::kInvalidDevice;
+  PathId path_id = kEmptyPathId;
   std::span<const Asn> path;
   topo::DatacenterId origin_datacenter = 0;
-};
-
-struct PathHash {
-  using is_transparent = void;
-  std::size_t operator()(std::span<const Asn> path) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ull;  // FNV-1a
-    for (const Asn asn : path) {
-      h ^= asn;
-      h *= 0x100000001b3ull;
-    }
-    return h;
-  }
-  std::size_t operator()(const std::vector<Asn>& path) const noexcept {
-    return (*this)(std::span<const Asn>(path));
-  }
-};
-
-struct PathEq {
-  using is_transparent = void;
-  template <typename A, typename B>
-  bool operator()(const A& a, const B& b) const noexcept {
-    return std::ranges::equal(a, b);
-  }
-};
-
-/// Hash-consed AS-path storage. Only paths that must be *rewritten* during
-/// export — private-ASN stripping at regional spines, single-ASN connected
-/// originations — are interned; unchanged relays borrow the neighbor
-/// entry's storage directly. Rewritten paths are massively shared across
-/// prefixes and devices, so the steady state is a hash probe, no
-/// allocation.
-class PathInterner {
- public:
-  std::span<const Asn> intern(std::span<const Asn> path) {
-    const auto it = index_.find(path);
-    if (it != index_.end()) return paths_[it->second];
-    paths_.emplace_back(path.begin(), path.end());
-    index_.emplace(paths_.back(), paths_.size() - 1);
-    return paths_.back();
-  }
-
-  [[nodiscard]] std::size_t size() const { return paths_.size(); }
-
- private:
-  std::deque<std::vector<Asn>> paths_;  // element references stay valid
-  std::unordered_map<std::vector<Asn>, std::size_t, PathHash, PathEq> index_;
 };
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Rib
-
-Rib::Rib(std::vector<RibEntry> entries) : entries_(std::move(entries)) {
-  std::sort(entries_.begin(), entries_.end(),
-            [](const RibEntry& a, const RibEntry& b) {
-              return a.prefix < b.prefix;
-            });
-}
 
 const RibEntry* Rib::find(const net::Prefix& prefix) const {
   const auto it = std::lower_bound(
@@ -100,11 +48,35 @@ const RibEntry& Rib::at(const net::Prefix& prefix) const {
   return *entry;
 }
 
+void Rib::append(const net::Prefix& prefix, PathId path,
+                 std::span<const topo::DeviceId> hops, bool connected,
+                 topo::DatacenterId origin_datacenter) {
+  RibEntry entry;
+  entry.prefix = prefix;
+  entry.path = path;
+  entry.connected = connected;
+  entry.origin_datacenter = origin_datacenter;
+  entry.hop_count = static_cast<std::uint16_t>(hops.size());
+  if (hops.size() <= RibEntry::kInlineHops) {
+    std::copy(hops.begin(), hops.end(), entry.hop_words.begin());
+  } else {
+    entry.hop_words[0] = static_cast<std::uint32_t>(arena_.size());
+    arena_.insert(arena_.end(), hops.begin(), hops.end());
+  }
+  entries_.push_back(entry);
+}
+
+void Rib::sort_by_prefix() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const RibEntry& a, const RibEntry& b) {
+              return a.prefix < b.prefix;
+            });
+}
+
 // ---------------------------------------------------------------------------
 // FIB programming (shared with ReferenceBgpSimulator)
 
-ForwardingTable program_fib(std::span<const RibEntry> entries,
-                            const topo::FaultInjector* faults,
+ForwardingTable program_fib(const Rib& rib, const topo::FaultInjector* faults,
                             topo::DeviceId device) {
   const bool rib_fib_bug =
       faults != nullptr &&
@@ -116,9 +88,10 @@ ForwardingTable program_fib(std::span<const RibEntry> entries,
                                topo::DeviceFaultKind::kEcmpSingleNextHop);
 
   ForwardingTable fib;
-  for (const RibEntry& entry : entries) {
+  for (const RibEntry& entry : rib) {
+    const std::span<const DeviceId> hops = rib.next_hops(entry);
     Rule rule{.prefix = entry.prefix,
-              .next_hops = entry.next_hops,
+              .next_hops = std::vector<DeviceId>(hops.begin(), hops.end()),
               .connected = entry.connected};
     // "Software Bug 1": the FIB retains far fewer next hops for the default
     // route than the RIB computed (§2.6.2).
@@ -142,11 +115,15 @@ ForwardingTable program_fib(std::span<const RibEntry> entries,
 struct BgpSimulator::WorkerState {
   std::vector<Candidate> candidates;
   std::vector<DeviceId> hops_scratch;
-  std::vector<Asn> strip_scratch;
+  std::vector<Asn> path_scratch;
   /// Recomputed entries; only moved out when the device actually changed,
-  /// so the buffer is reused across the (common) unchanged devices.
-  std::vector<RibEntry> fresh;
-  PathInterner interner;
+  /// so the storage is reused across the (common) unchanged devices.
+  Rib fresh;
+  /// Rewrite memos: intern() results are pure functions of their inputs, so
+  /// one hash probe replaces the stripe lock + payload copy on repeats.
+  std::unordered_map<Asn, PathId> origin_memo;          // [asn] origination
+  std::unordered_map<PathId, PathId> strip_memo;        // private-ASN strip
+  std::unordered_map<std::uint64_t, PathId> prepend_memo;  // (asn, path)
   std::uint64_t routes_propagated = 0;
 };
 
@@ -247,7 +224,7 @@ BgpSimulator::BgpSimulator(const topo::Topology& topology,
         "Accepted candidate announcements across all rounds");
     paths_gauge_ = &metrics_->gauge(
         "dcv_bgp_paths_interned",
-        "Distinct rewritten AS-paths held by the hash-consing interners");
+        "Distinct AS-paths hash-consed in the global PathTable");
     fib_rebuilds_ = &metrics_->counter(
         "dcv_bgp_fib_rebuilds_total",
         "ForwardingTable materializations from a converged RIB");
@@ -273,12 +250,18 @@ const ForwardingTable& BgpSimulator::fib(topo::DeviceId device) const {
   std::unique_ptr<ForwardingTable>& slot = fib_cache_[device];
   if (slot == nullptr) {
     slot = std::make_unique<ForwardingTable>(
-        program_fib(ribs_[device].entries(), faults_, device));
+        program_fib(ribs_[device], faults_, device));
     if (fib_rebuilds_ != nullptr) fib_rebuilds_->inc();
   } else if (fib_hits_ != nullptr) {
     fib_hits_->inc();
   }
   return *slot;
+}
+
+std::size_t BgpSimulator::route_state_bytes() const {
+  std::size_t total = ribs_.capacity() * sizeof(Rib);
+  for (const Rib& rib : ribs_) total += rib.memory_bytes();
+  return total;
 }
 
 void BgpSimulator::invalidate_fib(topo::DeviceId device) {
@@ -401,24 +384,18 @@ void BgpSimulator::cold_run() {
   // them: ToRs originate their hosted VLAN prefixes, regional spines the
   // default route (§2.1).
   for (const topo::Device& d : devices) {
-    std::vector<RibEntry> entries;
+    Rib rib;
     if (d.role == topo::DeviceRole::kTor) {
-      entries.reserve(d.hosted_prefixes.size());
+      rib.reserve(d.hosted_prefixes.size(), 0);
       for (const net::Prefix& p : d.hosted_prefixes) {
-        entries.push_back(RibEntry{.prefix = p,
-                                   .as_path = {},
-                                   .next_hops = {},
-                                   .connected = true,
-                                   .origin_datacenter = d.datacenter});
+        rib.append(p, kEmptyPathId, {}, /*connected=*/true, d.datacenter);
       }
+      rib.sort_by_prefix();
     } else if (d.role == topo::DeviceRole::kRegionalSpine) {
-      entries.push_back(RibEntry{.prefix = net::Prefix::default_route(),
-                                 .as_path = {},
-                                 .next_hops = {},
-                                 .connected = true,
-                                 .origin_datacenter = topo::kNoDatacenter});
+      rib.append(net::Prefix::default_route(), kEmptyPathId, {},
+                 /*connected=*/true, topo::kNoDatacenter);
     }
-    ribs_[d.id] = Rib(std::move(entries));
+    ribs_[d.id] = std::move(rib);
     invalidate_fib(d.id);
   }
   snapshot_state();
@@ -494,18 +471,18 @@ int BgpSimulator::run_worklist(std::vector<topo::DeviceId> frontier) {
     }
 
     // Commit changed results: splice partial (dirty-only) results over the
-    // previous state by moving untouched entries, record which prefixes
-    // changed for the next round's dirty set, and enqueue usable-link
-    // neighbors as the next frontier.
+    // previous state, record which prefixes changed for the next round's
+    // dirty set, and enqueue usable-link neighbors as the next frontier.
     next.clear();
     next_dirty.clear();
     for (std::size_t i = 0; i < frontier.size(); ++i) {
       if (!changed[i]) continue;
       const DeviceId d = frontier[i];
-      std::vector<RibEntry> fresh = std::move(results[i]).release();
       if (round_dirty == nullptr) {
-        // Full recompute: diff old vs new for the dirty set, then replace.
-        const auto& old = ribs_[d].entries();
+        // Full recompute: diff old vs new for the dirty set, then adopt the
+        // fresh Rib wholesale (entries + arena move together).
+        const Rib& fresh = results[i];
+        const Rib& old = ribs_[d];
         auto oit = old.begin();
         auto fit = fresh.begin();
         while (oit != old.end() || fit != fresh.end()) {
@@ -515,44 +492,54 @@ int BgpSimulator::run_worklist(std::vector<topo::DeviceId> frontier) {
           } else if (oit == old.end() || fit->prefix < oit->prefix) {
             next_dirty.push_back((fit++)->prefix);  // entry added
           } else {
-            if (*oit != *fit) next_dirty.push_back(fit->prefix);
+            if (!Rib::entry_equal(old, *oit, fresh, *fit)) {
+              next_dirty.push_back(fit->prefix);
+            }
             ++oit;
             ++fit;
           }
         }
-        ribs_[d] = Rib::from_sorted(std::move(fresh));
+        ribs_[d] = std::move(results[i]);
       } else {
-        // Partial recompute: `fresh` holds entries for dirty prefixes only.
-        // Merge-walk old entries (moving clean ones — no reallocation) with
-        // the fresh entries; an old dirty-prefix entry with no fresh
-        // counterpart was withdrawn.
-        std::vector<RibEntry> old = std::move(ribs_[d]).release();
-        std::vector<RibEntry> merged;
-        merged.reserve(old.size() + fresh.size());
+        // Partial recompute: the result holds entries for dirty prefixes
+        // only. Merge-walk old entries with the fresh ones into the
+        // recycled scratch Rib (entry records and hop lists land in its
+        // retained buffers — no allocation once warm); an old dirty-prefix
+        // entry with no fresh counterpart was withdrawn.
+        const Rib& fresh = results[i];
+        const Rib& old = ribs_[d];
+        merge_scratch_.clear();
+        merge_scratch_.reserve(old.size() + fresh.size(), 0);
         auto dit = round_dirty->begin();
         auto fit = fresh.begin();
-        for (RibEntry& entry : old) {
+        for (const RibEntry& entry : old) {
           while (fit != fresh.end() && fit->prefix < entry.prefix) {
             next_dirty.push_back(fit->prefix);  // entry added
-            merged.push_back(std::move(*fit++));
+            merge_scratch_.append_from(fresh, *fit);
+            ++fit;
           }
           while (dit != round_dirty->end() && *dit < entry.prefix) ++dit;
           if (dit == round_dirty->end() || *dit != entry.prefix) {
-            merged.push_back(std::move(entry));  // clean prefix: keep
+            merge_scratch_.append_from(old, entry);  // clean prefix: keep
             continue;
           }
           if (fit != fresh.end() && fit->prefix == entry.prefix) {
-            if (*fit != entry) next_dirty.push_back(fit->prefix);
-            merged.push_back(std::move(*fit++));
+            if (!Rib::entry_equal(old, entry, fresh, *fit)) {
+              next_dirty.push_back(fit->prefix);
+            }
+            merge_scratch_.append_from(fresh, *fit);
+            ++fit;
           } else {
             next_dirty.push_back(entry.prefix);  // withdrawn
           }
         }
         for (; fit != fresh.end(); ++fit) {
           next_dirty.push_back(fit->prefix);
-          merged.push_back(std::move(*fit));
+          merge_scratch_.append_from(fresh, *fit);
         }
-        ribs_[d] = Rib::from_sorted(std::move(merged));
+        // The displaced Rib becomes the next merge's scratch, keeping its
+        // entry and arena capacity in rotation.
+        std::swap(ribs_[d], merge_scratch_);
       }
       invalidate_fib(d);
       for (const topo::LinkId lid : topology_->links_of(d)) {
@@ -579,8 +566,9 @@ int BgpSimulator::run_worklist(std::vector<topo::DeviceId> frontier) {
 bool BgpSimulator::process_device(const topo::Device& d, WorkerState& state,
                                   Rib& out,
                                   const std::vector<net::Prefix>* dirty) const {
-  std::vector<RibEntry>& entries = state.fresh;
-  entries.clear();
+  PathTable& table = global_path_table();
+  Rib& fresh = state.fresh;
+  fresh.clear();
   const auto is_dirty = [dirty](const net::Prefix& p) {
     return dirty == nullptr ||
            std::binary_search(dirty->begin(), dirty->end(), p);
@@ -589,30 +577,24 @@ bool BgpSimulator::process_device(const topo::Device& d, WorkerState& state,
   if (d.role == topo::DeviceRole::kTor) {
     for (const net::Prefix& p : d.hosted_prefixes) {
       if (!is_dirty(p)) continue;
-      entries.push_back(RibEntry{.prefix = p,
-                                 .as_path = {},
-                                 .next_hops = {},
-                                 .connected = true,
-                                 .origin_datacenter = d.datacenter});
+      fresh.append(p, kEmptyPathId, {}, /*connected=*/true, d.datacenter);
     }
-    connected_count = entries.size();
+    connected_count = fresh.size();
   } else if (d.role == topo::DeviceRole::kRegionalSpine) {
     if (is_dirty(net::Prefix::default_route())) {
-      entries.push_back(RibEntry{.prefix = net::Prefix::default_route(),
-                                 .as_path = {},
-                                 .next_hops = {},
-                                 .connected = true,
-                                 .origin_datacenter = topo::kNoDatacenter});
+      fresh.append(net::Prefix::default_route(), kEmptyPathId, {},
+                   /*connected=*/true, topo::kNoDatacenter);
       connected_count = 1;
     }
   }
 
   // Collect acceptable announcements from all usable sessions. Path views
-  // borrow the neighbor's entry storage; only rewritten paths (stripping,
-  // connected origination) go through the interner. In dirty mode only the
-  // neighbors' entries for dirty prefixes are considered — entries for
-  // clean prefixes are bit-identical to last round, so they cannot change
-  // this device's selection.
+  // borrow the global PathTable's storage; rewrites (connected origination,
+  // private-ASN stripping) are pure functions of their inputs, so the
+  // per-worker memos reduce them to one hash probe with no stripe-lock
+  // traffic. In dirty mode only the neighbors' entries for dirty prefixes
+  // are considered — entries for clean prefixes are bit-identical to last
+  // round, so they cannot change this device's selection.
   state.candidates.clear();
   for (const topo::LinkId lid : topology_->links_of(d.id)) {
     const topo::Link& link = topology_->link(lid);
@@ -621,12 +603,17 @@ bool BgpSimulator::process_device(const topo::Device& d, WorkerState& state,
 
     const auto consider = [&](const RibEntry& entry) {
       // -- export policy of n toward d --
-      std::span<const Asn> path;
+      PathId path_id;
       if (entry.connected) {
-        path = state.interner.intern(std::span<const Asn>(&n.asn, 1));
+        const auto [it, inserted] = state.origin_memo.try_emplace(n.asn, 0);
+        if (inserted) {
+          it->second = table.intern(std::span<const Asn>(&n.asn, 1));
+        }
+        path_id = it->second;
       } else {
-        path = entry.as_path;  // already begins with n.asn
+        path_id = entry.path;  // already begins with n.asn
       }
+      std::span<const Asn> path = table.view(path_id);
       if (n.role == topo::DeviceRole::kRegionalSpine) {
         // Never hairpin a datacenter's own routes back into it.
         if (entry.origin_datacenter != topo::kNoDatacenter &&
@@ -636,16 +623,21 @@ bool BgpSimulator::process_device(const topo::Device& d, WorkerState& state,
         // Strip private ASNs from the relayed tail (§2.1) so that
         // private-ASN reuse across datacenters cannot cause loop-prevention
         // rejections. Most relayed paths at this tier need no rewrite;
-        // scan first and keep the borrowed view on the no-op path.
+        // scan first and keep the original id on the no-op path.
         if (std::any_of(path.begin() + 1, path.end(), is_private_asn)) {
-          state.strip_scratch.clear();
-          state.strip_scratch.push_back(path.front());
-          for (std::size_t i = 1; i < path.size(); ++i) {
-            if (!is_private_asn(path[i])) {
-              state.strip_scratch.push_back(path[i]);
+          const auto [it, inserted] = state.strip_memo.try_emplace(path_id, 0);
+          if (inserted) {
+            state.path_scratch.clear();
+            state.path_scratch.push_back(path.front());
+            for (std::size_t i = 1; i < path.size(); ++i) {
+              if (!is_private_asn(path[i])) {
+                state.path_scratch.push_back(path[i]);
+              }
             }
+            it->second = table.intern(state.path_scratch);
           }
-          path = state.interner.intern(state.strip_scratch);
+          path_id = it->second;
+          path = table.view(path_id);
         }
       }
 
@@ -671,6 +663,7 @@ bool BgpSimulator::process_device(const topo::Device& d, WorkerState& state,
       state.candidates.push_back(
           Candidate{.prefix = entry.prefix,
                     .neighbor = n.id,
+                    .path_id = path_id,
                     .path = path,
                     .origin_datacenter = entry.origin_datacenter});
     };
@@ -721,7 +714,7 @@ bool BgpSimulator::process_device(const topo::Device& d, WorkerState& state,
     const net::Prefix prefix = state.candidates[i].prefix;
     bool owned = false;
     for (std::size_t c = 0; c < connected_count; ++c) {
-      if (entries[c].prefix == prefix) {
+      if (fresh.entries()[c].prefix == prefix) {
         owned = true;
         break;
       }
@@ -733,65 +726,74 @@ bool BgpSimulator::process_device(const topo::Device& d, WorkerState& state,
       }
       state.hops_scratch.clear();
       std::span<const Asn> chosen;
+      PathId chosen_id = kEmptyPathId;
+      bool have_chosen = false;
       topo::DatacenterId origin = 0;
       for (std::size_t k = i; k < j; ++k) {
         const Candidate& c = state.candidates[k];
         if (c.path.size() != best_len) continue;
         state.hops_scratch.push_back(c.neighbor);
-        if (chosen.data() == nullptr ||
+        if (!have_chosen ||
             std::ranges::lexicographical_compare(c.path, chosen)) {
           chosen = c.path;
+          chosen_id = c.path_id;
           origin = c.origin_datacenter;
+          have_chosen = true;
         }
       }
       canonicalize(state.hops_scratch);
-      RibEntry entry;
-      entry.prefix = prefix;
-      entry.as_path.reserve(chosen.size() + 1);
-      entry.as_path.push_back(d.asn);
-      entry.as_path.insert(entry.as_path.end(), chosen.begin(), chosen.end());
-      entry.next_hops = state.hops_scratch;
-      entry.connected = false;
-      entry.origin_datacenter = origin;
-      entries.push_back(std::move(entry));
+      // Prepend our own ASN; memoized on (asn, chosen path) since prefix
+      // groups across devices overwhelmingly select the same paths.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(d.asn) << 32) | chosen_id;
+      const auto [it, inserted] = state.prepend_memo.try_emplace(key, 0);
+      if (inserted) {
+        state.path_scratch.clear();
+        state.path_scratch.reserve(chosen.size() + 1);
+        state.path_scratch.push_back(d.asn);
+        state.path_scratch.insert(state.path_scratch.end(), chosen.begin(),
+                                  chosen.end());
+        it->second = table.intern(state.path_scratch);
+      }
+      fresh.append(prefix, it->second, state.hops_scratch,
+                   /*connected=*/false, origin);
     }
     i = j;
   }
 
   // Change detection happens here in the worker (parallel) rather than in
   // the single-threaded commit. Unchanged devices — the common case on a
-  // settling wave — leave `out` untouched and keep their scratch buffer.
-  std::sort(entries.begin(), entries.end(),
-            [](const RibEntry& a, const RibEntry& b) {
-              return a.prefix < b.prefix;
-            });
-  const auto& old = ribs_[d.id].entries();
+  // settling wave — leave `out` untouched and keep their scratch storage.
+  fresh.sort_by_prefix();
+  const Rib& old = ribs_[d.id];
   if (dirty == nullptr) {
-    if (entries == old) return false;
+    if (fresh == old) return false;
   } else {
-    // `entries` holds exactly the surviving dirty-prefix routes; compare
+    // `fresh` holds exactly the surviving dirty-prefix routes; compare
     // against the old entries restricted to the dirty set.
-    bool changed = false;
+    bool device_changed = false;
     auto dit = dirty->begin();
-    auto fit = entries.begin();
+    auto fit = fresh.begin();
     for (const RibEntry& old_entry : old) {
-      if (fit != entries.end() && fit->prefix < old_entry.prefix) {
-        changed = true;  // route appeared for a prefix the device lacked
+      if (fit != fresh.end() && fit->prefix < old_entry.prefix) {
+        device_changed = true;  // route appeared for a prefix the device lacked
         break;
       }
       while (dit != dirty->end() && *dit < old_entry.prefix) ++dit;
       if (dit == dirty->end() || *dit != old_entry.prefix) continue;
-      if (fit == entries.end() || fit->prefix != old_entry.prefix ||
-          !(*fit == old_entry)) {
-        changed = true;  // route withdrawn or modified
+      if (fit == fresh.end() || fit->prefix != old_entry.prefix ||
+          !Rib::entry_equal(old, old_entry, fresh, *fit)) {
+        device_changed = true;  // route withdrawn or modified
         break;
       }
       ++fit;
     }
-    if (!changed && fit != entries.end()) changed = true;  // trailing adds
-    if (!changed) return false;
+    if (!device_changed && fit != fresh.end()) {
+      device_changed = true;  // trailing adds
+    }
+    if (!device_changed) return false;
   }
-  out = Rib::from_sorted(std::move(entries));
+  out = std::move(fresh);
   return true;
 }
 
@@ -803,13 +805,11 @@ void BgpSimulator::publish_metrics(int rounds, bool warm) {
     rounds_hist_->observe(static_cast<std::uint64_t>(rounds));
   }
   std::uint64_t routes = 0;
-  std::size_t paths = 0;
   for (const auto& worker : workers_) {
     routes += worker->routes_propagated;
-    paths += worker->interner.size();
   }
   routes_counter_->inc(routes);
-  paths_gauge_->set(static_cast<double>(paths));
+  paths_gauge_->set(static_cast<double>(global_path_table().size()));
 }
 
 }  // namespace dcv::routing

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "routing/fib.hpp"
+#include "routing/path_table.hpp"
 #include "topology/faults.hpp"
 #include "topology/topology.hpp"
 
@@ -16,13 +17,27 @@ namespace dcv::routing {
 
 /// One RIB entry: the selected best routes for a prefix under EBGP
 /// shortest-AS-path selection with ECMP across equally-good neighbors.
+///
+/// Memory-compact representation: the AS-path is a 32-bit PathId into the
+/// process-wide hash-consed PathTable (paths are massively shared across
+/// devices and prefixes), and the next-hop list is an (offset, count)
+/// reference into the owning Rib's shared hop arena — lists of up to
+/// kInlineHops device ids are stored directly in the entry. A 100k-device
+/// fabric's route state is therefore one ~28-byte record per route plus
+/// one contiguous arena per device, instead of two heap vectors per route.
 struct RibEntry {
+  /// Lists at most this long live inline in hop_words.
+  static constexpr std::uint16_t kInlineHops = 2;
+
   net::Prefix prefix;
-  /// AS-path of the selected route(s), own ASN first. Empty for locally
-  /// originated (connected) prefixes.
-  std::vector<topo::Asn> as_path;
-  /// Neighbors offering the best path; empty for connected prefixes.
-  std::vector<topo::DeviceId> next_hops;
+  /// AS-path of the selected route(s), own ASN first, interned in
+  /// global_path_table(). kEmptyPathId for locally originated (connected)
+  /// prefixes.
+  PathId path = kEmptyPathId;
+  /// Inline next hops (hop_count <= kInlineHops), or {arena offset, unused}
+  /// for longer lists. Resolve through Rib::next_hops().
+  std::array<topo::DeviceId, kInlineHops> hop_words{};
+  std::uint16_t hop_count = 0;
   bool connected = false;
   /// Datacenter where the route originated; kNoDatacenter for the default
   /// route (originated by regional spines). Regional spines use this to
@@ -32,19 +47,31 @@ struct RibEntry {
   /// origins.
   topo::DatacenterId origin_datacenter = 0;
 
-  friend bool operator==(const RibEntry&, const RibEntry&) = default;
+  /// The interned AS-path contents (own ASN first; empty for connected
+  /// prefixes). One global table serves every Rib, so this needs no
+  /// owning-Rib context.
+  [[nodiscard]] std::span<const topo::Asn> as_path() const {
+    return global_path_table().view(path);
+  }
+
+  /// True when the hop list is stored inline rather than in the arena.
+  [[nodiscard]] bool hops_inline() const { return hop_count <= kInlineHops; }
+
+  // Entries do not define operator==: next-hop references are only
+  // meaningful relative to the owning Rib's arena. Compare through
+  // Rib::entry_equal() (or Rib::operator== for whole tables).
+  friend bool operator==(const RibEntry&, const RibEntry&) = delete;
 };
 
 /// The routing information base of one device: RibEntry records in a flat
-/// vector sorted by prefix (binary-search lookups, cache-friendly scans,
-/// one contiguous allocation instead of a map node per prefix).
+/// vector sorted by prefix (binary-search lookups, cache-friendly scans),
+/// with all out-of-line next-hop lists packed into one shared arena — a
+/// Rib is at most two contiguous allocations regardless of route count.
 class Rib {
  public:
   using const_iterator = std::vector<RibEntry>::const_iterator;
 
   Rib() = default;
-  /// Takes entries in any order and sorts them into canonical prefix order.
-  explicit Rib(std::vector<RibEntry> entries);
 
   /// The entry for exactly this prefix, or nullptr.
   [[nodiscard]] const RibEntry* find(const net::Prefix& prefix) const;
@@ -61,30 +88,106 @@ class Rib {
   [[nodiscard]] const std::vector<RibEntry>& entries() const {
     return entries_;
   }
-  /// Steals the entry storage (used by the worklist commit to move-splice
-  /// unchanged entries into a successor RIB without reallocating them).
-  [[nodiscard]] std::vector<RibEntry> release() && {
-    return std::move(entries_);
+
+  /// The next-hop list of an entry *of this Rib* (sorted, deduplicated;
+  /// empty for connected prefixes). The span borrows entry or arena
+  /// storage and is valid until the Rib is mutated.
+  [[nodiscard]] std::span<const topo::DeviceId> next_hops(
+      const RibEntry& entry) const {
+    if (entry.hops_inline()) return {entry.hop_words.data(), entry.hop_count};
+    return {arena_.data() + entry.hop_words[0], entry.hop_count};
   }
-  /// Adopts entries already in canonical prefix order without re-sorting
-  /// (the worklist engine's workers and commit produce sorted output).
-  [[nodiscard]] static Rib from_sorted(std::vector<RibEntry> entries) {
+
+  // -- Building --------------------------------------------------------------
+
+  /// Drops all entries and hop storage, retaining both capacities — a
+  /// cleared Rib rebuilds without allocating (pinned by the arena-reuse
+  /// property test).
+  void clear() {
+    entries_.clear();
+    arena_.clear();
+  }
+  void reserve(std::size_t entries, std::size_t arena_hops) {
+    entries_.reserve(entries);
+    arena_.reserve(arena_hops);
+  }
+  /// Appends an entry, copying `hops` inline or into the arena. Entries may
+  /// be appended in any order; call sort_by_prefix() before lookups if the
+  /// append order was not already canonical.
+  void append(const net::Prefix& prefix, PathId path,
+              std::span<const topo::DeviceId> hops, bool connected,
+              topo::DatacenterId origin_datacenter);
+  /// Appends a copy of `entry` (owned by `source`), re-homing its hop list
+  /// into this Rib's arena.
+  void append_from(const Rib& source, const RibEntry& entry) {
+    append(entry.prefix, entry.path, source.next_hops(entry), entry.connected,
+           entry.origin_datacenter);
+  }
+  /// Sorts entries into canonical ascending-prefix order. Hop references
+  /// travel with their entries; the arena is not reordered.
+  void sort_by_prefix();
+
+  /// Content equality of one entry across (possibly different) owning Ribs:
+  /// prefix, AS-path (by PathId — the shared global table makes id equality
+  /// content equality), connected flag, origin, and next-hop contents.
+  [[nodiscard]] static bool entry_equal(const Rib& ra, const RibEntry& a,
+                                        const Rib& rb, const RibEntry& b) {
+    if (a.prefix != b.prefix || a.path != b.path ||
+        a.connected != b.connected ||
+        a.origin_datacenter != b.origin_datacenter ||
+        a.hop_count != b.hop_count) {
+      return false;
+    }
+    const std::span<const topo::DeviceId> ha = ra.next_hops(a);
+    const std::span<const topo::DeviceId> hb = rb.next_hops(b);
+    return std::equal(ha.begin(), ha.end(), hb.begin());
+  }
+
+  /// Whole-table content equality (same prefixes in order, equal entries).
+  friend bool operator==(const Rib& a, const Rib& b) {
+    if (a.entries_.size() != b.entries_.size()) return false;
+    for (std::size_t i = 0; i < a.entries_.size(); ++i) {
+      if (!entry_equal(a, a.entries_[i], b, b.entries_[i])) return false;
+    }
+    return true;
+  }
+
+  /// Raw storage of a Rib: the entry records plus the shared hop arena.
+  /// release()/from_sorted() move it wholesale so the worklist commit can
+  /// splice state between Ribs without reallocating either buffer.
+  struct Storage {
+    std::vector<RibEntry> entries;
+    std::vector<topo::DeviceId> arena;
+  };
+  [[nodiscard]] Storage release() && {
+    return Storage{std::move(entries_), std::move(arena_)};
+  }
+  /// Adopts storage whose entries are already in canonical prefix order
+  /// with hop references valid against the accompanying arena.
+  [[nodiscard]] static Rib from_sorted(Storage storage) {
     Rib rib;
-    rib.entries_ = std::move(entries);
+    rib.entries_ = std::move(storage.entries);
+    rib.arena_ = std::move(storage.arena);
     return rib;
   }
 
-  friend bool operator==(const Rib&, const Rib&) = default;
+  /// Resident bytes of this Rib's own storage (capacities, not sizes —
+  /// what the allocator is actually holding).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return entries_.capacity() * sizeof(RibEntry) +
+           arena_.capacity() * sizeof(topo::DeviceId);
+  }
 
  private:
   std::vector<RibEntry> entries_;
+  std::vector<topo::DeviceId> arena_;
 };
 
 /// Programs a FIB from converged RIB entries, applying the device-level
 /// FIB-programming faults of §2.6.2 (kRibFibInconsistency,
 /// kEcmpSingleNextHop). Shared by the worklist engine and the retained
 /// reference implementation.
-[[nodiscard]] ForwardingTable program_fib(std::span<const RibEntry> entries,
+[[nodiscard]] ForwardingTable program_fib(const Rib& rib,
                                           const topo::FaultInjector* faults,
                                           topo::DeviceId device);
 
@@ -125,11 +228,12 @@ struct BgpSimOptions {
 /// reprocesses only the dirty frontier — devices with at least one neighbor
 /// whose RIB changed in the previous round — and double-buffers only those
 /// devices' results. Frontiers are processed in parallel; candidate
-/// collection borrows AS-path storage from the (immutable within a round)
-/// previous state and hash-conses the few paths that must be rewritten
-/// (private-ASN stripping, connected-route origination), so the steady loop
-/// allocates nothing per announcement. ReferenceBgpSimulator equivalence is
-/// pinned by the differential test suite.
+/// collection borrows AS-path storage from the global PathTable (immutable,
+/// append-only) and per-worker memo tables turn repeat rewrites
+/// (private-ASN stripping, own-ASN prepends, connected originations) into
+/// one hash probe with no lock traffic, so the steady loop allocates
+/// nothing per announcement. ReferenceBgpSimulator equivalence is pinned by
+/// the differential test suite.
 class BgpSimulator {
  public:
   /// Runs propagation to a fixpoint over the topology's *current* link and
@@ -177,6 +281,12 @@ class BgpSimulator {
   /// deduplicated. Call only from the mutating thread (same contract as
   /// reconverge()).
   [[nodiscard]] std::vector<topo::DeviceId> take_changed_devices();
+
+  /// Resident bytes of the converged route state: every device's Rib
+  /// storage plus this simulator's bookkeeping vectors (FIB caches and
+  /// interned paths are accounted separately). Basis of bench_scale's
+  /// bytes-per-device metric.
+  [[nodiscard]] std::size_t route_state_bytes() const;
 
   /// True if `asn` falls in the private-use range stripped by regional
   /// spines (we treat 64500..65535 as the datacenter-private range; the
@@ -228,11 +338,15 @@ class BgpSimulator {
   obs::Counter* fib_rebuilds_ = nullptr;
   obs::Counter* fib_hits_ = nullptr;
 
-  // Per-worker scratch (candidate buffers, path interner); index 0 doubles
+  // Per-worker scratch (candidate buffers, rewrite memos); index 0 doubles
   // as the inline/single-thread state. The pool is created lazily on the
   // first frontier large enough to split.
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::unique_ptr<WorkerPool> pool_;
+
+  // Commit-side scratch Rib recycled across partial merges so steady-state
+  // commits stop allocating (single-threaded use only).
+  Rib merge_scratch_;
 
   // Snapshot of everything route-affecting, diffed by reconverge().
   std::vector<std::uint8_t> snap_link_usable_;

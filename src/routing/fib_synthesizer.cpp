@@ -16,8 +16,9 @@ using topo::PrefixFact;
 
 void synthesize_tor(const MetadataService& metadata, const Device& tor,
                     ForwardingTable& fib) {
-  const auto leaves =
+  const auto leaves_adj =
       metadata.topology().neighbors_with_role(tor.id, DeviceRole::kLeaf);
+  const std::vector<DeviceId> leaves(leaves_adj.begin(), leaves_adj.end());
   fib.add(Rule{.prefix = net::Prefix::default_route(),
                .next_hops = leaves,
                .connected = false});
@@ -36,8 +37,9 @@ void synthesize_tor(const MetadataService& metadata, const Device& tor,
 void synthesize_leaf(const MetadataService& metadata, const Device& leaf,
                      ForwardingTable& fib) {
   const auto& topology = metadata.topology();
-  const auto spines =
+  const auto spines_adj =
       topology.neighbors_with_role(leaf.id, DeviceRole::kSpine);
+  const std::vector<DeviceId> spines(spines_adj.begin(), spines_adj.end());
   fib.add(Rule{.prefix = net::Prefix::default_route(),
                .next_hops = spines,
                .connected = false});
@@ -80,8 +82,10 @@ void synthesize_leaf(const MetadataService& metadata, const Device& leaf,
 void synthesize_spine(const MetadataService& metadata, const Device& spine,
                       ForwardingTable& fib) {
   const auto& topology = metadata.topology();
-  const auto regionals =
+  const auto regionals_adj =
       topology.neighbors_with_role(spine.id, DeviceRole::kRegionalSpine);
+  const std::vector<DeviceId> regionals(regionals_adj.begin(),
+                                        regionals_adj.end());
   fib.add(Rule{.prefix = net::Prefix::default_route(),
                .next_hops = regionals,
                .connected = false});

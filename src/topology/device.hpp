@@ -41,6 +41,9 @@ enum class DeviceRole : std::uint8_t {
   kRegionalSpine,  // regional spine (RH); strips private ASNs, relays default
 };
 
+/// Number of DeviceRole values; sizes role-indexed tables (CSR adjacency).
+inline constexpr std::size_t kDeviceRoleCount = 4;
+
 [[nodiscard]] std::string_view to_string(DeviceRole role);
 std::ostream& operator<<(std::ostream& os, DeviceRole role);
 

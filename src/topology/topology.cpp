@@ -25,6 +25,42 @@ std::ostream& operator<<(std::ostream& os, DeviceRole role) {
   return os << to_string(role);
 }
 
+Topology::Topology(const Topology& other)
+    : devices_(other.devices_),
+      links_(other.links_),
+      incident_links_(other.incident_links_),
+      cluster_count_(other.cluster_count_),
+      epoch_(other.epoch_) {}
+
+Topology& Topology::operator=(const Topology& other) {
+  if (this == &other) return *this;
+  devices_ = other.devices_;
+  links_ = other.links_;
+  incident_links_ = other.incident_links_;
+  cluster_count_ = other.cluster_count_;
+  epoch_ = other.epoch_;
+  adjacency_epoch_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  return *this;
+}
+
+Topology::Topology(Topology&& other) noexcept
+    : devices_(std::move(other.devices_)),
+      links_(std::move(other.links_)),
+      incident_links_(std::move(other.incident_links_)),
+      cluster_count_(other.cluster_count_),
+      epoch_(other.epoch_) {}
+
+Topology& Topology::operator=(Topology&& other) noexcept {
+  if (this == &other) return *this;
+  devices_ = std::move(other.devices_);
+  links_ = std::move(other.links_);
+  incident_links_ = std::move(other.incident_links_);
+  cluster_count_ = other.cluster_count_;
+  epoch_ = other.epoch_;
+  adjacency_epoch_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  return *this;
+}
+
 DeviceId Topology::add_device(std::string name, DeviceRole role, Asn asn,
                               ClusterId cluster, DatacenterId datacenter) {
   const DeviceId id = static_cast<DeviceId>(devices_.size());
@@ -83,22 +119,69 @@ std::span<const LinkId> Topology::links_of(DeviceId id) const {
   return incident_links_[id];
 }
 
-std::vector<DeviceId> Topology::neighbors(DeviceId id) const {
-  std::vector<DeviceId> out;
-  for (const LinkId lid : links_of(id)) out.push_back(links_[lid].other(id));
-  std::sort(out.begin(), out.end());
-  return out;
+const Topology::AdjacencyCache& Topology::adjacency() const {
+  if (adjacency_epoch_.load(std::memory_order_acquire) == epoch_) {
+    return adjacency_cache_;
+  }
+  const std::lock_guard lock(adjacency_mutex_);
+  if (adjacency_epoch_.load(std::memory_order_relaxed) == epoch_) {
+    return adjacency_cache_;  // another reader rebuilt while we waited
+  }
+  AdjacencyCache& cache = adjacency_cache_;
+  const std::size_t n = devices_.size();
+
+  // All-neighbor CSR: each row is the device's link peers, sorted.
+  cache.all.offsets.assign(n + 1, 0);
+  cache.all.values.clear();
+  cache.all.values.reserve(2 * links_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    cache.all.offsets[i] = static_cast<std::uint32_t>(cache.all.values.size());
+    for (const LinkId lid : incident_links_[i]) {
+      cache.all.values.push_back(links_[lid].other(static_cast<DeviceId>(i)));
+    }
+    std::sort(cache.all.values.begin() + cache.all.offsets[i],
+              cache.all.values.end());
+  }
+  cache.all.offsets[n] = static_cast<std::uint32_t>(cache.all.values.size());
+
+  // Per-role CSRs and member lists, derived from the sorted all-rows so the
+  // role slices stay sorted without re-sorting.
+  for (std::size_t r = 0; r < kDeviceRoleCount; ++r) {
+    Csr& csr = cache.by_role[r];
+    csr.offsets.assign(n + 1, 0);
+    csr.values.clear();
+    cache.role_members[r].clear();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < kDeviceRoleCount; ++r) {
+      cache.by_role[r].offsets[i] =
+          static_cast<std::uint32_t>(cache.by_role[r].values.size());
+    }
+    for (const DeviceId peer : cache.all.row(static_cast<DeviceId>(i))) {
+      const std::size_t r = static_cast<std::size_t>(devices_[peer].role);
+      cache.by_role[r].values.push_back(peer);
+    }
+    const std::size_t own = static_cast<std::size_t>(devices_[i].role);
+    cache.role_members[own].push_back(static_cast<DeviceId>(i));
+  }
+  for (std::size_t r = 0; r < kDeviceRoleCount; ++r) {
+    cache.by_role[r].offsets[n] =
+        static_cast<std::uint32_t>(cache.by_role[r].values.size());
+  }
+
+  adjacency_epoch_.store(epoch_, std::memory_order_release);
+  return cache;
 }
 
-std::vector<DeviceId> Topology::neighbors_with_role(DeviceId id,
-                                                    DeviceRole role) const {
-  std::vector<DeviceId> out;
-  for (const LinkId lid : links_of(id)) {
-    const DeviceId n = links_[lid].other(id);
-    if (devices_[n].role == role) out.push_back(n);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+std::span<const DeviceId> Topology::neighbors(DeviceId id) const {
+  if (id >= devices_.size()) throw InvalidArgument("bad device id");
+  return adjacency().all.row(id);
+}
+
+std::span<const DeviceId> Topology::neighbors_with_role(DeviceId id,
+                                                        DeviceRole role) const {
+  if (id >= devices_.size()) throw InvalidArgument("bad device id");
+  return adjacency().by_role[static_cast<std::size_t>(role)].row(id);
 }
 
 std::vector<DeviceId> Topology::usable_neighbors(DeviceId id) const {
@@ -117,12 +200,8 @@ std::optional<LinkId> Topology::find_link(DeviceId a, DeviceId b) const {
   return std::nullopt;
 }
 
-std::vector<DeviceId> Topology::devices_with_role(DeviceRole role) const {
-  std::vector<DeviceId> out;
-  for (const auto& d : devices_) {
-    if (d.role == role) out.push_back(d.id);
-  }
-  return out;
+std::span<const DeviceId> Topology::devices_with_role(DeviceRole role) const {
+  return adjacency().role_members[static_cast<std::size_t>(role)];
 }
 
 std::vector<DeviceId> Topology::tors_in_cluster(ClusterId cluster) const {

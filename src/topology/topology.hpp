@@ -1,6 +1,9 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,6 +24,13 @@ namespace dcv::topo {
 class Topology {
  public:
   Topology() = default;
+  // The adjacency cache (mutex + atomic epoch) is not copyable; copies and
+  // moves transfer the graph and start with a cold cache, rebuilt on first
+  // neighbors*() call.
+  Topology(const Topology& other);
+  Topology& operator=(const Topology& other);
+  Topology(Topology&& other) noexcept;
+  Topology& operator=(Topology&& other) noexcept;
 
   /// Adds a device and returns its id. Name must be unique.
   DeviceId add_device(std::string name, DeviceRole role, Asn asn,
@@ -56,22 +66,31 @@ class Topology {
   /// Links incident to a device (regardless of state).
   [[nodiscard]] std::span<const LinkId> links_of(DeviceId id) const;
 
-  /// All expected neighbors of a device (regardless of link state).
-  [[nodiscard]] std::vector<DeviceId> neighbors(DeviceId id) const;
+  /// All expected neighbors of a device (regardless of link state), sorted
+  /// by id. The span views the epoch-keyed CSR adjacency cache: no per-call
+  /// allocation, valid until the next expected-topology mutation. The cache
+  /// rebuilds lazily on first use after a mutation; concurrent readers are
+  /// safe as long as mutation is externally synchronized with reads (the
+  /// same contract the mutators already carry).
+  [[nodiscard]] std::span<const DeviceId> neighbors(DeviceId id) const;
 
   /// Expected neighbors restricted to a given role; e.g. a ToR's leaves, a
-  /// leaf's spines. This is what contract generation consumes.
-  [[nodiscard]] std::vector<DeviceId> neighbors_with_role(
+  /// leaf's spines. This is what contract generation consumes. Sorted;
+  /// same lifetime contract as neighbors().
+  [[nodiscard]] std::span<const DeviceId> neighbors_with_role(
       DeviceId id, DeviceRole role) const;
 
   /// Neighbors reachable over currently-usable links (live adjacency).
+  /// Allocates: depends on link *state*, which the epoch-keyed cache
+  /// deliberately ignores.
   [[nodiscard]] std::vector<DeviceId> usable_neighbors(DeviceId id) const;
 
   /// The link between two devices, if one exists.
   [[nodiscard]] std::optional<LinkId> find_link(DeviceId a, DeviceId b) const;
 
-  /// Devices of a role, in id order.
-  [[nodiscard]] std::vector<DeviceId> devices_with_role(DeviceRole role) const;
+  /// Devices of a role, in id order. Same lifetime contract as neighbors().
+  [[nodiscard]] std::span<const DeviceId> devices_with_role(
+      DeviceRole role) const;
 
   /// ToR devices belonging to a cluster, in id order.
   [[nodiscard]] std::vector<DeviceId> tors_in_cluster(ClusterId cluster) const;
@@ -100,11 +119,42 @@ class Topology {
   void clear_faults();
 
  private:
+  /// One compressed-sparse-row table: row(i) is a sorted slice of values.
+  struct Csr {
+    std::vector<std::uint32_t> offsets;  // device_count + 1
+    std::vector<DeviceId> values;
+
+    [[nodiscard]] std::span<const DeviceId> row(DeviceId id) const {
+      return {values.data() + offsets[id],
+              static_cast<std::size_t>(offsets[id + 1] - offsets[id])};
+    }
+  };
+
+  /// Precomputed adjacency slices for one expected-topology epoch: the
+  /// all-neighbor CSR, one CSR per role, and the id-ordered member list of
+  /// each role. ~2 + 2·roles words per device plus one word per (directed)
+  /// edge per table — and neighbors*() stop allocating per call.
+  struct AdjacencyCache {
+    Csr all;
+    std::array<Csr, kDeviceRoleCount> by_role;
+    std::array<std::vector<DeviceId>, kDeviceRoleCount> role_members;
+  };
+
+  /// The cache for the current epoch, building it first if stale. Hot path
+  /// is one relaxed-epoch acquire load.
+  const AdjacencyCache& adjacency() const;
+
   std::vector<Device> devices_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> incident_links_;
   std::size_t cluster_count_ = 0;
   std::uint64_t epoch_ = 0;
+
+  mutable std::mutex adjacency_mutex_;
+  mutable AdjacencyCache adjacency_cache_;
+  /// Epoch adjacency_cache_ was built for; ~0 = never built (epoch_ starts
+  /// at 0 and only increments, so ~0 is unreachable).
+  mutable std::atomic<std::uint64_t> adjacency_epoch_{~std::uint64_t{0}};
 };
 
 }  // namespace dcv::topo

@@ -6,6 +6,7 @@
 #include "dist/coordinator.hpp"
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -131,6 +132,13 @@ class ScriptedWorker final : public Transport {
     return assignments_received_;
   }
 
+  /// Overrides the fixed 1ms result timing with a per-assignment model —
+  /// the knob the feedback-balancing tests use to fake slow devices.
+  void set_elapsed_model(
+      std::function<std::uint64_t(const AssignMsg&)> model) {
+    elapsed_model_ = std::move(model);
+  }
+
  private:
   ResultMsg synthesize_result(const AssignMsg& assign) {
     ResultMsg result;
@@ -142,7 +150,8 @@ class ScriptedWorker final : public Transport {
         [](std::uint64_t total, const DeviceWork& work) {
           return total + work.contracts.size();
         });
-    result.elapsed_ns = 1'000'000;
+    result.elapsed_ns =
+        elapsed_model_ ? elapsed_model_(assign) : 1'000'000;
     for (const DeviceWork& work : assign.devices) {
       result.fingerprints.emplace_back(work.device,
                                        0x9E3779B9u ^ (work.device * 2654435761u));
@@ -156,6 +165,7 @@ class ScriptedWorker final : public Transport {
   std::string id_;
   Mode mode_;
   rcdc::FetchClock* clock_;
+  std::function<std::uint64_t(const AssignMsg&)> elapsed_model_;
   bool closed_ = false;
   bool welcomed_ = false;
   bool shutdown_received_ = false;
@@ -344,6 +354,41 @@ TEST_F(CoordinatorTest, HappyPathThreeWorkers) {
   for (ScriptedWorker* worker : workers) {
     EXPECT_TRUE(worker->shutdown_received());
   }
+}
+
+TEST_F(CoordinatorTest, FeedbackRebalancesShardsTowardEqualTime) {
+  Coordinator coordinator(metadata_, config());
+  ScriptedWorker* worker =
+      add(coordinator, "w0", ScriptedWorker::Mode::kObedient);
+  // Synthetic skew: the five lowest-id devices are 10x slower to validate.
+  worker->set_elapsed_model([](const AssignMsg& assign) {
+    std::uint64_t total = 0;
+    for (const DeviceWork& work : assign.devices) {
+      total += work.device < 5 ? 10'000'000 : 1'000'000;
+    }
+    return total;
+  });
+  EXPECT_EQ(coordinator.pump(1, 5s), 1u);
+
+  const DistributedSummary first = coordinator.run_cycle();
+  ASSERT_EQ(first.shards_failed, 0u);
+  // Cold carve is count-balanced: the lead shard holds ceil(17/4) devices
+  // — all five of the slow ones.
+  EXPECT_EQ(first.shards.front().devices, 5u);
+
+  const DistributedSummary second = coordinator.run_cycle();
+  ASSERT_EQ(second.shards_failed, 0u);
+  // The balancer learned where the time went: slow devices get carved into
+  // smaller shards, the cheap tail into bigger ones.
+  EXPECT_LT(second.shards.front().devices, first.shards.front().devices);
+  EXPECT_GT(second.shards.back().devices, second.shards.front().devices);
+  std::size_t total_devices = 0;
+  for (const ShardOutcome& shard : second.shards) {
+    total_devices += shard.devices;
+  }
+  EXPECT_EQ(total_devices, topology_.device_count());
+  EXPECT_GT(coordinator.balancer().cost(0),
+            4.0 * coordinator.balancer().cost(16));
 }
 
 TEST_F(CoordinatorTest, CrashReassignedWithinCycle) {

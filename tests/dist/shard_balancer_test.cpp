@@ -1,0 +1,71 @@
+#include "dist/shard_balancer.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dcv::dist {
+namespace {
+
+using topo::DeviceId;
+
+TEST(ShardBalancer, UniformBeforeAnyFeedback) {
+  const ShardBalancer balancer;
+  EXPECT_FALSE(balancer.has_observations());
+  // Every device prices the same, so cost-balanced carving degrades to
+  // count-balanced carving on a cold coordinator.
+  EXPECT_DOUBLE_EQ(balancer.cost(0), 1.0);
+  EXPECT_DOUBLE_EQ(balancer.cost(12345), 1.0);
+}
+
+TEST(ShardBalancer, SkewedProfileSeparatesSlowFromFast) {
+  ShardBalancer balancer;
+  const std::vector<DeviceId> slow{0, 1, 2};
+  const std::vector<DeviceId> fast{3, 4, 5};
+  // Synthetic skew: the slow shard reports 10x the wall time, repeatedly.
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    balancer.record(slow, 30'000'000);  // 10ms/device
+    balancer.record(fast, 3'000'000);   // 1ms/device
+  }
+  EXPECT_TRUE(balancer.has_observations());
+  EXPECT_EQ(balancer.devices_tracked(), 6u);
+  EXPECT_GT(balancer.cost(0), 4.0 * balancer.cost(3));
+  // Devices sharing a shard share its attribution.
+  EXPECT_DOUBLE_EQ(balancer.cost(0), balancer.cost(2));
+  EXPECT_DOUBLE_EQ(balancer.cost(3), balancer.cost(5));
+}
+
+TEST(ShardBalancer, UnobservedDevicesPriceAtTheMean) {
+  ShardBalancer balancer;
+  balancer.record(std::vector<DeviceId>{0}, 8'000'000);
+  balancer.record(std::vector<DeviceId>{1}, 2'000'000);
+  // Device 99 was never in a shard: it gets the mean of the estimates, so
+  // newcomers neither starve a shard nor dominate it.
+  EXPECT_DOUBLE_EQ(balancer.cost(99), 5'000'000.0);
+}
+
+TEST(ShardBalancer, EwmaTracksShiftingTimings) {
+  ShardBalancer balancer(/*alpha=*/0.5);
+  const std::vector<DeviceId> devices{7};
+  balancer.record(devices, 10'000'000);
+  const double initial = balancer.cost(7);
+  // The device got faster (say its contract set shrank); the estimate must
+  // follow the new timings instead of averaging over all history.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    balancer.record(devices, 1'000'000);
+  }
+  EXPECT_LT(balancer.cost(7), initial / 5.0);
+  EXPECT_GT(balancer.cost(7), 0.0);
+}
+
+TEST(ShardBalancer, IgnoresEmptyShardsAndZeroTimings) {
+  ShardBalancer balancer;
+  balancer.record({}, 5'000'000);
+  // Failed shards report elapsed 0; they carry no cost signal.
+  balancer.record(std::vector<DeviceId>{1, 2}, 0);
+  EXPECT_FALSE(balancer.has_observations());
+  EXPECT_DOUBLE_EQ(balancer.cost(1), 1.0);
+}
+
+}  // namespace
+}  // namespace dcv::dist

@@ -149,15 +149,21 @@ TEST(ContractGen, RegionScopedToOwnDatacenter) {
   EXPECT_EQ(generator.for_device(regional).size(), 8u);
 }
 
+// hops_satisfy takes a span; materialize literal hop sets for it.
+bool satisfies(std::initializer_list<topo::DeviceId> hops, const Contract& c) {
+  const std::vector<topo::DeviceId> actual(hops);
+  return hops_satisfy(actual, c);
+}
+
 TEST(HopsSatisfy, ExactSet) {
   const Contract c{.kind = ContractKind::kSpecific,
                    .prefix = net::Prefix::parse("10.0.0.0/24"),
                    .expected_next_hops = {1, 2, 3},
                    .mode = MatchMode::kExactSet};
-  EXPECT_TRUE(hops_satisfy({1, 2, 3}, c));
-  EXPECT_FALSE(hops_satisfy({1, 2}, c));
-  EXPECT_FALSE(hops_satisfy({1, 2, 3, 4}, c));
-  EXPECT_FALSE(hops_satisfy({}, c));
+  EXPECT_TRUE(satisfies({1, 2, 3}, c));
+  EXPECT_FALSE(satisfies({1, 2}, c));
+  EXPECT_FALSE(satisfies({1, 2, 3, 4}, c));
+  EXPECT_FALSE(satisfies({}, c));
 }
 
 TEST(HopsSatisfy, SubsetAtLeast) {
@@ -166,11 +172,11 @@ TEST(HopsSatisfy, SubsetAtLeast) {
                    .expected_next_hops = {1, 2, 3},
                    .mode = MatchMode::kSubsetAtLeast,
                    .min_next_hops = 2};
-  EXPECT_TRUE(hops_satisfy({1, 2}, c));
-  EXPECT_TRUE(hops_satisfy({1, 2, 3}, c));
-  EXPECT_FALSE(hops_satisfy({1}, c));          // below the bound
-  EXPECT_FALSE(hops_satisfy({1, 2, 4}, c));    // not a subset
-  EXPECT_FALSE(hops_satisfy({}, c));
+  EXPECT_TRUE(satisfies({1, 2}, c));
+  EXPECT_TRUE(satisfies({1, 2, 3}, c));
+  EXPECT_FALSE(satisfies({1}, c));          // below the bound
+  EXPECT_FALSE(satisfies({1, 2, 4}, c));    // not a subset
+  EXPECT_FALSE(satisfies({}, c));
 }
 
 }  // namespace

@@ -179,24 +179,32 @@ TEST(BgpReconverge, TopologyGrowthFallsBackToColdRun) {
 // so an origin flip re-triggers propagation and regional-spine hairpin
 // suppression never acts on a stale origin.
 TEST(RibEntryEquality, OriginDatacenterIsPartOfEquality) {
-  RibEntry a{.prefix = net::Prefix::parse("10.0.0.0/24"),
-             .as_path = {64500, 63000},
-             .next_hops = {3},
-             .connected = false,
-             .origin_datacenter = 0};
-  RibEntry b = a;
-  EXPECT_EQ(a, b);
-  b.origin_datacenter = 1;
-  EXPECT_NE(a, b);
-  EXPECT_NE(Rib({a}), Rib({b}));
+  const auto prefix = net::Prefix::parse("10.0.0.0/24");
+  const std::vector<topo::Asn> asns{64500, 63000};
+  const PathId path = global_path_table().intern(asns);
+  const std::vector<DeviceId> hops{3};
+  Rib a;
+  a.append(prefix, path, hops, /*connected=*/false, /*origin=*/0);
+  Rib same;
+  same.append(prefix, path, hops, /*connected=*/false, /*origin=*/0);
+  Rib flipped;
+  flipped.append(prefix, path, hops, /*connected=*/false, /*origin=*/1);
+  EXPECT_TRUE(Rib::entry_equal(a, a.entries()[0], same, same.entries()[0]));
+  EXPECT_FALSE(
+      Rib::entry_equal(a, a.entries()[0], flipped, flipped.entries()[0]));
+  EXPECT_EQ(a, same);
+  EXPECT_NE(a, flipped);
 }
 
 TEST(RibLookup, FindAtContains) {
   const auto p1 = net::Prefix::parse("10.0.0.0/24");
   const auto p2 = net::Prefix::parse("10.0.1.0/24");
-  const Rib rib({RibEntry{.prefix = p2}, RibEntry{.prefix = p1}});
+  Rib rib;
+  rib.append(p2, kEmptyPathId, {}, /*connected=*/false, /*origin=*/0);
+  rib.append(p1, kEmptyPathId, {}, /*connected=*/false, /*origin=*/0);
+  rib.sort_by_prefix();
   ASSERT_EQ(rib.size(), 2u);
-  EXPECT_EQ(rib.begin()->prefix, std::min(p1, p2));  // sorted on construction
+  EXPECT_EQ(rib.begin()->prefix, std::min(p1, p2));  // canonical order
   EXPECT_TRUE(rib.contains(p1));
   EXPECT_EQ(rib.at(p2).prefix, p2);
   EXPECT_EQ(rib.find(net::Prefix::parse("10.9.9.0/24")), nullptr);

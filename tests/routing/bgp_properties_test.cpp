@@ -53,8 +53,8 @@ TEST_P(BgpInvariants, AsPathsAreLoopFree) {
       // which the allowas-in configuration admits at the receiving ToR
       // only (§2.1); even there a single path never contains the same
       // *adjacent* hops, so repetitions are bounded by the reuse scheme.
-      std::multiset<topo::Asn> seen(entry.as_path.begin(),
-                                    entry.as_path.end());
+      const auto path = entry.as_path();
+      std::multiset<topo::Asn> seen(path.begin(), path.end());
       for (const topo::Asn asn : seen) {
         if (device.role == DeviceRole::kTor &&
             asn == device.asn) {
@@ -79,7 +79,7 @@ TEST_P(BgpInvariants, PathLengthsMatchArchitecturalDistance) {
       if (!rank) continue;
       // The selected AS-path (own ASN + traversed ASNs) spans exactly the
       // architectural distance to the hosting ToR.
-      EXPECT_EQ(entry.as_path.size(), static_cast<std::size_t>(*rank) + 1)
+      EXPECT_EQ(entry.as_path().size(), static_cast<std::size_t>(*rank) + 1)
           << device.name << " " << entry.prefix.to_string();
     }
   }
@@ -103,8 +103,8 @@ TEST_P(BgpInvariants, NextHopSetsAreMaximal) {
   const topo::MetadataService metadata(topology);
   const BgpSimulator sim(topology);
   for (const DeviceId tor : topology.devices_with_role(DeviceRole::kTor)) {
-    const auto leaves =
-        topology.neighbors_with_role(tor, DeviceRole::kLeaf);
+    const auto leaves_adj = topology.neighbors_with_role(tor, DeviceRole::kLeaf);
+    const std::vector<DeviceId> leaves(leaves_adj.begin(), leaves_adj.end());
     const auto fib = sim.fib(tor);
     ASSERT_NE(fib.default_route(), nullptr);
     EXPECT_EQ(fib.default_route()->next_hops, leaves);
@@ -153,10 +153,13 @@ TEST_P(BgpInvariants, NextHopsAreCanonicallyOrdered) {
   const auto topology = topo::build_clos(params());
   const BgpSimulator sim(topology);
   for (const topo::Device& device : topology.devices()) {
-    for (const RibEntry& entry : sim.rib(device.id)) {
-      auto canonical = entry.next_hops;
+    const Rib& rib = sim.rib(device.id);
+    for (const RibEntry& entry : rib) {
+      const auto hops = rib.next_hops(entry);
+      std::vector<DeviceId> canonical(hops.begin(), hops.end());
       canonicalize(canonical);
-      EXPECT_EQ(entry.next_hops, canonical)
+      EXPECT_TRUE(std::equal(hops.begin(), hops.end(), canonical.begin(),
+                             canonical.end()))
           << device.name << " " << entry.prefix.to_string();
     }
   }

@@ -142,8 +142,8 @@ TEST_F(Figure3Bgp, RibFibInconsistencyFault) {
   faults.device_fault(tor1, topo::DeviceFaultKind::kRibFibInconsistency);
   const BgpSimulator sim(topology_, &faults);
   // The RIB still has 4 next hops; the FIB only 1 (§2.6.2 Software Bug 1).
-  EXPECT_EQ(sim.rib(tor1).at(net::Prefix::default_route()).next_hops.size(),
-            4u);
+  const Rib& rib = sim.rib(tor1);
+  EXPECT_EQ(rib.next_hops(rib.at(net::Prefix::default_route())).size(), 4u);
   EXPECT_EQ(sim.fib(tor1).default_route()->next_hops.size(), 1u);
   // Specific routes are unaffected.
   EXPECT_EQ(
@@ -206,10 +206,9 @@ TEST(BgpRegion, CrossDatacenterRoutesRequireAsnStripping) {
   // The relayed AS-path at a DC1 spine contains no private ASNs beyond its
   // own contribution.
   const auto dc1_spine = *t.find_device("DC1-T2-0-0");
-  const auto& entry = sim.rib(dc1_spine).at(dc0_prefix);
-  for (std::size_t i = 1; i < entry.as_path.size(); ++i) {
-    EXPECT_FALSE(BgpSimulator::is_private_asn(entry.as_path[i]))
-        << entry.as_path[i];
+  const auto path = sim.rib(dc1_spine).at(dc0_prefix).as_path();
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_FALSE(BgpSimulator::is_private_asn(path[i])) << path[i];
   }
 }
 

@@ -1,0 +1,171 @@
+#include "routing/path_table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/error.hpp"
+#include "routing/bgp_sim.hpp"
+
+namespace dcv::routing {
+namespace {
+
+using topo::Asn;
+
+TEST(PathTable, InternDedupesByContent) {
+  PathTable table;
+  const std::vector<Asn> path{65001, 65002, 65003};
+  const PathId first = table.intern(path);
+  const std::vector<Asn> copy = path;
+  EXPECT_EQ(table.intern(copy), first);
+  EXPECT_NE(first, kEmptyPathId);
+  EXPECT_EQ(table.size(), 1u);
+
+  const auto view = table.view(first);
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), path.begin(), path.end()));
+}
+
+TEST(PathTable, IdEqualityIsContentEquality) {
+  PathTable table;
+  const std::vector<Asn> a{65001, 65002};
+  const std::vector<Asn> b{65002, 65001};  // order matters for AS-paths
+  const std::vector<Asn> c{65001};
+  const PathId ia = table.intern(a);
+  const PathId ib = table.intern(b);
+  const PathId ic = table.intern(c);
+  EXPECT_NE(ia, ib);
+  EXPECT_NE(ia, ic);
+  EXPECT_NE(ib, ic);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(PathTable, EmptyPathIsIdZero) {
+  PathTable table;
+  EXPECT_EQ(table.intern({}), kEmptyPathId);
+  EXPECT_TRUE(table.view(kEmptyPathId).empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(PathTable, UnknownIdThrows) {
+  PathTable table;
+  EXPECT_THROW((void)table.view(12345), InvalidArgument);
+}
+
+TEST(PathTable, BytesGrowWithDistinctPaths) {
+  PathTable table;
+  const std::size_t before = table.bytes();
+  std::vector<Asn> path{65000};
+  for (Asn asn = 1; asn <= 64; ++asn) {
+    path.push_back(asn);
+    (void)table.intern(path);
+  }
+  EXPECT_GT(table.bytes(), before);
+  EXPECT_EQ(table.size(), 64u);
+}
+
+// Run under TSan: concurrent interns of overlapping path sets racing
+// lock-free view() readers. Every thread must agree on id <-> content.
+TEST(PathTable, ConcurrentInternAndViewAgree) {
+  PathTable table;
+  constexpr int kThreads = 8;
+  constexpr int kPaths = 512;
+
+  // Each thread interns the same kPaths paths (in a thread-specific order)
+  // and immediately validates the view of every id it receives.
+  std::vector<std::vector<PathId>> ids(kThreads,
+                                       std::vector<PathId>(kPaths, 0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, &ids, t] {
+      for (int i = 0; i < kPaths; ++i) {
+        // Thread-specific visiting order over a shared path universe.
+        const int p = (i * 37 + t * 101) % kPaths;
+        const std::vector<Asn> path{static_cast<Asn>(64500 + p % 97),
+                                    static_cast<Asn>(64500 + p % 31),
+                                    static_cast<Asn>(64500 + p)};
+        const PathId id = table.intern(path);
+        const auto view = table.view(id);
+        ASSERT_TRUE(std::equal(view.begin(), view.end(), path.begin(),
+                               path.end()));
+        ids[t][p] = id;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Hash-consing held across threads: same content, same id everywhere.
+  for (int t = 1; t < kThreads; ++t) {
+    for (int p = 0; p < kPaths; ++p) {
+      ASSERT_EQ(ids[t][p], ids[0][p]) << "path " << p;
+    }
+  }
+  EXPECT_EQ(table.size(), kPaths);
+}
+
+// Arena-reuse property: a cleared Rib rebuilds identical content without
+// allocating — capacities (and therefore buffer addresses) are retained.
+TEST(RibArena, ClearRetainsCapacityAndRebuildsInPlace) {
+  PathTable& table = global_path_table();
+  const std::vector<Asn> path{65001, 65002};
+  const PathId id = table.intern(path);
+
+  // Hop lists longer than kInlineHops force arena storage.
+  const std::vector<topo::DeviceId> hops{1, 2, 3, 4, 5};
+  Rib rib;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    rib.append(net::Prefix::parse(std::to_string(i % 250) + "." +
+                                  std::to_string(i / 250) + ".0.0/24"),
+               id, hops, false, 0);
+  }
+  rib.sort_by_prefix();
+  const std::size_t bytes = rib.memory_bytes();
+  ASSERT_GT(bytes, 0u);
+  const topo::DeviceId* arena_data = rib.next_hops(*rib.begin()).data();
+
+  for (int round = 0; round < 10; ++round) {
+    rib.clear();
+    EXPECT_EQ(rib.memory_bytes(), bytes) << "round " << round;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      rib.append(net::Prefix::parse(std::to_string(i % 250) + "." +
+                                    std::to_string(i / 250) + ".0.0/24"),
+                 id, hops, false, 0);
+    }
+    rib.sort_by_prefix();
+    // Same capacity and the arena kept its address: no reallocation.
+    EXPECT_EQ(rib.memory_bytes(), bytes) << "round " << round;
+    EXPECT_EQ(rib.next_hops(*rib.begin()).data(), arena_data)
+        << "round " << round;
+  }
+}
+
+// release()/from_sorted() move storage wholesale: no copies, entries and
+// arena survive the round trip bit-identically.
+TEST(RibArena, ReleaseFromSortedRoundTripsWithoutReallocating) {
+  PathTable& table = global_path_table();
+  const PathId id = table.intern(std::vector<Asn>{65009});
+  const std::vector<topo::DeviceId> hops{9, 8, 7, 6};
+
+  Rib rib;
+  rib.append(net::Prefix::parse("10.1.0.0/24"), id, hops, false, 1);
+  rib.append(net::Prefix::parse("10.2.0.0/24"), id,
+             std::vector<topo::DeviceId>{3}, false, 1);
+  rib.sort_by_prefix();
+  const topo::DeviceId* arena_data =
+      rib.next_hops(rib.at(net::Prefix::parse("10.1.0.0/24"))).data();
+
+  Rib moved = Rib::from_sorted(std::move(rib).release());
+  EXPECT_EQ(moved.size(), 2u);
+  const auto& entry = moved.at(net::Prefix::parse("10.1.0.0/24"));
+  const auto moved_hops = moved.next_hops(entry);
+  EXPECT_EQ(moved_hops.data(), arena_data);
+  EXPECT_TRUE(
+      std::equal(moved_hops.begin(), moved_hops.end(), hops.begin(),
+                 hops.end()));
+}
+
+}  // namespace
+}  // namespace dcv::routing

@@ -2,10 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "net/error.hpp"
 
 namespace dcv::topo {
 namespace {
+
+// neighbors*() return spans into the adjacency cache; materialize for
+// comparison against vector literals.
+std::vector<DeviceId> vec(std::span<const DeviceId> s) {
+  return {s.begin(), s.end()};
+}
 
 Topology two_device_topology() {
   Topology t;
@@ -33,8 +45,8 @@ TEST(Topology, FindDeviceByName) {
 TEST(Topology, LinksAndNeighbors) {
   const Topology t = two_device_topology();
   EXPECT_EQ(t.link_count(), 1u);
-  EXPECT_EQ(t.neighbors(0), std::vector<DeviceId>{1});
-  EXPECT_EQ(t.neighbors(1), std::vector<DeviceId>{0});
+  EXPECT_EQ(vec(t.neighbors(0)), std::vector<DeviceId>{1});
+  EXPECT_EQ(vec(t.neighbors(1)), std::vector<DeviceId>{0});
   EXPECT_EQ(t.find_link(0, 1), std::optional<LinkId>(0));
   EXPECT_EQ(t.find_link(1, 0), std::optional<LinkId>(0));
 }
@@ -48,10 +60,10 @@ TEST(Topology, NeighborsWithRoleFilters) {
   t.add_link(tor, leaf1);
   t.add_link(tor, leaf2);
   t.add_link(leaf1, spine);
-  EXPECT_EQ(t.neighbors_with_role(tor, DeviceRole::kLeaf),
+  EXPECT_EQ(vec(t.neighbors_with_role(tor, DeviceRole::kLeaf)),
             (std::vector<DeviceId>{leaf1, leaf2}));
   EXPECT_TRUE(t.neighbors_with_role(tor, DeviceRole::kSpine).empty());
-  EXPECT_EQ(t.neighbors_with_role(leaf1, DeviceRole::kSpine),
+  EXPECT_EQ(vec(t.neighbors_with_role(leaf1, DeviceRole::kSpine)),
             std::vector<DeviceId>{spine});
 }
 
@@ -127,7 +139,7 @@ TEST(Topology, ClusterQueries) {
   EXPECT_EQ(t.tors_in_cluster(0), std::vector<DeviceId>{0});
   EXPECT_EQ(t.tors_in_cluster(1), std::vector<DeviceId>{1});
   EXPECT_EQ(t.leaves_in_cluster(0), std::vector<DeviceId>{2});
-  EXPECT_EQ(t.devices_with_role(DeviceRole::kSpine),
+  EXPECT_EQ(vec(t.devices_with_role(DeviceRole::kSpine)),
             std::vector<DeviceId>{3});
 }
 
@@ -152,6 +164,86 @@ TEST(Topology, DatacenterMembership) {
                kNoDatacenter);
   EXPECT_EQ(t.device(0).datacenter, 2u);
   EXPECT_EQ(t.device(1).datacenter, kNoDatacenter);
+}
+
+TEST(Topology, AdjacencyCacheInvalidatesOnEpochBump) {
+  Topology t;
+  const DeviceId a = t.add_device("a", DeviceRole::kTor, 1, 0);
+  const DeviceId b = t.add_device("b", DeviceRole::kLeaf, 2, 0);
+  t.add_link(a, b);
+  EXPECT_EQ(vec(t.neighbors(a)), std::vector<DeviceId>{b});
+
+  // Growing the expected topology after the CSR cache was built must be
+  // reflected by the next neighbors*() call (epoch-keyed rebuild).
+  const DeviceId c = t.add_device("c", DeviceRole::kLeaf, 3, 0);
+  t.add_link(a, c);
+  EXPECT_EQ(vec(t.neighbors(a)), (std::vector<DeviceId>{b, c}));
+  EXPECT_EQ(vec(t.neighbors_with_role(a, DeviceRole::kLeaf)),
+            (std::vector<DeviceId>{b, c}));
+  EXPECT_EQ(vec(t.devices_with_role(DeviceRole::kLeaf)),
+            (std::vector<DeviceId>{b, c}));
+}
+
+TEST(Topology, AdjacencySpansAreStableAndAllocationFree) {
+  Topology t;
+  const DeviceId a = t.add_device("a", DeviceRole::kTor, 1, 0);
+  const DeviceId b = t.add_device("b", DeviceRole::kLeaf, 2, 0);
+  const DeviceId c = t.add_device("c", DeviceRole::kSpine, 3);
+  t.add_link(a, b);
+  t.add_link(a, c);
+
+  // Repeated calls at the same epoch return views over the same backing
+  // storage — the cache is built once and reused, not reallocated.
+  const auto first = t.neighbors(a);
+  const auto second = t.neighbors(a);
+  EXPECT_EQ(first.data(), second.data());
+  EXPECT_EQ(first.size(), second.size());
+  const auto role_first = t.neighbors_with_role(a, DeviceRole::kLeaf);
+  const auto role_second = t.neighbors_with_role(a, DeviceRole::kLeaf);
+  EXPECT_EQ(role_first.data(), role_second.data());
+
+  // Fault injection mutates link *state*, not the expected topology: the
+  // cache stays valid and spans keep their addresses.
+  t.set_link_state(0, LinkState::kDown);
+  EXPECT_EQ(t.neighbors(a).data(), first.data());
+  t.clear_faults();
+}
+
+TEST(Topology, AdjacencyRoleSlicesAreSortedSubsequences) {
+  Topology t;
+  const DeviceId tor = t.add_device("t", DeviceRole::kTor, 1, 0);
+  std::vector<DeviceId> leaves;
+  for (int i = 0; i < 5; ++i) {
+    leaves.push_back(
+        t.add_device("l" + std::to_string(i), DeviceRole::kLeaf, 2, 0));
+  }
+  const DeviceId spine = t.add_device("s", DeviceRole::kSpine, 3);
+  // Link in reverse order; slices must still come out id-sorted.
+  t.add_link(tor, spine);
+  for (auto it = leaves.rbegin(); it != leaves.rend(); ++it) {
+    t.add_link(tor, *it);
+  }
+  EXPECT_EQ(vec(t.neighbors_with_role(tor, DeviceRole::kLeaf)), leaves);
+  const auto all = t.neighbors(tor);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(Topology, CopyAndMoveResetAdjacencyCache) {
+  Topology t;
+  const DeviceId a = t.add_device("a", DeviceRole::kTor, 1, 0);
+  const DeviceId b = t.add_device("b", DeviceRole::kLeaf, 2, 0);
+  t.add_link(a, b);
+  (void)t.neighbors(a);  // force the cache warm
+
+  const Topology copy = t;
+  EXPECT_EQ(vec(copy.neighbors(a)), std::vector<DeviceId>{b});
+  // The copy's cache is its own: spans must not alias the original's.
+  EXPECT_NE(copy.neighbors(a).data(), t.neighbors(a).data());
+
+  Topology moved = std::move(t);
+  EXPECT_EQ(vec(moved.neighbors(a)), std::vector<DeviceId>{b});
+  EXPECT_EQ(vec(moved.devices_with_role(DeviceRole::kTor)),
+            std::vector<DeviceId>{a});
 }
 
 TEST(Topology, EpochTracksExpectedTopologyOnly) {
